@@ -1,0 +1,167 @@
+// E13 (paper §IV-B motivation): node-failure blast radius vs sharing
+// policy.
+//
+// "If a node fails because one of the tasks executing on it tries to use
+// more memory than is available on the node, all of the jobs running on
+// that same node will fail." This harness runs the same job stream with
+// random OOM faults under each sharing policy and reports who pays:
+// under shared scheduling, other users' jobs die as collateral; under
+// user-whole-node, collateral is confined to the culprit's own jobs;
+// under per-job exclusive, there is no collateral at all.
+#include <limits>
+#include <set>
+
+#include "bench/common/table.h"
+#include "bench/common/workloads.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "sched/scheduler.h"
+
+namespace heus::bench {
+namespace {
+
+using common::kSecond;
+using sched::SharingPolicy;
+
+struct FaultResult {
+  sched::FailureStats failures;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  double makespan_s = 0;
+};
+
+FaultResult run_with_faults(SharingPolicy policy, double oom_probability,
+                            bool requeue_victims) {
+  common::SimClock clock;
+  simos::UserDb db;
+  std::vector<simos::Credentials> users;
+  for (int u = 0; u < 8; ++u) {
+    users.push_back(
+        *simos::login(db, *db.create_user("user" + std::to_string(u))));
+  }
+  sched::SchedulerConfig cfg;
+  cfg.policy = policy;
+  cfg.node_reboot_ns = 300 * kSecond;
+  sched::Scheduler sched(&clock, cfg);
+  for (int i = 0; i < 8; ++i) {
+    sched::NodeInfo info;
+    info.hostname = common::strformat("c%d", i);
+    info.cpus = 16;
+    info.mem_mb = 64 * 1024;
+    sched.add_node(info);
+  }
+
+  WorkloadParams params;
+  params.users = users.size();
+  params.jobs = 400;
+  params.mean_interarrival_ns = kSecond / 2;
+  params.seed = 11;
+  auto jobs = make_bsp_sweep(params);
+  if (requeue_victims) {
+    for (auto& j : jobs) j.spec.requeue_on_failure = true;
+  }
+
+  // Each job independently carries a latent OOM bug with probability
+  // oom_probability, decided at submission (so the fault population is
+  // identical across policies); the bug fires once the job is running.
+  common::Rng fault_rng(99);
+  std::size_t next = 0;
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+  std::set<JobId> buggy;
+  while (true) {
+    const std::int64_t t_submit =
+        next < jobs.size() ? jobs[next].submit_offset_ns : kInf;
+    const auto event = sched.next_event_time();
+    const std::int64_t t_event = event ? event->ns : kInf;
+    const std::int64_t t = std::min(t_submit, t_event);
+    if (t == kInf) break;
+    clock.advance_to(common::SimTime{t});
+    while (next < jobs.size() && jobs[next].submit_offset_ns <= t) {
+      auto id = sched.submit(users[jobs[next].user_index],
+                             jobs[next].spec);
+      const bool has_bug = fault_rng.uniform01() < oom_probability;
+      if (id && has_bug) buggy.insert(*id);
+      ++next;
+    }
+    sched.step();
+    // Fire latent bugs on jobs that have started.
+    for (auto it = buggy.begin(); it != buggy.end();) {
+      const sched::Job* j = sched.find_job(*it);
+      if (j != nullptr && j->state == sched::JobState::running) {
+        (void)sched.inject_oom(*it);
+        it = buggy.erase(it);
+      } else if (j == nullptr ||
+                 j->state != sched::JobState::pending) {
+        it = buggy.erase(it);  // finished some other way
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  FaultResult out;
+  out.failures = sched.failure_stats();
+  for (const auto& rec :
+       sched.accounting(simos::root_credentials())) {
+    if (rec.final_state == sched::JobState::completed) ++out.completed;
+    if (rec.final_state == sched::JobState::failed) ++out.failed;
+  }
+  out.makespan_s = sched.last_completion().seconds();
+  return out;
+}
+
+void fault_sweep() {
+  print_banner(
+      "E13: OOM blast radius vs sharing policy (paper §IV-B)",
+      "Same job stream, random OOM faults. victim-jobs = co-resident "
+      "collateral; cross-user = collateral belonging to OTHER users — "
+      "the number whole-node scheduling exists to zero out.");
+
+  Table table({"policy", "oom-events", "culprits-failed", "victim-jobs",
+               "cross-user-victims", "completed", "failed",
+               "makespan-s"});
+  for (auto policy :
+       {SharingPolicy::shared, SharingPolicy::exclusive_job,
+        SharingPolicy::user_whole_node}) {
+    const FaultResult r =
+        run_with_faults(policy, /*oom_probability=*/0.08,
+                        /*requeue_victims=*/false);
+    table.add_row({sched::to_string(policy),
+                   std::to_string(r.failures.oom_events),
+                   std::to_string(r.failures.culprit_jobs_failed),
+                   std::to_string(r.failures.victim_jobs_failed),
+                   std::to_string(r.failures.cross_user_victims),
+                   std::to_string(r.completed), std::to_string(r.failed),
+                   common::strformat("%.0f", r.makespan_s)});
+  }
+  table.print();
+}
+
+void requeue_ablation() {
+  print_banner(
+      "E13b: --requeue ablation (shared policy)",
+      "Victim jobs marked requeue-on-failure survive node crashes at the "
+      "cost of a reboot-length delay; the culprit still fails.");
+
+  Table table({"victims-requeue", "victim-jobs-hit", "requeued",
+               "failed", "completed", "makespan-s"});
+  for (bool requeue : {false, true}) {
+    const FaultResult r = run_with_faults(
+        SharingPolicy::shared, /*oom_probability=*/0.08, requeue);
+    table.add_row({requeue ? "yes" : "no",
+                   std::to_string(r.failures.victim_jobs_failed),
+                   std::to_string(r.failures.jobs_requeued),
+                   std::to_string(r.failed), std::to_string(r.completed),
+                   common::strformat("%.0f", r.makespan_s)});
+  }
+  table.print();
+}
+
+}  // namespace
+}  // namespace heus::bench
+
+int main() {
+  heus::bench::fault_sweep();
+  heus::bench::requeue_ablation();
+  return 0;
+}

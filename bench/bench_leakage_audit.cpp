@@ -1,0 +1,168 @@
+// E8 (paper §V): the leakage-channel census and blast-radius containment.
+//
+// This is the reproduction's headline table. For the baseline and the
+// hardened configuration (plus each single knob as an ablation), the
+// auditor actively probes all 18 channels discussed in the paper and
+// reports open/closed. Under hardened(), exactly the paper's three
+// documented residual channels must remain: /tmp file names, abstract
+// unix sockets, native-CM InfiniBand.
+#include "bench/common/table.h"
+#include "common/strings.h"
+#include "core/audit.h"
+
+namespace heus::bench {
+namespace {
+
+using core::ChannelKind;
+using core::ChannelReport;
+using core::Cluster;
+using core::ClusterConfig;
+using core::LeakageAuditor;
+using core::SeparationPolicy;
+
+ClusterConfig config(SeparationPolicy policy) {
+  ClusterConfig cfg;
+  cfg.compute_nodes = 4;
+  cfg.login_nodes = 1;
+  cfg.cpus_per_node = 16;
+  cfg.gpus_per_node = 2;
+  cfg.gpu_mem_bytes = 4096;
+  cfg.policy = policy;
+  return cfg;
+}
+
+std::vector<ChannelReport> run_audit(SeparationPolicy policy) {
+  Cluster cluster(config(policy));
+  const Uid victim = *cluster.add_user("victim");
+  const Uid observer = *cluster.add_user("observer");
+  LeakageAuditor auditor(&cluster);
+  return auditor.audit_pair(victim, observer);
+}
+
+void channel_census() {
+  print_banner(
+      "E8: cross-user channel census (paper §V)",
+      "Active probes of every channel the paper discusses. Expected "
+      "hardened result: closed everywhere except the three documented "
+      "residuals (marked *).");
+
+  auto baseline = run_audit(SeparationPolicy::baseline());
+  auto hardened = run_audit(SeparationPolicy::hardened());
+
+  Table table({"channel", "baseline", "hardened", "paper-residual"});
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    const bool residual = core::is_documented_residual(baseline[i].kind);
+    table.add_row({core::to_string(baseline[i].kind),
+                   baseline[i].open ? "OPEN" : "closed",
+                   hardened[i].open ? "OPEN" : "closed",
+                   residual ? "yes *" : "no"});
+  }
+  table.print();
+
+  std::printf("\nopen channels: baseline=%zu hardened=%zu "
+              "(unexpected under hardened: %zu)\n",
+              LeakageAuditor::open_count(baseline),
+              LeakageAuditor::open_count(hardened),
+              LeakageAuditor::unexpected_open_count(hardened));
+}
+
+void knob_ablation() {
+  print_banner(
+      "E8b: per-knob ablation",
+      "Each mechanism applied alone on top of baseline; cells show how "
+      "many channels remain open (18 probed). The mechanisms compose: "
+      "only the full set reaches the 3-residual floor.");
+
+  struct Knob {
+    const char* name;
+    SeparationPolicy policy;
+  };
+  std::vector<Knob> knobs;
+  knobs.push_back({"baseline", SeparationPolicy::baseline()});
+  {
+    auto p = SeparationPolicy::baseline();
+    p.hidepid = simos::HidepidMode::invisible;
+    knobs.push_back({"+hidepid=2", p});
+  }
+  {
+    auto p = SeparationPolicy::baseline();
+    p.private_data = sched::PrivateData::all();
+    knobs.push_back({"+PrivateData", p});
+  }
+  {
+    auto p = SeparationPolicy::baseline();
+    p.pam_slurm = true;
+    knobs.push_back({"+pam_slurm", p});
+  }
+  {
+    auto p = SeparationPolicy::baseline();
+    p.fs = vfs::FsPolicy::hardened();
+    p.root_owned_homes = true;
+    knobs.push_back({"+smask/UPG", p});
+  }
+  {
+    auto p = SeparationPolicy::baseline();
+    p.ubf = true;
+    knobs.push_back({"+UBF", p});
+  }
+  {
+    auto p = SeparationPolicy::baseline();
+    p.gpu_dev_binding = true;
+    p.gpu_epilog_scrub = true;
+    knobs.push_back({"+GPU binding/scrub", p});
+  }
+  knobs.push_back({"hardened (all)", SeparationPolicy::hardened()});
+
+  Table table({"configuration", "open-channels", "closed-vs-baseline"});
+  const std::size_t base_open =
+      LeakageAuditor::open_count(run_audit(SeparationPolicy::baseline()));
+  for (const auto& knob : knobs) {
+    const std::size_t open =
+        LeakageAuditor::open_count(run_audit(knob.policy));
+    table.add_row({knob.name, std::to_string(open),
+                   std::to_string(base_open - std::min(base_open, open))});
+  }
+  table.print();
+}
+
+void blast_radius() {
+  print_banner(
+      "E8c: blast radius of misbehaving code (paper §V)",
+      "A chaos routine runs as one user against 6 victims (each with a "
+      "service, files, and a job). Counts = cross-user effects achieved.");
+
+  Table table({"configuration", "victims", "services-reached",
+               "files-read", "procs-observed", "jobs-observed",
+               "port-collisions-won", "total-effects"});
+  for (bool hardened : {false, true}) {
+    Cluster cluster(config(hardened ? SeparationPolicy::hardened()
+                                    : SeparationPolicy::baseline()));
+    const Uid attacker = *cluster.add_user("mallory");
+    std::vector<Uid> victims;
+    for (int i = 0; i < 6; ++i) {
+      victims.push_back(
+          *cluster.add_user("victim" + std::to_string(i)));
+    }
+    LeakageAuditor auditor(&cluster);
+    const auto blast = auditor.blast_radius(attacker, victims);
+    table.add_row({hardened ? "hardened" : "baseline",
+                   std::to_string(blast.victims_total),
+                   std::to_string(blast.services_reached),
+                   std::to_string(blast.files_read),
+                   std::to_string(blast.processes_observed),
+                   std::to_string(blast.jobs_observed),
+                   std::to_string(blast.port_collisions_won),
+                   std::to_string(blast.total_effects())});
+  }
+  table.print();
+}
+
+}  // namespace
+}  // namespace heus::bench
+
+int main() {
+  heus::bench::channel_census();
+  heus::bench::knob_ablation();
+  heus::bench::blast_radius();
+  return 0;
+}

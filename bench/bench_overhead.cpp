@@ -1,0 +1,212 @@
+// E12 (paper §I): the chosen mechanisms add no data-path overhead.
+//
+// The paper motivates its design by contrast with mitigations that DO tax
+// the data path (Spectre/Meltdown patches cost 15-40%). Every mechanism
+// here sits on control paths (connection setup, job start/end, metadata)
+// or is a pure view filter. This harness runs identical end-to-end
+// workloads on baseline and hardened clusters and reports the hot-path
+// cost deltas, real and simulated.
+#include <benchmark/benchmark.h>
+
+#include "bench/common/table.h"
+#include "common/strings.h"
+#include "core/cluster.h"
+
+namespace heus::bench {
+namespace {
+
+using common::kSecond;
+using core::Cluster;
+using core::ClusterConfig;
+using core::SeparationPolicy;
+
+ClusterConfig config(SeparationPolicy policy) {
+  ClusterConfig cfg;
+  cfg.compute_nodes = 4;
+  cfg.login_nodes = 1;
+  cfg.cpus_per_node = 16;
+  cfg.gpus_per_node = 1;
+  cfg.gpu_mem_bytes = 64 << 20;  // 64 MiB: scrub cost visible in ms
+  cfg.policy = policy;
+  return cfg;
+}
+
+// Real (wall-clock) hot-path microbenchmarks, baseline vs hardened.
+
+void BM_FsWriteRead(benchmark::State& state) {
+  const bool hardened = state.range(0) != 0;
+  Cluster cluster(config(hardened ? SeparationPolicy::hardened()
+                                  : SeparationPolicy::baseline()));
+  const Uid alice = *cluster.add_user("alice");
+  auto a = *simos::login(cluster.users(), alice);
+  std::string payload(4096, 'd');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster.shared_fs().write_file(
+        a, "/home/alice/hot.dat", payload));
+    benchmark::DoNotOptimize(
+        cluster.shared_fs().read_file(a, "/home/alice/hot.dat"));
+  }
+  state.SetLabel(hardened ? "hardened" : "baseline");
+}
+
+BENCHMARK(BM_FsWriteRead)->Arg(0)->Arg(1);
+
+void BM_EstablishedFlowSend(benchmark::State& state) {
+  const bool hardened = state.range(0) != 0;
+  Cluster cluster(config(hardened ? SeparationPolicy::hardened()
+                                  : SeparationPolicy::baseline()));
+  const Uid alice = *cluster.add_user("alice");
+  auto session = *cluster.login(alice);
+  const HostId h0 = cluster.node(cluster.compute_nodes()[0]).host();
+  const HostId login = cluster.node(session.node).host();
+  // alice needs a job on the compute node for realism; listener there.
+  sched::JobSpec spec;
+  spec.duration_ns = 3600 * kSecond;
+  auto job = cluster.submit(session, spec);
+  cluster.scheduler().step();
+  (void)job;
+  (void)cluster.network().listen(h0, session.cred, session.shell,
+                                 net::Proto::tcp, 9000);
+  auto flow = cluster.network().connect(login, session.cred,
+                                        session.shell, h0, net::Proto::tcp,
+                                        9000);
+  std::string payload(1024, 'p');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster.network().send(
+        *flow, net::FlowEnd::client, payload));
+    (void)cluster.network().recv(*flow, net::FlowEnd::server);
+  }
+  state.SetLabel(hardened ? "hardened (UBF attached)" : "baseline");
+}
+
+BENCHMARK(BM_EstablishedFlowSend)->Arg(0)->Arg(1);
+
+void BM_ProcfsOwnProcesses(benchmark::State& state) {
+  const bool hardened = state.range(0) != 0;
+  Cluster cluster(config(hardened ? SeparationPolicy::hardened()
+                                  : SeparationPolicy::baseline()));
+  const Uid alice = *cluster.add_user("alice");
+  auto session = *cluster.login(alice);
+  core::Node& node = cluster.node(session.node);
+  for (int i = 0; i < 64; ++i) {
+    node.procs().spawn(session.cred, common::strformat("worker-%d", i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(node.procfs().snapshot(session.cred));
+  }
+  state.SetLabel(hardened ? "hardened (hidepid=2)" : "baseline");
+}
+
+BENCHMARK(BM_ProcfsOwnProcesses)->Arg(0)->Arg(1);
+
+// Simulated end-to-end job throughput: same workload, both policies.
+
+void throughput_report() {
+  print_banner(
+      "E12: end-to-end data-path overhead (paper §I)",
+      "Identical workload on baseline vs hardened clusters. Control-path "
+      "costs move (connection setup, epilog scrub); data-path costs and "
+      "job throughput must not. Contrast: Spectre/Meltdown mitigations "
+      "cost 15-40% on the data path.");
+
+  Table table({"metric", "baseline", "hardened", "delta"});
+  struct Sample {
+    double send_us;
+    double conn_us;
+    double jobs_per_hour;
+    double scrub_ms;
+  };
+  auto run = [&](SeparationPolicy policy) {
+    Cluster cluster(config(policy));
+    const Uid alice = *cluster.add_user("alice");
+    auto session = *cluster.login(alice);
+
+    // Job stream: 64 one-minute single-cpu jobs (same-user, so sharing
+    // policy differences do not bias the comparison).
+    for (int i = 0; i < 64; ++i) {
+      sched::JobSpec spec;
+      spec.duration_ns = 60 * kSecond;
+      spec.gpus_per_task = (i % 4 == 0) ? 1 : 0;
+      (void)cluster.submit(session, spec);
+    }
+    const auto t0 = cluster.clock().now();
+    cluster.run_jobs();
+    const double hours =
+        (cluster.clock().now().ns - t0.ns) / (3600.0 * kSecond);
+
+    // Data path probes.
+    const HostId h0 = cluster.node(cluster.compute_nodes()[0]).host();
+    sched::JobSpec keep;
+    keep.duration_ns = 3600 * kSecond;
+    auto job = cluster.submit(session, keep);
+    cluster.scheduler().step();
+    (void)job;
+    (void)cluster.network().listen(h0, session.cred, session.shell,
+                                   net::Proto::tcp, 9000);
+    auto flow = cluster.network().connect(
+        cluster.node(session.node).host(), session.cred, session.shell,
+        h0, net::Proto::tcp, 9000);
+    const double conn_us =
+        static_cast<double>(cluster.network().last_connect_cost_ns()) /
+        1000.0;
+    (void)cluster.network().send(*flow, net::FlowEnd::client, "x");
+    const double send_us =
+        static_cast<double>(cluster.network().last_send_cost_ns()) /
+        1000.0;
+
+    // Epilog scrub cost actually charged (hardened only).
+    double scrub_ms = 0;
+    for (NodeId n : cluster.compute_nodes()) {
+      for (std::uint32_t g = 0; g < cluster.node(n).gpus().size(); ++g) {
+        scrub_ms += static_cast<double>(cluster.node(n)
+                                            .gpus()
+                                            .at(g)
+                                            .stats()
+                                            .scrubbed_bytes) /
+                    gpu::kScrubBytesPerNs / 1e6;
+      }
+    }
+    return Sample{send_us, conn_us, 64.0 / hours, scrub_ms};
+  };
+
+  const Sample base = run(SeparationPolicy::baseline());
+  const Sample hard = run(SeparationPolicy::hardened());
+
+  auto delta = [](double b, double h) {
+    if (b == 0) return std::string("-");
+    return common::strformat("%+.1f%%", (h - b) / b * 100.0);
+  };
+  table.add_row({"established send (us, data path)",
+                 common::strformat("%.3f", base.send_us),
+                 common::strformat("%.3f", hard.send_us),
+                 delta(base.send_us, hard.send_us)});
+  table.add_row({"new connection (us, control path)",
+                 common::strformat("%.2f", base.conn_us),
+                 common::strformat("%.2f", hard.conn_us),
+                 delta(base.conn_us, hard.conn_us)});
+  table.add_row({"job throughput (jobs/hour)",
+                 common::strformat("%.1f", base.jobs_per_hour),
+                 common::strformat("%.1f", hard.jobs_per_hour),
+                 delta(base.jobs_per_hour, hard.jobs_per_hour)});
+  table.add_row({"epilog GPU scrub total (ms, between jobs)",
+                 common::strformat("%.2f", base.scrub_ms),
+                 common::strformat("%.2f", hard.scrub_ms), "-"});
+  table.print();
+  std::printf(
+      "\nReading: the only nonzero deltas are on control paths (new-\n"
+      "connection setup pays the nfqueue+ident exchange; job turnaround\n"
+      "absorbs the epilog scrub). The per-packet data path and aggregate\n"
+      "throughput are unchanged — the property that makes these controls\n"
+      "deployable on an HPC system.\n");
+}
+
+}  // namespace
+}  // namespace heus::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  heus::bench::throughput_report();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E15 (extension beyond the paper; §V blast-radius framing): the shared-
+// storage flavour of misbehaving code — a runaway job filling a shared
+// filesystem — and its containment by per-user quotas.
+//
+// The paper's mechanisms close observation/interaction channels; storage
+// exhaustion is a *resource* interference channel its text does not
+// address (quotas are standard practice the paper presumes). This
+// experiment quantifies why the omission matters and what quotas buy.
+#include "bench/common/table.h"
+#include "common/strings.h"
+#include "vfs/filesystem.h"
+
+namespace heus::bench {
+namespace {
+
+using simos::Credentials;
+
+void dos_experiment() {
+  print_banner(
+      "E15: shared-storage DoS containment (extension; §V framing)",
+      "A runaway job appends to a log on shared scratch until the write "
+      "fails. Without quotas it exhausts the device and every other "
+      "user's writes fail; with quotas the damage stops at the quota.");
+
+  Table table({"configuration", "attacker wrote (MB)",
+               "device full", "victim writes ok", "victim failure"});
+  for (bool with_quota : {false, true}) {
+    common::SimClock clock;
+    simos::UserDb db;
+    vfs::FileSystem fs("scratch", &db, &clock, vfs::FsPolicy::hardened());
+    const Credentials root = simos::root_credentials();
+    (void)fs.mkdir(root, "/scratch", 0777);
+    (void)fs.chmod(root, "/scratch", 01777);
+    constexpr std::uint64_t kCapacity = 64ULL << 20;  // 64 MiB device
+    fs.set_capacity(kCapacity);
+
+    const Uid attacker = *db.create_user("runaway");
+    std::vector<Credentials> victims;
+    for (int v = 0; v < 4; ++v) {
+      const Uid uid = *db.create_user("victim" + std::to_string(v));
+      victims.push_back(*simos::login(db, uid));
+      if (with_quota) fs.set_user_quota(uid, kCapacity / 8);
+    }
+    if (with_quota) fs.set_user_quota(attacker, kCapacity / 8);
+    Credentials mallory = *simos::login(db, attacker);
+
+    // Runaway append loop (1 MiB chunks) until the filesystem says no.
+    (void)fs.write_file(mallory, "/scratch/runaway.log", "");
+    const std::string chunk(1 << 20, 'A');
+    while (fs.append_file(mallory, "/scratch/runaway.log", chunk).ok()) {
+    }
+    const double wrote_mb =
+        static_cast<double>(fs.bytes_used_by(attacker)) / (1 << 20);
+
+    // Victims try to checkpoint 1 MiB each.
+    std::size_t ok = 0;
+    Errno failure = Errno::ok;
+    for (std::size_t v = 0; v < victims.size(); ++v) {
+      auto r = fs.write_file(victims[v],
+                             common::strformat("/scratch/ckpt-%zu", v),
+                             std::string(1 << 20, 'c'));
+      if (r) {
+        ++ok;
+      } else {
+        failure = r.error();
+      }
+    }
+    table.add_row(
+        {with_quota ? "per-user quotas" : "no quotas",
+         common::strformat("%.0f", wrote_mb),
+         fs.bytes_used_total() >= kCapacity ? "yes" : "no",
+         common::strformat("%zu/%zu", ok, victims.size()),
+         failure == Errno::ok ? "-"
+                              : std::string(errno_name(failure))});
+  }
+  table.print();
+}
+
+}  // namespace
+}  // namespace heus::bench
+
+int main() {
+  heus::bench::dos_experiment();
+  return 0;
+}

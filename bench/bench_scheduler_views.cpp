@@ -1,0 +1,158 @@
+// E2 (paper §IV-B): Slurm PrivateData hides other users' jobs, usage and
+// accounting at negligible query cost.
+//
+// Measures: squeue-style query latency with and without PrivateData at
+// several queue depths, and the row counts different reader classes see.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/common/table.h"
+#include "common/strings.h"
+#include "sched/scheduler.h"
+
+namespace heus::bench {
+namespace {
+
+using common::kSecond;
+using simos::Credentials;
+
+struct SchedWorld {
+  common::SimClock clock;
+  simos::UserDb db;
+  std::unique_ptr<sched::Scheduler> scheduler;
+  std::vector<Credentials> users;
+
+  SchedWorld(std::size_t n_users, std::size_t n_jobs, bool private_data) {
+    sched::SchedulerConfig cfg;
+    cfg.private_data = private_data ? sched::PrivateData::all()
+                                    : sched::PrivateData::none();
+    scheduler = std::make_unique<sched::Scheduler>(&clock, cfg);
+    sched::NodeInfo info;
+    info.hostname = "c0";
+    info.cpus = 64;
+    info.mem_mb = 1 << 20;
+    scheduler->add_node(info);
+    for (std::size_t u = 0; u < n_users; ++u) {
+      const Uid uid = *db.create_user("user" + std::to_string(u));
+      users.push_back(*simos::login(db, uid));
+    }
+    for (std::size_t j = 0; j < n_jobs; ++j) {
+      sched::JobSpec spec;
+      spec.name = common::strformat("job-%zu", j);
+      spec.command = common::strformat("./sim --case=%zu", j);
+      spec.mem_mb_per_task = 64;
+      spec.duration_ns = 3600 * kSecond;  // stays queued/running
+      (void)scheduler->submit(users[j % users.size()], spec);
+    }
+    scheduler->step();
+  }
+};
+
+void BM_SqueueQuery(benchmark::State& state) {
+  const auto n_jobs = static_cast<std::size_t>(state.range(0));
+  const bool private_data = state.range(1) != 0;
+  SchedWorld world(32, n_jobs, private_data);
+  const Credentials& reader = world.users[0];
+  for (auto _ : state) {
+    auto view = world.scheduler->list_jobs(reader);
+    benchmark::DoNotOptimize(view);
+  }
+  state.SetLabel(common::strformat("jobs=%zu private=%d", n_jobs,
+                                   private_data ? 1 : 0));
+}
+
+BENCHMARK(BM_SqueueQuery)
+    ->ArgsProduct({{128, 1024, 8192}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_JobInfoLookup(benchmark::State& state) {
+  const bool private_data = state.range(0) != 0;
+  SchedWorld world(32, 1024, private_data);
+  const Credentials& reader = world.users[0];
+  for (auto _ : state) {
+    auto info = world.scheduler->job_info(reader, JobId{1});
+    benchmark::DoNotOptimize(info);
+  }
+  state.SetLabel(private_data ? "private" : "open");
+}
+
+BENCHMARK(BM_JobInfoLookup)->Arg(0)->Arg(1);
+
+void BM_SimulatorCapacity(benchmark::State& state) {
+  // Not a paper claim — a capacity check on the simulator itself: how
+  // fast the event loop retires a large same-user job stream. Reported
+  // as jobs/second so users can size their own experiments.
+  const auto n_jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    common::SimClock clock;
+    simos::UserDb db;
+    sched::SchedulerConfig cfg;
+    sched::Scheduler sched(&clock, cfg);
+    for (int i = 0; i < 16; ++i) {
+      sched::NodeInfo info;
+      info.hostname = "c" + std::to_string(i);
+      info.cpus = 64;
+      info.mem_mb = 1 << 20;
+      sched.add_node(info);
+    }
+    const Credentials user = *simos::login(db, *db.create_user("u"));
+    state.ResumeTiming();
+    for (std::size_t j = 0; j < n_jobs; ++j) {
+      sched::JobSpec spec;
+      spec.mem_mb_per_task = 64;
+      spec.duration_ns = static_cast<std::int64_t>(1 + j % 100) *
+                         common::kSecond;
+      (void)sched.submit(user, spec);
+    }
+    sched.run_until_drained();
+    benchmark::DoNotOptimize(sched.completed_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n_jobs));
+}
+
+BENCHMARK(BM_SimulatorCapacity)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void view_report() {
+  print_banner(
+      "E2: scheduler view filtering (paper §IV-B)",
+      "Claim: PrivateData hides foreign jobs/usage/accounting entirely; "
+      "operators retain full visibility for support work.");
+
+  SchedWorld world(/*n_users=*/32, /*n_jobs=*/1024,
+                   /*private_data=*/true);
+  const Uid op_uid = *world.db.create_user("operator1");
+  world.scheduler->add_operator(op_uid);
+  const Credentials op = *simos::login(world.db, op_uid);
+
+  Table table({"reader", "squeue-rows", "sacct-rows", "usage-rows"});
+  auto row = [&](const char* label, const Credentials& cred) {
+    table.add_row({label,
+                   std::to_string(world.scheduler->list_jobs(cred).size()),
+                   std::to_string(world.scheduler->accounting(cred).size()),
+                   std::to_string(world.scheduler->usage_by_user(cred).size())});
+  };
+  row("ordinary user", world.users[0]);
+  row("operator", op);
+  row("root", simos::root_credentials());
+
+  world.scheduler->set_private_data(sched::PrivateData::none());
+  row("user w/o PrivateData", world.users[0]);
+  table.print();
+}
+
+}  // namespace
+}  // namespace heus::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  heus::bench::view_report();
+  return 0;
+}

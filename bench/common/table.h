@@ -1,0 +1,56 @@
+// Minimal fixed-width table printer for experiment reports. Every bench
+// binary prints its experiment id, the workload parameters, and a table of
+// the series the paper's claim concerns; EXPERIMENTS.md reproduces these.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace heus::bench {
+
+inline void print_banner(const char* experiment, const char* claim) {
+  std::printf("\n=== %s ===\n%s\n\n", experiment, claim);
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      widths[i] = headers_[i].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        std::printf("%-*s  ", static_cast<int>(widths[i]),
+                    cells[i].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::string rule;
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      rule += std::string(widths[i], '-') + "  ";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace heus::bench

@@ -1,0 +1,96 @@
+#include "bench/common/workloads.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace heus::bench {
+
+using common::kSecond;
+
+namespace {
+
+/// Pareto-distributed duration, clamped: xm=4s, alpha=1.6 gives a median
+/// around 6 s with a long tail, cut at 30 min.
+std::int64_t heavy_tailed_duration(common::Rng& rng) {
+  const double seconds = std::min(rng.pareto(4.0, 1.6), 1800.0);
+  return static_cast<std::int64_t>(seconds * static_cast<double>(kSecond));
+}
+
+std::vector<WorkloadJob> generate(
+    const WorkloadParams& params,
+    const std::function<void(common::Rng&, sched::JobSpec&)>& shape) {
+  common::Rng rng(params.seed);
+  std::vector<WorkloadJob> jobs;
+  jobs.reserve(params.jobs);
+  std::int64_t t = 0;
+  for (std::size_t i = 0; i < params.jobs; ++i) {
+    t += static_cast<std::int64_t>(rng.exponential(
+        static_cast<double>(params.mean_interarrival_ns)));
+    WorkloadJob job;
+    job.user_index = rng.bounded(params.users);
+    job.submit_offset_ns = t;
+    job.spec.name = "synthetic-" + std::to_string(i);
+    job.spec.mem_mb_per_task = 1024;
+    job.spec.duration_ns = heavy_tailed_duration(rng);
+    // Users typically request ~2x their true runtime as the limit.
+    job.spec.time_limit_ns = job.spec.duration_ns * 2;
+    shape(rng, job.spec);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace
+
+std::vector<WorkloadJob> make_bsp_sweep(const WorkloadParams& params) {
+  return generate(params, [](common::Rng& rng, sched::JobSpec& spec) {
+    spec.num_tasks = 1;
+    spec.cpus_per_task = 1;
+    // Sweeps are short: compress the tail further.
+    spec.duration_ns = std::min<std::int64_t>(spec.duration_ns,
+                                              120 * kSecond);
+    spec.time_limit_ns = spec.duration_ns * 2;
+    (void)rng;
+  });
+}
+
+std::vector<WorkloadJob> make_mixed(const WorkloadParams& params) {
+  return generate(params, [](common::Rng& rng, sched::JobSpec& spec) {
+    const double roll = rng.uniform01();
+    if (roll < 0.70) {
+      spec.num_tasks = static_cast<unsigned>(rng.uniform_int(1, 4));
+    } else if (roll < 0.90) {
+      spec.num_tasks = static_cast<unsigned>(rng.uniform_int(8, 32));
+    } else {
+      spec.num_tasks = static_cast<unsigned>(rng.uniform_int(64, 128));
+    }
+  });
+}
+
+std::vector<WorkloadJob> make_capability(const WorkloadParams& params) {
+  return generate(params, [](common::Rng& rng, sched::JobSpec& spec) {
+    spec.num_tasks = static_cast<unsigned>(rng.uniform_int(32, 128));
+    spec.duration_ns *= 4;  // long simulations
+    spec.time_limit_ns = spec.duration_ns * 2;
+  });
+}
+
+std::vector<WorkloadJob> make_gpu_training(const WorkloadParams& params) {
+  return generate(params, [](common::Rng& rng, sched::JobSpec& spec) {
+    spec.num_tasks = static_cast<unsigned>(rng.uniform_int(1, 4));
+    spec.gpus_per_task = 1;
+    spec.duration_ns *= 2;
+    spec.time_limit_ns = spec.duration_ns * 2;
+  });
+}
+
+const std::vector<NamedWorkload>& standard_workloads() {
+  static const std::vector<NamedWorkload> roster{
+      {"bsp-sweep", &make_bsp_sweep},
+      {"mixed", &make_mixed},
+      {"capability", &make_capability},
+  };
+  return roster;
+}
+
+}  // namespace heus::bench

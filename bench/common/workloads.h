@@ -1,0 +1,60 @@
+// Synthetic workload generators for the experiment harnesses.
+//
+// The paper's production traces are not available (and are not published),
+// so the scheduling experiments run on synthetic mixes shaped like the
+// workloads its §IV-B discussion names: bulk-synchronous parameter sweeps
+// and Monte-Carlo bursts (many short, small jobs per user), plus large
+// multi-node simulations and interactive sessions. Durations are
+// heavy-tailed (Pareto), matching published HPC trace analyses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sched/types.h"
+
+namespace heus::bench {
+
+struct WorkloadJob {
+  std::size_t user_index = 0;  ///< which synthetic user submits it
+  std::int64_t submit_offset_ns = 0;
+  sched::JobSpec spec;
+};
+
+struct WorkloadParams {
+  std::size_t users = 8;
+  std::size_t jobs = 200;
+  /// Mean inter-arrival between submissions (exponential).
+  std::int64_t mean_interarrival_ns = 2 * common::kSecond;
+  std::uint64_t seed = 42;
+};
+
+/// Parameter-sweep / Monte-Carlo mix: every job is 1 task × 1 cpu, short
+/// heavy-tailed duration. The workload where per-job exclusive scheduling
+/// collapses and user-whole-node shines.
+std::vector<WorkloadJob> make_bsp_sweep(const WorkloadParams& params);
+
+/// Mixed capability mix: 70% small (1-4 tasks), 20% medium (8-32 tasks),
+/// 10% large (64-128 tasks), heavy-tailed durations.
+std::vector<WorkloadJob> make_mixed(const WorkloadParams& params);
+
+/// Large-job mix: mostly multi-node bulk-synchronous simulations.
+std::vector<WorkloadJob> make_capability(const WorkloadParams& params);
+
+/// GPU training mix: 1-4 tasks, 1 gpu per task.
+std::vector<WorkloadJob> make_gpu_training(const WorkloadParams& params);
+
+/// Human-readable name for reporting.
+using WorkloadFactory =
+    std::vector<WorkloadJob> (*)(const WorkloadParams&);
+
+struct NamedWorkload {
+  const char* name;
+  WorkloadFactory make;
+};
+
+/// The standard roster the experiments sweep.
+const std::vector<NamedWorkload>& standard_workloads();
+
+}  // namespace heus::bench

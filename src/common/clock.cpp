@@ -1,0 +1,17 @@
+#include "common/clock.h"
+
+#include <cassert>
+
+namespace heus::common {
+
+SimTime SimClock::advance(std::int64_t delta_ns) noexcept {
+  assert(delta_ns >= 0);
+  now_.ns += delta_ns;
+  return now_;
+}
+
+void SimClock::advance_to(SimTime t) noexcept {
+  if (t.ns > now_.ns) now_ = t;
+}
+
+}  // namespace heus::common

@@ -1,0 +1,47 @@
+// Deterministic simulated clock.
+//
+// Every timestamp in the simulation (job submit times, connection setup
+// latencies, scrub durations) comes from a SimClock that only moves when
+// the simulation advances it. This keeps every experiment bit-reproducible
+// across runs and machines.
+#pragma once
+
+#include <cstdint>
+
+namespace heus::common {
+
+/// Simulated time point, in nanoseconds since simulation start.
+struct SimTime {
+  std::int64_t ns = 0;
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+  constexpr SimTime operator+(std::int64_t delta_ns) const {
+    return SimTime{ns + delta_ns};
+  }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(ns) * 1e-9;
+  }
+};
+
+/// Simulated duration helpers.
+constexpr std::int64_t kMicrosecond = 1'000;
+constexpr std::int64_t kMillisecond = 1'000'000;
+constexpr std::int64_t kSecond = 1'000'000'000;
+
+/// Monotonic simulated clock. Not thread-safe by design: the simulation is
+/// single-threaded and deterministic (DESIGN.md §6).
+class SimClock {
+ public:
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Advance by `delta_ns` (>= 0). Returns the new now.
+  SimTime advance(std::int64_t delta_ns) noexcept;
+
+  /// Jump forward to `t` if it is later than now; no-op otherwise.
+  void advance_to(SimTime t) noexcept;
+
+ private:
+  SimTime now_{};
+};
+
+}  // namespace heus::common

@@ -1,0 +1,83 @@
+#include "common/errno.h"
+
+namespace heus {
+
+std::string_view errno_name(Errno e) noexcept {
+  switch (e) {
+    case Errno::ok: return "OK";
+    case Errno::eperm: return "EPERM";
+    case Errno::enoent: return "ENOENT";
+    case Errno::esrch: return "ESRCH";
+    case Errno::eio: return "EIO";
+    case Errno::ebadf: return "EBADF";
+    case Errno::eacces: return "EACCES";
+    case Errno::eexist: return "EEXIST";
+    case Errno::enotdir: return "ENOTDIR";
+    case Errno::eisdir: return "EISDIR";
+    case Errno::einval: return "EINVAL";
+    case Errno::enfile: return "ENFILE";
+    case Errno::enospc: return "ENOSPC";
+    case Errno::erofs: return "EROFS";
+    case Errno::enametoolong: return "ENAMETOOLONG";
+    case Errno::enotempty: return "ENOTEMPTY";
+    case Errno::eloop: return "ELOOP";
+    case Errno::eaddrinuse: return "EADDRINUSE";
+    case Errno::eaddrnotavail: return "EADDRNOTAVAIL";
+    case Errno::enetunreach: return "ENETUNREACH";
+    case Errno::econnrefused: return "ECONNREFUSED";
+    case Errno::econnreset: return "ECONNRESET";
+    case Errno::enotconn: return "ENOTCONN";
+    case Errno::etimedout: return "ETIMEDOUT";
+    case Errno::ehostunreach: return "EHOSTUNREACH";
+    case Errno::ealready: return "EALREADY";
+    case Errno::eagain: return "EAGAIN";
+    case Errno::enodev: return "ENODEV";
+    case Errno::ebusy: return "EBUSY";
+    case Errno::enomem: return "ENOMEM";
+    case Errno::eoverflow: return "EOVERFLOW";
+    case Errno::enosys: return "ENOSYS";
+    case Errno::edquot: return "EDQUOT";
+  }
+  return "E???";
+}
+
+std::string_view errno_message(Errno e) noexcept {
+  switch (e) {
+    case Errno::ok: return "Success";
+    case Errno::eperm: return "Operation not permitted";
+    case Errno::enoent: return "No such file or directory";
+    case Errno::esrch: return "No such process";
+    case Errno::eio: return "I/O error";
+    case Errno::ebadf: return "Bad file descriptor";
+    case Errno::eacces: return "Permission denied";
+    case Errno::eexist: return "File exists";
+    case Errno::enotdir: return "Not a directory";
+    case Errno::eisdir: return "Is a directory";
+    case Errno::einval: return "Invalid argument";
+    case Errno::enfile: return "Too many open files in system";
+    case Errno::enospc: return "No space left on device";
+    case Errno::erofs: return "Read-only file system";
+    case Errno::enametoolong: return "File name too long";
+    case Errno::enotempty: return "Directory not empty";
+    case Errno::eloop: return "Too many levels of symbolic links";
+    case Errno::eaddrinuse: return "Address already in use";
+    case Errno::eaddrnotavail: return "Cannot assign requested address";
+    case Errno::enetunreach: return "Network is unreachable";
+    case Errno::econnrefused: return "Connection refused";
+    case Errno::econnreset: return "Connection reset by peer";
+    case Errno::enotconn: return "Socket is not connected";
+    case Errno::etimedout: return "Connection timed out";
+    case Errno::ehostunreach: return "No route to host";
+    case Errno::ealready: return "Operation already in progress";
+    case Errno::eagain: return "Resource temporarily unavailable";
+    case Errno::enodev: return "No such device";
+    case Errno::ebusy: return "Device or resource busy";
+    case Errno::enomem: return "Out of memory";
+    case Errno::eoverflow: return "Value too large for defined data type";
+    case Errno::enosys: return "Function not implemented";
+    case Errno::edquot: return "Disk quota exceeded";
+  }
+  return "Unknown error";
+}
+
+}  // namespace heus

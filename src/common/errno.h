@@ -1,0 +1,58 @@
+// POSIX-flavoured error codes for the simulated syscall surface.
+//
+// The simulation mirrors the kernel interfaces the paper's mechanisms live
+// behind (VFS, procfs, sockets, scheduler RPCs), so errors are reported the
+// way those interfaces report them: as errno values. Using the real names
+// keeps tests readable ("chmod under smask yields EPERM on the world bits"
+// reads like the kernel patch's own test plan).
+#pragma once
+
+#include <string_view>
+
+namespace heus {
+
+/// Simulated errno. Values are our own (the numeric values of the host's
+/// errno are irrelevant to the simulation); names follow POSIX.
+enum class Errno {
+  ok = 0,
+  eperm,         ///< Operation not permitted
+  enoent,        ///< No such file or directory
+  esrch,         ///< No such process
+  eio,           ///< I/O error
+  ebadf,         ///< Bad file descriptor
+  eacces,        ///< Permission denied
+  eexist,        ///< File exists
+  enotdir,       ///< Not a directory
+  eisdir,        ///< Is a directory
+  einval,        ///< Invalid argument
+  enfile,        ///< Too many open files in system
+  enospc,        ///< No space left on device
+  erofs,         ///< Read-only file system
+  enametoolong,  ///< File name too long
+  enotempty,     ///< Directory not empty
+  eloop,         ///< Too many levels of symbolic links
+  eaddrinuse,    ///< Address already in use
+  eaddrnotavail, ///< Cannot assign requested address
+  enetunreach,   ///< Network unreachable
+  econnrefused,  ///< Connection refused
+  econnreset,    ///< Connection reset by peer
+  enotconn,      ///< Socket is not connected
+  etimedout,     ///< Connection timed out
+  ehostunreach,  ///< No route to host
+  ealready,      ///< Operation already in progress
+  eagain,        ///< Resource temporarily unavailable
+  enodev,        ///< No such device
+  ebusy,         ///< Device or resource busy
+  enomem,        ///< Out of memory
+  eoverflow,     ///< Value too large
+  enosys,        ///< Function not implemented
+  edquot,        ///< Disk quota exceeded
+};
+
+/// Symbolic name ("EACCES") for diagnostics and test failure messages.
+[[nodiscard]] std::string_view errno_name(Errno e) noexcept;
+
+/// Human-readable description ("Permission denied").
+[[nodiscard]] std::string_view errno_message(Errno e) noexcept;
+
+}  // namespace heus

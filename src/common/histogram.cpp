@@ -1,0 +1,78 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace heus::common {
+
+void Histogram::add(double v) {
+  samples_.push_back(v);
+  sum_ += v;
+  sorted_valid_ = false;
+}
+
+void Histogram::merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sum_ += other.sum_;
+  sorted_valid_ = false;
+}
+
+void Histogram::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double Histogram::min() const {
+  assert(!empty());
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double Histogram::max() const {
+  assert(!empty());
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double Histogram::mean() const {
+  assert(!empty());
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::stddev() const {
+  assert(!empty());
+  const double m = mean();
+  double acc = 0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double Histogram::quantile(double q) const {
+  assert(!empty());
+  assert(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  // Nearest-rank with linear interpolation between adjacent order stats.
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::string Histogram::summary(const std::string& unit) const {
+  if (empty()) return "n=0";
+  const char* u = unit.c_str();
+  return strformat(
+      "n=%zu min=%.3f%s mean=%.3f%s p50=%.3f%s p95=%.3f%s p99=%.3f%s "
+      "max=%.3f%s",
+      count(), min(), u, mean(), u, quantile(0.5), u, quantile(0.95), u,
+      quantile(0.99), u, max(), u);
+}
+
+}  // namespace heus::common

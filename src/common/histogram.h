@@ -1,0 +1,43 @@
+// Latency/size statistics accumulator for the experiment harnesses.
+//
+// Experiments report min / mean / p50 / p95 / p99 / max the way the
+// systems-measurement literature does; this is the shared accumulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace heus::common {
+
+/// Streaming-ish statistics over double-valued samples. Samples are stored
+/// (experiments are small enough), so exact quantiles are available.
+class Histogram {
+ public:
+  void add(double v);
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Exact quantile, q in [0, 1]. Sorts lazily.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// "n=100 min=1.0 mean=2.5 p50=2.0 p95=4.0 p99=4.9 max=5.0"
+  [[nodiscard]] std::string summary(const std::string& unit = "") const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0;
+};
+
+}  // namespace heus::common

@@ -1,0 +1,70 @@
+// Strongly-typed identifiers for the simulated cluster.
+//
+// Uids, gids, pids, job ids, node ids and port numbers are all "just
+// integers" in the real system, and mixing them up is exactly the kind of
+// bug a separation-enforcement codebase cannot afford. Each gets its own
+// non-convertible type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace heus {
+
+/// CRTP-free strong integer id. `Tag` makes each instantiation a distinct
+/// type; ids of different kinds do not compare or convert.
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep v) : v_(v) {}
+
+  [[nodiscard]] constexpr Rep value() const noexcept { return v_; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+ private:
+  Rep v_ = 0;
+};
+
+struct UidTag {};
+struct GidTag {};
+struct PidTag {};
+struct JobIdTag {};
+struct NodeIdTag {};
+struct HostIdTag {};
+struct GpuIdTag {};
+struct InodeIdTag {};
+struct FlowIdTag {};
+struct SessionIdTag {};
+
+using Uid = StrongId<UidTag>;
+using Gid = StrongId<GidTag>;
+using Pid = StrongId<PidTag>;
+using JobId = StrongId<JobIdTag, std::uint64_t>;
+using NodeId = StrongId<NodeIdTag>;
+using HostId = StrongId<HostIdTag>;
+using GpuId = StrongId<GpuIdTag>;
+using InodeId = StrongId<InodeIdTag, std::uint64_t>;
+using FlowId = StrongId<FlowIdTag, std::uint64_t>;
+using SessionId = StrongId<SessionIdTag, std::uint64_t>;
+
+/// uid 0 / gid 0: the superuser, exempt from DAC checks (but, faithfully to
+/// the paper, *not* handed out to HPC users or support staff).
+inline constexpr Uid kRootUid{0};
+inline constexpr Gid kRootGid{0};
+
+}  // namespace heus
+
+// Hash support so ids can key unordered containers.
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<heus::StrongId<Tag, Rep>> {
+  size_t operator()(heus::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,32 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace heus::common {
+
+namespace {
+LogLevel g_level = LogLevel::warn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO";
+    case LogLevel::warn: return "WARN";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+namespace detail {
+void emit(LogLevel level, const std::string& msg) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[heus %-5s] %s\n", level_name(level), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace heus::common

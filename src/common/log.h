@@ -1,0 +1,49 @@
+// Minimal leveled logger.
+//
+// The simulation itself is silent by default; logging exists for example
+// programs and for debugging experiment harnesses. Output goes to stderr.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace heus::common {
+
+enum class LogLevel { debug = 0, info, warn, error, off };
+
+/// Process-wide log threshold. Defaults to `warn` so tests/benches stay
+/// quiet; examples raise it to `info`.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+namespace detail {
+void emit(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style log statement: HEUS_LOG(info) << "job " << id << " started";
+#define HEUS_LOG(level_)                                               \
+  if (::heus::common::log_level() <=                                   \
+      ::heus::common::LogLevel::level_)                                \
+  ::heus::common::detail::LogLine(::heus::common::LogLevel::level_)
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace heus::common

@@ -1,0 +1,83 @@
+// Result<T>: the return type of every simulated syscall.
+//
+// The library does not throw across its API boundary (per the project
+// conventions in DESIGN.md §6); a simulated syscall either produces a value
+// or an Errno, exactly like the kernel interfaces being modelled.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/errno.h"
+
+namespace heus {
+
+/// Value-or-errno. `Result<void>` is supported for calls that only report
+/// success/failure (chmod, unlink, setuid, ...).
+///
+/// Usage:
+///   auto r = fs.open(cred, "/home/alice/x");
+///   if (!r) return r.error();
+///   Fd fd = r.value();
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit construction from a value or an Errno keeps call sites terse:
+  //   return Errno::eacces;        // error path
+  //   return some_value;           // success path
+  Result(T value) : value_(std::move(value)), err_(Errno::ok) {}  // NOLINT
+  Result(Errno err) : err_(err) { assert(err != Errno::ok); }     // NOLINT
+
+  [[nodiscard]] bool ok() const noexcept { return err_ == Errno::ok; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] Errno error() const noexcept { return err_; }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  /// `*r` / `r->member` access, mirroring std::optional.
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Errno err_;
+};
+
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() : err_(Errno::ok) {}
+  Result(Errno err) : err_(err) {}  // NOLINT: implicit by design
+
+  [[nodiscard]] bool ok() const noexcept { return err_ == Errno::ok; }
+  explicit operator bool() const noexcept { return ok(); }
+  [[nodiscard]] Errno error() const noexcept { return err_; }
+
+ private:
+  Errno err_;
+};
+
+/// Convenience spelling for success on Result<void> paths.
+inline Result<void> ok_result() { return {}; }
+
+}  // namespace heus

@@ -1,0 +1,46 @@
+// Seeded deterministic random number generator (xoshiro256**).
+//
+// All stochastic workload generation routes through this; the standard
+// library engines are avoided because their distributions are not
+// reproducible across standard library implementations.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace heus::common {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm),
+/// seeded via splitmix64 so that any 64-bit seed produces a well-mixed
+/// state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Pareto-distributed value with scale xm and shape alpha — used for
+  /// heavy-tailed job-duration workloads.
+  double pareto(double xm, double alpha);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace heus::common

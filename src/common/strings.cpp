@@ -1,0 +1,67 @@
+#include "common/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace heus::common {
+
+std::vector<std::string> split(std::string_view s, char sep,
+                               bool keep_empty) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t pos = s.find(sep, start);
+    const std::size_t end = (pos == std::string_view::npos) ? s.size() : pos;
+    if (end > start || keep_empty) {
+      out.emplace_back(s.substr(start, end - start));
+    }
+    if (pos == std::string_view::npos) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string mode_string(unsigned mode) {
+  std::string out(9, '-');
+  static constexpr char kBits[] = "rwxrwxrwx";
+  for (int i = 0; i < 9; ++i) {
+    if (mode & (1u << (8 - i))) out[static_cast<std::size_t>(i)] = kBits[i];
+  }
+  // setuid/setgid/sticky annotations, matching ls -l.
+  if (mode & 04000) out[2] = (out[2] == 'x') ? 's' : 'S';
+  if (mode & 02000) out[5] = (out[5] == 'x') ? 's' : 'S';
+  if (mode & 01000) out[8] = (out[8] == 'x') ? 't' : 'T';
+  return out;
+}
+
+std::string strformat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace heus::common

@@ -1,0 +1,27 @@
+// Small string utilities shared across the library.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace heus::common {
+
+/// Split `s` on `sep`, dropping empty fields iff `keep_empty` is false.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep,
+                                             bool keep_empty = false);
+
+/// Join `parts` with `sep`.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Render a mode like 0750 as "rwxr-x---".
+[[nodiscard]] std::string mode_string(unsigned mode);
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string strformat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace heus::common

@@ -1,0 +1,168 @@
+// HPC container runtime (paper §IV-G), Apptainer/Singularity-style.
+//
+// HPC ("software encapsulation") containers differ from enterprise service
+// containers in exactly the ways this model captures:
+//  - No privilege escalation: the containerised process runs with the
+//    invoking user's unmodified credentials. There is no root-inside-
+//    container concept at all.
+//  - Images are immutable and built OFF the cluster (users need admin
+//    rights to build, which they do not have here); on-cluster they are
+//    read-only files.
+//  - Host passthrough: the host filesystems and network stack are passed
+//    straight through, so every separation mechanism in this library
+//    (smask, DAC, hidepid, UBF) applies unchanged inside the container.
+//  - No USB/port/storage virtualisation — those features simply do not
+//    exist, eliminating their configuration-dependent security surface.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "simos/process.h"
+#include "vfs/filesystem.h"
+
+namespace heus::container {
+
+struct ContainerIdTag {};
+using ContainerId = StrongId<ContainerIdTag, std::uint64_t>;
+
+/// An immutable software image: path -> content. Built off-cluster.
+class Image {
+ public:
+  Image(std::string name, std::map<std::string, std::string> files)
+      : name_(std::move(name)), files_(std::move(files)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool contains(const std::string& path) const {
+    return files_.contains(path);
+  }
+  [[nodiscard]] const std::string* find(const std::string& path) const {
+    auto it = files_.find(path);
+    return it == files_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] std::size_t file_count() const { return files_.size(); }
+
+ private:
+  std::string name_;
+  std::map<std::string, std::string> files_;
+};
+
+/// The filesystem a containerised process sees: image paths are read-only;
+/// everything else passes through to the host mounts *with the caller's
+/// own credentials*, so host DAC/smask decisions are identical inside and
+/// outside the container.
+class ContainerFsView {
+ public:
+  ContainerFsView(const Image* image, vfs::MountTable* host_mounts)
+      : image_(image), host_(host_mounts) {}
+
+  Result<std::string> read_file(const simos::Credentials& cred,
+                                const std::string& path) const;
+  Result<void> write_file(const simos::Credentials& cred,
+                          const std::string& path, std::string data) const;
+  Result<vfs::Stat> stat(const simos::Credentials& cred,
+                         const std::string& path) const;
+  Result<void> chmod(const simos::Credentials& cred, const std::string& path,
+                     unsigned mode) const;
+
+ private:
+  const Image* image_;
+  vfs::MountTable* host_;
+};
+
+/// A running container instance: one process, one FS view.
+struct Instance {
+  ContainerId id{};
+  const Image* image = nullptr;
+  Pid pid{};
+  simos::Credentials cred;  ///< identical to the invoking user's
+  ContainerFsView fs;
+};
+
+struct RuntimeOptions {
+  /// Whether users are permitted to run containers at all. LLSC enables
+  /// Singularity per-user/per-team; the default here is enabled.
+  bool enabled = true;
+};
+
+/// Tracks container images stored on the shared filesystem, to quantify
+/// the §IV-G operational observation: "After a few years, there are just
+/// a lot of old, unused containers littering the home directories and
+/// shared group areas … Users do not remember why they are still keeping
+/// them." Every registered image records who stored it, where, when it
+/// was created, and when it was last executed.
+class ImageRegistry {
+ public:
+  struct Entry {
+    std::string path;          ///< where the .sif lives
+    Uid owner{};
+    common::SimTime created{};
+    common::SimTime last_used{};
+    std::uint64_t run_count = 0;
+    bool clone_of_other = false;  ///< shared→copied→modified lineage
+  };
+
+  explicit ImageRegistry(const common::SimClock* clock) : clock_(clock) {}
+
+  /// Record an image dropped onto the filesystem.
+  void register_image(const std::string& path, Uid owner,
+                      bool clone_of_other = false);
+  /// Record an execution (updates last_used).
+  void touch(const std::string& path);
+  bool remove(const std::string& path);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const Entry* find(const std::string& path) const;
+
+  /// The sprawl census: images unused for longer than `max_idle_ns`.
+  [[nodiscard]] std::vector<Entry> stale(std::int64_t max_idle_ns) const;
+  /// Clone lineage count — the sharing/cloning proliferation §IV-G notes.
+  [[nodiscard]] std::size_t clone_count() const;
+
+ private:
+  const common::SimClock* clock_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// The on-cluster runtime ("apptainer exec").
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions opts = {}) : opts_(opts) {}
+
+  /// Grant/revoke container privileges for a user (LLSC enables this
+  /// selectively for teams that need it).
+  void grant(Uid uid) { granted_.insert(uid); }
+  void revoke(Uid uid) { granted_.erase(uid); }
+  [[nodiscard]] bool is_granted(Uid uid) const {
+    return granted_.contains(uid);
+  }
+
+  /// Launch `command` from `image` on a node. The process is spawned in
+  /// the node's process table with the caller's own credentials — never
+  /// elevated. EPERM when the user lacks container privileges.
+  Result<ContainerId> exec(const simos::Credentials& cred, const Image* image,
+                           const std::string& command,
+                           simos::ProcessTable* procs,
+                           vfs::MountTable* host_mounts);
+
+  Result<void> stop(ContainerId id, simos::ProcessTable* procs);
+  [[nodiscard]] const Instance* find(ContainerId id) const;
+  [[nodiscard]] std::size_t running_count() const {
+    return instances_.size();
+  }
+
+ private:
+  RuntimeOptions opts_;
+  std::set<Uid> granted_;
+  std::map<ContainerId, Instance> instances_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace heus::container

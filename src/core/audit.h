@@ -1,0 +1,127 @@
+// LeakageAuditor: active probing of cross-user channels (paper §V).
+//
+// The paper's Results section is a qualitative census: which accidental
+// data-leakage paths between users are closed by the configuration, and
+// which residual paths remain (file names in world-writable directories,
+// abstract-namespace unix sockets, native-CM InfiniBand). The auditor
+// turns that census into a measurement: for an ordered pair of users
+// (victim, observer) it actively exercises every channel the paper
+// discusses and reports open/closed, so experiments can count open
+// channels under baseline vs hardened policies and verify the residual
+// set matches the paper's list exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+
+namespace heus::core {
+
+enum class ChannelKind {
+  // §IV-A processes
+  procfs_process_list,     ///< observer sees victim's pids
+  procfs_cmdline,          ///< observer reads victim's command lines
+  // §IV-B scheduler
+  scheduler_queue,         ///< observer sees victim's queued/running jobs
+  scheduler_accounting,    ///< observer reads victim's sacct records
+  scheduler_usage,         ///< observer reads victim's usage report
+  ssh_foreign_node,        ///< observer ssh-es into victim's compute node
+  // §IV-C filesystems
+  fs_home_read,            ///< observer reads a world-chmod'ed home file
+  fs_tmp_content,          ///< observer reads victim's /tmp file content
+  fs_tmp_names,            ///< observer lists victim's /tmp file names
+  fs_devshm_content,       ///< same for /dev/shm
+  fs_acl_user_grant,       ///< victim grants observer access via setfacl
+  // §IV-D network
+  tcp_cross_user,          ///< observer connects to victim's TCP service
+  udp_cross_user,          ///< observer reaches victim's UDP service
+  abstract_uds,            ///< observer connects to victim's abstract socket
+  rdma_tcp_setup,          ///< QP brought up over a TCP control channel
+  rdma_native_cm,          ///< QP brought up via native IB CM
+  // §IV-E portal
+  portal_foreign_app,      ///< observer fetches victim's web app via portal
+  // §IV-F accelerators
+  gpu_residue,             ///< observer reads victim's stale GPU memory
+};
+
+[[nodiscard]] const char* to_string(ChannelKind kind);
+
+/// Channels the paper itself lists as remaining open even under the full
+/// configuration (§V, first paragraph).
+[[nodiscard]] bool is_documented_residual(ChannelKind kind);
+
+struct ChannelReport {
+  ChannelKind kind;
+  bool open = false;   ///< observer succeeded in crossing the boundary
+  std::string detail;  ///< what the probe saw
+};
+
+/// Result of the misbehaving-code containment probe ("blast radius", §V).
+struct BlastRadius {
+  std::size_t victims_total = 0;
+  std::size_t services_reached = 0;   ///< foreign TCP services connected to
+  std::size_t files_read = 0;         ///< foreign home/tmp files read
+  std::size_t processes_observed = 0; ///< foreign processes visible
+  std::size_t jobs_observed = 0;      ///< foreign queue entries visible
+  std::size_t port_collisions_won = 0;///< foreign ports squatted + crosstalk
+
+  [[nodiscard]] std::size_t total_effects() const {
+    return services_reached + files_read + processes_observed +
+           jobs_observed + port_collisions_won;
+  }
+};
+
+class LeakageAuditor {
+ public:
+  explicit LeakageAuditor(Cluster* cluster) : cluster_(cluster) {}
+
+  /// Probe every channel from `victim` toward `observer`. Probes create
+  /// and remove their own artifacts (files, listeners, jobs) and leave the
+  /// cluster state as they found it, modulo accounting records.
+  [[nodiscard]] std::vector<ChannelReport> audit_pair(Uid victim,
+                                                      Uid observer);
+
+  [[nodiscard]] static std::size_t open_count(
+      const std::vector<ChannelReport>& reports);
+
+  /// Channels open that the paper does NOT list as residual — i.e. policy
+  /// failures. Zero under hardened() is the headline reproduction claim.
+  [[nodiscard]] static std::size_t unexpected_open_count(
+      const std::vector<ChannelReport>& reports);
+
+  /// Render a channel census as a markdown report (for security-review
+  /// artifacts; EXPERIMENTS.md embeds the same table).
+  [[nodiscard]] static std::string to_markdown(
+      const std::vector<ChannelReport>& reports);
+
+  /// Misbehaving-code containment: run a chaos routine as `attacker`
+  /// against a population of victims that each own a service, files, and
+  /// a running job; count the attacker's cross-user effects.
+  [[nodiscard]] BlastRadius blast_radius(Uid attacker,
+                                         const std::vector<Uid>& victims);
+
+ private:
+  ChannelReport probe_procfs_list(Uid victim, Uid observer);
+  ChannelReport probe_procfs_cmdline(Uid victim, Uid observer);
+  ChannelReport probe_scheduler_queue(Uid victim, Uid observer);
+  ChannelReport probe_scheduler_accounting(Uid victim, Uid observer);
+  ChannelReport probe_scheduler_usage(Uid victim, Uid observer);
+  ChannelReport probe_ssh_foreign_node(Uid victim, Uid observer);
+  ChannelReport probe_fs_home(Uid victim, Uid observer);
+  ChannelReport probe_fs_tmp(Uid victim, Uid observer, const char* base,
+                             ChannelKind kind);
+  ChannelReport probe_fs_tmp_names(Uid victim, Uid observer);
+  ChannelReport probe_fs_acl_grant(Uid victim, Uid observer);
+  ChannelReport probe_tcp(Uid victim, Uid observer);
+  ChannelReport probe_udp(Uid victim, Uid observer);
+  ChannelReport probe_abstract_uds(Uid victim, Uid observer);
+  ChannelReport probe_rdma_tcp(Uid victim, Uid observer);
+  ChannelReport probe_rdma_cm(Uid victim, Uid observer);
+  ChannelReport probe_portal(Uid victim, Uid observer);
+  ChannelReport probe_gpu_residue(Uid victim, Uid observer);
+
+  Cluster* cluster_;
+};
+
+}  // namespace heus::core

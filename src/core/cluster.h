@@ -1,0 +1,200 @@
+// The integrated cluster: every substrate wired together under one
+// SeparationPolicy. This is the library's primary public entry point —
+// examples, tests, and experiments build a Cluster, pick a policy, and
+// exercise user-level workflows against it.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "container/runtime.h"
+#include "core/policy.h"
+#include "gpu/gpu.h"
+#include "monitor/monitor.h"
+#include "net/network.h"
+#include "net/rdma.h"
+#include "net/ubf.h"
+#include "portal/gateway.h"
+#include "sched/scheduler.h"
+#include "simos/pam.h"
+#include "simos/procfs.h"
+#include "simos/process.h"
+#include "simos/user_db.h"
+#include "vfs/filesystem.h"
+
+namespace heus::core {
+
+struct ClusterConfig {
+  unsigned compute_nodes = 8;
+  unsigned login_nodes = 1;
+  /// Interactive-debug nodes (partition "debug"): multi-user by design
+  /// even under whole-node scheduling (§IV-B) — the paper's argument for
+  /// keeping hidepid everywhere.
+  unsigned debug_nodes = 0;
+  unsigned cpus_per_node = 48;
+  std::uint64_t mem_mb_per_node = 192 * 1024;
+  unsigned gpus_per_node = 0;
+  std::size_t gpu_mem_bytes = 1 << 20;  ///< small buffers keep tests fast
+  std::string partition = "normal";
+  SeparationPolicy policy{};
+  std::uint64_t seed = 42;
+};
+
+/// An interactive login/SSH session: a shell process on some node.
+struct Session {
+  simos::Credentials cred;
+  NodeId node{};
+  Pid shell{};
+};
+
+/// One physical node: its process table, procfs view, local filesystem
+/// (/tmp, /dev/shm, /dev), GPUs, and mount table (local + shared).
+class Node {
+ public:
+  Node(NodeId id, std::string hostname, HostId host,
+       const simos::UserDb* users, common::SimClock* clock,
+       unsigned gpus, std::size_t gpu_mem_bytes, vfs::FsPolicy fs_policy,
+       vfs::FileSystem* shared_fs);
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const std::string& hostname() const { return hostname_; }
+  [[nodiscard]] HostId host() const { return host_; }
+
+  [[nodiscard]] simos::ProcessTable& procs() { return procs_; }
+  [[nodiscard]] const simos::ProcessTable& procs() const { return procs_; }
+  [[nodiscard]] simos::ProcFs& procfs() { return procfs_; }
+  [[nodiscard]] const simos::ProcFs& procfs() const { return procfs_; }
+  [[nodiscard]] vfs::FileSystem& local_fs() { return local_fs_; }
+  [[nodiscard]] vfs::MountTable& mounts() { return mounts_; }
+  [[nodiscard]] gpu::GpuSet& gpus() { return gpus_; }
+  [[nodiscard]] const gpu::GpuSet& gpus() const { return gpus_; }
+
+  /// The /dev path of GPU `index` on this node.
+  [[nodiscard]] static std::string gpu_dev_path(std::uint32_t index);
+
+ private:
+  NodeId id_;
+  std::string hostname_;
+  HostId host_;
+  simos::ProcessTable procs_;
+  simos::ProcFs procfs_;
+  vfs::FileSystem local_fs_;
+  vfs::MountTable mounts_;
+  gpu::GpuSet gpus_;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  // Non-copyable, non-movable: subsystems hold stable pointers into it.
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // ---- policy ---------------------------------------------------------
+
+  /// Reconfigure every subsystem to `policy`. Applies immediately (procfs
+  /// remounts, UBF attach/detach, fs flags, scheduler settings). GPU /dev
+  /// modes for *unallocated* devices are reset to match.
+  void apply_policy(const SeparationPolicy& policy);
+  [[nodiscard]] const SeparationPolicy& policy() const { return policy_; }
+
+  // ---- accounts -------------------------------------------------------
+
+  /// Create a user: registry entry, UPG, and home directory (ownership per
+  /// policy.root_owned_homes).
+  Result<Uid> add_user(const std::string& name);
+
+  /// Create an approved project group plus /proj/<name> (setgid, 2770).
+  Result<Gid> create_project(const std::string& name, Uid steward);
+
+  /// Steward adds a member (delegates to UserDb; steward check inside).
+  Result<void> add_to_project(Uid steward, Gid project, Uid member);
+
+  // ---- sessions -------------------------------------------------------
+
+  /// Interactive login on a login node.
+  Result<Session> login(Uid uid);
+  /// SSH to an arbitrary node, gated by pam_slurm under the policy.
+  Result<Session> ssh(const Session& from, NodeId target);
+  void logout(Session& session);
+
+  // ---- jobs -----------------------------------------------------------
+
+  Result<JobId> submit(const Session& session, sched::JobSpec spec);
+  /// Drive the simulation until the queue drains.
+  void run_jobs() { scheduler_->run_until_drained(); }
+
+  // ---- component access ------------------------------------------------
+
+  [[nodiscard]] common::SimClock& clock() { return clock_; }
+  [[nodiscard]] simos::UserDb& users() { return users_; }
+  [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] net::Ubf& ubf() { return *ubf_; }
+  [[nodiscard]] net::RdmaManager& rdma() { return *rdma_; }
+  [[nodiscard]] sched::Scheduler& scheduler() { return *scheduler_; }
+  [[nodiscard]] vfs::FileSystem& shared_fs() { return *shared_fs_; }
+  [[nodiscard]] portal::Gateway& portal() { return *portal_; }
+  [[nodiscard]] container::Runtime& containers() { return containers_; }
+  [[nodiscard]] simos::SeepidService& seepid() { return *seepid_; }
+  [[nodiscard]] simos::SmaskRelaxService& smask_relax() {
+    return smask_relax_;
+  }
+  [[nodiscard]] simos::PamSlurm& pam() { return *pam_; }
+  /// Load/hotspot telemetry; attribution gated on seepid membership.
+  [[nodiscard]] monitor::Monitor& monitor() { return *monitor_; }
+
+  [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id.value()); }
+  [[nodiscard]] const Node& node(NodeId id) const {
+    return *nodes_.at(id.value());
+  }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::vector<NodeId> compute_nodes() const {
+    return compute_nodes_;
+  }
+  [[nodiscard]] std::vector<NodeId> login_nodes() const {
+    return login_nodes_;
+  }
+  [[nodiscard]] std::vector<NodeId> debug_nodes() const {
+    return debug_nodes_;
+  }
+  [[nodiscard]] HostId portal_host() const { return portal_host_; }
+
+  /// Filesystem responsible for `path` as seen from `node` (mount table).
+  [[nodiscard]] vfs::FileSystem* fs_at(NodeId node, const std::string& path);
+
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+
+ private:
+  void wire_prolog_epilog();
+  void set_gpu_dev_mode_unassigned(Node& node, std::uint32_t index);
+
+  ClusterConfig config_;
+  SeparationPolicy policy_;
+  common::SimClock clock_;
+  simos::UserDb users_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<vfs::FileSystem> shared_fs_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<NodeId> compute_nodes_;
+  std::vector<NodeId> login_nodes_;
+  std::vector<NodeId> debug_nodes_;
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  std::unique_ptr<net::Ubf> ubf_;
+  std::unique_ptr<net::RdmaManager> rdma_;
+  std::unique_ptr<simos::SeepidService> seepid_;
+  simos::SmaskRelaxService smask_relax_;
+  std::unique_ptr<simos::PamSlurm> pam_;
+  std::unique_ptr<portal::Gateway> portal_;
+  std::unique_ptr<monitor::Monitor> monitor_;
+  container::Runtime containers_;
+  HostId portal_host_{};
+  Gid seepid_group_{};
+};
+
+}  // namespace heus::core

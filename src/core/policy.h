@@ -1,0 +1,59 @@
+// The paper's contribution, expressed as a single configuration object:
+// the set of enforcement knobs that, together, give every user a
+// "personal HPC" illusion on shared hardware.
+//
+// `hardened()` is the LLSC production configuration described in §IV;
+// `baseline()` is a stock Linux + Slurm install. Every knob can be toggled
+// independently, which is what the ablation experiments sweep.
+#pragma once
+
+#include "sched/scheduler.h"
+#include "simos/procfs.h"
+#include "vfs/filesystem.h"
+
+namespace heus::core {
+
+struct SeparationPolicy {
+  // §IV-A processes
+  simos::HidepidMode hidepid = simos::HidepidMode::off;
+  bool hidepid_gid_exemption = false;  ///< gid= flag + seepid tool
+
+  // §IV-B scheduler
+  sched::PrivateData private_data = sched::PrivateData::none();
+  sched::SharingPolicy sharing = sched::SharingPolicy::shared;
+  bool pam_slurm = false;  ///< ssh only to nodes with a running job
+
+  // §IV-C filesystems
+  vfs::FsPolicy fs = vfs::FsPolicy::baseline();
+  bool root_owned_homes = false;  ///< homes root-owned, group = UPG
+
+  // §IV-D network
+  bool ubf = false;              ///< user-based firewall attached
+  bool ubf_group_peers = true;   ///< rule (b): egid project-group opt-in
+
+  // §IV-F accelerators
+  bool gpu_dev_binding = false;  ///< /dev/nvidiaN chgrp'ed to UPG on alloc
+  bool gpu_epilog_scrub = false; ///< vendor scrub in the epilog
+
+  /// Stock multi-tenant cluster: everything observable, nodes shared.
+  [[nodiscard]] static SeparationPolicy baseline() { return {}; }
+
+  /// The full LLSC configuration from the paper.
+  [[nodiscard]] static SeparationPolicy hardened() {
+    SeparationPolicy p;
+    p.hidepid = simos::HidepidMode::invisible;
+    p.hidepid_gid_exemption = true;
+    p.private_data = sched::PrivateData::all();
+    p.sharing = sched::SharingPolicy::user_whole_node;
+    p.pam_slurm = true;
+    p.fs = vfs::FsPolicy::hardened();
+    p.root_owned_homes = true;
+    p.ubf = true;
+    p.ubf_group_peers = true;
+    p.gpu_dev_binding = true;
+    p.gpu_epilog_scrub = true;
+    return p;
+  }
+};
+
+}  // namespace heus::core

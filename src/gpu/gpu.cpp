@@ -1,0 +1,65 @@
+#include "gpu/gpu.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace heus::gpu {
+
+Result<void> GpuDevice::assign(Uid user) {
+  if (assigned_) return Errno::ebusy;
+  assigned_ = user;
+  ++stats_.assignments;
+  return ok_result();
+}
+
+Result<void> GpuDevice::release() {
+  if (!assigned_) return Errno::einval;
+  assigned_.reset();
+  return ok_result();
+}
+
+Result<void> GpuDevice::write(Uid user, std::size_t offset,
+                              std::string_view data) {
+  if (offset + data.size() > memory_.size()) return Errno::einval;
+  std::memcpy(memory_.data() + offset, data.data(), data.size());
+  last_writer_ = user;
+  return ok_result();
+}
+
+Result<std::string> GpuDevice::read(Uid user, std::size_t offset,
+                                    std::size_t len) {
+  if (offset + len > memory_.size()) return Errno::einval;
+  if (last_writer_ && *last_writer_ != user) {
+    // The confidentiality failure the epilog scrub exists to prevent:
+    // this read observes a previous tenant's bytes.
+    ++stats_.residue_reads;
+  }
+  return std::string(reinterpret_cast<const char*>(memory_.data()) + offset,
+                     len);
+}
+
+std::int64_t GpuDevice::scrub() {
+  std::fill(memory_.begin(), memory_.end(), std::uint8_t{0});
+  last_writer_.reset();
+  ++stats_.scrubs;
+  stats_.scrubbed_bytes += memory_.size();
+  // Round up so even tiny (test-sized) buffers charge nonzero time.
+  return std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(static_cast<double>(memory_.size()) /
+                                   kScrubBytesPerNs));
+}
+
+GpuSet::GpuSet(unsigned count, std::size_t mem_bytes_each) {
+  devices_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    devices_.emplace_back(GpuId{i}, mem_bytes_each);
+  }
+}
+
+std::int64_t GpuSet::scrub_all(const std::vector<GpuId>& indices) {
+  std::int64_t total = 0;
+  for (GpuId g : indices) total += devices_.at(g.value()).scrub();
+  return total;
+}
+
+}  // namespace heus::gpu

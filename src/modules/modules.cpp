@@ -1,0 +1,138 @@
+#include "modules/modules.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace heus::modules {
+
+std::string Environment::get(const std::string& var) const {
+  auto it = vars_.find(var);
+  return it == vars_.end() ? "" : it->second;
+}
+
+void Environment::set(const std::string& var, const std::string& value) {
+  vars_[var] = value;
+}
+
+void Environment::prepend_path(const std::string& var,
+                               const std::string& value) {
+  const std::string current = get(var);
+  vars_[var] = current.empty() ? value : value + ":" + current;
+}
+
+void Environment::remove_path(const std::string& var,
+                              const std::string& value) {
+  auto parts = common::split(get(var), ':');
+  auto it = std::find(parts.begin(), parts.end(), value);
+  if (it != parts.end()) parts.erase(it);
+  if (parts.empty()) {
+    vars_.erase(var);
+  } else {
+    vars_[var] = common::join(parts, ":");
+  }
+}
+
+Result<ModuleFile> parse_modulefile(const std::string& name,
+                                    const std::string& content) {
+  ModuleFile mod;
+  mod.name = name;
+  for (const std::string& raw : common::split(content, '\n')) {
+    if (raw.empty() || raw[0] == '#') continue;
+    const auto tokens = common::split(raw, ' ');
+    if (tokens.empty()) continue;
+    const std::string& directive = tokens[0];
+    if (directive == "whatis") {
+      mod.whatis = raw.size() > 7 ? raw.substr(7) : "";
+    } else if (directive == "prepend-path" && tokens.size() == 3) {
+      mod.prepend_paths.emplace_back(tokens[1], tokens[2]);
+    } else if (directive == "setenv" && tokens.size() == 3) {
+      mod.setenvs.emplace_back(tokens[1], tokens[2]);
+    } else if (directive == "conflict" && tokens.size() == 2) {
+      mod.conflicts.push_back(tokens[1]);
+    } else {
+      return Errno::einval;  // fail loudly on typos
+    }
+  }
+  return mod;
+}
+
+std::vector<std::string> ModuleSystem::avail(
+    const simos::Credentials& cred) const {
+  std::vector<std::string> out;
+  auto tools = fs_->readdir(cred, modulepath_);
+  if (!tools) return out;  // modulepath unreadable: nothing available
+  for (const auto& tool : *tools) {
+    if (tool.kind != vfs::FileKind::directory) continue;
+    auto versions = fs_->readdir(cred, modulepath_ + "/" + tool.name);
+    if (!versions) continue;  // project-private tool: invisible via DAC
+    for (const auto& version : *versions) {
+      // Only list modulefiles this credential could actually load.
+      const std::string path =
+          modulepath_ + "/" + tool.name + "/" + version.name;
+      if (fs_->access(cred, path, vfs::Access::read)) {
+        out.push_back(tool.name + "/" + version.name);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<void> ModuleSystem::load(const simos::Credentials& cred,
+                                const std::string& name,
+                                Environment& env) {
+  if (loaded_.contains(name)) return Errno::ealready;
+  auto content = fs_->read_file(cred, modulepath_ + "/" + name);
+  if (!content) return content.error();
+  auto mod = parse_modulefile(name, *content);
+  if (!mod) return mod.error();
+
+  // Conflicts are symmetric: loading either order fails.
+  for (const auto& [loaded_name, loaded_mod] : loaded_) {
+    const std::string family = common::split(name, '/')[0];
+    const std::string loaded_family =
+        common::split(loaded_name, '/')[0];
+    for (const std::string& conflict : mod->conflicts) {
+      if (conflict == loaded_name || conflict == loaded_family) {
+        return Errno::ebusy;
+      }
+    }
+    for (const std::string& conflict : loaded_mod.conflicts) {
+      if (conflict == name || conflict == family) return Errno::ebusy;
+    }
+  }
+
+  for (const auto& [var, value] : mod->prepend_paths) {
+    env.prepend_path(var, value);
+  }
+  for (const auto& [var, value] : mod->setenvs) env.set(var, value);
+  loaded_.emplace(name, std::move(*mod));
+  return ok_result();
+}
+
+Result<void> ModuleSystem::unload(const simos::Credentials& cred,
+                                  const std::string& name,
+                                  Environment& env) {
+  (void)cred;  // unloading needs no filesystem access
+  auto it = loaded_.find(name);
+  if (it == loaded_.end()) return Errno::enoent;
+  for (const auto& [var, value] : it->second.prepend_paths) {
+    env.remove_path(var, value);
+  }
+  for (const auto& [var, value] : it->second.setenvs) {
+    (void)value;
+    env.set(var, "");
+  }
+  loaded_.erase(it);
+  return ok_result();
+}
+
+std::vector<std::string> ModuleSystem::loaded() const {
+  std::vector<std::string> out;
+  out.reserve(loaded_.size());
+  for (const auto& [name, mod] : loaded_) out.push_back(name);
+  return out;
+}
+
+}  // namespace heus::modules

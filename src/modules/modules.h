@@ -1,0 +1,92 @@
+// Linux environment modules (paper §IV-G's recommendation).
+//
+// "We have found that shared installations of software applications are
+// better managed by providing installed applications in shared group
+// areas and enabling users to dynamically configure their environment to
+// use the applications with Linux environment modules."
+//
+// Modulefiles live on the shared filesystem, so the §IV-C machinery
+// governs who can see and use them: staff publish system-wide modules
+// world-readable via smask_relax; project-private modules sit in group
+// directories and `module avail` simply does not show them to outsiders
+// (DAC on the modulepath, not a parallel ACL system).
+//
+// The modulefile dialect is a deliberately tiny subset of Tcl modulefiles:
+//   prepend-path <VAR> <value>
+//   setenv <VAR> <value>
+//   conflict <module-name>
+//   whatis <free text>
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "simos/credentials.h"
+#include "vfs/filesystem.h"
+
+namespace heus::modules {
+
+/// A user session's environment, with enough bookkeeping to unload
+/// modules cleanly.
+class Environment {
+ public:
+  [[nodiscard]] std::string get(const std::string& var) const;
+  void set(const std::string& var, const std::string& value);
+  void prepend_path(const std::string& var, const std::string& value);
+  /// Remove one path element previously prepended.
+  void remove_path(const std::string& var, const std::string& value);
+  [[nodiscard]] const std::map<std::string, std::string>& vars() const {
+    return vars_;
+  }
+
+ private:
+  std::map<std::string, std::string> vars_;
+};
+
+/// One parsed modulefile.
+struct ModuleFile {
+  std::string name;  ///< e.g. "pytorch/2.1"
+  std::string whatis;
+  std::vector<std::pair<std::string, std::string>> prepend_paths;
+  std::vector<std::pair<std::string, std::string>> setenvs;
+  std::vector<std::string> conflicts;
+};
+
+/// Parse the modulefile dialect. Unknown directives are EINVAL (a typo in
+/// a modulefile should fail loudly, not half-configure an environment).
+Result<ModuleFile> parse_modulefile(const std::string& name,
+                                    const std::string& content);
+
+class ModuleSystem {
+ public:
+  /// `modulepath` is a directory tree on `fs`: <modulepath>/<name>/<ver>.
+  ModuleSystem(vfs::FileSystem* fs, std::string modulepath)
+      : fs_(fs), modulepath_(std::move(modulepath)) {}
+
+  /// `module avail`: every modulefile this credential can read. DAC does
+  /// the filtering — there is no module-level permission system.
+  [[nodiscard]] std::vector<std::string> avail(
+      const simos::Credentials& cred) const;
+
+  /// `module load`: apply a module to `env`. EACCES/ENOENT surface from
+  /// the filesystem; EBUSY if a loaded module conflicts.
+  Result<void> load(const simos::Credentials& cred,
+                    const std::string& name, Environment& env);
+
+  /// `module unload`: reverse a previous load. ENOENT if not loaded.
+  Result<void> unload(const simos::Credentials& cred,
+                      const std::string& name, Environment& env);
+
+  [[nodiscard]] std::vector<std::string> loaded() const;
+
+ private:
+  vfs::FileSystem* fs_;
+  std::string modulepath_;
+  std::map<std::string, ModuleFile> loaded_;
+};
+
+}  // namespace heus::modules

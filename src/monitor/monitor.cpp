@@ -1,0 +1,94 @@
+#include "monitor/monitor.h"
+
+#include <algorithm>
+
+namespace heus::monitor {
+
+std::size_t Monitor::sample() {
+  std::vector<NodeSample> snapshot;
+  snapshot.reserve(scheduler_->node_count());
+  for (std::size_t i = 0; i < scheduler_->node_count(); ++i) {
+    const NodeId node{static_cast<std::uint32_t>(i)};
+    const sched::NodeInfo* info = scheduler_->node_info(node);
+    NodeSample sample;
+    sample.node = node;
+    sample.time = clock_->now();
+    sample.cpus_total = info->cpus;
+    sample.cpus_used = info->cpus - scheduler_->node_free_cpus(node);
+    sample.down = scheduler_->node_is_down(node);
+    for (JobId job_id : scheduler_->jobs_on(node)) {
+      const sched::Job* job = scheduler_->find_job(job_id);
+      if (job == nullptr) continue;
+      for (const auto& alloc : job->allocations) {
+        if (alloc.node != node) continue;
+        sample.cpus_by_user[job->user] +=
+            alloc.tasks * job->spec.cpus_per_task;
+      }
+    }
+    snapshot.push_back(std::move(sample));
+  }
+  history_.push_back(std::move(snapshot));
+  return scheduler_->node_count();
+}
+
+std::vector<LoadPoint> Monitor::load_series() const {
+  std::vector<LoadPoint> out;
+  out.reserve(history_.size());
+  for (const auto& snapshot : history_) {
+    LoadPoint point;
+    for (const auto& sample : snapshot) {
+      point.time = sample.time;
+      point.cpus_total += sample.cpus_total;
+      point.cpus_used += sample.cpus_used;
+      if (sample.down) ++point.nodes_down;
+    }
+    out.push_back(point);
+  }
+  return out;
+}
+
+std::vector<Hotspot> Monitor::hotspots(
+    const simos::Credentials& cred) const {
+  std::vector<Hotspot> out;
+  if (history_.empty()) return out;
+  const bool staff = cred.is_root() || (is_staff_ && is_staff_(cred));
+
+  std::map<Uid, Hotspot> by_user;
+  for (const auto& sample : history_.back()) {
+    for (const auto& [uid, cpus] : sample.cpus_by_user) {
+      if (!staff && uid != cred.uid) continue;  // attribution filtered
+      Hotspot& h = by_user[uid];
+      h.user = uid;
+      h.cpus += cpus;
+      ++h.nodes;
+    }
+  }
+  out.reserve(by_user.size());
+  for (auto& [uid, h] : by_user) out.push_back(h);
+  std::sort(out.begin(), out.end(), [](const Hotspot& a, const Hotspot& b) {
+    if (a.cpus != b.cpus) return a.cpus > b.cpus;
+    return a.user < b.user;
+  });
+  return out;
+}
+
+std::vector<Monitor::NodeView> Monitor::node_views(
+    const simos::Credentials& cred) const {
+  std::vector<NodeView> out;
+  if (history_.empty()) return out;
+  const bool staff = cred.is_root() || (is_staff_ && is_staff_(cred));
+  for (const auto& sample : history_.back()) {
+    NodeView view;
+    view.node = sample.node;
+    view.cpus_total = sample.cpus_total;
+    view.cpus_used = sample.cpus_used;
+    view.down = sample.down;
+    for (const auto& [uid, cpus] : sample.cpus_by_user) {
+      if (staff || uid == cred.uid) view.attributed[uid] = cpus;
+    }
+    out.push_back(std::move(view));
+  }
+  return out;
+}
+
+}  // namespace heus::monitor

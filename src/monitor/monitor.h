@@ -1,0 +1,106 @@
+// Cluster load monitoring with per-user attribution (paper §IV-A).
+//
+// The paper's justification for `seepid` is operational: support staff
+// who are not full administrators "need … to view overall system load and
+// attribute hotspots to specific users to help troubleshoot an execution
+// script or a failed job execution". This module is that telemetry
+// pipeline, with the same information-flow rules as everything else:
+//
+//  - aggregate, non-attributable load (cluster utilization over time) is
+//    visible to everyone — it leaks nothing about individuals;
+//  - per-user attribution ("who is the hotspot") is visible only to the
+//    caller about themselves, unless the caller holds the staff privilege
+//    (root, or membership in the seepid-exempt group).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "sched/scheduler.h"
+#include "simos/credentials.h"
+
+namespace heus::monitor {
+
+/// One sampled snapshot of a node.
+struct NodeSample {
+  NodeId node{};
+  common::SimTime time{};
+  unsigned cpus_total = 0;
+  unsigned cpus_used = 0;
+  bool down = false;
+  std::map<Uid, unsigned> cpus_by_user;
+};
+
+/// Aggregate cluster load at one instant (derived, unattributed).
+struct LoadPoint {
+  common::SimTime time{};
+  unsigned cpus_total = 0;
+  unsigned cpus_used = 0;
+  unsigned nodes_down = 0;
+
+  [[nodiscard]] double utilization() const {
+    return cpus_total ? static_cast<double>(cpus_used) / cpus_total : 0.0;
+  }
+};
+
+/// A hotspot row: one user's current footprint.
+struct Hotspot {
+  Uid user{};
+  unsigned cpus = 0;
+  unsigned nodes = 0;  ///< nodes the user occupies
+};
+
+class Monitor {
+ public:
+  /// `is_staff` decides who may see cross-user attribution (wired by the
+  /// cluster to root-or-seepid-group membership).
+  using StaffCheck = std::function<bool(const simos::Credentials&)>;
+
+  Monitor(const sched::Scheduler* scheduler, const common::SimClock* clock,
+          StaffCheck is_staff)
+      : scheduler_(scheduler),
+        clock_(clock),
+        is_staff_(std::move(is_staff)) {}
+
+  /// Record a snapshot of every node right now. Returns the number of
+  /// nodes sampled. Call this from the simulation driver at whatever
+  /// cadence the experiment wants.
+  std::size_t sample();
+
+  /// Unattributed load history — open to every credential.
+  [[nodiscard]] std::vector<LoadPoint> load_series() const;
+
+  /// Current per-user hotspots, sorted by cpus descending. Ordinary users
+  /// receive only their own row; staff and root receive everyone's.
+  [[nodiscard]] std::vector<Hotspot> hotspots(
+      const simos::Credentials& cred) const;
+
+  /// Per-node occupancy of the *latest* sample, with per-user detail only
+  /// for staff (others see counts, not identities): the sinfo-style view.
+  struct NodeView {
+    NodeId node{};
+    unsigned cpus_total = 0;
+    unsigned cpus_used = 0;
+    bool down = false;
+    /// Present only for staff (or the caller's own usage otherwise).
+    std::map<Uid, unsigned> attributed;
+  };
+  [[nodiscard]] std::vector<NodeView> node_views(
+      const simos::Credentials& cred) const;
+
+  [[nodiscard]] std::size_t sample_count() const { return history_.size(); }
+  void clear() { history_.clear(); }
+
+ private:
+  const sched::Scheduler* scheduler_;
+  const common::SimClock* clock_;
+  StaffCheck is_staff_;
+  /// history_[i] is the vector of node samples for snapshot i.
+  std::vector<std::vector<NodeSample>> history_;
+};
+
+}  // namespace heus::monitor

@@ -1,0 +1,212 @@
+#include "mpi/mpi.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace heus::mpi {
+
+namespace {
+
+/// Wire format: "<tag>:<payload>". Tags are small ints; payload is
+/// opaque bytes (no ':' restriction — we split on the first one).
+std::string frame(int tag, const std::string& data) {
+  return std::to_string(tag) + ":" + data;
+}
+
+std::pair<int, std::string> unframe(const std::string& wire) {
+  const std::size_t colon = wire.find(':');
+  assert(colon != std::string::npos);
+  return {std::stoi(wire.substr(0, colon)), wire.substr(colon + 1)};
+}
+
+}  // namespace
+
+Result<World> Launcher::launch(const std::vector<RankSpec>& ranks,
+                               std::uint16_t base_port,
+                               EncryptionModel crypto) {
+  if (ranks.size() < 2) return Errno::einval;
+  if (base_port < 1024) return Errno::eacces;
+
+  World world;
+  world.ranks_ = ranks;
+  world.network_ = network_;
+  world.crypto_ = crypto;
+
+  // Every rank opens its rendezvous listener...
+  std::vector<std::uint16_t> ports(ranks.size());
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    ports[r] = static_cast<std::uint16_t>(base_port + r);
+    auto listen = network_->listen(ranks[r].host, ranks[r].cred,
+                                   ranks[r].pid, net::Proto::tcp,
+                                   ports[r]);
+    if (!listen) {
+      world.finalize(*network_);
+      return listen.error();
+    }
+  }
+  // ...then the mesh connects: rank i dials every rank j > i. Each of
+  // these is a *new connection* the firewall hook inspects.
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    for (std::size_t j = i + 1; j < ranks.size(); ++j) {
+      auto flow =
+          network_->connect(ranks[i].host, ranks[i].cred, ranks[i].pid,
+                            ranks[j].host, net::Proto::tcp, ports[j]);
+      if (!flow) {
+        // One refused rendezvous kills the whole launch — a foreign rank
+        // cannot join, and a world containing one cannot form.
+        world.finalize(*network_);
+        for (std::size_t r = 0; r < ranks.size(); ++r) {
+          (void)network_->close_listener(ranks[r].host, net::Proto::tcp,
+                                         ports[r]);
+        }
+        return flow.error();
+      }
+      world.flows_[{static_cast<int>(i), static_cast<int>(j)}] = *flow;
+    }
+  }
+  // Rendezvous complete; the listeners' job is done.
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    (void)network_->close_listener(ranks[r].host, net::Proto::tcp,
+                                   ports[r]);
+  }
+  return world;
+}
+
+Result<void> World::send(int src, int dst, int tag, std::string data) {
+  if (src == dst || src < 0 || dst < 0 || src >= size() || dst >= size()) {
+    return Errno::einval;
+  }
+  const bool forward = src < dst;
+  auto it = flows_.find(forward ? PairKey{src, dst} : PairKey{dst, src});
+  if (it == flows_.end()) return Errno::enotconn;
+
+  if (crypto_.enabled) {
+    // Option 1 strawman: every payload byte is encrypted+MAC'ed.
+    const auto cost =
+        crypto_.per_message_ns +
+        static_cast<std::int64_t>(static_cast<double>(data.size()) /
+                                  crypto_.bytes_per_ns);
+    stats_.encryption_ns += cost;
+  }
+
+  stats_.bytes += data.size();
+  ++stats_.messages;
+  auto sent = network_->send(
+      it->second, forward ? net::FlowEnd::client : net::FlowEnd::server,
+      frame(tag, data));
+  if (!sent) return sent;
+  stats_.transport_ns += network_->last_send_cost_ns();
+  return ok_result();
+}
+
+Result<std::string> World::recv(int dst, int src, int tag) {
+  if (src == dst || src < 0 || dst < 0 || src >= size() || dst >= size()) {
+    return Errno::einval;
+  }
+  // Tag-matched delivery: anything already set aside for this (src,dst,
+  // tag) goes first.
+  const auto key = std::make_tuple(src, dst, tag);
+  if (auto it = pending_.find(key);
+      it != pending_.end() && !it->second.empty()) {
+    std::string out = std::move(it->second.front());
+    it->second.erase(it->second.begin());
+    return out;
+  }
+  const bool forward = src < dst;
+  auto flow_it =
+      flows_.find(forward ? PairKey{src, dst} : PairKey{dst, src});
+  if (flow_it == flows_.end()) return Errno::enotconn;
+
+  // Drain the wire until the wanted tag appears; stash mismatches.
+  while (true) {
+    auto wire = network_->recv(
+        flow_it->second,
+        forward ? net::FlowEnd::server : net::FlowEnd::client);
+    if (!wire) return wire.error();  // EAGAIN: nothing outstanding
+    auto [got_tag, payload] = unframe(*wire);
+    if (got_tag == tag) return payload;
+    pending_[std::make_tuple(src, dst, got_tag)].push_back(
+        std::move(payload));
+  }
+}
+
+Result<void> World::barrier() {
+  // Linear fan-in to rank 0, then fan-out. (Tags 9990/9991 reserved.)
+  for (int r = 1; r < size(); ++r) {
+    if (auto s = send(r, 0, 9990, ""); !s) return s;
+    if (auto got = recv(0, r, 9990); !got) return got.error();
+  }
+  for (int r = 1; r < size(); ++r) {
+    if (auto s = send(0, r, 9991, ""); !s) return s;
+    if (auto got = recv(r, 0, 9991); !got) return got.error();
+  }
+  return ok_result();
+}
+
+Result<std::string> World::bcast(int root, std::string data) {
+  if (root < 0 || root >= size()) return Errno::einval;
+  for (int r = 0; r < size(); ++r) {
+    if (r == root) continue;
+    if (auto s = send(root, r, 9992, data); !s) return s.error();
+    if (auto got = recv(r, root, 9992); !got) return got.error();
+  }
+  return data;
+}
+
+Result<double> World::allreduce_sum(
+    const std::vector<double>& contributions) {
+  if (static_cast<int>(contributions.size()) != size()) {
+    return Errno::einval;
+  }
+  double total = contributions[0];
+  for (int r = 1; r < size(); ++r) {
+    if (auto s = send(r, 0, 9993,
+                      common::strformat("%.17g", contributions
+                                                     [static_cast<
+                                                         std::size_t>(r)]));
+        !s) {
+      return s.error();
+    }
+    auto got = recv(0, r, 9993);
+    if (!got) return got.error();
+    total += std::stod(*got);
+  }
+  auto result = bcast(0, common::strformat("%.17g", total));
+  if (!result) return result.error();
+  return std::stod(*result);
+}
+
+Result<std::vector<std::string>> World::gather(
+    int root, const std::vector<std::string>& contributions) {
+  if (root < 0 || root >= size()) return Errno::einval;
+  if (static_cast<int>(contributions.size()) != size()) {
+    return Errno::einval;
+  }
+  std::vector<std::string> out(contributions.size());
+  out[static_cast<std::size_t>(root)] =
+      contributions[static_cast<std::size_t>(root)];
+  for (int r = 0; r < size(); ++r) {
+    if (r == root) continue;
+    if (auto s = send(r, root, 9994,
+                      contributions[static_cast<std::size_t>(r)]);
+        !s) {
+      return s.error();
+    }
+    auto got = recv(root, r, 9994);
+    if (!got) return got.error();
+    out[static_cast<std::size_t>(r)] = std::move(*got);
+  }
+  return out;
+}
+
+void World::finalize(net::Network& network) {
+  for (const auto& [key, flow] : flows_) {
+    (void)network.close(flow);
+  }
+  flows_.clear();
+  pending_.clear();
+}
+
+}  // namespace heus::mpi

@@ -1,0 +1,121 @@
+// A miniature MPI-flavoured message-passing layer over the simulated
+// fabric.
+//
+// Why it exists in this reproduction: the paper's §II frames the entire
+// problem around MPI jobs ("MPI frameworks do not encrypt data or
+// authenticate peer ranks"), and §IV-D's coverage argument rests on how
+// such frameworks actually start up — a TCP rendezvous that the UBF
+// inspects. This layer reproduces that startup shape, so experiments can
+// show (a) cross-user rank joins are impossible under the UBF, (b) the
+// steady-state message path is untouched by it, and (c) what the
+// rejected "Option 1" (encrypting all MPI traffic, [33] in the paper)
+// would have cost instead.
+//
+// The API follows the MPI model (ranks, tags, collectives) without
+// pretending to be the MPI standard; it is deliberately small.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "net/network.h"
+
+namespace heus::mpi {
+
+/// One participating process.
+struct RankSpec {
+  HostId host{};
+  simos::Credentials cred;
+  Pid pid{};
+};
+
+/// Latency/throughput model for "Option 1" style payload encryption, used
+/// only by the ablation experiment: AES-NI-class ~2.5 GB/s per core plus
+/// a per-message setup cost. (The paper's Option 2 adds nothing here.)
+struct EncryptionModel {
+  bool enabled = false;
+  double bytes_per_ns = 2.5;          ///< ~2.5 GB/s
+  std::int64_t per_message_ns = 800;  ///< IV/auth-tag handling
+};
+
+struct WorldStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::int64_t transport_ns = 0;   ///< simulated fabric time
+  std::int64_t encryption_ns = 0;  ///< simulated crypto time (Option 1)
+};
+
+/// An established communicator: a fully-connected mesh of flows between
+/// `size()` ranks. Created by `launch()`; all ranks share one World
+/// object (the simulation is single-threaded, so "rank code" is ordinary
+/// code passing explicit rank indices).
+class World {
+ public:
+  [[nodiscard]] int size() const { return static_cast<int>(ranks_.size()); }
+  [[nodiscard]] const WorldStats& stats() const { return stats_; }
+  [[nodiscard]] Uid rank_uid(int rank) const {
+    return ranks_.at(static_cast<std::size_t>(rank)).cred.uid;
+  }
+
+  /// Point-to-point, tag-matched, FIFO-per-(src,dst,tag).
+  Result<void> send(int src, int dst, int tag, std::string data);
+  Result<std::string> recv(int dst, int src, int tag);
+
+  /// Collectives, implemented over point-to-point exactly as a simple MPI
+  /// would (fan-in/fan-out through `root`).
+  Result<void> barrier();
+  Result<std::string> bcast(int root, std::string data);
+  /// Every rank contributes one double; all ranks receive the sum.
+  Result<double> allreduce_sum(const std::vector<double>& contributions);
+  /// Rank `root` receives all contributions, in rank order.
+  Result<std::vector<std::string>> gather(int root,
+                                          const std::vector<std::string>&
+                                              contributions);
+
+  /// Tear down all flows.
+  void finalize(net::Network& network);
+
+ private:
+  friend class Launcher;
+
+  struct PairKey {
+    int src;
+    int dst;
+    friend auto operator<=>(const PairKey&, const PairKey&) = default;
+  };
+
+  std::vector<RankSpec> ranks_;
+  std::map<PairKey, FlowId> flows_;  ///< key normalised to src<dst
+  std::map<std::tuple<int, int, int>, std::vector<std::string>> pending_;
+  net::Network* network_ = nullptr;
+  EncryptionModel crypto_;
+  WorldStats stats_;
+};
+
+/// How the ranks exchange queue-pair/endpoint info at startup (§IV-D).
+enum class SetupPath {
+  tcp_rendezvous,  ///< TCP mesh — inspected by the UBF
+};
+
+class Launcher {
+ public:
+  explicit Launcher(net::Network* network) : network_(network) {}
+
+  /// Bring up a world: each rank listens on base_port+rank, then the mesh
+  /// is connected (every pair once). Any connection the firewall drops
+  /// aborts the launch — which is exactly how a cross-user rank infiltration
+  /// fails on the paper's systems. Ports must be >= 1024.
+  Result<World> launch(const std::vector<RankSpec>& ranks,
+                       std::uint16_t base_port,
+                       EncryptionModel crypto = {});
+
+ private:
+  net::Network* network_;
+};
+
+}  // namespace heus::mpi

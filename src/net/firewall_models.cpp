@@ -1,0 +1,56 @@
+#include "net/firewall_models.h"
+
+namespace heus::net {
+
+Verdict PpsFirewall::decide(const ConnRequest& req) const {
+  for (const Rule& rule : rules_) {
+    if (rule.proto == req.proto && req.dst_port >= rule.port_lo &&
+        req.dst_port <= rule.port_hi) {
+      ++allowed_;
+      return Verdict::accept;
+    }
+  }
+  ++denied_;
+  return Verdict::drop;
+}
+
+void PpsFirewall::attach(std::uint16_t inspect_from_port) {
+  network_->set_hook(
+      [this](const ConnRequest& req) { return decide(req); },
+      inspect_from_port);
+}
+
+std::optional<int> ZoneFirewall::zone_of(Uid uid) const {
+  auto it = zones_.find(uid);
+  if (it == zones_.end()) return std::nullopt;
+  return it->second;
+}
+
+Verdict ZoneFirewall::decide(const ConnRequest& req) {
+  // Like the UBF, the zone model needs endpoint attribution (its real
+  // deployments label traffic at the IP layer; ident is our stand-in).
+  auto listener =
+      network_->ident_lookup(req.dst_host, req.proto, req.dst_port);
+  auto initiator =
+      network_->ident_lookup(req.src_host, req.proto, req.src_port);
+  if (!listener || !initiator) {
+    ++denied_;
+    return Verdict::drop;  // fail closed
+  }
+  const auto src_zone = zone_of(initiator->uid);
+  const auto dst_zone = zone_of(listener->uid);
+  if (src_zone && dst_zone && *src_zone == *dst_zone) {
+    ++allowed_;
+    return Verdict::accept;
+  }
+  ++denied_;
+  return Verdict::drop;
+}
+
+void ZoneFirewall::attach(std::uint16_t inspect_from_port) {
+  network_->set_hook(
+      [this](const ConnRequest& req) { return decide(req); },
+      inspect_from_port);
+}
+
+}  // namespace heus::net

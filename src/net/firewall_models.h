@@ -1,0 +1,89 @@
+// Baseline firewall comparators from the paper's §IV-D argument.
+//
+// "Rather than a traditional firewall based on the source and destination,
+// along with defined ports, protocols, and services (PPS) … A traditional
+// PPS firewall would have no way to make an intelligent decision about a
+// traffic flow consisting of a novel application still in its 'version 0'
+// phase of development."  And on MAC labelling: "the coarse 'level'
+// controls of MAC-based approaches do not address the fine-grained access
+// control within a bucket needed for HPC systems."
+//
+// Both comparators are implemented as firewall hooks over the same
+// simulated fabric so experiment E16 can race them against the UBF on the
+// same traffic: per-port allowlists (PpsFirewall) and coarse user-zone
+// labels (ZoneFirewall).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/ids.h"
+#include "net/network.h"
+
+namespace heus::net {
+
+/// A traditional ports/protocols/services firewall: a static table of
+/// (proto, port-range) → allow. Default deny above the inspection floor.
+/// It can see ports, not people — precisely its §IV-D inadequacy.
+class PpsFirewall {
+ public:
+  struct Rule {
+    Proto proto = Proto::tcp;
+    std::uint16_t port_lo = 0;
+    std::uint16_t port_hi = 0;
+  };
+
+  explicit PpsFirewall(Network* network) : network_(network) {}
+
+  /// Allow a (proto, inclusive port range) service.
+  void allow(Proto proto, std::uint16_t lo, std::uint16_t hi) {
+    rules_.push_back({proto, lo, hi});
+  }
+  void allow_port(Proto proto, std::uint16_t port) {
+    allow(proto, port, port);
+  }
+
+  [[nodiscard]] Verdict decide(const ConnRequest& req) const;
+  void attach(std::uint16_t inspect_from_port = 1024);
+  void detach() { network_->clear_hook(); }
+
+  [[nodiscard]] std::uint64_t allowed() const { return allowed_; }
+  [[nodiscard]] std::uint64_t denied() const { return denied_; }
+
+ private:
+  Network* network_;
+  std::vector<Rule> rules_;
+  mutable std::uint64_t allowed_ = 0;
+  mutable std::uint64_t denied_ = 0;
+};
+
+/// A coarse MAC/zoning model (the ClusterStor-SDA style the paper's
+/// §IV-C/§IV-D discusses): every user is assigned to one zone, and
+/// traffic is permitted iff both endpoints' owners share a zone. Inside a
+/// zone there is NO finer control — the granularity failure the paper
+/// calls out.
+class ZoneFirewall {
+ public:
+  ZoneFirewall(const simos::UserDb* users, Network* network)
+      : users_(users), network_(network) {}
+
+  void assign_zone(Uid uid, int zone) { zones_[uid] = zone; }
+  [[nodiscard]] std::optional<int> zone_of(Uid uid) const;
+
+  [[nodiscard]] Verdict decide(const ConnRequest& req);
+  void attach(std::uint16_t inspect_from_port = 1024);
+  void detach() { network_->clear_hook(); }
+
+  [[nodiscard]] std::uint64_t allowed() const { return allowed_; }
+  [[nodiscard]] std::uint64_t denied() const { return denied_; }
+
+ private:
+  const simos::UserDb* users_;
+  Network* network_;
+  std::map<Uid, int> zones_;
+  std::uint64_t allowed_ = 0;
+  std::uint64_t denied_ = 0;
+};
+
+}  // namespace heus::net

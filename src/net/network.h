@@ -1,0 +1,234 @@
+// Simulated cluster network: hosts, TCP/UDP sockets, connection tracking,
+// and the nfqueue-style hook point where the user-based firewall attaches
+// (paper §IV-D).
+//
+// Fidelity notes:
+//  - Only *new* connections traverse the hook; established flows hit the
+//    conntrack table and bypass it, exactly the property that lets the UBF
+//    add zero per-packet cost.
+//  - An RFC1413-style ident service answers "which uid/egid owns local
+//    port P" for both nascent and established flows; the UBF queries it on
+//    both ends of a candidate connection.
+//  - Abstract-namespace unix domain sockets are modelled with *no*
+//    permission checks, because the paper's Results section lists them as
+//    a residual cross-user channel; the leakage auditor probes them.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "simos/credentials.h"
+
+namespace heus::net {
+
+enum class Proto { tcp, udp };
+
+/// What identd reports about the process that owns a local port.
+struct IdentInfo {
+  Uid uid{};
+  Gid egid{};
+  Pid pid{};
+};
+
+/// A connection attempt as seen by the receiving host's firewall hook.
+struct ConnRequest {
+  HostId src_host{};
+  std::uint16_t src_port = 0;
+  HostId dst_host{};
+  std::uint16_t dst_port = 0;
+  Proto proto = Proto::tcp;
+};
+
+enum class Verdict { accept, drop };
+
+/// Decision callback installed at the nfqueue hook point.
+using FirewallHook = std::function<Verdict(const ConnRequest&)>;
+
+struct Listener {
+  simos::Credentials cred;  ///< captured at listen(); egid set via newgrp/sg
+  Pid pid{};
+  std::uint16_t port = 0;
+  Proto proto = Proto::tcp;
+};
+
+enum class FlowState { established, closed };
+
+struct Flow {
+  FlowId id{};
+  Proto proto = Proto::tcp;
+  HostId client_host{};
+  std::uint16_t client_port = 0;
+  HostId server_host{};
+  std::uint16_t server_port = 0;
+  Uid client_uid{};
+  Uid server_uid{};
+  FlowState state = FlowState::established;
+  std::deque<std::string> to_server;  ///< in-flight client->server messages
+  std::deque<std::string> to_client;
+  std::uint64_t bytes = 0;
+};
+
+enum class FlowEnd { client, server };
+
+/// Simulated latency cost of network operations, in nanoseconds. These are
+/// order-of-magnitude figures for a modern cluster fabric; experiments
+/// report ratios, which are insensitive to the absolute values.
+struct LatencyModel {
+  std::int64_t base_syn_ns = 15'000;       ///< SYN handling w/o any hook
+  std::int64_t conntrack_lookup_ns = 120;  ///< established-path check
+  std::int64_t hook_dispatch_ns = 2'500;   ///< kernel->userspace nfqueue hop
+  std::int64_t ident_local_ns = 1'800;     ///< identd query on same host
+  std::int64_t ident_remote_ns = 55'000;   ///< cross-host ident RTT
+  std::int64_t per_packet_ns = 900;        ///< per-message fixed cost
+  double fabric_bytes_per_ns = 25.0;       ///< ~25 GB/s (200Gb-class link)
+};
+
+struct NetworkStats {
+  std::uint64_t connections_attempted = 0;
+  std::uint64_t connections_established = 0;
+  std::uint64_t connections_refused = 0;   ///< no listener
+  std::uint64_t connections_dropped = 0;   ///< hook verdict drop
+  std::uint64_t hook_invocations = 0;
+  std::uint64_t conntrack_hits = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t ident_queries = 0;
+};
+
+/// The cluster fabric. Single instance shared by all nodes.
+class Network {
+ public:
+  Network(const common::SimClock* clock, common::SimClock* mutable_clock)
+      : clock_(clock), mutable_clock_(mutable_clock) {}
+  explicit Network(common::SimClock* clock) : Network(clock, clock) {}
+
+  HostId add_host(const std::string& name);
+  [[nodiscard]] std::optional<HostId> find_host(
+      const std::string& name) const;
+  [[nodiscard]] const std::string& host_name(HostId h) const;
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+
+  /// Install/remove the firewall hook for *new* connections. Ports below
+  /// `inspect_from_port` are never queued to the hook (the paper deploys
+  /// the UBF on ports >= 1024; system services live below).
+  void set_hook(FirewallHook hook, std::uint16_t inspect_from_port = 1024);
+  void clear_hook();
+
+  // ---- socket API -------------------------------------------------------
+
+  Result<void> listen(HostId host, const simos::Credentials& cred, Pid pid,
+                      Proto proto, std::uint16_t port);
+  Result<void> close_listener(HostId host, Proto proto, std::uint16_t port);
+  [[nodiscard]] const Listener* find_listener(HostId host, Proto proto,
+                                              std::uint16_t port) const;
+
+  /// Establish a new connection. Runs the firewall hook (for inspected
+  /// ports), charges simulated latency, and returns the flow id.
+  Result<FlowId> connect(HostId src_host, const simos::Credentials& cred,
+                         Pid pid, HostId dst_host, Proto proto,
+                         std::uint16_t dst_port);
+
+  /// Send on an established flow: conntrack fast path, no hook.
+  Result<void> send(FlowId flow, FlowEnd from, std::string payload);
+  /// Pop the oldest undelivered message at `at` end.
+  Result<std::string> recv(FlowId flow, FlowEnd at);
+  Result<void> close(FlowId flow);
+  [[nodiscard]] const Flow* find_flow(FlowId id) const;
+
+  /// Kernel-side teardown when a user's processes on `host` are reaped
+  /// (job epilog): their listeners close and their flows reset. Returns
+  /// listeners + flows torn down.
+  std::size_t close_sockets_of(HostId host, Uid uid);
+
+  /// Power-loss teardown: every socket touching `host` vanishes
+  /// (listeners, flows, abstract sockets). Returns objects torn down.
+  std::size_t reset_host(HostId host);
+
+  // ---- ident service ----------------------------------------------------
+
+  /// RFC1413-ish: who owns `port` on `host` (listener or flow endpoint).
+  Result<IdentInfo> ident_lookup(HostId host, Proto proto,
+                                 std::uint16_t port);
+
+  // ---- abstract unix domain sockets (residual channel) ------------------
+
+  Result<void> unix_listen_abstract(HostId host,
+                                    const simos::Credentials& cred,
+                                    const std::string& name);
+  /// No permission check, by (in)design of the kernel facility: any local
+  /// user can connect to any abstract socket. Returns the listener's uid so
+  /// audits can demonstrate the cross-user rendezvous.
+  Result<Uid> unix_connect_abstract(HostId host,
+                                    const simos::Credentials& cred,
+                                    const std::string& name);
+  Result<void> unix_close_abstract(HostId host, const std::string& name);
+
+  // ---- diagnostics ------------------------------------------------------
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+  [[nodiscard]] const LatencyModel& latency() const { return latency_; }
+  void set_latency(const LatencyModel& m) { latency_ = m; }
+
+  /// Simulated nanoseconds consumed by the most recent connect() call
+  /// (includes hook + ident costs). For experiment measurement.
+  [[nodiscard]] std::int64_t last_connect_cost_ns() const {
+    return last_connect_cost_ns_;
+  }
+  [[nodiscard]] std::int64_t last_send_cost_ns() const {
+    return last_send_cost_ns_;
+  }
+
+  /// Flows currently established between two *different* users — the
+  /// auditor's definition of a cross-user network channel.
+  [[nodiscard]] std::vector<FlowId> cross_user_flows() const;
+
+ private:
+  struct HostState {
+    std::string name;
+    std::map<std::pair<int, std::uint16_t>, Listener> listeners;
+    std::map<std::string, simos::Credentials> abstract_sockets;
+    std::uint16_t next_ephemeral = 32768;
+  };
+
+  struct ConntrackKey {
+    HostId a;
+    std::uint16_t ap;
+    HostId b;
+    std::uint16_t bp;
+    int proto;
+    friend auto operator<=>(const ConntrackKey&,
+                            const ConntrackKey&) = default;
+  };
+
+  HostState& host(HostId id) { return hosts_.at(id.value()); }
+  [[nodiscard]] const HostState& host(HostId id) const {
+    return hosts_.at(id.value());
+  }
+
+  std::uint16_t alloc_ephemeral_port(HostState& h);
+  void charge(std::int64_t ns);
+
+  const common::SimClock* clock_;
+  common::SimClock* mutable_clock_;
+  std::vector<HostState> hosts_;
+  std::unordered_map<FlowId, Flow> flows_;
+  std::map<ConntrackKey, FlowId> conntrack_;
+  FirewallHook hook_;
+  std::uint16_t inspect_from_port_ = 1024;
+  LatencyModel latency_;
+  NetworkStats stats_;
+  std::uint64_t next_flow_ = 1;
+  std::int64_t last_connect_cost_ns_ = 0;
+  std::int64_t last_send_cost_ns_ = 0;
+};
+
+}  // namespace heus::net

@@ -1,0 +1,91 @@
+#include "net/rdma.h"
+
+namespace heus::net {
+
+Result<QpId> RdmaManager::setup_via_tcp(HostId local,
+                                        const simos::Credentials& cred,
+                                        Pid pid, HostId remote,
+                                        std::uint16_t rendezvous_port) {
+  auto flow = network_->connect(local, cred, pid, remote, Proto::tcp,
+                                rendezvous_port);
+  if (!flow) {
+    ++stats_.qp_setups_blocked;
+    return flow.error();
+  }
+  const Flow* f = network_->find_flow(*flow);
+  const QpId id{next_qp_++};
+  QueuePair qp;
+  qp.id = id;
+  qp.local_host = local;
+  qp.remote_host = remote;
+  qp.local_uid = cred.uid;
+  qp.remote_uid = f->server_uid;
+  qp.setup = QpSetupPath::tcp_control_channel;
+  qp.control_flow = *flow;
+  qps_.emplace(id, std::move(qp));
+  ++stats_.qp_setups_tcp;
+  return id;
+}
+
+Result<QpId> RdmaManager::setup_via_cm(HostId local,
+                                       const simos::Credentials& cred,
+                                       HostId remote, Uid remote_uid) {
+  // Nothing to consult: the CM exchange rides native IB management
+  // datagrams that the UBF never sees.
+  const QpId id{next_qp_++};
+  QueuePair qp;
+  qp.id = id;
+  qp.local_host = local;
+  qp.remote_host = remote;
+  qp.local_uid = cred.uid;
+  qp.remote_uid = remote_uid;
+  qp.setup = QpSetupPath::native_cm;
+  qps_.emplace(id, std::move(qp));
+  ++stats_.qp_setups_cm;
+  return id;
+}
+
+Result<void> RdmaManager::write(QpId id, std::string payload) {
+  auto it = qps_.find(id);
+  if (it == qps_.end()) return Errno::ebadf;
+  QueuePair& qp = it->second;
+  qp.bytes += payload.size();
+  stats_.bytes_written += payload.size();
+  ++stats_.writes;
+  qp.inbox.push_back(std::move(payload));
+  return ok_result();
+}
+
+Result<std::string> RdmaManager::poll(QpId id) {
+  auto it = qps_.find(id);
+  if (it == qps_.end()) return Errno::ebadf;
+  if (it->second.inbox.empty()) return Errno::eagain;
+  std::string out = std::move(it->second.inbox.front());
+  it->second.inbox.pop_front();
+  return out;
+}
+
+Result<void> RdmaManager::destroy(QpId id) {
+  auto it = qps_.find(id);
+  if (it == qps_.end()) return Errno::ebadf;
+  if (it->second.control_flow) {
+    (void)network_->close(*it->second.control_flow);
+  }
+  qps_.erase(it);
+  return ok_result();
+}
+
+const QueuePair* RdmaManager::find(QpId id) const {
+  auto it = qps_.find(id);
+  return it == qps_.end() ? nullptr : &it->second;
+}
+
+std::vector<QpId> RdmaManager::cross_user_qps() const {
+  std::vector<QpId> out;
+  for (const auto& [id, qp] : qps_) {
+    if (qp.local_uid != qp.remote_uid) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace heus::net

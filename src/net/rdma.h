@@ -1,0 +1,87 @@
+// InfiniBand/RDMA coverage model (paper §IV-D and appendix).
+//
+// The UBF controls RDMA *indirectly*: most frameworks bring up their queue
+// pairs (QPs) over a TCP control channel, which the UBF inspects; an
+// application that uses the native IB connection manager (CM) for QP setup
+// bypasses the UBF entirely — the paper names this as a residual channel.
+// Both paths are modelled so the coverage experiment (E6) can measure the
+// fraction of RDMA traffic the UBF actually governs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "net/network.h"
+
+namespace heus::net {
+
+struct QpIdTag {};
+using QpId = StrongId<QpIdTag, std::uint64_t>;
+
+enum class QpSetupPath { tcp_control_channel, native_cm };
+
+struct QueuePair {
+  QpId id{};
+  HostId local_host{};
+  HostId remote_host{};
+  Uid local_uid{};
+  Uid remote_uid{};
+  QpSetupPath setup = QpSetupPath::tcp_control_channel;
+  std::optional<FlowId> control_flow;  ///< present on the TCP path
+  std::uint64_t bytes = 0;
+  std::deque<std::string> inbox;
+};
+
+struct RdmaStats {
+  std::uint64_t qp_setups_tcp = 0;
+  std::uint64_t qp_setups_cm = 0;
+  std::uint64_t qp_setups_blocked = 0;  ///< TCP path denied by the UBF
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+/// Manages simulated RDMA queue pairs over the simulated fabric.
+class RdmaManager {
+ public:
+  explicit RdmaManager(Network* network) : network_(network) {}
+
+  /// Bring up a QP the common way: a TCP control connection to the peer's
+  /// rendezvous port carries the QP numbers. The connection is subject to
+  /// whatever firewall hook the network has installed, so a UBF denial
+  /// blocks the QP (ECONNREFUSED surfaces here).
+  Result<QpId> setup_via_tcp(HostId local, const simos::Credentials& cred,
+                             Pid pid, HostId remote,
+                             std::uint16_t rendezvous_port);
+
+  /// Bring up a QP through the native IB connection manager. No TCP is
+  /// involved; nothing inspects this path (the residual channel). The
+  /// remote side is identified only by its CM service id.
+  Result<QpId> setup_via_cm(HostId local, const simos::Credentials& cred,
+                            HostId remote, Uid remote_uid);
+
+  /// One-sided RDMA write to the peer. Established QPs are never
+  /// re-checked (exactly like conntrack-established TCP flows).
+  Result<void> write(QpId qp, std::string payload);
+  Result<std::string> poll(QpId qp);
+
+  Result<void> destroy(QpId qp);
+  [[nodiscard]] const QueuePair* find(QpId qp) const;
+  [[nodiscard]] const RdmaStats& stats() const { return stats_; }
+
+  /// QPs joining two different users — the residual-channel census input.
+  [[nodiscard]] std::vector<QpId> cross_user_qps() const;
+
+ private:
+  Network* network_;
+  std::unordered_map<QpId, QueuePair> qps_;
+  RdmaStats stats_;
+  std::uint64_t next_qp_ = 1;
+};
+
+}  // namespace heus::net

@@ -1,0 +1,83 @@
+// The User-Based Firewall (paper §IV-D and the reproducibility appendix).
+//
+// A userspace daemon receives *new* connection requests from the nfqueue
+// hook, performs an ident-like query against the initiating host and the
+// local listener, and accepts iff:
+//
+//   (a) the initiating and listening processes are owned by the same uid, or
+//   (b) the initiating uid is a member of the *primary (effective) group*
+//       of the listening process.
+//
+// Rule (b) is the opt-in project-group extension: a server started under
+// `newgrp <project>` accepts its project peers. Everything else is dropped.
+// Established flows never reach the daemon (conntrack handles them), so the
+// data path is unchanged — the zero-overhead property the paper leans on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "net/network.h"
+#include "simos/user_db.h"
+
+namespace heus::net {
+
+enum class UbfDecision { allow_same_user, allow_group_member, deny };
+
+struct UbfStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t allowed_same_user = 0;
+  std::uint64_t allowed_group = 0;
+  std::uint64_t denied = 0;
+  std::uint64_t ident_failures = 0;  ///< fail-closed drops
+};
+
+struct UbfOptions {
+  /// Inspect ports >= this (the appendix: "ports numbered 1024 and above").
+  std::uint16_t inspect_from_port = 1024;
+  /// Rule (b) opt-in group extension enabled.
+  bool allow_group_peers = true;
+};
+
+/// One record of a decision, for audit trails / debugging examples.
+struct UbfLogEntry {
+  ConnRequest request;
+  Uid client_uid{};
+  Uid server_uid{};
+  Gid server_egid{};
+  UbfDecision decision = UbfDecision::deny;
+};
+
+class Ubf {
+ public:
+  Ubf(const simos::UserDb* users, Network* network, UbfOptions opts = {})
+      : users_(users), network_(network), opts_(opts) {}
+
+  /// Install this daemon as the network's new-connection hook.
+  void attach();
+  /// Remove the hook (reverting to an open network).
+  void detach();
+
+  /// The decision function itself (exposed for unit tests and for the
+  /// microbenchmark of decision cost).
+  [[nodiscard]] UbfDecision decide(const ConnRequest& req);
+
+  [[nodiscard]] const UbfStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  /// Ring buffer of recent decisions (bounded).
+  [[nodiscard]] const std::vector<UbfLogEntry>& log() const { return log_; }
+  void set_log_limit(std::size_t n) { log_limit_ = n; }
+
+ private:
+  const simos::UserDb* users_;
+  Network* network_;
+  UbfOptions opts_;
+  UbfStats stats_;
+  std::vector<UbfLogEntry> log_;
+  std::size_t log_limit_ = 256;
+};
+
+}  // namespace heus::net

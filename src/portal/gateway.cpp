@@ -1,0 +1,112 @@
+#include "portal/gateway.h"
+
+namespace heus::portal {
+
+Result<SessionId> Gateway::login(const simos::Credentials& cred) {
+  if (!users_->user_exists(cred.uid)) return Errno::eperm;
+  const SessionId token{next_session_++};
+  sessions_.emplace(token, cred);
+  ++stats_.logins;
+  return token;
+}
+
+Result<void> Gateway::logout(SessionId token) {
+  if (sessions_.erase(token) == 0) return Errno::enoent;
+  return ok_result();
+}
+
+std::optional<Uid> Gateway::session_user(SessionId token) const {
+  auto it = sessions_.find(token);
+  if (it == sessions_.end()) return std::nullopt;
+  return it->second.uid;
+}
+
+Result<AppId> Gateway::register_app(
+    const simos::Credentials& cred, Pid pid, JobId job, HostId host,
+    std::uint16_t port, const std::string& name,
+    std::function<std::string(const std::string&)> handler) {
+  // The app must belong to a real allocation: a user cannot park rogue
+  // listeners on nodes they have no job on.
+  if (!cred.is_root() &&
+      (!has_job_on_host_ || !has_job_on_host_(cred.uid, host))) {
+    return Errno::eperm;
+  }
+  auto listen = network_->listen(host, cred, pid, net::Proto::tcp, port);
+  if (!listen) return listen.error();
+
+  const AppId id{next_app_++};
+  WebApp app;
+  app.id = id;
+  app.name = name;
+  app.owner = cred.uid;
+  app.job = job;
+  app.host = host;
+  app.port = port;
+  app.handler = std::move(handler);
+  apps_.emplace(id, std::move(app));
+  return id;
+}
+
+Result<void> Gateway::unregister_app(const simos::Credentials& cred,
+                                     AppId id) {
+  auto it = apps_.find(id);
+  if (it == apps_.end()) return Errno::enoent;
+  if (!cred.is_root() && it->second.owner != cred.uid) return Errno::eperm;
+  (void)network_->close_listener(it->second.host, net::Proto::tcp,
+                                 it->second.port);
+  apps_.erase(it);
+  return ok_result();
+}
+
+Result<std::string> Gateway::request(SessionId token, AppId app_id,
+                                     const std::string& http_request) {
+  ++stats_.requests;
+  auto it = sessions_.find(token);
+  if (it == sessions_.end()) {
+    ++stats_.denied_auth;
+    return Errno::eperm;
+  }
+  const simos::Credentials& user_cred = it->second;
+
+  auto app_it = apps_.find(app_id);
+  if (app_it == apps_.end()) return Errno::enoent;
+  const WebApp& app = app_it->second;
+
+  // Forwarded hop, attributed to the authenticated user. The UBF (if
+  // attached to the fabric) makes the allow/deny decision here.
+  auto flow = network_->connect(portal_host_, user_cred, Pid{}, app.host,
+                                net::Proto::tcp, app.port);
+  if (!flow) {
+    ++stats_.denied_network;
+    return flow.error();
+  }
+  auto sent = network_->send(*flow, net::FlowEnd::client, http_request);
+  if (!sent) return sent.error();
+  auto delivered = network_->recv(*flow, net::FlowEnd::server);
+  if (!delivered) return delivered.error();
+  const std::string response =
+      app.handler ? app.handler(*delivered) : std::string{};
+  (void)network_->send(*flow, net::FlowEnd::server, response);
+  auto back = network_->recv(*flow, net::FlowEnd::client);
+  (void)network_->close(*flow);
+  if (!back) return back.error();
+  ++stats_.forwarded;
+  return *back;
+}
+
+std::vector<AppId> Gateway::list_apps(SessionId token) const {
+  std::vector<AppId> out;
+  auto user = session_user(token);
+  if (!user) return out;
+  for (const auto& [id, app] : apps_) {
+    if (app.owner == *user) out.push_back(id);
+  }
+  return out;
+}
+
+const WebApp* Gateway::find_app(AppId id) const {
+  auto it = apps_.find(id);
+  return it == apps_.end() ? nullptr : &it->second;
+}
+
+}  // namespace heus::portal

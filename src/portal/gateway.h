@@ -1,0 +1,108 @@
+// Web portal / gateway (paper §IV-E).
+//
+// Compute-node web applications (Jupyter, TensorBoard, ...) are reached
+// through a central portal instead of ad-hoc SSH port forwarding. The
+// portal authenticates the browser session, then forwards the request over
+// the cluster fabric *as the authenticated user*, so the user-based
+// firewall's rules govern the full path: an authenticated user B still
+// cannot reach user A's notebook, because the UBF sees B connecting to a
+// listener owned by A and drops it. Apps can be launched on any compute
+// node in any partition — there is no dedicated "web partition".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "net/network.h"
+#include "simos/user_db.h"
+
+namespace heus::portal {
+
+struct AppIdTag {};
+using AppId = StrongId<AppIdTag, std::uint64_t>;
+
+/// A web application running inside a job on a compute node. The handler
+/// stands in for the app's HTTP loop.
+struct WebApp {
+  AppId id{};
+  std::string name;
+  Uid owner{};
+  JobId job{};
+  HostId host{};
+  std::uint16_t port = 0;
+  std::function<std::string(const std::string&)> handler;
+};
+
+struct GatewayStats {
+  std::uint64_t logins = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t denied_auth = 0;     ///< bad/expired session token
+  std::uint64_t denied_network = 0;  ///< UBF dropped the forwarded hop
+};
+
+/// The HPC portal daemon. Lives on its own host on the fabric.
+class Gateway {
+ public:
+  /// `has_job_on_host` verifies at registration time that the app really
+  /// belongs to a job of that user on that node (scheduler-backed).
+  using JobCheck = std::function<bool(Uid, HostId)>;
+
+  Gateway(net::Network* network, HostId portal_host,
+          const simos::UserDb* users, JobCheck has_job_on_host)
+      : network_(network),
+        portal_host_(portal_host),
+        users_(users),
+        has_job_on_host_(std::move(has_job_on_host)) {}
+
+  // ---- browser-side ------------------------------------------------------
+
+  /// Authenticate; returns the session token for subsequent requests.
+  Result<SessionId> login(const simos::Credentials& cred);
+  Result<void> logout(SessionId token);
+
+  /// Forward an HTTP-ish request to an app through the fabric. The portal
+  /// impersonates the *authenticated* user on the forwarded hop, so the
+  /// UBF decides exactly as if the user connected directly.
+  Result<std::string> request(SessionId token, AppId app,
+                              const std::string& http_request);
+
+  /// Apps the session's user is allowed to know about (their own).
+  [[nodiscard]] std::vector<AppId> list_apps(SessionId token) const;
+
+  // ---- job-side ------------------------------------------------------------
+
+  /// Called from inside a job: start a web app listener on `host:port` and
+  /// register it with the portal. The listener is created with the job
+  /// user's credentials (post-newgrp if the app should accept group peers).
+  Result<AppId> register_app(
+      const simos::Credentials& cred, Pid pid, JobId job, HostId host,
+      std::uint16_t port, const std::string& name,
+      std::function<std::string(const std::string&)> handler);
+
+  Result<void> unregister_app(const simos::Credentials& cred, AppId app);
+
+  [[nodiscard]] const GatewayStats& stats() const { return stats_; }
+  [[nodiscard]] const WebApp* find_app(AppId id) const;
+
+ private:
+  [[nodiscard]] std::optional<Uid> session_user(SessionId token) const;
+
+  net::Network* network_;
+  HostId portal_host_;
+  const simos::UserDb* users_;
+  JobCheck has_job_on_host_;
+  std::map<SessionId, simos::Credentials> sessions_;
+  std::map<AppId, WebApp> apps_;
+  GatewayStats stats_;
+  std::uint64_t next_session_ = 1;
+  std::uint64_t next_app_ = 1;
+};
+
+}  // namespace heus::portal

@@ -1,0 +1,703 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace heus::sched {
+
+NodeId Scheduler::add_node(const NodeInfo& info) {
+  const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
+  NodeState st;
+  st.info = info;
+  st.info.id = id;
+  st.gpu_used.assign(info.gpus, false);
+  nodes_.push_back(std::move(st));
+  return id;
+}
+
+const NodeInfo* Scheduler::node_info(NodeId id) const {
+  if (id.value() >= nodes_.size()) return nullptr;
+  return &nodes_[id.value()].info;
+}
+
+bool Scheduler::satisfiable(const Job& job) const {
+  unsigned capacity = 0;
+  for (const auto& node : nodes_) {
+    if (node.info.node_class != NodeClass::compute) continue;
+    if (node.info.partition != job.spec.partition) continue;
+    unsigned fit = node.info.cpus / job.spec.cpus_per_task;
+    fit = std::min<unsigned>(
+        fit, static_cast<unsigned>(node.info.mem_mb /
+                                   job.spec.mem_mb_per_task));
+    if (job.spec.gpus_per_task > 0) {
+      fit = std::min(fit, node.info.gpus / job.spec.gpus_per_task);
+    }
+    capacity += fit;
+    if (capacity >= job.spec.num_tasks) return true;
+  }
+  return false;
+}
+
+Result<JobId> Scheduler::submit(const simos::Credentials& cred,
+                                JobSpec spec) {
+  if (spec.num_tasks == 0 || spec.cpus_per_task == 0 ||
+      spec.mem_mb_per_task == 0 || spec.duration_ns <= 0 ||
+      spec.time_limit_ns <= 0) {
+    return Errno::einval;
+  }
+  for (JobId dep : spec.depends_on) {
+    if (!jobs_.contains(dep)) return Errno::esrch;
+  }
+  Job job;
+  job.id = JobId{next_job_++};
+  job.user = cred.uid;
+  job.group = cred.egid;
+  job.spec = std::move(spec);
+  job.submit_time = clock_->now();
+  if (!satisfiable(job)) {
+    --next_job_;
+    return Errno::einval;  // can never run in this partition
+  }
+  const JobId id = job.id;
+  jobs_.emplace(id, std::move(job));
+  queue_.push_back(id);
+  return id;
+}
+
+Result<std::vector<JobId>> Scheduler::submit_array(
+    const simos::Credentials& cred, const JobSpec& spec, unsigned count) {
+  if (count == 0 || count > 100'000) return Errno::einval;
+  std::vector<JobId> members;
+  members.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    JobSpec member = spec;
+    member.name = spec.name + "[" + std::to_string(i) + "]";
+    member.array_index = i;
+    auto id = submit(cred, std::move(member));
+    if (!id) {
+      // Roll back already-queued members so arrays are all-or-nothing.
+      for (JobId queued : members) (void)cancel(cred, queued);
+      return id.error();
+    }
+    members.push_back(*id);
+  }
+  return members;
+}
+
+Result<void> Scheduler::cancel(const simos::Credentials& cred, JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return Errno::esrch;
+  Job& job = it->second;
+  if (!cred.is_root() && cred.uid != job.user) return Errno::eperm;
+  switch (job.state) {
+    case JobState::pending: {
+      std::erase(queue_, id);
+      integrate_utilization();
+      finish_job(job, JobState::cancelled);
+      return ok_result();
+    }
+    case JobState::running: {
+      integrate_utilization();
+      finish_job(job, JobState::cancelled);
+      std::erase(running_, id);
+      dispatch();  // freed resources may admit queued work
+      return ok_result();
+    }
+    default:
+      return Errno::einval;  // already finished
+  }
+}
+
+unsigned Scheduler::tasks_fitting(const NodeState& node,
+                                  const Job& job) const {
+  if (node.down_until.has_value()) return 0;
+  if (node.info.node_class != NodeClass::compute) return 0;
+  if (node.info.partition != job.spec.partition) return 0;
+
+  const SharingPolicy policy = policy_for(job.spec.partition);
+  const bool exclusive =
+      job.spec.exclusive || policy == SharingPolicy::exclusive_job;
+  if (exclusive) {
+    // Whole empty node or nothing.
+    if (!node.tasks.empty() || node.bound_job || node.bound_user) return 0;
+  } else if (policy == SharingPolicy::user_whole_node) {
+    // A node is usable iff unowned, or owned by this same user. A node
+    // occupied by an exclusive job is owned via bound_job.
+    if (node.bound_job) return 0;
+    if (node.bound_user && *node.bound_user != job.user) return 0;
+  } else {
+    // shared: respect other jobs' exclusive bindings only.
+    if (node.bound_job) return 0;
+  }
+
+  const unsigned free_cpus = node.info.cpus - node.cpus_used;
+  const std::uint64_t free_mem = node.info.mem_mb - node.mem_used;
+  unsigned free_gpus = 0;
+  for (bool used : node.gpu_used) {
+    if (!used) ++free_gpus;
+  }
+
+  unsigned fit = free_cpus / job.spec.cpus_per_task;
+  fit = std::min<unsigned>(
+      fit, static_cast<unsigned>(free_mem / job.spec.mem_mb_per_task));
+  if (job.spec.gpus_per_task > 0) {
+    fit = std::min(fit, free_gpus / job.spec.gpus_per_task);
+  }
+  return fit;
+}
+
+bool Scheduler::try_start(Job& job) {
+  // Tentative placement pass.
+  std::vector<std::pair<std::size_t, unsigned>> plan;  // node idx, tasks
+  unsigned remaining = job.spec.num_tasks;
+  for (std::size_t i = 0; i < nodes_.size() && remaining > 0; ++i) {
+    const unsigned fit =
+        std::min(remaining, tasks_fitting(nodes_[i], job));
+    if (fit > 0) plan.emplace_back(i, fit);
+    remaining -= fit;
+  }
+  if (remaining > 0) return false;
+
+  const SharingPolicy policy = policy_for(job.spec.partition);
+  const bool exclusive =
+      job.spec.exclusive || policy == SharingPolicy::exclusive_job;
+
+  // Commit.
+  job.allocations.clear();
+  for (auto [idx, tasks] : plan) {
+    NodeState& node = nodes_[idx];
+
+    // Cross-user co-residency census: did we just co-schedule two users?
+    for (const auto& [other_id, other_tasks] : node.tasks) {
+      (void)other_tasks;
+      if (jobs_.at(other_id).user != job.user) ++cross_user_coresidency_;
+    }
+
+    node.cpus_used += tasks * job.spec.cpus_per_task;
+    node.mem_used +=
+        static_cast<std::uint64_t>(tasks) * job.spec.mem_mb_per_task;
+    Allocation alloc;
+    alloc.node = node.info.id;
+    alloc.tasks = tasks;
+    unsigned need_gpus = tasks * job.spec.gpus_per_task;
+    for (std::uint32_t g = 0; g < node.gpu_used.size() && need_gpus > 0;
+         ++g) {
+      if (!node.gpu_used[g]) {
+        node.gpu_used[g] = true;
+        alloc.gpus.push_back(GpuId{g});
+        --need_gpus;
+      }
+    }
+    assert(need_gpus == 0);
+    node.tasks[job.id] += tasks;
+    if (exclusive) node.bound_job = job.id;
+    if (policy == SharingPolicy::user_whole_node) {
+      node.bound_user = job.user;
+    }
+    job.allocations.push_back(std::move(alloc));
+  }
+
+  job.state = JobState::running;
+  job.start_time = clock_->now();
+  const std::int64_t run_ns =
+      std::min(job.spec.duration_ns, job.spec.time_limit_ns);
+  job.end_time = job.start_time + run_ns;
+  running_.push_back(job.id);
+
+  if (prolog_) {
+    for (const auto& alloc : job.allocations) {
+      prolog_(JobNodeContext{job.id, job.user, alloc.node, alloc.gpus});
+    }
+  }
+  return true;
+}
+
+void Scheduler::release_allocations(Job& job) {
+  for (const auto& alloc : job.allocations) {
+    NodeState& node = nodes_[alloc.node.value()];
+    node.cpus_used -= alloc.tasks * job.spec.cpus_per_task;
+    node.mem_used -=
+        static_cast<std::uint64_t>(alloc.tasks) * job.spec.mem_mb_per_task;
+    for (GpuId g : alloc.gpus) node.gpu_used[g.value()] = false;
+    node.tasks.erase(job.id);
+    if (node.bound_job == job.id) node.bound_job.reset();
+    if (node.tasks.empty()) node.bound_user.reset();
+  }
+}
+
+void Scheduler::finish_job(Job& job, JobState final_state) {
+  const bool was_running = (job.state == JobState::running);
+  if (was_running && epilog_) {
+    for (const auto& alloc : job.allocations) {
+      epilog_(JobNodeContext{job.id, job.user, alloc.node, alloc.gpus});
+    }
+  }
+  if (was_running) release_allocations(job);
+
+  job.state = final_state;
+  job.end_time = clock_->now();
+  if (was_running) last_completion_ = std::max(last_completion_,
+                                               job.end_time);
+
+  AccountingRecord rec;
+  rec.id = job.id;
+  rec.user = job.user;
+  rec.group = job.group;
+  rec.name = job.spec.name;
+  rec.final_state = final_state;
+  rec.submit_time = job.submit_time;
+  rec.start_time = job.start_time;
+  rec.end_time = job.end_time;
+  rec.cpus = job.total_cpus();
+  rec.cpu_ns = was_running
+                   ? static_cast<std::uint64_t>(job.end_time.ns -
+                                                job.start_time.ns) *
+                         rec.cpus
+                   : 0;
+  consumed_cpu_ns_[job.user] += rec.cpu_ns;
+  accounting_.push_back(std::move(rec));
+}
+
+void Scheduler::integrate_utilization() {
+  const common::SimTime now = clock_->now();
+  const std::int64_t dt = now.ns - last_integration_.ns;
+  if (dt <= 0) return;
+  last_integration_ = now;
+  util_.horizon_ns += dt;
+  for (const auto& node : nodes_) {
+    if (node.info.node_class != NodeClass::compute) continue;
+    util_.cpu_capacity_ns +=
+        static_cast<double>(node.info.cpus) * static_cast<double>(dt);
+    util_.cpu_busy_ns +=
+        static_cast<double>(node.cpus_used) * static_cast<double>(dt);
+    // Blocked capacity: under node-granular policies an occupied node is
+    // entirely unavailable to other users, regardless of cpus_used.
+    const bool node_fenced = node.bound_job.has_value() ||
+                             (node.bound_user.has_value() &&
+                              !node.tasks.empty());
+    const unsigned blocked = node_fenced ? node.info.cpus : node.cpus_used;
+    util_.cpu_blocked_ns +=
+        static_cast<double>(blocked) * static_cast<double>(dt);
+  }
+}
+
+common::SimTime Scheduler::head_reservation(const Job& head) const {
+  // EASY backfill: pretend each running job ends at start + time_limit,
+  // release resources in that order on a scratch copy, and find the first
+  // time the head job fits.
+  std::vector<NodeState> scratch = nodes_;
+  std::vector<const Job*> by_limit;
+  by_limit.reserve(running_.size());
+  for (JobId id : running_) by_limit.push_back(&jobs_.at(id));
+  std::sort(by_limit.begin(), by_limit.end(),
+            [](const Job* a, const Job* b) {
+              return a->start_time.ns + a->spec.time_limit_ns <
+                     b->start_time.ns + b->spec.time_limit_ns;
+            });
+
+  auto fits_now = [&]() {
+    unsigned remaining = head.spec.num_tasks;
+    for (const auto& node : scratch) {
+      // Reservation ignores user bindings (they lapse when jobs end).
+      NodeState probe = node;
+      probe.bound_user.reset();
+      probe.bound_job.reset();
+      if (!probe.tasks.empty() &&
+          (head.spec.exclusive ||
+           policy_for(head.spec.partition) ==
+               SharingPolicy::exclusive_job)) {
+        continue;
+      }
+      const unsigned fit = tasks_fitting(probe, head);
+      if (fit >= remaining) return true;
+      remaining -= std::min(remaining, fit);
+    }
+    return remaining == 0;
+  };
+
+  for (const Job* j : by_limit) {
+    // Release j on the scratch copy.
+    for (const auto& alloc : j->allocations) {
+      NodeState& node = scratch[alloc.node.value()];
+      node.cpus_used -= alloc.tasks * j->spec.cpus_per_task;
+      node.mem_used -= static_cast<std::uint64_t>(alloc.tasks) *
+                       j->spec.mem_mb_per_task;
+      for (GpuId g : alloc.gpus) node.gpu_used[g.value()] = false;
+      node.tasks.erase(j->id);
+      if (node.tasks.empty()) {
+        node.bound_user.reset();
+        node.bound_job.reset();
+      }
+    }
+    if (fits_now()) {
+      return common::SimTime{j->start_time.ns + j->spec.time_limit_ns};
+    }
+  }
+  return common::SimTime{std::numeric_limits<std::int64_t>::max()};
+}
+
+void Scheduler::order_queue() {
+  if (config_.priority != PriorityPolicy::fairshare) return;
+  // Fairshare: users with the least consumed cpu-time go first; ties
+  // break by submission order (job id), keeping the sort stable across
+  // dispatch rounds.
+  std::stable_sort(queue_.begin(), queue_.end(),
+                   [this](JobId a, JobId b) {
+                     const Job& ja = jobs_.at(a);
+                     const Job& jb = jobs_.at(b);
+                     const std::uint64_t ua =
+                         consumed_cpu_ns_.contains(ja.user)
+                             ? consumed_cpu_ns_.at(ja.user)
+                             : 0;
+                     const std::uint64_t ub =
+                         consumed_cpu_ns_.contains(jb.user)
+                             ? consumed_cpu_ns_.at(jb.user)
+                             : 0;
+                     if (ua != ub) return ua < ub;
+                     return a < b;
+                   });
+}
+
+void Scheduler::crash_node_internal(NodeId node,
+                                    std::optional<JobId> culprit) {
+  integrate_utilization();
+  NodeState& st = nodes_[node.value()];
+  ++failures_.node_crashes;
+
+  std::optional<Uid> culprit_user;
+  if (culprit) culprit_user = jobs_.at(*culprit).user;
+
+  // Snapshot: finish_job/requeue mutates st.tasks as it releases.
+  std::vector<JobId> affected;
+  for (const auto& [job_id, tasks] : st.tasks) {
+    (void)tasks;
+    affected.push_back(job_id);
+  }
+  for (JobId id : affected) {
+    Job& job = jobs_.at(id);
+    const bool is_culprit = culprit && id == *culprit;
+    if (!is_culprit) {
+      ++failures_.victim_jobs_failed;
+      if (culprit_user && job.user != *culprit_user) {
+        ++failures_.cross_user_victims;
+      }
+    } else {
+      ++failures_.culprit_jobs_failed;
+    }
+    if (!is_culprit && job.spec.requeue_on_failure) {
+      // Tear down the allocation but return the job to the queue.
+      if (epilog_) {
+        for (const auto& alloc : job.allocations) {
+          epilog_(JobNodeContext{job.id, job.user, alloc.node,
+                                 alloc.gpus});
+        }
+      }
+      release_allocations(job);
+      job.allocations.clear();
+      job.state = JobState::pending;
+      job.pending_reason = "NodeFail(requeued)";
+      queue_.push_back(id);
+      ++failures_.jobs_requeued;
+    } else {
+      finish_job(job, JobState::failed);
+    }
+    std::erase(running_, id);
+  }
+
+  st.down_until = common::SimTime{clock_->now().ns +
+                                  config_.node_reboot_ns};
+  if (node_crash_hook_) node_crash_hook_(node);
+}
+
+Result<void> Scheduler::inject_oom(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return Errno::esrch;
+  Job& job = it->second;
+  if (job.state != JobState::running || job.allocations.empty()) {
+    return Errno::einval;
+  }
+  ++failures_.oom_events;
+  crash_node_internal(job.allocations.front().node, id);
+  dispatch();
+  return ok_result();
+}
+
+Result<void> Scheduler::crash_node(NodeId node) {
+  if (node.value() >= nodes_.size()) return Errno::einval;
+  if (nodes_[node.value()].down_until.has_value()) return Errno::ebusy;
+  crash_node_internal(node, std::nullopt);
+  dispatch();
+  return ok_result();
+}
+
+bool Scheduler::node_is_down(NodeId node) const {
+  return node.value() < nodes_.size() &&
+         nodes_[node.value()].down_until.has_value();
+}
+
+Scheduler::DependencyState Scheduler::dependency_state(
+    const Job& job) const {
+  for (JobId dep : job.spec.depends_on) {
+    const auto it = jobs_.find(dep);
+    if (it == jobs_.end()) continue;  // validated at submit; be lenient
+    switch (it->second.state) {
+      case JobState::pending:
+      case JobState::running:
+        return DependencyState::waiting;
+      case JobState::completed:
+        break;  // satisfied
+      case JobState::failed:
+      case JobState::cancelled:
+      case JobState::timeout:
+        if (job.spec.dependency_afterok) {
+          return DependencyState::never;  // afterok: broken forever
+        }
+        break;  // afterany: any terminal state satisfies
+    }
+  }
+  return DependencyState::satisfied;
+}
+
+void Scheduler::dispatch() {
+  order_queue();
+
+  // Dependency pass: drop jobs whose afterok dependency failed, and skip
+  // (but keep queued) jobs whose dependencies are still in flight.
+  for (std::size_t i = 0; i < queue_.size();) {
+    Job& job = jobs_.at(queue_[i]);
+    const DependencyState dep = dependency_state(job);
+    if (dep == DependencyState::never) {
+      // Slurm: DependencyNeverSatisfied — the job is cancelled.
+      finish_job(job, JobState::cancelled);
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    ++i;
+  }
+
+  std::size_t i = 0;
+  bool head_blocked = false;
+  common::SimTime reservation{};
+  while (i < queue_.size()) {
+    Job& job = jobs_.at(queue_[i]);
+    if (dependency_state(job) == DependencyState::waiting) {
+      job.pending_reason = "Dependency";
+      ++i;
+      continue;
+    }
+    if (!head_blocked) {
+      if (try_start(job)) {
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      job.pending_reason = "Resources";
+      if (!config_.backfill) break;  // strict FCFS
+      head_blocked = true;
+      reservation = head_reservation(job);
+      ++i;
+      continue;
+    }
+    // Backfill phase: a later job may start only if it cannot delay the
+    // head job's reservation (EASY rule on time limits).
+    const common::SimTime would_end{clock_->now().ns +
+                                    job.spec.time_limit_ns};
+    if (would_end <= reservation && try_start(job)) {
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    job.pending_reason = "Priority";
+    ++i;
+  }
+}
+
+void Scheduler::step() {
+  integrate_utilization();
+  const common::SimTime now = clock_->now();
+
+  // Revive rebooted nodes.
+  for (auto& node : nodes_) {
+    if (node.down_until && *node.down_until <= now) {
+      node.down_until.reset();
+    }
+  }
+
+  // Complete due jobs in end-time order so epilogs observe a consistent
+  // sequence.
+  std::vector<JobId> due;
+  for (JobId id : running_) {
+    if (jobs_.at(id).end_time <= now) due.push_back(id);
+  }
+  std::sort(due.begin(), due.end(), [&](JobId a, JobId b) {
+    return jobs_.at(a).end_time < jobs_.at(b).end_time;
+  });
+  for (JobId id : due) {
+    Job& job = jobs_.at(id);
+    const bool timed_out = job.spec.duration_ns > job.spec.time_limit_ns;
+    finish_job(job, timed_out ? JobState::timeout : JobState::completed);
+    std::erase(running_, id);
+  }
+
+  dispatch();
+}
+
+std::optional<common::SimTime> Scheduler::next_event_time() const {
+  std::optional<common::SimTime> next;
+  for (JobId id : running_) {
+    const common::SimTime t = jobs_.at(id).end_time;
+    if (!next || t < *next) next = t;
+  }
+  // Node reboots are events too: requeued work may be waiting on them.
+  for (const auto& node : nodes_) {
+    if (node.down_until && (!next || *node.down_until < *next)) {
+      next = node.down_until;
+    }
+  }
+  return next;
+}
+
+void Scheduler::run_until_drained(common::SimTime deadline) {
+  step();
+  while (clock_->now() < deadline &&
+         (!queue_.empty() || !running_.empty())) {
+    auto next = next_event_time();
+    if (!next) break;  // pending work but nothing running: wedged
+    clock_->advance_to(std::min(*next, deadline));
+    step();
+  }
+}
+
+namespace {
+JobView make_view(const Job& job) {
+  return JobView{job.id,          job.user,
+                 job.spec.name,   job.spec.partition,
+                 job.state,       job.spec.command,
+                 job.spec.working_dir, job.submit_time,
+                 job.start_time,  job.spec.num_tasks,
+                 job.state == JobState::pending ? job.pending_reason
+                                                : std::string{}};
+}
+}  // namespace
+
+std::vector<JobView> Scheduler::list_jobs(
+    const simos::Credentials& cred) const {
+  const bool privileged =
+      cred.is_root() || operators_.contains(cred.uid);
+  std::vector<JobView> out;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state != JobState::pending && job.state != JobState::running) {
+      continue;
+    }
+    if (config_.private_data.jobs && !privileged && job.user != cred.uid) {
+      continue;
+    }
+    out.push_back(make_view(job));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const JobView& a, const JobView& b) { return a.id < b.id; });
+  return out;
+}
+
+Result<JobView> Scheduler::job_info(const simos::Credentials& cred,
+                                    JobId id) const {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return Errno::esrch;
+  const bool privileged =
+      cred.is_root() || operators_.contains(cred.uid);
+  if (config_.private_data.jobs && !privileged &&
+      it->second.user != cred.uid) {
+    // Indistinguishable from "no such job", as with Slurm PrivateData.
+    return Errno::esrch;
+  }
+  return make_view(it->second);
+}
+
+const Job* Scheduler::find_job(JobId id) const {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+std::vector<AccountingRecord> Scheduler::accounting(
+    const simos::Credentials& cred) const {
+  const bool privileged =
+      cred.is_root() || operators_.contains(cred.uid);
+  std::vector<AccountingRecord> out;
+  for (const auto& rec : accounting_) {
+    if (config_.private_data.accounting && !privileged &&
+        rec.user != cred.uid) {
+      continue;
+    }
+    out.push_back(rec);
+  }
+  return out;
+}
+
+std::map<Uid, std::uint64_t> Scheduler::usage_by_user(
+    const simos::Credentials& cred) const {
+  const bool privileged =
+      cred.is_root() || operators_.contains(cred.uid);
+  std::map<Uid, std::uint64_t> out;
+  for (const auto& rec : accounting_) {
+    if (config_.private_data.usage && !privileged &&
+        rec.user != cred.uid) {
+      continue;
+    }
+    out[rec.user] += rec.cpu_ns;
+  }
+  return out;
+}
+
+bool Scheduler::user_has_job_on(Uid uid, NodeId node) const {
+  if (node.value() >= nodes_.size()) return false;
+  for (const auto& [job_id, tasks] : nodes_[node.value()].tasks) {
+    (void)tasks;
+    if (jobs_.at(job_id).user == uid) return true;
+  }
+  return false;
+}
+
+std::vector<JobId> Scheduler::jobs_on(NodeId node) const {
+  std::vector<JobId> out;
+  if (node.value() >= nodes_.size()) return out;
+  for (const auto& [job_id, tasks] : nodes_[node.value()].tasks) {
+    (void)tasks;
+    out.push_back(job_id);
+  }
+  return out;
+}
+
+std::optional<Uid> Scheduler::node_user(NodeId node) const {
+  if (node.value() >= nodes_.size()) return std::nullopt;
+  const NodeState& st = nodes_[node.value()];
+  if (st.bound_user) return st.bound_user;
+  std::optional<Uid> user;
+  for (const auto& [job_id, tasks] : st.tasks) {
+    (void)tasks;
+    const Uid u = jobs_.at(job_id).user;
+    if (user && *user != u) return std::nullopt;  // mixed node
+    user = u;
+  }
+  return user;
+}
+
+unsigned Scheduler::node_free_cpus(NodeId node) const {
+  if (node.value() >= nodes_.size()) return 0;
+  const NodeState& st = nodes_[node.value()];
+  return st.info.cpus - st.cpus_used;
+}
+
+double Scheduler::mean_wait_ns() const {
+  double total = 0;
+  std::size_t n = 0;
+  for (const auto& rec : accounting_) {
+    if (rec.final_state == JobState::cancelled &&
+        rec.start_time.ns == 0) {
+      continue;  // never started
+    }
+    total += static_cast<double>(rec.start_time.ns - rec.submit_time.ns);
+    ++n;
+  }
+  return n > 0 ? total / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace heus::sched

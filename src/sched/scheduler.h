@@ -1,0 +1,297 @@
+// Slurm-like batch scheduler with the paper's hardening (§IV-B):
+//
+//  - `PrivateData` view filtering: squeue/sacct queries by ordinary users
+//    return only their own jobs; operators (e.g. support staff) and root
+//    see everything.
+//  - Three node-sharing policies, including LLSC's user-based whole-node
+//    scheduling: once a user's job lands on a node, only that user's jobs
+//    may co-schedule there until the node drains.
+//  - pam_slurm support: `user_has_job_on()` backs SSH admission.
+//  - Prolog/epilog hooks per (job, node) for GPU binding/scrubbing and
+//    process cleanup.
+//
+// Dispatch is FCFS with optional EASY backfill (aggressive backfill with a
+// reservation for the head job), which is what most production Slurm sites
+// run and what the utilization experiment (E3) sweeps.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "sched/types.h"
+#include "simos/credentials.h"
+
+namespace heus::sched {
+
+/// Queue ordering discipline.
+enum class PriorityPolicy {
+  fcfs,       ///< strict submission order
+  fairshare,  ///< users with less consumed cpu-time go first
+};
+
+/// Slurm's PrivateData flags, reduced to the ones the paper discusses.
+struct PrivateData {
+  bool jobs = false;        ///< hide other users' queue entries
+  bool accounting = false;  ///< hide other users' sacct records
+  bool usage = false;       ///< hide other users' utilization reports
+
+  [[nodiscard]] static PrivateData all() { return {true, true, true}; }
+  [[nodiscard]] static PrivateData none() { return {false, false, false}; }
+};
+
+struct SchedulerConfig {
+  SharingPolicy policy = SharingPolicy::shared;
+  PrivateData private_data{};
+  bool backfill = true;
+  PriorityPolicy priority = PriorityPolicy::fcfs;
+  /// How long a crashed node stays down before auto-reviving.
+  std::int64_t node_reboot_ns = 600 * common::kSecond;
+  /// Per-partition overrides of the sharing policy. The paper keeps
+  /// interactive-debug (and login/DTN) nodes multi-user even when the
+  /// cluster runs user-whole-node scheduling (§IV-B) — which is exactly
+  /// why hidepid stays necessary there.
+  std::map<std::string, SharingPolicy> partition_policy;
+};
+
+/// Failure-injection accounting (paper §IV-B motivation: "if a node fails
+/// because one of the tasks executing on it tries to use more memory than
+/// is available on the node, all of the jobs running on that same node
+/// will fail").
+struct FailureStats {
+  std::uint64_t oom_events = 0;
+  std::uint64_t node_crashes = 0;
+  std::uint64_t culprit_jobs_failed = 0;
+  std::uint64_t victim_jobs_failed = 0;      ///< co-resident collateral
+  std::uint64_t cross_user_victims = 0;      ///< collateral of OTHER users
+  std::uint64_t jobs_requeued = 0;
+};
+
+/// Cumulative utilization accounting, integrated between events.
+struct UtilizationStats {
+  std::int64_t horizon_ns = 0;       ///< integration window
+  double cpu_busy_ns = 0;            ///< Σ allocated-task cpus × dt
+  double cpu_blocked_ns = 0;         ///< Σ cpus unavailable to others × dt
+  double cpu_capacity_ns = 0;        ///< Σ total cpus × dt
+
+  [[nodiscard]] double utilization() const {
+    return cpu_capacity_ns > 0 ? cpu_busy_ns / cpu_capacity_ns : 0.0;
+  }
+  /// Fraction of capacity fenced off (allocated or policy-blocked).
+  [[nodiscard]] double blocked_fraction() const {
+    return cpu_capacity_ns > 0 ? cpu_blocked_ns / cpu_capacity_ns : 0.0;
+  }
+};
+
+/// Hook invoked on each node a job starts/ends on. `gpus` lists the gres
+/// devices bound on that node.
+struct JobNodeContext {
+  JobId job{};
+  Uid user{};
+  NodeId node{};
+  std::vector<GpuId> gpus;
+};
+using NodeHook = std::function<void(const JobNodeContext&)>;
+
+class Scheduler {
+ public:
+  Scheduler(common::SimClock* clock, SchedulerConfig config)
+      : clock_(clock), config_(config) {}
+
+  // ---- cluster assembly --------------------------------------------------
+
+  NodeId add_node(const NodeInfo& info);
+  [[nodiscard]] const NodeInfo* node_info(NodeId id) const;
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  void set_prolog(NodeHook hook) { prolog_ = std::move(hook); }
+  void set_epilog(NodeHook hook) { epilog_ = std::move(hook); }
+
+  [[nodiscard]] const SchedulerConfig& config() const { return config_; }
+  void set_policy(SharingPolicy p) { config_.policy = p; }
+  void set_partition_policy(const std::string& partition,
+                            SharingPolicy p) {
+    config_.partition_policy[partition] = p;
+  }
+  [[nodiscard]] SharingPolicy policy_for(
+      const std::string& partition) const {
+    auto it = config_.partition_policy.find(partition);
+    return it == config_.partition_policy.end() ? config_.policy
+                                                : it->second;
+  }
+  void set_private_data(PrivateData pd) { config_.private_data = pd; }
+
+  /// Operators (Slurm `Operator` privilege): exempt from PrivateData.
+  void add_operator(Uid uid) { operators_.insert(uid); }
+
+  // ---- job lifecycle -------------------------------------------------------
+
+  /// Validate and enqueue. EINVAL if the request can never be satisfied by
+  /// the partition (prevents head-of-line deadlock).
+  Result<JobId> submit(const simos::Credentials& cred, JobSpec spec);
+
+  /// Job array (sbatch --array): `count` clones of `spec`, named
+  /// "<name>[<index>]". Returns the member ids in index order.
+  Result<std::vector<JobId>> submit_array(const simos::Credentials& cred,
+                                          const JobSpec& spec,
+                                          unsigned count);
+
+  /// Owner or root; pending jobs are dropped, running jobs are torn down
+  /// (epilog runs).
+  Result<void> cancel(const simos::Credentials& cred, JobId id);
+
+  /// Advance the scheduler to the clock's current time: complete/expire
+  /// running jobs due by now, revive rebooted nodes, then dispatch.
+  void step();
+
+  // ---- failure injection ---------------------------------------------------
+
+  /// A task of `job` exceeds its memory allocation and takes its node
+  /// down (the §IV-B failure mode): every job with tasks on that node
+  /// fails (or is requeued if its spec asks for it); the node reboots for
+  /// config.node_reboot_ns. The culprit job always fails.
+  Result<void> inject_oom(JobId job);
+
+  /// Administrative node crash (power/hardware): same collateral rules,
+  /// but with no culprit job.
+  Result<void> crash_node(NodeId node);
+
+  [[nodiscard]] bool node_is_down(NodeId node) const;
+  [[nodiscard]] const FailureStats& failure_stats() const {
+    return failures_;
+  }
+
+  /// Invoked when a node crashes, so the embedding cluster can wipe its
+  /// process table / device state the way a real crash would.
+  using NodeCrashHook = std::function<void(NodeId)>;
+  void set_node_crash_hook(NodeCrashHook hook) {
+    node_crash_hook_ = std::move(hook);
+  }
+
+  /// Earliest future event (job completion/timeout), if any.
+  [[nodiscard]] std::optional<common::SimTime> next_event_time() const;
+
+  /// Convenience driver: repeatedly advance the clock to the next event
+  /// and step, until the queue drains or `deadline` passes.
+  void run_until_drained(
+      common::SimTime deadline = common::SimTime{
+          std::numeric_limits<std::int64_t>::max()});
+
+  // ---- queries (PrivateData-filtered) -------------------------------------
+
+  /// squeue: pending+running jobs visible to `cred`.
+  [[nodiscard]] std::vector<JobView> list_jobs(
+      const simos::Credentials& cred) const;
+
+  /// Detail view; ESRCH when hidden by PrivateData (indistinguishable from
+  /// nonexistent, as in Slurm).
+  Result<JobView> job_info(const simos::Credentials& cred, JobId id) const;
+
+  /// Raw state for tests/audits (not a user-facing query).
+  [[nodiscard]] const Job* find_job(JobId id) const;
+
+  /// sacct: completed records visible to `cred`.
+  [[nodiscard]] std::vector<AccountingRecord> accounting(
+      const simos::Credentials& cred) const;
+
+  /// sreport-style aggregate usage per user; PrivateData::usage restricts
+  /// it to the caller's own row.
+  [[nodiscard]] std::map<Uid, std::uint64_t> usage_by_user(
+      const simos::Credentials& cred) const;
+
+  // ---- pam_slurm / node state ---------------------------------------------
+
+  [[nodiscard]] bool user_has_job_on(Uid uid, NodeId node) const;
+  /// Jobs currently running on a node.
+  [[nodiscard]] std::vector<JobId> jobs_on(NodeId node) const;
+  /// The single user currently owning the node (user_whole_node), if any.
+  [[nodiscard]] std::optional<Uid> node_user(NodeId node) const;
+  [[nodiscard]] unsigned node_free_cpus(NodeId node) const;
+
+  // ---- metrics --------------------------------------------------------------
+
+  [[nodiscard]] const UtilizationStats& utilization() const { return util_; }
+  [[nodiscard]] std::size_t pending_count() const { return queue_.size(); }
+  [[nodiscard]] std::size_t running_count() const { return running_.size(); }
+  [[nodiscard]] std::size_t completed_count() const {
+    return accounting_.size();
+  }
+  /// Mean queue wait among completed jobs, ns.
+  [[nodiscard]] double mean_wait_ns() const;
+  /// Makespan: last end time among completed jobs.
+  [[nodiscard]] common::SimTime last_completion() const {
+    return last_completion_;
+  }
+  /// True iff at any point two different users' tasks shared a node.
+  [[nodiscard]] std::uint64_t cross_user_coresidency_events() const {
+    return cross_user_coresidency_;
+  }
+
+ private:
+  struct NodeState {
+    NodeInfo info;
+    unsigned cpus_used = 0;
+    std::uint64_t mem_used = 0;
+    std::vector<bool> gpu_used;  ///< per-index occupancy
+    std::map<JobId, unsigned> tasks;  ///< running tasks per job
+    std::optional<Uid> bound_user;    ///< user_whole_node binding
+    std::optional<JobId> bound_job;   ///< exclusive binding
+    std::optional<common::SimTime> down_until;  ///< rebooting when set
+  };
+
+  enum class DependencyState { satisfied, waiting, never };
+  [[nodiscard]] DependencyState dependency_state(const Job& job) const;
+
+  /// Fail/requeue every job with tasks on `node` and take the node down.
+  void crash_node_internal(NodeId node, std::optional<JobId> culprit);
+  /// Re-sort the pending queue per the priority policy.
+  void order_queue();
+
+  /// Can `job` place at least one task on `node` right now, under the
+  /// active policy? Returns how many tasks fit (0 = none).
+  [[nodiscard]] unsigned tasks_fitting(const NodeState& node,
+                                       const Job& job) const;
+
+  /// Try to place and start a job now. Returns true on success.
+  bool try_start(Job& job);
+
+  /// Whether `job` could start on an *empty* cluster (submit validation).
+  [[nodiscard]] bool satisfiable(const Job& job) const;
+
+  /// Earliest time the head job could start, assuming running jobs end at
+  /// their limits; used for EASY backfill reservations.
+  [[nodiscard]] common::SimTime head_reservation(const Job& head) const;
+
+  void integrate_utilization();
+  void finish_job(Job& job, JobState final_state);
+  void release_allocations(Job& job);
+  void dispatch();
+
+  common::SimClock* clock_;
+  SchedulerConfig config_;
+  std::vector<NodeState> nodes_;
+  std::vector<JobId> queue_;  ///< FCFS order, pending only
+  std::unordered_map<JobId, Job> jobs_;
+  std::vector<JobId> running_;
+  std::vector<AccountingRecord> accounting_;
+  std::set<Uid> operators_;
+  NodeHook prolog_;
+  NodeHook epilog_;
+  NodeCrashHook node_crash_hook_;
+  FailureStats failures_;
+  std::map<Uid, std::uint64_t> consumed_cpu_ns_;  ///< fairshare input
+  UtilizationStats util_;
+  common::SimTime last_integration_{};
+  common::SimTime last_completion_{};
+  std::uint64_t cross_user_coresidency_ = 0;
+  std::uint64_t next_job_ = 1;
+};
+
+}  // namespace heus::sched

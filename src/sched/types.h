@@ -1,0 +1,158 @@
+// Core scheduler types: nodes, job specifications, job records.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "simos/credentials.h"
+
+namespace heus::sched {
+
+/// Node-sharing policy (paper §IV-B).
+enum class SharingPolicy {
+  /// Stock default: jobs of multiple users may share one node.
+  shared,
+  /// Per-job exclusivity: a job owns its nodes entirely; good isolation,
+  /// poor utilization for many small jobs.
+  exclusive_job,
+  /// LLSC's policy: a node may run any number of jobs, but all from one
+  /// user at a time ("user-based whole-node scheduling").
+  user_whole_node,
+};
+
+[[nodiscard]] constexpr const char* to_string(SharingPolicy p) {
+  switch (p) {
+    case SharingPolicy::shared: return "shared";
+    case SharingPolicy::exclusive_job: return "exclusive";
+    case SharingPolicy::user_whole_node: return "user-whole-node";
+  }
+  return "?";
+}
+
+enum class NodeClass { compute, login, data_transfer, interactive_debug };
+
+struct NodeInfo {
+  NodeId id{};
+  std::string hostname;
+  HostId host{};  ///< the network identity of this node
+  NodeClass node_class = NodeClass::compute;
+  std::string partition = "normal";
+  unsigned cpus = 0;
+  std::uint64_t mem_mb = 0;
+  unsigned gpus = 0;
+};
+
+enum class JobState {
+  pending,
+  running,
+  completed,
+  failed,
+  cancelled,
+  timeout,
+};
+
+[[nodiscard]] constexpr const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::pending: return "PENDING";
+    case JobState::running: return "RUNNING";
+    case JobState::completed: return "COMPLETED";
+    case JobState::failed: return "FAILED";
+    case JobState::cancelled: return "CANCELLED";
+    case JobState::timeout: return "TIMEOUT";
+  }
+  return "?";
+}
+
+struct JobSpec {
+  std::string name = "job";
+  std::string partition = "normal";
+  std::string command;      ///< recorded for procfs/squeue visibility
+  std::string working_dir;  ///< ditto — both are leak-sensitive fields
+  unsigned num_tasks = 1;
+  unsigned cpus_per_task = 1;
+  std::uint64_t mem_mb_per_task = 1024;
+  unsigned gpus_per_task = 0;
+  /// Simulated true runtime; the job completes this long after start.
+  std::int64_t duration_ns = common::kSecond;
+  /// Wall limit; exceeding it kills the job with state=timeout.
+  std::int64_t time_limit_ns = 24 * 3600 * common::kSecond;
+  /// Per-job --exclusive request (honoured under any policy).
+  bool exclusive = false;
+  bool interactive = false;
+  /// sbatch --requeue: on node failure, return to the queue instead of
+  /// failing (the culprit of an OOM crash always fails).
+  bool requeue_on_failure = false;
+  /// Index within a job array, if submitted via submit_array.
+  std::optional<unsigned> array_index;
+  /// Workflow orchestration (sbatch --dependency): this job may not start
+  /// until every listed job reaches a terminal state. With `afterok`
+  /// semantics the job is cancelled if any dependency ends unsuccessfully.
+  std::vector<JobId> depends_on;
+  bool dependency_afterok = true;  ///< false = afterany
+};
+
+/// Where one chunk of a job landed.
+struct Allocation {
+  NodeId node{};
+  unsigned tasks = 0;
+  std::vector<GpuId> gpus;  ///< gres bound on that node
+};
+
+struct Job {
+  JobId id{};
+  Uid user{};
+  Gid group{};  ///< submitter's egid at submission
+  JobSpec spec;
+  JobState state = JobState::pending;
+  common::SimTime submit_time{};
+  common::SimTime start_time{};
+  common::SimTime end_time{};
+  std::vector<Allocation> allocations;
+  std::string pending_reason;
+
+  [[nodiscard]] unsigned total_cpus() const {
+    return spec.num_tasks * spec.cpus_per_task;
+  }
+  [[nodiscard]] std::uint64_t total_mem_mb() const {
+    return static_cast<std::uint64_t>(spec.num_tasks) *
+           spec.mem_mb_per_task;
+  }
+  [[nodiscard]] unsigned total_gpus() const {
+    return spec.num_tasks * spec.gpus_per_task;
+  }
+};
+
+/// The squeue/sacct row a user sees — possibly redacted by PrivateData.
+struct JobView {
+  JobId id{};
+  Uid user{};
+  std::string name;
+  std::string partition;
+  JobState state = JobState::pending;
+  std::string command;
+  std::string working_dir;
+  common::SimTime submit_time{};
+  common::SimTime start_time{};
+  unsigned num_tasks = 0;
+  std::string reason;  ///< pending reason (Resources/Priority/Dependency)
+};
+
+/// Completed-job accounting record (sacct).
+struct AccountingRecord {
+  JobId id{};
+  Uid user{};
+  Gid group{};
+  std::string name;
+  JobState final_state = JobState::completed;
+  common::SimTime submit_time{};
+  common::SimTime start_time{};
+  common::SimTime end_time{};
+  unsigned cpus = 0;
+  std::uint64_t cpu_ns = 0;  ///< cpus * wall
+};
+
+}  // namespace heus::sched

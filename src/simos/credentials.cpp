@@ -1,0 +1,42 @@
+#include "simos/credentials.h"
+
+namespace heus::simos {
+
+Result<Credentials> login(const UserDb& db, Uid uid) {
+  const User* user = db.find_user(uid);
+  if (user == nullptr) return Errno::enoent;
+  Credentials cred;
+  cred.uid = uid;
+  cred.egid = user->private_group;
+  for (Gid g : db.groups_of(uid)) {
+    if (g != user->private_group) cred.supplementary.insert(g);
+  }
+  cred.smask = kDefaultSmask;
+  return cred;
+}
+
+Result<Credentials> newgrp(const UserDb& db, const Credentials& cred,
+                           Gid group) {
+  if (!db.group_exists(group)) return Errno::enoent;
+  if (!cred.is_root() && !db.is_member(cred.uid, group)) {
+    return Errno::eperm;
+  }
+  Credentials out = cred;
+  // The old egid joins the supplementary set (as newgrp does) so DAC access
+  // through the previous primary group is retained.
+  if (out.egid != group) out.supplementary.insert(out.egid);
+  out.egid = group;
+  out.supplementary.erase(group);
+  return out;
+}
+
+Credentials root_credentials() {
+  Credentials cred;
+  cred.uid = kRootUid;
+  cred.egid = kRootGid;
+  cred.smask = 0;  // root is exempt from the security mask
+  cred.umask = 0022;
+  return cred;
+}
+
+}  // namespace heus::simos

@@ -1,0 +1,54 @@
+// Task credentials: who a simulated process runs as.
+//
+// Mirrors the Linux task credential set that the paper's mechanisms key on:
+// uid, effective gid (the "primary group" the UBF consults), supplementary
+// groups, plus the `smask` the LLSC kernel patch attaches to every task
+// (inherited across fork/exec, settable only by the privileged PAM module).
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "simos/user_db.h"
+
+namespace heus::simos {
+
+/// The paper's production smask: mask off all world bits, immutably.
+inline constexpr unsigned kDefaultSmask = 0007;
+/// The relaxed smask handed out by smask_relax for staff publishing
+/// datasets/tools (allows world r-x, still blocks world write).
+inline constexpr unsigned kRelaxedSmask = 0002;
+
+struct Credentials {
+  Uid uid{};
+  Gid egid{};                      ///< effective/primary group
+  std::set<Gid> supplementary{};   ///< secondary group memberships
+  unsigned smask = kDefaultSmask;  ///< immutable security mask (kernel patch)
+  unsigned umask = 0022;           ///< ordinary advisory umask
+
+  [[nodiscard]] bool is_root() const { return uid == kRootUid; }
+
+  /// Group test used by DAC and the UBF: egid or any supplementary group.
+  [[nodiscard]] bool in_group(Gid g) const {
+    return egid == g || supplementary.contains(g);
+  }
+};
+
+/// Build login credentials for `uid` from the account database: egid is the
+/// user-private group, supplementary groups are every other group the user
+/// belongs to, smask is the system default.
+Result<Credentials> login(const UserDb& db, Uid uid);
+
+/// `newgrp`/`sg`: switch the effective (primary) group of a session to
+/// `group`. Permitted only if the user is a member. This is the standard
+/// tool the paper names for letting a server process accept project-group
+/// peers through the UBF.
+Result<Credentials> newgrp(const UserDb& db, const Credentials& cred,
+                           Gid group);
+
+/// Root credentials (system daemons, prolog/epilog).
+[[nodiscard]] Credentials root_credentials();
+
+}  // namespace heus::simos

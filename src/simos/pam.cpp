@@ -1,0 +1,36 @@
+#include "simos/pam.h"
+
+namespace heus::simos {
+
+Result<Credentials> SeepidService::request(const Credentials& cred) {
+  if (!cred.is_root() && !whitelist_.contains(cred.uid)) {
+    audit_log_.push_back({cred.uid, false});
+    return Errno::eperm;
+  }
+  audit_log_.push_back({cred.uid, true});
+  Credentials out = cred;
+  out.supplementary.insert(exempt_group_);
+  return out;
+}
+
+Result<Credentials> SmaskRelaxService::request(const Credentials& cred) {
+  if (!cred.is_root() && !whitelist_.contains(cred.uid)) {
+    audit_log_.push_back({cred.uid, false});
+    return Errno::eperm;
+  }
+  audit_log_.push_back({cred.uid, true});
+  Credentials out = cred;
+  out.smask = relaxed_smask_;
+  return out;
+}
+
+Result<void> PamSlurm::authorize_ssh(const Credentials& cred,
+                                     NodeId node) const {
+  if (cred.is_root()) return ok_result();
+  if (!enabled_) return ok_result();
+  if (login_nodes_.contains(node)) return ok_result();
+  if (has_job_ && has_job_(cred.uid, node)) return ok_result();
+  return Errno::eperm;
+}
+
+}  // namespace heus::simos

@@ -1,0 +1,111 @@
+// PAM-level session services from the paper:
+//
+//  - `seepid` (§IV-A): lets whitelisted HPC support personnel add a
+//    supplemental group to their logon session that is exempt from
+//    hidepid (the `gid=` flag on the /proc mount).
+//  - `smask_relax` (§IV-C): lets whitelisted support personnel enter a new
+//    shell session with smask 002, so they can publish world-readable
+//    datasets/tools, then leave the session.
+//  - `pam_slurm` (§IV-B): users may only ssh into compute nodes on which
+//    they currently have at least one running job.
+//
+// These are deliberately *session-scoped*: each returns new Credentials
+// rather than mutating state, mirroring how PAM attaches attributes to a
+// fresh login session.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "simos/credentials.h"
+
+namespace heus::simos {
+
+/// One privileged-session grant attempt, for accountability reviews —
+/// production deployments of tools like seepid/smask_relax are expected
+/// to leave an audit trail of who used staff privileges.
+struct PamAuditRecord {
+  Uid uid{};
+  bool granted = false;
+};
+
+/// Whitelist-gated grant of the hidepid-exempt supplemental group.
+class SeepidService {
+ public:
+  SeepidService(Gid exempt_group) : exempt_group_(exempt_group) {}
+
+  void whitelist(Uid uid) { whitelist_.insert(uid); }
+  void revoke(Uid uid) { whitelist_.erase(uid); }
+  [[nodiscard]] bool is_whitelisted(Uid uid) const {
+    return whitelist_.contains(uid);
+  }
+  [[nodiscard]] Gid exempt_group() const { return exempt_group_; }
+
+  /// Returns a session credential with the exempt group added, or EPERM.
+  Result<Credentials> request(const Credentials& cred);
+
+  /// Every request (granted or denied), in order.
+  [[nodiscard]] const std::vector<PamAuditRecord>& audit_log() const {
+    return audit_log_;
+  }
+
+ private:
+  Gid exempt_group_;
+  std::set<Uid> whitelist_;
+  std::vector<PamAuditRecord> audit_log_;
+};
+
+/// Whitelist-gated smask relaxation for staff publishing shared content.
+class SmaskRelaxService {
+ public:
+  explicit SmaskRelaxService(unsigned relaxed_smask = kRelaxedSmask)
+      : relaxed_smask_(relaxed_smask) {}
+
+  void whitelist(Uid uid) { whitelist_.insert(uid); }
+  void revoke(Uid uid) { whitelist_.erase(uid); }
+  [[nodiscard]] bool is_whitelisted(Uid uid) const {
+    return whitelist_.contains(uid);
+  }
+
+  /// Returns a session credential with smask relaxed, or EPERM.
+  Result<Credentials> request(const Credentials& cred);
+
+  /// Every request (granted or denied), in order.
+  [[nodiscard]] const std::vector<PamAuditRecord>& audit_log() const {
+    return audit_log_;
+  }
+
+ private:
+  unsigned relaxed_smask_;
+  std::set<Uid> whitelist_;
+  std::vector<PamAuditRecord> audit_log_;
+};
+
+/// pam_slurm: ssh admission to compute nodes. The "does this user have a
+/// job on this node" question belongs to the scheduler, so it is injected
+/// as a predicate; login-class nodes are always admitted.
+class PamSlurm {
+ public:
+  using HasJobOnNode = std::function<bool(Uid, NodeId)>;
+
+  explicit PamSlurm(HasJobOnNode has_job) : has_job_(std::move(has_job)) {}
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Mark a node as login-class (not job-gated).
+  void add_login_node(NodeId node) { login_nodes_.insert(node); }
+
+  /// EPERM unless root, a login node, pam disabled, or a running job.
+  Result<void> authorize_ssh(const Credentials& cred, NodeId node) const;
+
+ private:
+  HasJobOnNode has_job_;
+  bool enabled_ = true;
+  std::set<NodeId> login_nodes_;
+};
+
+}  // namespace heus::simos

@@ -1,0 +1,69 @@
+#include "simos/process.h"
+
+namespace heus::simos {
+
+Pid ProcessTable::spawn(const Credentials& cred, std::string cmdline,
+                        const SpawnOptions& opts) {
+  const Pid pid{next_pid_++};
+  Process p;
+  p.pid = pid;
+  p.ppid = opts.ppid;
+  p.cred = cred;
+  p.cmdline = std::move(cmdline);
+  p.cwd = opts.cwd;
+  p.start_time = clock_->now();
+  p.job = opts.job;
+  p.in_container = opts.in_container;
+  procs_.emplace(pid, std::move(p));
+  return pid;
+}
+
+Result<void> ProcessTable::exit(Pid pid) {
+  if (procs_.erase(pid) == 0) return Errno::esrch;
+  return ok_result();
+}
+
+Result<void> ProcessTable::kill(const Credentials& actor, Pid pid) {
+  auto it = procs_.find(pid);
+  if (it == procs_.end()) return Errno::esrch;
+  if (!actor.is_root() && actor.uid != it->second.cred.uid) {
+    return Errno::eperm;
+  }
+  procs_.erase(it);
+  return ok_result();
+}
+
+const Process* ProcessTable::find(Pid pid) const {
+  auto it = procs_.find(pid);
+  return it == procs_.end() ? nullptr : &it->second;
+}
+
+std::vector<Pid> ProcessTable::all_pids() const {
+  std::vector<Pid> out;
+  out.reserve(procs_.size());
+  for (const auto& [pid, p] : procs_) out.push_back(pid);
+  return out;
+}
+
+std::vector<Pid> ProcessTable::pids_of(Uid uid) const {
+  std::vector<Pid> out;
+  for (const auto& [pid, p] : procs_) {
+    if (p.cred.uid == uid) out.push_back(pid);
+  }
+  return out;
+}
+
+std::size_t ProcessTable::kill_all_of(Uid uid) {
+  std::size_t killed = 0;
+  for (auto it = procs_.begin(); it != procs_.end();) {
+    if (it->second.cred.uid == uid) {
+      it = procs_.erase(it);
+      ++killed;
+    } else {
+      ++it;
+    }
+  }
+  return killed;
+}
+
+}  // namespace heus::simos

@@ -1,0 +1,66 @@
+#include "simos/procfs.h"
+
+#include <algorithm>
+
+namespace heus::simos {
+
+bool ProcFs::is_exempt(const Credentials& reader) const {
+  if (reader.is_root()) return true;
+  return opts_.exempt_gid.has_value() && reader.in_group(*opts_.exempt_gid);
+}
+
+bool ProcFs::may_see_entry(const Credentials& reader,
+                           const Process& p) const {
+  if (opts_.hidepid != HidepidMode::invisible) return true;
+  if (reader.uid == p.cred.uid) return true;
+  return is_exempt(reader);
+}
+
+bool ProcFs::may_read_contents(const Credentials& reader,
+                               const Process& p) const {
+  if (opts_.hidepid == HidepidMode::off) return true;
+  if (reader.uid == p.cred.uid) return true;
+  return is_exempt(reader);
+}
+
+std::vector<Pid> ProcFs::list(const Credentials& reader) const {
+  std::vector<Pid> out;
+  for (Pid pid : table_->all_pids()) {
+    const Process* p = table_->find(pid);
+    if (p != nullptr && may_see_entry(reader, *p)) out.push_back(pid);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<ProcStat> ProcFs::stat(const Credentials& reader, Pid pid) const {
+  const Process* p = table_->find(pid);
+  if (p == nullptr) return Errno::enoent;
+  if (!may_see_entry(reader, *p)) return Errno::enoent;  // dirent hidden
+  return ProcStat{p->pid, p->cred.uid, p->state, p->start_time};
+}
+
+Result<ProcDetails> ProcFs::read_details(const Credentials& reader,
+                                         Pid pid) const {
+  const Process* p = table_->find(pid);
+  if (p == nullptr) return Errno::enoent;
+  if (!may_see_entry(reader, *p)) return Errno::enoent;
+  if (!may_read_contents(reader, *p)) return Errno::eacces;
+  return ProcDetails{p->pid,     p->cred.uid, p->cred.egid,
+                     p->cmdline, p->cwd,      p->job};
+}
+
+std::vector<ProcDetails> ProcFs::snapshot(const Credentials& reader) const {
+  std::vector<ProcDetails> out;
+  for (Pid pid : table_->all_pids()) {
+    auto d = read_details(reader, pid);
+    if (d) out.push_back(std::move(*d));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ProcDetails& a, const ProcDetails& b) {
+              return a.pid < b.pid;
+            });
+  return out;
+}
+
+}  // namespace heus::simos

@@ -1,0 +1,60 @@
+// Textual renderings of the standard cluster tools, as a *view layer*
+// over the simulation. What `ps aux`, `squeue`, `sinfo`, `ls -l`,
+// `getfacl` and `id` would print for a given credential — which is
+// exactly what the paper's mechanisms filter. Examples use these to show
+// the user-visible effect of each policy; tests pin the redaction
+// behaviour at the presentation layer too.
+#pragma once
+
+#include <string>
+
+#include "monitor/monitor.h"
+#include "sched/scheduler.h"
+#include "simos/procfs.h"
+#include "simos/user_db.h"
+#include "vfs/filesystem.h"
+
+namespace heus::tools {
+
+/// `ps aux` — one row per visible process. Usernames resolved through the
+/// account database; foreign processes simply do not appear under
+/// hidepid=2 (there is no "redacted" placeholder to count).
+std::string ps_aux(const simos::ProcFs& procfs, const simos::UserDb& users,
+                   const simos::Credentials& reader);
+
+/// `squeue` — one row per visible pending/running job.
+std::string squeue(const sched::Scheduler& scheduler,
+                   const simos::UserDb& users,
+                   const simos::Credentials& reader);
+
+/// `sacct` — completed-job accounting visible to the reader.
+std::string sacct(const sched::Scheduler& scheduler,
+                  const simos::UserDb& users,
+                  const simos::Credentials& reader);
+
+/// `sinfo` — node inventory with state (up/down/allocated) and, when the
+/// reader is privileged, the owning user under whole-node scheduling.
+std::string sinfo(const sched::Scheduler& scheduler,
+                  const simos::UserDb& users,
+                  const simos::Credentials& reader);
+
+/// `ls -l <dir>` — listing with mode strings, owner/group names, size.
+/// Errors render as the shell would show them ("ls: cannot open ...").
+std::string ls_l(vfs::FileSystem& fs, const simos::UserDb& users,
+                 const simos::Credentials& reader, const std::string& path);
+
+/// `getfacl <path>`.
+std::string getfacl(vfs::FileSystem& fs, const simos::UserDb& users,
+                    const simos::Credentials& reader,
+                    const std::string& path);
+
+/// `sload` — cluster load + hotspot attribution as the monitor exposes it
+/// to this credential (staff see names, users see themselves only).
+std::string sload(const monitor::Monitor& mon, const simos::UserDb& users,
+                  const simos::Credentials& reader);
+
+/// `id` — uid/gid/groups of a credential.
+std::string id(const simos::UserDb& users,
+               const simos::Credentials& cred);
+
+}  // namespace heus::tools

@@ -1,0 +1,60 @@
+#include "vfs/acl.h"
+
+#include <algorithm>
+
+namespace heus::vfs {
+
+namespace {
+bool same_subject(const AclEntry& e, AclTag tag, Uid uid, Gid gid) {
+  if (e.tag != tag) return false;
+  switch (tag) {
+    case AclTag::named_user: return e.uid == uid;
+    case AclTag::named_group: return e.gid == gid;
+    case AclTag::mask: return true;
+  }
+  return false;
+}
+}  // namespace
+
+std::optional<Perm> Acl::mask() const {
+  for (const auto& e : entries) {
+    if (e.tag == AclTag::mask) return e.perm;
+  }
+  return std::nullopt;
+}
+
+std::optional<Perm> Acl::named_user(Uid uid) const {
+  for (const auto& e : entries) {
+    if (e.tag == AclTag::named_user && e.uid == uid) return e.perm;
+  }
+  return std::nullopt;
+}
+
+std::optional<Perm> Acl::named_group(Gid gid) const {
+  for (const auto& e : entries) {
+    if (e.tag == AclTag::named_group && e.gid == gid) return e.perm;
+  }
+  return std::nullopt;
+}
+
+void Acl::upsert(const AclEntry& entry) {
+  for (auto& e : entries) {
+    if (same_subject(e, entry.tag, entry.uid, entry.gid)) {
+      e.perm = entry.perm;
+      return;
+    }
+  }
+  entries.push_back(entry);
+}
+
+bool Acl::remove(AclTag tag, Uid uid, Gid gid) {
+  auto it = std::find_if(entries.begin(), entries.end(),
+                         [&](const AclEntry& e) {
+                           return same_subject(e, tag, uid, gid);
+                         });
+  if (it == entries.end()) return false;
+  entries.erase(it);
+  return true;
+}
+
+}  // namespace heus::vfs

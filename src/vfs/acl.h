@@ -1,0 +1,56 @@
+// POSIX access control lists, plus the LLSC kernel-patch restriction
+// (paper §IV-C): a user may only grant ACL access to groups they are a
+// member of, and may not use ACLs to grant access to arbitrary other
+// users — otherwise ACLs would be a trivial bypass of the
+// user-private-group sharing policy.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace heus::vfs {
+
+/// rwx permission triple packed as the low three bits (r=4, w=2, x=1).
+using Perm = unsigned;
+inline constexpr Perm kPermRead = 4;
+inline constexpr Perm kPermWrite = 2;
+inline constexpr Perm kPermExec = 1;
+
+enum class AclTag {
+  named_user,   ///< u:<uid>:<perm>
+  named_group,  ///< g:<gid>:<perm>
+  mask,         ///< m::<perm> — caps every named/group entry
+};
+
+struct AclEntry {
+  AclTag tag;
+  Uid uid{};   ///< valid when tag == named_user
+  Gid gid{};   ///< valid when tag == named_group
+  Perm perm = 0;
+};
+
+/// The extended (non-minimal) part of a POSIX ACL. Owner/group/other come
+/// from the inode mode bits as usual.
+struct Acl {
+  std::vector<AclEntry> entries;
+
+  [[nodiscard]] bool empty() const { return entries.empty(); }
+
+  /// The explicit mask entry if present. When absent the evaluator treats
+  /// the mask as unrestrictive, matching setfacl's auto-computed mask
+  /// (the union of all group-class entries).
+  [[nodiscard]] std::optional<Perm> mask() const;
+
+  [[nodiscard]] std::optional<Perm> named_user(Uid uid) const;
+  [[nodiscard]] std::optional<Perm> named_group(Gid gid) const;
+
+  /// Insert-or-replace an entry (by tag+id).
+  void upsert(const AclEntry& entry);
+
+  /// Remove an entry; returns false if it was not present.
+  bool remove(AclTag tag, Uid uid, Gid gid);
+};
+
+}  // namespace heus::vfs

@@ -1,0 +1,750 @@
+#include "vfs/filesystem.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace heus::vfs {
+
+using simos::Credentials;
+
+FileSystem::FileSystem(std::string name, const simos::UserDb* users,
+                       const common::SimClock* clock, FsPolicy policy)
+    : name_(std::move(name)), users_(users), clock_(clock), policy_(policy) {
+  const InodeId id{next_inode_++};
+  Inode root;
+  root.id = id;
+  root.kind = FileKind::directory;
+  root.mode = 0755;
+  root.uid = kRootUid;
+  root.gid = kRootGid;
+  root.mtime = clock_->now();
+  root.ctime = clock_->now();
+  inodes_.emplace(id, std::move(root));
+  root_ = id;
+}
+
+InodeId FileSystem::alloc_inode(FileKind kind, unsigned mode,
+                                const Credentials& cred, InodeId parent) {
+  const InodeId id{next_inode_++};
+  const Inode& dir = get(parent);
+  Inode node;
+  node.id = id;
+  node.kind = kind;
+  node.mode = mode;
+  node.uid = cred.uid;
+  // BSD/Linux setgid-directory semantics: children inherit the directory's
+  // group (project directories rely on this so collaborators' files stay
+  // group-owned by the project group).
+  if (dir.mode & kModeSetgid) {
+    node.gid = dir.gid;
+    if (kind == FileKind::directory) node.mode |= kModeSetgid;
+  } else {
+    node.gid = cred.egid;
+  }
+  node.mtime = clock_->now();
+  node.ctime = clock_->now();
+  // POSIX default-ACL inheritance: a directory's default ACL becomes the
+  // child's access ACL; subdirectories also inherit it as their default.
+  if (dir.default_acl && !dir.default_acl->empty()) {
+    node.acl = dir.default_acl;
+    if (kind == FileKind::directory) node.default_acl = dir.default_acl;
+  }
+  inodes_.emplace(id, std::move(node));
+  return id;
+}
+
+void FileSystem::drop_inode_ref(InodeId id) {
+  Inode& node = get(id);
+  if (node.nlink > 1) {
+    --node.nlink;
+    node.ctime = clock_->now();
+    return;
+  }
+  // Refund the owner's quota for the vanished payload.
+  if (node.kind == FileKind::regular && !node.data.empty()) {
+    (void)charge_bytes(node.uid,
+                       -static_cast<std::int64_t>(node.data.size()),
+                       /*enforce=*/false);
+  }
+  inodes_.erase(id);
+}
+
+Result<void> FileSystem::charge_bytes(Uid owner, std::int64_t delta,
+                                      bool enforce) {
+  if (delta == 0) return ok_result();
+  if (delta < 0) {
+    const auto refund = static_cast<std::uint64_t>(-delta);
+    auto it = quota_used_.find(owner);
+    if (it != quota_used_.end()) {
+      it->second -= std::min(it->second, refund);
+    }
+    total_used_ -= std::min(total_used_, refund);
+    return ok_result();
+  }
+  const auto grow = static_cast<std::uint64_t>(delta);
+  if (enforce) {
+    if (capacity_ && total_used_ + grow > *capacity_) {
+      return Errno::enospc;
+    }
+    auto limit = quota_limits_.find(owner);
+    if (limit != quota_limits_.end() &&
+        quota_used_[owner] + grow > limit->second) {
+      return Errno::edquot;
+    }
+  }
+  quota_used_[owner] += grow;
+  total_used_ += grow;
+  return ok_result();
+}
+
+void FileSystem::set_user_quota(Uid uid,
+                                std::optional<std::uint64_t> bytes) {
+  if (bytes) {
+    quota_limits_[uid] = *bytes;
+  } else {
+    quota_limits_.erase(uid);
+  }
+}
+
+std::optional<std::uint64_t> FileSystem::user_quota(Uid uid) const {
+  auto it = quota_limits_.find(uid);
+  if (it == quota_limits_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t FileSystem::bytes_used_by(Uid uid) const {
+  auto it = quota_used_.find(uid);
+  return it == quota_used_.end() ? 0 : it->second;
+}
+
+unsigned FileSystem::creation_mode(const Credentials& cred,
+                                   unsigned requested) const {
+  unsigned mode = requested & kModePermMask;
+  mode &= ~cred.umask;
+  if (policy_.enforce_smask && policy_.honor_smask && !cred.is_root()) {
+    mode &= ~cred.smask;
+  }
+  return mode;
+}
+
+unsigned FileSystem::chmod_mode(const Credentials& cred,
+                                unsigned requested) const {
+  unsigned mode = requested & kModePermMask;
+  // The smask patch's distinguishing property: unlike umask it is applied
+  // to chmod as well, so `chmod 777` under smask 007 lands at 770.
+  if (policy_.enforce_smask && policy_.honor_smask && !cred.is_root()) {
+    mode &= ~cred.smask;
+  }
+  return mode;
+}
+
+bool FileSystem::permits(const Credentials& cred, const Inode& node,
+                         Access want) const {
+  const auto bit = static_cast<unsigned>(want);
+  if (cred.is_root()) {
+    // Root bypasses read/write DAC; exec on a regular file still requires
+    // some execute bit (as on Linux).
+    if (want != Access::exec || node.is_dir()) return true;
+    return (node.mode & 0111) != 0;
+  }
+
+  const unsigned owner_bits = (node.mode >> 6) & 7;
+  const unsigned group_bits = (node.mode >> 3) & 7;
+  const unsigned other_bits = node.mode & 7;
+
+  if (!node.acl || node.acl->empty()) {
+    if (cred.uid == node.uid) return (owner_bits & bit) != 0;
+    if (cred.in_group(node.gid)) return (group_bits & bit) != 0;
+    return (other_bits & bit) != 0;
+  }
+
+  // POSIX 1003.1e ACL evaluation. Without an explicit mask entry the mask
+  // is unrestrictive (setfacl would have auto-computed it as the union of
+  // all group-class entries, which never masks a granted bit away).
+  const Acl& acl = *node.acl;
+  const Perm mask = acl.mask().value_or(7);
+
+  if (cred.uid == node.uid) return (owner_bits & bit) != 0;
+  if (auto p = acl.named_user(cred.uid)) return (*p & mask & bit) != 0;
+
+  // Group class: the request is granted if *any* matching group entry
+  // grants it; if the process matches at least one group but none grants,
+  // access falls through to denial (not to "other").
+  bool matched_group = false;
+  if (cred.in_group(node.gid)) {
+    matched_group = true;
+    if ((group_bits & mask & bit) != 0) return true;
+  }
+  for (const auto& e : acl.entries) {
+    if (e.tag != AclTag::named_group) continue;
+    if (!cred.in_group(e.gid)) continue;
+    matched_group = true;
+    if ((e.perm & mask & bit) != 0) return true;
+  }
+  if (matched_group) return false;
+
+  return (other_bits & bit) != 0;
+}
+
+Result<FileSystem::Resolved> FileSystem::resolve(const Credentials& cred,
+                                                 const std::string& path,
+                                                 bool follow,
+                                                 std::size_t depth) {
+  if (depth > kMaxSymlinkDepth) return Errno::eloop;
+  auto parts = split_path(path);
+  if (!parts) return parts.error();
+
+  InodeId cur = root_;
+  InodeId parent = root_;
+  std::string leaf = "/";
+  for (std::size_t i = 0; i < parts->size(); ++i) {
+    const Inode& dir = get(cur);
+    if (!dir.is_dir()) return Errno::enotdir;
+    if (!permits(cred, dir, Access::exec)) return Errno::eacces;
+    auto it = dir.entries.find((*parts)[i]);
+    if (it == dir.entries.end()) return Errno::enoent;
+    parent = cur;
+    cur = it->second;
+    leaf = (*parts)[i];
+
+    const Inode& node = get(cur);
+    const bool last = (i + 1 == parts->size());
+    if (node.kind == FileKind::symlink && (!last || follow)) {
+      // Rebuild the remaining path against the link target and restart.
+      std::string rest = node.symlink_target;
+      for (std::size_t j = i + 1; j < parts->size(); ++j) {
+        rest += '/';
+        rest += (*parts)[j];
+      }
+      if (rest.empty() || rest.front() != '/') {
+        // Relative target: interpret against the containing directory.
+        std::vector<std::string> base(parts->begin(),
+                                      parts->begin() +
+                                          static_cast<std::ptrdiff_t>(i));
+        rest = join_path(base) + (rest.empty() ? "" : "/" + rest);
+      }
+      return resolve(cred, rest, follow, depth + 1);
+    }
+  }
+  return Resolved{parent, cur, leaf};
+}
+
+Result<std::pair<InodeId, std::string>> FileSystem::walk_parent(
+    const Credentials& cred, const std::string& path) {
+  auto parts = split_path(path);
+  if (!parts) return parts.error();
+  if (parts->empty()) return Errno::eexist;  // "/" itself
+  const std::string leaf = parts->back();
+  parts->pop_back();
+
+  auto dir_res = resolve(cred, join_path(*parts), /*follow=*/true);
+  if (!dir_res) return dir_res.error();
+  const Inode& dir = get(dir_res->node);
+  if (!dir.is_dir()) return Errno::enotdir;
+  if (!permits(cred, dir, Access::exec)) return Errno::eacces;
+  return std::make_pair(dir_res->node, leaf);
+}
+
+Result<void> FileSystem::mkdir(const Credentials& cred,
+                               const std::string& path, unsigned mode) {
+  auto parent = walk_parent(cred, path);
+  if (!parent) return parent.error();
+  Inode& dir = get(parent->first);
+  if (dir.entries.contains(parent->second)) return Errno::eexist;
+  if (!permits(cred, dir, Access::write)) return Errno::eacces;
+  const InodeId id = alloc_inode(FileKind::directory,
+                                 creation_mode(cred, mode), cred,
+                                 parent->first);
+  dir.entries.emplace(parent->second, id);
+  dir.mtime = clock_->now();
+  return ok_result();
+}
+
+Result<void> FileSystem::create(const Credentials& cred,
+                                const std::string& path, unsigned mode) {
+  auto parent = walk_parent(cred, path);
+  if (!parent) return parent.error();
+  Inode& dir = get(parent->first);
+  if (dir.entries.contains(parent->second)) return Errno::eexist;
+  if (!permits(cred, dir, Access::write)) return Errno::eacces;
+  const InodeId id = alloc_inode(FileKind::regular,
+                                 creation_mode(cred, mode), cred,
+                                 parent->first);
+  dir.entries.emplace(parent->second, id);
+  dir.mtime = clock_->now();
+  return ok_result();
+}
+
+Result<void> FileSystem::symlink(const Credentials& cred,
+                                 const std::string& target,
+                                 const std::string& path) {
+  auto parent = walk_parent(cred, path);
+  if (!parent) return parent.error();
+  Inode& dir = get(parent->first);
+  if (dir.entries.contains(parent->second)) return Errno::eexist;
+  if (!permits(cred, dir, Access::write)) return Errno::eacces;
+  const InodeId id =
+      alloc_inode(FileKind::symlink, 0777, cred, parent->first);
+  get(id).symlink_target = target;
+  dir.entries.emplace(parent->second, id);
+  dir.mtime = clock_->now();
+  return ok_result();
+}
+
+Result<void> FileSystem::mknod_chardev(const Credentials& cred,
+                                       const std::string& path,
+                                       unsigned mode, DeviceRef device) {
+  if (!cred.is_root()) return Errno::eperm;
+  auto parent = walk_parent(cred, path);
+  if (!parent) return parent.error();
+  Inode& dir = get(parent->first);
+  if (dir.entries.contains(parent->second)) return Errno::eexist;
+  const InodeId id = alloc_inode(FileKind::chardev, mode & kModePermMask,
+                                 cred, parent->first);
+  get(id).device = std::move(device);
+  dir.entries.emplace(parent->second, id);
+  dir.mtime = clock_->now();
+  return ok_result();
+}
+
+Result<void> FileSystem::may_remove_entry(const Credentials& cred,
+                                          const Inode& dir,
+                                          const Inode& victim) const {
+  if (!permits(cred, dir, Access::write) ||
+      !permits(cred, dir, Access::exec)) {
+    return Errno::eacces;
+  }
+  // Sticky directories (e.g. /tmp mode 1777): only the file owner, the
+  // directory owner, or root may remove an entry.
+  if ((dir.mode & kModeSticky) && !cred.is_root() &&
+      cred.uid != victim.uid && cred.uid != dir.uid) {
+    return Errno::eperm;
+  }
+  return ok_result();
+}
+
+Result<void> FileSystem::unlink(const Credentials& cred,
+                                const std::string& path) {
+  auto parent = walk_parent(cred, path);
+  if (!parent) return parent.error();
+  Inode& dir = get(parent->first);
+  auto it = dir.entries.find(parent->second);
+  if (it == dir.entries.end()) return Errno::enoent;
+  Inode& victim = get(it->second);
+  if (victim.is_dir()) return Errno::eisdir;
+  if (auto r = may_remove_entry(cred, dir, victim); !r) return r;
+  drop_inode_ref(it->second);
+  dir.entries.erase(it);
+  dir.mtime = clock_->now();
+  return ok_result();
+}
+
+Result<void> FileSystem::link(const Credentials& cred,
+                              const std::string& existing,
+                              const std::string& newpath) {
+  auto src = resolve(cred, existing, /*follow=*/true);
+  if (!src) return src.error();
+  Inode& target = get(src->node);
+  if (target.is_dir()) return Errno::eperm;  // no directory hard links
+
+  auto parent = walk_parent(cred, newpath);
+  if (!parent) return parent.error();
+  Inode& dir = get(parent->first);
+  if (dir.entries.contains(parent->second)) return Errno::eexist;
+  if (!permits(cred, dir, Access::write)) return Errno::eacces;
+
+  ++target.nlink;
+  target.ctime = clock_->now();
+  dir.entries.emplace(parent->second, src->node);
+  dir.mtime = clock_->now();
+  return ok_result();
+}
+
+Result<void> FileSystem::rmdir(const Credentials& cred,
+                               const std::string& path) {
+  auto parent = walk_parent(cred, path);
+  if (!parent) return parent.error();
+  Inode& dir = get(parent->first);
+  auto it = dir.entries.find(parent->second);
+  if (it == dir.entries.end()) return Errno::enoent;
+  Inode& victim = get(it->second);
+  if (!victim.is_dir()) return Errno::enotdir;
+  if (!victim.entries.empty()) return Errno::enotempty;
+  if (auto r = may_remove_entry(cred, dir, victim); !r) return r;
+  inodes_.erase(it->second);
+  dir.entries.erase(it);
+  dir.mtime = clock_->now();
+  return ok_result();
+}
+
+Result<void> FileSystem::rename(const Credentials& cred,
+                                const std::string& from,
+                                const std::string& to) {
+  auto src = walk_parent(cred, from);
+  if (!src) return src.error();
+  Inode& src_dir = get(src->first);
+  auto sit = src_dir.entries.find(src->second);
+  if (sit == src_dir.entries.end()) return Errno::enoent;
+  const InodeId moving = sit->second;
+  if (auto r = may_remove_entry(cred, src_dir, get(moving)); !r) return r;
+
+  auto dst = walk_parent(cred, to);
+  if (!dst) return dst.error();
+  Inode& dst_dir = get(dst->first);
+  if (!permits(cred, dst_dir, Access::write)) return Errno::eacces;
+
+  auto dit = dst_dir.entries.find(dst->second);
+  if (dit != dst_dir.entries.end()) {
+    // POSIX: if oldpath and newpath are existing links to the same inode,
+    // rename does nothing and succeeds.
+    if (dit->second == moving) return ok_result();
+    Inode& existing = get(dit->second);
+    if (existing.is_dir() && !existing.entries.empty()) {
+      return Errno::enotempty;
+    }
+    if (existing.is_dir() != get(moving).is_dir()) {
+      return existing.is_dir() ? Errno::eisdir : Errno::enotdir;
+    }
+    if (auto r = may_remove_entry(cred, dst_dir, existing); !r) return r;
+    drop_inode_ref(dit->second);
+    dst_dir.entries.erase(dit);
+  }
+
+  // Re-find: dst insertion may alias src_dir; maps stay valid, but the
+  // iterator into src_dir does if they are the same inode — erase by key.
+  get(src->first).entries.erase(src->second);
+  get(dst->first).entries.emplace(dst->second, moving);
+  get(src->first).mtime = clock_->now();
+  get(dst->first).mtime = clock_->now();
+  return ok_result();
+}
+
+Result<void> FileSystem::write_file(const Credentials& cred,
+                                    const std::string& path,
+                                    std::string data) {
+  auto r = resolve(cred, path, /*follow=*/true);
+  if (r) {
+    Inode& node = get(r->node);
+    if (node.is_dir()) return Errno::eisdir;
+    if (node.kind == FileKind::chardev) return Errno::einval;
+    if (!permits(cred, node, Access::write)) return Errno::eacces;
+    const std::int64_t delta = static_cast<std::int64_t>(data.size()) -
+                               static_cast<std::int64_t>(node.data.size());
+    if (auto q = charge_bytes(node.uid, delta, !cred.is_root()); !q) {
+      return q;
+    }
+    node.data = std::move(data);
+    node.mtime = clock_->now();
+    return ok_result();
+  }
+  if (r.error() != Errno::enoent) return r.error();
+  if (auto c = create(cred, path, 0666); !c) return c;
+  auto again = resolve(cred, path, /*follow=*/true);
+  assert(again.ok());
+  Inode& node = get(again->node);
+  if (auto q = charge_bytes(node.uid,
+                            static_cast<std::int64_t>(data.size()),
+                            !cred.is_root());
+      !q) {
+    // Roll the empty file back out so a failed write leaves no debris.
+    (void)unlink(cred, path);
+    return q;
+  }
+  node.data = std::move(data);
+  return ok_result();
+}
+
+Result<void> FileSystem::append_file(const Credentials& cred,
+                                     const std::string& path,
+                                     const std::string& data) {
+  auto r = resolve(cred, path, /*follow=*/true);
+  if (!r) return r.error();
+  Inode& node = get(r->node);
+  if (node.is_dir()) return Errno::eisdir;
+  if (!permits(cred, node, Access::write)) return Errno::eacces;
+  if (auto q = charge_bytes(node.uid,
+                            static_cast<std::int64_t>(data.size()),
+                            !cred.is_root());
+      !q) {
+    return q;
+  }
+  node.data += data;
+  node.mtime = clock_->now();
+  return ok_result();
+}
+
+Result<std::string> FileSystem::read_file(const Credentials& cred,
+                                          const std::string& path) {
+  auto r = resolve(cred, path, /*follow=*/true);
+  if (!r) return r.error();
+  const Inode& node = get(r->node);
+  if (node.is_dir()) return Errno::eisdir;
+  if (!permits(cred, node, Access::read)) return Errno::eacces;
+  return node.data;
+}
+
+Result<std::vector<DirEntry>> FileSystem::readdir(const Credentials& cred,
+                                                  const std::string& path) {
+  auto r = resolve(cred, path, /*follow=*/true);
+  if (!r) return r.error();
+  const Inode& dir = get(r->node);
+  if (!dir.is_dir()) return Errno::enotdir;
+  if (!permits(cred, dir, Access::read)) return Errno::eacces;
+  std::vector<DirEntry> out;
+  out.reserve(dir.entries.size());
+  for (const auto& [name, id] : dir.entries) {
+    out.push_back({name, get(id).kind});
+  }
+  return out;
+}
+
+Result<Stat> FileSystem::stat(const Credentials& cred,
+                              const std::string& path) {
+  auto r = resolve(cred, path, /*follow=*/true);
+  if (!r) return r.error();
+  const Inode& node = get(r->node);
+  return Stat{node.id,     node.kind,  node.mode,
+              node.uid,    node.gid,   node.size(),
+              node.mtime,  node.acl.has_value() && !node.acl->empty(),
+              node.nlink};
+}
+
+Result<std::string> FileSystem::readlink(const Credentials& cred,
+                                         const std::string& path) {
+  auto r = resolve(cred, path, /*follow=*/false);
+  if (!r) return r.error();
+  const Inode& node = get(r->node);
+  if (node.kind != FileKind::symlink) return Errno::einval;
+  return node.symlink_target;
+}
+
+Result<void> FileSystem::access(const Credentials& cred,
+                                const std::string& path, Access want) {
+  auto r = resolve(cred, path, /*follow=*/true);
+  if (!r) return r.error();
+  if (!permits(cred, get(r->node), want)) return Errno::eacces;
+  return ok_result();
+}
+
+Result<void> FileSystem::chmod(const Credentials& cred,
+                               const std::string& path, unsigned mode) {
+  auto r = resolve(cred, path, /*follow=*/true);
+  if (!r) return r.error();
+  Inode& node = get(r->node);
+  if (!cred.is_root() && cred.uid != node.uid) return Errno::eperm;
+  unsigned effective = chmod_mode(cred, mode);
+  // Linux: a non-root chmod by someone outside the file's group clears
+  // setgid (anti-privilege-smuggling rule).
+  if (!cred.is_root() && !cred.in_group(node.gid)) {
+    effective &= ~kModeSetgid;
+  }
+  node.mode = effective;
+  node.ctime = clock_->now();
+  return ok_result();
+}
+
+Result<void> FileSystem::chown(const Credentials& cred,
+                               const std::string& path, Uid new_owner) {
+  auto r = resolve(cred, path, /*follow=*/true);
+  if (!r) return r.error();
+  if (!cred.is_root()) return Errno::eperm;
+  if (!users_->user_exists(new_owner)) return Errno::einval;
+  Inode& node = get(r->node);
+  // Quota accounting follows ownership.
+  if (node.kind == FileKind::regular && !node.data.empty()) {
+    const auto size = static_cast<std::int64_t>(node.data.size());
+    (void)charge_bytes(node.uid, -size, /*enforce=*/false);
+    (void)charge_bytes(new_owner, size, /*enforce=*/false);
+  }
+  node.uid = new_owner;
+  node.ctime = clock_->now();
+  return ok_result();
+}
+
+Result<void> FileSystem::chgrp(const Credentials& cred,
+                               const std::string& path, Gid new_group) {
+  auto r = resolve(cred, path, /*follow=*/true);
+  if (!r) return r.error();
+  Inode& node = get(r->node);
+  if (!users_->group_exists(new_group)) return Errno::einval;
+  if (!cred.is_root()) {
+    if (cred.uid != node.uid) return Errno::eperm;
+    // Standard Linux rule, which the paper leans on: you can only hand a
+    // file to a group you belong to.
+    if (!cred.in_group(new_group) &&
+        !users_->is_member(cred.uid, new_group)) {
+      return Errno::eperm;
+    }
+    // chgrp by non-root clears setuid/setgid.
+    node.mode &= ~(kModeSetuid | kModeSetgid);
+  }
+  node.gid = new_group;
+  node.ctime = clock_->now();
+  return ok_result();
+}
+
+Result<void> FileSystem::check_acl_entry(const Credentials& cred,
+                                         const AclEntry& entry) const {
+  if (entry.perm > 7) return Errno::einval;
+  if (policy_.restrict_acl && !cred.is_root()) {
+    // LLSC ACL-restriction patch: ACLs must not become a bypass of the
+    // approved-project-group sharing policy.
+    switch (entry.tag) {
+      case AclTag::named_user:
+        // Granting to another individual user is sharing outside any
+        // approved group — blocked. (Self-grants are pointless but legal.)
+        if (entry.uid != cred.uid) return Errno::eperm;
+        break;
+      case AclTag::named_group:
+        if (!cred.in_group(entry.gid) &&
+            !users_->is_member(cred.uid, entry.gid)) {
+          return Errno::eperm;
+        }
+        break;
+      case AclTag::mask:
+        break;
+    }
+  }
+  if (entry.tag == AclTag::named_user && !users_->user_exists(entry.uid)) {
+    return Errno::einval;
+  }
+  if (entry.tag == AclTag::named_group &&
+      !users_->group_exists(entry.gid)) {
+    return Errno::einval;
+  }
+  return ok_result();
+}
+
+Result<void> FileSystem::acl_set(const Credentials& cred,
+                                 const std::string& path,
+                                 const AclEntry& entry) {
+  auto r = resolve(cred, path, /*follow=*/true);
+  if (!r) return r.error();
+  Inode& node = get(r->node);
+  if (!cred.is_root() && cred.uid != node.uid) return Errno::eperm;
+  if (auto check = check_acl_entry(cred, entry); !check) return check;
+
+  if (!node.acl) node.acl.emplace();
+  node.acl->upsert(entry);
+  node.ctime = clock_->now();
+  return ok_result();
+}
+
+Result<void> FileSystem::acl_set_default(const Credentials& cred,
+                                         const std::string& dir,
+                                         const AclEntry& entry) {
+  auto r = resolve(cred, dir, /*follow=*/true);
+  if (!r) return r.error();
+  Inode& node = get(r->node);
+  if (!node.is_dir()) return Errno::enotdir;
+  if (!cred.is_root() && cred.uid != node.uid) return Errno::eperm;
+  if (auto check = check_acl_entry(cred, entry); !check) return check;
+
+  if (!node.default_acl) node.default_acl.emplace();
+  node.default_acl->upsert(entry);
+  node.ctime = clock_->now();
+  return ok_result();
+}
+
+Result<void> FileSystem::acl_remove_default(const Credentials& cred,
+                                            const std::string& dir,
+                                            AclTag tag, Uid uid, Gid gid) {
+  auto r = resolve(cred, dir, /*follow=*/true);
+  if (!r) return r.error();
+  Inode& node = get(r->node);
+  if (!node.is_dir()) return Errno::enotdir;
+  if (!cred.is_root() && cred.uid != node.uid) return Errno::eperm;
+  if (!node.default_acl || !node.default_acl->remove(tag, uid, gid)) {
+    return Errno::enoent;
+  }
+  node.ctime = clock_->now();
+  return ok_result();
+}
+
+Result<Acl> FileSystem::acl_get_default(const Credentials& cred,
+                                        const std::string& dir) {
+  auto r = resolve(cred, dir, /*follow=*/true);
+  if (!r) return r.error();
+  const Inode& node = get(r->node);
+  if (!node.is_dir()) return Errno::enotdir;
+  return node.default_acl.value_or(Acl{});
+}
+
+Result<void> FileSystem::acl_remove(const Credentials& cred,
+                                    const std::string& path, AclTag tag,
+                                    Uid uid, Gid gid) {
+  auto r = resolve(cred, path, /*follow=*/true);
+  if (!r) return r.error();
+  Inode& node = get(r->node);
+  if (!cred.is_root() && cred.uid != node.uid) return Errno::eperm;
+  if (!node.acl || !node.acl->remove(tag, uid, gid)) return Errno::enoent;
+  node.ctime = clock_->now();
+  return ok_result();
+}
+
+Result<Acl> FileSystem::acl_get(const Credentials& cred,
+                                const std::string& path) {
+  auto r = resolve(cred, path, /*follow=*/true);
+  if (!r) return r.error();
+  const Inode& node = get(r->node);
+  return node.acl.value_or(Acl{});
+}
+
+Result<DeviceRef> FileSystem::open_device(const Credentials& cred,
+                                          const std::string& path,
+                                          Access want) {
+  auto r = resolve(cred, path, /*follow=*/true);
+  if (!r) return r.error();
+  const Inode& node = get(r->node);
+  if (node.kind != FileKind::chardev) return Errno::enodev;
+  if (!permits(cred, node, want)) return Errno::eacces;
+  return *node.device;
+}
+
+void FileSystem::for_each(
+    const std::function<void(const std::string&, const Inode&)>& visit)
+    const {
+  // Iterative DFS to avoid recursion limits on deep trees.
+  std::vector<std::pair<std::string, InodeId>> stack{{"/", root_}};
+  while (!stack.empty()) {
+    auto [path, id] = stack.back();
+    stack.pop_back();
+    const Inode& node = get(id);
+    visit(path, node);
+    if (node.is_dir()) {
+      for (const auto& [name, child] : node.entries) {
+        const std::string child_path =
+            (path == "/") ? "/" + name : path + "/" + name;
+        stack.emplace_back(child_path, child);
+      }
+    }
+  }
+}
+
+void MountTable::mount(const std::string& prefix, FileSystem* fs) {
+  assert(!prefix.empty() && prefix.front() == '/');
+  mounts_.emplace_back(prefix, fs);
+  std::sort(mounts_.begin(), mounts_.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.size() > b.first.size();
+            });
+}
+
+FileSystem* MountTable::lookup(const std::string& path) const {
+  for (const auto& [prefix, fs] : mounts_) {
+    if (prefix == "/") return fs;
+    if (path == prefix ||
+        (path.size() > prefix.size() &&
+         path.compare(0, prefix.size(), prefix) == 0 &&
+         path[prefix.size()] == '/')) {
+      return fs;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::pair<std::string, FileSystem*>> MountTable::mounts() const {
+  return mounts_;
+}
+
+}  // namespace heus::vfs

@@ -1,0 +1,30 @@
+// Path handling for the simulated VFS. Paths are absolute, '/'-separated.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace heus::vfs {
+
+inline constexpr std::size_t kMaxNameLen = 255;
+inline constexpr std::size_t kMaxSymlinkDepth = 8;
+
+/// Split an absolute path into components, normalising "." and empty
+/// segments. ".." is resolved lexically (the simulated VFS has no
+/// mount-crossing ".." subtleties to preserve). Returns EINVAL for
+/// relative paths, ENAMETOOLONG for oversized components.
+Result<std::vector<std::string>> split_path(std::string_view path);
+
+/// Join components back into an absolute path ("/" for empty).
+[[nodiscard]] std::string join_path(const std::vector<std::string>& parts);
+
+/// Parent directory of an absolute path ("/a/b" -> "/a", "/a" -> "/").
+[[nodiscard]] std::string dirname(std::string_view path);
+
+/// Final component ("/a/b" -> "b", "/" -> "").
+[[nodiscard]] std::string basename(std::string_view path);
+
+}  // namespace heus::vfs

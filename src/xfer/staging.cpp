@@ -1,0 +1,84 @@
+#include "xfer/staging.h"
+
+namespace heus::xfer {
+
+Result<TransferId> StagingService::submit(const simos::Credentials& cred,
+                                          Direction direction,
+                                          const std::string& remote_path,
+                                          const std::string& local_path) {
+  if (remote_path.empty() || local_path.empty() ||
+      local_path.front() != '/') {
+    return Errno::einval;
+  }
+  const TransferId id{next_id_++};
+  Transfer transfer;
+  transfer.id = id;
+  transfer.user = cred.uid;
+  transfer.direction = direction;
+  transfer.remote_path = remote_path;
+  transfer.local_path = local_path;
+  transfer.submitted = clock_->now();
+  transfers_.emplace(id, std::move(transfer));
+  creds_.emplace(id, cred);
+  queue_.push_back(id);
+  return id;
+}
+
+void StagingService::execute(Transfer& transfer) {
+  const simos::Credentials& cred = creds_.at(transfer.id);
+  auto fail = [&](Errno e) {
+    transfer.state = TransferState::failed;
+    transfer.error = e;
+    ++stats_.transfers_failed;
+  };
+
+  if (transfer.direction == Direction::stage_in) {
+    const std::string* object = store_->get(transfer.remote_path);
+    if (object == nullptr) {
+      fail(Errno::enoent);
+      return;
+    }
+    // The write runs with the USER's credentials: landing the file in a
+    // foreign directory fails on ordinary DAC, and the landed file obeys
+    // smask/quota like any other file the user creates.
+    auto written = fs_->write_file(cred, transfer.local_path, *object);
+    if (!written) {
+      fail(written.error());
+      return;
+    }
+    transfer.bytes = object->size();
+  } else {
+    auto content = fs_->read_file(cred, transfer.local_path);
+    if (!content) {
+      fail(content.error());
+      return;
+    }
+    store_->put(transfer.remote_path, *content);
+    transfer.bytes = content->size();
+  }
+
+  clock_->advance(static_cast<std::int64_t>(
+      static_cast<double>(transfer.bytes) / wan_bytes_per_ns_));
+  transfer.state = TransferState::done;
+  transfer.finished = clock_->now();
+  ++stats_.transfers_done;
+  stats_.bytes_moved += transfer.bytes;
+}
+
+std::size_t StagingService::process_all() {
+  std::size_t processed = 0;
+  while (!queue_.empty()) {
+    const TransferId id = queue_.front();
+    queue_.pop_front();
+    execute(transfers_.at(id));
+    ++processed;
+  }
+  return processed;
+}
+
+const Transfer* StagingService::find(TransferId id) const {
+  auto it = transfers_.find(id);
+  return it == transfers_.end() ? nullptr : &it->second;
+}
+
+}  // namespace heus::xfer

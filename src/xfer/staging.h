@@ -1,0 +1,112 @@
+// Data-transfer-node (DTN) staging service.
+//
+// The paper lists data transfer nodes among the multi-user machines that
+// keep needing hidepid even under whole-node scheduling (§IV-B). This
+// module models the service those nodes exist for: staging datasets
+// between external storage and the cluster filesystems. The separation
+// property that matters is that a transfer executes *as the requesting
+// user* — the landed file is written through the VFS with the user's own
+// credentials, so every §IV-C control (DAC, smask, quotas) applies to
+// staged data exactly as to locally-created data, and one user cannot
+// stage into (or out of) another user's directories.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "simos/credentials.h"
+#include "vfs/filesystem.h"
+
+namespace heus::xfer {
+
+struct TransferIdTag {};
+using TransferId = StrongId<TransferIdTag, std::uint64_t>;
+
+enum class Direction { stage_in, stage_out };
+enum class TransferState { queued, done, failed };
+
+struct Transfer {
+  TransferId id{};
+  Uid user{};
+  Direction direction = Direction::stage_in;
+  std::string remote_path;
+  std::string local_path;
+  std::uint64_t bytes = 0;
+  TransferState state = TransferState::queued;
+  Errno error = Errno::ok;
+  common::SimTime submitted{};
+  common::SimTime finished{};
+};
+
+/// A simulated external endpoint (campus storage, archive, …): a flat
+/// remote namespace owned per user — remote credentials are out of scope,
+/// only the *cluster-side* write/read rights are under test here.
+class ExternalStore {
+ public:
+  void put(const std::string& path, std::string data) {
+    objects_[path] = std::move(data);
+  }
+  [[nodiscard]] const std::string* get(const std::string& path) const {
+    auto it = objects_.find(path);
+    return it == objects_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] std::size_t size() const { return objects_.size(); }
+
+ private:
+  std::map<std::string, std::string> objects_;
+};
+
+struct StagingStats {
+  std::uint64_t transfers_done = 0;
+  std::uint64_t transfers_failed = 0;
+  std::uint64_t bytes_moved = 0;
+};
+
+/// The DTN daemon: a FIFO of transfers drained at WAN bandwidth, each
+/// executed with the submitting user's credentials against the cluster
+/// filesystem.
+class StagingService {
+ public:
+  /// `wan_bytes_per_ns`: ~1.25 bytes/ns = 10 Gb/s, a typical DTN uplink.
+  StagingService(vfs::FileSystem* fs, ExternalStore* store,
+                 common::SimClock* clock, double wan_bytes_per_ns = 1.25)
+      : fs_(fs), store_(store), clock_(clock),
+        wan_bytes_per_ns_(wan_bytes_per_ns) {}
+
+  /// Enqueue a transfer. Access rights are checked at *execution* time
+  /// (like a real unattended transfer), so a queued stage-in into a
+  /// foreign directory fails rather than leaking.
+  Result<TransferId> submit(const simos::Credentials& cred,
+                            Direction direction,
+                            const std::string& remote_path,
+                            const std::string& local_path);
+
+  /// Drain the queue, charging simulated WAN time per byte. Returns the
+  /// number of transfers processed.
+  std::size_t process_all();
+
+  [[nodiscard]] const Transfer* find(TransferId id) const;
+  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+  [[nodiscard]] const StagingStats& stats() const { return stats_; }
+
+ private:
+  void execute(Transfer& transfer);
+
+  vfs::FileSystem* fs_;
+  ExternalStore* store_;
+  common::SimClock* clock_;
+  double wan_bytes_per_ns_;
+  std::deque<TransferId> queue_;
+  std::map<TransferId, Transfer> transfers_;
+  std::map<TransferId, simos::Credentials> creds_;
+  StagingStats stats_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace heus::xfer

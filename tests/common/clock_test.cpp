@@ -1,0 +1,43 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace heus::common {
+namespace {
+
+TEST(SimClock, StartsAtZero) {
+  SimClock c;
+  EXPECT_EQ(c.now().ns, 0);
+}
+
+TEST(SimClock, AdvanceAccumulates) {
+  SimClock c;
+  c.advance(5);
+  c.advance(10);
+  EXPECT_EQ(c.now().ns, 15);
+}
+
+TEST(SimClock, AdvanceToMonotonic) {
+  SimClock c;
+  c.advance_to(SimTime{100});
+  EXPECT_EQ(c.now().ns, 100);
+  c.advance_to(SimTime{50});  // earlier: no-op
+  EXPECT_EQ(c.now().ns, 100);
+}
+
+TEST(SimTime, OrderingAndArithmetic) {
+  SimTime a{10};
+  SimTime b{20};
+  EXPECT_LT(a, b);
+  EXPECT_EQ((a + 10), b);
+  EXPECT_DOUBLE_EQ(SimTime{1'500'000'000}.seconds(), 1.5);
+}
+
+TEST(SimTime, DurationConstants) {
+  EXPECT_EQ(kSecond, 1'000'000'000);
+  EXPECT_EQ(kMillisecond * 1'000, kSecond);
+  EXPECT_EQ(kMicrosecond * 1'000, kMillisecond);
+}
+
+}  // namespace
+}  // namespace heus::common

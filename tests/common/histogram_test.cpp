@@ -1,0 +1,68 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace heus::common {
+namespace {
+
+TEST(Histogram, EmptyState) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.summary(), "n=0");
+}
+
+TEST(Histogram, BasicStatistics) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+}
+
+TEST(Histogram, QuantileInterpolates) {
+  Histogram h;
+  h.add(0.0);
+  h.add(10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, StddevOfConstantIsZero) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.add(7.0);
+  EXPECT_DOUBLE_EQ(h.stddev(), 0.0);
+}
+
+TEST(Histogram, MergeCombinesSamples) {
+  Histogram a;
+  Histogram b;
+  a.add(1.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(Histogram, AddAfterQuantileInvalidatesCache) {
+  Histogram h;
+  h.add(1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+  h.add(10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, SummaryMentionsCountAndUnit) {
+  Histogram h;
+  h.add(2.0);
+  const std::string s = h.summary("us");
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+  EXPECT_NE(s.find("us"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace heus::common

@@ -1,0 +1,76 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace heus {
+namespace {
+
+Result<int> parse_positive(int v) {
+  if (v <= 0) return Errno::einval;
+  return v;
+}
+
+TEST(Result, SuccessCarriesValue) {
+  auto r = parse_positive(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.error(), Errno::ok);
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(*r, 7);
+}
+
+TEST(Result, ErrorCarriesErrno) {
+  auto r = parse_positive(-3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_FALSE(static_cast<bool>(r));
+  EXPECT_EQ(r.error(), Errno::einval);
+}
+
+TEST(Result, ValueOrFallsBack) {
+  EXPECT_EQ(parse_positive(5).value_or(-1), 5);
+  EXPECT_EQ(parse_positive(0).value_or(-1), -1);
+}
+
+TEST(Result, ArrowAccess) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(Result, MoveOnlyValueSupport) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.ok());
+  auto owned = std::move(r).value();
+  EXPECT_EQ(*owned, 9);
+}
+
+TEST(ResultVoid, DefaultIsSuccess) {
+  Result<void> r = ok_result();
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.error(), Errno::ok);
+}
+
+TEST(ResultVoid, ImplicitErrnoConstruction) {
+  Result<void> r = Errno::eacces;
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), Errno::eacces);
+}
+
+TEST(ErrnoNames, RoundTripAllCodes) {
+  // Every code has a distinct symbolic name and a human message.
+  for (int i = 0; i <= static_cast<int>(Errno::edquot); ++i) {
+    const auto e = static_cast<Errno>(i);
+    EXPECT_FALSE(errno_name(e).empty());
+    EXPECT_FALSE(errno_message(e).empty());
+    EXPECT_NE(errno_name(e), "E???");
+  }
+}
+
+TEST(ErrnoNames, SpecificSpellings) {
+  EXPECT_EQ(errno_name(Errno::eacces), "EACCES");
+  EXPECT_EQ(errno_name(Errno::eperm), "EPERM");
+  EXPECT_EQ(errno_message(Errno::eacces), "Permission denied");
+}
+
+}  // namespace
+}  // namespace heus

@@ -1,0 +1,66 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace heus::common {
+namespace {
+
+TEST(Split, BasicFields) {
+  auto v = split("a,b,c", ',');
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[2], "c");
+}
+
+TEST(Split, DropsEmptyByDefault) {
+  auto v = split("/usr//bin/", '/');
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], "usr");
+  EXPECT_EQ(v[1], "bin");
+}
+
+TEST(Split, KeepEmptyPreservesStructure) {
+  auto v = split("a::b", ':', /*keep_empty=*/true);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], "");
+}
+
+TEST(Split, EmptyInput) {
+  EXPECT_TRUE(split("", ',').empty());
+  EXPECT_EQ(split("", ',', true).size(), 1u);
+}
+
+TEST(Join, RoundTrip) {
+  EXPECT_EQ(join({"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_EQ(join({}, "/"), "");
+  EXPECT_EQ(join({"solo"}, ", "), "solo");
+}
+
+TEST(StartsWith, Matches) {
+  EXPECT_TRUE(starts_with("/proc/123", "/proc"));
+  EXPECT_FALSE(starts_with("/pro", "/proc"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(ModeString, StandardModes) {
+  EXPECT_EQ(mode_string(0755), "rwxr-xr-x");
+  EXPECT_EQ(mode_string(0640), "rw-r-----");
+  EXPECT_EQ(mode_string(0000), "---------");
+  EXPECT_EQ(mode_string(0777), "rwxrwxrwx");
+}
+
+TEST(ModeString, SpecialBits) {
+  EXPECT_EQ(mode_string(04755), "rwsr-xr-x");  // setuid
+  EXPECT_EQ(mode_string(02750), "rwxr-s---");  // setgid
+  EXPECT_EQ(mode_string(01777), "rwxrwxrwt");  // sticky (e.g. /tmp)
+  EXPECT_EQ(mode_string(01666), "rw-rw-rwT");  // sticky w/o exec
+}
+
+TEST(StrFormat, FormatsLikePrintf) {
+  EXPECT_EQ(strformat("job %d on %s", 42, "node-1"), "job 42 on node-1");
+  EXPECT_EQ(strformat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(strformat("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace heus::common

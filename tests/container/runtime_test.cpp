@@ -1,0 +1,184 @@
+// HPC container runtime (paper §IV-G): unprivileged execution with host
+// security passthrough.
+#include "container/runtime.h"
+
+#include <gtest/gtest.h>
+
+namespace heus::container {
+namespace {
+
+using simos::Credentials;
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alice = *db.create_user("alice");
+    bob = *db.create_user("bob");
+    a = *simos::login(db, alice);
+    b = *simos::login(db, bob);
+
+    host_fs = std::make_unique<vfs::FileSystem>(
+        "host", &db, &clock, vfs::FsPolicy::hardened());
+    const Credentials root = simos::root_credentials();
+    ASSERT_TRUE(host_fs->mkdir(root, "/home", 0755).ok());
+    ASSERT_TRUE(host_fs->mkdir(root, "/home/alice", 0700).ok());
+    ASSERT_TRUE(host_fs->chown(root, "/home/alice", alice).ok());
+    mounts.mount("/", host_fs.get());
+
+    image = std::make_unique<Image>(
+        "pytorch-2.1.sif",
+        std::map<std::string, std::string>{
+            {"/opt/conda/bin/python", "#!ELF python"},
+            {"/etc/os-release", "NAME=ContainerOS"},
+        });
+    runtime.grant(alice);
+  }
+
+  common::SimClock clock;
+  simos::UserDb db;
+  Uid alice, bob;
+  Credentials a, b;
+  std::unique_ptr<vfs::FileSystem> host_fs;
+  vfs::MountTable mounts;
+  std::unique_ptr<Image> image;
+  simos::ProcessTable procs{&clock};
+  Runtime runtime;
+};
+
+TEST_F(RuntimeTest, ExecRunsWithCallerCredentialsUnchanged) {
+  auto id = runtime.exec(a, image.get(), "python train.py", &procs,
+                         &mounts);
+  ASSERT_TRUE(id.ok());
+  const Instance* inst = runtime.find(*id);
+  ASSERT_NE(inst, nullptr);
+  // The decisive HPC-container property: no privilege change whatsoever.
+  EXPECT_EQ(inst->cred.uid, alice);
+  EXPECT_EQ(inst->cred.egid, a.egid);
+  EXPECT_EQ(inst->cred.smask, a.smask);
+  const simos::Process* p = procs.find(inst->pid);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(p->in_container);
+  EXPECT_EQ(p->cred.uid, alice);
+}
+
+TEST_F(RuntimeTest, ExecRequiresGrant) {
+  auto id = runtime.exec(b, image.get(), "bash", &procs, &mounts);
+  EXPECT_EQ(id.error(), Errno::eperm);
+  runtime.grant(bob);
+  EXPECT_TRUE(runtime.exec(b, image.get(), "bash", &procs, &mounts).ok());
+  runtime.revoke(bob);
+  EXPECT_FALSE(runtime.is_granted(bob));
+}
+
+TEST_F(RuntimeTest, DisabledRuntimeRefusesEveryone) {
+  Runtime off(RuntimeOptions{false});
+  off.grant(alice);
+  EXPECT_EQ(off.exec(a, image.get(), "bash", &procs, &mounts).error(),
+            Errno::eperm);
+}
+
+TEST_F(RuntimeTest, ImagePathsReadableAndImmutable) {
+  auto id = runtime.exec(a, image.get(), "bash", &procs, &mounts);
+  ASSERT_TRUE(id.ok());
+  const ContainerFsView& fs = runtime.find(*id)->fs;
+  EXPECT_EQ(*fs.read_file(a, "/etc/os-release"), "NAME=ContainerOS");
+  EXPECT_EQ(fs.write_file(a, "/etc/os-release", "HACKED").error(),
+            Errno::erofs);
+  EXPECT_EQ(fs.chmod(a, "/etc/os-release", 0777).error(), Errno::erofs);
+}
+
+TEST_F(RuntimeTest, HostPassthroughAppliesHostDac) {
+  // Prepare a host file with owner-only permissions.
+  ASSERT_TRUE(host_fs->write_file(a, "/home/alice/data.txt",
+                                  "host data").ok());
+  auto id_a = runtime.exec(a, image.get(), "bash", &procs, &mounts);
+  ASSERT_TRUE(id_a.ok());
+  const ContainerFsView& fs_a = runtime.find(*id_a)->fs;
+  EXPECT_EQ(*fs_a.read_file(a, "/home/alice/data.txt"), "host data");
+
+  // bob inside a container hits the very same wall as outside.
+  runtime.grant(bob);
+  auto id_b = runtime.exec(b, image.get(), "bash", &procs, &mounts);
+  ASSERT_TRUE(id_b.ok());
+  const ContainerFsView& fs_b = runtime.find(*id_b)->fs;
+  EXPECT_EQ(fs_b.read_file(b, "/home/alice/data.txt").error(),
+            Errno::eacces);
+}
+
+TEST_F(RuntimeTest, SmaskAppliesInsideContainer) {
+  // §IV-G: "all of the security features described in this paper pass
+  // through to the container as well." chmod 777 inside the container is
+  // masked exactly like outside.
+  auto id = runtime.exec(a, image.get(), "bash", &procs, &mounts);
+  ASSERT_TRUE(id.ok());
+  const ContainerFsView& fs = runtime.find(*id)->fs;
+  ASSERT_TRUE(fs.write_file(a, "/home/alice/out.dat", "x").ok());
+  ASSERT_TRUE(fs.chmod(a, "/home/alice/out.dat", 0777).ok());
+  EXPECT_EQ(host_fs->stat(a, "/home/alice/out.dat")->mode, 0770u);
+}
+
+TEST_F(RuntimeTest, HostWritesVisibleOutside) {
+  auto id = runtime.exec(a, image.get(), "bash", &procs, &mounts);
+  ASSERT_TRUE(id.ok());
+  const ContainerFsView& fs = runtime.find(*id)->fs;
+  ASSERT_TRUE(fs.write_file(a, "/home/alice/result.csv", "1,2,3").ok());
+  // Passthrough means the write landed on the host filesystem directly.
+  EXPECT_EQ(*host_fs->read_file(a, "/home/alice/result.csv"), "1,2,3");
+}
+
+TEST_F(RuntimeTest, StatCoversImageAndHost) {
+  auto id = runtime.exec(a, image.get(), "bash", &procs, &mounts);
+  ASSERT_TRUE(id.ok());
+  const ContainerFsView& fs = runtime.find(*id)->fs;
+  auto img_stat = fs.stat(a, "/opt/conda/bin/python");
+  ASSERT_TRUE(img_stat.ok());
+  EXPECT_EQ(img_stat->mode, 0555u);
+  EXPECT_EQ(fs.stat(a, "/nonexistent").error(), Errno::enoent);
+}
+
+TEST_F(RuntimeTest, StopReapsProcess) {
+  auto id = runtime.exec(a, image.get(), "bash", &procs, &mounts);
+  ASSERT_TRUE(id.ok());
+  const Pid pid = runtime.find(*id)->pid;
+  ASSERT_TRUE(runtime.stop(*id, &procs).ok());
+  EXPECT_EQ(procs.find(pid), nullptr);
+  EXPECT_EQ(runtime.find(*id), nullptr);
+  EXPECT_EQ(runtime.stop(*id, &procs).error(), Errno::enoent);
+}
+
+TEST_F(RuntimeTest, ImageRegistrySprawlCensus) {
+  // §IV-G: containers proliferate by sharing/cloning and go stale.
+  ImageRegistry registry(&clock);
+  registry.register_image("/home/alice/pytorch.sif", alice);
+  registry.register_image("/proj/widgets/pytorch-copy.sif", bob,
+                          /*clone_of_other=*/true);
+  registry.register_image("/home/bob/old-tool.sif", bob);
+  EXPECT_EQ(registry.size(), 3u);
+  EXPECT_EQ(registry.clone_count(), 1u);
+
+  // A year passes; only one image keeps being used.
+  const std::int64_t kYear = 365LL * 24 * 3600 * common::kSecond;
+  clock.advance(kYear);
+  registry.touch("/home/alice/pytorch.sif");
+  auto stale = registry.stale(/*max_idle_ns=*/30 * 24 * 3600 *
+                              common::kSecond);
+  ASSERT_EQ(stale.size(), 2u);
+  EXPECT_EQ(registry.find("/home/alice/pytorch.sif")->run_count, 1u);
+
+  // Cleanup discipline: removing the stale ones shrinks the census.
+  for (const auto& entry : stale) {
+    EXPECT_TRUE(registry.remove(entry.path));
+  }
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_FALSE(registry.remove("/nonexistent.sif"));
+}
+
+TEST_F(RuntimeTest, ImageMetadata) {
+  EXPECT_EQ(image->name(), "pytorch-2.1.sif");
+  EXPECT_EQ(image->file_count(), 2u);
+  EXPECT_TRUE(image->contains("/etc/os-release"));
+  EXPECT_EQ(image->find("/missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace heus::container

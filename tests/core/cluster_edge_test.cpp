@@ -1,0 +1,114 @@
+// Negative-path and edge-case coverage for the cluster facade.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+
+namespace heus::core {
+namespace {
+
+using common::kSecond;
+
+ClusterConfig tiny() {
+  ClusterConfig cfg;
+  cfg.compute_nodes = 1;
+  cfg.login_nodes = 1;
+  cfg.cpus_per_node = 4;
+  cfg.policy = SeparationPolicy::hardened();
+  return cfg;
+}
+
+TEST(ClusterEdge, DuplicateUserRejected) {
+  Cluster c(tiny());
+  ASSERT_TRUE(c.add_user("alice").ok());
+  EXPECT_EQ(c.add_user("alice").error(), Errno::eexist);
+  // The home directory from the first creation is untouched.
+  EXPECT_TRUE(c.shared_fs()
+                  .stat(simos::root_credentials(), "/home/alice")
+                  .ok());
+}
+
+TEST(ClusterEdge, ProjectRequiresExistingSteward) {
+  Cluster c(tiny());
+  EXPECT_EQ(c.create_project("ghosts", Uid{4242}).error(), Errno::enoent);
+  EXPECT_EQ(c.shared_fs()
+                .stat(simos::root_credentials(), "/proj/ghosts")
+                .error(),
+            Errno::enoent);
+}
+
+TEST(ClusterEdge, DuplicateProjectNameRejected) {
+  Cluster c(tiny());
+  const Uid alice = *c.add_user("alice");
+  ASSERT_TRUE(c.create_project("widgets", alice).ok());
+  EXPECT_EQ(c.create_project("widgets", alice).error(), Errno::eexist);
+}
+
+TEST(ClusterEdge, LoginUnknownUserFails) {
+  Cluster c(tiny());
+  EXPECT_EQ(c.login(Uid{999}).error(), Errno::enoent);
+}
+
+TEST(ClusterEdge, SshToNonexistentNodeUnreachable) {
+  Cluster c(tiny());
+  const Uid alice = *c.add_user("alice");
+  auto session = *c.login(alice);
+  EXPECT_EQ(c.ssh(session, NodeId{99}).error(), Errno::ehostunreach);
+}
+
+TEST(ClusterEdge, SubmitUnsatisfiableJobRejected) {
+  Cluster c(tiny());
+  const Uid alice = *c.add_user("alice");
+  auto session = *c.login(alice);
+  sched::JobSpec spec;
+  spec.num_tasks = 64;  // single 4-cpu compute node
+  EXPECT_EQ(c.submit(session, spec).error(), Errno::einval);
+  sched::JobSpec wrong_partition;
+  wrong_partition.partition = "debug";  // no debug nodes configured
+  EXPECT_EQ(c.submit(session, wrong_partition).error(), Errno::einval);
+}
+
+TEST(ClusterEdge, LogoutIsIdempotentEnough) {
+  Cluster c(tiny());
+  const Uid alice = *c.add_user("alice");
+  auto session = *c.login(alice);
+  c.logout(session);
+  // Second logout finds no process; must not crash or throw.
+  c.logout(session);
+  SUCCEED();
+}
+
+TEST(ClusterEdge, FsAtUnknownPathsReturnNull) {
+  Cluster c(tiny());
+  // Mount table covers "/", so anything rooted resolves to the local fs;
+  // only bogus node ids return null.
+  EXPECT_NE(c.fs_at(NodeId{0}, "/anything"), nullptr);
+  EXPECT_EQ(c.fs_at(NodeId{42}, "/anything"), nullptr);
+}
+
+TEST(ClusterEdge, ZeroGpuClusterSkipsDevNodes) {
+  Cluster c(tiny());  // gpus_per_node = 0
+  EXPECT_EQ(c.node(NodeId{0}).gpus().size(), 0u);
+  EXPECT_EQ(c.node(NodeId{0})
+                .local_fs()
+                .stat(simos::root_credentials(), "/dev/nvidia0")
+                .error(),
+            Errno::enoent);
+}
+
+TEST(ClusterEdge, PolicyReapplicationIsIdempotent) {
+  Cluster c(tiny());
+  const Uid alice = *c.add_user("alice");
+  for (int i = 0; i < 3; ++i) {
+    c.apply_policy(SeparationPolicy::hardened());
+  }
+  auto session = c.login(alice);
+  ASSERT_TRUE(session.ok());
+  sched::JobSpec spec;
+  spec.duration_ns = kSecond;
+  ASSERT_TRUE(c.submit(*session, spec).ok());
+  c.run_jobs();
+  EXPECT_EQ(c.scheduler().completed_count(), 1u);
+}
+
+}  // namespace
+}  // namespace heus::core

@@ -1,0 +1,331 @@
+// Cluster facade wiring tests.
+#include "core/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace heus::core {
+namespace {
+
+using common::kSecond;
+
+ClusterConfig small_config(SeparationPolicy policy) {
+  ClusterConfig cfg;
+  cfg.compute_nodes = 4;
+  cfg.login_nodes = 2;
+  cfg.cpus_per_node = 8;
+  cfg.gpus_per_node = 2;
+  cfg.gpu_mem_bytes = 4096;
+  cfg.policy = policy;
+  return cfg;
+}
+
+TEST(Cluster, TopologyConstructed) {
+  Cluster c(small_config(SeparationPolicy::baseline()));
+  EXPECT_EQ(c.node_count(), 6u);
+  EXPECT_EQ(c.compute_nodes().size(), 4u);
+  EXPECT_EQ(c.login_nodes().size(), 2u);
+  // Every node got a network host, plus the portal host.
+  EXPECT_EQ(c.network().host_count(), 7u);
+  EXPECT_EQ(c.node(NodeId{0}).hostname(), "compute-0");
+  EXPECT_EQ(c.node(NodeId{0}).gpus().size(), 2u);
+  EXPECT_EQ(c.node(c.login_nodes()[0]).gpus().size(), 0u);
+}
+
+TEST(Cluster, NodeLocalNamespacePrepared) {
+  Cluster c(small_config(SeparationPolicy::hardened()));
+  Node& nd = c.node(NodeId{0});
+  const auto root = simos::root_credentials();
+  auto tmp = nd.local_fs().stat(root, "/tmp");
+  ASSERT_TRUE(tmp.ok());
+  EXPECT_EQ(tmp->mode, 01777u);
+  EXPECT_TRUE(nd.local_fs().stat(root, "/dev/shm").ok());
+  EXPECT_TRUE(nd.local_fs().stat(root, "/dev/nvidia0").ok());
+  EXPECT_TRUE(nd.local_fs().stat(root, "/dev/nvidia1").ok());
+  EXPECT_EQ(nd.local_fs().stat(root, "/dev/nvidia2").error(),
+            Errno::enoent);
+}
+
+TEST(Cluster, AddUserCreatesHomePerPolicy) {
+  // Hardened: root-owned, UPG group, 0770.
+  Cluster hard(small_config(SeparationPolicy::hardened()));
+  const Uid alice = *hard.add_user("alice");
+  auto st = hard.shared_fs().stat(simos::root_credentials(),
+                                  "/home/alice");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->uid, kRootUid);
+  EXPECT_EQ(st->gid, hard.users().find_user(alice)->private_group);
+  EXPECT_EQ(st->mode, 0770u);
+
+  // Baseline: user-owned 0755 (the stock leaky default).
+  Cluster base(small_config(SeparationPolicy::baseline()));
+  const Uid bob = *base.add_user("bob");
+  auto st2 = base.shared_fs().stat(simos::root_credentials(),
+                                   "/home/bob");
+  EXPECT_EQ(st2->uid, bob);
+  EXPECT_EQ(st2->mode, 0755u);
+}
+
+TEST(Cluster, ProjectDirectoryIsSetgidGroupOwned) {
+  Cluster c(small_config(SeparationPolicy::hardened()));
+  const Uid alice = *c.add_user("alice");
+  const Uid bob = *c.add_user("bob");
+  const Gid proj = *c.create_project("widgets", alice);
+  ASSERT_TRUE(c.add_to_project(alice, proj, bob).ok());
+
+  auto st = c.shared_fs().stat(simos::root_credentials(),
+                               "/proj/widgets");
+  EXPECT_EQ(st->gid, proj);
+  EXPECT_EQ(st->mode, 02770u);
+
+  // End-to-end: alice writes, bob reads, carol cannot.
+  auto a = *simos::login(c.users(), alice);
+  auto b = *simos::login(c.users(), bob);
+  const Uid carol = *c.add_user("carol");
+  auto ca = *simos::login(c.users(), carol);
+  ASSERT_TRUE(c.shared_fs().write_file(a, "/proj/widgets/data.csv",
+                                       "1,2").ok());
+  EXPECT_TRUE(c.shared_fs().read_file(b, "/proj/widgets/data.csv").ok());
+  EXPECT_EQ(c.shared_fs().read_file(ca, "/proj/widgets/data.csv").error(),
+            Errno::eacces);
+}
+
+TEST(Cluster, LoginSpawnsShellOnLoginNode) {
+  Cluster c(small_config(SeparationPolicy::hardened()));
+  const Uid alice = *c.add_user("alice");
+  auto session = c.login(alice);
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session->node, c.login_nodes().front());
+  const simos::Process* shell =
+      c.node(session->node).procs().find(session->shell);
+  ASSERT_NE(shell, nullptr);
+  EXPECT_EQ(shell->cred.uid, alice);
+  c.logout(*session);
+  EXPECT_EQ(c.node(c.login_nodes().front()).procs().find(session->shell),
+            nullptr);
+}
+
+TEST(Cluster, SshGatedByPamSlurm) {
+  Cluster c(small_config(SeparationPolicy::hardened()));
+  const Uid alice = *c.add_user("alice");
+  auto session = c.login(alice);
+  ASSERT_TRUE(session.ok());
+  // No job anywhere: compute nodes closed, login nodes open.
+  EXPECT_EQ(c.ssh(*session, NodeId{0}).error(), Errno::eperm);
+  EXPECT_TRUE(c.ssh(*session, c.login_nodes()[1]).ok());
+
+  // With a running job, exactly that node opens up.
+  sched::JobSpec spec;
+  spec.duration_ns = 3600 * kSecond;
+  auto job = c.submit(*session, spec);
+  ASSERT_TRUE(job.ok());
+  c.scheduler().step();
+  const NodeId jn = c.scheduler().find_job(*job)->allocations[0].node;
+  EXPECT_TRUE(c.ssh(*session, jn).ok());
+}
+
+TEST(Cluster, JobLifecycleSpawnsAndReapsTaskProcesses) {
+  Cluster c(small_config(SeparationPolicy::hardened()));
+  const Uid alice = *c.add_user("alice");
+  auto session = c.login(alice);
+  sched::JobSpec spec;
+  spec.command = "python train.py";
+  spec.duration_ns = 10 * kSecond;
+  auto job = c.submit(*session, spec);
+  ASSERT_TRUE(job.ok());
+  c.scheduler().step();
+  const NodeId jn = c.scheduler().find_job(*job)->allocations[0].node;
+  // The prolog materialised a task process with the job's command.
+  bool found = false;
+  for (Pid pid : c.node(jn).procs().pids_of(alice)) {
+    const simos::Process* p = c.node(jn).procs().find(pid);
+    if (p->cmdline == "python train.py" && p->job == *job) found = true;
+  }
+  EXPECT_TRUE(found);
+  c.run_jobs();
+  // Epilog reaped everything of alice's on the compute node.
+  EXPECT_TRUE(c.node(jn).procs().pids_of(alice).empty());
+}
+
+TEST(Cluster, GpuDevPermissionsFollowAllocation) {
+  Cluster c(small_config(SeparationPolicy::hardened()));
+  const Uid alice = *c.add_user("alice");
+  const Uid bob = *c.add_user("bob");
+  auto a = *simos::login(c.users(), alice);
+  auto b = *simos::login(c.users(), bob);
+  auto session = c.login(alice);
+
+  // Unallocated: nobody (but root) can open the device.
+  Node& n0 = c.node(NodeId{0});
+  EXPECT_EQ(n0.local_fs()
+                .open_device(a, "/dev/nvidia0", vfs::Access::read)
+                .error(),
+            Errno::eacces);
+
+  sched::JobSpec spec;
+  spec.gpus_per_task = 1;
+  spec.duration_ns = 10 * kSecond;
+  auto job = c.submit(*session, spec);
+  ASSERT_TRUE(job.ok());
+  c.scheduler().step();
+  const auto& alloc = c.scheduler().find_job(*job)->allocations[0];
+  Node& jn = c.node(alloc.node);
+  const std::string dev = Node::gpu_dev_path(alloc.gpus[0].value());
+  // Allocated: the owner opens it, others cannot.
+  EXPECT_TRUE(jn.local_fs().open_device(a, dev, vfs::Access::write).ok());
+  EXPECT_EQ(jn.local_fs().open_device(b, dev, vfs::Access::read).error(),
+            Errno::eacces);
+
+  c.run_jobs();
+  // Released: closed again.
+  EXPECT_EQ(jn.local_fs().open_device(a, dev, vfs::Access::read).error(),
+            Errno::eacces);
+}
+
+TEST(Cluster, ApplyPolicySwitchesLive) {
+  Cluster c(small_config(SeparationPolicy::baseline()));
+  const Uid alice = *c.add_user("alice");
+  const Uid bob = *c.add_user("bob");
+  auto a = *simos::login(c.users(), alice);
+  auto b = *simos::login(c.users(), bob);
+
+  // Baseline: bob sees alice's processes.
+  auto session = c.login(alice);
+  ASSERT_TRUE(session.ok());
+  Node& ln = c.node(session->node);
+  EXPECT_FALSE(ln.procfs().snapshot(b).empty());
+
+  c.apply_policy(SeparationPolicy::hardened());
+  bool sees_alice = false;
+  for (const auto& d : ln.procfs().snapshot(b)) {
+    if (d.uid == alice) sees_alice = true;
+  }
+  EXPECT_FALSE(sees_alice);
+
+  // And back.
+  c.apply_policy(SeparationPolicy::baseline());
+  sees_alice = false;
+  for (const auto& d : ln.procfs().snapshot(b)) {
+    if (d.uid == alice) sees_alice = true;
+  }
+  EXPECT_TRUE(sees_alice);
+}
+
+TEST(Cluster, FsAtRoutesThroughMounts) {
+  Cluster c(small_config(SeparationPolicy::hardened()));
+  EXPECT_EQ(c.fs_at(NodeId{0}, "/home/alice/x"), &c.shared_fs());
+  EXPECT_EQ(c.fs_at(NodeId{0}, "/proj/widgets"), &c.shared_fs());
+  EXPECT_EQ(c.fs_at(NodeId{0}, "/tmp/x"), &c.node(NodeId{0}).local_fs());
+  EXPECT_EQ(c.fs_at(NodeId{1}, "/tmp/x"), &c.node(NodeId{1}).local_fs());
+  EXPECT_EQ(c.fs_at(NodeId{99}, "/tmp/x"), nullptr);
+}
+
+TEST(Cluster, DebugPartitionStaysMultiUserUnderHardening) {
+  // §IV-B: interactive-debug nodes keep co-scheduling users even under
+  // user-whole-node policy — and hidepid still protects them there.
+  ClusterConfig cfg = small_config(SeparationPolicy::hardened());
+  cfg.debug_nodes = 1;
+  Cluster c(cfg);
+  const Uid alice = *c.add_user("alice");
+  const Uid bob = *c.add_user("bob");
+  auto as = *c.login(alice);
+  auto bs = *c.login(bob);
+
+  sched::JobSpec spec;
+  spec.partition = "debug";
+  spec.command = "gdb ./crashing_sim";
+  spec.duration_ns = 100 * kSecond;
+  auto ja = c.submit(as, spec);
+  auto jb = c.submit(bs, spec);
+  c.scheduler().step();
+  ASSERT_TRUE(ja.ok());
+  ASSERT_TRUE(jb.ok());
+  const NodeId debug = c.debug_nodes().front();
+  // Co-resident on the debug node despite the hardened policy.
+  EXPECT_EQ(c.scheduler().find_job(*ja)->allocations[0].node, debug);
+  EXPECT_EQ(c.scheduler().find_job(*jb)->allocations[0].node, debug);
+
+  // hidepid still hides their task processes from each other there.
+  bool bob_sees_alice = false;
+  for (const auto& d : c.node(debug).procfs().snapshot(bs.cred)) {
+    if (d.uid == alice) bob_sees_alice = true;
+  }
+  EXPECT_FALSE(bob_sees_alice);
+  // But each debugs their own process fine.
+  bool alice_sees_own = false;
+  for (const auto& d : c.node(debug).procfs().snapshot(as.cred)) {
+    if (d.cmdline == "gdb ./crashing_sim" && d.uid == alice) {
+      alice_sees_own = true;
+    }
+  }
+  EXPECT_TRUE(alice_sees_own);
+
+  // Normal partition still whole-node: alice and bob land apart.
+  sched::JobSpec normal;
+  normal.duration_ns = 100 * kSecond;
+  auto na = c.submit(as, normal);
+  auto nb = c.submit(bs, normal);
+  c.scheduler().step();
+  ASSERT_TRUE(na.ok());
+  ASSERT_TRUE(nb.ok());
+  EXPECT_NE(c.scheduler().find_job(*na)->allocations[0].node,
+            c.scheduler().find_job(*nb)->allocations[0].node);
+}
+
+TEST(Cluster, SeepidGrantsProcfsExemption) {
+  Cluster c(small_config(SeparationPolicy::hardened()));
+  const Uid alice = *c.add_user("alice");
+  const Uid staff = *c.add_user("staff");
+  auto session = c.login(alice);
+  ASSERT_TRUE(session.ok());
+
+  auto s = *simos::login(c.users(), staff);
+  // Not whitelisted yet.
+  EXPECT_EQ(c.seepid().request(s).error(), Errno::eperm);
+  c.seepid().whitelist(staff);
+  auto elevated = c.seepid().request(s);
+  ASSERT_TRUE(elevated.ok());
+
+  Node& ln = c.node(session->node);
+  bool plain_sees = false, elevated_sees = false;
+  for (const auto& d : ln.procfs().snapshot(s)) {
+    if (d.uid == alice) plain_sees = true;
+  }
+  for (const auto& d : ln.procfs().snapshot(*elevated)) {
+    if (d.uid == alice) elevated_sees = true;
+  }
+  EXPECT_FALSE(plain_sees);
+  EXPECT_TRUE(elevated_sees);
+}
+
+TEST(Cluster, SmaskRelaxPublishesWorldReadableData) {
+  Cluster c(small_config(SeparationPolicy::hardened()));
+  const Uid staff = *c.add_user("staff");
+  const Uid user = *c.add_user("user");
+  auto s = *simos::login(c.users(), staff);
+  auto u = *simos::login(c.users(), user);
+  const auto root = simos::root_credentials();
+  ASSERT_TRUE(c.shared_fs().mkdir(root, "/proj/datasets", 0755).ok());
+  ASSERT_TRUE(c.shared_fs().chown(root, "/proj/datasets", staff).ok());
+
+  // Without relaxation the dataset cannot be made world-readable.
+  ASSERT_TRUE(c.shared_fs().write_file(s, "/proj/datasets/imagenet.idx",
+                                       "index").ok());
+  (void)c.shared_fs().chmod(s, "/proj/datasets/imagenet.idx", 0644);
+  EXPECT_EQ(c.shared_fs()
+                .read_file(u, "/proj/datasets/imagenet.idx")
+                .error(),
+            Errno::eacces);
+
+  // With smask_relax (whitelisted staff), world-read works.
+  c.smask_relax().whitelist(staff);
+  auto relaxed = c.smask_relax().request(s);
+  ASSERT_TRUE(relaxed.ok());
+  ASSERT_TRUE(c.shared_fs()
+                  .chmod(*relaxed, "/proj/datasets/imagenet.idx", 0644)
+                  .ok());
+  EXPECT_TRUE(
+      c.shared_fs().read_file(u, "/proj/datasets/imagenet.idx").ok());
+}
+
+}  // namespace
+}  // namespace heus::core

@@ -1,0 +1,263 @@
+// Cross-module integration scenarios: full user workflows on the wired
+// cluster, exercising several subsystems per test.
+#include <gtest/gtest.h>
+
+#include "core/audit.h"
+#include "core/cluster.h"
+
+namespace heus::core {
+namespace {
+
+using common::kSecond;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig cfg;
+    cfg.compute_nodes = 4;
+    cfg.login_nodes = 1;
+    cfg.cpus_per_node = 16;
+    cfg.gpus_per_node = 2;
+    cfg.gpu_mem_bytes = 4096;
+    cfg.policy = SeparationPolicy::hardened();
+    cluster = std::make_unique<Cluster>(cfg);
+    alice = *cluster->add_user("alice");
+    bob = *cluster->add_user("bob");
+    carol = *cluster->add_user("carol");
+  }
+
+  std::unique_ptr<Cluster> cluster;
+  Uid alice, bob, carol;
+};
+
+TEST_F(IntegrationTest, ProjectCollaborationEndToEnd) {
+  // alice leads a project; bob joins; carol does not.
+  const Gid proj = *cluster->create_project("fusion", alice);
+  ASSERT_TRUE(cluster->add_to_project(alice, proj, bob).ok());
+
+  auto a = *simos::login(cluster->users(), alice);
+  auto b = *simos::login(cluster->users(), bob);
+  auto c = *simos::login(cluster->users(), carol);
+
+  // Filesystem: project dir is the sharing surface.
+  ASSERT_TRUE(cluster->shared_fs()
+                  .write_file(a, "/proj/fusion/mesh.dat", "mesh")
+                  .ok());
+  EXPECT_TRUE(
+      cluster->shared_fs().read_file(b, "/proj/fusion/mesh.dat").ok());
+  EXPECT_FALSE(
+      cluster->shared_fs().read_file(c, "/proj/fusion/mesh.dat").ok());
+
+  // Network: alice serves under the project group; bob connects, carol
+  // is dropped by the UBF.
+  auto as = *cluster->login(alice);
+  auto server_cred = *simos::newgrp(cluster->users(), as.cred, proj);
+  const HostId login_host = cluster->node(as.node).host();
+  ASSERT_TRUE(cluster->network()
+                  .listen(login_host, server_cred, as.shell,
+                          net::Proto::tcp, 7777)
+                  .ok());
+  auto bs = *cluster->login(bob);
+  auto cs = *cluster->login(carol);
+  EXPECT_TRUE(cluster->network()
+                  .connect(cluster->node(bs.node).host(), bs.cred,
+                           bs.shell, login_host, net::Proto::tcp, 7777)
+                  .ok());
+  EXPECT_FALSE(cluster->network()
+                   .connect(cluster->node(cs.node).host(), cs.cred,
+                            cs.shell, login_host, net::Proto::tcp, 7777)
+                   .ok());
+}
+
+TEST_F(IntegrationTest, WholeNodePolicyIsolatesJobPlacement) {
+  auto as = *cluster->login(alice);
+  auto bs = *cluster->login(bob);
+  sched::JobSpec spec;
+  spec.num_tasks = 4;
+  spec.duration_ns = 100 * kSecond;
+  auto ja = cluster->submit(as, spec);
+  auto jb = cluster->submit(bs, spec);
+  ASSERT_TRUE(ja.ok());
+  ASSERT_TRUE(jb.ok());
+  cluster->scheduler().step();
+
+  const auto* job_a = cluster->scheduler().find_job(*ja);
+  const auto* job_b = cluster->scheduler().find_job(*jb);
+  ASSERT_EQ(job_a->state, sched::JobState::running);
+  ASSERT_EQ(job_b->state, sched::JobState::running);
+  std::set<NodeId> a_nodes, b_nodes;
+  for (const auto& al : job_a->allocations) a_nodes.insert(al.node);
+  for (const auto& al : job_b->allocations) b_nodes.insert(al.node);
+  for (NodeId n : a_nodes) EXPECT_FALSE(b_nodes.contains(n));
+}
+
+TEST_F(IntegrationTest, SshFollowsJobThenGetsCleanedUp) {
+  auto as = *cluster->login(alice);
+  sched::JobSpec spec;
+  spec.duration_ns = 50 * kSecond;
+  auto job = cluster->submit(as, spec);
+  ASSERT_TRUE(job.ok());
+  cluster->scheduler().step();
+  const NodeId jn = cluster->scheduler().find_job(*job)->allocations[0].node;
+
+  auto shell = cluster->ssh(as, jn);
+  ASSERT_TRUE(shell.ok());
+  EXPECT_NE(cluster->node(jn).procs().find(shell->shell), nullptr);
+
+  // Job ends; epilog reaps the lingering ssh shell too.
+  cluster->run_jobs();
+  EXPECT_EQ(cluster->node(jn).procs().find(shell->shell), nullptr);
+  // And the node is closed to ssh again.
+  EXPECT_EQ(cluster->ssh(as, jn).error(), Errno::eperm);
+}
+
+TEST_F(IntegrationTest, UserSocketsDieWithTheirLastJob) {
+  auto as = *cluster->login(alice);
+  sched::JobSpec spec;
+  spec.duration_ns = 50 * kSecond;
+  auto job = cluster->submit(as, spec);
+  ASSERT_TRUE(job.ok());
+  cluster->scheduler().step();
+  const NodeId jn = cluster->scheduler().find_job(*job)->allocations[0].node;
+  const HostId jhost = cluster->node(jn).host();
+
+  // A service started inside the job.
+  ASSERT_TRUE(cluster->network()
+                  .listen(jhost, as.cred, Pid{}, net::Proto::tcp, 9999)
+                  .ok());
+  ASSERT_NE(cluster->network().find_listener(jhost, net::Proto::tcp, 9999),
+            nullptr);
+
+  // Job ends → epilog reaps processes → kernel closes their sockets.
+  cluster->run_jobs();
+  EXPECT_EQ(cluster->network().find_listener(jhost, net::Proto::tcp, 9999),
+            nullptr);
+}
+
+TEST_F(IntegrationTest, NodeCrashResetsItsSockets) {
+  auto as = *cluster->login(alice);
+  sched::JobSpec spec;
+  spec.duration_ns = 3600 * kSecond;
+  auto job = cluster->submit(as, spec);
+  ASSERT_TRUE(job.ok());
+  cluster->scheduler().step();
+  const NodeId jn = cluster->scheduler().find_job(*job)->allocations[0].node;
+  const HostId jhost = cluster->node(jn).host();
+  ASSERT_TRUE(cluster->network()
+                  .listen(jhost, as.cred, Pid{}, net::Proto::tcp, 9999)
+                  .ok());
+  ASSERT_TRUE(cluster->scheduler().inject_oom(*job).ok());
+  EXPECT_EQ(cluster->network().find_listener(jhost, net::Proto::tcp, 9999),
+            nullptr);
+}
+
+TEST_F(IntegrationTest, PortalSessionFullPath) {
+  auto as = *cluster->login(alice);
+  sched::JobSpec spec;
+  spec.interactive = true;
+  spec.duration_ns = 100 * kSecond;
+  auto job = cluster->submit(as, spec);
+  ASSERT_TRUE(job.ok());
+  cluster->scheduler().step();
+  const NodeId jn = cluster->scheduler().find_job(*job)->allocations[0].node;
+
+  auto app = cluster->portal().register_app(
+      as.cred, as.shell, *job, cluster->node(jn).host(), 8888, "jupyter",
+      [](const std::string& req) { return "nb:" + req; });
+  ASSERT_TRUE(app.ok());
+
+  auto token = cluster->portal().login(as.cred);
+  ASSERT_TRUE(token.ok());
+  auto resp = cluster->portal().request(*token, *app, "GET /lab");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(*resp, "nb:GET /lab");
+
+  // bob authenticates to the portal but cannot reach alice's notebook.
+  auto bob_token = cluster->portal().login(
+      *simos::login(cluster->users(), bob));
+  ASSERT_TRUE(bob_token.ok());
+  EXPECT_FALSE(cluster->portal().request(*bob_token, *app, "GET /").ok());
+}
+
+TEST_F(IntegrationTest, GpuJobCycleScrubsBetweenTenants) {
+  auto as = *cluster->login(alice);
+  sched::JobSpec spec;
+  spec.gpus_per_task = 1;
+  spec.duration_ns = 10 * kSecond;
+  auto ja = cluster->submit(as, spec);
+  ASSERT_TRUE(ja.ok());
+  cluster->scheduler().step();
+  const auto& alloc = cluster->scheduler().find_job(*ja)->allocations[0];
+  Node& nd = cluster->node(alloc.node);
+  gpu::GpuDevice& dev = nd.gpus().at(alloc.gpus[0].value());
+  ASSERT_TRUE(dev.write(alice, 0, "weights").ok());
+  cluster->run_jobs();
+  // Epilog scrubbed: no residue, and the simulated clock was charged.
+  EXPECT_FALSE(dev.dirty());
+  EXPECT_EQ(dev.stats().scrubs, 1u);
+}
+
+TEST_F(IntegrationTest, ContainerInheritsClusterSeparation) {
+  auto as = *cluster->login(alice);
+  cluster->containers().grant(alice);
+  container::Image image("tools.sif",
+                         {{"/opt/tool", "binary"}});
+  auto inst = cluster->containers().exec(
+      as.cred, &image, "/opt/tool", &cluster->node(as.node).procs(),
+      &cluster->node(as.node).mounts());
+  ASSERT_TRUE(inst.ok());
+  const auto* instance = cluster->containers().find(*inst);
+
+  // Inside the container, smask still governs the shared filesystem.
+  ASSERT_TRUE(instance->fs
+                  .write_file(as.cred, "/home/alice/from-container.txt",
+                              "data")
+                  .ok());
+  ASSERT_TRUE(
+      instance->fs.chmod(as.cred, "/home/alice/from-container.txt", 0777)
+          .ok());
+  auto st = cluster->shared_fs().stat(simos::root_credentials(),
+                                      "/home/alice/from-container.txt");
+  EXPECT_EQ(st->mode, 0770u);
+
+  // And bob cannot read it, container or not.
+  auto b = *simos::login(cluster->users(), bob);
+  EXPECT_FALSE(cluster->shared_fs()
+                   .read_file(b, "/home/alice/from-container.txt")
+                   .ok());
+}
+
+TEST_F(IntegrationTest, EveryUserFeelsAlone) {
+  // The paper's closing claim, as one assertion: after alice runs a full
+  // workflow, bob's view of the system contains nothing of hers.
+  auto as = *cluster->login(alice);
+  sched::JobSpec spec;
+  spec.name = "alice-workflow";
+  spec.duration_ns = 100 * kSecond;
+  auto job = cluster->submit(as, spec);
+  ASSERT_TRUE(job.ok());
+  cluster->scheduler().step();
+  ASSERT_TRUE(cluster->shared_fs()
+                  .write_file(as.cred, "/home/alice/results.dat", "r")
+                  .ok());
+
+  auto bs = *cluster->login(bob);
+  // No processes.
+  for (const auto& d :
+       cluster->node(bs.node).procfs().snapshot(bs.cred)) {
+    EXPECT_NE(d.uid, alice);
+  }
+  // No jobs.
+  for (const auto& v : cluster->scheduler().list_jobs(bs.cred)) {
+    EXPECT_NE(v.user, alice);
+  }
+  // No files.
+  EXPECT_FALSE(cluster->shared_fs()
+                   .read_file(bs.cred, "/home/alice/results.dat")
+                   .ok());
+  EXPECT_FALSE(
+      cluster->shared_fs().readdir(bs.cred, "/home/alice").ok());
+}
+
+}  // namespace
+}  // namespace heus::core

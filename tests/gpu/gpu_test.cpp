@@ -1,0 +1,101 @@
+// GPU memory-residue model (paper §IV-F).
+#include "gpu/gpu.h"
+
+#include <gtest/gtest.h>
+
+namespace heus::gpu {
+namespace {
+
+constexpr Uid kAlice{1000};
+constexpr Uid kBob{1001};
+
+TEST(GpuDevice, AssignReleaseLifecycle) {
+  GpuDevice dev(GpuId{0}, 4096);
+  EXPECT_FALSE(dev.assigned_to().has_value());
+  ASSERT_TRUE(dev.assign(kAlice).ok());
+  EXPECT_EQ(dev.assigned_to(), kAlice);
+  // Double assignment is a scheduler bug: surfaced as EBUSY.
+  EXPECT_EQ(dev.assign(kBob).error(), Errno::ebusy);
+  ASSERT_TRUE(dev.release().ok());
+  EXPECT_FALSE(dev.assigned_to().has_value());
+  EXPECT_EQ(dev.release().error(), Errno::einval);
+}
+
+TEST(GpuDevice, WriteReadRoundTrip) {
+  GpuDevice dev(GpuId{0}, 4096);
+  ASSERT_TRUE(dev.assign(kAlice).ok());
+  ASSERT_TRUE(dev.write(kAlice, 100, "model-weights").ok());
+  EXPECT_EQ(*dev.read(kAlice, 100, 13), "model-weights");
+}
+
+TEST(GpuDevice, OutOfRangeAccessRejected) {
+  GpuDevice dev(GpuId{0}, 16);
+  ASSERT_TRUE(dev.assign(kAlice).ok());
+  EXPECT_EQ(dev.write(kAlice, 10, "toolongpayload").error(),
+            Errno::einval);
+  EXPECT_EQ(dev.read(kAlice, 0, 17).error(), Errno::einval);
+}
+
+TEST(GpuDevice, ResidueSurvivesReleaseWithoutScrub) {
+  // The paper's core §IV-F observation: GPUs do not clear memory between
+  // tenants.
+  GpuDevice dev(GpuId{0}, 4096);
+  ASSERT_TRUE(dev.assign(kAlice).ok());
+  ASSERT_TRUE(dev.write(kAlice, 0, "alices-private-tensor").ok());
+  ASSERT_TRUE(dev.release().ok());
+  EXPECT_TRUE(dev.dirty());
+  EXPECT_EQ(dev.residue_owner(), kAlice);
+
+  ASSERT_TRUE(dev.assign(kBob).ok());
+  auto stolen = dev.read(kBob, 0, 21);
+  ASSERT_TRUE(stolen.ok());
+  EXPECT_EQ(*stolen, "alices-private-tensor");
+  EXPECT_EQ(dev.stats().residue_reads, 1u);
+}
+
+TEST(GpuDevice, ScrubErasesResidue) {
+  GpuDevice dev(GpuId{0}, 4096);
+  ASSERT_TRUE(dev.assign(kAlice).ok());
+  ASSERT_TRUE(dev.write(kAlice, 0, "secret").ok());
+  ASSERT_TRUE(dev.release().ok());
+  const std::int64_t cost = dev.scrub();
+  EXPECT_GT(cost, 0);
+  EXPECT_FALSE(dev.dirty());
+
+  ASSERT_TRUE(dev.assign(kBob).ok());
+  auto mem = dev.read(kBob, 0, 6);
+  ASSERT_TRUE(mem.ok());
+  EXPECT_EQ(*mem, std::string(6, '\0'));
+  EXPECT_EQ(dev.stats().residue_reads, 0u);
+  EXPECT_EQ(dev.stats().scrubbed_bytes, 4096u);
+}
+
+TEST(GpuDevice, ScrubCostScalesWithMemory) {
+  GpuDevice small(GpuId{0}, 1 << 10);
+  GpuDevice big(GpuId{1}, 1 << 20);
+  EXPECT_GT(big.scrub(), small.scrub());
+}
+
+TEST(GpuDevice, OwnDataRereadIsNotResidue) {
+  GpuDevice dev(GpuId{0}, 64);
+  ASSERT_TRUE(dev.assign(kAlice).ok());
+  ASSERT_TRUE(dev.write(kAlice, 0, "mine").ok());
+  (void)dev.read(kAlice, 0, 4);
+  EXPECT_EQ(dev.stats().residue_reads, 0u);
+}
+
+TEST(GpuSet, IndexedAccessAndScrubAll) {
+  GpuSet set(4, 1024);
+  EXPECT_EQ(set.size(), 4u);
+  ASSERT_TRUE(set.at(2).assign(kAlice).ok());
+  ASSERT_TRUE(set.at(2).write(kAlice, 0, "x").ok());
+  ASSERT_TRUE(set.at(2).release().ok());
+  const std::int64_t cost = set.scrub_all({GpuId{1}, GpuId{2}});
+  EXPECT_GT(cost, 0);
+  EXPECT_FALSE(set.at(2).dirty());
+  EXPECT_EQ(set.at(1).stats().scrubs, 1u);
+  EXPECT_EQ(set.at(0).stats().scrubs, 0u);
+}
+
+}  // namespace
+}  // namespace heus::gpu

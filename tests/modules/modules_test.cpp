@@ -1,0 +1,148 @@
+// Environment modules (paper §IV-G's shared-software recommendation),
+// with visibility governed purely by filesystem DAC.
+#include "modules/modules.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+
+namespace heus::modules {
+namespace {
+
+using simos::Credentials;
+using simos::root_credentials;
+
+class ModulesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alice = *db.create_user("alice");
+    bob = *db.create_user("bob");
+    proj = *db.create_project_group("widgets", alice);
+    a = *simos::login(db, alice);
+    b = *simos::login(db, bob);
+    root = root_credentials();
+    fs = std::make_unique<vfs::FileSystem>("shared", &db, &clock,
+                                           vfs::FsPolicy::hardened());
+    ASSERT_TRUE(fs->mkdir(root, "/proj", 0755).ok());
+    ASSERT_TRUE(fs->mkdir(root, "/proj/modules", 0755).ok());
+    system = std::make_unique<ModuleSystem>(fs.get(), "/proj/modules");
+  }
+
+  /// Publish a world-readable modulefile (what staff do via smask_relax;
+  /// here root writes it directly).
+  void publish(const std::string& name, const std::string& content) {
+    const std::string dir =
+        "/proj/modules/" + common::split(name, '/')[0];
+    (void)fs->mkdir(root, dir, 0755);
+    (void)fs->chmod(root, dir, 0755);
+    ASSERT_TRUE(fs->write_file(root, "/proj/modules/" + name, content)
+                    .ok());
+    ASSERT_TRUE(fs->chmod(root, "/proj/modules/" + name, 0644).ok());
+  }
+
+  common::SimClock clock;
+  simos::UserDb db;
+  Uid alice, bob;
+  Gid proj;
+  Credentials a, b, root;
+  std::unique_ptr<vfs::FileSystem> fs;
+  std::unique_ptr<ModuleSystem> system;
+};
+
+constexpr const char* kPytorch =
+    "whatis PyTorch 2.1 with CUDA\n"
+    "prepend-path PATH /proj/apps/pytorch-2.1/bin\n"
+    "prepend-path LD_LIBRARY_PATH /proj/apps/pytorch-2.1/lib\n"
+    "setenv PYTORCH_HOME /proj/apps/pytorch-2.1\n";
+
+TEST_F(ModulesTest, ParseRecognisedDirectives) {
+  auto mod = parse_modulefile("pytorch/2.1", kPytorch);
+  ASSERT_TRUE(mod.ok());
+  EXPECT_EQ(mod->whatis, "PyTorch 2.1 with CUDA");
+  EXPECT_EQ(mod->prepend_paths.size(), 2u);
+  EXPECT_EQ(mod->setenvs.size(), 1u);
+}
+
+TEST_F(ModulesTest, ParseRejectsTypos) {
+  EXPECT_EQ(parse_modulefile("x/1", "prepand-path PATH /x\n").error(),
+            Errno::einval);
+}
+
+TEST_F(ModulesTest, LoadConfiguresEnvironment) {
+  publish("pytorch/2.1", kPytorch);
+  Environment env;
+  env.set("PATH", "/usr/bin");
+  ASSERT_TRUE(system->load(a, "pytorch/2.1", env).ok());
+  EXPECT_EQ(env.get("PATH"), "/proj/apps/pytorch-2.1/bin:/usr/bin");
+  EXPECT_EQ(env.get("PYTORCH_HOME"), "/proj/apps/pytorch-2.1");
+  EXPECT_EQ(system->loaded().size(), 1u);
+}
+
+TEST_F(ModulesTest, UnloadRestoresEnvironment) {
+  publish("pytorch/2.1", kPytorch);
+  Environment env;
+  env.set("PATH", "/usr/bin");
+  ASSERT_TRUE(system->load(a, "pytorch/2.1", env).ok());
+  ASSERT_TRUE(system->unload(a, "pytorch/2.1", env).ok());
+  EXPECT_EQ(env.get("PATH"), "/usr/bin");
+  EXPECT_EQ(env.get("PYTORCH_HOME"), "");
+  EXPECT_TRUE(system->loaded().empty());
+  EXPECT_EQ(system->unload(a, "pytorch/2.1", env).error(), Errno::enoent);
+}
+
+TEST_F(ModulesTest, DoubleLoadIsEalready) {
+  publish("pytorch/2.1", kPytorch);
+  Environment env;
+  ASSERT_TRUE(system->load(a, "pytorch/2.1", env).ok());
+  EXPECT_EQ(system->load(a, "pytorch/2.1", env).error(), Errno::ealready);
+}
+
+TEST_F(ModulesTest, ConflictsBlockBothOrders) {
+  publish("pytorch/2.1", kPytorch);
+  publish("tensorflow/2.15",
+          "conflict pytorch\nprepend-path PATH /proj/apps/tf/bin\n");
+  Environment env;
+  ASSERT_TRUE(system->load(a, "pytorch/2.1", env).ok());
+  EXPECT_EQ(system->load(a, "tensorflow/2.15", env).error(),
+            Errno::ebusy);
+  ASSERT_TRUE(system->unload(a, "pytorch/2.1", env).ok());
+  ASSERT_TRUE(system->load(a, "tensorflow/2.15", env).ok());
+  // Symmetric: pytorch now refuses while tensorflow is loaded.
+  EXPECT_EQ(system->load(a, "pytorch/2.1", env).error(), Errno::ebusy);
+}
+
+TEST_F(ModulesTest, AvailListsOnlyReadableModules) {
+  publish("pytorch/2.1", kPytorch);
+  // A project-private tool: group-owned directory, no world bits.
+  (void)fs->mkdir(root, "/proj/modules/secret-sim", 0770);
+  (void)fs->chgrp(root, "/proj/modules/secret-sim", proj);
+  (void)fs->chmod(root, "/proj/modules/secret-sim", 0750);
+  ASSERT_TRUE(fs->write_file(root, "/proj/modules/secret-sim/1.0",
+                             "setenv SIM_HOME /proj/widgets/sim\n")
+                  .ok());
+  (void)fs->chgrp(root, "/proj/modules/secret-sim/1.0", proj);
+  (void)fs->chmod(root, "/proj/modules/secret-sim/1.0", 0640);
+
+  // alice (project member) sees both; bob sees only the public one.
+  auto alice_avail = system->avail(a);
+  auto bob_avail = system->avail(b);
+  EXPECT_EQ(alice_avail.size(), 2u);
+  ASSERT_EQ(bob_avail.size(), 1u);
+  EXPECT_EQ(bob_avail[0], "pytorch/2.1");
+  // And bob cannot load it either — same DAC, no separate ACL system.
+  Environment env;
+  EXPECT_EQ(system->load(b, "secret-sim/1.0", env).error(),
+            Errno::eacces);
+  EXPECT_TRUE(
+      ModuleSystem(fs.get(), "/proj/modules").load(a, "secret-sim/1.0",
+                                                   env)
+          .ok());
+}
+
+TEST_F(ModulesTest, MissingModuleIsEnoent) {
+  Environment env;
+  EXPECT_EQ(system->load(a, "nope/1.0", env).error(), Errno::enoent);
+}
+
+}  // namespace
+}  // namespace heus::modules

@@ -1,0 +1,143 @@
+// Monitoring with per-user attribution gated on staff privilege (§IV-A's
+// seepid rationale).
+#include "monitor/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+
+namespace heus::monitor {
+namespace {
+
+using common::kSecond;
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::ClusterConfig cfg;
+    cfg.compute_nodes = 4;
+    cfg.login_nodes = 1;
+    cfg.cpus_per_node = 8;
+    cfg.policy = core::SeparationPolicy::hardened();
+    cluster = std::make_unique<core::Cluster>(cfg);
+    alice = *cluster->add_user("alice");
+    bob = *cluster->add_user("bob");
+    staff = *cluster->add_user("staff");
+    cluster->seepid().whitelist(staff);
+  }
+
+  JobId run_job(Uid user, unsigned tasks) {
+    auto session = *cluster->login(user);
+    sched::JobSpec spec;
+    spec.num_tasks = tasks;
+    spec.duration_ns = 3600 * kSecond;
+    auto id = *cluster->submit(session, spec);
+    cluster->scheduler().step();
+    return id;
+  }
+
+  std::unique_ptr<core::Cluster> cluster;
+  Uid alice, bob, staff;
+};
+
+TEST_F(MonitorTest, SampleCapturesOccupancy) {
+  run_job(alice, 6);
+  run_job(bob, 3);
+  EXPECT_EQ(cluster->monitor().sample(), cluster->node_count());
+  auto series = cluster->monitor().load_series();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].cpus_used, 9u);
+  EXPECT_GT(series[0].cpus_total, 9u);
+  EXPECT_EQ(series[0].nodes_down, 0u);
+}
+
+TEST_F(MonitorTest, LoadSeriesIsUnattributedAndOpenToAll) {
+  run_job(alice, 4);
+  cluster->monitor().sample();
+  auto bob_cred = *simos::login(cluster->users(), bob);
+  auto series = cluster->monitor().load_series();
+  // The structure carries no uids at all; any credential may read it.
+  EXPECT_EQ(series.size(), 1u);
+  EXPECT_GT(series[0].utilization(), 0.0);
+  (void)bob_cred;
+}
+
+TEST_F(MonitorTest, HotspotsFilteredForOrdinaryUsers) {
+  run_job(alice, 6);
+  run_job(bob, 2);
+  cluster->monitor().sample();
+  auto bob_cred = *simos::login(cluster->users(), bob);
+  auto rows = cluster->monitor().hotspots(bob_cred);
+  ASSERT_EQ(rows.size(), 1u);  // only bob's own row
+  EXPECT_EQ(rows[0].user, bob);
+  EXPECT_EQ(rows[0].cpus, 2u);
+}
+
+TEST_F(MonitorTest, StaffWithSeepidSeeFullAttribution) {
+  run_job(alice, 6);
+  run_job(bob, 2);
+  cluster->monitor().sample();
+  auto staff_cred = *simos::login(cluster->users(), staff);
+  // Plain staff credential: still filtered (no grant requested yet).
+  EXPECT_TRUE(cluster->monitor().hotspots(staff_cred).empty());
+  // With the seepid session grant: full attribution, sorted by load.
+  auto elevated = *cluster->seepid().request(staff_cred);
+  auto rows = cluster->monitor().hotspots(elevated);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].user, alice);
+  EXPECT_EQ(rows[0].cpus, 6u);
+  EXPECT_EQ(rows[1].user, bob);
+}
+
+TEST_F(MonitorTest, RootSeesEverything) {
+  run_job(alice, 6);
+  cluster->monitor().sample();
+  auto rows =
+      cluster->monitor().hotspots(simos::root_credentials());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].user, alice);
+}
+
+TEST_F(MonitorTest, NodeViewsAttributeOnlyForStaff) {
+  run_job(alice, 6);
+  cluster->monitor().sample();
+  auto bob_cred = *simos::login(cluster->users(), bob);
+  auto views = cluster->monitor().node_views(bob_cred);
+  unsigned used_total = 0;
+  for (const auto& view : views) {
+    used_total += view.cpus_used;
+    EXPECT_TRUE(view.attributed.empty());  // counts visible, names not
+  }
+  EXPECT_EQ(used_total, 6u);
+
+  auto staff_cred =
+      *cluster->seepid().request(*simos::login(cluster->users(), staff));
+  bool attributed_alice = false;
+  for (const auto& view : cluster->monitor().node_views(staff_cred)) {
+    if (view.attributed.contains(alice)) attributed_alice = true;
+  }
+  EXPECT_TRUE(attributed_alice);
+}
+
+TEST_F(MonitorTest, DownNodesReported) {
+  const JobId job = run_job(alice, 1);
+  ASSERT_TRUE(cluster->scheduler().inject_oom(job).ok());
+  cluster->monitor().sample();
+  auto series = cluster->monitor().load_series();
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].nodes_down, 1u);
+}
+
+TEST_F(MonitorTest, HistoryAccumulatesAndClears) {
+  cluster->monitor().sample();
+  cluster->clock().advance(10 * kSecond);
+  cluster->monitor().sample();
+  EXPECT_EQ(cluster->monitor().sample_count(), 2u);
+  auto series = cluster->monitor().load_series();
+  EXPECT_LT(series[0].time, series[1].time);
+  cluster->monitor().clear();
+  EXPECT_EQ(cluster->monitor().sample_count(), 0u);
+}
+
+}  // namespace
+}  // namespace heus::monitor

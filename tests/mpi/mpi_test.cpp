@@ -1,0 +1,196 @@
+// The MPI-flavoured layer: rendezvous under the UBF, tag matching,
+// collectives, and the §IV-D coverage properties.
+#include "mpi/mpi.h"
+
+#include <gtest/gtest.h>
+
+#include "net/ubf.h"
+
+namespace heus::mpi {
+namespace {
+
+using simos::Credentials;
+
+class MpiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alice = *db.create_user("alice");
+    bob = *db.create_user("bob");
+    a = *simos::login(db, alice);
+    b = *simos::login(db, bob);
+    for (int i = 0; i < 4; ++i) {
+      hosts.push_back(nw.add_host("node-" + std::to_string(i)));
+    }
+  }
+
+  std::vector<RankSpec> same_user_ranks(std::size_t n) {
+    std::vector<RankSpec> ranks;
+    for (std::size_t r = 0; r < n; ++r) {
+      ranks.push_back({hosts[r % hosts.size()], a, Pid{100 + (unsigned)r}});
+    }
+    return ranks;
+  }
+
+  void attach_ubf() {
+    ubf = std::make_unique<net::Ubf>(&db, &nw);
+    ubf->attach();
+  }
+
+  common::SimClock clock;
+  simos::UserDb db;
+  Uid alice, bob;
+  Credentials a, b;
+  net::Network nw{&clock};
+  std::vector<HostId> hosts;
+  std::unique_ptr<net::Ubf> ubf;
+  Launcher launcher{&nw};
+};
+
+TEST_F(MpiTest, LaunchFormsFullMesh) {
+  auto world = launcher.launch(same_user_ranks(4), 25000);
+  ASSERT_TRUE(world.ok());
+  EXPECT_EQ(world->size(), 4);
+  // 4 choose 2 = 6 flows established.
+  EXPECT_EQ(nw.stats().connections_established, 6u);
+  world->finalize(nw);
+}
+
+TEST_F(MpiTest, LaunchRequiresTwoRanksAndUnprivilegedPort) {
+  EXPECT_EQ(launcher.launch(same_user_ranks(1), 25000).error(),
+            Errno::einval);
+  EXPECT_EQ(launcher.launch(same_user_ranks(2), 80).error(),
+            Errno::eacces);
+}
+
+TEST_F(MpiTest, SameUserWorldLaunchesUnderUbf) {
+  attach_ubf();
+  auto world = launcher.launch(same_user_ranks(4), 25000);
+  ASSERT_TRUE(world.ok());
+  EXPECT_EQ(ubf->stats().denied, 0u);
+  world->finalize(nw);
+}
+
+TEST_F(MpiTest, ForeignRankCannotJoinUnderUbf) {
+  attach_ubf();
+  // bob smuggles one rank into alice's world.
+  auto ranks = same_user_ranks(3);
+  ranks.push_back({hosts[3], b, Pid{999}});
+  auto world = launcher.launch(ranks, 25000);
+  EXPECT_EQ(world.error(), Errno::econnrefused);
+  EXPECT_GT(ubf->stats().denied, 0u);
+  // Launch failure cleaned up: the ports are reusable.
+  auto retry = launcher.launch(same_user_ranks(3), 25000);
+  EXPECT_TRUE(retry.ok());
+  if (retry) retry->finalize(nw);
+}
+
+TEST_F(MpiTest, ForeignRankJoinsOnOpenNetwork) {
+  // The baseline hazard the UBF closes: nothing stops the infiltration.
+  auto ranks = same_user_ranks(3);
+  ranks.push_back({hosts[3], b, Pid{999}});
+  auto world = launcher.launch(ranks, 25000);
+  ASSERT_TRUE(world.ok());
+  EXPECT_EQ(world->rank_uid(3), bob);
+  world->finalize(nw);
+}
+
+TEST_F(MpiTest, SendRecvBothDirectionsAndFifo) {
+  auto world = launcher.launch(same_user_ranks(3), 25000);
+  ASSERT_TRUE(world.ok());
+  ASSERT_TRUE(world->send(0, 2, 7, "first").ok());
+  ASSERT_TRUE(world->send(0, 2, 7, "second").ok());
+  ASSERT_TRUE(world->send(2, 0, 7, "reverse").ok());
+  EXPECT_EQ(*world->recv(2, 0, 7), "first");
+  EXPECT_EQ(*world->recv(2, 0, 7), "second");
+  EXPECT_EQ(*world->recv(0, 2, 7), "reverse");
+  EXPECT_EQ(world->recv(2, 0, 7).error(), Errno::eagain);
+  world->finalize(nw);
+}
+
+TEST_F(MpiTest, TagMismatchSetAsideNotLost) {
+  auto world = launcher.launch(same_user_ranks(2), 25000);
+  ASSERT_TRUE(world.ok());
+  ASSERT_TRUE(world->send(0, 1, /*tag=*/5, "five").ok());
+  ASSERT_TRUE(world->send(0, 1, /*tag=*/6, "six").ok());
+  // Receiving tag 6 first skips past (and stashes) tag 5.
+  EXPECT_EQ(*world->recv(1, 0, 6), "six");
+  EXPECT_EQ(*world->recv(1, 0, 5), "five");
+  world->finalize(nw);
+}
+
+TEST_F(MpiTest, SendValidation) {
+  auto world = launcher.launch(same_user_ranks(2), 25000);
+  ASSERT_TRUE(world.ok());
+  EXPECT_EQ(world->send(0, 0, 1, "self").error(), Errno::einval);
+  EXPECT_EQ(world->send(0, 9, 1, "oob").error(), Errno::einval);
+  EXPECT_EQ(world->recv(0, 0, 1).error(), Errno::einval);
+  world->finalize(nw);
+}
+
+TEST_F(MpiTest, BarrierCompletes) {
+  auto world = launcher.launch(same_user_ranks(4), 25000);
+  ASSERT_TRUE(world.ok());
+  EXPECT_TRUE(world->barrier().ok());
+  world->finalize(nw);
+}
+
+TEST_F(MpiTest, BcastDeliversToAll) {
+  auto world = launcher.launch(same_user_ranks(4), 25000);
+  ASSERT_TRUE(world.ok());
+  auto result = world->bcast(1, "model-config");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, "model-config");
+  world->finalize(nw);
+}
+
+TEST_F(MpiTest, AllreduceSumsContributions) {
+  auto world = launcher.launch(same_user_ranks(4), 25000);
+  ASSERT_TRUE(world.ok());
+  auto sum = world->allreduce_sum({1.5, 2.5, 3.0, -1.0});
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(*sum, 6.0);
+  world->finalize(nw);
+}
+
+TEST_F(MpiTest, GatherCollectsInRankOrder) {
+  auto world = launcher.launch(same_user_ranks(3), 25000);
+  ASSERT_TRUE(world.ok());
+  auto gathered = world->gather(0, {"r0", "r1", "r2"});
+  ASSERT_TRUE(gathered.ok());
+  EXPECT_EQ(*gathered, (std::vector<std::string>{"r0", "r1", "r2"}));
+  world->finalize(nw);
+}
+
+TEST_F(MpiTest, SteadyStateTrafficNeverRevisitsFirewall) {
+  attach_ubf();
+  auto world = launcher.launch(same_user_ranks(4), 25000);
+  ASSERT_TRUE(world.ok());
+  const auto decisions_at_setup = ubf->stats().decisions;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(world->send(0, 1, 1, "halo-exchange").ok());
+    ASSERT_TRUE(world->recv(1, 0, 1).ok());
+  }
+  EXPECT_EQ(ubf->stats().decisions, decisions_at_setup);
+  world->finalize(nw);
+}
+
+TEST_F(MpiTest, EncryptionModelChargesCryptoTime) {
+  EncryptionModel crypto;
+  crypto.enabled = true;
+  auto plain = launcher.launch(same_user_ranks(2), 25000);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(plain->send(0, 1, 1, std::string(1 << 16, 'x')).ok());
+  EXPECT_EQ(plain->stats().encryption_ns, 0);
+
+  auto encrypted = launcher.launch(same_user_ranks(2), 26000, crypto);
+  ASSERT_TRUE(encrypted.ok());
+  ASSERT_TRUE(encrypted->send(0, 1, 1, std::string(1 << 16, 'x')).ok());
+  EXPECT_GT(encrypted->stats().encryption_ns, 0);
+  // Same transport cost either way — crypto is pure CPU overhead.
+  EXPECT_EQ(encrypted->stats().transport_ns, plain->stats().transport_ns);
+  plain->finalize(nw);
+  encrypted->finalize(nw);
+}
+
+}  // namespace
+}  // namespace heus::mpi

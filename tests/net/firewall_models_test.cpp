@@ -1,0 +1,135 @@
+// The baseline firewall comparators (paper §IV-D): PPS allowlists and
+// coarse zone MAC, and why each fails the HPC use case the UBF serves.
+#include "net/firewall_models.h"
+
+#include <gtest/gtest.h>
+
+#include "net/ubf.h"
+
+namespace heus::net {
+namespace {
+
+using simos::Credentials;
+
+class FirewallModelsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alice = *db.create_user("alice");
+    bob = *db.create_user("bob");
+    a = *simos::login(db, alice);
+    b = *simos::login(db, bob);
+    h1 = nw.add_host("node-1");
+    h2 = nw.add_host("node-2");
+  }
+
+  common::SimClock clock;
+  simos::UserDb db;
+  Uid alice, bob;
+  Credentials a, b;
+  Network nw{&clock};
+  HostId h1, h2;
+};
+
+TEST_F(FirewallModelsTest, PpsAllowsByPortNotIdentity) {
+  PpsFirewall pps(&nw);
+  pps.allow_port(Proto::tcp, 8888);  // "jupyter is sanctioned"
+  pps.attach();
+  ASSERT_TRUE(nw.listen(h1, a, Pid{1}, Proto::tcp, 8888).ok());
+  // The PPS hole is identity-blind: bob sails into alice's service.
+  EXPECT_TRUE(nw.connect(h2, b, Pid{2}, h1, Proto::tcp, 8888).ok());
+  EXPECT_EQ(pps.allowed(), 1u);
+}
+
+TEST_F(FirewallModelsTest, PpsBlocksNovelAppsEvenForTheirOwner) {
+  PpsFirewall pps(&nw);
+  pps.allow_port(Proto::tcp, 8888);
+  pps.attach();
+  // alice's "version 0" app on an unsanctioned port: she cannot reach
+  // her own service — the paper's core complaint about PPS on HPC.
+  ASSERT_TRUE(nw.listen(h1, a, Pid{1}, Proto::tcp, 47000).ok());
+  EXPECT_FALSE(nw.connect(h2, a, Pid{2}, h1, Proto::tcp, 47000).ok());
+  EXPECT_EQ(pps.denied(), 1u);
+}
+
+TEST_F(FirewallModelsTest, PpsRangeRulesWork) {
+  PpsFirewall pps(&nw);
+  pps.allow(Proto::tcp, 6000, 6010);
+  pps.attach();
+  ASSERT_TRUE(nw.listen(h1, a, Pid{1}, Proto::tcp, 6005).ok());
+  ASSERT_TRUE(nw.listen(h1, a, Pid{1}, Proto::udp, 6005).ok());
+  EXPECT_TRUE(nw.connect(h2, a, Pid{2}, h1, Proto::tcp, 6005).ok());
+  // Different proto: not covered by the rule.
+  EXPECT_FALSE(nw.connect(h2, a, Pid{2}, h1, Proto::udp, 6005).ok());
+}
+
+TEST_F(FirewallModelsTest, ZoneAllowsWithinZoneRegardlessOfUser) {
+  ZoneFirewall zones(&db, &nw);
+  zones.assign_zone(alice, 1);
+  zones.assign_zone(bob, 1);  // same coarse bucket
+  zones.attach();
+  ASSERT_TRUE(nw.listen(h1, a, Pid{1}, Proto::tcp, 5000).ok());
+  // Within the zone there is no finer control: bob reaches alice.
+  EXPECT_TRUE(nw.connect(h2, b, Pid{2}, h1, Proto::tcp, 5000).ok());
+}
+
+TEST_F(FirewallModelsTest, ZoneBlocksAcrossZones) {
+  ZoneFirewall zones(&db, &nw);
+  zones.assign_zone(alice, 1);
+  zones.assign_zone(bob, 2);
+  zones.attach();
+  ASSERT_TRUE(nw.listen(h1, a, Pid{1}, Proto::tcp, 5000).ok());
+  EXPECT_FALSE(nw.connect(h2, b, Pid{2}, h1, Proto::tcp, 5000).ok());
+  EXPECT_TRUE(nw.connect(h2, a, Pid{2}, h1, Proto::tcp, 5000).ok());
+}
+
+TEST_F(FirewallModelsTest, ZoneFailsClosedForUnzonedUsers) {
+  ZoneFirewall zones(&db, &nw);
+  zones.assign_zone(alice, 1);  // bob never assigned
+  zones.attach();
+  ASSERT_TRUE(nw.listen(h1, a, Pid{1}, Proto::tcp, 5000).ok());
+  EXPECT_FALSE(nw.connect(h2, b, Pid{2}, h1, Proto::tcp, 5000).ok());
+  EXPECT_FALSE(zones.zone_of(bob).has_value());
+}
+
+TEST_F(FirewallModelsTest, OnlyUbfGetsBothCasesRight) {
+  // The E16 story in one test: novel-app-own-use must work AND
+  // cross-user access must fail. PPS and zones each fail one leg.
+  struct Outcome {
+    bool own_novel_ok;
+    bool cross_user_blocked;
+  };
+  auto probe = [&]() -> Outcome {
+    // Fresh listeners per configuration round.
+    (void)nw.listen(h1, a, Pid{1}, Proto::tcp, 47001);
+    Outcome out{};
+    out.own_novel_ok =
+        nw.connect(h2, a, Pid{2}, h1, Proto::tcp, 47001).ok();
+    out.cross_user_blocked =
+        !nw.connect(h2, b, Pid{3}, h1, Proto::tcp, 47001).ok();
+    (void)nw.close_listener(h1, Proto::tcp, 47001);
+    return out;
+  };
+
+  PpsFirewall pps(&nw);
+  pps.allow_port(Proto::tcp, 8888);
+  pps.attach();
+  const Outcome pps_out = probe();
+  EXPECT_FALSE(pps_out.own_novel_ok);  // PPS breaks version-0 workflows
+
+  ZoneFirewall zones(&db, &nw);
+  zones.assign_zone(alice, 1);
+  zones.assign_zone(bob, 1);
+  zones.attach();
+  const Outcome zone_out = probe();
+  EXPECT_TRUE(zone_out.own_novel_ok);
+  EXPECT_FALSE(zone_out.cross_user_blocked);  // zones leak inside buckets
+
+  Ubf ubf(&db, &nw);
+  ubf.attach();
+  const Outcome ubf_out = probe();
+  EXPECT_TRUE(ubf_out.own_novel_ok);
+  EXPECT_TRUE(ubf_out.cross_user_blocked);
+}
+
+}  // namespace
+}  // namespace heus::net

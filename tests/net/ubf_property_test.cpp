@@ -1,0 +1,80 @@
+// Property test: the UBF's end-to-end decision (through the network,
+// ident, and hook machinery) always equals the paper's two-line rule,
+// evaluated directly against the account database:
+//
+//   allow  ⇔  connector.uid == listener.uid
+//          ∨  connector.uid ∈ members(listener.egid)
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/ubf.h"
+
+namespace heus::net {
+namespace {
+
+using simos::Credentials;
+
+class UbfPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UbfPropertyTest, EndToEndMatchesTheRule) {
+  common::Rng rng(GetParam());
+  common::SimClock clock;
+  simos::UserDb db;
+  net::Network nw(&clock);
+
+  // Random population: 6 users, 4 project groups, random membership.
+  std::vector<Uid> uids;
+  for (int u = 0; u < 6; ++u) {
+    uids.push_back(*db.create_user("u" + std::to_string(u)));
+  }
+  std::vector<Gid> groups;
+  for (int g = 0; g < 4; ++g) {
+    const Gid gid = *db.create_project_group(
+        "g" + std::to_string(g), uids[rng.bounded(uids.size())]);
+    for (Uid uid : uids) {
+      if (rng.chance(0.35)) (void)db.add_member(kRootUid, gid, uid);
+    }
+    groups.push_back(gid);
+  }
+
+  const HostId h1 = nw.add_host("a");
+  const HostId h2 = nw.add_host("b");
+  Ubf ubf(&db, &nw);
+  ubf.attach();
+  ubf.set_log_limit(0);
+
+  for (int round = 0; round < 500; ++round) {
+    // Random listener: a user, possibly newgrp'ed into one of their
+    // groups (rule (b)'s opt-in), on a random port.
+    const Uid listener_uid = uids[rng.bounded(uids.size())];
+    Credentials listener = *simos::login(db, listener_uid);
+    if (rng.chance(0.5)) {
+      const Gid g = groups[rng.bounded(groups.size())];
+      if (auto switched = simos::newgrp(db, listener, g)) {
+        listener = *switched;
+      }
+    }
+    const auto port =
+        static_cast<std::uint16_t>(10000 + rng.bounded(40000));
+    if (!nw.listen(h1, listener, Pid{1}, Proto::tcp, port)) continue;
+
+    const Uid client_uid = uids[rng.bounded(uids.size())];
+    Credentials client = *simos::login(db, client_uid);
+
+    const bool expected = (client_uid == listener_uid) ||
+                          db.is_member(client_uid, listener.egid);
+    auto flow = nw.connect(h2, client, Pid{2}, h1, Proto::tcp, port);
+    EXPECT_EQ(flow.ok(), expected)
+        << "round " << round << ": client=" << client_uid.value()
+        << " listener=" << listener_uid.value()
+        << " egid=" << listener.egid.value();
+    if (flow) (void)nw.close(*flow);
+    (void)nw.close_listener(h1, Proto::tcp, port);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UbfPropertyTest,
+                         ::testing::Values(3, 17, 71, 2026));
+
+}  // namespace
+}  // namespace heus::net

@@ -1,0 +1,152 @@
+// Web portal/gateway (paper §IV-E): authenticated forwarding, governed by
+// the UBF on the forwarded hop.
+#include "portal/gateway.h"
+
+#include <gtest/gtest.h>
+
+#include "net/ubf.h"
+
+namespace heus::portal {
+namespace {
+
+using simos::Credentials;
+
+class GatewayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alice = *db.create_user("alice");
+    bob = *db.create_user("bob");
+    proj = *db.create_project_group("widgets", alice);
+    ASSERT_TRUE(db.add_member(alice, proj, bob).ok());
+    a = *simos::login(db, alice);
+    b = *simos::login(db, bob);
+    compute = nw.add_host("compute-0");
+    portal_host = nw.add_host("portal");
+    gw = std::make_unique<Gateway>(
+        &nw, portal_host, &db,
+        [this](Uid uid, HostId host) {
+          return host == compute && users_with_jobs.contains(uid);
+        });
+    users_with_jobs.insert(alice);
+  }
+
+  void attach_ubf() {
+    ubf = std::make_unique<net::Ubf>(&db, &nw);
+    ubf->attach();
+  }
+
+  Result<AppId> register_alice_app(const Credentials& cred) {
+    return gw->register_app(
+        cred, Pid{10}, JobId{1}, compute, 8888, "jupyter",
+        [](const std::string& req) { return "OK:" + req; });
+  }
+
+  common::SimClock clock;
+  simos::UserDb db;
+  Uid alice, bob;
+  Gid proj;
+  Credentials a, b;
+  net::Network nw{&clock};
+  HostId compute, portal_host;
+  std::set<Uid> users_with_jobs;
+  std::unique_ptr<Gateway> gw;
+  std::unique_ptr<net::Ubf> ubf;
+};
+
+TEST_F(GatewayTest, OwnerReachesOwnAppEndToEnd) {
+  attach_ubf();
+  auto app = register_alice_app(a);
+  ASSERT_TRUE(app.ok());
+  auto token = gw->login(a);
+  ASSERT_TRUE(token.ok());
+  auto resp = gw->request(*token, *app, "GET /tree");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(*resp, "OK:GET /tree");
+  EXPECT_EQ(gw->stats().forwarded, 1u);
+}
+
+TEST_F(GatewayTest, UnauthenticatedRequestDenied) {
+  auto app = register_alice_app(a);
+  ASSERT_TRUE(app.ok());
+  auto resp = gw->request(SessionId{999}, *app, "GET /");
+  EXPECT_EQ(resp.error(), Errno::eperm);
+  EXPECT_EQ(gw->stats().denied_auth, 1u);
+}
+
+TEST_F(GatewayTest, ForeignUserBlockedByUbfOnForwardedHop) {
+  attach_ubf();
+  auto app = register_alice_app(a);
+  ASSERT_TRUE(app.ok());
+  auto token = gw->login(b);  // bob authenticates fine...
+  ASSERT_TRUE(token.ok());
+  auto resp = gw->request(*token, *app, "GET /");
+  // ...but the forwarded hop carries bob's identity, and alice's listener
+  // runs under her private group: the UBF drops it.
+  EXPECT_EQ(resp.error(), Errno::econnrefused);
+  EXPECT_EQ(gw->stats().denied_network, 1u);
+}
+
+TEST_F(GatewayTest, ForeignUserAllowedWithoutUbf) {
+  auto app = register_alice_app(a);
+  ASSERT_TRUE(app.ok());
+  auto token = gw->login(b);
+  auto resp = gw->request(*token, *app, "GET /");
+  // Baseline cluster: the portal authenticates but nothing authorizes the
+  // inner hop — the leak the UBF integration closes.
+  EXPECT_TRUE(resp.ok());
+}
+
+TEST_F(GatewayTest, GroupServerAdmitsProjectPeerThroughPortal) {
+  attach_ubf();
+  // alice publishes the app under the project group (newgrp).
+  Credentials server = *simos::newgrp(db, a, proj);
+  auto app = register_alice_app(server);
+  ASSERT_TRUE(app.ok());
+  auto token = gw->login(b);
+  auto resp = gw->request(*token, *app, "GET /shared-dashboard");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(*resp, "OK:GET /shared-dashboard");
+}
+
+TEST_F(GatewayTest, RegistrationRequiresJobOnNode) {
+  // bob has no job on compute-0: cannot park a listener there.
+  auto app = gw->register_app(b, Pid{20}, JobId{2}, compute, 9999, "rogue",
+                              nullptr);
+  EXPECT_EQ(app.error(), Errno::eperm);
+}
+
+TEST_F(GatewayTest, RegistrationPortCollisionSurfaces) {
+  auto app1 = register_alice_app(a);
+  ASSERT_TRUE(app1.ok());
+  auto app2 = register_alice_app(a);
+  EXPECT_EQ(app2.error(), Errno::eaddrinuse);
+}
+
+TEST_F(GatewayTest, ListAppsShowsOnlyOwn) {
+  auto app = register_alice_app(a);
+  ASSERT_TRUE(app.ok());
+  auto ta = gw->login(a);
+  auto tb = gw->login(b);
+  EXPECT_EQ(gw->list_apps(*ta).size(), 1u);
+  EXPECT_TRUE(gw->list_apps(*tb).empty());
+}
+
+TEST_F(GatewayTest, UnregisterClosesListenerAndChecksOwner) {
+  auto app = register_alice_app(a);
+  ASSERT_TRUE(app.ok());
+  EXPECT_EQ(gw->unregister_app(b, *app).error(), Errno::eperm);
+  EXPECT_TRUE(gw->unregister_app(a, *app).ok());
+  EXPECT_EQ(gw->find_app(*app), nullptr);
+  EXPECT_EQ(nw.find_listener(compute, net::Proto::tcp, 8888), nullptr);
+}
+
+TEST_F(GatewayTest, LogoutInvalidatesToken) {
+  auto app = register_alice_app(a);
+  auto token = gw->login(a);
+  ASSERT_TRUE(gw->logout(*token).ok());
+  EXPECT_EQ(gw->request(*token, *app, "GET /").error(), Errno::eperm);
+  EXPECT_EQ(gw->logout(*token).error(), Errno::enoent);
+}
+
+}  // namespace
+}  // namespace heus::portal

@@ -1,0 +1,120 @@
+// EASY backfill behaviour: later small jobs may start ahead of a blocked
+// head job iff they cannot delay its reservation.
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.h"
+
+namespace heus::sched {
+namespace {
+
+using common::kSecond;
+using simos::Credentials;
+
+class BackfillTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alice = *db.create_user("alice");
+    bob = *db.create_user("bob");
+    a = *simos::login(db, alice);
+    b = *simos::login(db, bob);
+  }
+
+  std::unique_ptr<Scheduler> make(bool backfill, unsigned cpus = 4) {
+    SchedulerConfig cfg;
+    cfg.policy = SharingPolicy::shared;
+    cfg.backfill = backfill;
+    auto s = std::make_unique<Scheduler>(&clock, cfg);
+    NodeInfo info;
+    info.hostname = "c0";
+    info.cpus = cpus;
+    info.mem_mb = 64 * 1024;
+    s->add_node(info);
+    return s;
+  }
+
+  JobSpec job(unsigned tasks, std::int64_t duration,
+              std::int64_t limit = 0) {
+    JobSpec spec;
+    spec.num_tasks = tasks;
+    spec.mem_mb_per_task = 256;
+    spec.duration_ns = duration;
+    spec.time_limit_ns = (limit > 0) ? limit : duration;
+    return spec;
+  }
+
+  common::SimClock clock;
+  simos::UserDb db;
+  Uid alice, bob;
+  Credentials a, b;
+};
+
+TEST_F(BackfillTest, SmallJobBackfillsBehindBlockedHead) {
+  auto s = make(/*backfill=*/true);
+  // j1 takes 3 of 4 cpus for 100s; head j2 needs all 4 and must wait.
+  auto j1 = s->submit(a, job(3, 100 * kSecond));
+  auto j2 = s->submit(b, job(4, 10 * kSecond));
+  // j3 fits in the 1 spare cpu and ends (10s) before j1's limit (100s):
+  // eligible for backfill.
+  auto j3 = s->submit(a, job(1, 10 * kSecond));
+  s->step();
+  EXPECT_EQ(s->find_job(*j1)->state, JobState::running);
+  EXPECT_EQ(s->find_job(*j2)->state, JobState::pending);
+  EXPECT_EQ(s->find_job(*j3)->state, JobState::running);  // backfilled
+}
+
+TEST_F(BackfillTest, LongJobDoesNotJumpTheReservation) {
+  auto s = make(/*backfill=*/true);
+  auto j1 = s->submit(a, job(3, 100 * kSecond));
+  auto j2 = s->submit(b, job(4, 10 * kSecond));
+  // j3 fits now but its limit (200s) would overrun the head reservation
+  // (t=100s): EASY forbids it.
+  auto j3 = s->submit(a, job(1, 200 * kSecond));
+  s->step();
+  ASSERT_TRUE(j1.ok());
+  EXPECT_EQ(s->find_job(*j2)->state, JobState::pending);
+  EXPECT_EQ(s->find_job(*j3)->state, JobState::pending);
+}
+
+TEST_F(BackfillTest, StrictFcfsWithoutBackfill) {
+  auto s = make(/*backfill=*/false);
+  auto j1 = s->submit(a, job(3, 100 * kSecond));
+  auto j2 = s->submit(b, job(4, 10 * kSecond));
+  auto j3 = s->submit(a, job(1, 10 * kSecond));
+  s->step();
+  ASSERT_TRUE(j1.ok());
+  ASSERT_TRUE(j2.ok());
+  // Without backfill nothing may pass the blocked head.
+  EXPECT_EQ(s->find_job(*j3)->state, JobState::pending);
+}
+
+TEST_F(BackfillTest, BackfillImprovesMakespanForMixedLoad) {
+  auto run = [&](bool backfill) {
+    clock = common::SimClock{};
+    auto s = make(backfill);
+    (void)s->submit(a, job(3, 60 * kSecond));
+    (void)s->submit(b, job(4, 10 * kSecond));
+    for (int i = 0; i < 6; ++i) {
+      (void)s->submit(a, job(1, 10 * kSecond));
+    }
+    s->run_until_drained();
+    return s->last_completion().ns;
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST_F(BackfillTest, HeadEventuallyRunsDespiteBackfill) {
+  auto s = make(/*backfill=*/true);
+  auto j1 = s->submit(a, job(3, 50 * kSecond));
+  auto head = s->submit(b, job(4, 10 * kSecond));
+  for (int i = 0; i < 20; ++i) {
+    (void)s->submit(a, job(1, 10 * kSecond));
+  }
+  s->run_until_drained();
+  EXPECT_EQ(s->find_job(*head)->state, JobState::completed);
+  ASSERT_TRUE(j1.ok());
+  // The head started as soon as the blocking job released its cpus.
+  EXPECT_EQ(s->find_job(*head)->start_time.ns, 50 * kSecond);
+}
+
+}  // namespace
+}  // namespace heus::sched

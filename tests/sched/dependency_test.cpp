@@ -1,0 +1,135 @@
+// Job dependencies (sbatch --dependency): the scheduler-level form of the
+// shell-script workflow orchestration the paper's §II describes users
+// building.
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.h"
+
+namespace heus::sched {
+namespace {
+
+using common::kSecond;
+using simos::Credentials;
+
+class DependencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alice = *db.create_user("alice");
+    a = *simos::login(db, alice);
+    SchedulerConfig cfg;
+    sched = std::make_unique<Scheduler>(&clock, cfg);
+    NodeInfo info;
+    info.hostname = "c0";
+    info.cpus = 8;
+    info.mem_mb = 32 * 1024;
+    sched->add_node(info);
+  }
+
+  JobSpec job(std::int64_t duration = 10 * kSecond) {
+    JobSpec spec;
+    spec.mem_mb_per_task = 512;
+    spec.duration_ns = duration;
+    return spec;
+  }
+
+  common::SimClock clock;
+  simos::UserDb db;
+  Uid alice;
+  Credentials a;
+  std::unique_ptr<Scheduler> sched;
+};
+
+TEST_F(DependencyTest, AfterokWaitsForCompletion) {
+  auto stage1 = sched->submit(a, job(10 * kSecond));
+  JobSpec stage2_spec = job(5 * kSecond);
+  stage2_spec.depends_on = {*stage1};
+  auto stage2 = sched->submit(a, stage2_spec);
+  sched->step();
+  // Plenty of free cpus, but stage2 must wait for stage1.
+  EXPECT_EQ(sched->find_job(*stage2)->state, JobState::pending);
+  EXPECT_EQ(sched->find_job(*stage2)->pending_reason, "Dependency");
+  sched->run_until_drained();
+  EXPECT_EQ(sched->find_job(*stage2)->state, JobState::completed);
+  // Sequenced: stage2 started exactly when stage1 finished.
+  EXPECT_EQ(sched->find_job(*stage2)->start_time.ns, 10 * kSecond);
+}
+
+TEST_F(DependencyTest, AfterokCancelledWhenDependencyFails) {
+  auto stage1 = sched->submit(a, job());
+  JobSpec stage2_spec = job();
+  stage2_spec.depends_on = {*stage1};
+  auto stage2 = sched->submit(a, stage2_spec);
+  sched->step();
+  // stage1 OOMs → fails → stage2 can never be satisfied.
+  ASSERT_TRUE(sched->inject_oom(*stage1).ok());
+  sched->step();
+  EXPECT_EQ(sched->find_job(*stage2)->state, JobState::cancelled);
+}
+
+TEST_F(DependencyTest, AfteranyRunsRegardlessOfOutcome) {
+  auto stage1 = sched->submit(a, job());
+  JobSpec cleanup_spec = job(kSecond);
+  cleanup_spec.depends_on = {*stage1};
+  cleanup_spec.dependency_afterok = false;  // afterany: cleanup always runs
+  auto cleanup = sched->submit(a, cleanup_spec);
+  sched->step();
+  ASSERT_TRUE(sched->inject_oom(*stage1).ok());
+  sched->run_until_drained();
+  EXPECT_EQ(sched->find_job(*cleanup)->state, JobState::completed);
+}
+
+TEST_F(DependencyTest, ChainOfThreeStagesSequences) {
+  auto s1 = sched->submit(a, job(10 * kSecond));
+  JobSpec spec2 = job(10 * kSecond);
+  spec2.depends_on = {*s1};
+  auto s2 = sched->submit(a, spec2);
+  JobSpec spec3 = job(10 * kSecond);
+  spec3.depends_on = {*s2};
+  auto s3 = sched->submit(a, spec3);
+  sched->run_until_drained();
+  EXPECT_EQ(sched->find_job(*s3)->start_time.ns, 20 * kSecond);
+  EXPECT_EQ(sched->find_job(*s3)->state, JobState::completed);
+}
+
+TEST_F(DependencyTest, FanInWaitsForAllDependencies) {
+  auto s1 = sched->submit(a, job(10 * kSecond));
+  auto s2 = sched->submit(a, job(30 * kSecond));
+  JobSpec merge_spec = job(kSecond);
+  merge_spec.depends_on = {*s1, *s2};
+  auto merge = sched->submit(a, merge_spec);
+  sched->run_until_drained();
+  // Starts only after the slowest dependency.
+  EXPECT_EQ(sched->find_job(*merge)->start_time.ns, 30 * kSecond);
+}
+
+TEST_F(DependencyTest, UnknownDependencyRejectedAtSubmit) {
+  JobSpec spec = job();
+  spec.depends_on = {JobId{424242}};
+  EXPECT_EQ(sched->submit(a, spec).error(), Errno::esrch);
+}
+
+TEST_F(DependencyTest, DependentJobDoesNotBlockBackfill) {
+  // A dependency-waiting job at the head of the queue must not stall
+  // later runnable work (it is skipped, not treated as blocked-head).
+  auto long_dep = sched->submit(a, job(100 * kSecond));
+  JobSpec waiting = job();
+  waiting.depends_on = {*long_dep};
+  auto waiter = sched->submit(a, waiting);
+  auto runnable = sched->submit(a, job(5 * kSecond));
+  sched->step();
+  EXPECT_EQ(sched->find_job(*waiter)->state, JobState::pending);
+  EXPECT_EQ(sched->find_job(*runnable)->state, JobState::running);
+}
+
+TEST_F(DependencyTest, DependencyOnCancelledJobHonoursAfterok) {
+  auto dep = sched->submit(a, job());
+  JobSpec spec = job();
+  spec.depends_on = {*dep};
+  auto waiter = sched->submit(a, spec);
+  ASSERT_TRUE(sched->cancel(a, *dep).ok());
+  sched->step();
+  EXPECT_EQ(sched->find_job(*waiter)->state, JobState::cancelled);
+}
+
+}  // namespace
+}  // namespace heus::sched

@@ -1,0 +1,139 @@
+// Fairshare priority ordering and job arrays (sbatch --array), the
+// scheduler features behind the paper's parameter-sweep workloads.
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.h"
+
+namespace heus::sched {
+namespace {
+
+using common::kSecond;
+using simos::Credentials;
+
+class FairshareArrayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    heavy = *db.create_user("heavy");
+    light = *db.create_user("light");
+    h = *simos::login(db, heavy);
+    l = *simos::login(db, light);
+  }
+
+  std::unique_ptr<Scheduler> make(PriorityPolicy priority,
+                                  unsigned nodes = 1, unsigned cpus = 1) {
+    SchedulerConfig cfg;
+    cfg.priority = priority;
+    auto s = std::make_unique<Scheduler>(&clock, cfg);
+    for (unsigned i = 0; i < nodes; ++i) {
+      NodeInfo info;
+      info.hostname = "c" + std::to_string(i);
+      info.cpus = cpus;
+      info.mem_mb = 64 * 1024;
+      s->add_node(info);
+    }
+    return s;
+  }
+
+  JobSpec job(std::int64_t duration = 10 * kSecond) {
+    JobSpec spec;
+    spec.mem_mb_per_task = 512;
+    spec.duration_ns = duration;
+    return spec;
+  }
+
+  common::SimClock clock;
+  simos::UserDb db;
+  Uid heavy, light;
+  Credentials h, l;
+};
+
+TEST_F(FairshareArrayTest, FairshareReordersBehindHistoricUsage) {
+  auto s = make(PriorityPolicy::fairshare);
+  // The heavy user burns cpu-time first.
+  ASSERT_TRUE(s->submit(h, job(100 * kSecond)).ok());
+  s->run_until_drained();
+
+  // Both submit again; heavy submits FIRST, but light should run first.
+  auto heavy_job = s->submit(h, job());
+  auto light_job = s->submit(l, job());
+  s->step();
+  EXPECT_EQ(s->find_job(*light_job)->state, JobState::running);
+  EXPECT_EQ(s->find_job(*heavy_job)->state, JobState::pending);
+}
+
+TEST_F(FairshareArrayTest, FcfsKeepsSubmissionOrder) {
+  auto s = make(PriorityPolicy::fcfs);
+  ASSERT_TRUE(s->submit(h, job(100 * kSecond)).ok());
+  s->run_until_drained();
+  auto heavy_job = s->submit(h, job());
+  auto light_job = s->submit(l, job());
+  s->step();
+  EXPECT_EQ(s->find_job(*heavy_job)->state, JobState::running);
+  EXPECT_EQ(s->find_job(*light_job)->state, JobState::pending);
+}
+
+TEST_F(FairshareArrayTest, FairshareTiesBreakBySubmitOrder) {
+  auto s = make(PriorityPolicy::fairshare);
+  // No history at all: both users at zero usage.
+  auto first = s->submit(h, job());
+  auto second = s->submit(l, job());
+  s->step();
+  EXPECT_EQ(s->find_job(*first)->state, JobState::running);
+  EXPECT_EQ(s->find_job(*second)->state, JobState::pending);
+}
+
+TEST_F(FairshareArrayTest, FairshareAlternatesUsersOverTime) {
+  auto s = make(PriorityPolicy::fairshare);
+  std::vector<JobId> heavy_jobs, light_jobs;
+  for (int i = 0; i < 3; ++i) {
+    heavy_jobs.push_back(*s->submit(h, job()));
+    light_jobs.push_back(*s->submit(l, job()));
+  }
+  s->run_until_drained();
+  // Everyone finishes, and usage ends up balanced.
+  auto usage = s->usage_by_user(simos::root_credentials());
+  EXPECT_EQ(usage[heavy], usage[light]);
+}
+
+TEST_F(FairshareArrayTest, ArraySubmitsNamedMembers) {
+  auto s = make(PriorityPolicy::fcfs, /*nodes=*/2, /*cpus=*/8);
+  JobSpec spec = job(kSecond);
+  spec.name = "sweep";
+  auto members = s->submit_array(h, spec, 10);
+  ASSERT_TRUE(members.ok());
+  ASSERT_EQ(members->size(), 10u);
+  const Job* third = s->find_job((*members)[3]);
+  ASSERT_NE(third, nullptr);
+  EXPECT_EQ(third->spec.name, "sweep[3]");
+  EXPECT_EQ(third->spec.array_index, 3u);
+  s->run_until_drained();
+  EXPECT_EQ(s->completed_count(), 10u);
+}
+
+TEST_F(FairshareArrayTest, ArrayRejectsZeroAndAbsurdCounts) {
+  auto s = make(PriorityPolicy::fcfs);
+  EXPECT_EQ(s->submit_array(h, job(), 0).error(), Errno::einval);
+  EXPECT_EQ(s->submit_array(h, job(), 200'000).error(), Errno::einval);
+}
+
+TEST_F(FairshareArrayTest, ArrayAllOrNothingOnInvalidSpec) {
+  auto s = make(PriorityPolicy::fcfs, /*nodes=*/1, /*cpus=*/1);
+  JobSpec too_big = job();
+  too_big.num_tasks = 2;  // cannot ever fit the 1-cpu cluster
+  auto members = s->submit_array(h, too_big, 5);
+  EXPECT_EQ(members.error(), Errno::einval);
+  EXPECT_EQ(s->pending_count(), 0u);
+}
+
+TEST_F(FairshareArrayTest, ArrayMembersIndependentLifecycles) {
+  auto s = make(PriorityPolicy::fcfs, /*nodes=*/1, /*cpus=*/2);
+  auto members = s->submit_array(h, job(100 * kSecond), 4);
+  ASSERT_TRUE(members.ok());
+  s->step();  // two run, two queue
+  ASSERT_TRUE(s->cancel(h, (*members)[3]).ok());
+  EXPECT_EQ(s->find_job((*members)[3])->state, JobState::cancelled);
+  EXPECT_EQ(s->find_job((*members)[0])->state, JobState::running);
+}
+
+}  // namespace
+}  // namespace heus::sched

@@ -1,0 +1,113 @@
+// Per-partition sharing-policy overrides (paper §IV-B): even under
+// user-whole-node scheduling, interactive-debug nodes remain multi-user —
+// which is the paper's stated reason hidepid stays necessary.
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.h"
+
+namespace heus::sched {
+namespace {
+
+using common::kSecond;
+using simos::Credentials;
+
+class PartitionPolicyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alice = *db.create_user("alice");
+    bob = *db.create_user("bob");
+    a = *simos::login(db, alice);
+    b = *simos::login(db, bob);
+
+    SchedulerConfig cfg;
+    cfg.policy = SharingPolicy::user_whole_node;
+    cfg.partition_policy["debug"] = SharingPolicy::shared;
+    sched = std::make_unique<Scheduler>(&clock, cfg);
+    for (int i = 0; i < 2; ++i) {
+      NodeInfo info;
+      info.hostname = "c" + std::to_string(i);
+      info.cpus = 8;
+      info.mem_mb = 32 * 1024;
+      info.partition = "normal";
+      sched->add_node(info);
+    }
+    NodeInfo dbg;
+    dbg.hostname = "debug-0";
+    dbg.cpus = 8;
+    dbg.mem_mb = 32 * 1024;
+    dbg.partition = "debug";
+    debug_node = sched->add_node(dbg);
+  }
+
+  JobSpec job(const std::string& partition) {
+    JobSpec spec;
+    spec.partition = partition;
+    spec.mem_mb_per_task = 512;
+    spec.duration_ns = 100 * kSecond;
+    return spec;
+  }
+
+  common::SimClock clock;
+  simos::UserDb db;
+  Uid alice, bob;
+  Credentials a, b;
+  std::unique_ptr<Scheduler> sched;
+  NodeId debug_node{};
+};
+
+TEST_F(PartitionPolicyTest, PolicyForResolvesOverrides) {
+  EXPECT_EQ(sched->policy_for("normal"), SharingPolicy::user_whole_node);
+  EXPECT_EQ(sched->policy_for("debug"), SharingPolicy::shared);
+  EXPECT_EQ(sched->policy_for("unknown"),
+            SharingPolicy::user_whole_node);
+}
+
+TEST_F(PartitionPolicyTest, NormalPartitionStaysSingleUser) {
+  auto ja = sched->submit(a, job("normal"));
+  auto jb = sched->submit(b, job("normal"));
+  sched->step();
+  ASSERT_TRUE(ja.ok());
+  ASSERT_TRUE(jb.ok());
+  EXPECT_NE(sched->find_job(*ja)->allocations[0].node,
+            sched->find_job(*jb)->allocations[0].node);
+  EXPECT_EQ(sched->cross_user_coresidency_events(), 0u);
+}
+
+TEST_F(PartitionPolicyTest, DebugPartitionCoSchedulesUsers) {
+  auto ja = sched->submit(a, job("debug"));
+  auto jb = sched->submit(b, job("debug"));
+  sched->step();
+  ASSERT_TRUE(ja.ok());
+  ASSERT_TRUE(jb.ok());
+  // Both on the single debug node: multi-user, exactly like the paper's
+  // interactive debug queue.
+  EXPECT_EQ(sched->find_job(*ja)->allocations[0].node, debug_node);
+  EXPECT_EQ(sched->find_job(*jb)->allocations[0].node, debug_node);
+  EXPECT_EQ(sched->cross_user_coresidency_events(), 1u);
+  EXPECT_FALSE(sched->node_user(debug_node).has_value());  // mixed
+}
+
+TEST_F(PartitionPolicyTest, OverrideAppliedLive) {
+  sched->set_partition_policy("debug", SharingPolicy::user_whole_node);
+  auto ja = sched->submit(a, job("debug"));
+  auto jb = sched->submit(b, job("debug"));
+  sched->step();
+  ASSERT_TRUE(ja.ok());
+  EXPECT_EQ(sched->find_job(*ja)->state, JobState::running);
+  // Only one debug node: bob now waits.
+  EXPECT_EQ(sched->find_job(*jb)->state, JobState::pending);
+}
+
+TEST_F(PartitionPolicyTest, PerJobExclusiveStillHonoredOnDebug) {
+  JobSpec excl = job("debug");
+  excl.exclusive = true;
+  auto ja = sched->submit(a, excl);
+  auto jb = sched->submit(b, job("debug"));
+  sched->step();
+  ASSERT_TRUE(ja.ok());
+  EXPECT_EQ(sched->find_job(*ja)->state, JobState::running);
+  EXPECT_EQ(sched->find_job(*jb)->state, JobState::pending);
+}
+
+}  // namespace
+}  // namespace heus::sched

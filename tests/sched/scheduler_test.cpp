@@ -1,0 +1,268 @@
+#include "sched/scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace heus::sched {
+namespace {
+
+using common::kSecond;
+using simos::Credentials;
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alice = *db.create_user("alice");
+    bob = *db.create_user("bob");
+    a = *simos::login(db, alice);
+    b = *simos::login(db, bob);
+  }
+
+  std::unique_ptr<Scheduler> make(SharingPolicy policy, unsigned nodes = 4,
+                                  unsigned cpus = 8, unsigned gpus = 0) {
+    SchedulerConfig cfg;
+    cfg.policy = policy;
+    auto s = std::make_unique<Scheduler>(&clock, cfg);
+    for (unsigned i = 0; i < nodes; ++i) {
+      NodeInfo info;
+      info.hostname = "compute-" + std::to_string(i);
+      info.cpus = cpus;
+      info.mem_mb = 64 * 1024;
+      info.gpus = gpus;
+      s->add_node(info);
+    }
+    return s;
+  }
+
+  JobSpec small_job(std::int64_t duration = kSecond) {
+    JobSpec spec;
+    spec.num_tasks = 1;
+    spec.cpus_per_task = 1;
+    spec.mem_mb_per_task = 1024;
+    spec.duration_ns = duration;
+    return spec;
+  }
+
+  common::SimClock clock;
+  simos::UserDb db;
+  Uid alice, bob;
+  Credentials a, b;
+};
+
+TEST_F(SchedulerTest, SubmitDispatchComplete) {
+  auto s = make(SharingPolicy::shared);
+  auto job = s->submit(a, small_job());
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(s->find_job(*job)->state, JobState::pending);
+
+  s->step();
+  EXPECT_EQ(s->find_job(*job)->state, JobState::running);
+  EXPECT_EQ(s->running_count(), 1u);
+
+  clock.advance(kSecond);
+  s->step();
+  EXPECT_EQ(s->find_job(*job)->state, JobState::completed);
+  EXPECT_EQ(s->completed_count(), 1u);
+}
+
+TEST_F(SchedulerTest, RunUntilDrainedProcessesEverything) {
+  auto s = make(SharingPolicy::shared);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(s->submit(a, small_job(kSecond * (i + 1))).ok());
+  }
+  s->run_until_drained();
+  EXPECT_EQ(s->pending_count(), 0u);
+  EXPECT_EQ(s->running_count(), 0u);
+  EXPECT_EQ(s->completed_count(), 20u);
+}
+
+TEST_F(SchedulerTest, InvalidSpecsRejected) {
+  auto s = make(SharingPolicy::shared);
+  JobSpec zero_tasks = small_job();
+  zero_tasks.num_tasks = 0;
+  EXPECT_EQ(s->submit(a, zero_tasks).error(), Errno::einval);
+
+  JobSpec zero_duration = small_job();
+  zero_duration.duration_ns = 0;
+  EXPECT_EQ(s->submit(a, zero_duration).error(), Errno::einval);
+}
+
+TEST_F(SchedulerTest, UnsatisfiableJobRejectedAtSubmit) {
+  auto s = make(SharingPolicy::shared, /*nodes=*/2, /*cpus=*/4);
+  JobSpec huge = small_job();
+  huge.num_tasks = 9;  // 8 cpus total in the partition
+  EXPECT_EQ(s->submit(a, huge).error(), Errno::einval);
+
+  JobSpec wrong_partition = small_job();
+  wrong_partition.partition = "gpu";
+  EXPECT_EQ(s->submit(a, wrong_partition).error(), Errno::einval);
+}
+
+TEST_F(SchedulerTest, MultiNodeJobSpansNodes) {
+  auto s = make(SharingPolicy::shared, /*nodes=*/4, /*cpus=*/8);
+  JobSpec wide = small_job();
+  wide.num_tasks = 20;  // needs 3 nodes at 8 cpus each
+  auto job = s->submit(a, wide);
+  ASSERT_TRUE(job.ok());
+  s->step();
+  const Job* j = s->find_job(*job);
+  ASSERT_EQ(j->state, JobState::running);
+  EXPECT_EQ(j->allocations.size(), 3u);
+  unsigned placed = 0;
+  for (const auto& alloc : j->allocations) placed += alloc.tasks;
+  EXPECT_EQ(placed, 20u);
+}
+
+TEST_F(SchedulerTest, TimeLimitKillsWithTimeoutState) {
+  auto s = make(SharingPolicy::shared);
+  JobSpec runaway = small_job(/*duration=*/100 * kSecond);
+  runaway.time_limit_ns = 5 * kSecond;
+  auto job = s->submit(a, runaway);
+  ASSERT_TRUE(job.ok());
+  s->run_until_drained();
+  EXPECT_EQ(s->find_job(*job)->state, JobState::timeout);
+  // Wall time charged is the limit, not the full duration.
+  EXPECT_EQ(s->find_job(*job)->end_time.ns -
+                s->find_job(*job)->start_time.ns,
+            5 * kSecond);
+}
+
+TEST_F(SchedulerTest, CancelPendingJob) {
+  auto s = make(SharingPolicy::shared, /*nodes=*/1, /*cpus=*/1);
+  auto j1 = s->submit(a, small_job(10 * kSecond));
+  auto j2 = s->submit(a, small_job());
+  ASSERT_TRUE(j1.ok());
+  ASSERT_TRUE(j2.ok());
+  s->step();  // j1 running, j2 pending
+  EXPECT_TRUE(s->cancel(a, *j2).ok());
+  EXPECT_EQ(s->find_job(*j2)->state, JobState::cancelled);
+  EXPECT_EQ(s->pending_count(), 0u);
+}
+
+TEST_F(SchedulerTest, CancelRunningJobFreesResources) {
+  auto s = make(SharingPolicy::shared, /*nodes=*/1, /*cpus=*/1);
+  auto j1 = s->submit(a, small_job(1000 * kSecond));
+  auto j2 = s->submit(b, small_job());
+  s->step();
+  EXPECT_EQ(s->find_job(*j2)->state, JobState::pending);
+  EXPECT_TRUE(s->cancel(a, *j1).ok());
+  // Cancelling dispatches the queue immediately.
+  EXPECT_EQ(s->find_job(*j2)->state, JobState::running);
+}
+
+TEST_F(SchedulerTest, CancelRequiresOwnerOrRoot) {
+  auto s = make(SharingPolicy::shared);
+  auto job = s->submit(a, small_job());
+  EXPECT_EQ(s->cancel(b, *job).error(), Errno::eperm);
+  EXPECT_TRUE(s->cancel(simos::root_credentials(), *job).ok());
+  // Double cancel is EINVAL (already finished).
+  EXPECT_EQ(s->cancel(a, *job).error(), Errno::einval);
+}
+
+TEST_F(SchedulerTest, PrologEpilogFirePerNode) {
+  auto s = make(SharingPolicy::shared, /*nodes=*/4, /*cpus=*/2);
+  std::vector<NodeId> prologs, epilogs;
+  s->set_prolog([&](const JobNodeContext& ctx) {
+    prologs.push_back(ctx.node);
+  });
+  s->set_epilog([&](const JobNodeContext& ctx) {
+    epilogs.push_back(ctx.node);
+  });
+  JobSpec wide = small_job();
+  wide.num_tasks = 4;  // 2 nodes
+  ASSERT_TRUE(s->submit(a, wide).ok());
+  s->run_until_drained();
+  EXPECT_EQ(prologs.size(), 2u);
+  EXPECT_EQ(epilogs, prologs);
+}
+
+TEST_F(SchedulerTest, GpuGresAssignedAndReleased) {
+  auto s = make(SharingPolicy::shared, /*nodes=*/1, /*cpus=*/8,
+                /*gpus=*/4);
+  JobSpec gpu_job = small_job(10 * kSecond);
+  gpu_job.num_tasks = 2;
+  gpu_job.gpus_per_task = 1;
+  auto j1 = s->submit(a, gpu_job);
+  s->step();
+  const Job* job = s->find_job(*j1);
+  ASSERT_EQ(job->allocations.size(), 1u);
+  EXPECT_EQ(job->allocations[0].gpus.size(), 2u);
+
+  // Two more GPUs are free; a third job wanting 3 must wait.
+  JobSpec three = small_job();
+  three.gpus_per_task = 3;
+  auto j2 = s->submit(b, three);
+  s->step();
+  EXPECT_EQ(s->find_job(*j2)->state, JobState::pending);
+  s->run_until_drained();
+  EXPECT_EQ(s->find_job(*j2)->state, JobState::completed);
+}
+
+TEST_F(SchedulerTest, PerJobExclusiveFlagHonoredUnderSharedPolicy) {
+  auto s = make(SharingPolicy::shared, /*nodes=*/1, /*cpus=*/8);
+  JobSpec excl = small_job(10 * kSecond);
+  excl.exclusive = true;
+  auto j1 = s->submit(a, excl);
+  auto j2 = s->submit(b, small_job());
+  s->step();
+  EXPECT_EQ(s->find_job(*j1)->state, JobState::running);
+  // Node is fully fenced despite 7 idle cpus.
+  EXPECT_EQ(s->find_job(*j2)->state, JobState::pending);
+}
+
+TEST_F(SchedulerTest, UserHasJobOnTracksAllocations) {
+  auto s = make(SharingPolicy::shared, /*nodes=*/2, /*cpus=*/2);
+  auto job = s->submit(a, small_job(10 * kSecond));
+  s->step();
+  const NodeId node = s->find_job(*job)->allocations[0].node;
+  EXPECT_TRUE(s->user_has_job_on(alice, node));
+  EXPECT_FALSE(s->user_has_job_on(bob, node));
+  s->run_until_drained();
+  EXPECT_FALSE(s->user_has_job_on(alice, node));
+}
+
+TEST_F(SchedulerTest, AccountingRecordsCpuSeconds) {
+  auto s = make(SharingPolicy::shared);
+  JobSpec spec = small_job(3 * kSecond);
+  spec.num_tasks = 2;
+  ASSERT_TRUE(s->submit(a, spec).ok());
+  s->run_until_drained();
+  auto recs = s->accounting(simos::root_credentials());
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].cpus, 2u);
+  EXPECT_EQ(recs[0].cpu_ns, static_cast<std::uint64_t>(2) * 3 * kSecond);
+  EXPECT_EQ(recs[0].final_state, JobState::completed);
+}
+
+TEST_F(SchedulerTest, MeanWaitReflectsQueueing) {
+  auto s = make(SharingPolicy::shared, /*nodes=*/1, /*cpus=*/1);
+  ASSERT_TRUE(s->submit(a, small_job(10 * kSecond)).ok());
+  ASSERT_TRUE(s->submit(a, small_job(10 * kSecond)).ok());
+  s->run_until_drained();
+  // First job waits 0, second waits 10s → mean 5s.
+  EXPECT_DOUBLE_EQ(s->mean_wait_ns(), 5.0 * kSecond);
+}
+
+TEST_F(SchedulerTest, UtilizationIntegratesBusyCpus) {
+  auto s = make(SharingPolicy::shared, /*nodes=*/2, /*cpus=*/4);
+  JobSpec spec = small_job(10 * kSecond);
+  spec.num_tasks = 4;
+  ASSERT_TRUE(s->submit(a, spec).ok());
+  s->run_until_drained();
+  const auto& util = s->utilization();
+  // 4 of 8 cpus busy for the whole 10s horizon.
+  EXPECT_NEAR(util.utilization(), 0.5, 1e-9);
+  EXPECT_EQ(util.horizon_ns, 10 * kSecond);
+}
+
+TEST_F(SchedulerTest, NextEventTimeTracksEarliestCompletion) {
+  auto s = make(SharingPolicy::shared);
+  EXPECT_FALSE(s->next_event_time().has_value());
+  ASSERT_TRUE(s->submit(a, small_job(5 * kSecond)).ok());
+  ASSERT_TRUE(s->submit(a, small_job(3 * kSecond)).ok());
+  s->step();
+  ASSERT_TRUE(s->next_event_time().has_value());
+  EXPECT_EQ(s->next_event_time()->ns, 3 * kSecond);
+}
+
+}  // namespace
+}  // namespace heus::sched

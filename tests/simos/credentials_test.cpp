@@ -1,0 +1,84 @@
+#include "simos/credentials.h"
+
+#include <gtest/gtest.h>
+
+namespace heus::simos {
+namespace {
+
+class CredentialsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alice = *db.create_user("alice");
+    bob = *db.create_user("bob");
+    proj = *db.create_project_group("widgets", alice);
+  }
+
+  UserDb db;
+  Uid alice, bob;
+  Gid proj;
+};
+
+TEST_F(CredentialsTest, LoginSetsPrivateGroupAsEgid) {
+  auto cred = login(db, alice);
+  ASSERT_TRUE(cred.ok());
+  EXPECT_EQ(cred->uid, alice);
+  EXPECT_EQ(cred->egid, db.find_user(alice)->private_group);
+  EXPECT_EQ(cred->smask, kDefaultSmask);
+  EXPECT_FALSE(cred->is_root());
+}
+
+TEST_F(CredentialsTest, LoginIncludesProjectGroupsAsSupplementary) {
+  auto cred = login(db, alice);
+  ASSERT_TRUE(cred.ok());
+  EXPECT_TRUE(cred->in_group(proj));
+  EXPECT_TRUE(cred->supplementary.contains(proj));
+}
+
+TEST_F(CredentialsTest, LoginUnknownUserFails) {
+  EXPECT_EQ(login(db, Uid{4242}).error(), Errno::enoent);
+}
+
+TEST_F(CredentialsTest, NewgrpSwitchesEgidForMembers) {
+  auto cred = login(db, alice);
+  auto switched = newgrp(db, *cred, proj);
+  ASSERT_TRUE(switched.ok());
+  EXPECT_EQ(switched->egid, proj);
+  // Old primary group is retained as supplementary (DAC continuity).
+  EXPECT_TRUE(switched->in_group(db.find_user(alice)->private_group));
+}
+
+TEST_F(CredentialsTest, NewgrpDeniedForNonMembers) {
+  auto cred = login(db, bob);
+  EXPECT_EQ(newgrp(db, *cred, proj).error(), Errno::eperm);
+}
+
+TEST_F(CredentialsTest, NewgrpUnknownGroupFails) {
+  auto cred = login(db, alice);
+  EXPECT_EQ(newgrp(db, *cred, Gid{31337}).error(), Errno::enoent);
+}
+
+TEST_F(CredentialsTest, NewgrpIdempotentOnCurrentEgid) {
+  auto cred = login(db, alice);
+  auto same = newgrp(db, *cred, cred->egid);
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(same->egid, cred->egid);
+  EXPECT_FALSE(same->supplementary.contains(same->egid));
+}
+
+TEST_F(CredentialsTest, RootCredentialsBypassMask) {
+  const Credentials root = root_credentials();
+  EXPECT_TRUE(root.is_root());
+  EXPECT_EQ(root.smask, 0u);
+}
+
+TEST_F(CredentialsTest, InGroupChecksEgidAndSupplementary) {
+  Credentials c;
+  c.egid = Gid{10};
+  c.supplementary = {Gid{20}};
+  EXPECT_TRUE(c.in_group(Gid{10}));
+  EXPECT_TRUE(c.in_group(Gid{20}));
+  EXPECT_FALSE(c.in_group(Gid{30}));
+}
+
+}  // namespace
+}  // namespace heus::simos

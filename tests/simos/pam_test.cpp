@@ -1,0 +1,119 @@
+#include "simos/pam.h"
+
+#include <gtest/gtest.h>
+
+namespace heus::simos {
+namespace {
+
+class PamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    staff = *db.create_user("staff");
+    user = *db.create_user("user");
+    exempt = *db.create_system_group("proc-exempt");
+    staff_cred = *login(db, staff);
+    user_cred = *login(db, user);
+  }
+
+  UserDb db;
+  Uid staff, user;
+  Gid exempt;
+  Credentials staff_cred, user_cred;
+};
+
+TEST_F(PamTest, SeepidGrantsExemptGroupToWhitelisted) {
+  SeepidService svc(exempt);
+  svc.whitelist(staff);
+  auto session = svc.request(staff_cred);
+  ASSERT_TRUE(session.ok());
+  EXPECT_TRUE(session->in_group(exempt));
+  // The base credentials are untouched (session-scoped grant).
+  EXPECT_FALSE(staff_cred.in_group(exempt));
+}
+
+TEST_F(PamTest, SeepidDeniesNonWhitelisted) {
+  SeepidService svc(exempt);
+  EXPECT_EQ(svc.request(user_cred).error(), Errno::eperm);
+}
+
+TEST_F(PamTest, SeepidRevocationTakesEffect) {
+  SeepidService svc(exempt);
+  svc.whitelist(staff);
+  EXPECT_TRUE(svc.is_whitelisted(staff));
+  svc.revoke(staff);
+  EXPECT_EQ(svc.request(staff_cred).error(), Errno::eperm);
+}
+
+TEST_F(PamTest, SeepidAlwaysServesRoot) {
+  SeepidService svc(exempt);
+  EXPECT_TRUE(svc.request(root_credentials()).ok());
+}
+
+TEST_F(PamTest, SmaskRelaxLowersSmaskForWhitelisted) {
+  SmaskRelaxService svc;
+  svc.whitelist(staff);
+  auto session = svc.request(staff_cred);
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session->smask, kRelaxedSmask);
+  EXPECT_EQ(staff_cred.smask, kDefaultSmask);  // original untouched
+}
+
+TEST_F(PamTest, SmaskRelaxDeniesOrdinaryUsers) {
+  SmaskRelaxService svc;
+  EXPECT_EQ(svc.request(user_cred).error(), Errno::eperm);
+}
+
+TEST_F(PamTest, SeepidAuditLogRecordsGrantsAndDenials) {
+  SeepidService svc(exempt);
+  svc.whitelist(staff);
+  (void)svc.request(staff_cred);
+  (void)svc.request(user_cred);
+  ASSERT_EQ(svc.audit_log().size(), 2u);
+  EXPECT_EQ(svc.audit_log()[0].uid, staff);
+  EXPECT_TRUE(svc.audit_log()[0].granted);
+  EXPECT_EQ(svc.audit_log()[1].uid, user);
+  EXPECT_FALSE(svc.audit_log()[1].granted);
+}
+
+TEST_F(PamTest, SmaskRelaxAuditLogRecordsRequests) {
+  SmaskRelaxService svc;
+  svc.whitelist(staff);
+  (void)svc.request(user_cred);
+  (void)svc.request(staff_cred);
+  ASSERT_EQ(svc.audit_log().size(), 2u);
+  EXPECT_FALSE(svc.audit_log()[0].granted);
+  EXPECT_TRUE(svc.audit_log()[1].granted);
+}
+
+TEST_F(PamTest, PamSlurmAdmitsOnlyWithRunningJob) {
+  const NodeId node3{3};
+  const NodeId node4{4};
+  PamSlurm pam([&](Uid uid, NodeId node) {
+    return uid == user && node == node3;
+  });
+  EXPECT_TRUE(pam.authorize_ssh(user_cred, node3).ok());
+  EXPECT_EQ(pam.authorize_ssh(user_cred, node4).error(), Errno::eperm);
+  EXPECT_EQ(pam.authorize_ssh(staff_cred, node3).error(), Errno::eperm);
+}
+
+TEST_F(PamTest, PamSlurmLoginNodesAlwaysOpen) {
+  const NodeId login0{0};
+  PamSlurm pam([](Uid, NodeId) { return false; });
+  pam.add_login_node(login0);
+  EXPECT_TRUE(pam.authorize_ssh(user_cred, login0).ok());
+  EXPECT_EQ(pam.authorize_ssh(user_cred, NodeId{1}).error(), Errno::eperm);
+}
+
+TEST_F(PamTest, PamSlurmDisabledAdmitsEveryone) {
+  PamSlurm pam([](Uid, NodeId) { return false; });
+  pam.set_enabled(false);
+  EXPECT_TRUE(pam.authorize_ssh(user_cred, NodeId{7}).ok());
+}
+
+TEST_F(PamTest, PamSlurmRootAlwaysAdmitted) {
+  PamSlurm pam([](Uid, NodeId) { return false; });
+  EXPECT_TRUE(pam.authorize_ssh(root_credentials(), NodeId{7}).ok());
+}
+
+}  // namespace
+}  // namespace heus::simos

@@ -1,0 +1,96 @@
+#include "simos/process.h"
+
+#include <gtest/gtest.h>
+
+namespace heus::simos {
+namespace {
+
+class ProcessTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alice = *db.create_user("alice");
+    bob = *db.create_user("bob");
+    alice_cred = *login(db, alice);
+    bob_cred = *login(db, bob);
+  }
+
+  common::SimClock clock;
+  UserDb db;
+  Uid alice, bob;
+  Credentials alice_cred, bob_cred;
+  ProcessTable table{&clock};
+};
+
+TEST_F(ProcessTableTest, SpawnRecordsCredentialsAndTime) {
+  clock.advance(42);
+  const Pid pid = table.spawn(alice_cred, "python train.py");
+  const Process* p = table.find(pid);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->cred.uid, alice);
+  EXPECT_EQ(p->cmdline, "python train.py");
+  EXPECT_EQ(p->start_time.ns, 42);
+  EXPECT_EQ(p->state, ProcState::running);
+}
+
+TEST_F(ProcessTableTest, PidsAreUniqueAndIncreasing) {
+  const Pid a = table.spawn(alice_cred, "a");
+  const Pid b = table.spawn(alice_cred, "b");
+  EXPECT_LT(a, b);
+}
+
+TEST_F(ProcessTableTest, ExitRemovesProcess) {
+  const Pid pid = table.spawn(alice_cred, "x");
+  EXPECT_TRUE(table.exit(pid).ok());
+  EXPECT_EQ(table.find(pid), nullptr);
+  EXPECT_EQ(table.exit(pid).error(), Errno::esrch);
+}
+
+TEST_F(ProcessTableTest, KillRequiresSameUserOrRoot) {
+  const Pid pid = table.spawn(alice_cred, "victim");
+  EXPECT_EQ(table.kill(bob_cred, pid).error(), Errno::eperm);
+  EXPECT_NE(table.find(pid), nullptr);
+  EXPECT_TRUE(table.kill(alice_cred, pid).ok());
+  EXPECT_EQ(table.find(pid), nullptr);
+}
+
+TEST_F(ProcessTableTest, RootMayKillAnything) {
+  const Pid pid = table.spawn(alice_cred, "x");
+  EXPECT_TRUE(table.kill(root_credentials(), pid).ok());
+}
+
+TEST_F(ProcessTableTest, KillMissingProcessIsEsrch) {
+  EXPECT_EQ(table.kill(root_credentials(), Pid{777}).error(), Errno::esrch);
+}
+
+TEST_F(ProcessTableTest, PidsOfFiltersByUser) {
+  table.spawn(alice_cred, "a1");
+  table.spawn(alice_cred, "a2");
+  table.spawn(bob_cred, "b1");
+  EXPECT_EQ(table.pids_of(alice).size(), 2u);
+  EXPECT_EQ(table.pids_of(bob).size(), 1u);
+  EXPECT_EQ(table.count(), 3u);
+}
+
+TEST_F(ProcessTableTest, KillAllOfRemovesExactlyThatUser) {
+  table.spawn(alice_cred, "a1");
+  table.spawn(alice_cred, "a2");
+  table.spawn(bob_cred, "b1");
+  EXPECT_EQ(table.kill_all_of(alice), 2u);
+  EXPECT_EQ(table.count(), 1u);
+  EXPECT_TRUE(table.pids_of(alice).empty());
+}
+
+TEST_F(ProcessTableTest, SpawnOptionsPropagate) {
+  SpawnOptions opts;
+  opts.cwd = "/proj/widgets";
+  opts.job = JobId{5};
+  opts.in_container = true;
+  const Pid pid = table.spawn(alice_cred, "task", opts);
+  const Process* p = table.find(pid);
+  EXPECT_EQ(p->cwd, "/proj/widgets");
+  EXPECT_EQ(p->job, JobId{5});
+  EXPECT_TRUE(p->in_container);
+}
+
+}  // namespace
+}  // namespace heus::simos

@@ -1,0 +1,149 @@
+#include "simos/user_db.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace heus::simos {
+namespace {
+
+class UserDbTest : public ::testing::Test {
+ protected:
+  UserDb db;
+};
+
+TEST_F(UserDbTest, RootExistsByDefault) {
+  EXPECT_TRUE(db.user_exists(kRootUid));
+  EXPECT_TRUE(db.group_exists(kRootGid));
+  EXPECT_EQ(db.find_user_by_name("root")->uid, kRootUid);
+}
+
+TEST_F(UserDbTest, CreateUserMakesPrivateGroup) {
+  auto uid = db.create_user("alice");
+  ASSERT_TRUE(uid.ok());
+  const User* u = db.find_user(*uid);
+  ASSERT_NE(u, nullptr);
+  EXPECT_EQ(u->name, "alice");
+  EXPECT_EQ(u->home, "/home/alice");
+
+  const Group* upg = db.find_group(u->private_group);
+  ASSERT_NE(upg, nullptr);
+  EXPECT_EQ(upg->kind, GroupKind::user_private);
+  EXPECT_EQ(upg->name, "alice");
+  // The defining property of the user-private-group scheme: the group
+  // contains exactly its user.
+  EXPECT_EQ(upg->members.size(), 1u);
+  EXPECT_TRUE(upg->members.contains(*uid));
+}
+
+TEST_F(UserDbTest, DuplicateUserNameRejected) {
+  ASSERT_TRUE(db.create_user("bob").ok());
+  auto dup = db.create_user("bob");
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.error(), Errno::eexist);
+}
+
+TEST_F(UserDbTest, EmptyNameRejected) {
+  EXPECT_EQ(db.create_user("").error(), Errno::einval);
+}
+
+TEST_F(UserDbTest, ProjectGroupHasStewardAsFirstMember) {
+  const Uid alice = *db.create_user("alice");
+  auto gid = db.create_project_group("widgets", alice);
+  ASSERT_TRUE(gid.ok());
+  EXPECT_TRUE(db.is_member(alice, *gid));
+  EXPECT_TRUE(db.is_steward(alice, *gid));
+}
+
+TEST_F(UserDbTest, StewardControlsMembership) {
+  const Uid alice = *db.create_user("alice");
+  const Uid bob = *db.create_user("bob");
+  const Uid carol = *db.create_user("carol");
+  const Gid proj = *db.create_project_group("widgets", alice);
+
+  // Non-steward cannot add members — the "approved project group" rule.
+  EXPECT_EQ(db.add_member(bob, proj, carol).error(), Errno::eperm);
+  EXPECT_TRUE(db.add_member(alice, proj, bob).ok());
+  EXPECT_TRUE(db.is_member(bob, proj));
+
+  // Non-steward cannot remove either.
+  EXPECT_EQ(db.remove_member(carol, proj, bob).error(), Errno::eperm);
+  EXPECT_TRUE(db.remove_member(alice, proj, bob).ok());
+  EXPECT_FALSE(db.is_member(bob, proj));
+}
+
+TEST_F(UserDbTest, RootMayManageAnyProjectGroup) {
+  const Uid alice = *db.create_user("alice");
+  const Uid bob = *db.create_user("bob");
+  const Gid proj = *db.create_project_group("widgets", alice);
+  EXPECT_TRUE(db.add_member(kRootUid, proj, bob).ok());
+  EXPECT_TRUE(db.remove_member(kRootUid, proj, bob).ok());
+}
+
+TEST_F(UserDbTest, StewardCannotBeRemovedWhileStillSteward) {
+  const Uid alice = *db.create_user("alice");
+  const Gid proj = *db.create_project_group("widgets", alice);
+  EXPECT_EQ(db.remove_member(kRootUid, proj, alice).error(), Errno::ebusy);
+}
+
+TEST_F(UserDbTest, LastStewardCannotBeDemoted) {
+  const Uid alice = *db.create_user("alice");
+  const Gid proj = *db.create_project_group("widgets", alice);
+  EXPECT_EQ(db.remove_steward(alice, proj, alice).error(), Errno::ebusy);
+}
+
+TEST_F(UserDbTest, StewardHandoffWorks) {
+  const Uid alice = *db.create_user("alice");
+  const Uid bob = *db.create_user("bob");
+  const Gid proj = *db.create_project_group("widgets", alice);
+  EXPECT_TRUE(db.add_steward(alice, proj, bob).ok());
+  EXPECT_TRUE(db.remove_steward(bob, proj, alice).ok());
+  EXPECT_FALSE(db.is_steward(alice, proj));
+  EXPECT_TRUE(db.is_steward(bob, proj));
+  // alice remains a plain member until removed.
+  EXPECT_TRUE(db.is_member(alice, proj));
+}
+
+TEST_F(UserDbTest, CannotAddMemberToPrivateGroup) {
+  const Uid alice = *db.create_user("alice");
+  const Uid bob = *db.create_user("bob");
+  const User* a = db.find_user(alice);
+  // Not even root: private groups are immutable singletons.
+  EXPECT_EQ(db.add_member(kRootUid, a->private_group, bob).error(),
+            Errno::eperm);
+}
+
+TEST_F(UserDbTest, SystemGroupMembershipIsRootOnly) {
+  const Uid alice = *db.create_user("alice");
+  const Gid sys = *db.create_system_group("proc-exempt");
+  EXPECT_EQ(db.add_system_member(alice, sys, alice).error(), Errno::eperm);
+  EXPECT_TRUE(db.add_system_member(kRootUid, sys, alice).ok());
+  EXPECT_TRUE(db.is_member(alice, sys));
+}
+
+TEST_F(UserDbTest, GroupsOfListsEverything) {
+  const Uid alice = *db.create_user("alice");
+  const Gid proj = *db.create_project_group("widgets", alice);
+  auto groups = db.groups_of(alice);
+  const User* a = db.find_user(alice);
+  EXPECT_NE(std::find(groups.begin(), groups.end(), a->private_group),
+            groups.end());
+  EXPECT_NE(std::find(groups.begin(), groups.end(), proj), groups.end());
+}
+
+TEST_F(UserDbTest, GroupNameCollisionWithUserRejected) {
+  ASSERT_TRUE(db.create_user("alice").ok());
+  // The UPG already took the name.
+  EXPECT_EQ(db.create_project_group("alice", kRootUid).error(),
+            Errno::eexist);
+}
+
+TEST_F(UserDbTest, LookupsReturnNullForMissing) {
+  EXPECT_EQ(db.find_user(Uid{9999}), nullptr);
+  EXPECT_EQ(db.find_group(Gid{9999}), nullptr);
+  EXPECT_EQ(db.find_user_by_name("ghost"), nullptr);
+  EXPECT_FALSE(db.is_member(Uid{9999}, Gid{9999}));
+}
+
+}  // namespace
+}  // namespace heus::simos

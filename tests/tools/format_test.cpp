@@ -1,0 +1,210 @@
+// The tools view layer: the redaction behaviour of the paper's mechanisms
+// as it appears in the familiar command outputs.
+#include "tools/format.h"
+
+#include <gtest/gtest.h>
+
+namespace heus::tools {
+namespace {
+
+using common::kSecond;
+using simos::Credentials;
+
+class FormatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alice = *db.create_user("alice");
+    bob = *db.create_user("bob");
+    a = *simos::login(db, alice);
+    b = *simos::login(db, bob);
+
+    sched::SchedulerConfig cfg;
+    cfg.private_data = sched::PrivateData::all();
+    scheduler = std::make_unique<sched::Scheduler>(&clock, cfg);
+    sched::NodeInfo info;
+    info.hostname = "compute-0";
+    info.cpus = 8;
+    info.mem_mb = 32 * 1024;
+    scheduler->add_node(info);
+
+    fs = std::make_unique<vfs::FileSystem>("t", &db, &clock,
+                                           vfs::FsPolicy::hardened());
+    const Credentials root = simos::root_credentials();
+    ASSERT_TRUE(fs->mkdir(root, "/home", 0755).ok());
+    ASSERT_TRUE(fs->mkdir(root, "/home/alice", 0755).ok());
+    ASSERT_TRUE(fs->chown(root, "/home/alice", alice).ok());
+  }
+
+  common::SimClock clock;
+  simos::UserDb db;
+  Uid alice, bob;
+  Credentials a, b;
+  std::unique_ptr<sched::Scheduler> scheduler;
+  std::unique_ptr<vfs::FileSystem> fs;
+};
+
+TEST_F(FormatTest, PsShowsOnlyVisibleProcesses) {
+  simos::ProcessTable procs(&clock);
+  procs.spawn(a, "python train.py");
+  procs.spawn(b, "matlab run.m");
+  simos::ProcFs hidden(&procs, {simos::HidepidMode::invisible,
+                                std::nullopt});
+  const std::string bob_view = ps_aux(hidden, db, b);
+  EXPECT_EQ(bob_view.find("alice"), std::string::npos);
+  EXPECT_EQ(bob_view.find("train.py"), std::string::npos);
+  EXPECT_NE(bob_view.find("matlab"), std::string::npos);
+
+  simos::ProcFs open_fs(&procs, {simos::HidepidMode::off, std::nullopt});
+  const std::string open_view = ps_aux(open_fs, db, b);
+  EXPECT_NE(open_view.find("alice"), std::string::npos);
+  EXPECT_NE(open_view.find("train.py"), std::string::npos);
+}
+
+TEST_F(FormatTest, SqueueRedactsForeignJobs) {
+  sched::JobSpec spec;
+  spec.name = "alice-job";
+  spec.command = "./secret-sim";
+  spec.mem_mb_per_task = 512;
+  spec.duration_ns = 3600 * kSecond;
+  ASSERT_TRUE(scheduler->submit(a, spec).ok());
+  const std::string bob_view = squeue(*scheduler, db, b);
+  EXPECT_EQ(bob_view.find("alice-job"), std::string::npos);
+  EXPECT_EQ(bob_view.find("secret-sim"), std::string::npos);
+  const std::string alice_view = squeue(*scheduler, db, a);
+  EXPECT_NE(alice_view.find("alice-job"), std::string::npos);
+}
+
+TEST_F(FormatTest, SacctListsCompletedJobsWithCpuSeconds) {
+  sched::JobSpec spec;
+  spec.name = "done-job";
+  spec.num_tasks = 2;
+  spec.mem_mb_per_task = 512;
+  spec.duration_ns = 5 * kSecond;
+  ASSERT_TRUE(scheduler->submit(a, spec).ok());
+  scheduler->run_until_drained();
+  const std::string view = sacct(*scheduler, db, a);
+  EXPECT_NE(view.find("done-job"), std::string::npos);
+  EXPECT_NE(view.find("COMPLETED"), std::string::npos);
+  EXPECT_NE(view.find("10.0"), std::string::npos);  // 2 cpus × 5 s
+}
+
+TEST_F(FormatTest, SqueueShowsPendingReason) {
+  // Fill the node, then queue one more: its row must carry a reason.
+  sched::JobSpec big;
+  big.num_tasks = 8;
+  big.mem_mb_per_task = 512;
+  big.duration_ns = 3600 * kSecond;
+  ASSERT_TRUE(scheduler->submit(a, big).ok());
+  sched::JobSpec waiting;
+  waiting.name = "queued-job";
+  waiting.mem_mb_per_task = 512;
+  waiting.duration_ns = kSecond;
+  ASSERT_TRUE(scheduler->submit(a, waiting).ok());
+  scheduler->step();
+  const std::string view = squeue(*scheduler, db, a);
+  EXPECT_NE(view.find("REASON"), std::string::npos);
+  EXPECT_NE(view.find("Resources"), std::string::npos);
+}
+
+TEST_F(FormatTest, SinfoShowsPartitionColumn) {
+  const std::string view = sinfo(*scheduler, db, a);
+  EXPECT_NE(view.find("PARTITION"), std::string::npos);
+  EXPECT_NE(view.find("normal"), std::string::npos);
+}
+
+TEST_F(FormatTest, SinfoShowsOwnerOnlyToRoot) {
+  sched::JobSpec spec;
+  spec.mem_mb_per_task = 512;
+  spec.duration_ns = 3600 * kSecond;
+  ASSERT_TRUE(scheduler->submit(a, spec).ok());
+  scheduler->step();
+  const std::string user_view = sinfo(*scheduler, db, b);
+  EXPECT_NE(user_view.find("mixed"), std::string::npos);
+  EXPECT_EQ(user_view.find("alice"), std::string::npos);
+  const std::string root_view =
+      sinfo(*scheduler, db, simos::root_credentials());
+  EXPECT_NE(root_view.find("alice"), std::string::npos);
+}
+
+TEST_F(FormatTest, SinfoMarksDownNodes) {
+  sched::JobSpec spec;
+  spec.mem_mb_per_task = 512;
+  spec.duration_ns = 3600 * kSecond;
+  auto job = scheduler->submit(a, spec);
+  scheduler->step();
+  ASSERT_TRUE(scheduler->inject_oom(*job).ok());
+  EXPECT_NE(sinfo(*scheduler, db, b).find("down"), std::string::npos);
+}
+
+TEST_F(FormatTest, LsRendersModesOwnersAndAclMarker) {
+  ASSERT_TRUE(fs->write_file(a, "/home/alice/data.csv", "1,2,3").ok());
+  ASSERT_TRUE(fs->chmod(a, "/home/alice/data.csv", 0640).ok());
+  std::string listing = ls_l(*fs, db, a, "/home/alice");
+  EXPECT_NE(listing.find("-rw-r----- "), std::string::npos);
+  EXPECT_NE(listing.find("alice"), std::string::npos);
+  EXPECT_NE(listing.find("data.csv"), std::string::npos);
+
+  // ACL presence shows as the classic '+'.
+  const Gid proj = *db.create_project_group("widgets", alice);
+  ASSERT_TRUE(fs->acl_set(a, "/home/alice/data.csv",
+                          vfs::AclEntry{vfs::AclTag::named_group, Uid{},
+                                        proj, vfs::kPermRead})
+                  .ok());
+  listing = ls_l(*fs, db, a, "/home/alice");
+  EXPECT_NE(listing.find("-rw-r-----+"), std::string::npos);
+}
+
+TEST_F(FormatTest, LsErrorsRenderLikeTheShell) {
+  const std::string out = ls_l(*fs, db, b, "/home/alice/nodir");
+  EXPECT_NE(out.find("cannot open directory"), std::string::npos);
+  EXPECT_NE(out.find("No such file or directory"), std::string::npos);
+}
+
+TEST_F(FormatTest, GetfaclShowsEntries) {
+  const Gid proj = *db.create_project_group("widgets", alice);
+  ASSERT_TRUE(fs->write_file(a, "/home/alice/f", "x").ok());
+  ASSERT_TRUE(fs->chmod(a, "/home/alice/f", 0640).ok());
+  ASSERT_TRUE(fs->acl_set(a, "/home/alice/f",
+                          vfs::AclEntry{vfs::AclTag::named_group, Uid{},
+                                        proj,
+                                        vfs::kPermRead | vfs::kPermExec})
+                  .ok());
+  const std::string out = getfacl(*fs, db, a, "/home/alice/f");
+  EXPECT_NE(out.find("# owner: alice"), std::string::npos);
+  EXPECT_NE(out.find("user::rw-"), std::string::npos);
+  EXPECT_NE(out.find("group:widgets:r-x"), std::string::npos);
+  EXPECT_NE(out.find("other::---"), std::string::npos);
+}
+
+TEST_F(FormatTest, SloadFiltersAttribution) {
+  sched::JobSpec spec;
+  spec.num_tasks = 4;
+  spec.mem_mb_per_task = 512;
+  spec.duration_ns = 3600 * kSecond;
+  ASSERT_TRUE(scheduler->submit(a, spec).ok());
+  scheduler->step();
+  monitor::Monitor mon(scheduler.get(), &clock,
+                       [](const simos::Credentials&) { return false; });
+  EXPECT_EQ(sload(mon, db, b), "sload: no samples recorded\n");
+  mon.sample();
+  const std::string bob_view = sload(mon, db, b);
+  EXPECT_NE(bob_view.find("cluster load: 4/8"), std::string::npos);
+  EXPECT_EQ(bob_view.find("alice"), std::string::npos);
+  const std::string root_view =
+      sload(mon, db, simos::root_credentials());
+  EXPECT_NE(root_view.find("alice"), std::string::npos);
+}
+
+TEST_F(FormatTest, IdShowsGroupsAndSmask) {
+  const Gid proj = *db.create_project_group("widgets", alice);
+  (void)proj;
+  a = *simos::login(db, alice);  // refresh supplementary groups
+  const std::string out = id(db, a);
+  EXPECT_NE(out.find("uid="), std::string::npos);
+  EXPECT_NE(out.find("(alice)"), std::string::npos);
+  EXPECT_NE(out.find("(widgets)"), std::string::npos);
+  EXPECT_NE(out.find("smask=007"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace heus::tools

@@ -1,0 +1,65 @@
+#include "vfs/acl.h"
+
+#include <gtest/gtest.h>
+
+namespace heus::vfs {
+namespace {
+
+TEST(Acl, EmptyByDefault) {
+  Acl acl;
+  EXPECT_TRUE(acl.empty());
+  EXPECT_FALSE(acl.mask().has_value());
+  EXPECT_FALSE(acl.named_user(Uid{1}).has_value());
+}
+
+TEST(Acl, UpsertInsertsAndReplaces) {
+  Acl acl;
+  acl.upsert({AclTag::named_user, Uid{5}, Gid{}, kPermRead});
+  ASSERT_TRUE(acl.named_user(Uid{5}).has_value());
+  EXPECT_EQ(*acl.named_user(Uid{5}), kPermRead);
+
+  acl.upsert({AclTag::named_user, Uid{5}, Gid{},
+              kPermRead | kPermWrite});
+  EXPECT_EQ(acl.entries.size(), 1u);  // replaced, not duplicated
+  EXPECT_EQ(*acl.named_user(Uid{5}), kPermRead | kPermWrite);
+}
+
+TEST(Acl, NamedGroupLookup) {
+  Acl acl;
+  acl.upsert({AclTag::named_group, Uid{}, Gid{10}, kPermRead | kPermExec});
+  EXPECT_EQ(*acl.named_group(Gid{10}), kPermRead | kPermExec);
+  EXPECT_FALSE(acl.named_group(Gid{11}).has_value());
+}
+
+TEST(Acl, MaskEntry) {
+  Acl acl;
+  acl.upsert({AclTag::mask, Uid{}, Gid{}, kPermRead});
+  ASSERT_TRUE(acl.mask().has_value());
+  EXPECT_EQ(*acl.mask(), kPermRead);
+  // Replacing the mask keeps one entry.
+  acl.upsert({AclTag::mask, Uid{}, Gid{}, kPermRead | kPermWrite});
+  EXPECT_EQ(acl.entries.size(), 1u);
+}
+
+TEST(Acl, RemoveByTagAndSubject) {
+  Acl acl;
+  acl.upsert({AclTag::named_user, Uid{5}, Gid{}, kPermRead});
+  acl.upsert({AclTag::named_group, Uid{}, Gid{10}, kPermRead});
+  EXPECT_TRUE(acl.remove(AclTag::named_user, Uid{5}, Gid{}));
+  EXPECT_FALSE(acl.remove(AclTag::named_user, Uid{5}, Gid{}));  // gone
+  EXPECT_EQ(acl.entries.size(), 1u);
+  EXPECT_TRUE(acl.remove(AclTag::named_group, Uid{}, Gid{10}));
+  EXPECT_TRUE(acl.empty());
+}
+
+TEST(Acl, DistinctSubjectsCoexist) {
+  Acl acl;
+  acl.upsert({AclTag::named_user, Uid{1}, Gid{}, kPermRead});
+  acl.upsert({AclTag::named_user, Uid{2}, Gid{}, kPermWrite});
+  EXPECT_EQ(acl.entries.size(), 2u);
+  EXPECT_EQ(*acl.named_user(Uid{1}), kPermRead);
+  EXPECT_EQ(*acl.named_user(Uid{2}), kPermWrite);
+}
+
+}  // namespace
+}  // namespace heus::vfs

@@ -1,0 +1,185 @@
+// Property test: the VFS permission evaluator agrees with an independent
+// reference model across randomized (mode, ownership, ACL, credential)
+// configurations. The reference implementation below is written straight
+// from POSIX 1003.1e text, deliberately sharing no code with the VFS.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vfs/filesystem.h"
+
+namespace heus::vfs {
+namespace {
+
+using simos::Credentials;
+using simos::root_credentials;
+
+struct FileConfig {
+  unsigned mode;
+  Uid owner;
+  Gid group;
+  std::optional<Acl> acl;
+};
+
+/// Reference DAC+ACL oracle (independent reimplementation).
+bool oracle_permits(const Credentials& cred, const FileConfig& f,
+                    unsigned want_bit) {
+  if (cred.uid == kRootUid) return true;  // read/write only in this test
+
+  const unsigned owner_bits = (f.mode >> 6) & 7;
+  const unsigned group_bits = (f.mode >> 3) & 7;
+  const unsigned other_bits = f.mode & 7;
+
+  if (!f.acl || f.acl->empty()) {
+    if (cred.uid == f.owner) return owner_bits & want_bit;
+    if (cred.in_group(f.group)) return group_bits & want_bit;
+    return other_bits & want_bit;
+  }
+  const unsigned mask = f.acl->mask().value_or(7);
+  if (cred.uid == f.owner) return owner_bits & want_bit;
+  if (auto p = f.acl->named_user(cred.uid)) return *p & mask & want_bit;
+  bool matched = false;
+  if (cred.in_group(f.group)) {
+    matched = true;
+    if (group_bits & mask & want_bit) return true;
+  }
+  for (const auto& e : f.acl->entries) {
+    if (e.tag != AclTag::named_group || !cred.in_group(e.gid)) continue;
+    matched = true;
+    if (e.perm & mask & want_bit) return true;
+  }
+  if (matched) return false;
+  return other_bits & want_bit;
+}
+
+class DacPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DacPropertyTest, EvaluatorMatchesOracle) {
+  common::Rng rng(GetParam());
+  common::SimClock clock;
+  simos::UserDb db;
+
+  // A small population: 4 users, 3 project groups with random membership.
+  std::vector<Uid> uids;
+  std::vector<Credentials> creds;
+  for (int u = 0; u < 4; ++u) {
+    uids.push_back(*db.create_user("u" + std::to_string(u)));
+  }
+  std::vector<Gid> groups;
+  for (int g = 0; g < 3; ++g) {
+    const Gid gid = *db.create_project_group(
+        "g" + std::to_string(g), uids[rng.bounded(uids.size())]);
+    for (Uid uid : uids) {
+      if (rng.chance(0.4)) (void)db.add_member(kRootUid, gid, uid);
+    }
+    groups.push_back(gid);
+  }
+  for (Uid uid : uids) creds.push_back(*simos::login(db, uid));
+
+  // ACL restriction off: the property under test is pure evaluation; the
+  // restriction patch has its own suite. Root plants all configurations.
+  FsPolicy policy = FsPolicy::baseline();
+  FileSystem fs("prop", &db, &clock, policy);
+  const Credentials root = root_credentials();
+  ASSERT_TRUE(fs.mkdir(root, "/t", 0777).ok());
+
+  for (int round = 0; round < 300; ++round) {
+    FileConfig cfg;
+    cfg.mode = static_cast<unsigned>(rng.bounded(0777 + 1));
+    cfg.owner = uids[rng.bounded(uids.size())];
+    // Group: a project group or some user's private group.
+    if (rng.chance(0.5)) {
+      cfg.group = groups[rng.bounded(groups.size())];
+    } else {
+      cfg.group =
+          db.find_user(uids[rng.bounded(uids.size())])->private_group;
+    }
+    if (rng.chance(0.5)) {
+      Acl acl;
+      const auto n = 1 + rng.bounded(3);
+      for (std::uint64_t e = 0; e < n; ++e) {
+        if (rng.chance(0.4)) {
+          acl.upsert({AclTag::named_user, uids[rng.bounded(uids.size())],
+                      Gid{}, static_cast<Perm>(rng.bounded(8))});
+        } else {
+          acl.upsert({AclTag::named_group, Uid{},
+                      groups[rng.bounded(groups.size())],
+                      static_cast<Perm>(rng.bounded(8))});
+        }
+      }
+      if (rng.chance(0.4)) {
+        acl.upsert({AclTag::mask, Uid{}, Gid{},
+                    static_cast<Perm>(rng.bounded(8))});
+      }
+      cfg.acl = std::move(acl);
+    }
+
+    // Materialise the file.
+    const std::string path = "/t/f";
+    ASSERT_TRUE(fs.create(root, path, 0600).ok());
+    ASSERT_TRUE(fs.chown(root, path, cfg.owner).ok());
+    ASSERT_TRUE(fs.chgrp(root, path, cfg.group).ok());
+    ASSERT_TRUE(fs.chmod(root, path, cfg.mode).ok());
+    if (cfg.acl) {
+      for (const auto& e : cfg.acl->entries) {
+        ASSERT_TRUE(fs.acl_set(root, path, e).ok());
+      }
+    }
+
+    // Probe read & write for every credential and compare to the oracle.
+    for (const auto& cred : creds) {
+      const bool got_r = fs.access(cred, path, Access::read).ok();
+      const bool got_w = fs.access(cred, path, Access::write).ok();
+      EXPECT_EQ(got_r, oracle_permits(cred, cfg, 4))
+          << "read mismatch: mode=" << std::oct << cfg.mode
+          << " owner=" << std::dec << cfg.owner.value()
+          << " group=" << cfg.group.value() << " uid=" << cred.uid.value()
+          << " acl=" << (cfg.acl ? "yes" : "no") << " round=" << round;
+      EXPECT_EQ(got_w, oracle_permits(cred, cfg, 2))
+          << "write mismatch: mode=" << std::oct << cfg.mode
+          << " owner=" << std::dec << cfg.owner.value()
+          << " group=" << cfg.group.value() << " uid=" << cred.uid.value()
+          << " round=" << round;
+    }
+    ASSERT_TRUE(fs.unlink(root, path).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DacPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+/// smask invariant under random chmod sequences: a non-root task with the
+/// production smask can never produce a mode with world bits, no matter
+/// what chmod arguments it issues in what order.
+class SmaskPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SmaskPropertyTest, WorldBitsNeverAppear) {
+  common::Rng rng(GetParam());
+  common::SimClock clock;
+  simos::UserDb db;
+  const Uid alice = *db.create_user("alice");
+  Credentials a = *simos::login(db, alice);
+  a.umask = static_cast<unsigned>(rng.bounded(0100));  // any umask at all
+  FileSystem fs("prop", &db, &clock, FsPolicy::hardened());
+  const Credentials root = root_credentials();
+  ASSERT_TRUE(fs.mkdir(root, "/w", 0777).ok());
+  ASSERT_TRUE(fs.chmod(root, "/w", 0777).ok());  // bypass root's umask
+
+  for (int round = 0; round < 200; ++round) {
+    const unsigned create_mode =
+        static_cast<unsigned>(rng.bounded(07777 + 1));
+    ASSERT_TRUE(fs.create(a, "/w/f", create_mode).ok());
+    for (int c = 0; c < 5; ++c) {
+      (void)fs.chmod(a, "/w/f",
+                     static_cast<unsigned>(rng.bounded(07777 + 1)));
+      EXPECT_EQ(fs.stat(a, "/w/f")->mode & 0007u, 0u);
+    }
+    ASSERT_TRUE(fs.unlink(a, "/w/f").ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmaskPropertyTest,
+                         ::testing::Values(7, 11, 19, 23));
+
+}  // namespace
+}  // namespace heus::vfs

@@ -1,0 +1,115 @@
+// Filesystem operation fuzz: random op sequences by random users, with
+// global invariants re-checked as the tree churns:
+//
+//  (1) referential integrity — every directory entry resolves to a live
+//      inode, and every inode's nlink matches its name count;
+//  (2) quota accounting — bytes_used_by(u) equals the tree-walk sum of
+//      regular-file sizes owned by u (deduplicated across hard links);
+//  (3) the smask invariant — no inode owned by an unprivileged user ever
+//      carries world permission bits.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "vfs/filesystem.h"
+
+namespace heus::vfs {
+namespace {
+
+using simos::Credentials;
+using simos::root_credentials;
+
+class FsFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FsFuzzTest, InvariantsSurviveRandomOperations) {
+  common::Rng rng(GetParam());
+  common::SimClock clock;
+  simos::UserDb db;
+  std::vector<Credentials> users;
+  for (int u = 0; u < 3; ++u) {
+    users.push_back(
+        *simos::login(db, *db.create_user("u" + std::to_string(u))));
+  }
+  FileSystem fs("fuzz", &db, &clock, FsPolicy::hardened());
+  const Credentials root = root_credentials();
+  ASSERT_TRUE(fs.mkdir(root, "/w", 0777).ok());
+  ASSERT_TRUE(fs.chmod(root, "/w", 01777).ok());
+
+  // Candidate paths the fuzzer creates/destroys.
+  std::vector<std::string> names;
+  for (int i = 0; i < 12; ++i) {
+    names.push_back("/w/f" + std::to_string(i));
+  }
+
+  auto check_invariants = [&](int op) {
+    // One walk computes everything.
+    std::map<Uid, std::uint64_t> sizes;
+    std::map<InodeId, unsigned> name_counts;
+    std::map<InodeId, const Inode*> seen;
+    fs.for_each([&](const std::string&, const Inode& node) {
+      ++name_counts[node.id];
+      seen[node.id] = &node;
+    });
+    for (const auto& [id, node] : seen) {
+      if (node->kind == FileKind::regular) {
+        sizes[node->uid] += node->data.size();
+      }
+      if (node->kind != FileKind::directory) {
+        EXPECT_EQ(node->nlink, name_counts.at(id))
+            << "nlink drift at op " << op;
+      }
+      if (node->uid != kRootUid) {
+        EXPECT_EQ(node->mode & 0007u, 0u)
+            << "world bits leaked at op " << op;
+      }
+    }
+    for (const auto& cred : users) {
+      EXPECT_EQ(fs.bytes_used_by(cred.uid),
+                sizes.contains(cred.uid) ? sizes.at(cred.uid) : 0u)
+          << "quota accounting drift for uid " << cred.uid.value()
+          << " at op " << op;
+    }
+  };
+
+  for (int op = 0; op < 600; ++op) {
+    const Credentials& cred = users[rng.bounded(users.size())];
+    const std::string& path = names[rng.bounded(names.size())];
+    const std::string& other = names[rng.bounded(names.size())];
+    switch (rng.bounded(7)) {
+      case 0:
+        (void)fs.write_file(cred, path,
+                            std::string(rng.bounded(512), 'd'));
+        break;
+      case 1:
+        (void)fs.append_file(cred, path,
+                             std::string(rng.bounded(256), 'a'));
+        break;
+      case 2:
+        (void)fs.unlink(cred, path);
+        break;
+      case 3:
+        (void)fs.link(cred, path, other);
+        break;
+      case 4:
+        (void)fs.rename(cred, path, other);
+        break;
+      case 5:
+        (void)fs.chmod(cred, path,
+                       static_cast<unsigned>(rng.bounded(07777 + 1)));
+        break;
+      case 6:
+        (void)fs.chown(root, path, users[rng.bounded(users.size())].uid);
+        break;
+    }
+    if (op % 25 == 24) check_invariants(op);
+  }
+  check_invariants(600);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FsFuzzTest,
+                         ::testing::Values(9, 99, 999, 2027));
+
+}  // namespace
+}  // namespace heus::vfs

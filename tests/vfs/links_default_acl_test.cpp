@@ -1,0 +1,194 @@
+// Hard links and default (inheritable) directory ACLs, including their
+// interaction with the ACL-restriction patch.
+#include <gtest/gtest.h>
+
+#include "vfs/filesystem.h"
+
+namespace heus::vfs {
+namespace {
+
+using simos::Credentials;
+using simos::root_credentials;
+
+class LinksAclTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alice = *db.create_user("alice");
+    bob = *db.create_user("bob");
+    proj = *db.create_project_group("widgets", alice);
+    ASSERT_TRUE(db.add_member(alice, proj, bob).ok());
+    a = *simos::login(db, alice);
+    b = *simos::login(db, bob);
+    root = root_credentials();
+    fs = std::make_unique<FileSystem>("t", &db, &clock,
+                                      FsPolicy::hardened());
+    ASSERT_TRUE(fs->mkdir(root, "/home", 0755).ok());
+    ASSERT_TRUE(fs->mkdir(root, "/home/alice", 0700).ok());
+    ASSERT_TRUE(fs->chown(root, "/home/alice", alice).ok());
+    ASSERT_TRUE(fs->chmod(root, "/home/alice", 0755).ok());
+  }
+
+  common::SimClock clock;
+  simos::UserDb db;
+  Uid alice, bob;
+  Gid proj;
+  Credentials a, b, root;
+  std::unique_ptr<FileSystem> fs;
+};
+
+TEST_F(LinksAclTest, HardLinkSharesInode) {
+  ASSERT_TRUE(fs->write_file(a, "/home/alice/orig", "payload").ok());
+  ASSERT_TRUE(fs->link(a, "/home/alice/orig", "/home/alice/alias").ok());
+  EXPECT_EQ(fs->stat(a, "/home/alice/orig")->inode,
+            fs->stat(a, "/home/alice/alias")->inode);
+  EXPECT_EQ(fs->stat(a, "/home/alice/orig")->nlink, 2u);
+  // Writes through one name are visible through the other.
+  ASSERT_TRUE(fs->write_file(a, "/home/alice/alias", "updated").ok());
+  EXPECT_EQ(*fs->read_file(a, "/home/alice/orig"), "updated");
+}
+
+TEST_F(LinksAclTest, UnlinkKeepsDataUntilLastNameGone) {
+  ASSERT_TRUE(fs->write_file(a, "/home/alice/orig", "keep me").ok());
+  ASSERT_TRUE(fs->link(a, "/home/alice/orig", "/home/alice/alias").ok());
+  ASSERT_TRUE(fs->unlink(a, "/home/alice/orig").ok());
+  EXPECT_EQ(*fs->read_file(a, "/home/alice/alias"), "keep me");
+  EXPECT_EQ(fs->stat(a, "/home/alice/alias")->nlink, 1u);
+  ASSERT_TRUE(fs->unlink(a, "/home/alice/alias").ok());
+  EXPECT_EQ(fs->inode_count(), 3u);  // /, /home, /home/alice
+}
+
+TEST_F(LinksAclTest, DirectoryHardLinksForbidden) {
+  ASSERT_TRUE(fs->mkdir(a, "/home/alice/d", 0755).ok());
+  EXPECT_EQ(fs->link(a, "/home/alice/d", "/home/alice/d2").error(),
+            Errno::eperm);
+}
+
+TEST_F(LinksAclTest, LinkRequiresWriteOnTargetDir) {
+  ASSERT_TRUE(fs->write_file(a, "/home/alice/orig", "x").ok());
+  ASSERT_TRUE(fs->chmod(a, "/home/alice/orig", 0644).ok());
+  // bob can read the file but cannot link it into alice's directory.
+  EXPECT_EQ(fs->link(b, "/home/alice/orig", "/home/alice/theft").error(),
+            Errno::eacces);
+}
+
+TEST_F(LinksAclTest, LinkToExistingNameFails) {
+  ASSERT_TRUE(fs->write_file(a, "/home/alice/f1", "x").ok());
+  ASSERT_TRUE(fs->write_file(a, "/home/alice/f2", "y").ok());
+  EXPECT_EQ(fs->link(a, "/home/alice/f1", "/home/alice/f2").error(),
+            Errno::eexist);
+}
+
+TEST_F(LinksAclTest, RenameOverLinkDecrementsNotErases) {
+  ASSERT_TRUE(fs->write_file(a, "/home/alice/orig", "original").ok());
+  ASSERT_TRUE(fs->link(a, "/home/alice/orig", "/home/alice/alias").ok());
+  ASSERT_TRUE(fs->write_file(a, "/home/alice/new", "replacement").ok());
+  ASSERT_TRUE(fs->rename(a, "/home/alice/new", "/home/alice/alias").ok());
+  // orig's inode lost one name but survives via "orig".
+  EXPECT_EQ(*fs->read_file(a, "/home/alice/orig"), "original");
+  EXPECT_EQ(fs->stat(a, "/home/alice/orig")->nlink, 1u);
+  EXPECT_EQ(*fs->read_file(a, "/home/alice/alias"), "replacement");
+}
+
+TEST_F(LinksAclTest, RenameBetweenLinksOfSameInodeIsNoop) {
+  // POSIX: rename(old, new) where both are links to the same inode does
+  // nothing. (Regression: the fuzzer caught this dropping a link ref.)
+  ASSERT_TRUE(fs->write_file(a, "/home/alice/orig", "x").ok());
+  ASSERT_TRUE(fs->link(a, "/home/alice/orig", "/home/alice/alias").ok());
+  ASSERT_TRUE(fs->rename(a, "/home/alice/orig", "/home/alice/alias").ok());
+  EXPECT_EQ(fs->stat(a, "/home/alice/orig")->nlink, 2u);
+  EXPECT_EQ(fs->stat(a, "/home/alice/alias")->nlink, 2u);
+  // Self-rename likewise.
+  ASSERT_TRUE(fs->rename(a, "/home/alice/orig", "/home/alice/orig").ok());
+  EXPECT_TRUE(fs->read_file(a, "/home/alice/orig").ok());
+}
+
+TEST_F(LinksAclTest, DefaultAclInheritedByFiles) {
+  ASSERT_TRUE(fs->mkdir(a, "/home/alice/team", 0750).ok());
+  ASSERT_TRUE(fs->acl_set_default(
+                    a, "/home/alice/team",
+                    AclEntry{AclTag::named_group, Uid{}, proj, kPermRead})
+                  .ok());
+  ASSERT_TRUE(fs->acl_set(a, "/home/alice/team",
+                          AclEntry{AclTag::named_group, Uid{}, proj,
+                                   kPermRead | kPermExec})
+                  .ok());
+  ASSERT_TRUE(
+      fs->write_file(a, "/home/alice/team/report.txt", "shared").ok());
+  ASSERT_TRUE(fs->chmod(a, "/home/alice/team/report.txt", 0640).ok());
+  // bob reads via the inherited ACL even though the file's group is
+  // alice's UPG.
+  EXPECT_TRUE(fs->read_file(b, "/home/alice/team/report.txt").ok());
+  EXPECT_TRUE(fs->stat(a, "/home/alice/team/report.txt")->has_acl);
+}
+
+TEST_F(LinksAclTest, DefaultAclPropagatesToSubdirectories) {
+  ASSERT_TRUE(fs->mkdir(a, "/home/alice/team", 0750).ok());
+  ASSERT_TRUE(fs->acl_set_default(
+                    a, "/home/alice/team",
+                    AclEntry{AclTag::named_group, Uid{}, proj,
+                             kPermRead | kPermExec})
+                  .ok());
+  // A default ACL governs *children*; the top directory itself still
+  // needs an access grant for bob to traverse it.
+  ASSERT_TRUE(fs->acl_set(a, "/home/alice/team",
+                          AclEntry{AclTag::named_group, Uid{}, proj,
+                                   kPermRead | kPermExec})
+                  .ok());
+  ASSERT_TRUE(fs->mkdir(a, "/home/alice/team/sub", 0750).ok());
+  // The subdirectory carries the default onward.
+  auto inherited = fs->acl_get_default(a, "/home/alice/team/sub");
+  ASSERT_TRUE(inherited.ok());
+  EXPECT_TRUE(inherited->named_group(proj).has_value());
+  // …and grants access itself.
+  ASSERT_TRUE(fs->write_file(a, "/home/alice/team/sub/x", "deep").ok());
+  ASSERT_TRUE(fs->chmod(a, "/home/alice/team/sub/x", 0640).ok());
+  EXPECT_TRUE(fs->read_file(b, "/home/alice/team/sub/x").ok());
+}
+
+TEST_F(LinksAclTest, DefaultAclSubjectToRestrictionPatch) {
+  ASSERT_TRUE(fs->mkdir(a, "/home/alice/d", 0750).ok());
+  // Default-granting to an arbitrary user is blocked, exactly like an
+  // access-ACL grant would be.
+  EXPECT_EQ(fs->acl_set_default(
+                  a, "/home/alice/d",
+                  AclEntry{AclTag::named_user, bob, Gid{}, kPermRead})
+                .error(),
+            Errno::eperm);
+  // Non-member group too.
+  const Gid bob_upg = db.find_user(bob)->private_group;
+  EXPECT_EQ(fs->acl_set_default(
+                  a, "/home/alice/d",
+                  AclEntry{AclTag::named_group, Uid{}, bob_upg, kPermRead})
+                .error(),
+            Errno::eperm);
+}
+
+TEST_F(LinksAclTest, DefaultAclOnlyOnDirectories) {
+  ASSERT_TRUE(fs->write_file(a, "/home/alice/f", "x").ok());
+  EXPECT_EQ(fs->acl_set_default(
+                  a, "/home/alice/f",
+                  AclEntry{AclTag::named_group, Uid{}, proj, kPermRead})
+                .error(),
+            Errno::enotdir);
+}
+
+TEST_F(LinksAclTest, DefaultAclRemoveStopsInheritance) {
+  ASSERT_TRUE(fs->mkdir(a, "/home/alice/d", 0750).ok());
+  ASSERT_TRUE(fs->acl_set_default(
+                    a, "/home/alice/d",
+                    AclEntry{AclTag::named_group, Uid{}, proj, kPermRead})
+                  .ok());
+  ASSERT_TRUE(fs->acl_remove_default(a, "/home/alice/d",
+                                     AclTag::named_group, Uid{}, proj)
+                  .ok());
+  ASSERT_TRUE(fs->write_file(a, "/home/alice/d/late", "x").ok());
+  EXPECT_FALSE(fs->stat(a, "/home/alice/d/late")->has_acl);
+  // Removing again reports ENOENT.
+  EXPECT_EQ(fs->acl_remove_default(a, "/home/alice/d",
+                                   AclTag::named_group, Uid{}, proj)
+                .error(),
+            Errno::enoent);
+}
+
+}  // namespace
+}  // namespace heus::vfs

@@ -1,0 +1,109 @@
+#include "vfs/path.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace heus::vfs {
+namespace {
+
+TEST(SplitPath, RootIsEmptyList) {
+  auto parts = split_path("/");
+  ASSERT_TRUE(parts.ok());
+  EXPECT_TRUE(parts->empty());
+}
+
+TEST(SplitPath, BasicComponents) {
+  auto parts = split_path("/home/alice/data.txt");
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 3u);
+  EXPECT_EQ((*parts)[0], "home");
+  EXPECT_EQ((*parts)[2], "data.txt");
+}
+
+TEST(SplitPath, NormalisesDotsAndSlashes) {
+  auto parts = split_path("//home//./alice/");
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 2u);
+  EXPECT_EQ((*parts)[1], "alice");
+}
+
+TEST(SplitPath, DotDotResolvedLexically) {
+  auto parts = split_path("/home/alice/../bob/x");
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 3u);
+  EXPECT_EQ((*parts)[1], "bob");
+}
+
+TEST(SplitPath, DotDotAboveRootClamps) {
+  auto parts = split_path("/../../etc");
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 1u);
+  EXPECT_EQ((*parts)[0], "etc");
+}
+
+TEST(SplitPath, RelativePathRejected) {
+  EXPECT_EQ(split_path("home/alice").error(), Errno::einval);
+  EXPECT_EQ(split_path("").error(), Errno::einval);
+}
+
+TEST(SplitPath, OversizedComponentRejected) {
+  const std::string path = "/" + std::string(kMaxNameLen + 1, 'x');
+  EXPECT_EQ(split_path(path).error(), Errno::enametoolong);
+}
+
+TEST(JoinPath, RoundTripsWithSplit) {
+  const std::string p = "/proj/widgets/data";
+  EXPECT_EQ(join_path(*split_path(p)), p);
+  EXPECT_EQ(join_path({}), "/");
+}
+
+TEST(Dirname, StandardCases) {
+  EXPECT_EQ(dirname("/a/b/c"), "/a/b");
+  EXPECT_EQ(dirname("/a"), "/");
+  EXPECT_EQ(dirname("/"), "/");
+}
+
+TEST(Basename, StandardCases) {
+  EXPECT_EQ(basename("/a/b/c"), "c");
+  EXPECT_EQ(basename("/a"), "a");
+  EXPECT_EQ(basename("/"), "");
+}
+
+// Property fuzz: arbitrary byte soup never crashes the splitter, and on
+// success the result is canonical (no empty/"."/".." components, and
+// join∘split is idempotent).
+class PathFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PathFuzz, SplitIsTotalAndCanonical) {
+  heus::common::Rng rng(GetParam());
+  static constexpr char kAlphabet[] = "ab/.x-_ ~%\\\t";
+  for (int round = 0; round < 2000; ++round) {
+    std::string path;
+    const auto len = rng.bounded(40);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      path += kAlphabet[rng.bounded(sizeof(kAlphabet) - 1)];
+    }
+    auto parts = split_path(path);
+    if (!parts) {
+      EXPECT_TRUE(parts.error() == Errno::einval ||
+                  parts.error() == Errno::enametoolong);
+      continue;
+    }
+    for (const auto& comp : *parts) {
+      EXPECT_FALSE(comp.empty());
+      EXPECT_NE(comp, ".");
+      EXPECT_NE(comp, "..");
+      EXPECT_EQ(comp.find('/'), std::string::npos);
+    }
+    const std::string joined = join_path(*parts);
+    auto again = split_path(joined);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(*again, *parts);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathFuzz, ::testing::Values(1, 7, 42));
+
+}  // namespace
+}  // namespace heus::vfs

@@ -1,0 +1,145 @@
+// Per-user quotas and filesystem capacity (extension beyond the paper:
+// the shared-storage flavour of blast-radius containment).
+#include <gtest/gtest.h>
+
+#include "vfs/filesystem.h"
+
+namespace heus::vfs {
+namespace {
+
+using simos::Credentials;
+using simos::root_credentials;
+
+class QuotaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alice = *db.create_user("alice");
+    bob = *db.create_user("bob");
+    a = *simos::login(db, alice);
+    b = *simos::login(db, bob);
+    root = root_credentials();
+    fs = std::make_unique<FileSystem>("t", &db, &clock,
+                                      FsPolicy::hardened());
+    ASSERT_TRUE(fs->mkdir(root, "/scratch", 0777).ok());
+    ASSERT_TRUE(fs->chmod(root, "/scratch", 01777).ok());
+  }
+
+  common::SimClock clock;
+  simos::UserDb db;
+  Uid alice, bob;
+  Credentials a, b, root;
+  std::unique_ptr<FileSystem> fs;
+};
+
+TEST_F(QuotaTest, UsageTracksWritesAndUnlinks) {
+  ASSERT_TRUE(fs->write_file(a, "/scratch/a.dat", std::string(100, 'x'))
+                  .ok());
+  EXPECT_EQ(fs->bytes_used_by(alice), 100u);
+  EXPECT_EQ(fs->bytes_used_total(), 100u);
+  // Overwrite with something smaller refunds the difference.
+  ASSERT_TRUE(fs->write_file(a, "/scratch/a.dat", std::string(40, 'x'))
+                  .ok());
+  EXPECT_EQ(fs->bytes_used_by(alice), 40u);
+  ASSERT_TRUE(fs->unlink(a, "/scratch/a.dat").ok());
+  EXPECT_EQ(fs->bytes_used_by(alice), 0u);
+  EXPECT_EQ(fs->bytes_used_total(), 0u);
+}
+
+TEST_F(QuotaTest, QuotaBlocksGrowthWithEdquot) {
+  fs->set_user_quota(alice, 100);
+  EXPECT_EQ(*fs->user_quota(alice), 100u);
+  ASSERT_TRUE(fs->write_file(a, "/scratch/a.dat", std::string(80, 'x'))
+                  .ok());
+  auto r = fs->write_file(a, "/scratch/b.dat", std::string(30, 'x'));
+  EXPECT_EQ(r.error(), Errno::edquot);
+  // The failed create left no debris.
+  EXPECT_EQ(fs->stat(a, "/scratch/b.dat").error(), Errno::enoent);
+  // Appending over quota also fails.
+  EXPECT_EQ(fs->append_file(a, "/scratch/a.dat",
+                            std::string(30, 'x')).error(),
+            Errno::edquot);
+  // Shrinking frees room.
+  ASSERT_TRUE(fs->write_file(a, "/scratch/a.dat", std::string(10, 'x'))
+                  .ok());
+  EXPECT_TRUE(fs->write_file(a, "/scratch/b.dat", std::string(30, 'x'))
+                  .ok());
+}
+
+TEST_F(QuotaTest, QuotaIsPerUser) {
+  fs->set_user_quota(alice, 50);
+  ASSERT_TRUE(fs->write_file(a, "/scratch/a.dat", std::string(50, 'x'))
+                  .ok());
+  EXPECT_EQ(fs->write_file(a, "/scratch/a2.dat", "y").error(),
+            Errno::edquot);
+  // bob, unquota'ed, writes freely.
+  EXPECT_TRUE(fs->write_file(b, "/scratch/b.dat", std::string(500, 'y'))
+                  .ok());
+}
+
+TEST_F(QuotaTest, CapacityBlocksEveryoneWithEnospc) {
+  fs->set_capacity(100);
+  ASSERT_TRUE(fs->write_file(a, "/scratch/a.dat", std::string(90, 'x'))
+                  .ok());
+  EXPECT_EQ(fs->write_file(b, "/scratch/b.dat", std::string(20, 'y'))
+                .error(),
+            Errno::enospc);
+  // The disk-fill DoS the quota prevents: with a per-user quota in place
+  // alice could never have consumed 90% of the device.
+}
+
+TEST_F(QuotaTest, RootIsExempt) {
+  fs->set_capacity(10);
+  fs->set_user_quota(kRootUid, 1);
+  EXPECT_TRUE(fs->write_file(root, "/scratch/sys.dat",
+                             std::string(100, 'x'))
+                  .ok());
+}
+
+TEST_F(QuotaTest, ChownMovesUsage) {
+  ASSERT_TRUE(fs->write_file(a, "/scratch/a.dat", std::string(60, 'x'))
+                  .ok());
+  ASSERT_TRUE(fs->chown(root, "/scratch/a.dat", bob).ok());
+  EXPECT_EQ(fs->bytes_used_by(alice), 0u);
+  EXPECT_EQ(fs->bytes_used_by(bob), 60u);
+}
+
+TEST_F(QuotaTest, HardLinksRefundOnlyAtLastName) {
+  ASSERT_TRUE(fs->write_file(a, "/scratch/a.dat", std::string(40, 'x'))
+                  .ok());
+  ASSERT_TRUE(fs->link(a, "/scratch/a.dat", "/scratch/alias").ok());
+  ASSERT_TRUE(fs->unlink(a, "/scratch/a.dat").ok());
+  EXPECT_EQ(fs->bytes_used_by(alice), 40u);  // alias still holds it
+  ASSERT_TRUE(fs->unlink(a, "/scratch/alias").ok());
+  EXPECT_EQ(fs->bytes_used_by(alice), 0u);
+}
+
+TEST_F(QuotaTest, ClearingQuotaRestoresUnlimited) {
+  fs->set_user_quota(alice, 10);
+  EXPECT_EQ(fs->write_file(a, "/scratch/a.dat", std::string(20, 'x'))
+                .error(),
+            Errno::edquot);
+  fs->set_user_quota(alice, std::nullopt);
+  EXPECT_FALSE(fs->user_quota(alice).has_value());
+  EXPECT_TRUE(fs->write_file(a, "/scratch/a.dat", std::string(20, 'x'))
+                  .ok());
+}
+
+TEST_F(QuotaTest, QuotaChargedToOwnerNotWriter) {
+  // A group-writable file owned by alice: bob's appends land on alice's
+  // quota (standard Unix quota semantics).
+  const Gid proj = *db.create_project_group("widgets", alice);
+  ASSERT_TRUE(db.add_member(alice, proj, bob).ok());
+  a = *simos::login(db, alice);
+  b = *simos::login(db, bob);
+  ASSERT_TRUE(fs->write_file(a, "/scratch/shared.log", "seed").ok());
+  ASSERT_TRUE(fs->chgrp(a, "/scratch/shared.log", proj).ok());
+  ASSERT_TRUE(fs->chmod(a, "/scratch/shared.log", 0660).ok());
+  ASSERT_TRUE(fs->append_file(b, "/scratch/shared.log",
+                              std::string(96, 'y'))
+                  .ok());
+  EXPECT_EQ(fs->bytes_used_by(alice), 100u);
+  EXPECT_EQ(fs->bytes_used_by(bob), 0u);
+}
+
+}  // namespace
+}  // namespace heus::vfs

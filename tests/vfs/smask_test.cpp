@@ -1,0 +1,206 @@
+// Tests for the LLSC smask kernel-patch semantics (paper §IV-C and the
+// File Permission Handler repository): an immutable per-task security mask
+// applied at creation AND chmod, plus the ACL-restriction patch and the
+// Lustre honor-smask behaviour.
+#include <gtest/gtest.h>
+
+#include "vfs/filesystem.h"
+
+namespace heus::vfs {
+namespace {
+
+using simos::Credentials;
+using simos::root_credentials;
+
+class SmaskTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alice = *db.create_user("alice");
+    bob = *db.create_user("bob");
+    proj = *db.create_project_group("widgets", alice);
+    ASSERT_TRUE(db.add_member(alice, proj, bob).ok());
+    a = *simos::login(db, alice);
+    b = *simos::login(db, bob);
+    root = root_credentials();
+  }
+
+  std::unique_ptr<FileSystem> make_fs(FsPolicy policy) {
+    auto fs = std::make_unique<FileSystem>("t", &db, &clock, policy);
+    EXPECT_TRUE(fs->mkdir(root, "/home", 0755).ok());
+    EXPECT_TRUE(fs->mkdir(root, "/home/alice", 0700).ok());
+    EXPECT_TRUE(fs->chown(root, "/home/alice", alice).ok());
+    EXPECT_TRUE(fs->chmod(root, "/home/alice", 0755).ok());
+    return fs;
+  }
+
+  common::SimClock clock;
+  simos::UserDb db;
+  Uid alice, bob;
+  Gid proj;
+  Credentials a, b, root;
+};
+
+TEST_F(SmaskTest, CreationStripsWorldBits) {
+  auto fs = make_fs(FsPolicy::hardened());
+  Credentials open_umask = a;
+  open_umask.umask = 0;  // the user *tries* to create world-open files
+  ASSERT_TRUE(fs->create(open_umask, "/home/alice/f", 0777).ok());
+  // smask 007 removes rwx for other, regardless of umask.
+  EXPECT_EQ(fs->stat(a, "/home/alice/f")->mode, 0770u);
+}
+
+TEST_F(SmaskTest, ChmodIsAlsoMasked) {
+  auto fs = make_fs(FsPolicy::hardened());
+  ASSERT_TRUE(fs->create(a, "/home/alice/f", 0600).ok());
+  // The defining difference from umask: chmod 777 lands at 770.
+  ASSERT_TRUE(fs->chmod(a, "/home/alice/f", 0777).ok());
+  EXPECT_EQ(fs->stat(a, "/home/alice/f")->mode, 0770u);
+  // chmod 666 lands at 660.
+  ASSERT_TRUE(fs->chmod(a, "/home/alice/f", 0666).ok());
+  EXPECT_EQ(fs->stat(a, "/home/alice/f")->mode, 0660u);
+}
+
+TEST_F(SmaskTest, BaselineChmodUnrestricted) {
+  auto fs = make_fs(FsPolicy::baseline());
+  ASSERT_TRUE(fs->create(a, "/home/alice/f", 0600).ok());
+  ASSERT_TRUE(fs->chmod(a, "/home/alice/f", 0777).ok());
+  EXPECT_EQ(fs->stat(a, "/home/alice/f")->mode, 0777u);
+}
+
+TEST_F(SmaskTest, RootIsExemptFromSmask) {
+  auto fs = make_fs(FsPolicy::hardened());
+  ASSERT_TRUE(fs->write_file(root, "/home/alice/sys", "x").ok());
+  ASSERT_TRUE(fs->chmod(root, "/home/alice/sys", 0644).ok());
+  EXPECT_EQ(fs->stat(root, "/home/alice/sys")->mode, 0644u);
+}
+
+TEST_F(SmaskTest, RelaxedSmaskAllowsWorldReadNotWrite) {
+  auto fs = make_fs(FsPolicy::hardened());
+  // What smask_relax hands to support staff: smask 002.
+  Credentials staff = a;
+  staff.smask = simos::kRelaxedSmask;
+  staff.umask = 0;
+  ASSERT_TRUE(fs->create(staff, "/home/alice/dataset", 0777).ok());
+  // World write is still blocked; r-x passes.
+  EXPECT_EQ(fs->stat(a, "/home/alice/dataset")->mode, 0775u);
+  ASSERT_TRUE(fs->chmod(staff, "/home/alice/dataset", 0666).ok());
+  EXPECT_EQ(fs->stat(a, "/home/alice/dataset")->mode, 0664u);
+}
+
+TEST_F(SmaskTest, CrossUserSharingBlockedEndToEnd) {
+  // The paper's end-to-end claim: under smask + user-private groups, two
+  // users cannot share a file through the filesystem no matter what mode
+  // the owner sets — unless a shared group is involved.
+  auto fs = make_fs(FsPolicy::hardened());
+  ASSERT_TRUE(fs->write_file(a, "/home/alice/leak.txt", "secret").ok());
+  for (unsigned mode : {0777u, 0666u, 0644u, 0604u}) {
+    ASSERT_TRUE(fs->chmod(a, "/home/alice/leak.txt", mode).ok());
+    EXPECT_EQ(fs->read_file(b, "/home/alice/leak.txt").error(),
+              Errno::eacces)
+        << "mode " << std::oct << mode;
+  }
+  // The sanctioned path still works: move the file into the project group.
+  ASSERT_TRUE(fs->chgrp(a, "/home/alice/leak.txt", proj).ok());
+  ASSERT_TRUE(fs->chmod(a, "/home/alice/leak.txt", 0660).ok());
+  EXPECT_TRUE(fs->read_file(b, "/home/alice/leak.txt").ok());
+}
+
+TEST_F(SmaskTest, UnpatchedLustreIgnoresSmaskAtCreate) {
+  // honor_smask=false models pre-LU-4746 Lustre, which read the umask
+  // variable directly and missed the smask entirely.
+  FsPolicy unpatched = FsPolicy::hardened();
+  unpatched.honor_smask = false;
+  auto fs = make_fs(unpatched);
+  Credentials open_umask = a;
+  open_umask.umask = 0;
+  ASSERT_TRUE(fs->create(open_umask, "/home/alice/f", 0666).ok());
+  // The leak the Lustre patch fixes: world bits survive.
+  EXPECT_EQ(fs->stat(a, "/home/alice/f")->mode, 0666u);
+}
+
+TEST_F(SmaskTest, AclRestrictionBlocksForeignUserGrant) {
+  auto fs = make_fs(FsPolicy::hardened());
+  ASSERT_TRUE(fs->write_file(a, "/home/alice/f", "x").ok());
+  // Direct user-to-user ACL grant: blocked by the patch.
+  EXPECT_EQ(fs->acl_set(a, "/home/alice/f",
+                        AclEntry{AclTag::named_user, bob, Gid{},
+                                 kPermRead}).error(),
+            Errno::eperm);
+  // Self-grant is pointless but permitted.
+  EXPECT_TRUE(fs->acl_set(a, "/home/alice/f",
+                          AclEntry{AclTag::named_user, alice, Gid{},
+                                   kPermRead}).ok());
+}
+
+TEST_F(SmaskTest, AclRestrictionRequiresGroupMembership) {
+  auto fs = make_fs(FsPolicy::hardened());
+  ASSERT_TRUE(fs->write_file(a, "/home/alice/f", "x").ok());
+  // alice ∈ proj: allowed.
+  EXPECT_TRUE(fs->acl_set(a, "/home/alice/f",
+                          AclEntry{AclTag::named_group, Uid{}, proj,
+                                   kPermRead}).ok());
+  // bob's private group (alice ∉): denied.
+  const Gid bob_upg = db.find_user(bob)->private_group;
+  EXPECT_EQ(fs->acl_set(a, "/home/alice/f",
+                        AclEntry{AclTag::named_group, Uid{}, bob_upg,
+                                 kPermRead}).error(),
+            Errno::eperm);
+}
+
+TEST_F(SmaskTest, BaselineAclAllowsArbitraryGrants) {
+  auto fs = make_fs(FsPolicy::baseline());
+  ASSERT_TRUE(fs->write_file(a, "/home/alice/f", "x").ok());
+  EXPECT_TRUE(fs->acl_set(a, "/home/alice/f",
+                          AclEntry{AclTag::named_user, bob, Gid{},
+                                   kPermRead}).ok());
+  EXPECT_TRUE(fs->read_file(b, "/home/alice/f").ok());
+}
+
+TEST_F(SmaskTest, RootMayGrantAnyAclEvenUnderRestriction) {
+  auto fs = make_fs(FsPolicy::hardened());
+  ASSERT_TRUE(fs->write_file(root, "/home/alice/sysfile", "x").ok());
+  EXPECT_TRUE(fs->acl_set(root, "/home/alice/sysfile",
+                          AclEntry{AclTag::named_user, bob, Gid{},
+                                   kPermRead}).ok());
+}
+
+TEST_F(SmaskTest, RootOwnedHomeCannotBeOpenedByItsUser) {
+  // The home-directory hardening: root-owned, group = UPG, mode 0770.
+  auto fs = make_fs(FsPolicy::hardened());
+  ASSERT_TRUE(fs->mkdir(root, "/home/carol", 0700).ok());
+  const Uid carol = *db.create_user("carol");
+  Credentials c = *simos::login(db, carol);
+  ASSERT_TRUE(fs->chgrp(root, "/home/carol",
+                        db.find_user(carol)->private_group).ok());
+  ASSERT_TRUE(fs->chmod(root, "/home/carol", 0770).ok());
+  // carol can work inside (group bits)...
+  EXPECT_TRUE(fs->write_file(c, "/home/carol/notes.txt", "mine").ok());
+  // ...but cannot chmod her own top-level home open (not the owner).
+  EXPECT_EQ(fs->chmod(c, "/home/carol", 0777).error(), Errno::eperm);
+}
+
+/// Parameterized sweep: for every (requested chmod mode), the resulting
+/// mode under smask 007 never carries any world bit. This is the patch's
+/// core invariant, checked across the whole mode lattice boundary cases.
+class SmaskModeSweep : public SmaskTest,
+                       public ::testing::WithParamInterface<unsigned> {};
+
+TEST_P(SmaskModeSweep, NoWorldBitsSurviveChmod) {
+  auto fs = make_fs(FsPolicy::hardened());
+  ASSERT_TRUE(fs->create(a, "/home/alice/f", 0600).ok());
+  const unsigned requested = GetParam();
+  ASSERT_TRUE(fs->chmod(a, "/home/alice/f", requested).ok());
+  const unsigned result = fs->stat(a, "/home/alice/f")->mode;
+  EXPECT_EQ(result & 0007u, 0u) << "requested mode " << std::oct
+                                << requested;
+  // Owner/group bits pass through untouched.
+  EXPECT_EQ(result & 0770u, requested & 0770u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorldBitCombos, SmaskModeSweep,
+                         ::testing::Values(0601u, 0602u, 0604u, 0607u,
+                                           0617u, 0667u, 0677u, 0777u,
+                                           0755u, 0751u, 0700u, 0000u));
+
+}  // namespace
+}  // namespace heus::vfs

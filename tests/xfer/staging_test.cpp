@@ -1,0 +1,143 @@
+// DTN staging: transfers execute as the requesting user, so every
+// filesystem control applies to staged data.
+#include "xfer/staging.h"
+
+#include <gtest/gtest.h>
+
+namespace heus::xfer {
+namespace {
+
+using simos::Credentials;
+using simos::root_credentials;
+
+class StagingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alice = *db.create_user("alice");
+    bob = *db.create_user("bob");
+    a = *simos::login(db, alice);
+    b = *simos::login(db, bob);
+    fs = std::make_unique<vfs::FileSystem>("shared", &db, &clock,
+                                           vfs::FsPolicy::hardened());
+    const Credentials root = root_credentials();
+    for (const char* name : {"alice", "bob"}) {
+      const simos::User* user = db.find_user_by_name(name);
+      ASSERT_TRUE(fs->mkdir(root, "/home", 0755).ok() ||
+                  fs->stat(root, "/home").ok());
+      ASSERT_TRUE(fs->mkdir(root, user->home, 0700).ok());
+      ASSERT_TRUE(fs->chgrp(root, user->home, user->private_group).ok());
+      ASSERT_TRUE(fs->chmod(root, user->home, 0770).ok());
+    }
+    store.put("archive://datasets/genome.fa", "ACGTACGT");
+    svc = std::make_unique<StagingService>(fs.get(), &store, &clock);
+  }
+
+  common::SimClock clock;
+  simos::UserDb db;
+  Uid alice, bob;
+  Credentials a, b;
+  std::unique_ptr<vfs::FileSystem> fs;
+  ExternalStore store;
+  std::unique_ptr<StagingService> svc;
+};
+
+TEST_F(StagingTest, StageInLandsAsTheUser) {
+  auto id = svc->submit(a, Direction::stage_in,
+                        "archive://datasets/genome.fa",
+                        "/home/alice/genome.fa");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(svc->queued(), 1u);
+  EXPECT_EQ(svc->process_all(), 1u);
+  const Transfer* t = svc->find(*id);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->state, TransferState::done);
+  EXPECT_EQ(t->bytes, 8u);
+  // Landed with alice's ownership; bob cannot read it.
+  auto st = fs->stat(simos::root_credentials(), "/home/alice/genome.fa");
+  EXPECT_EQ(st->uid, alice);
+  EXPECT_FALSE(fs->read_file(b, "/home/alice/genome.fa").ok());
+  EXPECT_EQ(*fs->read_file(a, "/home/alice/genome.fa"), "ACGTACGT");
+}
+
+TEST_F(StagingTest, StageIntoForeignHomeFailsOnDac) {
+  auto id = svc->submit(b, Direction::stage_in,
+                        "archive://datasets/genome.fa",
+                        "/home/alice/stolen-drop.fa");
+  ASSERT_TRUE(id.ok());
+  svc->process_all();
+  const Transfer* t = svc->find(*id);
+  EXPECT_EQ(t->state, TransferState::failed);
+  EXPECT_EQ(t->error, Errno::eacces);
+  EXPECT_EQ(fs->stat(simos::root_credentials(),
+                     "/home/alice/stolen-drop.fa")
+                .error(),
+            Errno::enoent);
+}
+
+TEST_F(StagingTest, StageOutCannotExfiltrateForeignFiles) {
+  ASSERT_TRUE(fs->write_file(a, "/home/alice/private.dat", "secret").ok());
+  auto id = svc->submit(b, Direction::stage_out,
+                        "archive://bob/loot.dat",
+                        "/home/alice/private.dat");
+  ASSERT_TRUE(id.ok());
+  svc->process_all();
+  EXPECT_EQ(svc->find(*id)->state, TransferState::failed);
+  EXPECT_EQ(svc->find(*id)->error, Errno::eacces);
+  EXPECT_EQ(store.get("archive://bob/loot.dat"), nullptr);
+}
+
+TEST_F(StagingTest, StageOutOwnDataWorks) {
+  ASSERT_TRUE(fs->write_file(a, "/home/alice/results.csv", "1,2,3").ok());
+  auto id = svc->submit(a, Direction::stage_out,
+                        "archive://alice/results.csv",
+                        "/home/alice/results.csv");
+  ASSERT_TRUE(id.ok());
+  svc->process_all();
+  EXPECT_EQ(svc->find(*id)->state, TransferState::done);
+  ASSERT_NE(store.get("archive://alice/results.csv"), nullptr);
+  EXPECT_EQ(*store.get("archive://alice/results.csv"), "1,2,3");
+}
+
+TEST_F(StagingTest, MissingRemoteObjectFails) {
+  auto id = svc->submit(a, Direction::stage_in, "archive://nope",
+                        "/home/alice/x");
+  svc->process_all();
+  EXPECT_EQ(svc->find(*id)->state, TransferState::failed);
+  EXPECT_EQ(svc->find(*id)->error, Errno::enoent);
+}
+
+TEST_F(StagingTest, QuotaAppliesToStagedData) {
+  fs->set_user_quota(alice, 4);  // tiny quota
+  auto id = svc->submit(a, Direction::stage_in,
+                        "archive://datasets/genome.fa",
+                        "/home/alice/genome.fa");
+  svc->process_all();
+  EXPECT_EQ(svc->find(*id)->state, TransferState::failed);
+  EXPECT_EQ(svc->find(*id)->error, Errno::edquot);
+}
+
+TEST_F(StagingTest, TransfersChargeWanTime) {
+  std::string big(10 << 20, 'x');  // 10 MiB
+  store.put("archive://big.bin", std::move(big));
+  auto id = svc->submit(a, Direction::stage_in, "archive://big.bin",
+                        "/home/alice/big.bin");
+  const auto before = clock.now();
+  svc->process_all();
+  // 10 MiB at 1.25 B/ns ≈ 8.4 ms of simulated WAN time.
+  EXPECT_GT(clock.now().ns - before.ns, 8 * common::kMillisecond);
+  EXPECT_EQ(svc->find(*id)->state, TransferState::done);
+  EXPECT_EQ(svc->stats().bytes_moved, 10u << 20);
+}
+
+TEST_F(StagingTest, InvalidArgumentsRejectedAtSubmit) {
+  EXPECT_EQ(svc->submit(a, Direction::stage_in, "", "/home/alice/x")
+                .error(),
+            Errno::einval);
+  EXPECT_EQ(svc->submit(a, Direction::stage_in, "archive://x",
+                        "relative/path")
+                .error(),
+            Errno::einval);
+}
+
+}  // namespace
+}  // namespace heus::xfer
