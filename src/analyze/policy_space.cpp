@@ -1,0 +1,223 @@
+#include "analyze/policy_space.h"
+
+#include "common/strings.h"
+
+namespace heus::analyze {
+
+using core::SeparationPolicy;
+
+namespace {
+
+// Shorthand for the registry table below.
+using P = SeparationPolicy;
+
+const std::vector<KnobSpec>& registry() {
+  static const std::vector<KnobSpec> specs = {
+      // §IV-A processes
+      {"hidepid", "mount /proc with hidepid=2 (foreign pids invisible)",
+       [](const P& p) { return p.hidepid == simos::HidepidMode::invisible; },
+       [](P& p, bool h) {
+         p.hidepid =
+             h ? simos::HidepidMode::invisible : simos::HidepidMode::off;
+       }},
+      {"hidepid_gid_exemption",
+       "gid= mount flag: seepid staff group exempt from hidepid",
+       [](const P& p) { return p.hidepid_gid_exemption; },
+       [](P& p, bool h) { p.hidepid_gid_exemption = h; }},
+      // §IV-B scheduler
+      {"private_data.jobs", "squeue shows only the caller's jobs",
+       [](const P& p) { return p.private_data.jobs; },
+       [](P& p, bool h) { p.private_data.jobs = h; }},
+      {"private_data.accounting", "sacct shows only the caller's records",
+       [](const P& p) { return p.private_data.accounting; },
+       [](P& p, bool h) { p.private_data.accounting = h; }},
+      {"private_data.usage", "sreport shows only the caller's usage",
+       [](const P& p) { return p.private_data.usage; },
+       [](P& p, bool h) { p.private_data.usage = h; }},
+      {"sharing", "user-based whole-node scheduling",
+       [](const P& p) {
+         return p.sharing == sched::SharingPolicy::user_whole_node;
+       },
+       [](P& p, bool h) {
+         p.sharing = h ? sched::SharingPolicy::user_whole_node
+                       : sched::SharingPolicy::shared;
+       }},
+      {"pam_slurm", "ssh only to nodes where the user has a running job",
+       [](const P& p) { return p.pam_slurm; },
+       [](P& p, bool h) { p.pam_slurm = h; }},
+      // §IV-C filesystems
+      {"fs.enforce_smask", "kernel smask patch installed",
+       [](const P& p) { return p.fs.enforce_smask; },
+       [](P& p, bool h) { p.fs.enforce_smask = h; }},
+      {"fs.honor_smask", "Lustre LU-4746 patch: filesystem honors smask",
+       [](const P& p) { return p.fs.honor_smask; },
+       [](P& p, bool h) { p.fs.honor_smask = h; }},
+      {"fs.restrict_acl",
+       "setfacl restricted to member groups, no named-user grants",
+       [](const P& p) { return p.fs.restrict_acl; },
+       [](P& p, bool h) { p.fs.restrict_acl = h; }},
+      {"root_owned_homes", "homes root-owned, group = UPG, mode 0770",
+       [](const P& p) { return p.root_owned_homes; },
+       [](P& p, bool h) { p.root_owned_homes = h; }},
+      // §IV-D network
+      {"ubf", "user-based firewall attached to the nfqueue hook",
+       [](const P& p) { return p.ubf; },
+       [](P& p, bool h) { p.ubf = h; }},
+      {"ubf_group_peers", "UBF rule (b): egid project-group peers allowed",
+       [](const P& p) { return p.ubf_group_peers; },
+       [](P& p, bool h) { p.ubf_group_peers = h; }},
+      // §IV-F accelerators
+      {"gpu_dev_binding", "/dev/nvidiaN chgrp'ed to the user's UPG on alloc",
+       [](const P& p) { return p.gpu_dev_binding; },
+       [](P& p, bool h) { p.gpu_dev_binding = h; }},
+      {"gpu_epilog_scrub", "vendor memory scrub in the job epilog",
+       [](const P& p) { return p.gpu_epilog_scrub; },
+       [](P& p, bool h) { p.gpu_epilog_scrub = h; }},
+  };
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<KnobSpec>& knobs() { return registry(); }
+
+const KnobSpec* find_knob(const std::string& name) {
+  for (const KnobSpec& k : registry()) {
+    if (name == k.name) return &k;
+  }
+  return nullptr;
+}
+
+SeparationPolicy flip_knob(SeparationPolicy p, const KnobSpec& knob) {
+  knob.set(p, !knob.is_hardened(p));
+  return p;
+}
+
+std::vector<NamedPolicy> single_knob_ablations(
+    const std::string& base_name, const SeparationPolicy& base) {
+  std::vector<NamedPolicy> out;
+  out.reserve(registry().size());
+  for (const KnobSpec& k : registry()) {
+    out.push_back({base_name + "~" + k.name, flip_knob(base, k)});
+  }
+  return out;
+}
+
+SeparationPolicy random_policy(common::Rng& rng) {
+  SeparationPolicy p;
+  p.hidepid = static_cast<simos::HidepidMode>(rng.bounded(3));
+  p.hidepid_gid_exemption = rng.chance(0.5);
+  p.private_data.jobs = rng.chance(0.5);
+  p.private_data.accounting = rng.chance(0.5);
+  p.private_data.usage = rng.chance(0.5);
+  switch (rng.bounded(3)) {
+    case 0: p.sharing = sched::SharingPolicy::shared; break;
+    case 1: p.sharing = sched::SharingPolicy::exclusive_job; break;
+    default: p.sharing = sched::SharingPolicy::user_whole_node; break;
+  }
+  p.pam_slurm = rng.chance(0.5);
+  p.fs.enforce_smask = rng.chance(0.5);
+  p.fs.honor_smask = rng.chance(0.5);
+  p.fs.restrict_acl = rng.chance(0.5);
+  p.root_owned_homes = rng.chance(0.5);
+  p.ubf = rng.chance(0.5);
+  p.ubf_group_peers = rng.chance(0.5);
+  p.gpu_dev_binding = rng.chance(0.5);
+  p.gpu_epilog_scrub = rng.chance(0.5);
+  return p;
+}
+
+std::vector<NamedPolicy> differential_sweep(std::size_t random_count,
+                                            std::uint64_t seed) {
+  std::vector<NamedPolicy> out;
+  out.push_back({"baseline", SeparationPolicy::baseline()});
+  out.push_back({"hardened", SeparationPolicy::hardened()});
+  for (auto& np :
+       single_knob_ablations("baseline", SeparationPolicy::baseline())) {
+    out.push_back(std::move(np));
+  }
+  for (auto& np :
+       single_knob_ablations("hardened", SeparationPolicy::hardened())) {
+    out.push_back(std::move(np));
+  }
+  common::Rng rng(seed);
+  for (std::size_t i = 0; i < random_count; ++i) {
+    out.push_back(
+        {common::strformat("random-%zu", i), random_policy(rng)});
+  }
+  return out;
+}
+
+bool set_knob_from_string(SeparationPolicy& p, const std::string& name,
+                          const std::string& value) {
+  const KnobSpec* knob = find_knob(name);
+  if (knob == nullptr) return false;
+  if (name == std::string("hidepid")) {
+    if (value == "off" || value == "0") {
+      p.hidepid = simos::HidepidMode::off;
+    } else if (value == "restrict" || value == "1") {
+      p.hidepid = simos::HidepidMode::restrict_contents;
+    } else if (value == "invisible" || value == "2") {
+      p.hidepid = simos::HidepidMode::invisible;
+    } else {
+      return false;
+    }
+    return true;
+  }
+  if (name == std::string("sharing")) {
+    if (value == "shared") {
+      p.sharing = sched::SharingPolicy::shared;
+    } else if (value == "exclusive") {
+      p.sharing = sched::SharingPolicy::exclusive_job;
+    } else if (value == "user-whole-node") {
+      p.sharing = sched::SharingPolicy::user_whole_node;
+    } else {
+      return false;
+    }
+    return true;
+  }
+  if (value == "1" || value == "true" || value == "on") {
+    knob->set(p, true);
+    return true;
+  }
+  if (value == "0" || value == "false" || value == "off") {
+    knob->set(p, false);
+    return true;
+  }
+  return false;
+}
+
+std::string describe_policy(const SeparationPolicy& p) {
+  std::vector<std::string> parts;
+  parts.push_back(common::strformat(
+      "hidepid=%d", static_cast<int>(p.hidepid)));
+  parts.push_back(common::strformat("hidepid_gid_exemption=%d",
+                                    p.hidepid_gid_exemption ? 1 : 0));
+  parts.push_back(common::strformat("private_data.jobs=%d",
+                                    p.private_data.jobs ? 1 : 0));
+  parts.push_back(common::strformat("private_data.accounting=%d",
+                                    p.private_data.accounting ? 1 : 0));
+  parts.push_back(common::strformat("private_data.usage=%d",
+                                    p.private_data.usage ? 1 : 0));
+  parts.push_back(
+      common::strformat("sharing=%s", sched::to_string(p.sharing)));
+  parts.push_back(common::strformat("pam_slurm=%d", p.pam_slurm ? 1 : 0));
+  parts.push_back(common::strformat("fs.enforce_smask=%d",
+                                    p.fs.enforce_smask ? 1 : 0));
+  parts.push_back(common::strformat("fs.honor_smask=%d",
+                                    p.fs.honor_smask ? 1 : 0));
+  parts.push_back(common::strformat("fs.restrict_acl=%d",
+                                    p.fs.restrict_acl ? 1 : 0));
+  parts.push_back(common::strformat("root_owned_homes=%d",
+                                    p.root_owned_homes ? 1 : 0));
+  parts.push_back(common::strformat("ubf=%d", p.ubf ? 1 : 0));
+  parts.push_back(common::strformat("ubf_group_peers=%d",
+                                    p.ubf_group_peers ? 1 : 0));
+  parts.push_back(common::strformat("gpu_dev_binding=%d",
+                                    p.gpu_dev_binding ? 1 : 0));
+  parts.push_back(common::strformat("gpu_epilog_scrub=%d",
+                                    p.gpu_epilog_scrub ? 1 : 0));
+  return common::join(parts, " ");
+}
+
+}  // namespace heus::analyze

@@ -1,0 +1,127 @@
+#include "analyze/report.h"
+
+#include "common/strings.h"
+
+namespace heus::analyze {
+
+using common::strformat;
+
+namespace {
+
+std::string join_names(const std::vector<std::string>& names,
+                       const char* empty) {
+  if (names.empty()) return empty;
+  return common::join(names, ", ");
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strformat("\\u%04x", static_cast<unsigned>(c));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_string_array(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "\"" + json_escape(items[i]) + "\"";
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+std::string to_markdown(const AnalysisReport& report) {
+  std::string out = "# Static separation analysis\n\n";
+  out += strformat("policy: `%s`\n\n",
+                   describe_policy(report.policy).c_str());
+  out +=
+      "| channel | § | verdict | responsible knobs | explanation |\n"
+      "|---|---|---|---|---|\n";
+  for (const ChannelFinding& f : report.findings) {
+    const char* verdict = f.verdict == Verdict::open
+                              ? "**OPEN**"
+                              : to_string(f.verdict);
+    out += strformat("| %s | %s | %s | %s | %s |\n",
+                     core::to_string(f.kind), core::channel_section(f.kind),
+                     verdict,
+                     join_names(f.responsible_knobs, "—").c_str(),
+                     f.explanation.c_str());
+  }
+  out += strformat(
+      "\ncrossable: %zu / %zu (unexpected open: %zu, residual: %zu)\n",
+      report.crossable_count(), report.findings.size(),
+      report.unexpected_open_count(), report.residual_set().size());
+  bool any = false;
+  for (const ChannelFinding& f : report.findings) {
+    if (f.verdict != Verdict::open) continue;
+    if (!any) {
+      out += "\n## Minimal hardening\n\n";
+      any = true;
+    }
+    if (f.minimal_hardening.empty()) {
+      // Possible when a topology fact (e.g. a service port below the
+      // UBF's inspected range) holds the channel open: no knob set
+      // closes it, only changing the deployment does.
+      out += strformat(
+          "- `%s`: no knob closes this under the given topology facts\n",
+          core::to_string(f.kind));
+    } else {
+      out += strformat("- `%s`: harden %s\n", core::to_string(f.kind),
+                       join_names(f.minimal_hardening, "(none)").c_str());
+    }
+  }
+  return out;
+}
+
+std::string to_json(const AnalysisReport& report) {
+  std::string out = "{\n";
+  out += strformat("  \"policy\": \"%s\",\n",
+                   json_escape(describe_policy(report.policy)).c_str());
+  out += strformat(
+      "  \"facts\": {\"observer_support_staff\": %s, "
+      "\"observer_operator\": %s, \"shared_service_group\": %s, "
+      "\"has_gpus\": %s, \"service_port\": %u},\n",
+      report.facts.observer_support_staff ? "true" : "false",
+      report.facts.observer_operator ? "true" : "false",
+      report.facts.shared_service_group ? "true" : "false",
+      report.facts.has_gpus ? "true" : "false",
+      static_cast<unsigned>(report.facts.service_port));
+  out += "  \"channels\": [\n";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const ChannelFinding& f = report.findings[i];
+    out += strformat(
+        "    {\"channel\": \"%s\", \"section\": \"%s\", "
+        "\"verdict\": \"%s\", \"explanation\": \"%s\", "
+        "\"responsible_knobs\": %s, \"minimal_hardening\": %s}%s\n",
+        core::to_string(f.kind), core::channel_section(f.kind),
+        to_string(f.verdict), json_escape(f.explanation).c_str(),
+        json_string_array(f.responsible_knobs).c_str(),
+        json_string_array(f.minimal_hardening).c_str(),
+        i + 1 == report.findings.size() ? "" : ",");
+  }
+  out += "  ],\n";
+  out += strformat(
+      "  \"summary\": {\"channels\": %zu, \"crossable\": %zu, "
+      "\"unexpected_open\": %zu, \"residual\": %zu}\n",
+      report.findings.size(), report.crossable_count(),
+      report.unexpected_open_count(), report.residual_set().size());
+  out += "}\n";
+  return out;
+}
+
+}  // namespace heus::analyze

@@ -33,6 +33,36 @@ const char* to_string(ChannelKind kind) {
   return "?";
 }
 
+const char* channel_section(ChannelKind kind) {
+  switch (kind) {
+    case ChannelKind::procfs_process_list:
+    case ChannelKind::procfs_cmdline:
+      return "IV-A";
+    case ChannelKind::scheduler_queue:
+    case ChannelKind::scheduler_accounting:
+    case ChannelKind::scheduler_usage:
+    case ChannelKind::ssh_foreign_node:
+      return "IV-B";
+    case ChannelKind::fs_home_read:
+    case ChannelKind::fs_tmp_content:
+    case ChannelKind::fs_tmp_names:
+    case ChannelKind::fs_devshm_content:
+    case ChannelKind::fs_acl_user_grant:
+      return "IV-C";
+    case ChannelKind::tcp_cross_user:
+    case ChannelKind::udp_cross_user:
+    case ChannelKind::abstract_uds:
+    case ChannelKind::rdma_tcp_setup:
+    case ChannelKind::rdma_native_cm:
+      return "IV-D";
+    case ChannelKind::portal_foreign_app:
+      return "IV-E";
+    case ChannelKind::gpu_residue:
+      return "IV-F";
+  }
+  return "?";
+}
+
 bool is_documented_residual(ChannelKind kind) {
   // §V: "There remain a few paths that still exist, including file names
   // in world-writable directories (/tmp, /dev/shm), abstract namespace

@@ -11,6 +11,7 @@
 // set matches the paper's list exactly.
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,24 @@ enum class ChannelKind {
 };
 
 [[nodiscard]] const char* to_string(ChannelKind kind);
+
+/// Every channel, in the order audit_pair probes them (paper-section
+/// order). The canonical iteration order for reports and for the static
+/// analyzer's differential cross-check.
+inline constexpr std::array<ChannelKind, 18> kAllChannels = {
+    ChannelKind::procfs_process_list, ChannelKind::procfs_cmdline,
+    ChannelKind::scheduler_queue,     ChannelKind::scheduler_accounting,
+    ChannelKind::scheduler_usage,     ChannelKind::ssh_foreign_node,
+    ChannelKind::fs_home_read,        ChannelKind::fs_tmp_content,
+    ChannelKind::fs_tmp_names,        ChannelKind::fs_devshm_content,
+    ChannelKind::fs_acl_user_grant,   ChannelKind::tcp_cross_user,
+    ChannelKind::udp_cross_user,      ChannelKind::abstract_uds,
+    ChannelKind::rdma_tcp_setup,      ChannelKind::rdma_native_cm,
+    ChannelKind::portal_foreign_app,  ChannelKind::gpu_residue,
+};
+
+/// Paper section that discusses a channel ("IV-A" … "IV-F").
+[[nodiscard]] const char* channel_section(ChannelKind kind);
 
 /// Channels the paper itself lists as remaining open even under the full
 /// configuration (§V, first paragraph).

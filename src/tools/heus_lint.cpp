@@ -1,0 +1,137 @@
+// heus-lint: static separation-policy linter (the pre-submit gate).
+//
+// Reads a SeparationPolicy from the command line (a named starting point
+// plus knob overrides), runs the static analyzer — no cluster is built,
+// no probe runs — and emits the channel census as markdown and/or JSON.
+// With --gate, exits nonzero when any channel is unexpectedly open, which
+// is what lets a site wire it in front of every policy change the way one
+// reviews an iptables ruleset before loading it.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analyze/analyzer.h"
+#include "analyze/policy_space.h"
+#include "analyze/report.h"
+
+namespace {
+
+void usage(std::FILE* to) {
+  std::fputs(
+      "heus-lint: static separation-policy analyzer\n"
+      "usage: heus-lint [options]\n"
+      "  --policy=baseline|hardened  starting policy (default: baseline)\n"
+      "  --set=<knob>=<value>        override one knob (repeatable)\n"
+      "  --format=markdown|json|both report format (default: markdown)\n"
+      "  --gate                      exit 1 on any unexpectedly-open "
+      "channel\n"
+      "  --staff                     observer is seepid staff (gid= "
+      "exempt)\n"
+      "  --operator                  observer holds Slurm Operator\n"
+      "  --project-peers             victim services run under a shared "
+      "project group\n"
+      "  --no-gpus                   cluster has no allocatable GPUs\n"
+      "  --port=<n>                  victim service port (default 23456)\n"
+      "  --list-knobs                print the knob registry and exit\n"
+      "  --help\n",
+      to);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace heus;
+
+  core::SeparationPolicy policy = core::SeparationPolicy::baseline();
+  analyze::TopologyFacts facts;
+  std::string format = "markdown";
+  bool gate = false;
+
+  auto value_of = [](const char* arg, const char* flag) -> const char* {
+    const std::size_t n = std::strlen(flag);
+    if (std::strncmp(arg, flag, n) == 0 && arg[n] == '=') {
+      return arg + n + 1;
+    }
+    return nullptr;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0) {
+      usage(stdout);
+      return 0;
+    }
+    if (std::strcmp(arg, "--list-knobs") == 0) {
+      for (const analyze::KnobSpec& k : analyze::knobs()) {
+        std::printf("%-26s %s\n", k.name, k.description);
+      }
+      return 0;
+    }
+    if (std::strcmp(arg, "--gate") == 0) {
+      gate = true;
+    } else if (std::strcmp(arg, "--staff") == 0) {
+      facts.observer_support_staff = true;
+    } else if (std::strcmp(arg, "--operator") == 0) {
+      facts.observer_operator = true;
+    } else if (std::strcmp(arg, "--project-peers") == 0) {
+      facts.shared_service_group = true;
+    } else if (std::strcmp(arg, "--no-gpus") == 0) {
+      facts.has_gpus = false;
+    } else if (const char* v = value_of(arg, "--policy")) {
+      if (std::strcmp(v, "baseline") == 0) {
+        policy = core::SeparationPolicy::baseline();
+      } else if (std::strcmp(v, "hardened") == 0) {
+        policy = core::SeparationPolicy::hardened();
+      } else {
+        std::fprintf(stderr, "heus-lint: unknown policy '%s'\n", v);
+        return 2;
+      }
+    } else if (const char* kv = value_of(arg, "--set")) {
+      const char* eq = std::strchr(kv, '=');
+      if (eq == nullptr ||
+          !analyze::set_knob_from_string(
+              policy, std::string(kv, eq - kv), std::string(eq + 1))) {
+        std::fprintf(stderr,
+                     "heus-lint: bad --set '%s' (try --list-knobs)\n", kv);
+        return 2;
+      }
+    } else if (const char* fmt = value_of(arg, "--format")) {
+      format = fmt;
+      if (format != "markdown" && format != "json" && format != "both") {
+        std::fprintf(stderr, "heus-lint: unknown format '%s'\n", fmt);
+        return 2;
+      }
+    } else if (const char* port = value_of(arg, "--port")) {
+      char* end = nullptr;
+      const long parsed = std::strtol(port, &end, 10);
+      if (end == port || *end != '\0' || parsed < 0 || parsed > 65535) {
+        std::fprintf(stderr, "heus-lint: bad --port '%s' (want 0-65535)\n",
+                     port);
+        return 2;
+      }
+      facts.service_port = static_cast<std::uint16_t>(parsed);
+    } else {
+      std::fprintf(stderr, "heus-lint: unknown option '%s'\n", arg);
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  const analyze::StaticAnalyzer analyzer(facts);
+  const analyze::AnalysisReport report = analyzer.analyze(policy);
+  if (format == "markdown" || format == "both") {
+    std::fputs(analyze::to_markdown(report).c_str(), stdout);
+  }
+  if (format == "json" || format == "both") {
+    std::fputs(analyze::to_json(report).c_str(), stdout);
+  }
+  if (gate && report.unexpected_open_count() > 0) {
+    std::fprintf(stderr,
+                 "heus-lint: GATE FAILED — %zu unexpectedly-open "
+                 "channel(s)\n",
+                 report.unexpected_open_count());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Property tests over the whole differential sweep: the analyzer's
+// attributions must be *sound*, not just plausible prose.
+//
+//  - Responsible knobs are load-bearing: re-running the analyzer with any
+//    single named knob flipped flips the corresponding channel verdict
+//    between crossable and closed.
+//  - Minimal hardening suggestions really close the channel, and no
+//    proper subset of the suggestion does (cardinality-minimality).
+//  - Residual channels are structural: no knob assignment anywhere in the
+//    sweep closes them, and they never carry hardening suggestions.
+#include <gtest/gtest.h>
+
+#include "analyze/analyzer.h"
+#include "analyze/policy_space.h"
+
+namespace heus::analyze {
+namespace {
+
+constexpr std::size_t kRandomPolicies = 32;
+constexpr std::uint64_t kSweepSeed = 20240521;
+
+core::SeparationPolicy harden_knobs(core::SeparationPolicy p,
+                                    const std::vector<std::string>& names,
+                                    std::size_t skip_index) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i == skip_index) continue;
+    const KnobSpec* knob = find_knob(names[i]);
+    EXPECT_NE(knob, nullptr) << names[i];
+    if (knob != nullptr) knob->set(p, true);
+  }
+  return p;
+}
+
+TEST(ExplanationSoundness, ResponsibleKnobsAreLoadBearing) {
+  const StaticAnalyzer analyzer;
+  for (const NamedPolicy& np :
+       differential_sweep(kRandomPolicies, kSweepSeed)) {
+    const AnalysisReport report = analyzer.analyze(np.policy);
+    for (const ChannelFinding& f : report.findings) {
+      for (const std::string& name : f.responsible_knobs) {
+        const KnobSpec* knob = find_knob(name);
+        ASSERT_NE(knob, nullptr) << name;
+        const Verdict flipped =
+            analyzer.verdict(flip_knob(np.policy, *knob), f.kind);
+        EXPECT_NE(is_crossable(flipped), is_crossable(f.verdict))
+            << "knob " << name << " named responsible for "
+            << core::to_string(f.kind) << " under " << np.name
+            << " but flipping it does not flip the verdict";
+      }
+    }
+  }
+}
+
+TEST(ExplanationSoundness, MinimalHardeningClosesAndIsMinimal) {
+  const StaticAnalyzer analyzer;
+  for (const NamedPolicy& np :
+       differential_sweep(kRandomPolicies, kSweepSeed)) {
+    const AnalysisReport report = analyzer.analyze(np.policy);
+    for (const ChannelFinding& f : report.findings) {
+      if (f.verdict != Verdict::open) {
+        EXPECT_TRUE(f.minimal_hardening.empty())
+            << core::to_string(f.kind) << " under " << np.name;
+        continue;
+      }
+      ASSERT_FALSE(f.minimal_hardening.empty())
+          << core::to_string(f.kind) << " open under " << np.name
+          << " with no hardening suggestion";
+      // The full suggestion closes the channel...
+      const core::SeparationPolicy closed = harden_knobs(
+          np.policy, f.minimal_hardening, f.minimal_hardening.size());
+      EXPECT_EQ(analyzer.verdict(closed, f.kind), Verdict::closed)
+          << core::to_string(f.kind) << " under " << np.name;
+      // ...and dropping any one knob from it does not.
+      for (std::size_t skip = 0; skip < f.minimal_hardening.size();
+           ++skip) {
+        if (f.minimal_hardening.size() == 1) break;  // subset is empty
+        const core::SeparationPolicy partial =
+            harden_knobs(np.policy, f.minimal_hardening, skip);
+        EXPECT_NE(analyzer.verdict(partial, f.kind), Verdict::closed)
+            << core::to_string(f.kind) << " under " << np.name
+            << ": suggestion not minimal (dropping "
+            << f.minimal_hardening[skip] << " still closes)";
+      }
+    }
+  }
+}
+
+TEST(ExplanationSoundness, ResidualsAreStructural) {
+  const StaticAnalyzer analyzer;
+  for (const NamedPolicy& np :
+       differential_sweep(kRandomPolicies, kSweepSeed)) {
+    const AnalysisReport report = analyzer.analyze(np.policy);
+    for (const ChannelFinding& f : report.findings) {
+      if (!core::is_documented_residual(f.kind)) continue;
+      EXPECT_EQ(f.verdict, Verdict::residual)
+          << core::to_string(f.kind) << " under " << np.name;
+      EXPECT_TRUE(f.responsible_knobs.empty()) << core::to_string(f.kind);
+      EXPECT_TRUE(f.minimal_hardening.empty()) << core::to_string(f.kind);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace heus::analyze

@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Determinism lint (DESIGN.md §7): simulation code must take all time from
+# common::SimClock and all randomness from the seeded common::Rng. Grep
+# src/ for the usual escape hatches; only src/common/ (which *implements*
+# the clock and RNG abstractions) may mention them.
+#
+# Usage: tools/check_determinism.sh [repo-root]   (exit 1 on violations)
+set -u
+
+root="${1:-.}"
+status=0
+
+# pattern -> human explanation. Word boundaries keep SimTime, mtime(),
+# real_time_factor() etc. from false-positiving.
+check() {
+  pattern="$1"
+  why="$2"
+  hits=$(grep -RnE "$pattern" "$root/src" \
+           --include='*.h' --include='*.cpp' \
+           | grep -v "^$root/src/common/" || true)
+  if [ -n "$hits" ]; then
+    echo "determinism lint: found $why outside src/common/:"
+    echo "$hits" | sed 's/^/  /'
+    status=1
+  fi
+}
+
+check '(^|[^_[:alnum:]])rand\(' 'libc rand()'
+check '(^|[^_[:alnum:]])srand\(' 'libc srand()'
+check '(^|[^_[:alnum:]])time\(' 'libc time()'
+check 'std::random_device' 'std::random_device'
+check 'system_clock' 'wall-clock time (std::chrono::system_clock)'
+
+if [ "$status" -eq 0 ]; then
+  echo "determinism lint: OK (src/ outside src/common/ is clean)"
+fi
+exit "$status"
