@@ -1,0 +1,90 @@
+#include "analyze/degraded.h"
+
+#include "analyze/policy_space.h"
+#include "common/strings.h"
+
+namespace heus::analyze {
+
+const char* to_string(DegradedBehavior b) {
+  switch (b) {
+    case DegradedBehavior::already_crossable: return "already-crossable";
+    case DegradedBehavior::locally_enforced: return "locally-enforced";
+    case DegradedBehavior::fail_closed_dependent:
+      return "fail-closed-dependent";
+  }
+  return "?";
+}
+
+std::size_t DegradedReport::count(DegradedBehavior b) const {
+  std::size_t n = 0;
+  for (const DegradedFinding& f : findings) {
+    if (f.behavior == b) ++n;
+  }
+  return n;
+}
+
+DegradedReport degraded_census(const StaticAnalyzer& analyzer,
+                               const core::SeparationPolicy& policy) {
+  DegradedReport report;
+  report.policy = policy;
+
+  // The enforcement that an ident outage suspends: the UBF's allow path.
+  // With the responder down, a fail-closed UBF admits nothing — which
+  // keeps channels closed — so the question "what would open if that
+  // stand-in were gone" is answered by the verdict with ubf at baseline.
+  const KnobSpec* ubf = find_knob("ubf");
+  core::SeparationPolicy without_ubf = policy;
+  if (ubf != nullptr) ubf->set(without_ubf, false);
+
+  for (core::ChannelKind kind : core::kAllChannels) {
+    DegradedFinding f;
+    f.kind = kind;
+    const Verdict healthy = analyzer.verdict(policy, kind);
+    if (is_crossable(healthy)) {
+      f.behavior = DegradedBehavior::already_crossable;
+      f.note = healthy == Verdict::residual
+                   ? "documented residual; faults change nothing"
+                   : "open even when healthy; fix the policy first";
+    } else if (is_crossable(analyzer.verdict(without_ubf, kind))) {
+      f.behavior = DegradedBehavior::fail_closed_dependent;
+      f.note =
+          "closed by the UBF ident path; under ident/network faults it "
+          "stays closed only by dropping flows (availability casualty)";
+    } else {
+      f.behavior = DegradedBehavior::locally_enforced;
+      f.note =
+          "closed by state the enforcer holds locally; ident/network "
+          "faults cannot reopen or degrade it";
+    }
+    report.findings.push_back(std::move(f));
+  }
+  return report;
+}
+
+std::string to_markdown(const DegradedReport& report) {
+  std::string out;
+  out += "# Degraded-mode channel census\n\n";
+  out += "Policy: " + describe_policy(report.policy) + "\n\n";
+  out += common::strformat(
+      "Channels: %zu locally-enforced, %zu fail-closed-dependent, %zu "
+      "already-crossable\n\n",
+      report.count(DegradedBehavior::locally_enforced),
+      report.count(DegradedBehavior::fail_closed_dependent),
+      report.count(DegradedBehavior::already_crossable));
+  out += "| channel | § | behavior under faults | note |\n";
+  out += "|---|---|---|---|\n";
+  for (const DegradedFinding& f : report.findings) {
+    out += common::strformat("| %s | %s | %s | %s |\n",
+                             core::to_string(f.kind),
+                             core::channel_section(f.kind),
+                             to_string(f.behavior), f.note.c_str());
+  }
+  out +=
+      "\nfail-closed-dependent channels never leak under faults — the UBF "
+      "drops what it cannot attribute — but every drop is a legitimate-"
+      "traffic casualty; they are where fault rate buys availability "
+      "loss (bench E18).\n";
+  return out;
+}
+
+}  // namespace heus::analyze

@@ -1,0 +1,63 @@
+// Degraded-mode census: which channel closures depend on fail-closed
+// behavior under faults.
+//
+// The fault-injection engine (src/fault) demonstrates dynamically that
+// faults never OPEN a channel: a UBF that cannot attribute a flow drops
+// it, a failed epilog holds its node, a dead portal forwards nothing.
+// This module is the static counterpart a reviewer wants before an
+// incident, answering for each closed channel: is it closed by a local
+// mechanism that keeps working when the ident/network plane degrades
+// (DAC bits, hidepid, PrivateData — evaluated against state the enforcer
+// already holds), or is it closed only because a runtime-query mechanism
+// FAILS CLOSED when its backend is unreachable? The latter set is exactly
+// where faults convert into availability loss — legitimate traffic
+// dropped — and the census is what `heus-lint --degraded` prints.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+#include "core/policy.h"
+
+namespace heus::analyze {
+
+enum class DegradedBehavior {
+  /// Crossable even when healthy — faults have nothing left to open.
+  already_crossable,
+  /// Closed by a mechanism that consults no failable runtime backend:
+  /// unaffected by ident outages, partitions, or backend downtime.
+  locally_enforced,
+  /// Closed only because the ident-query path (UBF and everything routed
+  /// through it, e.g. the portal's forwarded hop) fails closed when its
+  /// responder times out: under ident/network faults this channel stays
+  /// closed at the price of dropping legitimate flows too.
+  fail_closed_dependent,
+};
+
+[[nodiscard]] const char* to_string(DegradedBehavior b);
+
+struct DegradedFinding {
+  core::ChannelKind kind{};
+  DegradedBehavior behavior = DegradedBehavior::locally_enforced;
+  std::string note;
+};
+
+struct DegradedReport {
+  core::SeparationPolicy policy;
+  std::vector<DegradedFinding> findings;  ///< kAllChannels order
+
+  [[nodiscard]] std::size_t count(DegradedBehavior b) const;
+};
+
+/// The census: for each channel closed under `policy`, re-run the static
+/// verdict with the UBF knob at baseline (the enforcement that evaporates
+/// when ident queries cannot complete — fail-closed is what stands in for
+/// it). A verdict that flips to crossable marks the channel
+/// fail_closed_dependent.
+[[nodiscard]] DegradedReport degraded_census(
+    const StaticAnalyzer& analyzer, const core::SeparationPolicy& policy);
+
+[[nodiscard]] std::string to_markdown(const DegradedReport& report);
+
+}  // namespace heus::analyze

@@ -1,0 +1,54 @@
+// Deadline and bounded-retry/backoff helpers for degraded-mode paths.
+//
+// Several consumers (the UBF's ident query, portal forwarding, DTN
+// staging) share the same recovery shape when a dependency misbehaves:
+// retry a bounded number of times with exponential backoff, charging the
+// waiting time to the simulated clock, then fail closed. This header is
+// that policy, expressed once so the per-subsystem knobs stay comparable
+// and the experiment sweeps (E18) can vary them uniformly.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace heus::common {
+
+/// Bounded exponential backoff: attempt k (0-based) waits
+/// min(base_ns * factor^k, max_ns) before the next try. `max_retries`
+/// counts *re*-tries, so an operation runs at most 1 + max_retries times.
+struct BackoffPolicy {
+  unsigned max_retries = 3;
+  std::int64_t base_ns = 1 * kMillisecond;
+  double factor = 2.0;
+  std::int64_t max_ns = 100 * kMillisecond;
+
+  [[nodiscard]] std::int64_t delay_ns(unsigned attempt) const {
+    double d = static_cast<double>(base_ns);
+    for (unsigned i = 0; i < attempt; ++i) d *= factor;
+    const auto capped = static_cast<std::int64_t>(d);
+    return capped > max_ns ? max_ns : capped;
+  }
+
+  /// No retries at all (the strict fail-closed-immediately policy).
+  [[nodiscard]] static BackoffPolicy none() { return {0, 0, 1.0, 0}; }
+};
+
+/// A point in simulated time after which an operation must give up.
+struct Deadline {
+  SimTime at{};
+
+  [[nodiscard]] static Deadline in(const SimClock& clock,
+                                   std::int64_t budget_ns) {
+    return Deadline{clock.now() + budget_ns};
+  }
+  [[nodiscard]] bool expired(const SimClock& clock) const {
+    return clock.now() >= at;
+  }
+  [[nodiscard]] std::int64_t remaining_ns(const SimClock& clock) const {
+    const std::int64_t left = at.ns - clock.now().ns;
+    return left > 0 ? left : 0;
+  }
+};
+
+}  // namespace heus::common

@@ -133,7 +133,13 @@ Cluster::Cluster(ClusterConfig config)
 }
 
 void Cluster::wire_prolog_epilog() {
-  scheduler_->set_prolog([this](const sched::JobNodeContext& ctx) {
+  scheduler_->set_prolog([this](const sched::JobNodeContext& ctx)
+                             -> Result<void> {
+    // Fault injection: the prolog script fails before doing any work (the
+    // scheduler rolls back and drains the node).
+    if (fault_hooks_.prolog_fails && fault_hooks_.prolog_fails(ctx.node)) {
+      return Errno::eio;
+    }
     Node& nd = node(ctx.node);
     const Credentials root = root_credentials();
 
@@ -165,9 +171,18 @@ void Cluster::wire_prolog_epilog() {
               : job->spec.command;
       nd.procs().spawn(*cred, cmd, opts);
     }
+    return ok_result();
   });
 
-  scheduler_->set_epilog([this](const sched::JobNodeContext& ctx) {
+  scheduler_->set_epilog([this](const sched::JobNodeContext& ctx)
+                             -> Result<void> {
+    // Fault injection: the epilog script fails up front — nothing is
+    // cleaned, and the scheduler holds the node in maintenance until a
+    // later retry of this whole (idempotent) epilog succeeds. Residue
+    // never meets the next tenant.
+    if (fault_hooks_.epilog_fails && fault_hooks_.epilog_fails(ctx.node)) {
+      return Errno::eio;
+    }
     Node& nd = node(ctx.node);
 
     // Reap this job's task processes.
@@ -177,15 +192,26 @@ void Cluster::wire_prolog_epilog() {
     }
 
     // GPU teardown: optional scrub (charged to the simulated clock, since
-    // the epilog really does take this long), release, and /dev reset.
+    // the epilog really does take this long), release, and /dev reset. A
+    // failed scrub leaves the device assigned and dirty — the epilog as a
+    // whole fails, keeping the node in maintenance with the /dev node
+    // still narrowed to the departing user's group.
+    bool gpus_ok = true;
     for (GpuId g : ctx.gpus) {
       gpu::GpuDevice& dev = nd.gpus().at(g.value());
+      if (fault_hooks_.scrub_fails &&
+          fault_hooks_.scrub_fails(ctx.node, g)) {
+        dev.note_scrub_failure();
+        gpus_ok = false;
+        continue;
+      }
       if (policy_.gpu_epilog_scrub) {
         clock_.advance(dev.scrub());
       }
       (void)dev.release();
       set_gpu_dev_mode_unassigned(nd, g.value());
     }
+    if (!gpus_ok) return Errno::eio;
 
     // If this was the user's last job on the node, clean up any lingering
     // processes (ssh sessions adopted by pam_slurm included).
@@ -204,6 +230,7 @@ void Cluster::wire_prolog_epilog() {
       // them as the epilog reaps).
       (void)network_->close_sockets_of(nd.host(), ctx.user);
     }
+    return ok_result();
   });
 
   scheduler_->set_node_crash_hook([this](NodeId n) {
@@ -262,11 +289,20 @@ void Cluster::apply_policy(const SeparationPolicy& policy) {
   ubf_ = std::make_unique<net::Ubf>(
       &users_, network_.get(),
       net::UbfOptions{1024, policy.ubf_group_peers});
+  ubf_->set_clock(&clock_);
+  ubf_->set_degraded_mode(ubf_degraded_, ubf_backoff_);
   if (policy.ubf) {
     ubf_->attach();
   } else {
     network_->clear_hook();
   }
+}
+
+void Cluster::set_ubf_degraded(net::UbfDegradedMode mode,
+                               common::BackoffPolicy backoff) {
+  ubf_degraded_ = mode;
+  ubf_backoff_ = backoff;
+  ubf_->set_degraded_mode(mode, backoff);
 }
 
 Result<Uid> Cluster::add_user(const std::string& name) {

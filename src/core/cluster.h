@@ -52,6 +52,16 @@ struct Session {
   Pid shell{};
 };
 
+/// Fault-injection hooks consulted by the cluster's prolog/epilog (see
+/// src/fault/FaultInjector, which installs these). Each predicate answers
+/// "does this attempt fail right now?", so flapping faults and one-shot
+/// faults are both expressible. All default to healthy.
+struct FaultHooks {
+  std::function<bool(NodeId)> prolog_fails;
+  std::function<bool(NodeId)> epilog_fails;
+  std::function<bool(NodeId, GpuId)> scrub_fails;
+};
+
 /// One physical node: its process table, procfs view, local filesystem
 /// (/tmp, /dev/shm, /dev), GPUs, and mount table (local + shared).
 class Node {
@@ -103,6 +113,18 @@ class Cluster {
   /// modes for *unallocated* devices are reset to match.
   void apply_policy(const SeparationPolicy& policy);
   [[nodiscard]] const SeparationPolicy& policy() const { return policy_; }
+
+  /// UBF degraded-mode policy for ident failures (timeout/retry/backoff
+  /// semantics; see net::UbfDegradedMode). Stored on the cluster so it
+  /// survives apply_policy(), which rebuilds the UBF.
+  void set_ubf_degraded(net::UbfDegradedMode mode,
+                        common::BackoffPolicy backoff = {});
+
+  // ---- fault injection -------------------------------------------------
+
+  /// Install (or clear, with `{}`) the prolog/epilog/scrub fault hooks.
+  void set_fault_hooks(FaultHooks hooks) { fault_hooks_ = std::move(hooks); }
+  [[nodiscard]] const FaultHooks& fault_hooks() const { return fault_hooks_; }
 
   // ---- accounts -------------------------------------------------------
 
@@ -193,6 +215,10 @@ class Cluster {
   std::unique_ptr<portal::Gateway> portal_;
   std::unique_ptr<monitor::Monitor> monitor_;
   container::Runtime containers_;
+  FaultHooks fault_hooks_;
+  net::UbfDegradedMode ubf_degraded_ =
+      net::UbfDegradedMode::retry_then_fail_closed;
+  common::BackoffPolicy ubf_backoff_;
   HostId portal_host_{};
   Gid seepid_group_{};
 };

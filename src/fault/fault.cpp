@@ -1,0 +1,147 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace heus::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::ident_outage: return "ident-outage";
+    case FaultKind::ident_latency: return "ident-latency";
+    case FaultKind::packet_loss: return "packet-loss";
+    case FaultKind::network_partition: return "network-partition";
+    case FaultKind::prolog_failure: return "prolog-failure";
+    case FaultKind::epilog_failure: return "epilog-failure";
+    case FaultKind::gpu_scrub_failure: return "gpu-scrub-failure";
+    case FaultKind::fs_outage: return "fs-outage";
+    case FaultKind::portal_outage: return "portal-outage";
+    case FaultKind::node_crash_storm: return "node-crash-storm";
+  }
+  return "?";
+}
+
+bool FaultEvent::targets_host(HostId h) const {
+  return std::find(hosts.begin(), hosts.end(), h) != hosts.end();
+}
+
+bool FaultEvent::targets_node(NodeId n) const {
+  return std::find(nodes.begin(), nodes.end(), n) != nodes.end();
+}
+
+namespace {
+
+/// A random non-empty host subset of size <= half the fleet (so a
+/// partition always leaves somebody on the other side).
+std::vector<HostId> draw_hosts(common::Rng& rng, std::size_t host_count,
+                               std::size_t max_size) {
+  std::vector<HostId> out;
+  if (host_count == 0) return out;
+  const std::size_t want =
+      1 + static_cast<std::size_t>(rng.bounded(std::max<std::size_t>(
+              1, std::min(max_size, host_count))));
+  for (std::size_t i = 0; i < want; ++i) {
+    const HostId h{static_cast<std::uint32_t>(rng.bounded(host_count))};
+    if (std::find(out.begin(), out.end(), h) == out.end()) out.push_back(h);
+  }
+  return out;
+}
+
+std::vector<NodeId> draw_nodes(common::Rng& rng, std::size_t node_count,
+                               std::size_t max_size) {
+  std::vector<NodeId> out;
+  if (node_count == 0) return out;
+  const std::size_t want =
+      1 + static_cast<std::size_t>(rng.bounded(std::max<std::size_t>(
+              1, std::min(max_size, node_count))));
+  for (std::size_t i = 0; i < want; ++i) {
+    const NodeId n{static_cast<std::uint32_t>(rng.bounded(node_count))};
+    if (std::find(out.begin(), out.end(), n) == out.end()) out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::random(std::uint64_t seed,
+                            const FaultPlanOptions& opts,
+                            std::size_t host_count,
+                            std::size_t node_count) {
+  common::Rng rng(seed);
+  std::vector<FaultKind> kinds;
+  if (opts.include_ident) {
+    kinds.push_back(FaultKind::ident_outage);
+    kinds.push_back(FaultKind::ident_latency);
+  }
+  if (opts.include_network) {
+    kinds.push_back(FaultKind::packet_loss);
+    kinds.push_back(FaultKind::network_partition);
+  }
+  if (opts.include_hooks) {
+    kinds.push_back(FaultKind::prolog_failure);
+    kinds.push_back(FaultKind::epilog_failure);
+    kinds.push_back(FaultKind::gpu_scrub_failure);
+  }
+  if (opts.include_fs) kinds.push_back(FaultKind::fs_outage);
+  if (opts.include_portal) kinds.push_back(FaultKind::portal_outage);
+  if (opts.include_crashes) kinds.push_back(FaultKind::node_crash_storm);
+
+  FaultPlan plan;
+  if (kinds.empty()) return plan;
+  for (std::size_t i = 0; i < opts.events; ++i) {
+    FaultEvent e;
+    e.kind = kinds[rng.bounded(kinds.size())];
+    e.start = common::SimTime{
+        rng.uniform_int(0, std::max<std::int64_t>(0, opts.horizon_ns - 1))};
+    e.duration_ns =
+        rng.uniform_int(common::kMillisecond, opts.max_duration_ns);
+    switch (e.kind) {
+      case FaultKind::ident_outage:
+        e.hosts = draw_hosts(rng, host_count, host_count);
+        break;
+      case FaultKind::ident_latency:
+        e.hosts = draw_hosts(rng, host_count, host_count);
+        e.extra_ns = rng.uniform_int(common::kMillisecond,
+                                     50 * common::kMillisecond);
+        break;
+      case FaultKind::packet_loss:
+        e.hosts = draw_hosts(rng, host_count, host_count);
+        e.probability = rng.uniform01() * opts.packet_loss_max;
+        break;
+      case FaultKind::network_partition:
+        e.hosts = draw_hosts(rng, host_count, host_count / 2);
+        e.hosts_b = draw_hosts(rng, host_count, host_count / 2);
+        break;
+      case FaultKind::prolog_failure:
+      case FaultKind::epilog_failure:
+      case FaultKind::gpu_scrub_failure:
+        e.nodes = draw_nodes(rng, node_count, node_count);
+        e.probability = opts.hook_failure_prob;
+        break;
+      case FaultKind::fs_outage:
+      case FaultKind::portal_outage:
+        break;  // global
+      case FaultKind::node_crash_storm:
+        e.nodes = draw_nodes(rng, node_count,
+                             std::max<std::size_t>(1, node_count / 2));
+        break;
+    }
+    plan.add(std::move(e));
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const FaultEvent& e : events_) {
+    out += common::strformat(
+        "%-18s start=%.3fs dur=%.3fs hosts=%zu/%zu nodes=%zu p=%.2f\n",
+        fault::to_string(e.kind), e.start.seconds(),
+        static_cast<double>(e.duration_ns) * 1e-9, e.hosts.size(),
+        e.hosts_b.size(), e.nodes.size(), e.probability);
+  }
+  return out;
+}
+
+}  // namespace heus::fault

@@ -1,0 +1,115 @@
+// Deterministic, seed-driven fault schedules (robustness tentpole).
+//
+// A FaultPlan is a list of FaultEvents — timed windows during which some
+// piece of the cluster misbehaves: the ident responder on a host stops
+// answering (or answers slowly), links drop packets or partition outright,
+// prolog/epilog scripts fail, the GPU scrub tool errors out, the shared
+// ("lustre") filesystem mount hangs, the portal backend goes down, or a
+// set of nodes crashes at once. Plans are either hand-built (unit tests)
+// or drawn from a seeded Rng (property sweeps); either way the schedule is
+// pure data, bit-reproducible from (seed, options), and independent of the
+// cluster it will be applied to. FaultInjector (injector.h) applies one.
+//
+// The separation claim under test (tests/fault/fault_invariant_test.cpp):
+// no fault schedule may OPEN a cross-user channel that the healthy
+// hardened policy had closed. Faults may cost availability — connections
+// refused, jobs delayed, transfers failed — but never isolation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/rng.h"
+
+namespace heus::fault {
+
+enum class FaultKind {
+  ident_outage,       ///< ident responder on a host answers nothing
+  ident_latency,      ///< ident responder answers, but slowly
+  packet_loss,        ///< probabilistic drop on established flows
+  network_partition,  ///< two host sets mutually unreachable
+  prolog_failure,     ///< job prolog script fails on a node
+  epilog_failure,     ///< job epilog script fails on a node
+  gpu_scrub_failure,  ///< vendor scrub tool errors in the epilog
+  fs_outage,          ///< shared-FS mount unavailable (EIO)
+  portal_outage,      ///< portal daemon down (EHOSTUNREACH)
+  node_crash_storm,   ///< listed nodes crash at window start
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// One fault window. Which scoping fields matter depends on the kind:
+/// host-scoped faults (ident_*, packet_loss, network_partition) read
+/// `hosts`/`hosts_b`; node-scoped faults (prolog/epilog/scrub,
+/// node_crash_storm) read `nodes`; fs/portal outages are global.
+struct FaultEvent {
+  FaultKind kind = FaultKind::ident_outage;
+  common::SimTime start{};
+  std::int64_t duration_ns = 0;
+  std::vector<HostId> hosts;    ///< primary host set (partition side A)
+  std::vector<HostId> hosts_b;  ///< partition side B
+  std::vector<NodeId> nodes;    ///< node-scoped fault targets
+  /// Per-attempt failure probability (packet_loss, hook failures).
+  double probability = 1.0;
+  /// Added responder delay for ident_latency, ns.
+  std::int64_t extra_ns = 0;
+
+  [[nodiscard]] bool active_at(common::SimTime t) const {
+    return t.ns >= start.ns && t.ns < start.ns + duration_ns;
+  }
+  [[nodiscard]] bool targets_host(HostId h) const;
+  [[nodiscard]] bool targets_node(NodeId n) const;
+};
+
+/// Shape parameters for randomly drawn plans.
+struct FaultPlanOptions {
+  std::size_t events = 8;
+  /// Event windows are drawn inside [0, horizon_ns).
+  std::int64_t horizon_ns = 600 * common::kSecond;
+  std::int64_t max_duration_ns = 120 * common::kSecond;
+  double packet_loss_max = 0.5;
+  double hook_failure_prob = 1.0;
+  /// Kind gates, so sweeps can ablate fault classes.
+  bool include_ident = true;
+  bool include_network = true;
+  bool include_hooks = true;
+  bool include_fs = true;
+  bool include_portal = true;
+  bool include_crashes = true;
+};
+
+/// An immutable fault schedule.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan& add(FaultEvent event) {
+    events_.push_back(std::move(event));
+    return *this;
+  }
+
+  /// Draw a plan from a seed: every field of every event comes from one
+  /// Rng stream, so (seed, opts, host_count, node_count) fully determine
+  /// the schedule. `host_count`/`node_count` bound the target draws.
+  [[nodiscard]] static FaultPlan random(std::uint64_t seed,
+                                        const FaultPlanOptions& opts,
+                                        std::size_t host_count,
+                                        std::size_t node_count);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// One line per event, for test logs and repro reports.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace heus::fault

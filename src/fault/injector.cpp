@@ -1,0 +1,154 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+
+namespace heus::fault {
+
+FaultInjector::FaultInjector(core::Cluster* cluster, FaultPlan plan,
+                             std::uint64_t seed)
+    : cluster_(cluster),
+      plan_(std::move(plan)),
+      rng_(seed),
+      storm_fired_(plan_.size(), false) {}
+
+FaultInjector::~FaultInjector() {
+  if (armed_) disarm();
+}
+
+common::SimTime FaultInjector::now() const {
+  return cluster_->clock().now();
+}
+
+void FaultInjector::arm() {
+  if (armed_) return;
+  cluster_->network().set_fault_model(this);
+  core::FaultHooks hooks;
+  hooks.prolog_fails = [this](NodeId n) { return prolog_fails(n); };
+  hooks.epilog_fails = [this](NodeId n) { return epilog_fails(n); };
+  hooks.scrub_fails = [this](NodeId n, GpuId g) {
+    return scrub_fails(n, g);
+  };
+  cluster_->set_fault_hooks(std::move(hooks));
+  cluster_->shared_fs().set_outage_probe([this] { return fs_down(); });
+  cluster_->portal().set_outage_probe([this] { return portal_down(); });
+  armed_ = true;
+}
+
+void FaultInjector::disarm() {
+  if (!armed_) return;
+  cluster_->network().set_fault_model(nullptr);
+  cluster_->set_fault_hooks({});
+  cluster_->shared_fs().set_outage_probe(nullptr);
+  cluster_->portal().set_outage_probe(nullptr);
+  armed_ = false;
+}
+
+std::size_t FaultInjector::pump() {
+  std::size_t fired = 0;
+  const common::SimTime t = now();
+  for (std::size_t i = 0; i < plan_.events().size(); ++i) {
+    const FaultEvent& e = plan_.events()[i];
+    if (e.kind != FaultKind::node_crash_storm) continue;
+    if (storm_fired_[i] || e.start > t) continue;
+    storm_fired_[i] = true;
+    ++fired;
+    for (NodeId n : e.nodes) {
+      // EBUSY (already down) and friends are expected mid-storm.
+      (void)cluster_->scheduler().crash_node(n);
+    }
+  }
+  return fired;
+}
+
+bool FaultInjector::ident_down(HostId host) const {
+  const common::SimTime t = now();
+  for (const FaultEvent& e : plan_.events()) {
+    if (e.kind == FaultKind::ident_outage && e.active_at(t) &&
+        e.targets_host(host)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::int64_t FaultInjector::ident_extra_ns(HostId host) const {
+  const common::SimTime t = now();
+  std::int64_t extra = 0;
+  for (const FaultEvent& e : plan_.events()) {
+    if (e.kind == FaultKind::ident_latency && e.active_at(t) &&
+        e.targets_host(host)) {
+      extra += e.extra_ns;
+    }
+  }
+  return extra;
+}
+
+bool FaultInjector::partitioned(HostId a, HostId b) const {
+  const common::SimTime t = now();
+  for (const FaultEvent& e : plan_.events()) {
+    if (e.kind != FaultKind::network_partition || !e.active_at(t)) continue;
+    if ((e.targets_host(a) && std::find(e.hosts_b.begin(), e.hosts_b.end(),
+                                        b) != e.hosts_b.end()) ||
+        (e.targets_host(b) && std::find(e.hosts_b.begin(), e.hosts_b.end(),
+                                        a) != e.hosts_b.end())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::drop_packet(HostId a, HostId b) {
+  const common::SimTime t = now();
+  for (const FaultEvent& e : plan_.events()) {
+    if (e.kind != FaultKind::packet_loss || !e.active_at(t)) continue;
+    if ((e.targets_host(a) || e.targets_host(b)) &&
+        rng_.chance(e.probability)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const FaultEvent* FaultInjector::active_on_node(FaultKind kind,
+                                                NodeId node) const {
+  const common::SimTime t = now();
+  for (const FaultEvent& e : plan_.events()) {
+    if (e.kind == kind && e.active_at(t) && e.targets_node(node)) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+bool FaultInjector::prolog_fails(NodeId node) {
+  const FaultEvent* e = active_on_node(FaultKind::prolog_failure, node);
+  return e != nullptr && rng_.chance(e->probability);
+}
+
+bool FaultInjector::epilog_fails(NodeId node) {
+  const FaultEvent* e = active_on_node(FaultKind::epilog_failure, node);
+  return e != nullptr && rng_.chance(e->probability);
+}
+
+bool FaultInjector::scrub_fails(NodeId node, GpuId /*gpu*/) {
+  const FaultEvent* e = active_on_node(FaultKind::gpu_scrub_failure, node);
+  return e != nullptr && rng_.chance(e->probability);
+}
+
+bool FaultInjector::fs_down() const {
+  const common::SimTime t = now();
+  for (const FaultEvent& e : plan_.events()) {
+    if (e.kind == FaultKind::fs_outage && e.active_at(t)) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::portal_down() const {
+  const common::SimTime t = now();
+  for (const FaultEvent& e : plan_.events()) {
+    if (e.kind == FaultKind::portal_outage && e.active_at(t)) return true;
+  }
+  return false;
+}
+
+}  // namespace heus::fault

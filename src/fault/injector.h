@@ -1,0 +1,79 @@
+// FaultInjector: applies a FaultPlan to a live core::Cluster.
+//
+// One object implements every injection surface:
+//  - net::FaultModel (installed on the Network): ident outages and extra
+//    latency, partitions refusing new connections, packet loss resetting
+//    established flows.
+//  - core::FaultHooks (installed on the Cluster): prolog/epilog script
+//    failures and GPU-scrub failures, consulted per attempt so the
+//    scheduler's drain/maintenance machinery sees realistic flapping.
+//  - Outage probes on the shared filesystem and the portal gateway.
+//  - pump(): fires node-crash storms whose window has opened (a crash is
+//    an edge, not a level — each storm fires exactly once).
+//
+// Everything is driven by the cluster's own SimClock plus one seeded Rng,
+// so a (plan, seed) pair replays identically. arm()/disarm() are
+// symmetric; disarm restores a fully healthy cluster.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+#include "fault/fault.h"
+#include "net/network.h"
+
+namespace heus::fault {
+
+class FaultInjector final : public net::FaultModel {
+ public:
+  /// `seed` drives only the probabilistic checks (packet loss, hook
+  /// failure probability); the schedule itself lives in `plan`.
+  FaultInjector(core::Cluster* cluster, FaultPlan plan, std::uint64_t seed);
+  ~FaultInjector() override;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Install on the cluster (network fault model, prolog/epilog/scrub
+  /// hooks, FS + portal outage probes). Idempotent.
+  void arm();
+  /// Remove every installation; the cluster is healthy afterwards.
+  void disarm();
+  [[nodiscard]] bool armed() const { return armed_; }
+
+  /// Fire node-crash storms whose start time has passed (each once).
+  /// Call after advancing the clock. Returns storms fired this call.
+  std::size_t pump();
+
+  // ---- net::FaultModel ---------------------------------------------------
+
+  [[nodiscard]] bool ident_down(HostId host) const override;
+  [[nodiscard]] std::int64_t ident_extra_ns(HostId host) const override;
+  [[nodiscard]] bool partitioned(HostId a, HostId b) const override;
+  bool drop_packet(HostId a, HostId b) override;
+
+  // ---- hook predicates (installed as core::FaultHooks) -------------------
+
+  bool prolog_fails(NodeId node);
+  bool epilog_fails(NodeId node);
+  bool scrub_fails(NodeId node, GpuId gpu);
+  [[nodiscard]] bool fs_down() const;
+  [[nodiscard]] bool portal_down() const;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  [[nodiscard]] common::SimTime now() const;
+  /// Active node-scoped event of `kind` hitting `node`, if any.
+  [[nodiscard]] const FaultEvent* active_on_node(FaultKind kind,
+                                                 NodeId node) const;
+
+  core::Cluster* cluster_;
+  FaultPlan plan_;
+  common::Rng rng_;
+  std::vector<bool> storm_fired_;
+  bool armed_ = false;
+};
+
+}  // namespace heus::fault

@@ -33,6 +33,7 @@ struct GpuStats {
   std::uint64_t scrubs = 0;
   std::uint64_t scrubbed_bytes = 0;
   std::uint64_t residue_reads = 0;  ///< reads that returned foreign data
+  std::uint64_t failed_scrubs = 0;  ///< vendor scrub tool failures (fault)
 };
 
 class GpuDevice {
@@ -61,6 +62,10 @@ class GpuDevice {
   /// Vendor scrub: zero memory and registers. Returns the simulated
   /// duration in nanoseconds (proportional to memory size).
   std::int64_t scrub();
+
+  /// Record a failed scrub attempt (the epilog's fault path): memory is
+  /// left intact — which is exactly why the node must then be held.
+  void note_scrub_failure() { ++stats_.failed_scrubs; }
 
   /// Who last wrote resident data (survives release). nullopt = clean.
   [[nodiscard]] std::optional<Uid> residue_owner() const {

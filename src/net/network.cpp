@@ -95,6 +95,15 @@ Result<FlowId> Network::connect(HostId src_host,
   ++stats_.connections_attempted;
   std::int64_t cost = latency_.base_syn_ns;
 
+  // A partitioned fabric never completes the handshake: the SYN (or the
+  // SYN-ACK) is lost and the client sees the route as unreachable.
+  if (faults_ != nullptr && faults_->partitioned(src_host, dst_host)) {
+    ++stats_.partition_refusals;
+    last_connect_cost_ns_ = cost;
+    charge(cost);
+    return Errno::enetunreach;
+  }
+
   const Listener* listener = find_listener(dst_host, proto, dst_port);
   if (listener == nullptr) {
     ++stats_.connections_refused;
@@ -165,6 +174,36 @@ Result<void> Network::send(FlowId id, FlowEnd from, std::string payload) {
   assert(ct != conntrack_.end());
   (void)ct;
   ++stats_.conntrack_hits;
+
+  // Fail-safe on the fast path: the conntrack entry was admitted against
+  // the listener identity at connect() time. If the server port is now
+  // owned by a *different* uid (the original listener died — e.g. while
+  // the hosts were partitioned — and someone else bound the port), the
+  // entry is stale and must not keep bypassing the firewall hook. Reset
+  // the flow; a legitimate peer reconnects and traverses the hook afresh.
+  if (const Listener* l =
+          find_listener(f.server_host, f.proto, f.server_port);
+      l != nullptr && l->cred.uid != f.server_uid) {
+    ++stats_.flows_reset_identity_changed;
+    const std::int64_t reset_cost = latency_.conntrack_lookup_ns;
+    last_send_cost_ns_ = reset_cost;
+    charge(reset_cost);
+    (void)close(id);
+    return Errno::econnreset;
+  }
+
+  // Packet loss / partition on the established path: the segment vanishes
+  // and the sender's retransmits eventually give up.
+  if (faults_ != nullptr &&
+      (faults_->partitioned(f.client_host, f.server_host) ||
+       faults_->drop_packet(f.client_host, f.server_host))) {
+    ++stats_.packets_dropped;
+    const std::int64_t drop_cost =
+        latency_.conntrack_lookup_ns + latency_.per_packet_ns;
+    last_send_cost_ns_ = drop_cost;
+    charge(drop_cost);
+    return Errno::etimedout;
+  }
   ++stats_.packets_delivered;
   f.bytes += payload.size();
   const auto serialization_ns = static_cast<std::int64_t>(
@@ -262,6 +301,16 @@ Result<IdentInfo> Network::ident_lookup(HostId h, Proto proto,
                                         std::uint16_t port) {
   if (h.value() >= hosts_.size()) return Errno::enetunreach;
   ++stats_.ident_queries;
+  if (faults_ != nullptr) {
+    // A degraded responder answers late; a dead one eats the caller's
+    // whole timeout budget before the query fails.
+    charge(faults_->ident_extra_ns(h));
+    if (faults_->ident_down(h)) {
+      ++stats_.ident_timeouts;
+      charge(latency_.ident_timeout_ns);
+      return Errno::etimedout;
+    }
+  }
   // A listener owns the port...
   if (const Listener* l = find_listener(h, proto, port)) {
     return IdentInfo{l->cred.uid, l->cred.egid, l->pid};

@@ -62,6 +62,25 @@ struct Listener {
 
 enum class FlowState { established, closed };
 
+/// Fault-injection surface for the fabric. Implemented by
+/// fault::FaultInjector; declared here (abstract, no fault dependency) so
+/// the network can consult it without a layering inversion. All
+/// predicates are evaluated against the simulated clock by the
+/// implementation; the network just asks.
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+  /// The ident responder on `host` is down (queries time out).
+  [[nodiscard]] virtual bool ident_down(HostId host) const = 0;
+  /// Extra latency (ns) an ident query against `host` incurs right now.
+  [[nodiscard]] virtual std::int64_t ident_extra_ns(HostId host) const = 0;
+  /// Hosts `a` and `b` cannot currently exchange packets.
+  [[nodiscard]] virtual bool partitioned(HostId a, HostId b) const = 0;
+  /// Should this packet between `a` and `b` be dropped? Non-const: the
+  /// implementation may consume seeded randomness.
+  virtual bool drop_packet(HostId a, HostId b) = 0;
+};
+
 struct Flow {
   FlowId id{};
   Proto proto = Proto::tcp;
@@ -90,6 +109,9 @@ struct LatencyModel {
   std::int64_t ident_remote_ns = 55'000;   ///< cross-host ident RTT
   std::int64_t per_packet_ns = 900;        ///< per-message fixed cost
   double fabric_bytes_per_ns = 25.0;       ///< ~25 GB/s (200Gb-class link)
+  /// How long a caller waits before declaring an ident query dead. This is
+  /// the fail-closed budget the UBF's retry policy multiplies.
+  std::int64_t ident_timeout_ns = 2 * common::kMillisecond;
 };
 
 struct NetworkStats {
@@ -101,6 +123,12 @@ struct NetworkStats {
   std::uint64_t conntrack_hits = 0;
   std::uint64_t packets_delivered = 0;
   std::uint64_t ident_queries = 0;
+  std::uint64_t ident_timeouts = 0;        ///< responder down (fault)
+  std::uint64_t partition_refusals = 0;    ///< connect across a partition
+  std::uint64_t packets_dropped = 0;       ///< loss/partition on send
+  /// Established flows reset because the listener's identity no longer
+  /// matches the conntrack entry (e.g. changed across a partition heal).
+  std::uint64_t flows_reset_identity_changed = 0;
 };
 
 /// The cluster fabric. Single instance shared by all nodes.
@@ -121,6 +149,11 @@ class Network {
   /// the UBF on ports >= 1024; system services live below).
   void set_hook(FirewallHook hook, std::uint16_t inspect_from_port = 1024);
   void clear_hook();
+
+  /// Install/remove the fault model the fabric consults (nullptr = healthy
+  /// network). Not owned; the injector outlives its armed window.
+  void set_fault_model(FaultModel* model) { faults_ = model; }
+  [[nodiscard]] FaultModel* fault_model() const { return faults_; }
 
   // ---- socket API -------------------------------------------------------
 
@@ -223,6 +256,7 @@ class Network {
   std::unordered_map<FlowId, Flow> flows_;
   std::map<ConntrackKey, FlowId> conntrack_;
   FirewallHook hook_;
+  FaultModel* faults_ = nullptr;
   std::uint16_t inspect_from_port_ = 1024;
   LatencyModel latency_;
   NetworkStats stats_;

@@ -13,22 +13,52 @@ void Ubf::attach() {
 
 void Ubf::detach() { network_->clear_hook(); }
 
+Result<IdentInfo> Ubf::ident_with_retry(HostId host, Proto proto,
+                                        std::uint16_t port) {
+  auto r = network_->ident_lookup(host, proto, port);
+  if (degraded_ != UbfDegradedMode::retry_then_fail_closed) return r;
+  // Only timeouts are worth re-asking: a responder that answered "nobody
+  // owns that port" (ENOENT) is healthy and will say it again.
+  for (unsigned attempt = 0;
+       !r && r.error() == Errno::etimedout && attempt < backoff_.max_retries;
+       ++attempt) {
+    if (clock_ != nullptr) clock_->advance(backoff_.delay_ns(attempt));
+    ++stats_.ident_retries;
+    r = network_->ident_lookup(host, proto, port);
+    if (r) ++stats_.ident_retry_successes;
+  }
+  return r;
+}
+
 UbfDecision Ubf::decide(const ConnRequest& req) {
   ++stats_.decisions;
 
   // Ident exchange: who is listening locally, who is connecting remotely.
-  auto listener = network_->ident_lookup(req.dst_host, req.proto,
-                                         req.dst_port);
-  auto initiator = network_->ident_lookup(req.src_host, req.proto,
-                                          req.src_port);
+  auto listener =
+      ident_with_retry(req.dst_host, req.proto, req.dst_port);
+  auto initiator =
+      ident_with_retry(req.src_host, req.proto, req.src_port);
 
   UbfLogEntry entry;
   entry.request = req;
 
   UbfDecision decision = UbfDecision::deny;
   if (!listener || !initiator) {
-    // Fail closed: if either end cannot be attributed, drop.
-    ++stats_.ident_failures;
+    // An end could not be attributed. Classify the cause, then apply the
+    // degraded-mode policy — fail closed unless explicitly configured to
+    // the fail-open strawman.
+    const Errno cause = !listener ? listener.error() : initiator.error();
+    if (degraded_ == UbfDegradedMode::fail_open) {
+      decision = UbfDecision::allow_fail_open;
+      ++stats_.fail_open_allows;
+    } else {
+      if (cause == Errno::etimedout) {
+        ++stats_.ident_timeout_drops;
+      } else {
+        ++stats_.ident_unattributed_drops;
+      }
+      ++stats_.ident_failures;
+    }
   } else {
     entry.client_uid = initiator->uid;
     entry.server_uid = listener->uid;
@@ -52,6 +82,7 @@ UbfDecision Ubf::decide(const ConnRequest& req) {
   switch (decision) {
     case UbfDecision::allow_same_user: ++stats_.allowed_same_user; break;
     case UbfDecision::allow_group_member: ++stats_.allowed_group; break;
+    case UbfDecision::allow_fail_open: break;  // counted above
     case UbfDecision::deny: ++stats_.denied; break;
   }
 

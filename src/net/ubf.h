@@ -18,20 +18,57 @@
 #include <string>
 #include <vector>
 
+#include "common/backoff.h"
+#include "common/clock.h"
 #include "common/ids.h"
 #include "net/network.h"
 #include "simos/user_db.h"
 
 namespace heus::net {
 
-enum class UbfDecision { allow_same_user, allow_group_member, deny };
+enum class UbfDecision {
+  allow_same_user,
+  allow_group_member,
+  /// Degraded-mode allow under UbfDegradedMode::fail_open only: the ident
+  /// path failed and the policy chose availability over attribution. Never
+  /// the default; exists so E18 can measure what that trade costs.
+  allow_fail_open,
+  deny,
+};
+
+/// What the daemon does when the ident exchange cannot attribute an end.
+enum class UbfDegradedMode {
+  /// Drop immediately on the first ident failure (strict, cheapest).
+  fail_closed,
+  /// Retry timed-out queries with bounded exponential backoff, then drop.
+  /// The default: transient responder outages cost latency, not service.
+  retry_then_fail_closed,
+  /// Allow unattributed connections (the strawman no real site should
+  /// run; quantified by E18 to show faults then cost *isolation*).
+  fail_open,
+};
+
+[[nodiscard]] constexpr const char* to_string(UbfDegradedMode m) {
+  switch (m) {
+    case UbfDegradedMode::fail_closed: return "fail-closed";
+    case UbfDegradedMode::retry_then_fail_closed: return "retry+backoff";
+    case UbfDegradedMode::fail_open: return "fail-open";
+  }
+  return "?";
+}
 
 struct UbfStats {
   std::uint64_t decisions = 0;
   std::uint64_t allowed_same_user = 0;
   std::uint64_t allowed_group = 0;
   std::uint64_t denied = 0;
-  std::uint64_t ident_failures = 0;  ///< fail-closed drops
+  std::uint64_t ident_failures = 0;  ///< fail-closed drops (all causes)
+  // Per-cause breakdown of the degraded ident path:
+  std::uint64_t ident_retries = 0;          ///< backoff re-queries issued
+  std::uint64_t ident_retry_successes = 0;  ///< queries saved by a retry
+  std::uint64_t ident_timeout_drops = 0;    ///< exhausted on etimedout
+  std::uint64_t ident_unattributed_drops = 0;  ///< responder said "nobody"
+  std::uint64_t fail_open_allows = 0;  ///< fail_open mode only
 };
 
 struct UbfOptions {
@@ -64,6 +101,17 @@ class Ubf {
   /// microbenchmark of decision cost).
   [[nodiscard]] UbfDecision decide(const ConnRequest& req);
 
+  /// Degraded-mode policy for ident failures. The clock (when provided)
+  /// is charged the backoff waits, so retries cost simulated latency the
+  /// way a real daemon's blocking re-query would.
+  void set_degraded_mode(UbfDegradedMode mode,
+                         common::BackoffPolicy backoff = {}) {
+    degraded_ = mode;
+    backoff_ = backoff;
+  }
+  [[nodiscard]] UbfDegradedMode degraded_mode() const { return degraded_; }
+  void set_clock(common::SimClock* clock) { clock_ = clock; }
+
   [[nodiscard]] const UbfStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
@@ -72,9 +120,16 @@ class Ubf {
   void set_log_limit(std::size_t n) { log_limit_ = n; }
 
  private:
+  /// One ident query under the active degraded-mode policy.
+  [[nodiscard]] Result<IdentInfo> ident_with_retry(HostId host, Proto proto,
+                                                   std::uint16_t port);
+
   const simos::UserDb* users_;
   Network* network_;
   UbfOptions opts_;
+  UbfDegradedMode degraded_ = UbfDegradedMode::retry_then_fail_closed;
+  common::BackoffPolicy backoff_;
+  common::SimClock* clock_ = nullptr;
   UbfStats stats_;
   std::vector<UbfLogEntry> log_;
   std::size_t log_limit_ = 256;

@@ -61,6 +61,10 @@ Result<void> Gateway::unregister_app(const simos::Credentials& cred,
 Result<std::string> Gateway::request(SessionId token, AppId app_id,
                                      const std::string& http_request) {
   ++stats_.requests;
+  if (outage_probe_ && outage_probe_()) {
+    ++stats_.denied_backend_down;
+    return Errno::ehostunreach;
+  }
   auto it = sessions_.find(token);
   if (it == sessions_.end()) {
     ++stats_.denied_auth;
@@ -73,9 +77,20 @@ Result<std::string> Gateway::request(SessionId token, AppId app_id,
   const WebApp& app = app_it->second;
 
   // Forwarded hop, attributed to the authenticated user. The UBF (if
-  // attached to the fabric) makes the allow/deny decision here.
+  // attached to the fabric) makes the allow/deny decision here. Transient
+  // fabric faults are retried with backoff; a UBF denial (econnrefused)
+  // is deterministic policy and is surfaced immediately.
   auto flow = network_->connect(portal_host_, user_cred, Pid{}, app.host,
                                 net::Proto::tcp, app.port);
+  for (unsigned attempt = 0;
+       !flow && transient(flow.error()) && attempt < retry_.max_retries;
+       ++attempt) {
+    if (clock_ != nullptr) clock_->advance(retry_.delay_ns(attempt));
+    ++stats_.retries;
+    flow = network_->connect(portal_host_, user_cred, Pid{}, app.host,
+                             net::Proto::tcp, app.port);
+    if (flow) ++stats_.retry_successes;
+  }
   if (!flow) {
     ++stats_.denied_network;
     return flow.error();

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "common/backoff.h"
+#include "common/clock.h"
 #include "common/ids.h"
 #include "common/result.h"
 #include "net/network.h"
@@ -45,6 +47,9 @@ struct GatewayStats {
   std::uint64_t forwarded = 0;
   std::uint64_t denied_auth = 0;     ///< bad/expired session token
   std::uint64_t denied_network = 0;  ///< UBF dropped the forwarded hop
+  std::uint64_t denied_backend_down = 0;  ///< portal backend outage (fault)
+  std::uint64_t retries = 0;          ///< forwarded-hop retries attempted
+  std::uint64_t retry_successes = 0;  ///< retries that went through
 };
 
 /// The HPC portal daemon. Lives on its own host on the fabric.
@@ -91,7 +96,30 @@ class Gateway {
   [[nodiscard]] const GatewayStats& stats() const { return stats_; }
   [[nodiscard]] const WebApp* find_app(AppId id) const;
 
+  // ---- fault injection / degraded mode -----------------------------------
+
+  /// While `probe` returns true the portal daemon itself is down: every
+  /// request fails with EHOSTUNREACH before touching the fabric. nullptr
+  /// restores health.
+  void set_outage_probe(std::function<bool()> probe) {
+    outage_probe_ = std::move(probe);
+  }
+  /// Bounded retry with exponential backoff around the forwarded hop, for
+  /// transient fabric faults (timeouts, unreachable routes). Policy
+  /// denials (ECONNREFUSED from the UBF) are never retried — they are
+  /// deterministic, and retrying them would just re-ask the firewall.
+  /// `clock` (optional) charges backoff delays to simulated time.
+  void set_retry(common::BackoffPolicy policy,
+                 common::SimClock* clock = nullptr) {
+    retry_ = policy;
+    clock_ = clock;
+  }
+
  private:
+  [[nodiscard]] static bool transient(Errno e) {
+    return e == Errno::etimedout || e == Errno::enetunreach ||
+           e == Errno::ehostunreach;
+  }
   [[nodiscard]] std::optional<Uid> session_user(SessionId token) const;
 
   net::Network* network_;
@@ -101,6 +129,9 @@ class Gateway {
   std::map<SessionId, simos::Credentials> sessions_;
   std::map<AppId, WebApp> apps_;
   GatewayStats stats_;
+  std::function<bool()> outage_probe_;
+  common::BackoffPolicy retry_ = common::BackoffPolicy::none();
+  common::SimClock* clock_ = nullptr;
   std::uint64_t next_session_ = 1;
   std::uint64_t next_app_ = 1;
 };

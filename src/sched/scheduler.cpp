@@ -112,6 +112,8 @@ Result<void> Scheduler::cancel(const simos::Credentials& cred, JobId id) {
 unsigned Scheduler::tasks_fitting(const NodeState& node,
                                   const Job& job) const {
   if (node.down_until.has_value()) return 0;
+  if (node.drained_until.has_value()) return 0;
+  if (!node.pending_epilogs.empty()) return 0;  // maintenance hold
   if (node.info.node_class != NodeClass::compute) return 0;
   if (node.info.partition != job.spec.partition) return 0;
 
@@ -165,13 +167,16 @@ bool Scheduler::try_start(Job& job) {
 
   // Commit.
   job.allocations.clear();
+  std::uint64_t coresidency_delta = 0;
   for (auto [idx, tasks] : plan) {
     NodeState& node = nodes_[idx];
 
     // Cross-user co-residency census: did we just co-schedule two users?
+    // Tallied locally and folded in only after the prologs succeed, so a
+    // rolled-back start does not count as co-residency.
     for (const auto& [other_id, other_tasks] : node.tasks) {
       (void)other_tasks;
-      if (jobs_.at(other_id).user != job.user) ++cross_user_coresidency_;
+      if (jobs_.at(other_id).user != job.user) ++coresidency_delta;
     }
 
     node.cpus_used += tasks * job.spec.cpus_per_task;
@@ -198,18 +203,43 @@ bool Scheduler::try_start(Job& job) {
     job.allocations.push_back(std::move(alloc));
   }
 
+  // Prologs run before the job is marked running, and a failure aborts
+  // the start: the allocation is rolled back, the failing node drains
+  // (auto-resuming after prolog_drain_ns), and the job stays pending.
+  if (prolog_) {
+    for (std::size_t i = 0; i < job.allocations.size(); ++i) {
+      const Allocation& alloc = job.allocations[i];
+      auto r = prolog_(
+          JobNodeContext{job.id, job.user, alloc.node, alloc.gpus});
+      if (r.ok()) continue;
+
+      ++failures_.prolog_failures;
+      // Undo the nodes whose prolog already ran. These epilogs clean up a
+      // job that never started; if one of them fails too, its node goes
+      // to maintenance like any failed epilog.
+      if (epilog_) {
+        for (std::size_t k = 0; k < i; ++k) {
+          run_epilog_on(job, job.allocations[k]);
+        }
+      }
+      NodeState& bad = nodes_[alloc.node.value()];
+      if (!bad.drained_until.has_value()) ++failures_.nodes_drained;
+      bad.drained_until =
+          common::SimTime{clock_->now().ns + config_.prolog_drain_ns};
+      release_allocations(job);
+      job.allocations.clear();
+      job.pending_reason = "PrologFailed";
+      return false;
+    }
+  }
+  cross_user_coresidency_ += coresidency_delta;
+
   job.state = JobState::running;
   job.start_time = clock_->now();
   const std::int64_t run_ns =
       std::min(job.spec.duration_ns, job.spec.time_limit_ns);
   job.end_time = job.start_time + run_ns;
   running_.push_back(job.id);
-
-  if (prolog_) {
-    for (const auto& alloc : job.allocations) {
-      prolog_(JobNodeContext{job.id, job.user, alloc.node, alloc.gpus});
-    }
-  }
   return true;
 }
 
@@ -226,11 +256,47 @@ void Scheduler::release_allocations(Job& job) {
   }
 }
 
-void Scheduler::finish_job(Job& job, JobState final_state) {
+void Scheduler::run_epilog_on(const Job& job, const Allocation& alloc) {
+  if (!epilog_) return;
+  const JobNodeContext ctx{job.id, job.user, alloc.node, alloc.gpus};
+  if (epilog_(ctx).ok()) return;
+  // The node keeps whatever the epilog failed to clean (processes, GPU
+  // residue). Hold it in maintenance and re-run the hook until it
+  // succeeds: the failure costs capacity, never isolation.
+  ++failures_.epilog_failures;
+  NodeState& st = nodes_[alloc.node.value()];
+  st.pending_epilogs.push_back(ctx);
+  st.epilog_retry_at =
+      common::SimTime{clock_->now().ns + config_.epilog_retry_ns};
+}
+
+void Scheduler::retry_pending_epilogs() {
+  const common::SimTime now = clock_->now();
+  for (auto& node : nodes_) {
+    if (node.pending_epilogs.empty()) continue;
+    if (!node.epilog_retry_at || *node.epilog_retry_at > now) continue;
+    std::vector<JobNodeContext> still_failing;
+    for (const JobNodeContext& ctx : node.pending_epilogs) {
+      ++failures_.epilog_retries;
+      if (epilog_ && !epilog_(ctx).ok()) still_failing.push_back(ctx);
+    }
+    node.pending_epilogs = std::move(still_failing);
+    if (node.pending_epilogs.empty()) {
+      node.epilog_retry_at.reset();
+      ++failures_.maintenance_recovered;
+    } else {
+      node.epilog_retry_at =
+          common::SimTime{now.ns + config_.epilog_retry_ns};
+    }
+  }
+}
+
+void Scheduler::finish_job(Job& job, JobState final_state,
+                           bool run_epilog) {
   const bool was_running = (job.state == JobState::running);
-  if (was_running && epilog_) {
+  if (was_running && run_epilog) {
     for (const auto& alloc : job.allocations) {
-      epilog_(JobNodeContext{job.id, job.user, alloc.node, alloc.gpus});
+      run_epilog_on(job, alloc);
     }
   }
   if (was_running) release_allocations(job);
@@ -385,22 +451,27 @@ void Scheduler::crash_node_internal(NodeId node,
     } else {
       ++failures_.culprit_jobs_failed;
     }
-    if (!is_culprit && job.spec.requeue_on_failure) {
+    // No epilog runs on a crashed node — the node is dead; the
+    // node-crash hook below models the power-loss cleanup instead.
+    const unsigned requeue_cap =
+        job.spec.max_requeues.value_or(config_.default_max_requeues);
+    if (!is_culprit && job.spec.requeue_on_failure &&
+        job.requeues < requeue_cap) {
       // Tear down the allocation but return the job to the queue.
-      if (epilog_) {
-        for (const auto& alloc : job.allocations) {
-          epilog_(JobNodeContext{job.id, job.user, alloc.node,
-                                 alloc.gpus});
-        }
-      }
       release_allocations(job);
       job.allocations.clear();
       job.state = JobState::pending;
       job.pending_reason = "NodeFail(requeued)";
+      ++job.requeues;
       queue_.push_back(id);
       ++failures_.jobs_requeued;
     } else {
-      finish_job(job, JobState::failed);
+      if (!is_culprit && job.spec.requeue_on_failure) {
+        // The job asked to be requeued but has hit its cap: it keeps
+        // taking nodes down with it, so it fails for good.
+        ++failures_.requeue_capped;
+      }
+      finish_job(job, JobState::failed, /*run_epilog=*/false);
     }
     std::erase(running_, id);
   }
@@ -434,6 +505,16 @@ Result<void> Scheduler::crash_node(NodeId node) {
 bool Scheduler::node_is_down(NodeId node) const {
   return node.value() < nodes_.size() &&
          nodes_[node.value()].down_until.has_value();
+}
+
+bool Scheduler::node_is_drained(NodeId node) const {
+  return node.value() < nodes_.size() &&
+         nodes_[node.value()].drained_until.has_value();
+}
+
+bool Scheduler::node_in_maintenance(NodeId node) const {
+  return node.value() < nodes_.size() &&
+         !nodes_[node.value()].pending_epilogs.empty();
 }
 
 Scheduler::DependencyState Scheduler::dependency_state(
@@ -515,12 +596,18 @@ void Scheduler::step() {
   integrate_utilization();
   const common::SimTime now = clock_->now();
 
-  // Revive rebooted nodes.
+  // Revive rebooted nodes and resume drained ones.
   for (auto& node : nodes_) {
     if (node.down_until && *node.down_until <= now) {
       node.down_until.reset();
     }
+    if (node.drained_until && *node.drained_until <= now) {
+      node.drained_until.reset();
+    }
   }
+
+  // Maintenance nodes re-run their failed epilogs on a timer.
+  retry_pending_epilogs();
 
   // Complete due jobs in end-time order so epilogs observe a consistent
   // sequence.
@@ -547,10 +634,18 @@ std::optional<common::SimTime> Scheduler::next_event_time() const {
     const common::SimTime t = jobs_.at(id).end_time;
     if (!next || t < *next) next = t;
   }
-  // Node reboots are events too: requeued work may be waiting on them.
+  // Node reboots, drain expiries, and epilog retries are events too:
+  // pending work may be waiting on any of them.
   for (const auto& node : nodes_) {
     if (node.down_until && (!next || *node.down_until < *next)) {
       next = node.down_until;
+    }
+    if (node.drained_until && (!next || *node.drained_until < *next)) {
+      next = node.drained_until;
+    }
+    if (node.epilog_retry_at &&
+        (!next || *node.epilog_retry_at < *next)) {
+      next = node.epilog_retry_at;
     }
   }
   return next;

@@ -54,6 +54,13 @@ struct SchedulerConfig {
   PriorityPolicy priority = PriorityPolicy::fcfs;
   /// How long a crashed node stays down before auto-reviving.
   std::int64_t node_reboot_ns = 600 * common::kSecond;
+  /// Cap on --requeue round-trips per job (spec.max_requeues overrides).
+  unsigned default_max_requeues = 3;
+  /// How long a node whose prolog failed stays drained before the
+  /// scheduler tries placing work on it again.
+  std::int64_t prolog_drain_ns = 120 * common::kSecond;
+  /// Retry cadence for failed epilogs on a node held in maintenance.
+  std::int64_t epilog_retry_ns = 30 * common::kSecond;
   /// Per-partition overrides of the sharing policy. The paper keeps
   /// interactive-debug (and login/DTN) nodes multi-user even when the
   /// cluster runs user-whole-node scheduling (§IV-B) — which is exactly
@@ -72,6 +79,12 @@ struct FailureStats {
   std::uint64_t victim_jobs_failed = 0;      ///< co-resident collateral
   std::uint64_t cross_user_victims = 0;      ///< collateral of OTHER users
   std::uint64_t jobs_requeued = 0;
+  std::uint64_t requeue_capped = 0;   ///< --requeue jobs failed at the cap
+  std::uint64_t prolog_failures = 0;  ///< prolog hook returned an error
+  std::uint64_t nodes_drained = 0;    ///< drains caused by prolog failures
+  std::uint64_t epilog_failures = 0;  ///< epilog hook returned an error
+  std::uint64_t epilog_retries = 0;   ///< maintenance re-runs attempted
+  std::uint64_t maintenance_recovered = 0;  ///< nodes released from hold
 };
 
 /// Cumulative utilization accounting, integrated between events.
@@ -98,7 +111,11 @@ struct JobNodeContext {
   NodeId node{};
   std::vector<GpuId> gpus;
 };
-using NodeHook = std::function<void(const JobNodeContext&)>;
+/// Prolog/epilog hooks report success or failure. A failing prolog aborts
+/// the start (allocation rolled back, node drained); a failing epilog
+/// holds the node in maintenance — and re-runs the hook — until it
+/// succeeds, so residue can never meet the next tenant.
+using NodeHook = std::function<Result<void>(const JobNodeContext&)>;
 
 class Scheduler {
  public:
@@ -164,6 +181,11 @@ class Scheduler {
   Result<void> crash_node(NodeId node);
 
   [[nodiscard]] bool node_is_down(NodeId node) const;
+  /// Drained after a prolog failure (auto-resumes after prolog_drain_ns).
+  [[nodiscard]] bool node_is_drained(NodeId node) const;
+  /// Held in maintenance behind a failed epilog (resumes on epilog
+  /// success — never by timeout, because residue must not meet a tenant).
+  [[nodiscard]] bool node_in_maintenance(NodeId node) const;
   [[nodiscard]] const FailureStats& failure_stats() const {
     return failures_;
   }
@@ -244,6 +266,12 @@ class Scheduler {
     std::optional<Uid> bound_user;    ///< user_whole_node binding
     std::optional<JobId> bound_job;   ///< exclusive binding
     std::optional<common::SimTime> down_until;  ///< rebooting when set
+    /// Prolog failed here: no placements until this passes.
+    std::optional<common::SimTime> drained_until;
+    /// Epilogs that failed on this node, re-run every epilog_retry_ns.
+    /// Non-empty == the node is in maintenance and accepts no work.
+    std::vector<JobNodeContext> pending_epilogs;
+    std::optional<common::SimTime> epilog_retry_at;
   };
 
   enum class DependencyState { satisfied, waiting, never };
@@ -270,8 +298,15 @@ class Scheduler {
   [[nodiscard]] common::SimTime head_reservation(const Job& head) const;
 
   void integrate_utilization();
-  void finish_job(Job& job, JobState final_state);
+  /// `run_epilog` is false on the crash path: a dead node cannot run its
+  /// epilog; the node-crash hook does the (power-loss) cleanup instead.
+  void finish_job(Job& job, JobState final_state, bool run_epilog = true);
   void release_allocations(Job& job);
+  /// Run the epilog for one allocation; on failure, park the context on
+  /// the node's maintenance queue.
+  void run_epilog_on(const Job& job, const Allocation& alloc);
+  /// Re-run pending epilogs due for retry; release recovered nodes.
+  void retry_pending_epilogs();
   void dispatch();
 
   common::SimClock* clock_;

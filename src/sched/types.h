@@ -86,6 +86,10 @@ struct JobSpec {
   /// sbatch --requeue: on node failure, return to the queue instead of
   /// failing (the culprit of an OOM crash always fails).
   bool requeue_on_failure = false;
+  /// Per-job override of SchedulerConfig::default_max_requeues. A job that
+  /// keeps taking nodes down (e.g. a deterministic OOM) fails for good
+  /// once it has been requeued this many times.
+  std::optional<unsigned> max_requeues;
   /// Index within a job array, if submitted via submit_array.
   std::optional<unsigned> array_index;
   /// Workflow orchestration (sbatch --dependency): this job may not start
@@ -113,6 +117,7 @@ struct Job {
   common::SimTime end_time{};
   std::vector<Allocation> allocations;
   std::string pending_reason;
+  unsigned requeues = 0;  ///< times returned to the queue after node failure
 
   [[nodiscard]] unsigned total_cpus() const {
     return spec.num_tasks * spec.cpus_per_task;

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "analyze/analyzer.h"
+#include "analyze/degraded.h"
 #include "analyze/policy_space.h"
 #include "analyze/report.h"
 
@@ -26,6 +27,11 @@ void usage(std::FILE* to) {
       "  --format=markdown|json|both report format (default: markdown)\n"
       "  --gate                      exit 1 on any unexpectedly-open "
       "channel\n"
+      "  --degraded                  report which closed channels rely on\n"
+      "                              fail-closed behavior under "
+      "ident/network\n"
+      "                              faults (availability casualties, "
+      "never leaks)\n"
       "  --staff                     observer is seepid staff (gid= "
       "exempt)\n"
       "  --operator                  observer holds Slurm Operator\n"
@@ -47,6 +53,7 @@ int main(int argc, char** argv) {
   analyze::TopologyFacts facts;
   std::string format = "markdown";
   bool gate = false;
+  bool degraded = false;
 
   auto value_of = [](const char* arg, const char* flag) -> const char* {
     const std::size_t n = std::strlen(flag);
@@ -70,6 +77,8 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(arg, "--gate") == 0) {
       gate = true;
+    } else if (std::strcmp(arg, "--degraded") == 0) {
+      degraded = true;
     } else if (std::strcmp(arg, "--staff") == 0) {
       facts.observer_support_staff = true;
     } else if (std::strcmp(arg, "--operator") == 0) {
@@ -119,6 +128,12 @@ int main(int argc, char** argv) {
   }
 
   const analyze::StaticAnalyzer analyzer(facts);
+  if (degraded) {
+    const analyze::DegradedReport census =
+        analyze::degraded_census(analyzer, policy);
+    std::fputs(analyze::to_markdown(census).c_str(), stdout);
+    return 0;
+  }
   const analyze::AnalysisReport report = analyzer.analyze(policy);
   if (format == "markdown" || format == "both") {
     std::fputs(analyze::to_markdown(report).c_str(), stdout);

@@ -190,6 +190,7 @@ Result<FileSystem::Resolved> FileSystem::resolve(const Credentials& cred,
                                                  const std::string& path,
                                                  bool follow,
                                                  std::size_t depth) {
+  if (unavailable()) return Errno::eio;  // mount outage (fault injection)
   if (depth > kMaxSymlinkDepth) return Errno::eloop;
   auto parts = split_path(path);
   if (!parts) return parts.error();

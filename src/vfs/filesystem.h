@@ -75,6 +75,17 @@ class FileSystem {
   [[nodiscard]] const FsPolicy& policy() const { return policy_; }
   void set_policy(FsPolicy p) { policy_ = p; }
 
+  /// Fault injection: while `probe` returns true the mount is unavailable
+  /// and every path operation fails with EIO (a hung-Lustre-mount model —
+  /// data neither readable nor writable, nothing corrupted). nullptr
+  /// restores health.
+  void set_outage_probe(std::function<bool()> probe) {
+    outage_probe_ = std::move(probe);
+  }
+  [[nodiscard]] bool unavailable() const {
+    return outage_probe_ && outage_probe_();
+  }
+
   // ---- namespace operations -------------------------------------------
 
   Result<void> mkdir(const simos::Credentials& cred, const std::string& path,
@@ -246,6 +257,7 @@ class FileSystem {
   std::unordered_map<InodeId, Inode> inodes_;
   InodeId root_;
   std::uint64_t next_inode_ = 1;
+  std::function<bool()> outage_probe_;
   std::optional<std::uint64_t> capacity_;
   std::unordered_map<Uid, std::uint64_t> quota_limits_;
   std::unordered_map<Uid, std::uint64_t> quota_used_;

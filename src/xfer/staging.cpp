@@ -32,6 +32,24 @@ void StagingService::execute(Transfer& transfer) {
     ++stats_.transfers_failed;
   };
 
+  // Retry only transient FS faults (flapping mount), with backoff charged
+  // to simulated time. EACCES/ENOENT and friends are deterministic — the
+  // transfer surfaces them immediately as a typed error.
+  auto with_retry = [&](auto op) {
+    auto r = op();
+    ++transfer.attempts;
+    for (unsigned attempt = 0;
+         !r && transient(r.error()) && attempt < retry_.max_retries;
+         ++attempt) {
+      clock_->advance(retry_.delay_ns(attempt));
+      ++stats_.retries;
+      ++transfer.attempts;
+      r = op();
+      if (r) ++stats_.retry_successes;
+    }
+    return r;
+  };
+
   if (transfer.direction == Direction::stage_in) {
     const std::string* object = store_->get(transfer.remote_path);
     if (object == nullptr) {
@@ -41,14 +59,16 @@ void StagingService::execute(Transfer& transfer) {
     // The write runs with the USER's credentials: landing the file in a
     // foreign directory fails on ordinary DAC, and the landed file obeys
     // smask/quota like any other file the user creates.
-    auto written = fs_->write_file(cred, transfer.local_path, *object);
+    auto written = with_retry(
+        [&] { return fs_->write_file(cred, transfer.local_path, *object); });
     if (!written) {
       fail(written.error());
       return;
     }
     transfer.bytes = object->size();
   } else {
-    auto content = fs_->read_file(cred, transfer.local_path);
+    auto content = with_retry(
+        [&] { return fs_->read_file(cred, transfer.local_path); });
     if (!content) {
       fail(content.error());
       return;

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/backoff.h"
 #include "common/clock.h"
 #include "common/ids.h"
 #include "common/result.h"
@@ -40,6 +41,7 @@ struct Transfer {
   std::uint64_t bytes = 0;
   TransferState state = TransferState::queued;
   Errno error = Errno::ok;
+  unsigned attempts = 0;  ///< filesystem attempts made (1 = first try)
   common::SimTime submitted{};
   common::SimTime finished{};
 };
@@ -66,6 +68,8 @@ struct StagingStats {
   std::uint64_t transfers_done = 0;
   std::uint64_t transfers_failed = 0;
   std::uint64_t bytes_moved = 0;
+  std::uint64_t retries = 0;          ///< transient-error retries attempted
+  std::uint64_t retry_successes = 0;  ///< retries whose FS op succeeded
 };
 
 /// The DTN daemon: a FIFO of transfers drained at WAN bandwidth, each
@@ -95,13 +99,24 @@ class StagingService {
   [[nodiscard]] std::size_t queued() const { return queue_.size(); }
   [[nodiscard]] const StagingStats& stats() const { return stats_; }
 
+  /// Bounded retry with exponential backoff around the filesystem side of
+  /// a transfer, for transient faults (a flapping shared-FS mount: EIO,
+  /// EAGAIN, ETIMEDOUT). Permission/namespace errors are deterministic
+  /// and never retried. Backoff is charged to the simulated clock.
+  void set_retry(common::BackoffPolicy policy) { retry_ = policy; }
+
  private:
   void execute(Transfer& transfer);
+
+  [[nodiscard]] static bool transient(Errno e) {
+    return e == Errno::eio || e == Errno::eagain || e == Errno::etimedout;
+  }
 
   vfs::FileSystem* fs_;
   ExternalStore* store_;
   common::SimClock* clock_;
   double wan_bytes_per_ns_;
+  common::BackoffPolicy retry_ = common::BackoffPolicy::none();
   std::deque<TransferId> queue_;
   std::map<TransferId, Transfer> transfers_;
   std::map<TransferId, simos::Credentials> creds_;

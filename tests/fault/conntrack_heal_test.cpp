@@ -1,0 +1,123 @@
+// Conntrack across a partition heal: the established-flow fast path must
+// not keep admitting a flow whose listener identity changed while the
+// hosts were partitioned. The paper's zero-overhead claim rests on
+// conntrack bypassing the firewall hook — this test pins down the
+// fail-safe that keeps that bypass from becoming a leak.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "net/ubf.h"
+
+namespace heus::fault {
+namespace {
+
+using net::FlowEnd;
+using net::Network;
+using net::Proto;
+using net::Ubf;
+using simos::Credentials;
+
+// A level-triggered partition between every host pair, toggled by the
+// test. No randomness: the partition is either up or down.
+class PartitionFabric final : public net::FaultModel {
+ public:
+  bool ident_down(HostId) const override { return false; }
+  std::int64_t ident_extra_ns(HostId) const override { return 0; }
+  bool partitioned(HostId, HostId) const override { return active; }
+  bool drop_packet(HostId, HostId) override { return false; }
+
+  bool active = false;
+};
+
+class ConntrackHealTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alice = *db.create_user("alice");
+    bob = *db.create_user("bob");
+    a = *simos::login(db, alice);
+    b = *simos::login(db, bob);
+    h1 = nw.add_host("node-1");
+    h2 = nw.add_host("node-2");
+    nw.set_fault_model(&fabric);
+    ubf = std::make_unique<Ubf>(&db, &nw);
+    ubf->attach();
+    ASSERT_TRUE(nw.listen(h1, a, Pid{10}, Proto::tcp, 5000).ok());
+    auto flow = nw.connect(h2, a, Pid{20}, h1, Proto::tcp, 5000);
+    ASSERT_TRUE(flow.ok());
+    id = *flow;
+  }
+
+  void TearDown() override { nw.set_fault_model(nullptr); }
+
+  common::SimClock clock;
+  simos::UserDb db;
+  Uid alice, bob;
+  Credentials a, b;
+  Network nw{&clock};
+  HostId h1, h2;
+  PartitionFabric fabric;
+  std::unique_ptr<Ubf> ubf;
+  FlowId id{};
+};
+
+TEST_F(ConntrackHealTest, IdentityChangeAcrossHealResetsTheFlow) {
+  // The healthy fast path works and never consults the hook.
+  const auto hooks_before = nw.stats().hook_invocations;
+  ASSERT_TRUE(nw.send(id, FlowEnd::client, "pre-partition").ok());
+  EXPECT_EQ(nw.stats().hook_invocations, hooks_before);
+
+  // Partition: established traffic times out but the flow survives.
+  fabric.active = true;
+  EXPECT_EQ(nw.send(id, FlowEnd::client, "lost").error(), Errno::etimedout);
+  EXPECT_EQ(nw.stats().packets_dropped, 1u);
+  ASSERT_NE(nw.find_flow(id), nullptr);
+
+  // While partitioned, alice's server dies and bob grabs the port.
+  ASSERT_TRUE(nw.close_listener(h1, Proto::tcp, 5000).ok());
+  ASSERT_TRUE(nw.listen(h1, b, Pid{11}, Proto::tcp, 5000).ok());
+
+  // Heal. The conntrack entry is stale: the uid that was admitted at
+  // connect() time no longer owns the port. The fast path must reset
+  // the flow instead of delivering alice's bytes into bob's process.
+  fabric.active = false;
+  EXPECT_EQ(nw.send(id, FlowEnd::client, "post-heal").error(),
+            Errno::econnreset);
+  EXPECT_EQ(nw.stats().flows_reset_identity_changed, 1u);
+  EXPECT_EQ(nw.find_flow(id), nullptr);  // conntrack entry is gone
+
+  // A reconnect traverses the hook afresh — and the UBF denies alice
+  // access to bob's listener, so the stale admission cannot be re-won.
+  const auto denied_before = ubf->stats().denied;
+  EXPECT_EQ(nw.connect(h2, a, Pid{21}, h1, Proto::tcp, 5000).error(),
+            Errno::econnrefused);
+  EXPECT_EQ(ubf->stats().denied, denied_before + 1);
+}
+
+TEST_F(ConntrackHealTest, SameIdentityRestartKeepsTheFastPath) {
+  // Positive control: the listener bounces during the partition but
+  // comes back under the *same* uid — the fast path stays valid and no
+  // flow is reset on heal.
+  fabric.active = true;
+  ASSERT_TRUE(nw.close_listener(h1, Proto::tcp, 5000).ok());
+  ASSERT_TRUE(nw.listen(h1, a, Pid{12}, Proto::tcp, 5000).ok());
+  fabric.active = false;
+
+  EXPECT_TRUE(nw.send(id, FlowEnd::client, "post-heal").ok());
+  EXPECT_EQ(nw.stats().flows_reset_identity_changed, 0u);
+}
+
+TEST_F(ConntrackHealTest, ListenerGoneEntirelyIsNotAnIdentityChange) {
+  // If nobody rebound the port, there is no impostor to protect against;
+  // the flow keeps working against the (simulated) surviving server
+  // process. Real TCP behaves the same: an established socket outlives
+  // its listener.
+  fabric.active = true;
+  ASSERT_TRUE(nw.close_listener(h1, Proto::tcp, 5000).ok());
+  fabric.active = false;
+
+  EXPECT_TRUE(nw.send(id, FlowEnd::client, "post-heal").ok());
+  EXPECT_EQ(nw.stats().flows_reset_identity_changed, 0u);
+}
+
+}  // namespace
+}  // namespace heus::fault

@@ -1,0 +1,404 @@
+// Degraded-mode semantics per subsystem: every fault costs availability
+// (retries, drains, maintenance holds, typed errors) and never isolation.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "net/ubf.h"
+#include "xfer/staging.h"
+
+namespace heus::fault {
+namespace {
+
+using common::BackoffPolicy;
+using common::kMillisecond;
+using common::kSecond;
+using simos::Credentials;
+
+// A hand-cranked fault model: the ident responder is down for the first
+// `ident_failures_left` queries, links drop the first `drops_left`
+// packets / refuse the first `partitions_left` connects.
+struct FlakyFabric final : net::FaultModel {
+  mutable int ident_failures_left = 0;
+  mutable int partitions_left = 0;
+  int drops_left = 0;
+
+  bool ident_down(HostId) const override {
+    if (ident_failures_left <= 0) return false;
+    --ident_failures_left;
+    return true;
+  }
+  std::int64_t ident_extra_ns(HostId) const override { return 0; }
+  bool partitioned(HostId, HostId) const override {
+    if (partitions_left <= 0) return false;
+    --partitions_left;
+    return true;
+  }
+  bool drop_packet(HostId, HostId) override {
+    if (drops_left <= 0) return false;
+    --drops_left;
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// UBF: timeout + bounded retry + exponential backoff, fail-closed.
+// ---------------------------------------------------------------------------
+
+class UbfDegradedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alice = *db.create_user("alice");
+    bob = *db.create_user("bob");
+    a = *simos::login(db, alice);
+    b = *simos::login(db, bob);
+    h1 = nw.add_host("node-1");
+    h2 = nw.add_host("node-2");
+    nw.set_fault_model(&fabric);
+    ubf = std::make_unique<net::Ubf>(&db, &nw);
+    ubf->set_clock(&clock);
+    ubf->attach();
+    ASSERT_TRUE(nw.listen(h1, a, Pid{10}, net::Proto::tcp, 5000).ok());
+  }
+
+  common::SimClock clock;
+  simos::UserDb db;
+  Uid alice, bob;
+  Credentials a, b;
+  net::Network nw{&clock};
+  FlakyFabric fabric;
+  HostId h1, h2;
+  std::unique_ptr<net::Ubf> ubf;
+};
+
+TEST_F(UbfDegradedTest, RetryRecoversFromTransientIdentOutage) {
+  ubf->set_degraded_mode(net::UbfDegradedMode::retry_then_fail_closed,
+                         BackoffPolicy{});
+  fabric.ident_failures_left = 2;  // first query times out twice
+  const common::SimTime before = clock.now();
+  auto flow = nw.connect(h2, a, Pid{20}, h1, net::Proto::tcp, 5000);
+  ASSERT_TRUE(flow.ok());
+  EXPECT_EQ(ubf->stats().allowed_same_user, 1u);
+  EXPECT_EQ(ubf->stats().ident_retries, 2u);
+  EXPECT_EQ(ubf->stats().ident_retry_successes, 1u);
+  EXPECT_EQ(ubf->stats().ident_failures, 0u);
+  // Backoff waits (1ms + 2ms) and the timeout charges hit the sim clock.
+  EXPECT_GE(clock.now().ns - before.ns, 3 * kMillisecond);
+}
+
+TEST_F(UbfDegradedTest, RetryExhaustionFailsClosedWithTimeoutCause) {
+  ubf->set_degraded_mode(net::UbfDegradedMode::retry_then_fail_closed,
+                         BackoffPolicy{});
+  fabric.ident_failures_left = 1000;  // hard outage
+  auto flow = nw.connect(h2, a, Pid{20}, h1, net::Proto::tcp, 5000);
+  EXPECT_EQ(flow.error(), Errno::econnrefused);
+  EXPECT_EQ(ubf->stats().ident_failures, 1u);
+  EXPECT_EQ(ubf->stats().ident_timeout_drops, 1u);
+  EXPECT_EQ(ubf->stats().ident_unattributed_drops, 0u);
+  // Both ends are queried and both exhaust their retry budgets.
+  EXPECT_EQ(ubf->stats().ident_retries, 2 * BackoffPolicy{}.max_retries);
+}
+
+TEST_F(UbfDegradedTest, FailClosedModeDropsWithoutRetry) {
+  ubf->set_degraded_mode(net::UbfDegradedMode::fail_closed);
+  fabric.ident_failures_left = 1;
+  auto flow = nw.connect(h2, a, Pid{20}, h1, net::Proto::tcp, 5000);
+  EXPECT_EQ(flow.error(), Errno::econnrefused);
+  EXPECT_EQ(ubf->stats().ident_retries, 0u);
+  EXPECT_EQ(ubf->stats().ident_timeout_drops, 1u);
+}
+
+TEST_F(UbfDegradedTest, FailOpenTradesIsolationForAvailability) {
+  // The strawman: under an ident outage even a CROSS-USER connection is
+  // admitted. This is exactly the channel the invariant sweep proves the
+  // default policies never open; it exists to be measured (E18).
+  ubf->set_degraded_mode(net::UbfDegradedMode::fail_open);
+  fabric.ident_failures_left = 1000;
+  auto flow = nw.connect(h2, b, Pid{20}, h1, net::Proto::tcp, 5000);
+  EXPECT_TRUE(flow.ok());
+  EXPECT_EQ(ubf->stats().fail_open_allows, 1u);
+  EXPECT_EQ(ubf->stats().denied, 0u);
+}
+
+TEST_F(UbfDegradedTest, HealthyPathUnchangedUnderDegradedConfig) {
+  ubf->set_degraded_mode(net::UbfDegradedMode::retry_then_fail_closed,
+                         BackoffPolicy{});
+  // No faults: same-user allowed, cross-user denied, zero retries.
+  EXPECT_TRUE(nw.connect(h2, a, Pid{20}, h1, net::Proto::tcp, 5000).ok());
+  EXPECT_EQ(nw.connect(h2, b, Pid{21}, h1, net::Proto::tcp, 5000).error(),
+            Errno::econnrefused);
+  EXPECT_EQ(ubf->stats().ident_retries, 0u);
+  EXPECT_EQ(ubf->stats().denied, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler: prolog drain, epilog maintenance, residue isolation.
+// ---------------------------------------------------------------------------
+
+class ClusterFaultTest : public ::testing::Test {
+ protected:
+  core::ClusterConfig config() {
+    core::ClusterConfig cfg;
+    cfg.compute_nodes = 2;
+    cfg.login_nodes = 1;
+    cfg.cpus_per_node = 8;
+    cfg.gpus_per_node = 1;
+    cfg.gpu_mem_bytes = 4096;
+    cfg.policy = core::SeparationPolicy::hardened();
+    return cfg;
+  }
+
+  sched::JobSpec gpu_job(std::int64_t duration = 5 * kSecond) {
+    sched::JobSpec spec;
+    spec.num_tasks = 1;
+    spec.cpus_per_task = 1;
+    spec.mem_mb_per_task = 512;
+    spec.gpus_per_task = 1;
+    spec.duration_ns = duration;
+    return spec;
+  }
+};
+
+TEST_F(ClusterFaultTest, PrologFailureDrainsNodeAndJobLandsElsewhere) {
+  core::Cluster c(config());
+  const Uid alice = *c.add_user("alice");
+  bool node0_sick = true;
+  core::FaultHooks hooks;
+  hooks.prolog_fails = [&](NodeId n) {
+    return node0_sick && n == NodeId{0};
+  };
+  c.set_fault_hooks(std::move(hooks));
+
+  auto session = c.login(alice);
+  ASSERT_TRUE(session.ok());
+  auto job = c.submit(*session, gpu_job());
+  ASSERT_TRUE(job.ok());
+  c.scheduler().step();  // first-fit tries node 0; prolog fails
+  EXPECT_TRUE(c.scheduler().node_is_drained(NodeId{0}));
+  EXPECT_EQ(c.scheduler().failure_stats().prolog_failures, 1u);
+  EXPECT_EQ(c.scheduler().failure_stats().nodes_drained, 1u);
+  EXPECT_EQ(c.scheduler().find_job(*job)->state, sched::JobState::pending);
+
+  c.scheduler().step();  // node 0 is drained: lands on node 1 instead
+  const sched::Job* j = c.scheduler().find_job(*job);
+  ASSERT_EQ(j->state, sched::JobState::running);
+  EXPECT_EQ(j->allocations.front().node, NodeId{1});
+
+  // The drain expires on its own once the window passes.
+  node0_sick = false;
+  c.clock().advance(c.scheduler().config().prolog_drain_ns + kSecond);
+  c.scheduler().step();
+  EXPECT_FALSE(c.scheduler().node_is_drained(NodeId{0}));
+}
+
+TEST_F(ClusterFaultTest, FailedScrubHoldsNodeUntilRetrySucceeds) {
+  core::Cluster c(config());
+  const Uid alice = *c.add_user("alice");
+  const Uid bob = *c.add_user("bob");
+  bool scrub_broken = true;
+  core::FaultHooks hooks;
+  hooks.scrub_fails = [&](NodeId, GpuId) { return scrub_broken; };
+  c.set_fault_hooks(std::move(hooks));
+
+  auto as = c.login(alice);
+  ASSERT_TRUE(as.ok());
+  auto aj = c.submit(*as, gpu_job());
+  ASSERT_TRUE(aj.ok());
+  c.scheduler().step();
+  const sched::Job* running = c.scheduler().find_job(*aj);
+  ASSERT_EQ(running->state, sched::JobState::running);
+  const NodeId n = running->allocations.front().node;
+  gpu::GpuDevice& dev = c.node(n).gpus().at(0);
+  ASSERT_TRUE(dev.write(alice, 0, "ALICE-GPU-SECRET").ok());
+
+  // Job ends; the scrub fails in the epilog: maintenance hold, device
+  // still dirty and still bound to alice's group.
+  c.clock().advance(6 * kSecond);
+  c.scheduler().step();
+  EXPECT_TRUE(c.scheduler().node_in_maintenance(n));
+  EXPECT_GE(dev.stats().failed_scrubs, 1u);
+  EXPECT_TRUE(dev.dirty());
+  EXPECT_EQ(c.scheduler().failure_stats().epilog_failures, 1u);
+
+  // bob's job cannot land on the held node (it's the only GPU node left
+  // free, so the job stays pending): residue never meets the next tenant.
+  auto bs = c.login(bob);
+  ASSERT_TRUE(bs.ok());
+  sched::JobSpec wide = gpu_job();
+  wide.num_tasks = 2;  // needs both nodes' GPUs: blocked by the hold
+  auto bj = c.submit(*bs, wide);
+  ASSERT_TRUE(bj.ok());
+  c.scheduler().step();
+  EXPECT_EQ(c.scheduler().find_job(*bj)->state, sched::JobState::pending);
+
+  // Scrub tool fixed: the retry cleans the device and releases the node.
+  scrub_broken = false;
+  c.clock().advance(c.scheduler().config().epilog_retry_ns + kSecond);
+  c.scheduler().step();
+  EXPECT_FALSE(c.scheduler().node_in_maintenance(n));
+  EXPECT_FALSE(dev.dirty());
+  EXPECT_GE(c.scheduler().failure_stats().epilog_retries, 1u);
+  EXPECT_EQ(c.scheduler().failure_stats().maintenance_recovered, 1u);
+
+  c.scheduler().step();
+  EXPECT_EQ(c.scheduler().find_job(*bj)->state, sched::JobState::running);
+}
+
+TEST_F(ClusterFaultTest, CrashWipesGpuStateBeforeRevival) {
+  // Satellite regression: a crash skips the epilog entirely (a dead node
+  // cannot run scripts), so the next tenant's isolation rests on the
+  // node-crash hook wiping GPU state. Verify the wipe, then verify the
+  // next tenant reads zero residue pages.
+  core::Cluster c(config());
+  const Uid alice = *c.add_user("alice");
+  const Uid bob = *c.add_user("bob");
+
+  auto as = c.login(alice);
+  ASSERT_TRUE(as.ok());
+  auto aj = c.submit(*as, gpu_job(3600 * kSecond));
+  ASSERT_TRUE(aj.ok());
+  c.scheduler().step();
+  ASSERT_EQ(c.scheduler().find_job(*aj)->state, sched::JobState::running);
+  const NodeId n = c.scheduler().find_job(*aj)->allocations.front().node;
+  gpu::GpuDevice& dev = c.node(n).gpus().at(0);
+  ASSERT_TRUE(dev.write(alice, 0, "ALICE-CRASH-SECRET").ok());
+  ASSERT_TRUE(dev.dirty());
+
+  const std::uint64_t epilog_failures_before =
+      c.scheduler().failure_stats().epilog_failures;
+  ASSERT_TRUE(c.scheduler().crash_node(n).ok());
+  // Epilog skipped (no failure recorded), crash hook wiped the device.
+  EXPECT_EQ(c.scheduler().failure_stats().epilog_failures,
+            epilog_failures_before);
+  EXPECT_FALSE(dev.dirty());
+  EXPECT_FALSE(dev.assigned_to().has_value());
+
+  // Node reboots; bob is the next tenant on the same GPU.
+  c.clock().advance(c.scheduler().config().node_reboot_ns + kSecond);
+  c.scheduler().step();
+  auto bs = c.login(bob);
+  ASSERT_TRUE(bs.ok());
+  sched::JobSpec bspec = gpu_job(3600 * kSecond);
+  bspec.num_tasks = 2;  // take every GPU so `n` is definitely included
+  auto bj = c.submit(*bs, bspec);
+  ASSERT_TRUE(bj.ok());
+  c.scheduler().step();
+  ASSERT_EQ(c.scheduler().find_job(*bj)->state, sched::JobState::running);
+  auto page = dev.read(bob, 0, 32);
+  ASSERT_TRUE(page.ok());
+  for (char byte : *page) EXPECT_EQ(byte, '\0');
+  EXPECT_EQ(page->find("ALICE-CRASH-SECRET"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Portal and xfer: outages surface typed errors; retries ride out flaps.
+// ---------------------------------------------------------------------------
+
+TEST_F(ClusterFaultTest, PortalOutageIsTypedAndRetryRidesOutPartition) {
+  core::Cluster c(config());
+  const Uid alice = *c.add_user("alice");
+  auto as = c.login(alice);
+  ASSERT_TRUE(as.ok());
+  auto job = c.submit(*as, gpu_job(3600 * kSecond));
+  ASSERT_TRUE(job.ok());
+  c.scheduler().step();
+  const sched::Job* j = c.scheduler().find_job(*job);
+  ASSERT_EQ(j->state, sched::JobState::running);
+  const HostId app_host = c.node(j->allocations.front().node).host();
+  auto app = c.portal().register_app(
+      as->cred, Pid{}, *job, app_host, 8888, "jupyter",
+      [](const std::string&) { return std::string("OK"); });
+  ASSERT_TRUE(app.ok());
+  auto token = c.portal().login(as->cred);
+  ASSERT_TRUE(token.ok());
+
+  // Backend outage: typed EHOSTUNREACH before any fabric traffic.
+  bool portal_down = true;
+  c.portal().set_outage_probe([&] { return portal_down; });
+  EXPECT_EQ(c.portal().request(*token, *app, "GET /").error(),
+            Errno::ehostunreach);
+  EXPECT_EQ(c.portal().stats().denied_backend_down, 1u);
+  portal_down = false;
+
+  // Transient partition on the forwarded hop: bounded retry + backoff
+  // goes through; the user sees latency, not an error.
+  FlakyFabric fabric;
+  fabric.partitions_left = 2;
+  c.network().set_fault_model(&fabric);
+  c.portal().set_retry(BackoffPolicy{}, &c.clock());
+  auto resp = c.portal().request(*token, *app, "GET /");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(*resp, "OK");
+  EXPECT_EQ(c.portal().stats().retries, 2u);
+  EXPECT_EQ(c.portal().stats().retry_successes, 1u);
+  c.network().set_fault_model(nullptr);
+
+  // A UBF policy denial is NOT retried (deterministic, not transient).
+  const Uid bob = *c.add_user("bob");
+  auto bt = c.portal().login(*simos::login(c.users(), bob));
+  ASSERT_TRUE(bt.ok());
+  const std::uint64_t retries_before = c.portal().stats().retries;
+  EXPECT_EQ(c.portal().request(*bt, *app, "GET /").error(),
+            Errno::econnrefused);
+  EXPECT_EQ(c.portal().stats().retries, retries_before);
+}
+
+TEST(XferFaultTest, StagingRetriesTransientFsOutage) {
+  common::SimClock clock;
+  simos::UserDb db;
+  const Uid alice = *db.create_user("alice");
+  const Credentials a = *simos::login(db, alice);
+  const Credentials root = simos::root_credentials();
+  vfs::FileSystem fs("lustre:shared", &db, &clock);
+  ASSERT_TRUE(fs.mkdir(root, "/home", 0755).ok());
+  ASSERT_TRUE(fs.mkdir(root, "/home/alice", 0700).ok());
+  ASSERT_TRUE(fs.chown(root, "/home/alice", alice).ok());
+
+  int outages_left = 1;
+  fs.set_outage_probe([&] {
+    if (outages_left <= 0) return false;
+    --outages_left;
+    return true;
+  });
+
+  xfer::ExternalStore store;
+  store.put("campus:/data.bin", "payload-bytes");
+  xfer::StagingService dtn(&fs, &store, &clock);
+  dtn.set_retry(BackoffPolicy{});
+  auto id = dtn.submit(a, xfer::Direction::stage_in, "campus:/data.bin",
+                       "/home/alice/data.bin");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(dtn.process_all(), 1u);
+  const xfer::Transfer* t = dtn.find(*id);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->state, xfer::TransferState::done);
+  EXPECT_EQ(t->attempts, 2u);  // one EIO, one success
+  EXPECT_EQ(dtn.stats().retries, 1u);
+  EXPECT_EQ(dtn.stats().retry_successes, 1u);
+  EXPECT_EQ(*fs.read_file(a, "/home/alice/data.bin"), "payload-bytes");
+}
+
+TEST(XferFaultTest, HardOutageSurfacesTypedErrorAfterBoundedRetries) {
+  common::SimClock clock;
+  simos::UserDb db;
+  const Uid alice = *db.create_user("alice");
+  const Credentials a = *simos::login(db, alice);
+  vfs::FileSystem fs("lustre:shared", &db, &clock);
+  fs.set_outage_probe([] { return true; });  // mount stays hung
+
+  xfer::ExternalStore store;
+  store.put("campus:/data.bin", "payload");
+  xfer::StagingService dtn(&fs, &store, &clock);
+  dtn.set_retry(BackoffPolicy{});
+  auto id = dtn.submit(a, xfer::Direction::stage_in, "campus:/data.bin",
+                       "/home/alice/data.bin");
+  ASSERT_TRUE(id.ok());
+  dtn.process_all();
+  const xfer::Transfer* t = dtn.find(*id);
+  EXPECT_EQ(t->state, xfer::TransferState::failed);
+  EXPECT_EQ(t->error, Errno::eio);
+  EXPECT_EQ(t->attempts, 1u + BackoffPolicy{}.max_retries);
+  EXPECT_EQ(dtn.stats().retry_successes, 0u);
+}
+
+}  // namespace
+}  // namespace heus::fault

@@ -1,0 +1,154 @@
+// The fail-safe separation invariant (this PR's crown property): no
+// fault schedule may ever open a channel that the healthy policy had
+// closed. Faults are allowed to cost availability — probes time out,
+// jobs drain, flows drop — but the set of open channels under faults
+// must be a subset of the healthy open set, for baseline and hardened
+// alike, across many seeded random schedules.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/audit.h"
+#include "core/cluster.h"
+#include "fault/fault.h"
+#include "fault/injector.h"
+
+namespace heus::fault {
+namespace {
+
+using common::kSecond;
+using core::ChannelKind;
+using core::ChannelReport;
+using core::Cluster;
+using core::ClusterConfig;
+using core::LeakageAuditor;
+using core::SeparationPolicy;
+
+ClusterConfig sweep_config(SeparationPolicy policy) {
+  ClusterConfig cfg;
+  cfg.compute_nodes = 2;
+  cfg.login_nodes = 1;
+  cfg.cpus_per_node = 8;
+  cfg.gpus_per_node = 1;
+  cfg.gpu_mem_bytes = 4096;
+  cfg.policy = policy;
+  return cfg;
+}
+
+std::set<ChannelKind> open_set(const std::vector<ChannelReport>& reports) {
+  std::set<ChannelKind> open;
+  for (const ChannelReport& r : reports) {
+    if (r.open) open.insert(r.kind);
+  }
+  return open;
+}
+
+/// Audit under one seeded fault schedule at several points inside the
+/// fault horizon, asserting the subset invariant at each point.
+void sweep_one(SeparationPolicy policy, const char* policy_name,
+               const std::set<ChannelKind>& healthy, std::uint64_t seed) {
+  Cluster c(sweep_config(policy));
+  const Uid victim = *c.add_user("victim");
+  const Uid observer = *c.add_user("observer");
+
+  FaultPlanOptions opts;
+  opts.events = 10;
+  const FaultPlan plan = FaultPlan::random(
+      seed, opts, c.network().host_count(), c.node_count());
+  FaultInjector inj(&c, plan, seed ^ 0x9e3779b97f4a7c15ull);
+  inj.arm();
+
+  LeakageAuditor auditor(&c);
+  // Probe mid-horizon (most fault windows active) and near the end
+  // (storms fired, some windows expired, degraded machinery churning).
+  for (const double frac : {0.4, 0.9}) {
+    const auto target = common::SimTime{
+        static_cast<std::int64_t>(frac * opts.horizon_ns)};
+    c.clock().advance_to(target);
+    inj.pump();             // deliver any due crash storms
+    c.scheduler().step();   // let drains/retries/requeues churn
+    const auto reports = auditor.audit_pair(victim, observer);
+    for (const ChannelKind kind : open_set(reports)) {
+      EXPECT_TRUE(healthy.contains(kind))
+          << policy_name << " seed " << seed << " frac " << frac
+          << ": faults opened a channel the healthy policy had closed: "
+          << core::to_string(kind);
+    }
+  }
+}
+
+class FaultInvariantTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+// 32 seeds per parametrised instance x 2 policies x 2 instances = 128
+// schedules total, 64 per policy — each audited at two horizon points.
+TEST_P(FaultInvariantTest, OpenSetUnderFaultsIsSubsetOfHealthy) {
+  const std::uint64_t base = GetParam();
+  const struct {
+    SeparationPolicy policy;
+    const char* name;
+  } policies[] = {{SeparationPolicy::baseline(), "baseline"},
+                  {SeparationPolicy::hardened(), "hardened"}};
+
+  for (const auto& [policy, name] : policies) {
+    // The healthy reference census for this policy, no injector armed.
+    Cluster healthy_cluster(sweep_config(policy));
+    const Uid v = *healthy_cluster.add_user("victim");
+    const Uid o = *healthy_cluster.add_user("observer");
+    LeakageAuditor healthy_auditor(&healthy_cluster);
+    const std::set<ChannelKind> healthy =
+        open_set(healthy_auditor.audit_pair(v, o));
+    // Sanity: hardened closes everything but documented residuals, so a
+    // faults-can-only-close invariant is non-vacuous for both policies.
+    if (std::string(name) == "hardened") {
+      ASSERT_LT(healthy.size(), core::kAllChannels.size());
+    } else {
+      ASSERT_GT(healthy.size(), 10u);
+    }
+
+    for (std::uint64_t i = 0; i < 32; ++i) {
+      sweep_one(policy, name, healthy, base + i);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultInvariantTest,
+                         ::testing::Values(1000u, 2000u));
+
+// Counterexample: fail_open is exactly the configuration the invariant
+// exists to forbid. With it enabled, a schedule with an ident outage
+// CAN open a cross-user TCP channel the hardened policy had closed —
+// which is why retry_then_fail_closed is the default and the sweep
+// above never configures fail_open.
+TEST(FaultInvariantCounterexample, FailOpenBreaksTheInvariant) {
+  Cluster c(sweep_config(SeparationPolicy::hardened()));
+  c.set_ubf_degraded(net::UbfDegradedMode::fail_open);
+  const Uid victim = *c.add_user("victim");
+  const Uid observer = *c.add_user("observer");
+
+  FaultPlan plan;
+  FaultEvent outage;
+  outage.kind = FaultKind::ident_outage;
+  outage.start = common::SimTime{0};
+  outage.duration_ns = 600 * kSecond;
+  for (std::size_t h = 0; h < c.network().host_count(); ++h) {
+    outage.hosts.push_back(HostId{static_cast<std::uint32_t>(h)});
+  }
+  plan.add(outage);
+  FaultInjector inj(&c, plan, /*seed=*/42);
+  inj.arm();
+
+  LeakageAuditor auditor(&c);
+  const auto reports = auditor.audit_pair(victim, observer);
+  // With the responder down everywhere and fail_open configured, the
+  // UBF admits what it cannot attribute: the hardened-closed cross-user
+  // TCP channel opens. This is why retry_then_fail_closed is the
+  // default and fail_open is never part of the shipped policy.
+  const auto open = open_set(reports);
+  EXPECT_TRUE(open.contains(ChannelKind::tcp_cross_user));
+  EXPECT_GT(c.ubf().stats().fail_open_allows, 0u);
+}
+
+}  // namespace
+}  // namespace heus::fault

@@ -1,0 +1,148 @@
+// FaultPlan determinism and FaultInjector arm/disarm mechanics.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "fault/fault.h"
+#include "fault/injector.h"
+
+namespace heus::fault {
+namespace {
+
+using common::kSecond;
+
+core::ClusterConfig small_config() {
+  core::ClusterConfig cfg;
+  cfg.compute_nodes = 2;
+  cfg.login_nodes = 1;
+  cfg.cpus_per_node = 8;
+  cfg.gpus_per_node = 1;
+  cfg.gpu_mem_bytes = 4096;
+  cfg.policy = core::SeparationPolicy::hardened();
+  return cfg;
+}
+
+TEST(FaultPlan, RandomIsDeterministicInSeed) {
+  const FaultPlanOptions opts;
+  const FaultPlan a = FaultPlan::random(7, opts, 8, 6);
+  const FaultPlan b = FaultPlan::random(7, opts, 8, 6);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), opts.events);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].start, b.events()[i].start);
+    EXPECT_EQ(a.events()[i].duration_ns, b.events()[i].duration_ns);
+    EXPECT_EQ(a.events()[i].hosts, b.events()[i].hosts);
+    EXPECT_EQ(a.events()[i].nodes, b.events()[i].nodes);
+    EXPECT_EQ(a.events()[i].probability, b.events()[i].probability);
+  }
+  EXPECT_EQ(a.to_string(), b.to_string());
+  // A different seed draws a different schedule.
+  EXPECT_NE(a.to_string(), FaultPlan::random(8, opts, 8, 6).to_string());
+}
+
+TEST(FaultPlan, KindGatesRestrictTheDraw) {
+  FaultPlanOptions opts;
+  opts.include_ident = false;
+  opts.include_network = false;
+  opts.include_hooks = false;
+  opts.include_portal = false;
+  opts.include_crashes = false;
+  const FaultPlan plan = FaultPlan::random(3, opts, 4, 4);
+  for (const FaultEvent& e : plan.events()) {
+    EXPECT_EQ(e.kind, FaultKind::fs_outage);
+  }
+}
+
+TEST(FaultPlan, WindowIsHalfOpen) {
+  FaultEvent e;
+  e.start = common::SimTime{100};
+  e.duration_ns = 50;
+  EXPECT_FALSE(e.active_at(common::SimTime{99}));
+  EXPECT_TRUE(e.active_at(common::SimTime{100}));
+  EXPECT_TRUE(e.active_at(common::SimTime{149}));
+  EXPECT_FALSE(e.active_at(common::SimTime{150}));
+}
+
+TEST(FaultInjector, ArmInstallsAndDisarmRestoresHealth) {
+  core::Cluster c(small_config());
+  FaultPlan plan;
+  FaultEvent fs;
+  fs.kind = FaultKind::fs_outage;
+  fs.start = common::SimTime{0};
+  fs.duration_ns = 10 * kSecond;
+  plan.add(fs);
+
+  FaultInjector inj(&c, plan, /*seed=*/1);
+  EXPECT_FALSE(inj.armed());
+  EXPECT_EQ(c.network().fault_model(), nullptr);
+  EXPECT_FALSE(c.shared_fs().unavailable());
+
+  inj.arm();
+  EXPECT_TRUE(inj.armed());
+  EXPECT_EQ(c.network().fault_model(), &inj);
+  EXPECT_TRUE(c.shared_fs().unavailable());  // fs outage active at t=0
+  EXPECT_TRUE(static_cast<bool>(c.fault_hooks().prolog_fails));
+
+  // Past the window the same probes report healthy without disarming.
+  c.clock().advance(11 * kSecond);
+  EXPECT_FALSE(c.shared_fs().unavailable());
+
+  inj.disarm();
+  EXPECT_FALSE(inj.armed());
+  EXPECT_EQ(c.network().fault_model(), nullptr);
+  EXPECT_FALSE(static_cast<bool>(c.fault_hooks().prolog_fails));
+  EXPECT_FALSE(c.shared_fs().unavailable());
+}
+
+TEST(FaultInjector, CrashStormFiresExactlyOnce) {
+  core::Cluster c(small_config());
+  FaultPlan plan;
+  FaultEvent storm;
+  storm.kind = FaultKind::node_crash_storm;
+  storm.start = common::SimTime{5 * kSecond};
+  storm.duration_ns = kSecond;
+  storm.nodes = {NodeId{0}, NodeId{1}};
+  plan.add(storm);
+
+  FaultInjector inj(&c, plan, /*seed=*/1);
+  inj.arm();
+  EXPECT_EQ(inj.pump(), 0u);  // window not open yet
+  c.clock().advance(5 * kSecond);
+  EXPECT_EQ(inj.pump(), 1u);
+  EXPECT_TRUE(c.scheduler().node_is_down(NodeId{0}));
+  EXPECT_TRUE(c.scheduler().node_is_down(NodeId{1}));
+  EXPECT_EQ(inj.pump(), 0u);  // a crash is an edge, not a level
+}
+
+TEST(FaultInjector, PartitionAndIdentPredicates) {
+  core::Cluster c(small_config());
+  FaultPlan plan;
+  FaultEvent part;
+  part.kind = FaultKind::network_partition;
+  part.start = common::SimTime{0};
+  part.duration_ns = 10 * kSecond;
+  part.hosts = {HostId{0}};
+  part.hosts_b = {HostId{1}};
+  plan.add(part);
+  FaultEvent ident;
+  ident.kind = FaultKind::ident_latency;
+  ident.start = common::SimTime{0};
+  ident.duration_ns = 10 * kSecond;
+  ident.hosts = {HostId{2}};
+  ident.extra_ns = 777;
+  plan.add(ident);
+
+  FaultInjector inj(&c, plan, /*seed=*/1);
+  EXPECT_TRUE(inj.partitioned(HostId{0}, HostId{1}));
+  EXPECT_TRUE(inj.partitioned(HostId{1}, HostId{0}));  // symmetric
+  EXPECT_FALSE(inj.partitioned(HostId{0}, HostId{2}));
+  EXPECT_EQ(inj.ident_extra_ns(HostId{2}), 777);
+  EXPECT_EQ(inj.ident_extra_ns(HostId{0}), 0);
+  EXPECT_FALSE(inj.ident_down(HostId{2}));  // latency is not an outage
+  c.clock().advance(10 * kSecond);
+  EXPECT_FALSE(inj.partitioned(HostId{0}, HostId{1}));
+  EXPECT_EQ(inj.ident_extra_ns(HostId{2}), 0);
+}
+
+}  // namespace
+}  // namespace heus::fault

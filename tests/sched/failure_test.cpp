@@ -164,16 +164,55 @@ TEST_F(FailureTest, CrashHookFires) {
   EXPECT_EQ(crashed[0], NodeId{0});
 }
 
-TEST_F(FailureTest, EpilogRunsForFailedJobs) {
+TEST_F(FailureTest, EpilogSkippedOnCrashCleanupIsCrashHooks) {
+  // A dead node cannot run its epilog script: crash cleanup is the node
+  // crash hook's job (power-loss wipe), not the epilog's. Both victims'
+  // epilogs are skipped; the hook fires once for the node.
   auto s = make(SharingPolicy::shared, /*nodes=*/1);
   int epilogs = 0;
-  s->set_epilog([&](const JobNodeContext&) { ++epilogs; });
+  int crash_wipes = 0;
+  s->set_epilog([&](const JobNodeContext&) {
+    ++epilogs;
+    return ok_result();
+  });
+  s->set_node_crash_hook([&](NodeId) { ++crash_wipes; });
   auto j1 = s->submit(a, job());
   auto j2 = s->submit(b, job());
   s->step();
   ASSERT_TRUE(j2.ok());
   ASSERT_TRUE(s->inject_oom(*j1).ok());
-  EXPECT_EQ(epilogs, 2);  // cleanup still happens for both
+  EXPECT_EQ(epilogs, 0);
+  EXPECT_EQ(crash_wipes, 1);
+  EXPECT_EQ(s->find_job(*j1)->state, JobState::failed);
+  EXPECT_EQ(s->find_job(*j2)->state, JobState::failed);
+}
+
+TEST_F(FailureTest, RequeueCapFailsJobForGood) {
+  // A --requeue job whose node keeps dying is requeued at most
+  // default_max_requeues times, then fails for good (and is counted).
+  auto s = make(SharingPolicy::shared, /*nodes=*/2);
+  JobSpec spec = job(3600 * kSecond);
+  spec.requeue_on_failure = true;
+  auto j = s->submit(a, spec);
+  ASSERT_TRUE(j.ok());
+  s->step();
+  unsigned crashes = 0;
+  while (crashes < 10 && s->find_job(*j)->state != JobState::failed) {
+    const Job* running = s->find_job(*j);
+    ASSERT_EQ(running->state, JobState::running);
+    ASSERT_EQ(running->allocations.size(), 1u);
+    ASSERT_TRUE(s->crash_node(running->allocations[0].node).ok());
+    ++crashes;
+    // Let the reboot finish so the requeued job can land again.
+    clock.advance(s->config().node_reboot_ns + kSecond);
+    s->step();
+  }
+  EXPECT_EQ(s->find_job(*j)->state, JobState::failed);
+  // cap of 3 requeues -> 4th crash kills it for good.
+  EXPECT_EQ(crashes, s->config().default_max_requeues + 1);
+  EXPECT_EQ(s->failure_stats().jobs_requeued,
+            s->config().default_max_requeues);
+  EXPECT_EQ(s->failure_stats().requeue_capped, 1u);
 }
 
 }  // namespace

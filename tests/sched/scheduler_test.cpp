@@ -163,9 +163,11 @@ TEST_F(SchedulerTest, PrologEpilogFirePerNode) {
   std::vector<NodeId> prologs, epilogs;
   s->set_prolog([&](const JobNodeContext& ctx) {
     prologs.push_back(ctx.node);
+    return ok_result();
   });
   s->set_epilog([&](const JobNodeContext& ctx) {
     epilogs.push_back(ctx.node);
+    return ok_result();
   });
   JobSpec wide = small_job();
   wide.num_tasks = 4;  // 2 nodes

@@ -2,7 +2,9 @@
 # Determinism lint (DESIGN.md §7): simulation code must take all time from
 # common::SimClock and all randomness from the seeded common::Rng. Grep
 # src/ for the usual escape hatches; only src/common/ (which *implements*
-# the clock and RNG abstractions) may mention them.
+# the clock and RNG abstractions) may mention them. This covers every
+# module, including src/fault/ — fault schedules and injected failures
+# must be exactly as reproducible as the healthy simulation they perturb.
 #
 # Usage: tools/check_determinism.sh [repo-root]   (exit 1 on violations)
 set -u
@@ -30,6 +32,12 @@ check '(^|[^_[:alnum:]])srand\(' 'libc srand()'
 check '(^|[^_[:alnum:]])time\(' 'libc time()'
 check 'std::random_device' 'std::random_device'
 check 'system_clock' 'wall-clock time (std::chrono::system_clock)'
+check 'steady_clock' 'wall-clock time (std::chrono::steady_clock)'
+check 'high_resolution_clock' \
+  'wall-clock time (std::chrono::high_resolution_clock)'
+check '(^|[^_[:alnum:]])(sleep|usleep|nanosleep)\(' \
+  'real sleeping (faults/retries must advance SimClock instead)'
+check 'std::mt19937' 'unseeded-by-convention std::mt19937 (use common::Rng)'
 
 if [ "$status" -eq 0 ]; then
   echo "determinism lint: OK (src/ outside src/common/ is clean)"
