@@ -1,0 +1,83 @@
+// Site review: lint a deployment snapshot directory the way
+// `heus-lint --site` does, then demonstrate drift detection on a
+// seeded misconfiguration.
+//
+//   $ ./site_review [snapshot-dir]      (default: examples/site)
+//
+// Part 1 loads the checked-in example snapshot — three nodes whose
+// artifacts all match the declared hardened intent — and prints the
+// review; the gate must pass. Part 2 re-renders the same fleet in
+// memory via the canonical emitter, corrupts one node's /proc mount
+// line back to hidepid=0, and shows that drift analysis names the node,
+// the knob, and the exact artifact line responsible.
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze/ingest/drift.h"
+#include "analyze/ingest/emit.h"
+#include "analyze/ingest/parsers.h"
+#include "analyze/ingest/site.h"
+#include "analyze/ingest/site_report.h"
+
+using namespace heus;
+using namespace heus::analyze::ingest;
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "examples/site";
+
+  // 1. Review the deployed snapshot.
+  std::string error;
+  std::optional<SiteSnapshot> site = load_site(dir, &error);
+  if (!site) {
+    std::fprintf(stderr, "site_review: %s\n", error.c_str());
+    return 2;
+  }
+  const SiteReview review = review_site(std::move(*site));
+  std::fputs(to_markdown(review).c_str(), stdout);
+  if (!review.gate_ok()) {
+    std::fprintf(stderr, "site_review: expected the example snapshot to "
+                         "pass the gate\n");
+    return 1;
+  }
+
+  // 2. Seed drift in memory: same fleet, but node02's /proc mount line
+  // lost hidepid= (say, a provisioning template regression).
+  SiteSnapshot seeded;
+  seeded.root = "(in-memory)";
+  const core::SeparationPolicy intent = core::SeparationPolicy::hardened();
+  IngestedPolicy intent_ingested;
+  parse_intent_policy(emit_intent_policy(intent), "intent.policy",
+                      intent_ingested);
+  seeded.intent = std::move(intent_ingested);
+  for (const char* name : {"node01", "node02", "node03"}) {
+    std::vector<std::pair<std::string, std::string>> artifacts;
+    for (EmittedArtifact& a : emit_artifacts(intent)) {
+      if (std::string(name) == "node02" && a.filename == "proc_mounts") {
+        a.content = "proc /proc proc rw,nosuid,nodev,noexec 0 0\n";
+      }
+      artifacts.emplace_back(std::move(a.filename),
+                             std::move(a.content));
+    }
+    seeded.nodes.push_back(parse_node(name, artifacts));
+  }
+
+  const std::vector<DriftFinding> drift = analyze_drift(seeded);
+  std::printf("\n## Seeded drift (node02 /proc mount lost hidepid=2)\n\n");
+  bool caught = false;
+  for (const DriftFinding& f : drift) {
+    std::printf("- %s: node %s, knob %s: expected %s, got %s (%s)\n",
+                to_string(f.kind), f.node.c_str(), f.knob.c_str(),
+                f.expected.c_str(), f.actual.c_str(),
+                f.where.to_string().c_str());
+    caught |= f.node == "node02" && f.knob == "hidepid";
+  }
+  if (!caught) {
+    std::fprintf(stderr, "site_review: seeded drift not detected\n");
+    return 1;
+  }
+  std::printf("\nseeded drift detected and attributed; a --gate run on "
+              "this fleet would fail.\n");
+  return 0;
+}

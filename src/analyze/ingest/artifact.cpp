@@ -1,0 +1,89 @@
+#include "analyze/ingest/artifact.h"
+
+#include "analyze/policy_space.h"
+#include "common/strings.h"
+
+namespace heus::analyze::ingest {
+
+std::string Provenance::to_string() const {
+  if (defaulted()) {
+    return file.empty() ? "(default)" : file + " (default)";
+  }
+  return common::strformat("%s:%d", file.c_str(), line);
+}
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::warning: return "warning";
+    case Severity::error: return "error";
+  }
+  return "?";
+}
+
+bool IngestedPolicy::has_errors() const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::error) return true;
+  }
+  return false;
+}
+
+Provenance IngestedPolicy::where(const std::string& knob) const {
+  auto it = provenance.find(knob);
+  if (it != provenance.end()) return it->second;
+  return Provenance{owning_artifact(knob), 0};
+}
+
+void IngestedPolicy::note(Severity severity, std::string file, int line,
+                          std::string message) {
+  diagnostics.push_back(
+      {severity, Provenance{std::move(file), line}, std::move(message)});
+}
+
+void IngestedPolicy::set_provenance(const std::string& knob,
+                                    std::string file, int line) {
+  provenance[knob] = Provenance{std::move(file), line};
+}
+
+void IngestedPolicy::finalize(const std::string& dir_prefix) {
+  for (const KnobSpec& k : knobs()) {
+    provenance.emplace(
+        k.name, Provenance{dir_prefix + owning_artifact(k.name), 0});
+  }
+  for (const char* fact : {"facts.ubf_inspect_from", "facts.service_port",
+                           "facts.has_gpus"}) {
+    provenance.emplace(fact,
+                       Provenance{dir_prefix + owning_artifact(fact), 0});
+  }
+}
+
+const char* owning_artifact(const std::string& knob) {
+  if (knob == "hidepid" || knob == "hidepid_gid_exemption") {
+    return "proc_mounts";
+  }
+  if (common::starts_with(knob, "private_data.") || knob == "sharing" ||
+      knob == "pam_slurm" || knob == "gpu_epilog_scrub") {
+    return "slurm.conf";
+  }
+  if (common::starts_with(knob, "fs.") || knob == "root_owned_homes") {
+    return "storage.conf";
+  }
+  if (knob == "ubf" || knob == "ubf_group_peers" ||
+      knob == "facts.ubf_inspect_from") {
+    return "ubf.rules";
+  }
+  if (knob == "facts.service_port") return "portal.conf";
+  if (knob == "gpu_dev_binding" || knob == "facts.has_gpus") {
+    return "gpu.rules";
+  }
+  return "unknown";
+}
+
+const std::vector<std::string>& artifact_filenames() {
+  static const std::vector<std::string> names = {
+      "proc_mounts", "slurm.conf",  "ubf.rules",
+      "storage.conf", "portal.conf", "gpu.rules",
+  };
+  return names;
+}
+
+}  // namespace heus::analyze::ingest

@@ -1,0 +1,87 @@
+// The artifact model of site-config ingestion: provenance, diagnostics,
+// and the per-node result of parsing deployment artifacts back into a
+// (SeparationPolicy, TopologyFacts) pair.
+//
+// The paper's contribution is a set of *deployed* configurations — a
+// /proc mount line, a slurm.conf, an nfqueue ruleset, smask/ACL settings,
+// a portal config, GPU device rules. The static analyzer (src/analyze)
+// reviews a SeparationPolicy; this layer reconstructs that policy from
+// the artifacts a site actually ships, carrying file:line provenance on
+// every derived knob so verdicts, hardening suggestions, and drift
+// findings can cite the responsible config line instead of a knob name.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+#include "core/policy.h"
+
+namespace heus::analyze::ingest {
+
+/// Where a derived value came from. `file` is relative to the snapshot
+/// root ("nodes/node01/proc_mounts"), `line` is 1-based; line 0 marks a
+/// knob that no artifact line set (artifact missing or silent), i.e. the
+/// knob sits at its baseline default.
+struct Provenance {
+  std::string file;
+  int line = 0;
+
+  [[nodiscard]] bool defaulted() const { return line == 0; }
+  /// "nodes/node01/proc_mounts:1", or "ubf.rules (default)" for line 0.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool operator==(const Provenance&) const = default;
+};
+
+enum class Severity { warning, error };
+
+[[nodiscard]] const char* to_string(Severity s);
+
+/// One parser complaint: a malformed or suspicious artifact line. Errors
+/// mean the line could not be interpreted (the knob keeps its previous
+/// value); warnings flag legal-but-dubious configurations.
+struct Diagnostic {
+  Severity severity = Severity::error;
+  Provenance where;
+  std::string message;
+};
+
+/// The reconstructed effective configuration of one node: the policy and
+/// topology facts the artifacts encode, who decided each knob, and what
+/// the parsers complained about.
+struct IngestedPolicy {
+  core::SeparationPolicy policy = core::SeparationPolicy::baseline();
+  TopologyFacts facts;
+  /// Keyed by registry knob name ("ubf", "fs.enforce_smask", …) plus the
+  /// artifact-carried facts ("facts.ubf_inspect_from",
+  /// "facts.service_port", "facts.has_gpus"). After finalize(), every key
+  /// is present — defaulted knobs point at their owning artifact, line 0.
+  std::map<std::string, Provenance> provenance;
+  std::vector<Diagnostic> diagnostics;
+
+  [[nodiscard]] bool has_errors() const;
+  /// Provenance for `knob`; a defaulted "unknown" entry when absent.
+  [[nodiscard]] Provenance where(const std::string& knob) const;
+
+  void note(Severity severity, std::string file, int line,
+            std::string message);
+  /// Record that `knob` was decided at `file:line`.
+  void set_provenance(const std::string& knob, std::string file, int line);
+  /// Fill defaulted provenance (owning artifact, line 0) for every
+  /// registry knob and artifact-carried fact not set by any parser.
+  /// `dir_prefix` ("nodes/node01/") qualifies the artifact filenames so
+  /// defaulted entries still point at the right node.
+  void finalize(const std::string& dir_prefix = "");
+};
+
+/// The artifact file that owns `knob` — where a reviewer would go to set
+/// it. Knows every registry knob and the "facts.*" keys; returns
+/// "unknown" otherwise.
+[[nodiscard]] const char* owning_artifact(const std::string& knob);
+
+/// The fixed set of per-node artifact filenames, in parse order.
+[[nodiscard]] const std::vector<std::string>& artifact_filenames();
+
+}  // namespace heus::analyze::ingest

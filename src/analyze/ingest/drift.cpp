@@ -1,0 +1,95 @@
+#include "analyze/ingest/drift.h"
+
+#include <map>
+
+#include "analyze/policy_space.h"
+#include "common/strings.h"
+
+namespace heus::analyze::ingest {
+
+namespace {
+
+/// The drift-comparable view of one node: every registry knob plus the
+/// artifact-carried facts that must be fleet-uniform.
+std::vector<std::pair<std::string, std::string>> comparable_assignments(
+    const IngestedPolicy& ingested) {
+  auto out = knob_assignments(ingested.policy);
+  out.emplace_back(
+      "facts.ubf_inspect_from",
+      common::strformat("%u",
+                        static_cast<unsigned>(
+                            ingested.facts.ubf_inspect_from)));
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(DriftKind k) {
+  switch (k) {
+    case DriftKind::vs_intent: return "vs-intent";
+    case DriftKind::vs_peers: return "vs-peers";
+  }
+  return "?";
+}
+
+std::vector<DriftFinding> drift_against_intent(const SiteSnapshot& site) {
+  std::vector<DriftFinding> out;
+  if (!site.intent) return out;
+  const auto intent = knob_assignments(site.intent->policy);
+  for (const NodeSnapshot& node : site.nodes) {
+    const auto actual = knob_assignments(node.ingested.policy);
+    for (std::size_t i = 0; i < intent.size(); ++i) {
+      if (intent[i].second == actual[i].second) continue;
+      out.push_back({DriftKind::vs_intent, node.name, intent[i].first,
+                     intent[i].second, actual[i].second,
+                     node.ingested.where(intent[i].first)});
+    }
+  }
+  return out;
+}
+
+std::vector<DriftFinding> drift_among_peers(const SiteSnapshot& site) {
+  std::vector<DriftFinding> out;
+  if (site.nodes.size() < 2) return out;
+  std::vector<std::vector<std::pair<std::string, std::string>>> per_node;
+  per_node.reserve(site.nodes.size());
+  for (const NodeSnapshot& node : site.nodes) {
+    per_node.push_back(comparable_assignments(node.ingested));
+  }
+  const std::size_t knob_count = per_node.front().size();
+  for (std::size_t k = 0; k < knob_count; ++k) {
+    std::map<std::string, std::size_t> votes;  // value -> node count
+    for (const auto& assignments : per_node) {
+      ++votes[assignments[k].second];
+    }
+    if (votes.size() < 2) continue;
+    // Majority value; std::map order breaks ties toward the smallest
+    // value, keeping the report deterministic.
+    std::string majority;
+    std::size_t best = 0;
+    for (const auto& [value, count] : votes) {
+      if (count > best) {
+        best = count;
+        majority = value;
+      }
+    }
+    const std::string& knob = per_node.front()[k].first;
+    for (std::size_t n = 0; n < site.nodes.size(); ++n) {
+      if (per_node[n][k].second == majority) continue;
+      out.push_back({DriftKind::vs_peers, site.nodes[n].name, knob,
+                     majority, per_node[n][k].second,
+                     site.nodes[n].ingested.where(knob)});
+    }
+  }
+  return out;
+}
+
+std::vector<DriftFinding> analyze_drift(const SiteSnapshot& site) {
+  std::vector<DriftFinding> out = drift_against_intent(site);
+  for (DriftFinding& f : drift_among_peers(site)) {
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace heus::analyze::ingest

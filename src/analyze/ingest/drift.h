@@ -1,0 +1,51 @@
+// Drift analysis: which nodes deviate from the declared intent, and
+// which deviate from their peers — with the artifact line responsible.
+//
+// A fleet that deploys the paper's configuration is only separated if
+// *every* node carries it; one login node whose /proc mount lost
+// hidepid=2 reopens §IV-A cluster-wide for anyone who can reach that
+// node. Drift findings are therefore gate failures, same as
+// unexpectedly-open channels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/ingest/site.h"
+
+namespace heus::analyze::ingest {
+
+enum class DriftKind {
+  vs_intent,  ///< node disagrees with intent.policy
+  vs_peers,   ///< node disagrees with the majority of its peers
+};
+
+[[nodiscard]] const char* to_string(DriftKind k);
+
+struct DriftFinding {
+  DriftKind kind = DriftKind::vs_intent;
+  std::string node;
+  std::string knob;      ///< registry name, or "facts.ubf_inspect_from"
+  std::string expected;  ///< intent value, or the peer-majority value
+  std::string actual;
+  Provenance where;  ///< the node's artifact line holding `actual`
+};
+
+/// Every (node × knob) disagreement with the snapshot's intent policy.
+/// Empty when the snapshot declares no intent.
+[[nodiscard]] std::vector<DriftFinding> drift_against_intent(
+    const SiteSnapshot& site);
+
+/// Every (node × knob) disagreement with the per-knob majority across
+/// nodes (ties broken toward the lexicographically smallest value, so
+/// reports are deterministic). Also covers facts.ubf_inspect_from — the
+/// inspected port range must be uniform for the UBF story to hold —
+/// but not facts.has_gpus / facts.service_port, which legitimately vary.
+[[nodiscard]] std::vector<DriftFinding> drift_among_peers(
+    const SiteSnapshot& site);
+
+/// Both analyses, intent first, in stable (node, knob) order.
+[[nodiscard]] std::vector<DriftFinding> analyze_drift(
+    const SiteSnapshot& site);
+
+}  // namespace heus::analyze::ingest

@@ -1,0 +1,115 @@
+#include "analyze/ingest/emit.h"
+
+#include "analyze/policy_space.h"
+#include "common/strings.h"
+
+namespace heus::analyze::ingest {
+
+using common::strformat;
+using core::SeparationPolicy;
+
+namespace {
+
+std::string emit_proc_mounts(const SeparationPolicy& p) {
+  std::string options = strformat("rw,nosuid,nodev,noexec,hidepid=%d",
+                                  static_cast<int>(p.hidepid));
+  if (p.hidepid_gid_exemption) options += ",gid=9001";  // the seepid group
+  return "# /etc/fstab fragment: the /proc mount (paper §IV-A)\n" +
+         strformat("proc /proc proc %s 0 0\n", options.c_str());
+}
+
+std::string emit_slurm_conf(const SeparationPolicy& p) {
+  std::string out = "# slurm.conf fragment (paper §IV-B, §IV-F)\n";
+  std::vector<std::string> pd;
+  if (p.private_data.jobs) pd.push_back("jobs");
+  if (p.private_data.accounting) pd.push_back("accounting");
+  if (p.private_data.usage) pd.push_back("usage");
+  out += strformat(
+      "PrivateData=%s\n",
+      pd.empty() ? "none" : common::join(pd, ",").c_str());
+  switch (p.sharing) {
+    case sched::SharingPolicy::shared:
+      out += "OverSubscribe=YES\n";
+      break;
+    case sched::SharingPolicy::exclusive_job:
+      out += "OverSubscribe=EXCLUSIVE\n";
+      break;
+    case sched::SharingPolicy::user_whole_node:
+      out += "ExclusiveUser=YES\n";
+      break;
+  }
+  out += strformat("UsePAM=%d\n", p.pam_slurm ? 1 : 0);
+  out += p.gpu_epilog_scrub
+             ? "Epilog=/etc/slurm/epilog.d/90-gpu-scrub.sh\n"
+             : "Epilog=/etc/slurm/epilog.d/10-cleanup.sh\n";
+  return out;
+}
+
+std::string emit_ubf_rules(const SeparationPolicy& p,
+                           const TopologyFacts& facts) {
+  std::string out = "# user-based firewall ruleset (paper §IV-D)\n";
+  out += strformat("inspect %u:65535\n",
+                   static_cast<unsigned>(facts.ubf_inspect_from));
+  out += "accept same-user\n";
+  out += p.ubf_group_peers ? "accept same-primary-group\n"
+                           : "drop same-primary-group\n";
+  out += p.ubf ? "default drop\n" : "default accept\n";
+  return out;
+}
+
+std::string emit_storage_conf(const SeparationPolicy& p) {
+  std::string out = "# filesystem separation (paper §IV-C)\n";
+  out += strformat("smask.enforce = %d\n", p.fs.enforce_smask ? 1 : 0);
+  out += strformat("smask.honor = %d\n", p.fs.honor_smask ? 1 : 0);
+  out += strformat("acl.restrict_named_users = %d\n",
+                   p.fs.restrict_acl ? 1 : 0);
+  out += p.root_owned_homes ? "homes.owner = root\nhomes.mode = 0770\n"
+                            : "homes.owner = user\nhomes.mode = 0755\n";
+  return out;
+}
+
+std::string emit_portal_conf(const TopologyFacts& facts) {
+  return "# on-demand portal gateway (paper §IV-E)\n"
+         "listen = 443\n" +
+         strformat("app_port = %u\n",
+                   static_cast<unsigned>(facts.service_port)) +
+         "forward_as = authenticated-user\n";
+}
+
+std::string emit_gpu_rules(const SeparationPolicy& p,
+                           const TopologyFacts& facts) {
+  std::string out = "# gpu device policy (paper §IV-F)\n";
+  out += p.gpu_dev_binding ? "alloc_chgrp = upg\n" : "alloc_chgrp = none\n";
+  if (facts.has_gpus) {
+    out += "device nvidia0\ndevice nvidia1\n";
+  } else {
+    out += "# no allocatable gpus on this node\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<EmittedArtifact> emit_artifacts(const SeparationPolicy& policy,
+                                            const TopologyFacts& facts) {
+  return {
+      {"proc_mounts", emit_proc_mounts(policy)},
+      {"slurm.conf", emit_slurm_conf(policy)},
+      {"ubf.rules", emit_ubf_rules(policy, facts)},
+      {"storage.conf", emit_storage_conf(policy)},
+      {"portal.conf", emit_portal_conf(facts)},
+      {"gpu.rules", emit_gpu_rules(policy, facts)},
+  };
+}
+
+std::string emit_intent_policy(const SeparationPolicy& policy) {
+  std::string out =
+      "# declared separation intent: every node must lint equal to this\n"
+      "base = baseline\n";
+  for (const auto& [name, value] : knob_assignments(policy)) {
+    out += strformat("%s = %s\n", name.c_str(), value.c_str());
+  }
+  return out;
+}
+
+}  // namespace heus::analyze::ingest

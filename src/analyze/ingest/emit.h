@@ -1,0 +1,36 @@
+// Canonical-artifact emitter: the inverse of parsers.h.
+//
+// Renders any (SeparationPolicy, TopologyFacts) back to the per-node
+// deployment artifacts, encoding every registry knob explicitly so that
+// parse(emit(p)) == p over the entire knob lattice — the round-trip
+// oracle tests/analyze/roundtrip_test.cpp enforces. This is also how a
+// site bootstraps a snapshot: `heus-lint` reviews a policy, the emitter
+// renders the artifacts operators deploy, and future `--site` runs lint
+// what is actually installed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+#include "core/policy.h"
+
+namespace heus::analyze::ingest {
+
+struct EmittedArtifact {
+  std::string filename;  ///< basename, one of artifact_filenames()
+  std::string content;
+};
+
+/// Render the full artifact set for one node. Every policy knob is
+/// explicitly encoded; `facts` supplies the artifact-carried topology
+/// (inspected port range, portal app port, GPU inventory).
+[[nodiscard]] std::vector<EmittedArtifact> emit_artifacts(
+    const core::SeparationPolicy& policy, const TopologyFacts& facts = {});
+
+/// Render a declared-intent file (`base = baseline` plus every knob as a
+/// `knob = value` override, in registry order).
+[[nodiscard]] std::string emit_intent_policy(
+    const core::SeparationPolicy& policy);
+
+}  // namespace heus::analyze::ingest

@@ -1,0 +1,578 @@
+#include "analyze/ingest/parsers.h"
+
+#include <cstdint>
+#include <optional>
+
+#include "analyze/policy_space.h"
+#include "common/strings.h"
+
+namespace heus::analyze::ingest {
+namespace {
+
+using common::strformat;
+
+// Locale-independent character handling: artifact parsing must not vary
+// with the host locale (see tools/check_determinism.sh).
+bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_ws(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && is_space(s[i])) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !is_space(s[i])) ++i;
+    if (i > start) out.push_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+/// Visit every line of `content` (split on '\n') with its 1-based
+/// number. Trailing '\r' is handled by trim() at the call sites.
+template <typename Fn>
+void for_each_line(std::string_view content, Fn&& fn) {
+  int line = 0;
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    const std::size_t nl = content.find('\n', pos);
+    const std::size_t end = nl == std::string_view::npos ? content.size()
+                                                         : nl;
+    ++line;
+    fn(line, content.substr(pos, end - pos));
+    pos = end + 1;
+  }
+}
+
+bool skippable(std::string_view trimmed) {
+  return trimmed.empty() || trimmed.front() == '#';
+}
+
+std::optional<bool> parse_bool(std::string_view token) {
+  const std::string t = lower(token);
+  if (t == "1" || t == "true" || t == "on" || t == "yes") return true;
+  if (t == "0" || t == "false" || t == "off" || t == "no") return false;
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> parse_uint(std::string_view s) {
+  if (s.empty() || s.size() > 9) return std::nullopt;
+  std::uint32_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  return v;
+}
+
+std::optional<unsigned> parse_octal(std::string_view s) {
+  if (s.empty() || s.size() > 6) return std::nullopt;
+  unsigned v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '7') return std::nullopt;
+    v = v * 8 + static_cast<unsigned>(c - '0');
+  }
+  return v;
+}
+
+std::optional<std::uint16_t> parse_port(std::string_view s) {
+  const auto v = parse_uint(s);
+  if (!v || *v > 65535) return std::nullopt;
+  return static_cast<std::uint16_t>(*v);
+}
+
+/// Split "Key=Value" / "key = value" on the FIRST '='; nullopt when no
+/// '=' exists. Both halves are trimmed; the key is lowercased.
+struct KeyValue {
+  std::string key;
+  std::string_view value;
+};
+
+std::optional<KeyValue> split_key_value(std::string_view line) {
+  const std::size_t eq = line.find('=');
+  if (eq == std::string_view::npos) return std::nullopt;
+  return KeyValue{lower(trim(line.substr(0, eq))),
+                  trim(line.substr(eq + 1))};
+}
+
+std::string_view basename_of(std::string_view path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+bool contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+}  // namespace
+
+void parse_proc_mounts(std::string_view content, const std::string& file,
+                       IngestedPolicy& out) {
+  bool saw_proc = false;
+  for_each_line(content, [&](int line, std::string_view raw) {
+    const std::string_view t = trim(raw);
+    if (skippable(t)) return;
+    const std::vector<std::string_view> fields = split_ws(t);
+    if (fields.size() < 4) {
+      out.note(Severity::error, file, line,
+               "malformed fstab line (want: device mountpoint fstype "
+               "options [dump pass])");
+      return;
+    }
+    if (fields[2] != "proc") return;  // other mounts are none of ours
+    if (saw_proc) {
+      out.note(Severity::warning, file, line,
+               "duplicate proc mount line overrides the previous one");
+    }
+    saw_proc = true;
+    // An explicit option list is the authority for both §IV-A knobs:
+    // omitting hidepid=/gid= there *is* the baseline decision.
+    simos::HidepidMode mode = simos::HidepidMode::off;
+    bool gid_exemption = false;
+    for (const std::string& opt : common::split(fields[3], ',')) {
+      if (common::starts_with(opt, "hidepid=")) {
+        const std::string v = lower(opt.substr(8));
+        if (v == "0" || v == "off") {
+          mode = simos::HidepidMode::off;
+        } else if (v == "1" || v == "noaccess") {
+          mode = simos::HidepidMode::restrict_contents;
+        } else if (v == "2" || v == "invisible") {
+          mode = simos::HidepidMode::invisible;
+        } else {
+          out.note(Severity::error, file, line,
+                   strformat("unknown hidepid value '%s' (want 0/1/2 or "
+                             "off/noaccess/invisible)",
+                             opt.substr(8).c_str()));
+        }
+      } else if (common::starts_with(opt, "gid=")) {
+        if (parse_uint(std::string_view(opt).substr(4))) {
+          gid_exemption = true;
+        } else {
+          out.note(Severity::error, file, line,
+                   strformat("malformed gid= option '%s'", opt.c_str()));
+        }
+      }
+      // rw, nosuid, nodev, ... : ordinary mount options, fine.
+    }
+    out.policy.hidepid = mode;
+    out.policy.hidepid_gid_exemption = gid_exemption;
+    out.set_provenance("hidepid", file, line);
+    out.set_provenance("hidepid_gid_exemption", file, line);
+  });
+}
+
+void parse_slurm_conf(std::string_view content, const std::string& file,
+                      IngestedPolicy& out) {
+  // ExclusiveUser= and OverSubscribe= interact (ExclusiveUser wins, as
+  // with real Slurm partitions); collect both and resolve at the end.
+  std::optional<bool> exclusive_user;
+  int exclusive_user_line = 0;
+  std::optional<bool> oversubscribe_exclusive;
+  int oversubscribe_line = 0;
+  for_each_line(content, [&](int line, std::string_view raw) {
+    const std::string_view t = trim(raw);
+    if (skippable(t)) return;
+    const auto kv = split_key_value(t);
+    if (!kv) {
+      out.note(Severity::error, file, line,
+               "malformed slurm.conf line (want Key=Value)");
+      return;
+    }
+    if (kv->key == "privatedata") {
+      bool jobs = false, accounting = false, usage = false;
+      const std::vector<std::string> values = common::split(kv->value, ',');
+      if (values.empty()) {
+        out.note(Severity::error, file, line, "empty PrivateData value");
+        return;
+      }
+      for (const std::string& v : values) {
+        const std::string lv = lower(trim(v));
+        if (lv == "jobs") {
+          jobs = true;
+        } else if (lv == "accounting") {
+          accounting = true;
+        } else if (lv == "usage") {
+          usage = true;
+        } else if (lv != "none") {
+          out.note(Severity::error, file, line,
+                   strformat("unknown PrivateData value '%s' (modeled: "
+                             "jobs, accounting, usage, none)",
+                             lv.c_str()));
+        }
+      }
+      out.policy.private_data = {jobs, accounting, usage};
+      out.set_provenance("private_data.jobs", file, line);
+      out.set_provenance("private_data.accounting", file, line);
+      out.set_provenance("private_data.usage", file, line);
+    } else if (kv->key == "exclusiveuser") {
+      const auto b = parse_bool(kv->value);
+      if (!b) {
+        out.note(Severity::error, file, line,
+                 strformat("bad ExclusiveUser value '%s' (want YES/NO)",
+                           std::string(kv->value).c_str()));
+        return;
+      }
+      exclusive_user = *b;
+      exclusive_user_line = line;
+    } else if (kv->key == "oversubscribe") {
+      const std::string v = lower(kv->value);
+      if (v == "exclusive") {
+        oversubscribe_exclusive = true;
+      } else if (v == "yes" || v == "no" || v == "force") {
+        oversubscribe_exclusive = false;
+      } else {
+        out.note(Severity::error, file, line,
+                 strformat("unknown OverSubscribe value '%s' (want "
+                           "YES/NO/FORCE/EXCLUSIVE)",
+                           v.c_str()));
+        return;
+      }
+      oversubscribe_line = line;
+    } else if (kv->key == "usepam") {
+      const auto b = parse_bool(kv->value);
+      if (!b) {
+        out.note(Severity::error, file, line,
+                 strformat("bad UsePAM value '%s' (want 0/1)",
+                           std::string(kv->value).c_str()));
+        return;
+      }
+      out.policy.pam_slurm = *b;
+      out.set_provenance("pam_slurm", file, line);
+    } else if (kv->key == "epilog") {
+      // The §IV-F scrub is an epilog script; recognize it by name.
+      out.policy.gpu_epilog_scrub = contains(basename_of(kv->value),
+                                             "scrub");
+      out.set_provenance("gpu_epilog_scrub", file, line);
+    }
+    // Any other key: a real slurm.conf has dozens we do not model.
+  });
+  if (exclusive_user && *exclusive_user) {
+    out.policy.sharing = sched::SharingPolicy::user_whole_node;
+    out.set_provenance("sharing", file, exclusive_user_line);
+  } else if (oversubscribe_exclusive && *oversubscribe_exclusive) {
+    out.policy.sharing = sched::SharingPolicy::exclusive_job;
+    out.set_provenance("sharing", file, oversubscribe_line);
+  } else if (oversubscribe_exclusive) {
+    out.policy.sharing = sched::SharingPolicy::shared;
+    out.set_provenance("sharing", file, oversubscribe_line);
+  } else if (exclusive_user) {  // ExclusiveUser=NO alone
+    out.policy.sharing = sched::SharingPolicy::shared;
+    out.set_provenance("sharing", file, exclusive_user_line);
+  }
+}
+
+void parse_ubf_rules(std::string_view content, const std::string& file,
+                     IngestedPolicy& out) {
+  for_each_line(content, [&](int line, std::string_view raw) {
+    const std::string_view t = trim(raw);
+    if (skippable(t)) return;
+    const std::vector<std::string_view> tokens = split_ws(t);
+    const std::string verb = lower(tokens.front());
+    if (verb == "inspect") {
+      if (tokens.size() != 2) {
+        out.note(Severity::error, file, line,
+                 "malformed inspect rule (want: inspect LO:HI)");
+        return;
+      }
+      const std::size_t colon = tokens[1].find(':');
+      const auto lo = parse_port(tokens[1].substr(0, colon));
+      std::optional<std::uint16_t> hi;
+      if (colon != std::string_view::npos) {
+        hi = parse_port(tokens[1].substr(colon + 1));
+      }
+      if (!lo || !hi || *lo > *hi) {
+        out.note(Severity::error, file, line,
+                 strformat("malformed port range '%s' (want LO:HI, "
+                           "0-65535)",
+                           std::string(tokens[1]).c_str()));
+        return;
+      }
+      out.facts.ubf_inspect_from = *lo;
+      out.set_provenance("facts.ubf_inspect_from", file, line);
+    } else if (verb == "accept" || verb == "drop") {
+      if (tokens.size() != 2) {
+        out.note(Severity::error, file, line,
+                 strformat("malformed %s rule (want: %s <match>)",
+                           verb.c_str(), verb.c_str()));
+        return;
+      }
+      const std::string match = lower(tokens[1]);
+      const bool accept = verb == "accept";
+      if (match == "same-user") {
+        if (!accept) {
+          out.note(Severity::warning, file, line,
+                   "rule (a) disabled: same-user flows will be dropped");
+        }
+      } else if (match == "same-primary-group") {
+        out.policy.ubf_group_peers = accept;
+        out.set_provenance("ubf_group_peers", file, line);
+      } else {
+        out.note(Severity::error, file, line,
+                 strformat("unknown match '%s' (want same-user or "
+                           "same-primary-group)",
+                           match.c_str()));
+      }
+    } else if (verb == "default") {
+      const std::string action =
+          tokens.size() == 2 ? lower(tokens[1]) : std::string();
+      if (action == "drop") {
+        out.policy.ubf = true;  // fail-closed daemon attached
+      } else if (action == "accept") {
+        out.policy.ubf = false;  // firewall effectively not deployed
+      } else {
+        out.note(Severity::error, file, line,
+                 "malformed default rule (want: default drop|accept)");
+        return;
+      }
+      out.set_provenance("ubf", file, line);
+    } else {
+      out.note(Severity::error, file, line,
+               strformat("unrecognized ubf rule verb '%s'", verb.c_str()));
+    }
+  });
+}
+
+void parse_storage_conf(std::string_view content, const std::string& file,
+                        IngestedPolicy& out) {
+  std::optional<bool> owner_root;
+  int owner_line = 0;
+  std::optional<unsigned> homes_mode;
+  int mode_line = 0;
+  auto set_bool = [&](const char* knob, const KeyValue& kv, int line) {
+    const auto b = parse_bool(kv.value);
+    if (!b) {
+      out.note(Severity::error, file, line,
+               strformat("bad boolean '%s' for %s",
+                         std::string(kv.value).c_str(), kv.key.c_str()));
+      return;
+    }
+    [[maybe_unused]] const bool ok =
+        set_knob_from_string(out.policy, knob, *b ? "1" : "0");
+    out.set_provenance(knob, file, line);
+  };
+  for_each_line(content, [&](int line, std::string_view raw) {
+    const std::string_view t = trim(raw);
+    if (skippable(t)) return;
+    const auto kv = split_key_value(t);
+    if (!kv) {
+      out.note(Severity::error, file, line,
+               "malformed storage.conf line (want key = value)");
+      return;
+    }
+    if (kv->key == "smask.enforce") {
+      set_bool("fs.enforce_smask", *kv, line);
+    } else if (kv->key == "smask.honor") {
+      set_bool("fs.honor_smask", *kv, line);
+    } else if (kv->key == "acl.restrict_named_users") {
+      set_bool("fs.restrict_acl", *kv, line);
+    } else if (kv->key == "homes.owner") {
+      const std::string v = lower(kv->value);
+      if (v == "root") {
+        owner_root = true;
+      } else if (v == "user") {
+        owner_root = false;
+      } else {
+        out.note(Severity::error, file, line,
+                 strformat("unknown homes.owner '%s' (want root or user)",
+                           v.c_str()));
+        return;
+      }
+      owner_line = line;
+    } else if (kv->key == "homes.mode") {
+      const auto mode = parse_octal(kv->value);
+      if (!mode) {
+        out.note(Severity::error, file, line,
+                 strformat("malformed homes.mode '%s' (want octal)",
+                           std::string(kv->value).c_str()));
+        return;
+      }
+      homes_mode = *mode;
+      mode_line = line;
+    } else {
+      out.note(Severity::warning, file, line,
+               strformat("unknown storage.conf key '%s'",
+                         kv->key.c_str()));
+    }
+  });
+  if (owner_root) {
+    out.policy.root_owned_homes = *owner_root;
+    out.set_provenance("root_owned_homes", file, owner_line);
+  }
+  if (owner_root && *owner_root && homes_mode && (*homes_mode & 07) != 0) {
+    out.note(Severity::warning, file, mode_line,
+             strformat("root-owned homes with world bits (mode %o) defeat "
+                       "the §IV-C point of the root-owned top level",
+                       *homes_mode));
+  }
+}
+
+void parse_portal_conf(std::string_view content, const std::string& file,
+                       IngestedPolicy& out) {
+  for_each_line(content, [&](int line, std::string_view raw) {
+    const std::string_view t = trim(raw);
+    if (skippable(t)) return;
+    const auto kv = split_key_value(t);
+    if (!kv) {
+      out.note(Severity::error, file, line,
+               "malformed portal.conf line (want key = value)");
+      return;
+    }
+    if (kv->key == "listen") {
+      if (!parse_port(kv->value)) {
+        out.note(Severity::error, file, line,
+                 strformat("malformed listen port '%s'",
+                           std::string(kv->value).c_str()));
+      }
+    } else if (kv->key == "app_port") {
+      const auto port = parse_port(kv->value);
+      if (!port) {
+        out.note(Severity::error, file, line,
+                 strformat("malformed app_port '%s' (want 0-65535)",
+                           std::string(kv->value).c_str()));
+        return;
+      }
+      out.facts.service_port = *port;
+      out.set_provenance("facts.service_port", file, line);
+    } else if (kv->key == "forward_as") {
+      if (lower(kv->value) != "authenticated-user") {
+        out.note(Severity::warning, file, line,
+                 strformat("portal forwarding as '%s' bypasses per-user "
+                           "UBF attribution (§IV-E forwards as the "
+                           "authenticated user)",
+                           std::string(kv->value).c_str()));
+      }
+    } else {
+      out.note(Severity::warning, file, line,
+               strformat("unknown portal.conf key '%s'", kv->key.c_str()));
+    }
+  });
+}
+
+void parse_gpu_rules(std::string_view content, const std::string& file,
+                     IngestedPolicy& out) {
+  int device_count = 0;
+  for_each_line(content, [&](int line, std::string_view raw) {
+    const std::string_view t = trim(raw);
+    if (skippable(t)) return;
+    const std::vector<std::string_view> tokens = split_ws(t);
+    if (tokens.front() == "device") {
+      if (tokens.size() != 2) {
+        out.note(Severity::error, file, line,
+                 "malformed device line (want: device <name>)");
+        return;
+      }
+      if (device_count == 0) {
+        out.facts.has_gpus = true;
+        out.set_provenance("facts.has_gpus", file, line);
+      }
+      ++device_count;
+      return;
+    }
+    const auto kv = split_key_value(t);
+    if (kv && kv->key == "alloc_chgrp") {
+      const std::string v = lower(kv->value);
+      if (v == "upg") {
+        out.policy.gpu_dev_binding = true;
+      } else if (v == "none") {
+        out.policy.gpu_dev_binding = false;
+      } else {
+        out.note(Severity::error, file, line,
+                 strformat("unknown alloc_chgrp '%s' (want upg or none)",
+                           v.c_str()));
+        return;
+      }
+      out.set_provenance("gpu_dev_binding", file, line);
+    } else {
+      out.note(Severity::error, file, line,
+               "unrecognized gpu.rules line (want alloc_chgrp = upg|none "
+               "or device <name>)");
+    }
+  });
+  if (device_count == 0) {
+    out.facts.has_gpus = false;
+    out.set_provenance("facts.has_gpus", file, 0);
+  }
+}
+
+bool parse_artifact(const std::string& basename, std::string_view content,
+                    const std::string& file, IngestedPolicy& out) {
+  if (basename == "proc_mounts") {
+    parse_proc_mounts(content, file, out);
+  } else if (basename == "slurm.conf") {
+    parse_slurm_conf(content, file, out);
+  } else if (basename == "ubf.rules") {
+    parse_ubf_rules(content, file, out);
+  } else if (basename == "storage.conf") {
+    parse_storage_conf(content, file, out);
+  } else if (basename == "portal.conf") {
+    parse_portal_conf(content, file, out);
+  } else if (basename == "gpu.rules") {
+    parse_gpu_rules(content, file, out);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void parse_intent_policy(std::string_view content, const std::string& file,
+                         IngestedPolicy& out) {
+  bool any_knob_set = false;
+  for_each_line(content, [&](int line, std::string_view raw) {
+    const std::string_view t = trim(raw);
+    if (skippable(t)) return;
+    // Keys here are registry knob names: case-sensitive, unlike the
+    // slurm-style artifacts.
+    const std::size_t eq = t.find('=');
+    if (eq == std::string_view::npos) {
+      out.note(Severity::error, file, line,
+               "malformed intent line (want knob = value)");
+      return;
+    }
+    const std::string key{trim(t.substr(0, eq))};
+    const std::string value{trim(t.substr(eq + 1))};
+    if (key == "base") {
+      if (value == "baseline") {
+        out.policy = core::SeparationPolicy::baseline();
+      } else if (value == "hardened") {
+        out.policy = core::SeparationPolicy::hardened();
+      } else {
+        out.note(Severity::error, file, line,
+                 strformat("unknown base '%s' (want baseline or hardened)",
+                           value.c_str()));
+        return;
+      }
+      if (any_knob_set) {
+        out.note(Severity::warning, file, line,
+                 "base= after knob overrides resets them");
+      }
+      for (const KnobSpec& k : knobs()) {
+        out.set_provenance(k.name, file, line);
+      }
+      return;
+    }
+    if (!set_knob_from_string(out.policy, key, value)) {
+      out.note(Severity::error, file, line,
+               strformat("unknown knob or value '%s = %s' (see heus-lint "
+                         "--list-knobs)",
+                         key.c_str(), value.c_str()));
+      return;
+    }
+    any_knob_set = true;
+    out.set_provenance(key, file, line);
+  });
+}
+
+}  // namespace heus::analyze::ingest

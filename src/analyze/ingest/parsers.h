@@ -1,0 +1,67 @@
+// Parsers for the per-node deployment artifacts (see artifact.h). Each
+// reads one artifact's text into an IngestedPolicy, recording the file
+// and 1-based line that decided every knob it sets, and a Diagnostic for
+// every line it cannot interpret — malformed input never crashes and
+// never silently falls back to a knob default without a diagnostic.
+//
+// The accepted grammar per artifact is exactly what the canonical
+// emitter (emit.h) produces, plus the lenient forms noted inline; the
+// round-trip oracle in tests/analyze holds emit→parse to identity over
+// the full knob lattice.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "analyze/ingest/artifact.h"
+
+namespace heus::analyze::ingest {
+
+/// fstab-style mount table; the `proc` line's hidepid=/gid= options
+/// decide the §IV-A knobs. Non-proc mounts are ignored.
+void parse_proc_mounts(std::string_view content, const std::string& file,
+                       IngestedPolicy& out);
+
+/// slurm.conf fragment: PrivateData=, ExclusiveUser=/OverSubscribe=,
+/// UsePAM=, Epilog= (a *scrub* epilog is the §IV-F scrub). Keys are
+/// case-insensitive; keys the model does not cover are ignored, as a
+/// real slurm.conf carries dozens of them.
+void parse_slurm_conf(std::string_view content, const std::string& file,
+                      IngestedPolicy& out);
+
+/// UBF ruleset (the nfqueue rules of §IV-D): `inspect LO:HI`,
+/// `accept|drop same-user`, `accept|drop same-primary-group`,
+/// `default drop|accept`.
+void parse_ubf_rules(std::string_view content, const std::string& file,
+                     IngestedPolicy& out);
+
+/// smask/ACL/home-directory dump: `smask.enforce`, `smask.honor`,
+/// `acl.restrict_named_users`, `homes.owner = root|user`,
+/// `homes.mode = <octal>`.
+void parse_storage_conf(std::string_view content, const std::string& file,
+                        IngestedPolicy& out);
+
+/// Portal gateway config (§IV-E): `listen`, `app_port` (the victim
+/// service port the analyzer checks against the UBF's inspected range),
+/// `forward_as`.
+void parse_portal_conf(std::string_view content, const std::string& file,
+                       IngestedPolicy& out);
+
+/// GPU device policy (§IV-F): `alloc_chgrp = upg|none` (the per-alloc
+/// chgrp of /dev/nvidiaN) plus one `device <name>` line per device; a
+/// node with no device lines has no allocatable GPUs.
+void parse_gpu_rules(std::string_view content, const std::string& file,
+                     IngestedPolicy& out);
+
+/// Dispatch on the artifact basename (see artifact_filenames()).
+/// Returns false — leaving `out` untouched — for an unknown name.
+bool parse_artifact(const std::string& basename, std::string_view content,
+                    const std::string& file, IngestedPolicy& out);
+
+/// Declared-intent policy: optional `base = baseline|hardened` plus
+/// registry `knob = value` overrides (the set_knob_from_string
+/// vocabulary, which is also what knob_value() emits).
+void parse_intent_policy(std::string_view content, const std::string& file,
+                         IngestedPolicy& out);
+
+}  // namespace heus::analyze::ingest

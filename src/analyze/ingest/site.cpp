@@ -1,0 +1,143 @@
+#include "analyze/ingest/site.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "analyze/ingest/parsers.h"
+#include "common/strings.h"
+
+namespace heus::analyze::ingest {
+
+namespace fs = std::filesystem;
+using common::strformat;
+
+bool SiteSnapshot::has_errors() const {
+  for (const Diagnostic& d : site_diagnostics) {
+    if (d.severity == Severity::error) return true;
+  }
+  if (intent && intent->has_errors()) return true;
+  for (const NodeSnapshot& n : nodes) {
+    if (n.ingested.has_errors()) return true;
+  }
+  return false;
+}
+
+NodeSnapshot parse_node(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& artifacts) {
+  NodeSnapshot node;
+  node.name = name;
+  const std::string prefix = "nodes/" + name + "/";
+  std::set<std::string> seen;
+  for (const auto& [basename, content] : artifacts) {
+    const std::string file = prefix + basename;
+    if (!parse_artifact(basename, content, file, node.ingested)) {
+      node.ingested.note(Severity::error, file, 0,
+                         strformat("unknown artifact '%s'",
+                                   basename.c_str()));
+      continue;
+    }
+    seen.insert(basename);
+  }
+  for (const std::string& expected : artifact_filenames()) {
+    if (seen.count(expected) == 0) {
+      node.ingested.note(
+          Severity::warning, prefix + expected, 0,
+          "artifact missing: its knobs sit at baseline defaults");
+    }
+  }
+  node.ingested.finalize(prefix);
+  return node;
+}
+
+namespace {
+
+std::optional<std::string> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+}  // namespace
+
+std::optional<SiteSnapshot> load_site(const std::string& dir,
+                                      std::string* error) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    if (error) {
+      *error = strformat("'%s' is not a readable directory", dir.c_str());
+    }
+    return std::nullopt;
+  }
+  SiteSnapshot site;
+  site.root = dir;
+
+  const fs::path root(dir);
+  if (fs::is_regular_file(root / "intent.policy", ec)) {
+    IngestedPolicy intent;
+    if (const auto content = read_file(root / "intent.policy")) {
+      parse_intent_policy(*content, "intent.policy", intent);
+      intent.finalize();
+      site.intent = std::move(intent);
+    } else {
+      site.site_diagnostics.push_back(
+          {Severity::error, Provenance{"intent.policy", 0},
+           "intent.policy exists but could not be read"});
+    }
+  }
+
+  const fs::path nodes_dir = root / "nodes";
+  if (!fs::is_directory(nodes_dir, ec)) {
+    site.site_diagnostics.push_back(
+        {Severity::error, Provenance{"nodes", 0},
+         "snapshot has no nodes/ directory"});
+    return site;
+  }
+  std::vector<std::string> node_names;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(nodes_dir, ec)) {
+    if (entry.is_directory()) {
+      node_names.push_back(entry.path().filename().string());
+    }
+  }
+  // directory_iterator order is filesystem-dependent; reports are not.
+  std::sort(node_names.begin(), node_names.end());
+  if (node_names.empty()) {
+    site.site_diagnostics.push_back(
+        {Severity::error, Provenance{"nodes", 0},
+         "nodes/ contains no node directories"});
+  }
+  for (const std::string& name : node_names) {
+    // Every regular file in the node directory goes through parse_node,
+    // which flags unknown basenames as errors — a typo'd artifact name
+    // ("slurm.cnf") must not mean the artifact silently goes unlinted.
+    std::vector<std::string> basenames;
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(nodes_dir / name, ec)) {
+      if (entry.is_regular_file()) {
+        basenames.push_back(entry.path().filename().string());
+      }
+    }
+    std::sort(basenames.begin(), basenames.end());
+    std::vector<std::pair<std::string, std::string>> artifacts;
+    for (const std::string& basename : basenames) {
+      if (const auto content = read_file(nodes_dir / name / basename)) {
+        artifacts.emplace_back(basename, *content);
+      } else {
+        site.site_diagnostics.push_back(
+            {Severity::error,
+             Provenance{"nodes/" + name + "/" + basename, 0},
+             "artifact exists but could not be read"});
+      }
+    }
+    site.nodes.push_back(parse_node(name, artifacts));
+  }
+  return site;
+}
+
+}  // namespace heus::analyze::ingest

@@ -1,0 +1,55 @@
+// Site snapshot loading: a directory of per-node deployment artifacts,
+// parsed into per-node effective policies.
+//
+// Layout (see examples/site/):
+//
+//   <root>/
+//     intent.policy          optional declared intent (parse_intent_policy)
+//     nodes/
+//       <node>/proc_mounts   one file per artifact_filenames() entry;
+//       <node>/slurm.conf    missing artifacts default their knobs and
+//       ...                  draw a warning
+//
+// All provenance paths are relative to <root> so reports are stable
+// regardless of where the snapshot sits on disk.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze/ingest/artifact.h"
+
+namespace heus::analyze::ingest {
+
+struct NodeSnapshot {
+  std::string name;
+  IngestedPolicy ingested;
+};
+
+struct SiteSnapshot {
+  std::string root;  ///< the directory load_site() read, verbatim
+  std::optional<IngestedPolicy> intent;
+  std::vector<NodeSnapshot> nodes;  ///< sorted by name for determinism
+  std::vector<Diagnostic> site_diagnostics;  ///< snapshot-level problems
+
+  /// Any error diagnostic anywhere (site, intent, or node level).
+  [[nodiscard]] bool has_errors() const;
+};
+
+/// Parse one node from in-memory artifacts (filename-basename → content)
+/// — the pure core of load_site(), also what the fuzz tests and
+/// bench_config_lint drive without touching a filesystem. Unknown
+/// basenames draw an error diagnostic; missing artifacts a warning.
+[[nodiscard]] NodeSnapshot parse_node(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& artifacts);
+
+/// Read a snapshot directory. Returns nullopt (with `*error` set) only
+/// when the directory itself is unusable; per-file problems surface as
+/// diagnostics in the returned snapshot instead.
+[[nodiscard]] std::optional<SiteSnapshot> load_site(
+    const std::string& dir, std::string* error);
+
+}  // namespace heus::analyze::ingest

@@ -1,0 +1,316 @@
+#include "analyze/ingest/site_report.h"
+
+#include "analyze/json_util.h"
+#include "analyze/policy_space.h"
+#include "common/strings.h"
+
+namespace heus::analyze::ingest {
+
+using common::strformat;
+using core::ChannelKind;
+
+std::size_t SiteReview::unexpected_open_total() const {
+  std::size_t n = 0;
+  for (const NodeReview& node : nodes) {
+    n += node.analysis.unexpected_open_count();
+  }
+  return n;
+}
+
+std::size_t SiteReview::error_count() const {
+  std::size_t n = 0;
+  auto count = [&n](const std::vector<Diagnostic>& diags) {
+    for (const Diagnostic& d : diags) {
+      if (d.severity == Severity::error) ++n;
+    }
+  };
+  count(site.site_diagnostics);
+  if (site.intent) count(site.intent->diagnostics);
+  for (const NodeSnapshot& node : site.nodes) {
+    count(node.ingested.diagnostics);
+  }
+  return n;
+}
+
+bool SiteReview::gate_ok() const {
+  return error_count() == 0 && unexpected_open_total() == 0 &&
+         drift.empty();
+}
+
+SiteReview review_site(SiteSnapshot site, const TopologyFacts& observer) {
+  SiteReview review;
+  review.drift = analyze_drift(site);
+  for (const NodeSnapshot& node : site.nodes) {
+    TopologyFacts facts = node.ingested.facts;
+    facts.observer_support_staff = observer.observer_support_staff;
+    facts.observer_operator = observer.observer_operator;
+    facts.shared_service_group = observer.shared_service_group;
+    const StaticAnalyzer analyzer(facts);
+    NodeReview nr;
+    nr.name = node.name;
+    nr.analysis = analyzer.analyze(node.ingested.policy);
+    nr.degraded = degraded_census(analyzer, node.ingested.policy);
+    review.nodes.push_back(std::move(nr));
+  }
+  review.site = std::move(site);
+  return review;
+}
+
+const char* primary_knob(ChannelKind kind) {
+  switch (kind) {
+    case ChannelKind::procfs_process_list:
+    case ChannelKind::procfs_cmdline:
+      return "hidepid";
+    case ChannelKind::scheduler_queue:
+      return "private_data.jobs";
+    case ChannelKind::scheduler_accounting:
+      return "private_data.accounting";
+    case ChannelKind::scheduler_usage:
+      return "private_data.usage";
+    case ChannelKind::ssh_foreign_node:
+      return "pam_slurm";
+    case ChannelKind::fs_home_read:
+      return "root_owned_homes";
+    case ChannelKind::fs_tmp_content:
+    case ChannelKind::fs_tmp_names:
+    case ChannelKind::fs_devshm_content:
+      return "fs.enforce_smask";
+    case ChannelKind::fs_acl_user_grant:
+      return "fs.restrict_acl";
+    case ChannelKind::tcp_cross_user:
+    case ChannelKind::udp_cross_user:
+    case ChannelKind::abstract_uds:
+    case ChannelKind::rdma_tcp_setup:
+    case ChannelKind::rdma_native_cm:
+    case ChannelKind::portal_foreign_app:
+      return "ubf";
+    case ChannelKind::gpu_residue:
+      return "gpu_epilog_scrub";
+  }
+  return "ubf";
+}
+
+namespace {
+
+/// The knobs whose artifact lines justify this finding: the load-bearing
+/// knobs when attribution found any, the minimal hardening set for
+/// multi-knob open channels, the channel's primary knob otherwise.
+std::vector<std::string> cited_knobs(const ChannelFinding& f) {
+  if (!f.responsible_knobs.empty()) return f.responsible_knobs;
+  if (!f.minimal_hardening.empty()) return f.minimal_hardening;
+  return {primary_knob(f.kind)};
+}
+
+std::string citation(const IngestedPolicy& ingested,
+                     const ChannelFinding& f) {
+  std::vector<std::string> parts;
+  for (const std::string& knob : cited_knobs(f)) {
+    parts.push_back(strformat("%s @ %s", knob.c_str(),
+                              ingested.where(knob).to_string().c_str()));
+  }
+  return common::join(parts, ", ");
+}
+
+const NodeSnapshot& snapshot_of(const SiteReview& review,
+                                std::size_t index) {
+  return review.site.nodes[index];
+}
+
+std::string render_diagnostics(const SiteReview& review) {
+  std::string out;
+  auto render = [&out](const std::vector<Diagnostic>& diags) {
+    for (const Diagnostic& d : diags) {
+      out += strformat("- %s %s: %s\n", to_string(d.severity),
+                       d.where.to_string().c_str(), d.message.c_str());
+    }
+  };
+  render(review.site.site_diagnostics);
+  if (review.site.intent) render(review.site.intent->diagnostics);
+  for (const NodeSnapshot& node : review.site.nodes) {
+    render(node.ingested.diagnostics);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_markdown(const SiteReview& review) {
+  std::string out = "# Site separation review\n\n";
+  out += strformat("snapshot: `%s` — %zu node(s), intent: %s\n\n",
+                   review.site.root.c_str(), review.site.nodes.size(),
+                   review.site.intent ? "declared" : "none");
+
+  out += "## Drift\n\n";
+  if (review.drift.empty()) {
+    out += "(none detected)\n";
+  } else {
+    out +=
+        "| kind | node | knob | expected | actual | artifact |\n"
+        "|---|---|---|---|---|---|\n";
+    for (const DriftFinding& f : review.drift) {
+      out += strformat("| %s | %s | %s | %s | %s | %s |\n",
+                       to_string(f.kind), f.node.c_str(), f.knob.c_str(),
+                       f.expected.c_str(), f.actual.c_str(),
+                       f.where.to_string().c_str());
+    }
+  }
+
+  const std::string diagnostics = render_diagnostics(review);
+  out += "\n## Diagnostics\n\n";
+  out += diagnostics.empty() ? "(none)\n" : diagnostics;
+
+  out += "\n## Node review\n\n";
+  out +=
+      "| node | crossable | unexpected open | residual | "
+      "fail-closed-dependent |\n|---|---|---|---|---|\n";
+  for (const NodeReview& node : review.nodes) {
+    out += strformat(
+        "| %s | %zu/%zu | %zu | %zu | %zu |\n", node.name.c_str(),
+        node.analysis.crossable_count(), node.analysis.findings.size(),
+        node.analysis.unexpected_open_count(),
+        node.analysis.residual_set().size(),
+        node.degraded.count(DegradedBehavior::fail_closed_dependent));
+  }
+
+  for (std::size_t i = 0; i < review.nodes.size(); ++i) {
+    const NodeReview& node = review.nodes[i];
+    if (node.analysis.unexpected_open_count() == 0) continue;
+    const IngestedPolicy& ingested = snapshot_of(review, i).ingested;
+    out += strformat("\n### %s — unexpectedly open\n\n",
+                     node.name.c_str());
+    for (const ChannelFinding& f : node.analysis.findings) {
+      if (f.verdict != Verdict::open) continue;
+      out += strformat("- `%s` **OPEN** — %s [%s]\n",
+                       core::to_string(f.kind), f.explanation.c_str(),
+                       citation(ingested, f).c_str());
+      if (!f.minimal_hardening.empty()) {
+        std::vector<std::string> fixes;
+        for (const std::string& knob : f.minimal_hardening) {
+          fixes.push_back(strformat(
+              "`%s` (currently set at %s)", knob.c_str(),
+              ingested.where(knob).to_string().c_str()));
+        }
+        out += strformat("  - harden %s\n",
+                         common::join(fixes, " and ").c_str());
+      }
+    }
+  }
+
+  out += strformat(
+      "\nsite gate: %s (unexpected open: %zu, drift findings: %zu, parse "
+      "errors: %zu)\n",
+      review.gate_ok() ? "PASS" : "FAIL", review.unexpected_open_total(),
+      review.drift.size(), review.error_count());
+  return out;
+}
+
+namespace {
+
+std::string json_provenance(const Provenance& p) {
+  return strformat("{\"file\": \"%s\", \"line\": %d}",
+                   json_escape(p.file).c_str(), p.line);
+}
+
+std::string json_diagnostics(const std::vector<Diagnostic>& diags) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += strformat("{\"severity\": \"%s\", \"where\": %s, "
+                     "\"message\": \"%s\"}",
+                     to_string(diags[i].severity),
+                     json_provenance(diags[i].where).c_str(),
+                     json_escape(diags[i].message).c_str());
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+std::string to_json(const SiteReview& review) {
+  std::string out = "{\n";
+  out += strformat("  \"snapshot\": \"%s\",\n",
+                   json_escape(review.site.root).c_str());
+  if (review.site.intent) {
+    out += strformat(
+        "  \"intent\": {\"policy\": \"%s\", \"diagnostics\": %s},\n",
+        json_escape(describe_policy(review.site.intent->policy)).c_str(),
+        json_diagnostics(review.site.intent->diagnostics).c_str());
+  } else {
+    out += "  \"intent\": null,\n";
+  }
+  out += strformat("  \"site_diagnostics\": %s,\n",
+                   json_diagnostics(review.site.site_diagnostics).c_str());
+
+  out += "  \"drift\": [\n";
+  for (std::size_t i = 0; i < review.drift.size(); ++i) {
+    const DriftFinding& f = review.drift[i];
+    out += strformat(
+        "    {\"kind\": \"%s\", \"node\": \"%s\", \"knob\": \"%s\", "
+        "\"expected\": \"%s\", \"actual\": \"%s\", \"where\": %s}%s\n",
+        to_string(f.kind), json_escape(f.node).c_str(),
+        json_escape(f.knob).c_str(), json_escape(f.expected).c_str(),
+        json_escape(f.actual).c_str(), json_provenance(f.where).c_str(),
+        i + 1 == review.drift.size() ? "" : ",");
+  }
+  out += "  ],\n";
+
+  out += "  \"nodes\": [\n";
+  for (std::size_t n = 0; n < review.nodes.size(); ++n) {
+    const NodeReview& node = review.nodes[n];
+    const IngestedPolicy& ingested = snapshot_of(review, n).ingested;
+    out += strformat("    {\"name\": \"%s\",\n",
+                     json_escape(node.name).c_str());
+    out += strformat("     \"policy\": \"%s\",\n",
+                     json_escape(
+                         describe_policy(ingested.policy)).c_str());
+    out += strformat(
+        "     \"facts\": {\"service_port\": %u, \"ubf_inspect_from\": %u, "
+        "\"has_gpus\": %s},\n",
+        static_cast<unsigned>(ingested.facts.service_port),
+        static_cast<unsigned>(ingested.facts.ubf_inspect_from),
+        ingested.facts.has_gpus ? "true" : "false");
+    out += strformat("     \"diagnostics\": %s,\n",
+                     json_diagnostics(ingested.diagnostics).c_str());
+    out += "     \"channels\": [\n";
+    const auto& findings = node.analysis.findings;
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const ChannelFinding& f = findings[i];
+      std::string cites = "[";
+      const std::vector<std::string> knobs = cited_knobs(f);
+      for (std::size_t c = 0; c < knobs.size(); ++c) {
+        if (c != 0) cites += ", ";
+        cites += strformat(
+            "{\"knob\": \"%s\", \"where\": %s}",
+            json_escape(knobs[c]).c_str(),
+            json_provenance(ingested.where(knobs[c])).c_str());
+      }
+      cites += "]";
+      out += strformat(
+          "       {\"channel\": \"%s\", \"verdict\": \"%s\", "
+          "\"explanation\": \"%s\", \"cited\": %s}%s\n",
+          core::to_string(f.kind), to_string(f.verdict),
+          json_escape(f.explanation).c_str(), cites.c_str(),
+          i + 1 == findings.size() ? "" : ",");
+    }
+    out += "     ],\n";
+    out += strformat(
+        "     \"summary\": {\"crossable\": %zu, \"unexpected_open\": %zu, "
+        "\"residual\": %zu, \"fail_closed_dependent\": %zu}}%s\n",
+        node.analysis.crossable_count(),
+        node.analysis.unexpected_open_count(),
+        node.analysis.residual_set().size(),
+        node.degraded.count(DegradedBehavior::fail_closed_dependent),
+        n + 1 == review.nodes.size() ? "" : ",");
+  }
+  out += "  ],\n";
+  out += strformat(
+      "  \"gate\": {\"ok\": %s, \"unexpected_open\": %zu, "
+      "\"drift_findings\": %zu, \"parse_errors\": %zu}\n",
+      review.gate_ok() ? "true" : "false",
+      review.unexpected_open_total(), review.drift.size(),
+      review.error_count());
+  out += "}\n";
+  return out;
+}
+
+}  // namespace heus::analyze::ingest

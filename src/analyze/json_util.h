@@ -1,0 +1,20 @@
+// JSON rendering primitives shared by the report emitters (report.cpp,
+// ingest/site_report.cpp). Escaping lives in exactly one place so the
+// golden-file + real-parser tests in tests/ guard every JSON document the
+// analyzer family produces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace heus::analyze {
+
+/// Escape `s` for inclusion inside a JSON string literal (quotes,
+/// backslashes, and all control characters below 0x20).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Render `items` as a JSON array of strings.
+[[nodiscard]] std::string json_string_array(
+    const std::vector<std::string>& items);
+
+}  // namespace heus::analyze

@@ -1,5 +1,8 @@
 #include "analyze/policy_space.h"
 
+#include <cassert>
+#include <string_view>
+
 #include "common/strings.h"
 
 namespace heus::analyze {
@@ -146,6 +149,56 @@ std::vector<NamedPolicy> differential_sweep(std::size_t random_count,
         {common::strformat("random-%zu", i), random_policy(rng)});
   }
   return out;
+}
+
+std::string knob_value(const SeparationPolicy& p, const KnobSpec& knob) {
+  if (std::string_view(knob.name) == "hidepid") {
+    switch (p.hidepid) {
+      case simos::HidepidMode::off: return "off";
+      case simos::HidepidMode::restrict_contents: return "restrict";
+      case simos::HidepidMode::invisible: return "invisible";
+    }
+    return "?";
+  }
+  if (std::string_view(knob.name) == "sharing") {
+    return sched::to_string(p.sharing);
+  }
+  return knob.is_hardened(p) ? "1" : "0";
+}
+
+std::vector<std::pair<std::string, std::string>> knob_assignments(
+    const SeparationPolicy& p) {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(registry().size());
+  for (const KnobSpec& k : registry()) {
+    out.emplace_back(k.name, knob_value(p, k));
+  }
+  return out;
+}
+
+std::size_t policy_space_size() {
+  // Two 3-valued enum knobs; every other registry knob is boolean.
+  return 3 * 3 * (std::size_t{1} << (registry().size() - 2));
+}
+
+SeparationPolicy policy_at(std::size_t index) {
+  assert(index < policy_space_size());
+  SeparationPolicy p;
+  p.hidepid = static_cast<simos::HidepidMode>(index % 3);
+  index /= 3;
+  switch (index % 3) {
+    case 0: p.sharing = sched::SharingPolicy::shared; break;
+    case 1: p.sharing = sched::SharingPolicy::exclusive_job; break;
+    default: p.sharing = sched::SharingPolicy::user_whole_node; break;
+  }
+  index /= 3;
+  for (const KnobSpec& k : registry()) {
+    const std::string_view name = k.name;
+    if (name == "hidepid" || name == "sharing") continue;
+    k.set(p, (index & 1) != 0);
+    index >>= 1;
+  }
+  return p;
 }
 
 bool set_knob_from_string(SeparationPolicy& p, const std::string& name,

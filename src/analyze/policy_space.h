@@ -10,6 +10,7 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -63,6 +64,29 @@ struct NamedPolicy {
 /// explanation-soundness property test iterate.
 [[nodiscard]] std::vector<NamedPolicy> differential_sweep(
     std::size_t random_count, std::uint64_t seed);
+
+/// The value of one registry knob as a parseable token: "off"/"restrict"/
+/// "invisible" for hidepid, "shared"/"exclusive"/"user-whole-node" for
+/// sharing, "0"/"1" for booleans. Every returned token is accepted back by
+/// set_knob_from_string, which is what lets the intent-policy emitter and
+/// the drift reporter speak the same vocabulary.
+[[nodiscard]] std::string knob_value(const core::SeparationPolicy& p,
+                                     const KnobSpec& knob);
+
+/// All `name -> value` assignments of `p`, registry order. The uniform
+/// view drift analysis diffs node-by-node.
+[[nodiscard]] std::vector<std::pair<std::string, std::string>>
+knob_assignments(const core::SeparationPolicy& p);
+
+/// Size of the full knob lattice (every enum value of hidepid and sharing
+/// times every boolean assignment): the domain of the exhaustive
+/// round-trip oracle.
+[[nodiscard]] std::size_t policy_space_size();
+
+/// The `index`-th point of the lattice, in a fixed documented order.
+/// policy_at(i) for i in [0, policy_space_size()) enumerates every policy
+/// exactly once. Asserts on out-of-range indices.
+[[nodiscard]] core::SeparationPolicy policy_at(std::size_t index);
 
 /// Set one knob from a CLI-style string. Accepted values: bools take
 /// 0/1/true/false/on/off; "hidepid" additionally takes off/restrict/

@@ -1,5 +1,6 @@
 #include "analyze/report.h"
 
+#include "analyze/json_util.h"
 #include "common/strings.h"
 
 namespace heus::analyze {
@@ -12,35 +13,6 @@ std::string join_names(const std::vector<std::string>& names,
                        const char* empty) {
   if (names.empty()) return empty;
   return common::join(names, ", ");
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += strformat("\\u%04x", static_cast<unsigned>(c));
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string json_string_array(const std::vector<std::string>& items) {
-  std::string out = "[";
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    if (i != 0) out += ", ";
-    out += "\"" + json_escape(items[i]) + "\"";
-  }
-  return out + "]";
 }
 
 }  // namespace

@@ -54,6 +54,10 @@ struct SeparationPolicy {
     p.gpu_epilog_scrub = true;
     return p;
   }
+
+  /// Knob-wise equality — what the ingest round-trip oracle asserts
+  /// between a policy and its emit→parse image.
+  [[nodiscard]] bool operator==(const SeparationPolicy&) const = default;
 };
 
 }  // namespace heus::core

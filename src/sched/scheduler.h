@@ -45,6 +45,8 @@ struct PrivateData {
 
   [[nodiscard]] static PrivateData all() { return {true, true, true}; }
   [[nodiscard]] static PrivateData none() { return {false, false, false}; }
+
+  [[nodiscard]] bool operator==(const PrivateData&) const = default;
 };
 
 struct SchedulerConfig {

@@ -1,11 +1,13 @@
 // heus-lint: static separation-policy linter (the pre-submit gate).
 //
 // Reads a SeparationPolicy from the command line (a named starting point
-// plus knob overrides), runs the static analyzer — no cluster is built,
-// no probe runs — and emits the channel census as markdown and/or JSON.
-// With --gate, exits nonzero when any channel is unexpectedly open, which
-// is what lets a site wire it in front of every policy change the way one
-// reviews an iptables ruleset before loading it.
+// plus knob overrides) or reconstructs one per node from a deployment
+// snapshot directory (--site), runs the static analyzer — no cluster is
+// built, no probe runs — and emits the channel census as markdown and/or
+// JSON. With --gate, exits nonzero when any channel is unexpectedly open
+// (and, under --site, on drift or parse errors), which is what lets a
+// site wire it in front of every policy change the way one reviews an
+// iptables ruleset before loading it.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -13,6 +15,8 @@
 
 #include "analyze/analyzer.h"
 #include "analyze/degraded.h"
+#include "analyze/ingest/site.h"
+#include "analyze/ingest/site_report.h"
 #include "analyze/policy_space.h"
 #include "analyze/report.h"
 
@@ -24,9 +28,15 @@ void usage(std::FILE* to) {
       "usage: heus-lint [options]\n"
       "  --policy=baseline|hardened  starting policy (default: baseline)\n"
       "  --set=<knob>=<value>        override one knob (repeatable)\n"
+      "  --site=<dir>                review a deployment snapshot: parse\n"
+      "                              per-node artifacts, report drift and\n"
+      "                              per-node verdicts with file:line\n"
+      "                              provenance\n"
       "  --format=markdown|json|both report format (default: markdown)\n"
       "  --gate                      exit 1 on any unexpectedly-open "
       "channel\n"
+      "                              (with --site: also on drift or parse "
+      "errors)\n"
       "  --degraded                  report which closed channels rely on\n"
       "                              fail-closed behavior under "
       "ident/network\n"
@@ -52,6 +62,7 @@ int main(int argc, char** argv) {
   core::SeparationPolicy policy = core::SeparationPolicy::baseline();
   analyze::TopologyFacts facts;
   std::string format = "markdown";
+  std::string site_dir;
   bool gate = false;
   bool degraded = false;
 
@@ -105,6 +116,12 @@ int main(int argc, char** argv) {
                      "heus-lint: bad --set '%s' (try --list-knobs)\n", kv);
         return 2;
       }
+    } else if (const char* dir = value_of(arg, "--site")) {
+      site_dir = dir;
+      if (site_dir.empty()) {
+        std::fprintf(stderr, "heus-lint: --site needs a directory\n");
+        return 2;
+      }
     } else if (const char* fmt = value_of(arg, "--format")) {
       format = fmt;
       if (format != "markdown" && format != "json" && format != "both") {
@@ -127,6 +144,32 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!site_dir.empty()) {
+    std::string error;
+    auto site = analyze::ingest::load_site(site_dir, &error);
+    if (!site) {
+      std::fprintf(stderr, "heus-lint: %s\n", error.c_str());
+      return 2;
+    }
+    const analyze::ingest::SiteReview review =
+        analyze::ingest::review_site(std::move(*site), facts);
+    if (format == "markdown" || format == "both") {
+      std::fputs(analyze::ingest::to_markdown(review).c_str(), stdout);
+    }
+    if (format == "json" || format == "both") {
+      std::fputs(analyze::ingest::to_json(review).c_str(), stdout);
+    }
+    if (gate && !review.gate_ok()) {
+      std::fprintf(stderr,
+                   "heus-lint: SITE GATE FAILED — %zu unexpectedly-open "
+                   "channel(s), %zu drift finding(s), %zu parse "
+                   "error(s)\n",
+                   review.unexpected_open_total(), review.drift.size(),
+                   review.error_count());
+      return 1;
+    }
+    return 0;
+  }
   const analyze::StaticAnalyzer analyzer(facts);
   if (degraded) {
     const analyze::DegradedReport census =

@@ -49,6 +49,8 @@ struct FsPolicy {
 
   [[nodiscard]] static FsPolicy hardened() { return {true, true, true}; }
   [[nodiscard]] static FsPolicy baseline() { return {false, false, false}; }
+
+  [[nodiscard]] bool operator==(const FsPolicy&) const = default;
 };
 
 enum class Access : unsigned {

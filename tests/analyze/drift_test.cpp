@@ -1,0 +1,225 @@
+// Drift analysis and site loading: a seeded misconfiguration must be
+// detected, attributed to the right node AND the right artifact line,
+// and must fail the gate; load_site() must reproduce the in-memory
+// parse from a real directory tree.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze/ingest/drift.h"
+#include "analyze/ingest/emit.h"
+#include "analyze/ingest/parsers.h"
+#include "analyze/ingest/site.h"
+#include "analyze/ingest/site_report.h"
+
+namespace heus::analyze::ingest {
+namespace {
+
+using core::SeparationPolicy;
+
+std::vector<std::pair<std::string, std::string>> render(
+    const SeparationPolicy& p) {
+  std::vector<std::pair<std::string, std::string>> files;
+  for (EmittedArtifact& a : emit_artifacts(p)) {
+    files.emplace_back(std::move(a.filename), std::move(a.content));
+  }
+  return files;
+}
+
+SiteSnapshot hardened_fleet(int nodes) {
+  SiteSnapshot site;
+  site.root = "(test)";
+  IngestedPolicy intent;
+  parse_intent_policy(emit_intent_policy(SeparationPolicy::hardened()),
+                      "intent.policy", intent);
+  site.intent = std::move(intent);
+  for (int i = 1; i <= nodes; ++i) {
+    site.nodes.push_back(
+        parse_node("node0" + std::to_string(i),
+                   render(SeparationPolicy::hardened())));
+  }
+  return site;
+}
+
+int proc_line_of(const std::vector<std::pair<std::string, std::string>>&
+                     files) {
+  for (const auto& [name, content] : files) {
+    if (name != "proc_mounts") continue;
+    int line = 1;
+    std::size_t pos = 0;
+    while (pos < content.size()) {
+      const std::size_t nl = content.find('\n', pos);
+      if (content.compare(pos, 5, "proc ") == 0) return line;
+      if (nl == std::string::npos) break;
+      pos = nl + 1;
+      ++line;
+    }
+  }
+  return 0;
+}
+
+TEST(DriftTest, CleanFleetHasNoDrift) {
+  const SiteSnapshot site = hardened_fleet(3);
+  EXPECT_TRUE(analyze_drift(site).empty());
+  const SiteReview review = review_site(hardened_fleet(3));
+  EXPECT_TRUE(review.gate_ok());
+}
+
+TEST(DriftTest, SeededHidepidLossIsAttributedToNodeAndLine) {
+  // node02's /proc mount line lost hidepid=2 — the §IV-A regression the
+  // issue uses as its acceptance example.
+  SiteSnapshot site = hardened_fleet(3);
+  auto files = render(SeparationPolicy::hardened());
+  const int line = proc_line_of(files);
+  ASSERT_GT(line, 0);
+  for (auto& [name, content] : files) {
+    if (name == "proc_mounts") {
+      content = "proc /proc proc rw,nosuid,nodev,noexec 0 0\n";
+    }
+  }
+  site.nodes[1] = parse_node("node02", files);
+
+  const std::vector<DriftFinding> drift = analyze_drift(site);
+  bool intent_hit = false, peers_hit = false;
+  for (const DriftFinding& f : drift) {
+    EXPECT_EQ(f.node, "node02");  // nobody else drifted
+    if (f.knob != "hidepid") continue;
+    EXPECT_EQ(f.expected, "invisible");
+    EXPECT_EQ(f.actual, "off");
+    EXPECT_EQ(f.where.file, "nodes/node02/proc_mounts");
+    EXPECT_EQ(f.where.line, 1);  // the replacement mount line
+    intent_hit |= f.kind == DriftKind::vs_intent;
+    peers_hit |= f.kind == DriftKind::vs_peers;
+  }
+  EXPECT_TRUE(intent_hit);
+  EXPECT_TRUE(peers_hit);
+
+  // And it fails the gate, through the same path heus-lint --site uses.
+  const SiteReview review = review_site(std::move(site));
+  EXPECT_FALSE(review.gate_ok());
+  EXPECT_FALSE(review.drift.empty());
+  // hidepid=off on a hardened node reopens §IV-A unexpectedly.
+  EXPECT_GT(review.unexpected_open_total(), 0u);
+}
+
+TEST(DriftTest, PeerDriftWithoutIntent) {
+  SiteSnapshot site = hardened_fleet(3);
+  site.intent.reset();
+  SeparationPolicy relaxed = SeparationPolicy::hardened();
+  relaxed.ubf = false;
+  site.nodes[2] = parse_node("node03", render(relaxed));
+  const std::vector<DriftFinding> drift = analyze_drift(site);
+  ASSERT_EQ(drift.size(), 1u);
+  EXPECT_EQ(drift[0].kind, DriftKind::vs_peers);
+  EXPECT_EQ(drift[0].node, "node03");
+  EXPECT_EQ(drift[0].knob, "ubf");
+  EXPECT_EQ(drift[0].expected, "1");
+  EXPECT_EQ(drift[0].actual, "0");
+  EXPECT_FALSE(drift[0].where.defaulted());
+}
+
+TEST(DriftTest, InspectRangeIsPeerComparable) {
+  SiteSnapshot site = hardened_fleet(3);
+  site.intent.reset();
+  TopologyFacts odd;
+  odd.ubf_inspect_from = 2048;
+  std::vector<std::pair<std::string, std::string>> files;
+  for (EmittedArtifact& a :
+       emit_artifacts(SeparationPolicy::hardened(), odd)) {
+    files.emplace_back(std::move(a.filename), std::move(a.content));
+  }
+  site.nodes[0] = parse_node("node01", files);
+  const std::vector<DriftFinding> drift = analyze_drift(site);
+  ASSERT_EQ(drift.size(), 1u);
+  EXPECT_EQ(drift[0].knob, "facts.ubf_inspect_from");
+  EXPECT_EQ(drift[0].node, "node01");
+  EXPECT_EQ(drift[0].expected, "1024");
+  EXPECT_EQ(drift[0].actual, "2048");
+}
+
+TEST(DriftTest, SingleNodeHasNoPeerDrift) {
+  const SiteSnapshot site = hardened_fleet(1);
+  EXPECT_TRUE(drift_among_peers(site).empty());
+}
+
+// --- load_site on a real directory tree (scratch dir in the build tree,
+// cleaned up per test).
+
+class LoadSiteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::path("load_site_scratch") /
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all("load_site_scratch"); }
+
+  void write(const std::filesystem::path& rel, const std::string& text) {
+    const std::filesystem::path p = root_ / rel;
+    std::filesystem::create_directories(p.parent_path());
+    std::ofstream(p, std::ios::binary) << text;
+  }
+
+  std::filesystem::path root_;
+};
+
+TEST_F(LoadSiteTest, MatchesInMemoryParse) {
+  write("intent.policy",
+        emit_intent_policy(SeparationPolicy::hardened()));
+  for (const char* node : {"node01", "node02"}) {
+    for (const EmittedArtifact& a :
+         emit_artifacts(SeparationPolicy::hardened())) {
+      write(std::filesystem::path("nodes") / node / a.filename, a.content);
+    }
+  }
+  std::string error;
+  const auto site = load_site(root_.string(), &error);
+  ASSERT_TRUE(site.has_value()) << error;
+  EXPECT_FALSE(site->has_errors());
+  ASSERT_EQ(site->nodes.size(), 2u);
+  EXPECT_EQ(site->nodes[0].name, "node01");  // sorted
+  EXPECT_EQ(site->nodes[1].name, "node02");
+  ASSERT_TRUE(site->intent.has_value());
+  EXPECT_EQ(site->intent->policy, SeparationPolicy::hardened());
+  for (const NodeSnapshot& node : site->nodes) {
+    EXPECT_EQ(node.ingested.policy, SeparationPolicy::hardened());
+    EXPECT_TRUE(node.ingested.diagnostics.empty());
+  }
+  // Provenance is rooted at the snapshot dir, not the absolute path.
+  EXPECT_EQ(site->nodes[0].ingested.where("ubf").file,
+            "nodes/node01/ubf.rules");
+  EXPECT_TRUE(analyze_drift(*site).empty());
+}
+
+TEST_F(LoadSiteTest, MissingNodesDirIsASiteError) {
+  write("intent.policy", "base = hardened\n");
+  std::string error;
+  const auto site = load_site(root_.string(), &error);
+  ASSERT_TRUE(site.has_value()) << error;
+  EXPECT_TRUE(site->has_errors());
+  EXPECT_TRUE(site->nodes.empty());
+}
+
+TEST_F(LoadSiteTest, UnreadableDirectoryReturnsNullopt) {
+  std::string error;
+  EXPECT_FALSE(
+      load_site((root_ / "does_not_exist").string(), &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(LoadSiteTest, StrayFileAmongNodesIsDiagnosed) {
+  write("nodes/node01/ubf.rules", "default drop\n");
+  write("nodes/node01/README", "why is this here\n");
+  std::string error;
+  const auto site = load_site(root_.string(), &error);
+  ASSERT_TRUE(site.has_value()) << error;
+  EXPECT_TRUE(site->has_errors());  // unknown artifact basename
+}
+
+}  // namespace
+}  // namespace heus::analyze::ingest

@@ -1,0 +1,118 @@
+// Parser fuzz: arbitrary bytes never crash any artifact parser (the CI
+// sanitizer job runs this under ASan/UBSan), and corrupting a line of a
+// canonical artifact yields a diagnostic that cites exactly that line.
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze/ingest/emit.h"
+#include "analyze/ingest/parsers.h"
+#include "analyze/ingest/site.h"
+#include "common/rng.h"
+
+namespace heus::analyze::ingest {
+namespace {
+
+std::string random_bytes(common::Rng& rng, std::size_t max_len) {
+  const std::size_t len = rng.bounded(max_len + 1);
+  std::string out(len, '\0');
+  for (char& c : out) {
+    c = static_cast<char>(rng.bounded(256));
+  }
+  return out;
+}
+
+/// Bytes biased toward config-looking text: ASCII, '=', ':', ',', '\n',
+/// and grammar keywords — exercises deeper parser paths than pure noise.
+std::string random_configish(common::Rng& rng, std::size_t max_len) {
+  static const char* kWords[] = {
+      "proc",    "hidepid", "gid",     "PrivateData", "ExclusiveUser",
+      "inspect", "accept",  "drop",    "default",     "same-user",
+      "device",  "base",    "homes.",  "smask.",      "app_port",
+      "0",       "1",       "2",       "65535",       "yes",
+  };
+  std::string out;
+  const std::size_t len = rng.bounded(max_len + 1);
+  while (out.size() < len) {
+    switch (rng.bounded(6)) {
+      case 0: out += kWords[rng.bounded(std::size(kWords))]; break;
+      case 1: out += '\n'; break;
+      case 2: out += '='; break;
+      case 3: out += ' '; break;
+      case 4: out += static_cast<char>(rng.bounded(256)); break;
+      default:
+        out += static_cast<char>('a' + rng.bounded(26));
+        break;
+    }
+  }
+  return out;
+}
+
+class IngestFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IngestFuzzTest, ArbitraryBytesNeverCrash) {
+  common::Rng rng(GetParam());
+  for (int iter = 0; iter < 400; ++iter) {
+    const std::string content = iter % 2 == 0
+                                    ? random_bytes(rng, 512)
+                                    : random_configish(rng, 512);
+    for (const std::string& name : artifact_filenames()) {
+      IngestedPolicy out;
+      ASSERT_TRUE(parse_artifact(name, content, name, out));
+      // Every diagnostic cites a real line of the input.
+      for (const Diagnostic& d : out.diagnostics) {
+        EXPECT_GE(d.where.line, 1);
+        EXPECT_EQ(d.where.file, name);
+      }
+    }
+    IngestedPolicy intent;
+    parse_intent_policy(content, "intent.policy", intent);
+    // Whole-node parse (with a junk extra artifact) never crashes either.
+    (void)parse_node("n", {{artifact_filenames()[iter % 6], content},
+                           {"garbage.bin", content}});
+  }
+}
+
+TEST_P(IngestFuzzTest, CorruptedLineIsCitedByNumber) {
+  common::Rng rng(GetParam() ^ 0xfeedULL);
+  for (int iter = 0; iter < 200; ++iter) {
+    // Start from a canonical artifact (which parses diagnostic-free),
+    // then smash one non-empty line with junk that no grammar accepts.
+    std::vector<EmittedArtifact> artifacts =
+        emit_artifacts(core::SeparationPolicy::hardened());
+    EmittedArtifact& victim = artifacts[rng.bounded(artifacts.size())];
+    std::vector<std::string> lines;
+    std::size_t pos = 0;
+    while (pos < victim.content.size()) {
+      const std::size_t nl = victim.content.find('\n', pos);
+      lines.push_back(victim.content.substr(pos, nl - pos));
+      if (nl == std::string::npos) break;
+      pos = nl + 1;
+    }
+    const std::size_t target = rng.bounded(lines.size());
+    // Two tokens, no '=': malformed under every artifact grammar (a
+    // short fstab line, an unknown rule verb, a key=value line with no
+    // '=').
+    lines[target] = "!corrupted ~~";
+    std::string rebuilt;
+    for (const std::string& l : lines) rebuilt += l + "\n";
+
+    IngestedPolicy out;
+    ASSERT_TRUE(
+        parse_artifact(victim.filename, rebuilt, victim.filename, out));
+    bool cited = false;
+    for (const Diagnostic& d : out.diagnostics) {
+      cited |= d.where.line == static_cast<int>(target) + 1;
+    }
+    EXPECT_TRUE(cited) << victim.filename << " line " << target + 1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IngestFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 20240521u));
+
+}  // namespace
+}  // namespace heus::analyze::ingest

@@ -1,0 +1,385 @@
+// Artifact parser units: each deployment artifact parses into the right
+// knobs with exact file:line provenance, malformed lines draw
+// diagnostics that cite the offending line, and the canonical emitter's
+// output is accepted verbatim.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analyze/ingest/artifact.h"
+#include "analyze/ingest/emit.h"
+#include "analyze/ingest/parsers.h"
+#include "analyze/ingest/site.h"
+
+namespace heus::analyze::ingest {
+namespace {
+
+using core::SeparationPolicy;
+
+Provenance at(const std::string& file, int line) { return {file, line}; }
+
+TEST(ProcMountsTest, HidepidAndGidFromProcLine) {
+  IngestedPolicy out;
+  parse_proc_mounts(
+      "# comment\n"
+      "/dev/sda1 / ext4 rw 0 1\n"
+      "proc /proc proc rw,nosuid,hidepid=2,gid=9001 0 0\n",
+      "proc_mounts", out);
+  EXPECT_EQ(out.policy.hidepid, simos::HidepidMode::invisible);
+  EXPECT_TRUE(out.policy.hidepid_gid_exemption);
+  EXPECT_EQ(out.where("hidepid"), at("proc_mounts", 3));
+  EXPECT_EQ(out.where("hidepid_gid_exemption"), at("proc_mounts", 3));
+  EXPECT_TRUE(out.diagnostics.empty());
+}
+
+TEST(ProcMountsTest, ProcLineWithoutOptionsMeansOff) {
+  IngestedPolicy out;
+  parse_proc_mounts("proc /proc proc rw,nosuid,nodev,noexec 0 0\n",
+                    "proc_mounts", out);
+  // The option list is the authority: no hidepid= there IS the decision.
+  EXPECT_EQ(out.policy.hidepid, simos::HidepidMode::off);
+  EXPECT_FALSE(out.policy.hidepid_gid_exemption);
+  EXPECT_EQ(out.where("hidepid"), at("proc_mounts", 1));
+}
+
+TEST(ProcMountsTest, WordForms) {
+  IngestedPolicy out;
+  parse_proc_mounts("proc /proc proc hidepid=invisible 0 0\n",
+                    "proc_mounts", out);
+  EXPECT_EQ(out.policy.hidepid, simos::HidepidMode::invisible);
+  IngestedPolicy out2;
+  parse_proc_mounts("proc /proc proc hidepid=noaccess 0 0\n",
+                    "proc_mounts", out2);
+  EXPECT_EQ(out2.policy.hidepid, simos::HidepidMode::restrict_contents);
+}
+
+TEST(ProcMountsTest, MalformedLinesCiteTheLine) {
+  IngestedPolicy out;
+  parse_proc_mounts(
+      "proc /proc\n"
+      "proc /proc proc hidepid=9 0 0\n",
+      "proc_mounts", out);
+  ASSERT_EQ(out.diagnostics.size(), 2u);
+  EXPECT_EQ(out.diagnostics[0].severity, Severity::error);
+  EXPECT_EQ(out.diagnostics[0].where, at("proc_mounts", 1));
+  EXPECT_EQ(out.diagnostics[1].where, at("proc_mounts", 2));
+  EXPECT_TRUE(out.has_errors());
+}
+
+TEST(ProcMountsTest, DuplicateProcLineWarns) {
+  IngestedPolicy out;
+  parse_proc_mounts(
+      "proc /proc proc hidepid=2 0 0\n"
+      "proc /proc proc rw 0 0\n",
+      "proc_mounts", out);
+  ASSERT_EQ(out.diagnostics.size(), 1u);
+  EXPECT_EQ(out.diagnostics[0].severity, Severity::warning);
+  EXPECT_EQ(out.diagnostics[0].where, at("proc_mounts", 2));
+  // Last one wins, with its provenance.
+  EXPECT_EQ(out.policy.hidepid, simos::HidepidMode::off);
+  EXPECT_EQ(out.where("hidepid"), at("proc_mounts", 2));
+}
+
+TEST(SlurmConfTest, PrivateDataPamAndEpilog) {
+  IngestedPolicy out;
+  parse_slurm_conf(
+      "ClusterName=examplehpc\n"
+      "PrivateData=jobs,usage\n"
+      "UsePAM=1\n"
+      "Epilog=/etc/slurm/epilog.d/90-gpu-scrub.sh\n",
+      "slurm.conf", out);
+  EXPECT_TRUE(out.policy.private_data.jobs);
+  EXPECT_FALSE(out.policy.private_data.accounting);
+  EXPECT_TRUE(out.policy.private_data.usage);
+  EXPECT_TRUE(out.policy.pam_slurm);
+  EXPECT_TRUE(out.policy.gpu_epilog_scrub);
+  EXPECT_EQ(out.where("private_data.jobs"), at("slurm.conf", 2));
+  EXPECT_EQ(out.where("pam_slurm"), at("slurm.conf", 3));
+  EXPECT_EQ(out.where("gpu_epilog_scrub"), at("slurm.conf", 4));
+  // ClusterName is one of the dozens of real keys we do not model.
+  EXPECT_TRUE(out.diagnostics.empty());
+}
+
+TEST(SlurmConfTest, ExclusiveUserBeatsOverSubscribe) {
+  IngestedPolicy out;
+  parse_slurm_conf(
+      "OverSubscribe=EXCLUSIVE\n"
+      "ExclusiveUser=YES\n",
+      "slurm.conf", out);
+  EXPECT_EQ(out.policy.sharing, sched::SharingPolicy::user_whole_node);
+  EXPECT_EQ(out.where("sharing"), at("slurm.conf", 2));
+}
+
+TEST(SlurmConfTest, OverSubscribeExclusiveAlone) {
+  IngestedPolicy out;
+  parse_slurm_conf("OverSubscribe=EXCLUSIVE\n", "slurm.conf", out);
+  EXPECT_EQ(out.policy.sharing, sched::SharingPolicy::exclusive_job);
+  EXPECT_EQ(out.where("sharing"), at("slurm.conf", 1));
+}
+
+TEST(SlurmConfTest, ExclusiveUserNoIsShared) {
+  IngestedPolicy out;
+  parse_slurm_conf("ExclusiveUser=NO\n", "slurm.conf", out);
+  EXPECT_EQ(out.policy.sharing, sched::SharingPolicy::shared);
+}
+
+TEST(SlurmConfTest, NonScrubEpilogIsNotTheScrub) {
+  IngestedPolicy out;
+  parse_slurm_conf("Epilog=/etc/slurm/epilog.d/10-cleanup.sh\n",
+                   "slurm.conf", out);
+  EXPECT_FALSE(out.policy.gpu_epilog_scrub);
+  EXPECT_EQ(out.where("gpu_epilog_scrub"), at("slurm.conf", 1));
+}
+
+TEST(SlurmConfTest, BadValuesCiteTheLine) {
+  IngestedPolicy out;
+  parse_slurm_conf(
+      "PrivateData=jobs,everything\n"
+      "UsePAM=maybe\n"
+      "no equals sign here\n",
+      "slurm.conf", out);
+  ASSERT_EQ(out.diagnostics.size(), 3u);
+  EXPECT_EQ(out.diagnostics[0].where, at("slurm.conf", 1));
+  EXPECT_EQ(out.diagnostics[1].where, at("slurm.conf", 2));
+  EXPECT_EQ(out.diagnostics[2].where, at("slurm.conf", 3));
+  EXPECT_TRUE(out.has_errors());
+}
+
+TEST(UbfRulesTest, FullRuleset) {
+  IngestedPolicy out;
+  parse_ubf_rules(
+      "inspect 1024:65535\n"
+      "accept same-user\n"
+      "accept same-primary-group\n"
+      "default drop\n",
+      "ubf.rules", out);
+  EXPECT_TRUE(out.policy.ubf);
+  EXPECT_TRUE(out.policy.ubf_group_peers);
+  EXPECT_EQ(out.facts.ubf_inspect_from, 1024);
+  EXPECT_EQ(out.where("ubf"), at("ubf.rules", 4));
+  EXPECT_EQ(out.where("ubf_group_peers"), at("ubf.rules", 3));
+  EXPECT_EQ(out.where("facts.ubf_inspect_from"), at("ubf.rules", 1));
+  EXPECT_TRUE(out.diagnostics.empty());
+}
+
+TEST(UbfRulesTest, DefaultAcceptMeansNoFirewall) {
+  IngestedPolicy out;
+  parse_ubf_rules("default accept\n", "ubf.rules", out);
+  EXPECT_FALSE(out.policy.ubf);
+}
+
+TEST(UbfRulesTest, DropSameUserWarns) {
+  IngestedPolicy out;
+  parse_ubf_rules("drop same-user\n", "ubf.rules", out);
+  ASSERT_EQ(out.diagnostics.size(), 1u);
+  EXPECT_EQ(out.diagnostics[0].severity, Severity::warning);
+  EXPECT_EQ(out.diagnostics[0].where, at("ubf.rules", 1));
+}
+
+TEST(UbfRulesTest, MalformedRulesCiteTheLine) {
+  IngestedPolicy out;
+  parse_ubf_rules(
+      "inspect 70000:80000\n"
+      "accept everyone\n"
+      "frobnicate\n"
+      "default maybe\n",
+      "ubf.rules", out);
+  ASSERT_EQ(out.diagnostics.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(out.diagnostics[i].severity, Severity::error);
+    EXPECT_EQ(out.diagnostics[i].where.line, i + 1);
+  }
+  // Nothing was applied.
+  EXPECT_EQ(out.facts.ubf_inspect_from, TopologyFacts{}.ubf_inspect_from);
+}
+
+TEST(UbfRulesTest, InvertedRangeIsAnError) {
+  IngestedPolicy out;
+  parse_ubf_rules("inspect 2048:1024\n", "ubf.rules", out);
+  EXPECT_TRUE(out.has_errors());
+}
+
+TEST(StorageConfTest, AllKnobs) {
+  IngestedPolicy out;
+  parse_storage_conf(
+      "smask.enforce = 1\n"
+      "smask.honor = 0\n"
+      "acl.restrict_named_users = 1\n"
+      "homes.owner = root\n"
+      "homes.mode = 0770\n",
+      "storage.conf", out);
+  EXPECT_TRUE(out.policy.fs.enforce_smask);
+  EXPECT_FALSE(out.policy.fs.honor_smask);
+  EXPECT_TRUE(out.policy.fs.restrict_acl);
+  EXPECT_TRUE(out.policy.root_owned_homes);
+  EXPECT_EQ(out.where("fs.enforce_smask"), at("storage.conf", 1));
+  EXPECT_EQ(out.where("fs.honor_smask"), at("storage.conf", 2));
+  EXPECT_EQ(out.where("fs.restrict_acl"), at("storage.conf", 3));
+  EXPECT_EQ(out.where("root_owned_homes"), at("storage.conf", 4));
+  EXPECT_TRUE(out.diagnostics.empty());
+}
+
+TEST(StorageConfTest, WorldBitsOnRootHomesWarn) {
+  IngestedPolicy out;
+  parse_storage_conf(
+      "homes.owner = root\n"
+      "homes.mode = 0777\n",
+      "storage.conf", out);
+  ASSERT_EQ(out.diagnostics.size(), 1u);
+  EXPECT_EQ(out.diagnostics[0].severity, Severity::warning);
+  EXPECT_EQ(out.diagnostics[0].where, at("storage.conf", 2));
+}
+
+TEST(StorageConfTest, UnknownKeyWarnsBadValueErrors) {
+  IngestedPolicy out;
+  parse_storage_conf(
+      "smask.shinyness = 11\n"
+      "smask.enforce = perhaps\n"
+      "homes.mode = 0999\n",
+      "storage.conf", out);
+  ASSERT_EQ(out.diagnostics.size(), 3u);
+  EXPECT_EQ(out.diagnostics[0].severity, Severity::warning);
+  EXPECT_EQ(out.diagnostics[1].severity, Severity::error);
+  EXPECT_EQ(out.diagnostics[2].severity, Severity::error);
+  EXPECT_EQ(out.diagnostics[2].where, at("storage.conf", 3));
+}
+
+TEST(PortalConfTest, AppPortBecomesServicePortFact) {
+  IngestedPolicy out;
+  parse_portal_conf(
+      "listen = 443\n"
+      "app_port = 8080\n"
+      "forward_as = authenticated-user\n",
+      "portal.conf", out);
+  EXPECT_EQ(out.facts.service_port, 8080);
+  EXPECT_EQ(out.where("facts.service_port"), at("portal.conf", 2));
+  EXPECT_TRUE(out.diagnostics.empty());
+}
+
+TEST(PortalConfTest, ForwardAsDaemonWarns) {
+  IngestedPolicy out;
+  parse_portal_conf("forward_as = portal-daemon\n", "portal.conf", out);
+  ASSERT_EQ(out.diagnostics.size(), 1u);
+  EXPECT_EQ(out.diagnostics[0].severity, Severity::warning);
+}
+
+TEST(GpuRulesTest, DevicesAndChgrp) {
+  IngestedPolicy out;
+  parse_gpu_rules(
+      "alloc_chgrp = upg\n"
+      "device nvidia0\n"
+      "device nvidia1\n",
+      "gpu.rules", out);
+  EXPECT_TRUE(out.policy.gpu_dev_binding);
+  EXPECT_TRUE(out.facts.has_gpus);
+  EXPECT_EQ(out.where("gpu_dev_binding"), at("gpu.rules", 1));
+  EXPECT_EQ(out.where("facts.has_gpus"), at("gpu.rules", 2));
+}
+
+TEST(GpuRulesTest, NoDevicesMeansNoGpus) {
+  IngestedPolicy out;
+  parse_gpu_rules("alloc_chgrp = none\n", "gpu.rules", out);
+  EXPECT_FALSE(out.policy.gpu_dev_binding);
+  EXPECT_FALSE(out.facts.has_gpus);
+  EXPECT_TRUE(out.where("facts.has_gpus").defaulted());
+}
+
+TEST(IntentPolicyTest, BasePlusOverrides) {
+  IngestedPolicy out;
+  parse_intent_policy(
+      "base = hardened\n"
+      "fs.restrict_acl = 0\n",
+      "intent.policy", out);
+  SeparationPolicy want = SeparationPolicy::hardened();
+  want.fs.restrict_acl = false;
+  EXPECT_EQ(out.policy, want);
+  EXPECT_EQ(out.where("fs.restrict_acl"), at("intent.policy", 2));
+  EXPECT_EQ(out.where("hidepid"), at("intent.policy", 1));
+}
+
+TEST(IntentPolicyTest, LateBaseResetsAndWarns) {
+  IngestedPolicy out;
+  parse_intent_policy(
+      "ubf = 1\n"
+      "base = baseline\n",
+      "intent.policy", out);
+  EXPECT_EQ(out.policy, SeparationPolicy::baseline());
+  ASSERT_EQ(out.diagnostics.size(), 1u);
+  EXPECT_EQ(out.diagnostics[0].severity, Severity::warning);
+}
+
+TEST(IntentPolicyTest, UnknownKnobErrors) {
+  IngestedPolicy out;
+  parse_intent_policy("frobnication = 1\n", "intent.policy", out);
+  EXPECT_TRUE(out.has_errors());
+  EXPECT_EQ(out.diagnostics[0].where, at("intent.policy", 1));
+}
+
+TEST(ParseArtifactTest, DispatchesOnBasename) {
+  IngestedPolicy out;
+  EXPECT_TRUE(parse_artifact("ubf.rules", "default drop\n", "x", out));
+  EXPECT_TRUE(out.policy.ubf);
+  EXPECT_FALSE(parse_artifact("shadow", "root:*:0:0\n", "x", out));
+}
+
+TEST(ParseNodeTest, MissingArtifactsWarnAndDefault) {
+  const NodeSnapshot node = parse_node(
+      "node01", {{"ubf.rules", "default drop\n"}});
+  EXPECT_TRUE(node.ingested.policy.ubf);
+  // Five artifacts missing → five warnings, knobs at baseline defaults
+  // with defaulted provenance pointing at the owning artifact.
+  std::size_t warnings = 0;
+  for (const Diagnostic& d : node.ingested.diagnostics) {
+    if (d.severity == Severity::warning) ++warnings;
+  }
+  EXPECT_EQ(warnings, artifact_filenames().size() - 1);
+  EXPECT_FALSE(node.ingested.has_errors());
+  const Provenance hidepid = node.ingested.where("hidepid");
+  EXPECT_TRUE(hidepid.defaulted());
+  EXPECT_EQ(hidepid.file, "nodes/node01/proc_mounts");
+}
+
+TEST(ParseNodeTest, UnknownArtifactIsAnError) {
+  const NodeSnapshot node =
+      parse_node("node01", {{"shadow", "root:*:0:0\n"}});
+  EXPECT_TRUE(node.ingested.has_errors());
+}
+
+TEST(ProvenanceTest, ToStringFormats) {
+  EXPECT_EQ(at("nodes/n/proc_mounts", 3).to_string(),
+            "nodes/n/proc_mounts:3");
+  EXPECT_EQ(at("ubf.rules", 0).to_string(), "ubf.rules (default)");
+}
+
+TEST(EmitTest, EveryArtifactEmittedOnce) {
+  const std::vector<EmittedArtifact> artifacts =
+      emit_artifacts(SeparationPolicy::hardened());
+  ASSERT_EQ(artifacts.size(), artifact_filenames().size());
+  for (std::size_t i = 0; i < artifacts.size(); ++i) {
+    EXPECT_EQ(artifacts[i].filename, artifact_filenames()[i]);
+    EXPECT_FALSE(artifacts[i].content.empty());
+  }
+}
+
+TEST(EmitTest, CanonicalArtifactsParseWithoutDiagnostics) {
+  for (const SeparationPolicy& p :
+       {SeparationPolicy::baseline(), SeparationPolicy::hardened()}) {
+    std::vector<std::pair<std::string, std::string>> files;
+    for (const EmittedArtifact& a : emit_artifacts(p)) {
+      files.emplace_back(a.filename, a.content);
+    }
+    const NodeSnapshot node = parse_node("n", files);
+    EXPECT_TRUE(node.ingested.diagnostics.empty());
+    EXPECT_EQ(node.ingested.policy, p);
+    // Every knob's provenance is a real line in a real artifact.
+    for (const auto& [knob, where] : node.ingested.provenance) {
+      if (knob == "facts.has_gpus" && !node.ingested.facts.has_gpus) {
+        continue;  // "no device lines" has no line to cite
+      }
+      EXPECT_FALSE(where.defaulted()) << knob;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace heus::analyze::ingest

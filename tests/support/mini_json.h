@@ -1,0 +1,199 @@
+// A strict, dependency-free JSON validator for tests: recursive-descent
+// over the full grammar (RFC 8259), rejecting trailing commas, bare
+// values outside containers are allowed (per the RFC), and trailing
+// garbage. Tests use it to prove emitted JSON is genuinely parseable,
+// not merely brace-balanced.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace heus::testing {
+
+class MiniJson {
+ public:
+  /// Returns true iff `text` is one complete, valid JSON value.
+  /// On failure, `*error` (if given) describes the first offence and its
+  /// byte offset.
+  static bool valid(std::string_view text, std::string* error = nullptr) {
+    MiniJson p{text, 0};
+    p.skip_ws();
+    if (!p.value()) {
+      if (error) {
+        *error = p.error_ + " at byte " + std::to_string(p.pos_);
+      }
+      return false;
+    }
+    p.skip_ws();
+    if (p.pos_ != p.text_.size()) {
+      if (error) {
+        *error = "trailing garbage at byte " + std::to_string(p.pos_);
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  MiniJson(std::string_view text, std::size_t pos)
+      : text_(text), pos_(pos) {}
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool fail(const char* why) {
+    if (error_.empty()) error_ = why;
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return fail("bad literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value() {  // NOLINT(misc-no-recursion)
+    if (eof()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {  // NOLINT(misc-no-recursion)
+    ++pos_;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') return fail("object key must be string");
+      if (!string()) return false;
+      skip_ws();
+      if (eof() || peek() != ':') return fail("missing ':' in object");
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool array() {  // NOLINT(misc-no-recursion)
+    ++pos_;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool string() {
+    ++pos_;  // '"'
+    while (!eof()) {
+      const unsigned char c = static_cast<unsigned char>(peek());
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (eof()) return fail("unterminated escape");
+        switch (peek()) {
+          case '"': case '\\': case '/': case 'b': case 'f':
+          case 'n': case 'r': case 't':
+            ++pos_;
+            break;
+          case 'u': {
+            ++pos_;
+            for (int i = 0; i < 4; ++i) {
+              if (eof() || !is_hex(peek())) return fail("bad \\u escape");
+              ++pos_;
+            }
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+        continue;
+      }
+      if (c < 0x20) return fail("unescaped control character in string");
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    if (eof() || !is_digit(peek())) return fail("malformed number");
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (!eof() && is_digit(peek())) ++pos_;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || !is_digit(peek())) return fail("malformed fraction");
+      while (!eof() && is_digit(peek())) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || !is_digit(peek())) return fail("malformed exponent");
+      while (!eof() && is_digit(peek())) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  static bool is_digit(char c) { return c >= '0' && c <= '9'; }
+  static bool is_hex(char c) {
+    return is_digit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+  }
+
+  std::string_view text_;
+  std::size_t pos_;
+  std::string error_;
+};
+
+}  // namespace heus::testing

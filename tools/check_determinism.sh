@@ -38,6 +38,15 @@ check 'high_resolution_clock' \
 check '(^|[^_[:alnum:]])(sleep|usleep|nanosleep)\(' \
   'real sleeping (faults/retries must advance SimClock instead)'
 check 'std::mt19937' 'unseeded-by-convention std::mt19937 (use common::Rng)'
+# The artifact parsers (src/analyze/ingest/) must read config bytes the
+# same way on every host: no locale-dependent classification, no
+# environment-dependent behavior. Hand-rolled ASCII helpers only.
+check '(^|[^_[:alnum:]])(setlocale|std::locale)' \
+  'locale machinery (parsers must be locale-independent)'
+check 'std::(isspace|isalpha|isdigit|tolower|toupper)\(' \
+  'locale-sensitive <cctype> wrappers (use ASCII-only helpers)'
+check '(^|[^_[:alnum:]])getenv\(' \
+  'environment lookup (config must come from artifacts or flags)'
 
 if [ "$status" -eq 0 ]; then
   echo "determinism lint: OK (src/ outside src/common/ is clean)"
