@@ -13,6 +13,7 @@
 // user-whole-node).
 #include <limits>
 
+#include "bench/common/json.h"
 #include "bench/common/table.h"
 #include "bench/common/workloads.h"
 #include "common/histogram.h"
@@ -136,6 +137,7 @@ void policy_sweep() {
     }
   }
   table.print();
+  JsonReport::instance().add_table("policy_sweep", table);
 }
 
 void user_count_sensitivity() {
@@ -163,6 +165,7 @@ void user_count_sensitivity() {
     }
   }
   table.print();
+  JsonReport::instance().add_table("user_count_sensitivity", table);
 }
 
 void backfill_ablation() {
@@ -228,14 +231,19 @@ void backfill_ablation() {
     }
   }
   table.print();
+  JsonReport::instance().add_table("backfill_ablation", table);
 }
 
 }  // namespace
 }  // namespace heus::bench
 
-int main() {
+int main(int argc, char** argv) {
   heus::bench::policy_sweep();
   heus::bench::user_count_sensitivity();
   heus::bench::backfill_ablation();
+  if (const auto path = heus::bench::json_output_path(argc, argv,
+                                                      "BENCH_E3.json")) {
+    return heus::bench::JsonReport::instance().write("E3", *path) ? 0 : 1;
+  }
   return 0;
 }

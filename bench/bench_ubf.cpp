@@ -12,6 +12,7 @@
 // new-connection-only design avoids.
 #include <benchmark/benchmark.h>
 
+#include "bench/common/json.h"
 #include "bench/common/table.h"
 #include "common/strings.h"
 #include "net/ubf.h"
@@ -137,6 +138,7 @@ void decision_matrix() {
   attempt("user2 (proj member)", world.users[2], 5001, "user0",
           "widgets");
   table.print();
+  JsonReport::instance().add_table("decision_matrix", table);
 }
 
 void latency_budget() {
@@ -170,6 +172,7 @@ void latency_budget() {
                    std::to_string(world.nw.stats().conntrack_hits)});
   }
   table.print();
+  JsonReport::instance().add_table("latency_budget", table);
 
   print_banner(
       "E5c: strawman ablation — per-packet userspace firewall",
@@ -189,6 +192,7 @@ void latency_budget() {
               common::strformat("%.3f", slow / 1000.0),
               common::strformat("%.2fx", slow / fast)});
   t2.print();
+  JsonReport::instance().add_table("per_packet_strawman", t2);
 }
 
 void port_collision() {
@@ -223,17 +227,33 @@ void port_collision() {
                    crosstalk ? "CORRUPTION" : "none"});
   }
   table.print();
+  JsonReport::instance().add_table("port_collision", table);
 }
 
 }  // namespace
 }  // namespace heus::bench
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  // Stash our own flags before google-benchmark validates the rest.
+  const auto json_path =
+      heus::bench::json_output_path(argc, argv, "BENCH_E5.json");
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" || arg.rfind("--json=", 0) == 0) continue;
+    passthrough.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   heus::bench::decision_matrix();
   heus::bench::latency_budget();
   heus::bench::port_collision();
+  if (json_path) {
+    return heus::bench::JsonReport::instance().write("E5", *json_path)
+               ? 0
+               : 1;
+  }
   return 0;
 }

@@ -48,6 +48,13 @@ class Table {
     for (const auto& row : rows_) print_row(row);
   }
 
+  [[nodiscard]] const std::vector<std::string>& headers() const {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

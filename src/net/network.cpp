@@ -1,12 +1,15 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace heus::net {
 
 HostId Network::add_host(const std::string& name) {
   const HostId id{static_cast<std::uint32_t>(hosts_.size())};
-  hosts_.push_back(HostState{name, {}, {}, 32768});
+  HostState hs;
+  hs.name = name;
+  hosts_.push_back(std::move(hs));
   return id;
 }
 
@@ -34,6 +37,25 @@ void Network::charge(std::int64_t ns) {
   if (mutable_clock_ != nullptr) mutable_clock_->advance(ns);
 }
 
+void Network::ref_port(HostState& h, std::uint16_t port) {
+  ++h.port_refs[port];
+}
+
+void Network::unref_port(HostState& h, std::uint16_t port) {
+  auto it = h.port_refs.find(port);
+  assert(it != h.port_refs.end() && it->second > 0);
+  if (--it->second == 0) {
+    h.port_refs.erase(it);
+    // Return to the free pool only once the cursor has passed it; ports
+    // still ahead of the cursor are found by the cursor itself (a second
+    // pool entry would double-allocate).
+    if (port >= kEphemeralLo && port <= kEphemeralHi &&
+        port < h.ephemeral_cursor) {
+      h.freed_ports.push_back(port);
+    }
+  }
+}
+
 Result<void> Network::listen(HostId h, const simos::Credentials& cred,
                              Pid pid, Proto proto, std::uint16_t port) {
   if (h.value() >= hosts_.size()) return Errno::einval;
@@ -41,9 +63,10 @@ Result<void> Network::listen(HostId h, const simos::Credentials& cred,
   // Privileged ports require root, as on Linux.
   if (port < 1024 && !cred.is_root()) return Errno::eacces;
   HostState& hs = host(h);
-  const auto key = std::make_pair(static_cast<int>(proto), port);
+  const auto key = pkey(proto, port);
   if (hs.listeners.contains(key)) return Errno::eaddrinuse;
   hs.listeners.emplace(key, Listener{cred, pid, port, proto});
+  ref_port(hs, port);
   return ok_result();
 }
 
@@ -51,9 +74,10 @@ Result<void> Network::close_listener(HostId h, Proto proto,
                                      std::uint16_t port) {
   if (h.value() >= hosts_.size()) return Errno::einval;
   HostState& hs = host(h);
-  if (hs.listeners.erase({static_cast<int>(proto), port}) == 0) {
+  if (hs.listeners.erase(pkey(proto, port)) == 0) {
     return Errno::enoent;
   }
+  unref_port(hs, port);
   return ok_result();
 }
 
@@ -61,26 +85,86 @@ const Listener* Network::find_listener(HostId h, Proto proto,
                                        std::uint16_t port) const {
   if (h.value() >= hosts_.size()) return nullptr;
   const HostState& hs = host(h);
-  auto it = hs.listeners.find({static_cast<int>(proto), port});
+  auto it = hs.listeners.find(pkey(proto, port));
   return it == hs.listeners.end() ? nullptr : &it->second;
 }
 
 std::uint16_t Network::alloc_ephemeral_port(HostState& h) {
-  // Skip ports already used by listeners or flows; with 16-bit wraparound.
-  for (int attempts = 0; attempts < 65536; ++attempts) {
-    const std::uint16_t p = h.next_ephemeral;
-    h.next_ephemeral =
-        (h.next_ephemeral >= 60999) ? 32768 : h.next_ephemeral + 1;
-    bool taken = false;
-    for (const auto& [key, l] : h.listeners) {
-      if (key.second == p) {
-        taken = true;
-        break;
-      }
-    }
-    if (!taken) return p;
+  // Freed ports first (FIFO keeps reuse distance long, like the kernel's
+  // cursor), with lazy validation against the refcounts: a pooled port a
+  // listener has since bound is discarded, not handed out.
+  while (!h.freed_ports.empty()) {
+    const std::uint16_t p = h.freed_ports.front();
+    h.freed_ports.pop_front();
+    if (!h.port_refs.contains(p)) return p;
   }
-  return 0;
+  // Then the never-allocated remainder of the range.
+  while (h.ephemeral_cursor <= kEphemeralHi) {
+    const auto p = static_cast<std::uint16_t>(h.ephemeral_cursor++);
+    if (!h.port_refs.contains(p)) return p;
+  }
+  return 0;  // pool exhausted — caller reports EADDRNOTAVAIL
+}
+
+void Network::index_flow(const Flow& f) {
+  HostState& ch = host(f.client_host);
+  ch.flow_ports[pkey(f.proto, f.client_port)].push_back(
+      PortEndpoint{f.id, FlowEnd::client});
+  ch.flows_by_uid[f.client_uid].insert(f.id);
+  ch.flows.insert(f.id);
+  ref_port(ch, f.client_port);
+
+  HostState& sh = host(f.server_host);
+  sh.flow_ports[pkey(f.proto, f.server_port)].push_back(
+      PortEndpoint{f.id, FlowEnd::server});
+  sh.flows_by_uid[f.server_uid].insert(f.id);
+  sh.flows.insert(f.id);
+  ref_port(sh, f.server_port);
+}
+
+void Network::unindex_flow(const Flow& f) {
+  auto drop_endpoint = [this](HostState& hs, Proto proto,
+                              std::uint16_t port, FlowId id, FlowEnd end,
+                              Uid uid) {
+    const auto key = pkey(proto, port);
+    auto it = hs.flow_ports.find(key);
+    assert(it != hs.flow_ports.end());
+    auto& eps = it->second;
+    std::erase_if(eps, [&](const PortEndpoint& ep) {
+      return ep.flow == id && ep.end == end;
+    });
+    if (eps.empty()) hs.flow_ports.erase(it);
+    auto by_uid = hs.flows_by_uid.find(uid);
+    if (by_uid != hs.flows_by_uid.end()) {
+      by_uid->second.erase(id);
+      if (by_uid->second.empty()) hs.flows_by_uid.erase(by_uid);
+    }
+    hs.flows.erase(id);
+    unref_port(hs, port);
+  };
+  drop_endpoint(host(f.client_host), f.proto, f.client_port, f.id,
+                FlowEnd::client, f.client_uid);
+  drop_endpoint(host(f.server_host), f.proto, f.server_port, f.id,
+                FlowEnd::server, f.server_uid);
+}
+
+void Network::destroy_flow(Flow& f) {
+  conntrack_.erase(ConntrackKey{f.client_host, f.client_port, f.server_host,
+                                f.server_port, static_cast<int>(f.proto)});
+  unindex_flow(f);
+  flows_.erase(f.id);  // invalidates f
+}
+
+void Network::touch_flow(Flow& f) {
+  if (flow_ttl_ns_ <= 0) return;
+  const std::int64_t deadline = clock_->now().ns + flow_ttl_ns_;
+  if (f.expires_at_ns == 0) {
+    // First time under a TTL: this flow has no heap entry yet.
+    expiry_heap_.push(ExpiryEntry{deadline, f.id});
+  }
+  // Otherwise the existing entry is refreshed lazily: gc() re-pushes it
+  // at the new deadline when the stale one surfaces.
+  f.expires_at_ns = deadline;
 }
 
 Result<FlowId> Network::connect(HostId src_host,
@@ -114,7 +198,10 @@ Result<FlowId> Network::connect(HostId src_host,
 
   HostState& src = host(src_host);
   const std::uint16_t src_port = alloc_ephemeral_port(src);
-  if (src_port == 0) return Errno::eaddrnotavail;
+  if (src_port == 0) {
+    ++stats_.ephemeral_exhausted;
+    return Errno::eaddrnotavail;
+  }
 
   // Register the nascent flow *before* the hook runs so the UBF's ident
   // query against the initiating host can see who owns the source port —
@@ -129,7 +216,9 @@ Result<FlowId> Network::connect(HostId src_host,
   flow.server_port = dst_port;
   flow.client_uid = cred.uid;
   flow.server_uid = listener->cred.uid;
-  flows_.emplace(id, std::move(flow));
+  auto [it, inserted] = flows_.emplace(id, std::move(flow));
+  assert(inserted);
+  index_flow(it->second);
 
   if (hook_ && dst_port >= inspect_from_port_) {
     ++stats_.hook_invocations;
@@ -142,7 +231,13 @@ Result<FlowId> Network::connect(HostId src_host,
     cost += (src_host == dst_host) ? latency_.ident_local_ns
                                    : latency_.ident_remote_ns;
     if (v == Verdict::drop) {
-      flows_.erase(id);
+      // The hook may itself have closed flows; re-find rather than trust
+      // the iterator.
+      auto fit = flows_.find(id);
+      if (fit != flows_.end()) {
+        unindex_flow(fit->second);
+        flows_.erase(fit);
+      }
       ++stats_.connections_dropped;
       last_connect_cost_ns_ = cost;
       charge(cost);
@@ -154,6 +249,9 @@ Result<FlowId> Network::connect(HostId src_host,
       ConntrackKey{src_host, src_port, dst_host, dst_port,
                    static_cast<int>(proto)},
       id);
+  auto fit = flows_.find(id);
+  assert(fit != flows_.end());
+  touch_flow(fit->second);
   ++stats_.connections_established;
   last_connect_cost_ns_ = cost;
   charge(cost);
@@ -216,6 +314,7 @@ Result<void> Network::send(FlowId id, FlowEnd from, std::string payload) {
   last_send_cost_ns_ = latency_.conntrack_lookup_ns +
                        latency_.per_packet_ns + serialization_ns;
   charge(last_send_cost_ns_);
+  touch_flow(f);  // activity refreshes the idle-expiry deadline
   return ok_result();
 }
 
@@ -233,10 +332,7 @@ Result<std::string> Network::recv(FlowId id, FlowEnd at) {
 Result<void> Network::close(FlowId id) {
   auto it = flows_.find(id);
   if (it == flows_.end()) return Errno::ebadf;
-  const Flow& f = it->second;
-  conntrack_.erase(ConntrackKey{f.client_host, f.client_port, f.server_host,
-                                f.server_port, static_cast<int>(f.proto)});
-  flows_.erase(it);
+  destroy_flow(it->second);
   return ok_result();
 }
 
@@ -245,13 +341,60 @@ const Flow* Network::find_flow(FlowId id) const {
   return it == flows_.end() ? nullptr : &it->second;
 }
 
+std::size_t Network::gc() {
+  if (flow_ttl_ns_ <= 0) return 0;
+  ++stats_.gc_runs;
+  const std::int64_t now = clock_->now().ns;
+  std::size_t expired = 0;
+  while (!expiry_heap_.empty() &&
+         expiry_heap_.top().deadline_ns <= now) {
+    const ExpiryEntry e = expiry_heap_.top();
+    expiry_heap_.pop();
+    ++stats_.gc_entries_touched;
+    auto it = flows_.find(e.flow);
+    if (it == flows_.end()) continue;  // already closed; stale entry
+    Flow& f = it->second;
+    if (f.expires_at_ns > e.deadline_ns) {
+      // Activity refreshed the deadline since this entry was pushed:
+      // reschedule at the real expiry (one live entry per flow).
+      expiry_heap_.push(ExpiryEntry{f.expires_at_ns, f.id});
+      continue;
+    }
+    destroy_flow(f);
+    ++stats_.flows_expired;
+    ++expired;
+  }
+  return expired;
+}
+
+std::optional<std::int64_t> Network::next_expiry_ns() const {
+  while (!expiry_heap_.empty()) {
+    const ExpiryEntry e = expiry_heap_.top();
+    auto it = flows_.find(e.flow);
+    if (it == flows_.end()) {
+      expiry_heap_.pop();
+      continue;
+    }
+    if (it->second.expires_at_ns > e.deadline_ns) {
+      expiry_heap_.pop();
+      expiry_heap_.push(ExpiryEntry{it->second.expires_at_ns, e.flow});
+      continue;
+    }
+    return e.deadline_ns;
+  }
+  return std::nullopt;
+}
+
 std::size_t Network::close_sockets_of(HostId h, Uid uid) {
   if (h.value() >= hosts_.size()) return 0;
   std::size_t closed = 0;
   HostState& hs = host(h);
   for (auto it = hs.listeners.begin(); it != hs.listeners.end();) {
+    ++stats_.gc_entries_touched;
     if (it->second.cred.uid == uid) {
+      const std::uint16_t port = it->second.port;
       it = hs.listeners.erase(it);
+      unref_port(hs, port);
       ++closed;
     } else {
       ++it;
@@ -259,6 +402,7 @@ std::size_t Network::close_sockets_of(HostId h, Uid uid) {
   }
   for (auto it = hs.abstract_sockets.begin();
        it != hs.abstract_sockets.end();) {
+    ++stats_.gc_entries_touched;
     if (it->second.uid == uid) {
       it = hs.abstract_sockets.erase(it);
       ++closed;
@@ -266,16 +410,20 @@ std::size_t Network::close_sockets_of(HostId h, Uid uid) {
       ++it;
     }
   }
-  std::vector<FlowId> dead;
-  for (const auto& [id, f] : flows_) {
-    if ((f.client_host == h && f.client_uid == uid) ||
-        (f.server_host == h && f.server_uid == uid)) {
-      dead.push_back(id);
+  // Indexed teardown: exactly this user's flows on this host, one erase
+  // pass each — never a scan of the global flow table. Snapshot the id
+  // set first (destroy_flow edits it underneath us).
+  if (auto by_uid = hs.flows_by_uid.find(uid);
+      by_uid != hs.flows_by_uid.end()) {
+    const std::vector<FlowId> dead(by_uid->second.begin(),
+                                   by_uid->second.end());
+    for (FlowId id : dead) {
+      ++stats_.gc_entries_touched;
+      auto it = flows_.find(id);
+      if (it == flows_.end()) continue;
+      destroy_flow(it->second);
+      ++closed;
     }
-  }
-  for (FlowId id : dead) {
-    (void)close(id);
-    ++closed;
   }
   return closed;
 }
@@ -284,14 +432,17 @@ std::size_t Network::reset_host(HostId h) {
   if (h.value() >= hosts_.size()) return 0;
   HostState& hs = host(h);
   std::size_t closed = hs.listeners.size() + hs.abstract_sockets.size();
+  stats_.gc_entries_touched += closed;
+  for (const auto& [key, l] : hs.listeners) unref_port(hs, l.port);
   hs.listeners.clear();
   hs.abstract_sockets.clear();
-  std::vector<FlowId> dead;
-  for (const auto& [id, f] : flows_) {
-    if (f.client_host == h || f.server_host == h) dead.push_back(id);
-  }
+  // Per-host flow index: touch only flows with an endpoint here.
+  const std::vector<FlowId> dead(hs.flows.begin(), hs.flows.end());
   for (FlowId id : dead) {
-    (void)close(id);
+    ++stats_.gc_entries_touched;
+    auto it = flows_.find(id);
+    if (it == flows_.end()) continue;
+    destroy_flow(it->second);
     ++closed;
   }
   return closed;
@@ -311,21 +462,23 @@ Result<IdentInfo> Network::ident_lookup(HostId h, Proto proto,
       return Errno::etimedout;
     }
   }
+  const HostState& hs = host(h);
   // A listener owns the port...
   if (const Listener* l = find_listener(h, proto, port)) {
     return IdentInfo{l->cred.uid, l->cred.egid, l->pid};
   }
-  // ...or a flow endpoint does (client ephemeral ports live here).
-  for (const auto& [id, f] : flows_) {
-    if (f.proto != proto) continue;
-    if (f.client_host == h && f.client_port == port) {
+  // ...or a flow endpoint does (client ephemeral ports live here) — O(1)
+  // via the per-host port index, not a scan of the flow table.
+  if (auto it = hs.flow_ports.find(pkey(proto, port));
+      it != hs.flow_ports.end() && !it->second.empty()) {
+    const PortEndpoint& ep = it->second.front();
+    const Flow& f = flows_.at(ep.flow);
+    if (ep.end == FlowEnd::client) {
       // The client side has no captured egid snapshot distinct from uid's
       // session; the UBF only needs the uid on the initiating side.
       return IdentInfo{f.client_uid, Gid{}, Pid{}};
     }
-    if (f.server_host == h && f.server_port == port) {
-      return IdentInfo{f.server_uid, Gid{}, Pid{}};
-    }
+    return IdentInfo{f.server_uid, Gid{}, Pid{}};
   }
   return Errno::enoent;
 }
@@ -365,6 +518,8 @@ std::vector<FlowId> Network::cross_user_flows() const {
       out.push_back(id);
     }
   }
+  // flows_ is hash-ordered; report in id order so audits are stable.
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -19,6 +19,8 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <queue>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -94,6 +96,9 @@ struct Flow {
   std::deque<std::string> to_server;  ///< in-flight client->server messages
   std::deque<std::string> to_client;
   std::uint64_t bytes = 0;
+  /// Conntrack idle-expiry deadline (ns); refreshed on activity when a
+  /// flow TTL is configured. 0 = never expires.
+  std::int64_t expires_at_ns = 0;
 };
 
 enum class FlowEnd { client, server };
@@ -129,6 +134,15 @@ struct NetworkStats {
   /// Established flows reset because the listener's identity no longer
   /// matches the conntrack entry (e.g. changed across a partition heal).
   std::uint64_t flows_reset_identity_changed = 0;
+  // -- hot-path accounting (E20): work is measured in entries touched, --
+  // -- not wall clock, so the numbers are machine-independent.         --
+  std::uint64_t flows_expired = 0;     ///< idle conntrack entries GC'd
+  std::uint64_t gc_runs = 0;           ///< gc() invocations
+  /// Entries examined by GC and teardown sweeps (heap pops, per-flow and
+  /// per-listener visits). The scale benchmark compares this against what
+  /// a full-table scan would have touched.
+  std::uint64_t gc_entries_touched = 0;
+  std::uint64_t ephemeral_exhausted = 0;  ///< connect() hit an empty pool
 };
 
 /// The cluster fabric. Single instance shared by all nodes.
@@ -178,12 +192,31 @@ class Network {
 
   /// Kernel-side teardown when a user's processes on `host` are reaped
   /// (job epilog): their listeners close and their flows reset. Returns
-  /// listeners + flows torn down.
+  /// listeners + flows torn down. Indexed: touches only the (host, uid)
+  /// endpoints, never the global tables.
   std::size_t close_sockets_of(HostId host, Uid uid);
 
   /// Power-loss teardown: every socket touching `host` vanishes
   /// (listeners, flows, abstract sockets). Returns objects torn down.
   std::size_t reset_host(HostId host);
+
+  // ---- conntrack garbage collection -------------------------------------
+
+  /// Enable idle-expiry of established flows: a flow with no send()
+  /// activity for `ttl_ns` is eligible for gc(). 0 disables (default).
+  void set_flow_ttl(std::int64_t ttl_ns) { flow_ttl_ns_ = ttl_ns; }
+  [[nodiscard]] std::int64_t flow_ttl() const { return flow_ttl_ns_; }
+
+  /// Collect idle flows due at the current simulated time. Expiry-ordered:
+  /// the sweep pops a min-heap of deadlines and touches only due entries
+  /// (plus refreshed entries it reschedules), never the whole table.
+  /// Returns the number of flows expired.
+  std::size_t gc();
+
+  /// Earliest pending expiry deadline, if any (for event-driven callers).
+  [[nodiscard]] std::optional<std::int64_t> next_expiry_ns() const;
+
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
 
   // ---- ident service ----------------------------------------------------
 
@@ -225,11 +258,44 @@ class Network {
   [[nodiscard]] std::vector<FlowId> cross_user_flows() const;
 
  private:
+  /// Linux's default ip_local_port_range.
+  static constexpr std::uint32_t kEphemeralLo = 32768;
+  static constexpr std::uint32_t kEphemeralHi = 60999;  // inclusive
+
+  /// (proto, port) packed for O(1) unordered lookups.
+  [[nodiscard]] static constexpr std::uint32_t pkey(Proto proto,
+                                                   std::uint16_t port) {
+    return (static_cast<std::uint32_t>(proto) << 16) | port;
+  }
+
+  /// One end of a flow, as seen from a host's port table.
+  struct PortEndpoint {
+    FlowId flow{};
+    FlowEnd end = FlowEnd::client;
+  };
+
   struct HostState {
     std::string name;
-    std::map<std::pair<int, std::uint16_t>, Listener> listeners;
+    /// O(1) listener index keyed by pkey(proto, port).
+    std::unordered_map<std::uint32_t, Listener> listeners;
     std::map<std::string, simos::Credentials> abstract_sockets;
-    std::uint16_t next_ephemeral = 32768;
+
+    // Ephemeral-port allocator: a lazy cursor over [kEphemeralLo,
+    // kEphemeralHi] plus a FIFO of freed ports, guarded by per-port
+    // endpoint refcounts (listeners + flow endpoints, any proto). O(1)
+    // amortized; an empty pool is a typed EADDRNOTAVAIL, never a
+    // 65536-attempt spin.
+    std::uint32_t ephemeral_cursor = kEphemeralLo;
+    std::deque<std::uint16_t> freed_ports;
+    std::unordered_map<std::uint16_t, std::uint32_t> port_refs;
+
+    /// (proto, port) -> flow endpoints on this host, insertion-ordered;
+    /// backs O(1) ident_lookup for ephemeral and orphaned server ports.
+    std::unordered_map<std::uint32_t, std::vector<PortEndpoint>> flow_ports;
+    /// Flows touching this host, per owning uid and in total: teardown
+    /// sweeps visit exactly these, never the global flow table.
+    std::unordered_map<Uid, std::set<FlowId>> flows_by_uid;
+    std::set<FlowId> flows;
   };
 
   struct ConntrackKey {
@@ -242,12 +308,35 @@ class Network {
                             const ConntrackKey&) = default;
   };
 
+  /// Lazy min-heap entry for flow expiry; stale entries (flow gone or
+  /// deadline refreshed past `deadline_ns`) are discarded on pop.
+  struct ExpiryEntry {
+    std::int64_t deadline_ns = 0;
+    FlowId flow{};
+    friend bool operator>(const ExpiryEntry& x, const ExpiryEntry& y) {
+      if (x.deadline_ns != y.deadline_ns) {
+        return x.deadline_ns > y.deadline_ns;
+      }
+      return x.flow > y.flow;
+    }
+  };
+
   HostState& host(HostId id) { return hosts_.at(id.value()); }
   [[nodiscard]] const HostState& host(HostId id) const {
     return hosts_.at(id.value());
   }
 
+  /// 0 on exhaustion (caller reports EADDRNOTAVAIL).
   std::uint16_t alloc_ephemeral_port(HostState& h);
+  void ref_port(HostState& h, std::uint16_t port);
+  void unref_port(HostState& h, std::uint16_t port);
+  /// Register/unregister a flow in every per-host index.
+  void index_flow(const Flow& f);
+  void unindex_flow(const Flow& f);
+  /// Tear one flow down: conntrack entry, indices, port refs. The single
+  /// erase pass all teardown sweeps (close/GC/reset) funnel through.
+  void destroy_flow(Flow& f);
+  void touch_flow(Flow& f);
   void charge(std::int64_t ns);
 
   const common::SimClock* clock_;
@@ -255,6 +344,11 @@ class Network {
   std::vector<HostState> hosts_;
   std::unordered_map<FlowId, Flow> flows_;
   std::map<ConntrackKey, FlowId> conntrack_;
+  /// Mutable: next_expiry_ns() lazily discards stale tops while peeking.
+  mutable std::priority_queue<ExpiryEntry, std::vector<ExpiryEntry>,
+                              std::greater<>>
+      expiry_heap_;
+  std::int64_t flow_ttl_ns_ = 0;
   FirewallHook hook_;
   FaultModel* faults_ = nullptr;
   std::uint16_t inspect_from_port_ = 1024;

@@ -33,6 +33,15 @@ Result<IdentInfo> Ubf::ident_with_retry(HostId host, Proto proto,
 UbfDecision Ubf::decide(const ConnRequest& req) {
   ++stats_.decisions;
 
+  // Epoch check first: any UserDb mutation since the cache was filled
+  // discards all of it. Over-invalidation by design — the clear is cheap
+  // and a stale allow after a revoke is impossible by construction.
+  if (cache_enabled_ && cache_epoch_ != users_->generation()) {
+    ++stats_.cache_invalidations;
+    cache_.clear();
+    cache_epoch_ = users_->generation();
+  }
+
   // Ident exchange: who is listening locally, who is connecting remotely.
   auto listener =
       ident_with_retry(req.dst_host, req.proto, req.dst_port);
@@ -63,19 +72,34 @@ UbfDecision Ubf::decide(const ConnRequest& req) {
     entry.client_uid = initiator->uid;
     entry.server_uid = listener->uid;
     entry.server_egid = listener->egid;
-    if (initiator->uid == listener->uid) {
-      decision = UbfDecision::allow_same_user;
-    } else if (opts_.allow_group_peers &&
-               users_->is_member(initiator->uid, listener->egid)) {
-      // Membership is evaluated against the account database (the real
-      // daemon resolves the listener's egid and the initiator's group
-      // list from the directory service).
-      const simos::Group* g = users_->find_group(listener->egid);
-      // A user-private group contains only its owner, so rule (b) can
-      // only ever fire for genuine shared groups — but the membership
-      // test alone already guarantees that; the kind check is not needed.
-      (void)g;
-      decision = UbfDecision::allow_group_member;
+    const CacheKey key{initiator->uid, listener->uid, listener->egid,
+                       degraded_};
+    if (auto hit = cache_enabled_ ? cache_.find(key) : cache_.end();
+        cache_enabled_ && hit != cache_.end()) {
+      // Memoized attributed decision: the directory-service membership
+      // evaluation is skipped entirely. Valid because the epoch check
+      // above proved the account database is unchanged since this entry
+      // was computed.
+      ++stats_.cache_hits;
+      decision = hit->second;
+    } else {
+      if (cache_enabled_) ++stats_.cache_misses;
+      if (initiator->uid == listener->uid) {
+        decision = UbfDecision::allow_same_user;
+      } else if (opts_.allow_group_peers &&
+                 users_->is_member(initiator->uid, listener->egid)) {
+        // Membership is evaluated against the account database (the real
+        // daemon resolves the listener's egid and the initiator's group
+        // list from the directory service).
+        const simos::Group* g = users_->find_group(listener->egid);
+        // A user-private group contains only its owner, so rule (b) can
+        // only ever fire for genuine shared groups — but the membership
+        // test alone already guarantees that; the kind check is not
+        // needed.
+        (void)g;
+        decision = UbfDecision::allow_group_member;
+      }
+      if (cache_enabled_) cache_.emplace(key, decision);
     }
   }
 

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/backoff.h"
@@ -69,6 +70,12 @@ struct UbfStats {
   std::uint64_t ident_timeout_drops = 0;    ///< exhausted on etimedout
   std::uint64_t ident_unattributed_drops = 0;  ///< responder said "nobody"
   std::uint64_t fail_open_allows = 0;  ///< fail_open mode only
+  // Decision cache (E20): attributed-path decisions memoized by
+  // (initiator uid, listener uid, listener egid, degraded mode).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  /// Cache clears triggered by an observed UserDb generation bump.
+  std::uint64_t cache_invalidations = 0;
 };
 
 struct UbfOptions {
@@ -115,6 +122,28 @@ class Ubf {
   [[nodiscard]] const UbfStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
+  // ---- decision cache ---------------------------------------------------
+  //
+  // Memoizes the *attributed* decision path — the (same-uid || member of
+  // listener's egid) evaluation against the account database — keyed by
+  // (initiator uid, listener uid, listener egid, degraded mode). Ident
+  // results are never cached: port ownership is connection-local state.
+  //
+  // Invalidation is epoch-based and fail-safe: every decide() compares the
+  // cache's epoch against UserDb::generation() and clears the whole cache
+  // on any mismatch. Any mutation anywhere in the database discards every
+  // cached decision (over-invalidation), so a revoked membership can never
+  // be served from cache (under-invalidation is structurally impossible).
+
+  void set_cache_enabled(bool on) {
+    cache_enabled_ = on;
+    if (!on) cache_.clear();
+  }
+  [[nodiscard]] bool cache_enabled() const { return cache_enabled_; }
+  /// UserDb generation the current cache contents were computed against.
+  [[nodiscard]] std::uint64_t cache_epoch() const { return cache_epoch_; }
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+
   /// Ring buffer of recent decisions (bounded).
   [[nodiscard]] const std::vector<UbfLogEntry>& log() const { return log_; }
   void set_log_limit(std::size_t n) { log_limit_ = n; }
@@ -123,6 +152,28 @@ class Ubf {
   /// One ident query under the active degraded-mode policy.
   [[nodiscard]] Result<IdentInfo> ident_with_retry(HostId host, Proto proto,
                                                    std::uint16_t port);
+
+  struct CacheKey {
+    Uid initiator{};
+    Uid listener{};
+    Gid egid{};
+    UbfDegradedMode mode = UbfDegradedMode::retry_then_fail_closed;
+    friend bool operator==(const CacheKey&, const CacheKey&) = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const {
+      // FNV-1a over the four fields; cheap and deterministic.
+      std::uint64_t h = 0xcbf29ce484222325ULL;
+      for (std::uint64_t v :
+           {static_cast<std::uint64_t>(k.initiator.value()),
+            static_cast<std::uint64_t>(k.listener.value()),
+            static_cast<std::uint64_t>(k.egid.value()),
+            static_cast<std::uint64_t>(k.mode)}) {
+        h = (h ^ v) * 0x100000001b3ULL;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
 
   const simos::UserDb* users_;
   Network* network_;
@@ -133,6 +184,9 @@ class Ubf {
   UbfStats stats_;
   std::vector<UbfLogEntry> log_;
   std::size_t log_limit_ = 256;
+  bool cache_enabled_ = true;
+  std::uint64_t cache_epoch_ = 0;
+  std::unordered_map<CacheKey, UbfDecision, CacheKeyHash> cache_;
 };
 
 }  // namespace heus::net

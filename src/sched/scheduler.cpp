@@ -13,6 +13,12 @@ NodeId Scheduler::add_node(const NodeInfo& info) {
   st.info.id = id;
   st.gpu_used.assign(info.gpus, false);
   nodes_.push_back(std::move(st));
+  if (info.node_class == NodeClass::compute) {
+    total_compute_cpus_ += info.cpus;
+    ++partitions_[info.partition]
+          .shape_census[{info.cpus, info.mem_mb, info.gpus}];
+  }
+  reindex_node(id.value());
   return id;
 }
 
@@ -21,19 +27,70 @@ const NodeInfo* Scheduler::node_info(NodeId id) const {
   return &nodes_[id.value()].info;
 }
 
-bool Scheduler::satisfiable(const Job& job) const {
-  unsigned capacity = 0;
-  for (const auto& node : nodes_) {
-    if (node.info.node_class != NodeClass::compute) continue;
-    if (node.info.partition != job.spec.partition) continue;
-    unsigned fit = node.info.cpus / job.spec.cpus_per_task;
-    fit = std::min<unsigned>(
-        fit, static_cast<unsigned>(node.info.mem_mb /
-                                   job.spec.mem_mb_per_task));
-    if (job.spec.gpus_per_task > 0) {
-      fit = std::min(fit, node.info.gpus / job.spec.gpus_per_task);
+void Scheduler::reindex_node(std::size_t idx) {
+  NodeState& n = nodes_[idx];
+  const auto i = static_cast<std::uint32_t>(idx);
+  PartitionIndex& pi = partitions_[n.info.partition];
+
+  pi.empty_avail.erase(i);
+  pi.unowned_avail.erase(i);
+  pi.shared_avail.erase(i);
+  if (n.indexed_user) {
+    auto it = pi.user_avail.find(*n.indexed_user);
+    if (it != pi.user_avail.end()) {
+      it->second.erase(i);
+      if (it->second.empty()) pi.user_avail.erase(it);
     }
-    capacity += fit;
+    n.indexed_user.reset();
+  }
+
+  if (n.info.node_class != NodeClass::compute) return;
+
+  // Utilization contributions, matching integrate_utilization()'s old
+  // per-node formula exactly.
+  const bool fenced = n.bound_job.has_value() ||
+                      (n.bound_user.has_value() && !n.tasks.empty());
+  const unsigned busy = n.cpus_used;
+  const unsigned blocked = fenced ? n.info.cpus : n.cpus_used;
+  busy_cpus_ -= n.busy_contrib;
+  busy_cpus_ += busy;
+  blocked_cpus_ -= n.blocked_contrib;
+  blocked_cpus_ += blocked;
+  n.busy_contrib = busy;
+  n.blocked_contrib = blocked;
+
+  const bool available = !n.down_until.has_value() &&
+                         !n.drained_until.has_value() &&
+                         n.pending_epilogs.empty();
+  if (!available || n.bound_job.has_value()) return;
+  const bool has_free_cpus = n.cpus_used < n.info.cpus;
+  if (has_free_cpus) pi.shared_avail.insert(i);
+  if (n.bound_user) {
+    if (has_free_cpus) {
+      pi.user_avail[*n.bound_user].insert(i);
+      n.indexed_user = n.bound_user;
+    }
+  } else {
+    if (has_free_cpus) pi.unowned_avail.insert(i);
+    if (n.tasks.empty()) pi.empty_avail.insert(i);
+  }
+}
+
+bool Scheduler::satisfiable(const Job& job) const {
+  // O(# distinct node shapes) via the partition census; the sum it
+  // computes is exactly what the old full scan accumulated.
+  const auto pit = partitions_.find(job.spec.partition);
+  if (pit == partitions_.end()) return false;
+  unsigned capacity = 0;
+  for (const auto& [shape, count] : pit->second.shape_census) {
+    const auto& [cpus, mem_mb, gpus] = shape;
+    unsigned fit = cpus / job.spec.cpus_per_task;
+    fit = std::min<unsigned>(
+        fit, static_cast<unsigned>(mem_mb / job.spec.mem_mb_per_task));
+    if (job.spec.gpus_per_task > 0) {
+      fit = std::min(fit, gpus / job.spec.gpus_per_task);
+    }
+    capacity += fit * count;
     if (capacity >= job.spec.num_tasks) return true;
   }
   return false;
@@ -150,20 +207,62 @@ unsigned Scheduler::tasks_fitting(const NodeState& node,
 }
 
 bool Scheduler::try_start(Job& job) {
-  // Tentative placement pass.
-  std::vector<std::pair<std::size_t, unsigned>> plan;  // node idx, tasks
-  unsigned remaining = job.spec.num_tasks;
-  for (std::size_t i = 0; i < nodes_.size() && remaining > 0; ++i) {
-    const unsigned fit =
-        std::min(remaining, tasks_fitting(nodes_[i], job));
-    if (fit > 0) plan.emplace_back(i, fit);
-    remaining -= fit;
-  }
-  if (remaining > 0) return false;
-
+  ++sched_stats_.placement_attempts;
   const SharingPolicy policy = policy_for(job.spec.partition);
   const bool exclusive =
       job.spec.exclusive || policy == SharingPolicy::exclusive_job;
+
+  // Tentative placement pass over the partition's candidate sets instead
+  // of all of nodes_. The sets are supersets of {fit > 0} for each policy
+  // branch and are ordered by node index, so visiting them ascending and
+  // re-validating with tasks_fitting() reproduces the full scan's plan
+  // exactly — only the nodes that could never fit are skipped.
+  std::vector<std::pair<std::size_t, unsigned>> plan;  // node idx, tasks
+  unsigned remaining = job.spec.num_tasks;
+  const auto visit = [&](std::uint32_t i) {
+    ++sched_stats_.nodes_examined;
+    const unsigned fit = std::min(remaining, tasks_fitting(nodes_[i], job));
+    if (fit > 0) plan.emplace_back(i, fit);
+    remaining -= fit;
+  };
+
+  if (const auto pit = partitions_.find(job.spec.partition);
+      pit != partitions_.end()) {
+    const PartitionIndex& pi = pit->second;
+    if (exclusive) {
+      for (auto it = pi.empty_avail.begin();
+           it != pi.empty_avail.end() && remaining > 0; ++it) {
+        visit(*it);
+      }
+    } else if (policy == SharingPolicy::user_whole_node) {
+      // Merge the unowned and owned-by-this-user sets in ascending node
+      // order (they are disjoint by construction).
+      static const std::set<std::uint32_t> kNone;
+      const auto uit = pi.user_avail.find(job.user);
+      const std::set<std::uint32_t>& mine =
+          uit == pi.user_avail.end() ? kNone : uit->second;
+      auto a = pi.unowned_avail.begin();
+      auto b = mine.begin();
+      while (remaining > 0 &&
+             (a != pi.unowned_avail.end() || b != mine.end())) {
+        if (b == mine.end() ||
+            (a != pi.unowned_avail.end() && *a < *b)) {
+          visit(*a++);
+        } else {
+          visit(*b++);
+        }
+      }
+    } else {
+      for (auto it = pi.shared_avail.begin();
+           it != pi.shared_avail.end() && remaining > 0; ++it) {
+        visit(*it);
+      }
+    }
+  }
+  if (remaining > 0) {
+    ++sched_stats_.placement_failures;
+    return false;
+  }
 
   // Commit.
   job.allocations.clear();
@@ -201,6 +300,7 @@ bool Scheduler::try_start(Job& job) {
       node.bound_user = job.user;
     }
     job.allocations.push_back(std::move(alloc));
+    reindex_node(idx);
   }
 
   // Prologs run before the job is marked running, and a failure aborts
@@ -226,7 +326,9 @@ bool Scheduler::try_start(Job& job) {
       if (!bad.drained_until.has_value()) ++failures_.nodes_drained;
       bad.drained_until =
           common::SimTime{clock_->now().ns + config_.prolog_drain_ns};
+      push_node_event(alloc.node.value(), *bad.drained_until);
       release_allocations(job);
+      reindex_node(alloc.node.value());
       job.allocations.clear();
       job.pending_reason = "PrologFailed";
       return false;
@@ -240,6 +342,7 @@ bool Scheduler::try_start(Job& job) {
       std::min(job.spec.duration_ns, job.spec.time_limit_ns);
   job.end_time = job.start_time + run_ns;
   running_.push_back(job.id);
+  completion_heap_.push(CompletionEntry{job.end_time.ns, job.id});
   return true;
 }
 
@@ -253,6 +356,7 @@ void Scheduler::release_allocations(Job& job) {
     node.tasks.erase(job.id);
     if (node.bound_job == job.id) node.bound_job.reset();
     if (node.tasks.empty()) node.bound_user.reset();
+    reindex_node(alloc.node.value());
   }
 }
 
@@ -268,13 +372,27 @@ void Scheduler::run_epilog_on(const Job& job, const Allocation& alloc) {
   st.pending_epilogs.push_back(ctx);
   st.epilog_retry_at =
       common::SimTime{clock_->now().ns + config_.epilog_retry_ns};
+  maintenance_nodes_.insert(static_cast<std::uint32_t>(alloc.node.value()));
+  push_node_event(alloc.node.value(), *st.epilog_retry_at);
+  reindex_node(alloc.node.value());
 }
 
 void Scheduler::retry_pending_epilogs() {
   const common::SimTime now = clock_->now();
-  for (auto& node : nodes_) {
-    if (node.pending_epilogs.empty()) continue;
-    if (!node.epilog_retry_at || *node.epilog_retry_at > now) continue;
+  // Only nodes actually holding failed epilogs are visited — the set is
+  // ordered by index, matching the old full scan's visit order.
+  for (auto it = maintenance_nodes_.begin();
+       it != maintenance_nodes_.end();) {
+    NodeState& node = nodes_[*it];
+    if (node.pending_epilogs.empty()) {
+      // Shouldn't happen (recovery erases eagerly), but self-heal.
+      it = maintenance_nodes_.erase(it);
+      continue;
+    }
+    if (!node.epilog_retry_at || *node.epilog_retry_at > now) {
+      ++it;
+      continue;
+    }
     std::vector<JobNodeContext> still_failing;
     for (const JobNodeContext& ctx : node.pending_epilogs) {
       ++failures_.epilog_retries;
@@ -284,9 +402,13 @@ void Scheduler::retry_pending_epilogs() {
     if (node.pending_epilogs.empty()) {
       node.epilog_retry_at.reset();
       ++failures_.maintenance_recovered;
+      reindex_node(*it);
+      it = maintenance_nodes_.erase(it);
     } else {
       node.epilog_retry_at =
           common::SimTime{now.ns + config_.epilog_retry_ns};
+      push_node_event(*it, *node.epilog_retry_at);
+      ++it;
     }
   }
 }
@@ -331,21 +453,16 @@ void Scheduler::integrate_utilization() {
   if (dt <= 0) return;
   last_integration_ = now;
   util_.horizon_ns += dt;
-  for (const auto& node : nodes_) {
-    if (node.info.node_class != NodeClass::compute) continue;
-    util_.cpu_capacity_ns +=
-        static_cast<double>(node.info.cpus) * static_cast<double>(dt);
-    util_.cpu_busy_ns +=
-        static_cast<double>(node.cpus_used) * static_cast<double>(dt);
-    // Blocked capacity: under node-granular policies an occupied node is
-    // entirely unavailable to other users, regardless of cpus_used.
-    const bool node_fenced = node.bound_job.has_value() ||
-                             (node.bound_user.has_value() &&
-                              !node.tasks.empty());
-    const unsigned blocked = node_fenced ? node.info.cpus : node.cpus_used;
-    util_.cpu_blocked_ns +=
-        static_cast<double>(blocked) * static_cast<double>(dt);
-  }
+  // O(1): the per-node busy/blocked sums are maintained incrementally by
+  // reindex_node at every mutation site. Blocked capacity still means:
+  // under node-granular policies an occupied node is entirely unavailable
+  // to other users, regardless of cpus_used.
+  util_.cpu_capacity_ns +=
+      static_cast<double>(total_compute_cpus_) * static_cast<double>(dt);
+  util_.cpu_busy_ns +=
+      static_cast<double>(busy_cpus_) * static_cast<double>(dt);
+  util_.cpu_blocked_ns +=
+      static_cast<double>(blocked_cpus_) * static_cast<double>(dt);
 }
 
 common::SimTime Scheduler::head_reservation(const Job& head) const {
@@ -478,6 +595,8 @@ void Scheduler::crash_node_internal(NodeId node,
 
   st.down_until = common::SimTime{clock_->now().ns +
                                   config_.node_reboot_ns};
+  push_node_event(node.value(), *st.down_until);
+  reindex_node(node.value());
   if (node_crash_hook_) node_crash_hook_(node);
 }
 
@@ -596,28 +715,46 @@ void Scheduler::step() {
   integrate_utilization();
   const common::SimTime now = clock_->now();
 
-  // Revive rebooted nodes and resume drained ones.
-  for (auto& node : nodes_) {
+  // Revive rebooted nodes and resume drained ones — event-driven: only
+  // nodes with a due timer entry are visited, never the whole fleet.
+  // Stale entries (timer since cleared or replaced) pop harmlessly.
+  while (!node_event_heap_.empty() &&
+         node_event_heap_.top().at_ns <= now.ns) {
+    const std::uint32_t idx = node_event_heap_.top().node;
+    node_event_heap_.pop();
+    ++sched_stats_.node_event_pops;
+    NodeState& node = nodes_[idx];
+    bool changed = false;
     if (node.down_until && *node.down_until <= now) {
       node.down_until.reset();
+      changed = true;
     }
     if (node.drained_until && *node.drained_until <= now) {
       node.drained_until.reset();
+      changed = true;
     }
+    if (changed) reindex_node(idx);
   }
 
   // Maintenance nodes re-run their failed epilogs on a timer.
   retry_pending_epilogs();
 
-  // Complete due jobs in end-time order so epilogs observe a consistent
-  // sequence.
+  // Complete due jobs in (end-time, id) order so epilogs observe a
+  // consistent sequence. The heap pops exactly the due jobs; stale
+  // entries (job cancelled/requeued since push) are discarded.
   std::vector<JobId> due;
-  for (JobId id : running_) {
-    if (jobs_.at(id).end_time <= now) due.push_back(id);
+  while (!completion_heap_.empty() &&
+         completion_heap_.top().end_ns <= now.ns) {
+    const CompletionEntry e = completion_heap_.top();
+    completion_heap_.pop();
+    ++sched_stats_.completion_heap_pops;
+    const auto it = jobs_.find(e.job);
+    if (it == jobs_.end() || it->second.state != JobState::running ||
+        it->second.end_time.ns != e.end_ns) {
+      continue;
+    }
+    due.push_back(e.job);
   }
-  std::sort(due.begin(), due.end(), [&](JobId a, JobId b) {
-    return jobs_.at(a).end_time < jobs_.at(b).end_time;
-  });
   for (JobId id : due) {
     Job& job = jobs_.at(id);
     const bool timed_out = job.spec.duration_ns > job.spec.time_limit_ns;
@@ -630,23 +767,36 @@ void Scheduler::step() {
 
 std::optional<common::SimTime> Scheduler::next_event_time() const {
   std::optional<common::SimTime> next;
-  for (JobId id : running_) {
-    const common::SimTime t = jobs_.at(id).end_time;
-    if (!next || t < *next) next = t;
+  // Earliest valid completion: discard stale tops (job no longer running
+  // at that end time) so callers can never loop on a dead event.
+  while (!completion_heap_.empty()) {
+    const CompletionEntry e = completion_heap_.top();
+    const auto it = jobs_.find(e.job);
+    if (it == jobs_.end() || it->second.state != JobState::running ||
+        it->second.end_time.ns != e.end_ns) {
+      completion_heap_.pop();
+      continue;
+    }
+    next = common::SimTime{e.end_ns};
+    break;
   }
   // Node reboots, drain expiries, and epilog retries are events too:
-  // pending work may be waiting on any of them.
-  for (const auto& node : nodes_) {
-    if (node.down_until && (!next || *node.down_until < *next)) {
-      next = node.down_until;
+  // pending work may be waiting on any of them. An entry is live iff it
+  // matches one of the node's current timers exactly (replaced timers
+  // pushed a fresh entry).
+  while (!node_event_heap_.empty()) {
+    const NodeEventEntry e = node_event_heap_.top();
+    const NodeState& node = nodes_[e.node];
+    const common::SimTime at{e.at_ns};
+    const bool live = (node.down_until && *node.down_until == at) ||
+                      (node.drained_until && *node.drained_until == at) ||
+                      (node.epilog_retry_at && *node.epilog_retry_at == at);
+    if (!live) {
+      node_event_heap_.pop();
+      continue;
     }
-    if (node.drained_until && (!next || *node.drained_until < *next)) {
-      next = node.drained_until;
-    }
-    if (node.epilog_retry_at &&
-        (!next || *node.epilog_retry_at < *next)) {
-      next = node.epilog_retry_at;
-    }
+    if (!next || at < *next) next = at;
+    break;
   }
   return next;
 }

@@ -19,7 +19,10 @@
 #include <limits>
 #include <map>
 #include <optional>
+#include <queue>
+#include <set>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -103,6 +106,18 @@ struct UtilizationStats {
   [[nodiscard]] double blocked_fraction() const {
     return cpu_capacity_ns > 0 ? cpu_blocked_ns / cpu_capacity_ns : 0.0;
   }
+};
+
+/// Hot-path work accounting (E20): placement cost is measured in nodes
+/// examined, not wall clock, so the numbers are machine-independent. A
+/// pre-index scheduler examines every node per attempt; the indexed one
+/// examines only candidate-set members.
+struct SchedStats {
+  std::uint64_t placement_attempts = 0;  ///< try_start invocations
+  std::uint64_t placement_failures = 0;  ///< attempts that placed nothing
+  std::uint64_t nodes_examined = 0;      ///< candidate nodes visited
+  std::uint64_t completion_heap_pops = 0;
+  std::uint64_t node_event_pops = 0;
 };
 
 /// Hook invoked on each node a job starts/ends on. `gpus` lists the gres
@@ -257,6 +272,8 @@ class Scheduler {
   [[nodiscard]] std::uint64_t cross_user_coresidency_events() const {
     return cross_user_coresidency_;
   }
+  [[nodiscard]] const SchedStats& sched_stats() const { return sched_stats_; }
+  void reset_sched_stats() { sched_stats_ = {}; }
 
  private:
   struct NodeState {
@@ -274,6 +291,54 @@ class Scheduler {
     /// Non-empty == the node is in maintenance and accepts no work.
     std::vector<JobNodeContext> pending_epilogs;
     std::optional<common::SimTime> epilog_retry_at;
+    // -- index bookkeeping (maintained by reindex_node) ------------------
+    /// Which user_avail set this node currently sits in, if any.
+    std::optional<Uid> indexed_user;
+    /// This node's current contribution to the utilization aggregates.
+    unsigned busy_contrib = 0;
+    unsigned blocked_contrib = 0;
+  };
+
+  /// Per-partition placement indices. Candidate sets are *supersets* of
+  /// the nodes where tasks_fitting() > 0 under the matching policy branch
+  /// (a member may still fail the full fit check — candidates are always
+  /// re-validated); ordered by node index so the indexed scan visits
+  /// nodes in exactly the order the full scan did, which is what keeps
+  /// the produced schedules bit-for-bit identical.
+  struct PartitionIndex {
+    /// Available, no tasks, unbound: candidates for exclusive placement.
+    std::set<std::uint32_t> empty_avail;
+    /// Available, unbound, free cpus: user_whole_node candidates for any
+    /// user not yet owning the node.
+    std::set<std::uint32_t> unowned_avail;
+    /// Available, not job-bound, free cpus: shared-policy candidates.
+    std::set<std::uint32_t> shared_avail;
+    /// Available, owned by this user, free cpus (user_whole_node).
+    std::map<Uid, std::set<std::uint32_t>> user_avail;
+    /// Static node-shape census (cpus, mem_mb, gpus) -> count, for O(#
+    /// shapes) submit-time satisfiability instead of an O(nodes) scan.
+    std::map<std::tuple<unsigned, std::uint64_t, unsigned>, unsigned>
+        shape_census;
+  };
+
+  /// Lazy min-heap entries: stale entries are discarded on pop by
+  /// re-checking the referenced object's current state.
+  struct CompletionEntry {
+    std::int64_t end_ns = 0;
+    JobId job{};
+    friend bool operator>(const CompletionEntry& x,
+                          const CompletionEntry& y) {
+      if (x.end_ns != y.end_ns) return x.end_ns > y.end_ns;
+      return x.job > y.job;
+    }
+  };
+  struct NodeEventEntry {
+    std::int64_t at_ns = 0;
+    std::uint32_t node = 0;
+    friend bool operator>(const NodeEventEntry& x, const NodeEventEntry& y) {
+      if (x.at_ns != y.at_ns) return x.at_ns > y.at_ns;
+      return x.node > y.node;
+    }
   };
 
   enum class DependencyState { satisfied, waiting, never };
@@ -300,6 +365,15 @@ class Scheduler {
   [[nodiscard]] common::SimTime head_reservation(const Job& head) const;
 
   void integrate_utilization();
+  /// Recompute node `idx`'s membership in every placement index and its
+  /// utilization contributions. Called after *every* node-state mutation;
+  /// the indices are therefore exact, never merely eventually consistent.
+  void reindex_node(std::size_t idx);
+  /// Record that a node timer (down/drain/epilog-retry) was set.
+  void push_node_event(std::size_t idx, common::SimTime at) {
+    node_event_heap_.push(
+        NodeEventEntry{at.ns, static_cast<std::uint32_t>(idx)});
+  }
   /// `run_epilog` is false on the crash path: a dead node cannot run its
   /// epilog; the node-crash hook does the (power-loss) cleanup instead.
   void finish_job(Job& job, JobState final_state, bool run_epilog = true);
@@ -314,6 +388,21 @@ class Scheduler {
   common::SimClock* clock_;
   SchedulerConfig config_;
   std::vector<NodeState> nodes_;
+  std::map<std::string, PartitionIndex> partitions_;
+  /// Nodes currently holding failed epilogs (maintenance), by index.
+  std::set<std::uint32_t> maintenance_nodes_;
+  /// Mutable: next_event_time() lazily discards stale tops while peeking.
+  mutable std::priority_queue<CompletionEntry, std::vector<CompletionEntry>,
+                              std::greater<>>
+      completion_heap_;
+  mutable std::priority_queue<NodeEventEntry, std::vector<NodeEventEntry>,
+                              std::greater<>>
+      node_event_heap_;
+  /// Utilization aggregates (compute nodes only), kept exact by
+  /// reindex_node so integration is O(1) instead of O(nodes).
+  std::uint64_t total_compute_cpus_ = 0;
+  std::uint64_t busy_cpus_ = 0;
+  std::uint64_t blocked_cpus_ = 0;
   std::vector<JobId> queue_;  ///< FCFS order, pending only
   std::unordered_map<JobId, Job> jobs_;
   std::vector<JobId> running_;
@@ -329,6 +418,7 @@ class Scheduler {
   common::SimTime last_completion_{};
   std::uint64_t cross_user_coresidency_ = 0;
   std::uint64_t next_job_ = 1;
+  SchedStats sched_stats_;
 };
 
 }  // namespace heus::sched

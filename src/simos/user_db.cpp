@@ -29,6 +29,7 @@ Result<Uid> UserDb::create_user(const std::string& name) {
   User user{uid, name, gid, "/home/" + name};
   users_.emplace(uid, std::move(user));
   user_by_name_.emplace(name, uid);
+  ++generation_;
   return uid;
 }
 
@@ -41,6 +42,7 @@ Result<Gid> UserDb::create_group_internal(const std::string& name,
   Group g{gid, name, kind, {}, {}};
   groups_.emplace(gid, std::move(g));
   group_by_name_.emplace(name, gid);
+  ++generation_;
   return gid;
 }
 
@@ -52,6 +54,7 @@ Result<Gid> UserDb::create_project_group(const std::string& name,
   Group& g = groups_.at(*gid);
   g.members.insert(steward);
   g.stewards.insert(steward);
+  ++generation_;
   return *gid;
 }
 
@@ -67,6 +70,7 @@ Result<void> UserDb::add_member(Uid actor, Gid group, Uid member) {
   if (g.kind != GroupKind::project) return Errno::eperm;
   if (actor != kRootUid && !g.stewards.contains(actor)) return Errno::eperm;
   g.members.insert(member);
+  ++generation_;
   return ok_result();
 }
 
@@ -78,6 +82,7 @@ Result<void> UserDb::remove_member(Uid actor, Gid group, Uid member) {
   if (actor != kRootUid && !g.stewards.contains(actor)) return Errno::eperm;
   if (g.stewards.contains(member)) return Errno::ebusy;
   if (g.members.erase(member) == 0) return Errno::enoent;
+  ++generation_;
   return ok_result();
 }
 
@@ -90,6 +95,7 @@ Result<void> UserDb::add_steward(Uid actor, Gid group, Uid steward) {
   if (actor != kRootUid && !g.stewards.contains(actor)) return Errno::eperm;
   g.stewards.insert(steward);
   g.members.insert(steward);
+  ++generation_;
   return ok_result();
 }
 
@@ -104,6 +110,7 @@ Result<void> UserDb::remove_steward(Uid actor, Gid group, Uid steward) {
     return Errno::ebusy;
   }
   if (g.stewards.erase(steward) == 0) return Errno::enoent;
+  ++generation_;
   return ok_result();
 }
 
@@ -114,6 +121,7 @@ Result<void> UserDb::add_system_member(Uid actor, Gid group, Uid member) {
   if (!user_exists(member)) return Errno::enoent;
   if (it->second.kind != GroupKind::system) return Errno::einval;
   it->second.members.insert(member);
+  ++generation_;
   return ok_result();
 }
 

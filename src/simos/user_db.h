@@ -95,6 +95,14 @@ class UserDb {
   [[nodiscard]] std::size_t user_count() const { return users_.size(); }
   [[nodiscard]] std::vector<Uid> all_users() const;
 
+  /// Monotone epoch, bumped on every successful mutation (user/group
+  /// creation, membership or stewardship change). Caches keyed off
+  /// decisions derived from this database compare epochs instead of
+  /// re-querying: a changed epoch over-invalidates (any mutation clears
+  /// everything) but can never under-invalidate, so a stale allow after a
+  /// revoke is impossible by construction.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
  private:
   Result<Gid> create_group_internal(const std::string& name, GroupKind kind);
 
@@ -104,6 +112,7 @@ class UserDb {
   std::unordered_map<std::string, Gid> group_by_name_;
   std::uint32_t next_uid_ = 1000;  // 0 is root; 1..999 reserved for system
   std::uint32_t next_gid_ = 1000;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace heus::simos

@@ -157,7 +157,10 @@ class LoadSiteTest : public ::testing::Test {
     std::filesystem::remove_all(root_);
     std::filesystem::create_directories(root_);
   }
-  void TearDown() override { std::filesystem::remove_all("load_site_scratch"); }
+  // Remove only this test's subtree: parallel ctest shards run other
+  // LoadSiteTest cases from the same CWD, so deleting the shared
+  // scratch root would yank fixtures out from under them.
+  void TearDown() override { std::filesystem::remove_all(root_); }
 
   void write(const std::filesystem::path& rel, const std::string& text) {
     const std::filesystem::path p = root_ / rel;

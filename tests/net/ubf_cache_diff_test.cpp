@@ -1,0 +1,161 @@
+// Differential sweep for the UBF decision cache (ISSUE 4 tentpole).
+//
+// 64 seeds of interleaved connection decisions and UserDb group mutations.
+// Two daemons share one account database and one network: a cached
+// instance (the default) and an uncached control. Every decision must
+// agree exactly, every database mutation must be observed as an epoch
+// bump before the next cached decision, and — the security property the
+// epoch scheme exists for — a revoked membership can never be served as a
+// stale allow from cache.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "net/ubf.h"
+
+namespace heus::net {
+namespace {
+
+class UbfCacheDiffTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UbfCacheDiffTest, CachedAndUncachedDecisionsAgree) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  common::Rng rng(0x0bf'cac4e ^ (seed * 0x9e3779b97f4a7c15ULL));
+
+  common::SimClock clock;
+  simos::UserDb db;
+  Network nw(&clock);
+  const HostId ha = nw.add_host("node-a");
+  const HostId hb = nw.add_host("node-b");
+
+  // A small population with a few project groups under churn.
+  constexpr unsigned kUsers = 10;
+  constexpr unsigned kGroups = 4;
+  std::vector<Uid> uids;
+  std::vector<simos::Credentials> creds;
+  for (unsigned u = 0; u < kUsers; ++u) {
+    uids.push_back(*db.create_user("user" + std::to_string(u)));
+    creds.push_back(*simos::login(db, uids.back()));
+  }
+  std::vector<Gid> groups;
+  for (unsigned g = 0; g < kGroups; ++g) {
+    // Steward = user g; membership churns below via root.
+    groups.push_back(
+        *db.create_project_group("proj" + std::to_string(g), uids[g]));
+  }
+
+  // Listeners: each user listens twice on node-a — once under their
+  // user-private group, once under a project group via newgrp — so both
+  // admission rules are exercised. Client flows on node-b give the
+  // initiator side an attributable source port.
+  std::map<unsigned, std::uint16_t> upg_port;    // user -> UPG listener
+  std::map<unsigned, std::uint16_t> proj_port;   // user -> project listener
+  std::map<unsigned, std::uint16_t> client_port;  // user -> src port
+  std::uint16_t next_port = 20000;
+  for (unsigned u = 0; u < kUsers; ++u) {
+    upg_port[u] = next_port;
+    ASSERT_TRUE(
+        nw.listen(ha, creds[u], Pid{u + 1}, Proto::tcp, next_port).ok());
+    ++next_port;
+    const Gid g = groups[u % kGroups];
+    // newgrp requires membership; route the grant through root.
+    ASSERT_TRUE(db.add_member(kRootUid, g, uids[u]).ok());
+    auto member_cred = *simos::login(db, uids[u]);
+    auto server = simos::newgrp(db, member_cred, g);
+    ASSERT_TRUE(server.ok());
+    proj_port[u] = next_port;
+    ASSERT_TRUE(
+        nw.listen(ha, *server, Pid{u + 1}, Proto::tcp, next_port).ok());
+    ++next_port;
+    auto f =
+        nw.connect(hb, creds[u], Pid{u + 100}, ha, Proto::tcp, upg_port[u]);
+    ASSERT_TRUE(f.ok());
+    client_port[u] = nw.find_flow(*f)->client_port;
+  }
+
+  Ubf cached(&db, &nw);
+  Ubf uncached(&db, &nw);
+  uncached.set_cache_enabled(false);
+  ASSERT_TRUE(cached.cache_enabled());
+  ASSERT_FALSE(uncached.cache_enabled());
+
+  auto decide_both = [&](unsigned initiator, std::uint16_t dst_port) {
+    ConnRequest req{hb, client_port[initiator], ha, dst_port, Proto::tcp};
+    const UbfDecision want = uncached.decide(req);
+    const UbfDecision got = cached.decide(req);
+    EXPECT_EQ(static_cast<int>(got), static_cast<int>(want))
+        << "seed " << seed << " initiator " << initiator << " port "
+        << dst_port;
+    // Epoch discipline: after any decision the cache is synced to the
+    // database generation — a mutation can never go unobserved.
+    EXPECT_EQ(cached.cache_epoch(), db.generation());
+    return got;
+  };
+
+  for (unsigned round = 0; round < 400; ++round) {
+    const auto action = rng.uniform_int(0, 9);
+    if (action < 2) {
+      // Membership churn (20%): root adds or removes a random member.
+      const Gid g = groups[static_cast<std::size_t>(
+          rng.uniform_int(0, kGroups - 1))];
+      const Uid u =
+          uids[static_cast<std::size_t>(rng.uniform_int(0, kUsers - 1))];
+      if (rng.chance(0.5)) {
+        (void)db.add_member(kRootUid, g, u);
+      } else {
+        (void)db.remove_member(kRootUid, g, u);
+      }
+    } else {
+      // Decision (80%): random initiator against a random listener.
+      const auto initiator =
+          static_cast<unsigned>(rng.uniform_int(0, kUsers - 1));
+      const auto target =
+          static_cast<unsigned>(rng.uniform_int(0, kUsers - 1));
+      const std::uint16_t port =
+          rng.chance(0.5) ? upg_port[target] : proj_port[target];
+      decide_both(initiator, port);
+    }
+  }
+
+  // Directed stale-allow probe: grant, observe the allow, revoke, and
+  // require the very next cached decision to deny. Pick a pair where the
+  // group rule is the only admission path (different users).
+  const unsigned listener_user = 1;
+  const unsigned peer = 2;
+  const Gid g = groups[listener_user % kGroups];
+  (void)db.remove_member(kRootUid, g, uids[peer]);
+  ASSERT_TRUE(db.add_member(kRootUid, g, uids[peer]).ok());
+  const UbfDecision granted =
+      decide_both(peer, proj_port[listener_user]);
+  EXPECT_EQ(static_cast<int>(granted),
+            static_cast<int>(UbfDecision::allow_group_member));
+  const std::uint64_t hits_before = cached.stats().cache_hits;
+  // Warm the cache on this exact key, then revoke.
+  decide_both(peer, proj_port[listener_user]);
+  EXPECT_GT(cached.stats().cache_hits, hits_before);
+  ASSERT_TRUE(db.remove_member(kRootUid, g, uids[peer]).ok());
+  const UbfDecision revoked = decide_both(peer, proj_port[listener_user]);
+  EXPECT_EQ(static_cast<int>(revoked),
+            static_cast<int>(UbfDecision::deny))
+      << "stale allow served from cache after revoke (seed " << seed
+      << ")";
+
+  // The cache must have actually been used for the sweep to mean
+  // anything, and every churn round must be visible as an invalidation.
+  EXPECT_GT(cached.stats().cache_hits + cached.stats().cache_misses, 0u);
+  EXPECT_GT(cached.stats().cache_invalidations, 0u);
+  EXPECT_EQ(cached.cache_epoch(), db.generation());
+  // The uncached control never populated anything.
+  EXPECT_EQ(uncached.cache_size(), 0u);
+  EXPECT_EQ(uncached.stats().cache_hits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UbfCacheDiffTest,
+                         ::testing::Range(0, 64));
+
+}  // namespace
+}  // namespace heus::net

@@ -38,6 +38,11 @@ check 'high_resolution_clock' \
 check '(^|[^_[:alnum:]])(sleep|usleep|nanosleep)\(' \
   'real sleeping (faults/retries must advance SimClock instead)'
 check 'std::mt19937' 'unseeded-by-convention std::mt19937 (use common::Rng)'
+check 'std::rand' 'std::rand (unseeded process-global RNG)'
+check 'default_random_engine|minstd_rand|ranlux(24|48)(_base)?|knuth_b' \
+  'std <random> engines (seeding is ad hoc; use common::Rng)'
+check 'random_shuffle' \
+  'std::random_shuffle (implementation-defined RNG; shuffle via common::Rng)'
 # The artifact parsers (src/analyze/ingest/) must read config bytes the
 # same way on every host: no locale-dependent classification, no
 # environment-dependent behavior. Hand-rolled ASCII helpers only.
