@@ -11,6 +11,7 @@
 // is why it is never part of the shipped configuration.
 #include <string>
 
+#include "bench/common/json.h"
 #include "bench/common/table.h"
 #include "common/backoff.h"
 #include "common/rng.h"
@@ -118,6 +119,7 @@ void sweep() {
 
   Table table({"mode", "fault-rate", "availability", "legit-denied",
                "leaks", "retries", "mean-connect-us"});
+  JsonValue series = JsonValue::array();
   for (const UbfDegradedMode mode :
        {UbfDegradedMode::fail_closed,
         UbfDegradedMode::retry_then_fail_closed,
@@ -132,9 +134,19 @@ void sweep() {
                      std::to_string(r.legit_denied),
                      std::to_string(r.leaks), std::to_string(r.retries),
                      common::strformat("%.2f", r.mean_connect_us)});
+      JsonValue row = JsonValue::object();
+      row.set("mode", JsonValue::str(net::to_string(mode)));
+      row.set("fault_rate", JsonValue::number(rate));
+      row.set("availability_pct", JsonValue::number(avail));
+      row.set("legit_denied", JsonValue::integer(r.legit_denied));
+      row.set("leaks", JsonValue::integer(r.leaks));
+      row.set("retries", JsonValue::integer(r.retries));
+      row.set("mean_connect_us", JsonValue::number(r.mean_connect_us));
+      series.push(std::move(row));
     }
   }
   table.print();
+  JsonReport::instance().set("degraded_mode_sweep", std::move(series));
   std::printf(
       "\nfail_closed converts the blip rate directly into denied "
       "legitimate connects; retry+backoff rides out independent blips "
@@ -147,7 +159,11 @@ void sweep() {
 }  // namespace
 }  // namespace heus::bench
 
-int main() {
+int main(int argc, char** argv) {
   heus::bench::sweep();
+  if (auto path = heus::bench::json_output_path(argc, argv,
+                                                "BENCH_E18.json")) {
+    return heus::bench::JsonReport::instance().write("E18", *path) ? 0 : 1;
+  }
   return 0;
 }

@@ -13,6 +13,7 @@
 #include "analyze/analyzer.h"
 #include "analyze/policy_space.h"
 #include "analyze/report.h"
+#include "bench/common/json.h"
 #include "bench/common/table.h"
 #include "common/strings.h"
 #include "core/audit.h"
@@ -125,6 +126,20 @@ void static_vs_dynamic() {
   const double e2e_ns = elapsed_ns(e0, e1) / static_cast<double>(kDynamicReps);
 
   Table table({"path", "census latency", "vs static verdicts"});
+  JsonValue series = JsonValue::array();
+  auto add_path = [&series](const char* path, double ns, double ratio) {
+    JsonValue row = JsonValue::object();
+    row.set("path", JsonValue::str(path));
+    row.set("census_ns", JsonValue::number(ns));
+    row.set("vs_static_verdicts_x", JsonValue::number(ratio));
+    series.push(std::move(row));
+  };
+  add_path("static_verdicts", verdict_census_ns, 1.0);
+  add_path("static_census", static_ns, static_ns / verdict_census_ns);
+  add_path("dynamic_audit_prebuilt", audit_ns,
+           audit_ns / verdict_census_ns);
+  add_path("dynamic_audit_end_to_end", e2e_ns,
+           e2e_ns / verdict_census_ns);
   table.add_row({"static verdicts (18 channels)", fmt_ns(verdict_census_ns),
                  "1.0x"});
   table.add_row({"static census (verdicts + attribution)", fmt_ns(static_ns),
@@ -143,12 +158,24 @@ void static_vs_dynamic() {
       "gate throughput: %.0f policy censuses/sec static vs %.1f/sec "
       "dynamic end-to-end\n",
       1e9 / static_ns, 1e9 / e2e_ns);
+
+  JsonReport::instance().set("latency", std::move(series));
+  JsonReport::instance().set("sweep_policies",
+                             JsonValue::integer(sweep.size()));
+  JsonReport::instance().set("static_censuses_per_sec",
+                             JsonValue::number(1e9 / static_ns));
+  JsonReport::instance().set("dynamic_e2e_per_sec",
+                             JsonValue::number(1e9 / e2e_ns));
 }
 
 }  // namespace
 }  // namespace heus::bench
 
-int main() {
+int main(int argc, char** argv) {
   heus::bench::static_vs_dynamic();
+  if (auto path = heus::bench::json_output_path(argc, argv,
+                                                "BENCH_E17.json")) {
+    return heus::bench::JsonReport::instance().write("E17", *path) ? 0 : 1;
+  }
   return 0;
 }

@@ -2,12 +2,14 @@
 
 #include "analyze/json_util.h"
 #include "analyze/policy_space.h"
+#include "obs/taxonomy.h"
 #include "common/strings.h"
 
 namespace heus::analyze::ingest {
 
 using common::strformat;
 using core::ChannelKind;
+namespace knob = obs::knob;
 
 std::size_t SiteReview::unexpected_open_total() const {
   std::size_t n = 0;
@@ -60,34 +62,34 @@ const char* primary_knob(ChannelKind kind) {
   switch (kind) {
     case ChannelKind::procfs_process_list:
     case ChannelKind::procfs_cmdline:
-      return "hidepid";
+      return knob::hidepid;
     case ChannelKind::scheduler_queue:
-      return "private_data.jobs";
+      return knob::private_data_jobs;
     case ChannelKind::scheduler_accounting:
-      return "private_data.accounting";
+      return knob::private_data_accounting;
     case ChannelKind::scheduler_usage:
-      return "private_data.usage";
+      return knob::private_data_usage;
     case ChannelKind::ssh_foreign_node:
-      return "pam_slurm";
+      return knob::pam_slurm;
     case ChannelKind::fs_home_read:
-      return "root_owned_homes";
+      return knob::root_owned_homes;
     case ChannelKind::fs_tmp_content:
     case ChannelKind::fs_tmp_names:
     case ChannelKind::fs_devshm_content:
-      return "fs.enforce_smask";
+      return knob::fs_enforce_smask;
     case ChannelKind::fs_acl_user_grant:
-      return "fs.restrict_acl";
+      return knob::fs_restrict_acl;
     case ChannelKind::tcp_cross_user:
     case ChannelKind::udp_cross_user:
     case ChannelKind::abstract_uds:
     case ChannelKind::rdma_tcp_setup:
     case ChannelKind::rdma_native_cm:
     case ChannelKind::portal_foreign_app:
-      return "ubf";
+      return knob::ubf;
     case ChannelKind::gpu_residue:
-      return "gpu_epilog_scrub";
+      return knob::gpu_epilog_scrub;
   }
-  return "ubf";
+  return knob::ubf;
 }
 
 namespace {

@@ -4,10 +4,12 @@
 #include <string_view>
 
 #include "common/strings.h"
+#include "obs/taxonomy.h"
 
 namespace heus::analyze {
 
 using core::SeparationPolicy;
+namespace knob = obs::knob;
 
 namespace {
 
@@ -17,27 +19,27 @@ using P = SeparationPolicy;
 const std::vector<KnobSpec>& registry() {
   static const std::vector<KnobSpec> specs = {
       // §IV-A processes
-      {"hidepid", "mount /proc with hidepid=2 (foreign pids invisible)",
+      {knob::hidepid, "mount /proc with hidepid=2 (foreign pids invisible)",
        [](const P& p) { return p.hidepid == simos::HidepidMode::invisible; },
        [](P& p, bool h) {
          p.hidepid =
              h ? simos::HidepidMode::invisible : simos::HidepidMode::off;
        }},
-      {"hidepid_gid_exemption",
+      {knob::hidepid_gid_exemption,
        "gid= mount flag: seepid staff group exempt from hidepid",
        [](const P& p) { return p.hidepid_gid_exemption; },
        [](P& p, bool h) { p.hidepid_gid_exemption = h; }},
       // §IV-B scheduler
-      {"private_data.jobs", "squeue shows only the caller's jobs",
+      {knob::private_data_jobs, "squeue shows only the caller's jobs",
        [](const P& p) { return p.private_data.jobs; },
        [](P& p, bool h) { p.private_data.jobs = h; }},
-      {"private_data.accounting", "sacct shows only the caller's records",
+      {knob::private_data_accounting, "sacct shows only the caller's records",
        [](const P& p) { return p.private_data.accounting; },
        [](P& p, bool h) { p.private_data.accounting = h; }},
-      {"private_data.usage", "sreport shows only the caller's usage",
+      {knob::private_data_usage, "sreport shows only the caller's usage",
        [](const P& p) { return p.private_data.usage; },
        [](P& p, bool h) { p.private_data.usage = h; }},
-      {"sharing", "user-based whole-node scheduling",
+      {knob::sharing, "user-based whole-node scheduling",
        [](const P& p) {
          return p.sharing == sched::SharingPolicy::user_whole_node;
        },
@@ -45,35 +47,35 @@ const std::vector<KnobSpec>& registry() {
          p.sharing = h ? sched::SharingPolicy::user_whole_node
                        : sched::SharingPolicy::shared;
        }},
-      {"pam_slurm", "ssh only to nodes where the user has a running job",
+      {knob::pam_slurm, "ssh only to nodes where the user has a running job",
        [](const P& p) { return p.pam_slurm; },
        [](P& p, bool h) { p.pam_slurm = h; }},
       // §IV-C filesystems
-      {"fs.enforce_smask", "kernel smask patch installed",
+      {knob::fs_enforce_smask, "kernel smask patch installed",
        [](const P& p) { return p.fs.enforce_smask; },
        [](P& p, bool h) { p.fs.enforce_smask = h; }},
-      {"fs.honor_smask", "Lustre LU-4746 patch: filesystem honors smask",
+      {knob::fs_honor_smask, "Lustre LU-4746 patch: filesystem honors smask",
        [](const P& p) { return p.fs.honor_smask; },
        [](P& p, bool h) { p.fs.honor_smask = h; }},
-      {"fs.restrict_acl",
+      {knob::fs_restrict_acl,
        "setfacl restricted to member groups, no named-user grants",
        [](const P& p) { return p.fs.restrict_acl; },
        [](P& p, bool h) { p.fs.restrict_acl = h; }},
-      {"root_owned_homes", "homes root-owned, group = UPG, mode 0770",
+      {knob::root_owned_homes, "homes root-owned, group = UPG, mode 0770",
        [](const P& p) { return p.root_owned_homes; },
        [](P& p, bool h) { p.root_owned_homes = h; }},
       // §IV-D network
-      {"ubf", "user-based firewall attached to the nfqueue hook",
+      {knob::ubf, "user-based firewall attached to the nfqueue hook",
        [](const P& p) { return p.ubf; },
        [](P& p, bool h) { p.ubf = h; }},
-      {"ubf_group_peers", "UBF rule (b): egid project-group peers allowed",
+      {knob::ubf_group_peers, "UBF rule (b): egid project-group peers allowed",
        [](const P& p) { return p.ubf_group_peers; },
        [](P& p, bool h) { p.ubf_group_peers = h; }},
       // §IV-F accelerators
-      {"gpu_dev_binding", "/dev/nvidiaN chgrp'ed to the user's UPG on alloc",
+      {knob::gpu_dev_binding, "/dev/nvidiaN chgrp'ed to the user's UPG on alloc",
        [](const P& p) { return p.gpu_dev_binding; },
        [](P& p, bool h) { p.gpu_dev_binding = h; }},
-      {"gpu_epilog_scrub", "vendor memory scrub in the job epilog",
+      {knob::gpu_epilog_scrub, "vendor memory scrub in the job epilog",
        [](const P& p) { return p.gpu_epilog_scrub; },
        [](P& p, bool h) { p.gpu_epilog_scrub = h; }},
   };
@@ -152,7 +154,7 @@ std::vector<NamedPolicy> differential_sweep(std::size_t random_count,
 }
 
 std::string knob_value(const SeparationPolicy& p, const KnobSpec& knob) {
-  if (std::string_view(knob.name) == "hidepid") {
+  if (std::string_view(knob.name) == knob::hidepid) {
     switch (p.hidepid) {
       case simos::HidepidMode::off: return "off";
       case simos::HidepidMode::restrict_contents: return "restrict";
@@ -160,7 +162,7 @@ std::string knob_value(const SeparationPolicy& p, const KnobSpec& knob) {
     }
     return "?";
   }
-  if (std::string_view(knob.name) == "sharing") {
+  if (std::string_view(knob.name) == knob::sharing) {
     return sched::to_string(p.sharing);
   }
   return knob.is_hardened(p) ? "1" : "0";
@@ -194,7 +196,7 @@ SeparationPolicy policy_at(std::size_t index) {
   index /= 3;
   for (const KnobSpec& k : registry()) {
     const std::string_view name = k.name;
-    if (name == "hidepid" || name == "sharing") continue;
+    if (name == knob::hidepid || name == knob::sharing) continue;
     k.set(p, (index & 1) != 0);
     index >>= 1;
   }
@@ -205,7 +207,7 @@ bool set_knob_from_string(SeparationPolicy& p, const std::string& name,
                           const std::string& value) {
   const KnobSpec* knob = find_knob(name);
   if (knob == nullptr) return false;
-  if (name == std::string("hidepid")) {
+  if (name == knob::hidepid) {
     if (value == "off" || value == "0") {
       p.hidepid = simos::HidepidMode::off;
     } else if (value == "restrict" || value == "1") {
@@ -217,7 +219,7 @@ bool set_knob_from_string(SeparationPolicy& p, const std::string& name,
     }
     return true;
   }
-  if (name == std::string("sharing")) {
+  if (name == knob::sharing) {
     if (value == "shared") {
       p.sharing = sched::SharingPolicy::shared;
     } else if (value == "exclusive") {

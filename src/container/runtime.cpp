@@ -94,8 +94,18 @@ Result<ContainerId> Runtime::exec(const simos::Credentials& cred,
                                   const std::string& command,
                                   simos::ProcessTable* procs,
                                   vfs::MountTable* host_mounts) {
-  if (!opts_.enabled) return Errno::eperm;
-  if (!cred.is_root() && !granted_.contains(cred.uid)) return Errno::eperm;
+  const bool allowed =
+      opts_.enabled && (cred.is_root() || granted_.contains(cred.uid));
+  if (trace_ != nullptr && !cred.is_root()) {
+    trace_->record(obs::DecisionPoint::container_entry,
+                   allowed ? obs::Outcome::allow : obs::Outcome::deny,
+                   cred.uid, cred.egid, kRootUid, std::nullopt, nullptr,
+                   [&] {
+                     return image != nullptr ? image->name()
+                                             : std::string{"<no image>"};
+                   });
+  }
+  if (!allowed) return Errno::eperm;
   if (image == nullptr || procs == nullptr || host_mounts == nullptr) {
     return Errno::einval;
   }

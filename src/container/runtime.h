@@ -25,6 +25,7 @@
 
 #include "common/ids.h"
 #include "common/result.h"
+#include "obs/decision.h"
 #include "simos/process.h"
 #include "vfs/filesystem.h"
 
@@ -136,6 +137,10 @@ class Runtime {
  public:
   explicit Runtime(RuntimeOptions opts = {}) : opts_(opts) {}
 
+  /// Route container-entry verdicts through the cluster decision trace.
+  /// Null (the default) disables recording.
+  void set_trace(obs::DecisionTrace* trace) { trace_ = trace; }
+
   /// Grant/revoke container privileges for a user (LLSC enables this
   /// selectively for teams that need it).
   void grant(Uid uid) { granted_.insert(uid); }
@@ -160,6 +165,7 @@ class Runtime {
 
  private:
   RuntimeOptions opts_;
+  obs::DecisionTrace* trace_ = nullptr;
   std::set<Uid> granted_;
   std::map<ContainerId, Instance> instances_;
   std::uint64_t next_id_ = 1;

@@ -16,59 +16,18 @@
 #include <vector>
 
 #include "core/cluster.h"
+#include "obs/taxonomy.h"
 
 namespace heus::core {
 
-enum class ChannelKind {
-  // §IV-A processes
-  procfs_process_list,     ///< observer sees victim's pids
-  procfs_cmdline,          ///< observer reads victim's command lines
-  // §IV-B scheduler
-  scheduler_queue,         ///< observer sees victim's queued/running jobs
-  scheduler_accounting,    ///< observer reads victim's sacct records
-  scheduler_usage,         ///< observer reads victim's usage report
-  ssh_foreign_node,        ///< observer ssh-es into victim's compute node
-  // §IV-C filesystems
-  fs_home_read,            ///< observer reads a world-chmod'ed home file
-  fs_tmp_content,          ///< observer reads victim's /tmp file content
-  fs_tmp_names,            ///< observer lists victim's /tmp file names
-  fs_devshm_content,       ///< same for /dev/shm
-  fs_acl_user_grant,       ///< victim grants observer access via setfacl
-  // §IV-D network
-  tcp_cross_user,          ///< observer connects to victim's TCP service
-  udp_cross_user,          ///< observer reaches victim's UDP service
-  abstract_uds,            ///< observer connects to victim's abstract socket
-  rdma_tcp_setup,          ///< QP brought up over a TCP control channel
-  rdma_native_cm,          ///< QP brought up via native IB CM
-  // §IV-E portal
-  portal_foreign_app,      ///< observer fetches victim's web app via portal
-  // §IV-F accelerators
-  gpu_residue,             ///< observer reads victim's stale GPU memory
-};
-
-[[nodiscard]] const char* to_string(ChannelKind kind);
-
-/// Every channel, in the order audit_pair probes them (paper-section
-/// order). The canonical iteration order for reports and for the static
-/// analyzer's differential cross-check.
-inline constexpr std::array<ChannelKind, 18> kAllChannels = {
-    ChannelKind::procfs_process_list, ChannelKind::procfs_cmdline,
-    ChannelKind::scheduler_queue,     ChannelKind::scheduler_accounting,
-    ChannelKind::scheduler_usage,     ChannelKind::ssh_foreign_node,
-    ChannelKind::fs_home_read,        ChannelKind::fs_tmp_content,
-    ChannelKind::fs_tmp_names,        ChannelKind::fs_devshm_content,
-    ChannelKind::fs_acl_user_grant,   ChannelKind::tcp_cross_user,
-    ChannelKind::udp_cross_user,      ChannelKind::abstract_uds,
-    ChannelKind::rdma_tcp_setup,      ChannelKind::rdma_native_cm,
-    ChannelKind::portal_foreign_app,  ChannelKind::gpu_residue,
-};
-
-/// Paper section that discusses a channel ("IV-A" … "IV-F").
-[[nodiscard]] const char* channel_section(ChannelKind kind);
-
-/// Channels the paper itself lists as remaining open even under the full
-/// configuration (§V, first paragraph).
-[[nodiscard]] bool is_documented_residual(ChannelKind kind);
+// The channel taxonomy moved to obs/taxonomy.h so the decision spine,
+// the static analyzer and this auditor share one vocabulary. Re-exported
+// here so existing core::ChannelKind users compile unchanged.
+using obs::ChannelKind;
+using obs::channel_section;
+using obs::is_documented_residual;
+using obs::kAllChannels;
+using obs::to_string;
 
 struct ChannelReport {
   ChannelKind kind;

@@ -44,9 +44,12 @@ Node::Node(NodeId id, std::string hostname, HostId host,
 
 Cluster::Cluster(ClusterConfig config)
     : config_(std::move(config)), policy_(config_.policy) {
+  trace_.set_clock(&clock_);
   network_ = std::make_unique<net::Network>(&clock_);
+  network_->set_trace(&trace_);
   shared_fs_ = std::make_unique<vfs::FileSystem>("lustre:shared", &users_,
                                                  &clock_, policy_.fs);
+  shared_fs_->set_trace(&trace_);
   const Credentials root = root_credentials();
   (void)shared_fs_->mkdir(root, "/home", 0755);
   (void)shared_fs_->mkdir(root, "/proj", 0755);
@@ -63,6 +66,7 @@ Cluster::Cluster(ClusterConfig config)
   sched_cfg.policy = policy_.sharing;
   sched_cfg.private_data = policy_.private_data;
   scheduler_ = std::make_unique<sched::Scheduler>(&clock_, sched_cfg);
+  scheduler_->set_trace(&trace_);
 
   auto make_node = [&](const std::string& hostname, sched::NodeClass cls,
                        unsigned gpus, const std::string& partition) {
@@ -71,6 +75,8 @@ Cluster::Cluster(ClusterConfig config)
     nodes_.push_back(std::make_unique<Node>(
         id, hostname, host, &users_, &clock_, gpus, config_.gpu_mem_bytes,
         policy_.fs, shared_fs_.get()));
+    nodes_.back()->procfs().set_trace(&trace_);
+    nodes_.back()->local_fs().set_trace(&trace_);
     sched::NodeInfo info;
     info.hostname = hostname;
     info.host = host;
@@ -105,10 +111,12 @@ Cluster::Cluster(ClusterConfig config)
   scheduler_->set_partition_policy("debug", sched::SharingPolicy::shared);
 
   rdma_ = std::make_unique<net::RdmaManager>(network_.get());
+  rdma_->set_trace(&trace_);
 
   pam_ = std::make_unique<simos::PamSlurm>([this](Uid uid, NodeId n) {
     return scheduler_->user_has_job_on(uid, n);
   });
+  pam_->set_trace(&trace_);
   for (NodeId n : login_nodes_) pam_->add_login_node(n);
 
   portal_host_ = network_->add_host("portal");
@@ -121,12 +129,15 @@ Cluster::Cluster(ClusterConfig config)
         }
         return false;
       });
+  portal_->set_trace(&trace_);
 
   monitor_ = std::make_unique<monitor::Monitor>(
       scheduler_.get(), &clock_, [this](const simos::Credentials& cred) {
         // Staff = the hidepid-exempt group seepid hands out (§IV-A).
         return cred.in_group(seepid_group_);
       });
+
+  containers_.set_trace(&trace_);
 
   wire_prolog_epilog();
   apply_policy(policy_);
@@ -204,6 +215,19 @@ void Cluster::wire_prolog_epilog() {
         dev.note_scrub_failure();
         gpus_ok = false;
         continue;
+      }
+      if (dev.dirty()) {
+        // The separation verdict on the residue itself: a scrub destroys
+        // the channel (deny), a skipped scrub hands it to the next tenant
+        // (allow).
+        trace_.record(
+            obs::DecisionPoint::gpu_scrub,
+            policy_.gpu_epilog_scrub ? obs::Outcome::deny
+                                     : obs::Outcome::allow,
+            ctx.user, Gid{}, dev.residue_owner().value_or(Uid{}),
+            obs::ChannelKind::gpu_residue,
+            policy_.gpu_epilog_scrub ? obs::knob::gpu_epilog_scrub : nullptr,
+            [&] { return Node::gpu_dev_path(g.value()) + " residue"; });
       }
       if (policy_.gpu_epilog_scrub) {
         clock_.advance(dev.scrub());
@@ -290,6 +314,7 @@ void Cluster::apply_policy(const SeparationPolicy& policy) {
       &users_, network_.get(),
       net::UbfOptions{1024, policy.ubf_group_peers});
   ubf_->set_clock(&clock_);
+  ubf_->set_trace(&trace_);
   ubf_->set_degraded_mode(ubf_degraded_, ubf_backoff_);
   if (policy.ubf) {
     ubf_->attach();

@@ -19,6 +19,7 @@
 #include "net/network.h"
 #include "net/rdma.h"
 #include "net/ubf.h"
+#include "obs/decision.h"
 #include "portal/gateway.h"
 #include "sched/scheduler.h"
 #include "simos/pam.h"
@@ -168,6 +169,11 @@ class Cluster {
     return smask_relax_;
   }
   [[nodiscard]] simos::PamSlurm& pam() { return *pam_; }
+  /// The unified decision spine: every enforcement point records its
+  /// allow/deny verdicts here. Disabled by default (counters only);
+  /// enable via trace().set_enabled(true).
+  [[nodiscard]] obs::DecisionTrace& trace() { return trace_; }
+  [[nodiscard]] const obs::DecisionTrace& trace() const { return trace_; }
   /// Load/hotspot telemetry; attribution gated on seepid membership.
   [[nodiscard]] monitor::Monitor& monitor() { return *monitor_; }
 
@@ -200,6 +206,9 @@ class Cluster {
   SeparationPolicy policy_;
   common::SimClock clock_;
   simos::UserDb users_;
+  // Declared before the subsystems that hold pointers into it, so it is
+  // destroyed after all of them.
+  obs::DecisionTrace trace_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<vfs::FileSystem> shared_fs_;
   std::vector<std::unique_ptr<Node>> nodes_;

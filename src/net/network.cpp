@@ -243,6 +243,19 @@ Result<FlowId> Network::connect(HostId src_host,
       charge(cost);
       return Errno::econnrefused;  // client observes refusal/timeout
     }
+  } else if (trace_ != nullptr && cred.uid != listener->cred.uid) {
+    // No firewall hook saw this cross-user flow — either no UBF is
+    // attached or the port is below the inspection floor. That silent
+    // non-enforcement is precisely what the trace must make visible.
+    trace_->record(obs::DecisionPoint::net_uninspected, obs::Outcome::allow,
+                   cred.uid, cred.egid, listener->cred.uid,
+                   proto == Proto::udp ? obs::ChannelKind::udp_cross_user
+                                       : obs::ChannelKind::tcp_cross_user,
+                   nullptr, [&] {
+                     return "host " + std::to_string(dst_host.value()) +
+                            " port " + std::to_string(dst_port) +
+                            (proto == Proto::udp ? " udp" : " tcp");
+                   });
   }
 
   conntrack_.emplace(
@@ -496,11 +509,18 @@ Result<void> Network::unix_listen_abstract(HostId h,
 Result<Uid> Network::unix_connect_abstract(HostId h,
                                            const simos::Credentials& cred,
                                            const std::string& name) {
-  (void)cred;  // deliberately unchecked: this is the residual channel
+  // Deliberately unchecked: this is the residual channel. The trace still
+  // sees every cross-user connect so the exposure is measurable.
   if (h.value() >= hosts_.size()) return Errno::einval;
   HostState& hs = host(h);
   auto it = hs.abstract_sockets.find(name);
   if (it == hs.abstract_sockets.end()) return Errno::econnrefused;
+  if (trace_ != nullptr && it->second.uid != cred.uid) {
+    trace_->record(obs::DecisionPoint::net_uninspected, obs::Outcome::allow,
+                   cred.uid, cred.egid, it->second.uid,
+                   obs::ChannelKind::abstract_uds, nullptr,
+                   [&] { return "@" + name; });
+  }
   return it->second.uid;
 }
 

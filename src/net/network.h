@@ -28,6 +28,7 @@
 #include "common/clock.h"
 #include "common/ids.h"
 #include "common/result.h"
+#include "obs/decision.h"
 #include "simos/credentials.h"
 
 namespace heus::net {
@@ -163,6 +164,15 @@ class Network {
   /// the UBF on ports >= 1024; system services live below).
   void set_hook(FirewallHook hook, std::uint16_t inspect_from_port = 1024);
   void clear_hook();
+  /// True iff a firewall hook would inspect new flows to `port`.
+  [[nodiscard]] bool inspects(std::uint16_t port) const {
+    return static_cast<bool>(hook_) && port >= inspect_from_port_;
+  }
+
+  /// Route uninspected cross-user flow establishment (no hook installed,
+  /// or port below the inspection floor) and abstract-socket connects
+  /// through the cluster decision trace. Null disables recording.
+  void set_trace(obs::DecisionTrace* trace) { trace_ = trace; }
 
   /// Install/remove the fault model the fabric consults (nullptr = healthy
   /// network). Not owned; the injector outlives its armed window.
@@ -350,6 +360,7 @@ class Network {
       expiry_heap_;
   std::int64_t flow_ttl_ns_ = 0;
   FirewallHook hook_;
+  obs::DecisionTrace* trace_ = nullptr;
   FaultModel* faults_ = nullptr;
   std::uint16_t inspect_from_port_ = 1024;
   LatencyModel latency_;

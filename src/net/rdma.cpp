@@ -10,9 +10,30 @@ Result<QpId> RdmaManager::setup_via_tcp(HostId local,
                                 rendezvous_port);
   if (!flow) {
     ++stats_.qp_setups_blocked;
+    // ECONNREFUSED with the UBF inspecting this port is a firewall drop;
+    // without it the refusal is just a missing listener, not enforcement.
+    if (trace_ != nullptr && flow.error() == Errno::econnrefused &&
+        network_->inspects(rendezvous_port)) {
+      trace_->record(obs::DecisionPoint::rdma_setup, obs::Outcome::deny,
+                     cred.uid, cred.egid, Uid{},
+                     obs::ChannelKind::rdma_tcp_setup, obs::knob::ubf, [&] {
+                       return "rendezvous host " +
+                              std::to_string(remote.value()) + " port " +
+                              std::to_string(rendezvous_port);
+                     });
+    }
     return flow.error();
   }
   const Flow* f = network_->find_flow(*flow);
+  if (trace_ != nullptr && f != nullptr && f->server_uid != cred.uid) {
+    trace_->record(obs::DecisionPoint::rdma_setup, obs::Outcome::allow,
+                   cred.uid, cred.egid, f->server_uid,
+                   obs::ChannelKind::rdma_tcp_setup, nullptr, [&] {
+                     return "rendezvous host " +
+                            std::to_string(remote.value()) + " port " +
+                            std::to_string(rendezvous_port);
+                   });
+  }
   const QpId id{next_qp_++};
   QueuePair qp;
   qp.id = id;
@@ -31,7 +52,15 @@ Result<QpId> RdmaManager::setup_via_cm(HostId local,
                                        const simos::Credentials& cred,
                                        HostId remote, Uid remote_uid) {
   // Nothing to consult: the CM exchange rides native IB management
-  // datagrams that the UBF never sees.
+  // datagrams that the UBF never sees. Cross-user bring-up is the
+  // documented rdma-native-cm residual; the trace records the exposure.
+  if (trace_ != nullptr && remote_uid != cred.uid) {
+    trace_->record(obs::DecisionPoint::rdma_setup, obs::Outcome::allow,
+                   cred.uid, cred.egid, remote_uid,
+                   obs::ChannelKind::rdma_native_cm, nullptr, [&] {
+                     return "cm host " + std::to_string(remote.value());
+                   });
+  }
   const QpId id{next_qp_++};
   QueuePair qp;
   qp.id = id;

@@ -18,6 +18,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "net/network.h"
+#include "obs/decision.h"
 
 namespace heus::net {
 
@@ -51,6 +52,10 @@ class RdmaManager {
  public:
   explicit RdmaManager(Network* network) : network_(network) {}
 
+  /// Route QP bring-up verdicts (blocked TCP rendezvous, cross-user
+  /// native-CM setup) through the cluster decision trace. Null disables.
+  void set_trace(obs::DecisionTrace* trace) { trace_ = trace; }
+
   /// Bring up a QP the common way: a TCP control connection to the peer's
   /// rendezvous port carries the QP numbers. The connection is subject to
   /// whatever firewall hook the network has installed, so a UBF denial
@@ -79,6 +84,7 @@ class RdmaManager {
 
  private:
   Network* network_;
+  obs::DecisionTrace* trace_ = nullptr;
   std::unordered_map<QpId, QueuePair> qps_;
   RdmaStats stats_;
   std::uint64_t next_qp_ = 1;

@@ -52,6 +52,7 @@ UbfDecision Ubf::decide(const ConnRequest& req) {
   entry.request = req;
 
   UbfDecision decision = UbfDecision::deny;
+  bool from_cache = false;
   if (!listener || !initiator) {
     // An end could not be attributed. Classify the cause, then apply the
     // degraded-mode policy — fail closed unless explicitly configured to
@@ -81,6 +82,7 @@ UbfDecision Ubf::decide(const ConnRequest& req) {
       // above proved the account database is unchanged since this entry
       // was computed.
       ++stats_.cache_hits;
+      from_cache = true;
       decision = hit->second;
     } else {
       if (cache_enabled_) ++stats_.cache_misses;
@@ -108,6 +110,40 @@ UbfDecision Ubf::decide(const ConnRequest& req) {
     case UbfDecision::allow_group_member: ++stats_.allowed_group; break;
     case UbfDecision::allow_fail_open: break;  // counted above
     case UbfDecision::deny: ++stats_.denied; break;
+  }
+
+  if (trace_ != nullptr) {
+    const bool attributed =
+        static_cast<bool>(listener) && static_cast<bool>(initiator);
+    const bool cross_user =
+        attributed && initiator->uid != listener->uid;
+    // Same-user traffic is not a separation event; everything else —
+    // cross-user verdicts, cached replays, and unattributed degraded-mode
+    // fallbacks — is.
+    if (!attributed || cross_user) {
+      const char* knob = nullptr;
+      if (decision == UbfDecision::deny) {
+        knob = obs::knob::ubf;
+      } else if (decision == UbfDecision::allow_group_member) {
+        knob = obs::knob::ubf_group_peers;
+      }
+      trace_->record(obs::DecisionPoint::ubf_admission,
+                     decision == UbfDecision::deny ? obs::Outcome::deny
+                                                   : obs::Outcome::allow,
+                     attributed ? initiator->uid : Uid{},
+                     attributed ? initiator->egid : Gid{},
+                     attributed ? listener->uid : Uid{},
+                     req.proto == Proto::udp
+                         ? obs::ChannelKind::udp_cross_user
+                         : obs::ChannelKind::tcp_cross_user,
+                     knob,
+                     [&] {
+                       return "host " + std::to_string(req.dst_host.value()) +
+                              " port " + std::to_string(req.dst_port) +
+                              (req.proto == Proto::udp ? " udp" : " tcp");
+                     },
+                     from_cache);
+    }
   }
 
   entry.decision = decision;

@@ -23,6 +23,7 @@
 #include "common/clock.h"
 #include "common/ids.h"
 #include "net/network.h"
+#include "obs/decision.h"
 #include "simos/user_db.h"
 
 namespace heus::net {
@@ -119,6 +120,10 @@ class Ubf {
   [[nodiscard]] UbfDegradedMode degraded_mode() const { return degraded_; }
   void set_clock(common::SimClock* clock) { clock_ = clock; }
 
+  /// Route admission verdicts (cached hits and degraded-mode fallbacks
+  /// included) through the cluster decision trace. Null disables it.
+  void set_trace(obs::DecisionTrace* trace) { trace_ = trace; }
+
   [[nodiscard]] const UbfStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
@@ -181,6 +186,7 @@ class Ubf {
   UbfDegradedMode degraded_ = UbfDegradedMode::retry_then_fail_closed;
   common::BackoffPolicy backoff_;
   common::SimClock* clock_ = nullptr;
+  obs::DecisionTrace* trace_ = nullptr;
   UbfStats stats_;
   std::vector<UbfLogEntry> log_;
   std::size_t log_limit_ = 256;

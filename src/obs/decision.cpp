@@ -1,0 +1,67 @@
+#include "obs/decision.h"
+
+namespace heus::obs {
+
+const char* to_string(DecisionPoint point) {
+  switch (point) {
+    case DecisionPoint::procfs_visibility: return "procfs-visibility";
+    case DecisionPoint::pam_ssh: return "pam-ssh";
+    case DecisionPoint::sched_query: return "sched-query";
+    case DecisionPoint::sched_placement: return "sched-placement";
+    case DecisionPoint::fs_access: return "fs-access";
+    case DecisionPoint::fs_chmod: return "fs-chmod";
+    case DecisionPoint::fs_acl: return "fs-acl";
+    case DecisionPoint::ubf_admission: return "ubf-admission";
+    case DecisionPoint::net_uninspected: return "net-uninspected";
+    case DecisionPoint::rdma_setup: return "rdma-setup";
+    case DecisionPoint::portal_forward: return "portal-forward";
+    case DecisionPoint::gpu_dev_access: return "gpu-dev-access";
+    case DecisionPoint::gpu_scrub: return "gpu-scrub";
+    case DecisionPoint::container_entry: return "container-entry";
+  }
+  return "?";
+}
+
+const char* to_string(Outcome outcome) {
+  return outcome == Outcome::allow ? "allow" : "deny";
+}
+
+void DecisionTrace::set_capacity(std::size_t capacity) {
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  head_ = 0;
+  size_ = 0;
+}
+
+void DecisionTrace::clear() {
+  ring_.clear();
+  ring_.shrink_to_fit();
+  head_ = 0;
+  size_ = 0;
+  seq_ = 0;
+  overwritten_ = 0;
+  counters_.fill(PointCounters{});
+}
+
+void DecisionTrace::push(Decision&& d) {
+  if (size_ < capacity_) {
+    ring_.push_back(std::move(d));
+    ++size_;
+    return;
+  }
+  ring_[head_] = std::move(d);
+  head_ = (head_ + 1) % capacity_;
+  ++overwritten_;
+}
+
+std::vector<Decision> DecisionTrace::snapshot() const {
+  std::vector<Decision> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(head_ + i) % size_]);
+  }
+  return out;
+}
+
+}  // namespace heus::obs

@@ -1,0 +1,183 @@
+// The decision spine: one typed, attributable record per enforcement
+// verdict, cluster-wide.
+//
+// Every enforcement point in the simulation — hidepid filtering, pam_slurm
+// gating, PrivateData query filtering, smask/ACL/home-ownership checks,
+// UBF admission, portal forwarding, GPU /dev gating and epilog scrub,
+// container entry — answers allow/deny somewhere inline. Before this
+// module each subsystem kept its own ad-hoc stats, so there was no
+// cluster-wide answer to "who was denied what, and which policy knob was
+// responsible". A Decision captures exactly that: subject credentials,
+// object, verdict, the channel from the shared taxonomy, and the
+// responsible `analyze` knob name — the same attribution vocabulary the
+// static analyzer emits, so runtime traces and static verdicts can be
+// differentially cross-checked (tests/obs/decision_oracle_test.cpp).
+//
+// Cost model: the trace is owned by Cluster and is DISABLED by default.
+// Disabled, record() bumps two integers and returns — the object-label
+// callback is never invoked, so no allocation happens per decision
+// (bench_decision_trace, E21, pins this at exactly zero). Enabled, it
+// materialises a Decision into a fixed-capacity ring buffer; old records
+// are overwritten, never reallocated past the configured capacity.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/ids.h"
+#include "obs/taxonomy.h"
+
+namespace heus::obs {
+
+/// Where in the stack a verdict was rendered. One value per enforcement
+/// site class, not per call site: the (point, channel, knob) triple is
+/// what gives a record its meaning.
+enum class DecisionPoint {
+  procfs_visibility,  ///< hidepid entry/content filtering (simos)
+  pam_ssh,            ///< pam_slurm node-access gate (simos)
+  sched_query,        ///< PrivateData filtering of queue/sacct/usage
+  sched_placement,    ///< whole-node / exclusive-user placement refusal
+  fs_access,          ///< DAC/ACL verdict on read/readdir/access
+  fs_chmod,           ///< chmod, including the smask clamp
+  fs_acl,             ///< setfacl restriction (restrict_acl, ownership)
+  ubf_admission,      ///< user-based-firewall connection admission
+  net_uninspected,    ///< flow established with no UBF inspection
+  rdma_setup,         ///< QP bring-up (TCP-assisted or native CM)
+  portal_forward,     ///< portal request forwarding
+  gpu_dev_access,     ///< /dev/nvidiaN open under cgroup dev binding
+  gpu_scrub,          ///< epilog residue scrub verification
+  container_entry,    ///< container runtime exec gate
+};
+
+inline constexpr std::array<DecisionPoint, 14> kAllDecisionPoints = {
+    DecisionPoint::procfs_visibility, DecisionPoint::pam_ssh,
+    DecisionPoint::sched_query,       DecisionPoint::sched_placement,
+    DecisionPoint::fs_access,         DecisionPoint::fs_chmod,
+    DecisionPoint::fs_acl,            DecisionPoint::ubf_admission,
+    DecisionPoint::net_uninspected,   DecisionPoint::rdma_setup,
+    DecisionPoint::portal_forward,    DecisionPoint::gpu_dev_access,
+    DecisionPoint::gpu_scrub,         DecisionPoint::container_entry,
+};
+
+[[nodiscard]] const char* to_string(DecisionPoint point);
+
+enum class Outcome { allow, deny };
+
+[[nodiscard]] const char* to_string(Outcome outcome);
+
+/// Dense index of a point into kAllDecisionPoints-sized arrays.
+[[nodiscard]] inline constexpr std::size_t point_index(DecisionPoint point) {
+  return static_cast<std::size_t>(point);
+}
+
+/// One enforcement verdict. `knob` is the canonical name (obs::knob::*)
+/// of the single policy knob responsible for this outcome, or nullptr
+/// when no single knob is (structural denials, documented residuals).
+struct Decision {
+  std::uint64_t seq = 0;        ///< monotone, survives ring overwrite
+  common::SimTime time;         ///< sim-clock stamp at the verdict
+  DecisionPoint point = DecisionPoint::procfs_visibility;
+  Outcome outcome = Outcome::deny;
+  Uid subject;                  ///< who asked
+  Gid subject_gid;              ///< their egid at the time
+  Uid object_owner;             ///< whose data/resource was at stake
+  std::optional<ChannelKind> channel;  ///< taxonomy channel, if any
+  const char* knob = nullptr;   ///< responsible knob (obs::knob::*)
+  bool from_cache = false;      ///< verdict replayed from a decision cache
+  std::string object;           ///< human label: path, port, job id, …
+};
+
+/// Per-point allow/deny tallies. Maintained even when the trace is
+/// disabled, so coarse accounting is always exact.
+struct PointCounters {
+  std::uint64_t allowed = 0;
+  std::uint64_t denied = 0;
+};
+
+class DecisionTrace {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+  using CountersArray =
+      std::array<PointCounters, kAllDecisionPoints.size()>;
+
+  /// The clock the records are stamped with. Must outlive the trace.
+  void set_clock(const common::SimClock* clock) { clock_ = clock; }
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Resize the ring. Drops buffered records (counters are kept).
+  void set_capacity(std::size_t capacity);
+
+  /// Drop buffered records and reset counters and sequence numbers.
+  void clear();
+
+  /// Record one verdict. `make_object` is only invoked (and the Decision
+  /// only materialised) when the trace is enabled; disabled-mode cost is
+  /// two counter increments.
+  template <typename MakeObject>
+  void record(DecisionPoint point, Outcome outcome, Uid subject,
+              Gid subject_gid, Uid object_owner,
+              std::optional<ChannelKind> channel, const char* knob,
+              MakeObject&& make_object, bool from_cache = false) {
+    PointCounters& c = counters_[point_index(point)];
+    if (outcome == Outcome::allow) {
+      ++c.allowed;
+    } else {
+      ++c.denied;
+    }
+    if (!enabled_) {
+      ++seq_;
+      return;
+    }
+    Decision d;
+    d.seq = seq_++;
+    d.time = clock_ ? clock_->now() : common::SimTime{};
+    d.point = point;
+    d.outcome = outcome;
+    d.subject = subject;
+    d.subject_gid = subject_gid;
+    d.object_owner = object_owner;
+    d.channel = channel;
+    d.knob = knob;
+    d.from_cache = from_cache;
+    d.object = std::forward<MakeObject>(make_object)();
+    push(std::move(d));
+  }
+
+  /// Buffered records, oldest first (seq order).
+  [[nodiscard]] std::vector<Decision> snapshot() const;
+
+  [[nodiscard]] const PointCounters& counters(DecisionPoint point) const {
+    return counters_[point_index(point)];
+  }
+  /// Total verdicts observed (allow + deny, all points), including ones
+  /// rendered while disabled or already overwritten in the ring.
+  [[nodiscard]] std::uint64_t total() const { return seq_; }
+  /// Records currently buffered.
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Records pushed out of the ring by newer ones.
+  [[nodiscard]] std::uint64_t overwritten() const { return overwritten_; }
+
+ private:
+  void push(Decision&& d);
+
+  const common::SimClock* clock_ = nullptr;
+  bool enabled_ = false;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::vector<Decision> ring_;
+  std::size_t head_ = 0;  ///< next slot to write once the ring is full
+  std::size_t size_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t overwritten_ = 0;
+  CountersArray counters_{};
+};
+
+}  // namespace heus::obs

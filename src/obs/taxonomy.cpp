@@ -1,0 +1,68 @@
+#include "obs/taxonomy.h"
+
+namespace heus::obs {
+
+const char* to_string(ChannelKind kind) {
+  switch (kind) {
+    case ChannelKind::procfs_process_list: return "procfs-process-list";
+    case ChannelKind::procfs_cmdline: return "procfs-cmdline";
+    case ChannelKind::scheduler_queue: return "scheduler-queue";
+    case ChannelKind::scheduler_accounting: return "scheduler-accounting";
+    case ChannelKind::scheduler_usage: return "scheduler-usage";
+    case ChannelKind::ssh_foreign_node: return "ssh-foreign-node";
+    case ChannelKind::fs_home_read: return "fs-home-read";
+    case ChannelKind::fs_tmp_content: return "fs-tmp-content";
+    case ChannelKind::fs_tmp_names: return "fs-tmp-names";
+    case ChannelKind::fs_devshm_content: return "fs-devshm-content";
+    case ChannelKind::fs_acl_user_grant: return "fs-acl-user-grant";
+    case ChannelKind::tcp_cross_user: return "tcp-cross-user";
+    case ChannelKind::udp_cross_user: return "udp-cross-user";
+    case ChannelKind::abstract_uds: return "abstract-uds";
+    case ChannelKind::rdma_tcp_setup: return "rdma-tcp-setup";
+    case ChannelKind::rdma_native_cm: return "rdma-native-cm";
+    case ChannelKind::portal_foreign_app: return "portal-foreign-app";
+    case ChannelKind::gpu_residue: return "gpu-residue";
+  }
+  return "?";
+}
+
+const char* channel_section(ChannelKind kind) {
+  switch (kind) {
+    case ChannelKind::procfs_process_list:
+    case ChannelKind::procfs_cmdline:
+      return "IV-A";
+    case ChannelKind::scheduler_queue:
+    case ChannelKind::scheduler_accounting:
+    case ChannelKind::scheduler_usage:
+    case ChannelKind::ssh_foreign_node:
+      return "IV-B";
+    case ChannelKind::fs_home_read:
+    case ChannelKind::fs_tmp_content:
+    case ChannelKind::fs_tmp_names:
+    case ChannelKind::fs_devshm_content:
+    case ChannelKind::fs_acl_user_grant:
+      return "IV-C";
+    case ChannelKind::tcp_cross_user:
+    case ChannelKind::udp_cross_user:
+    case ChannelKind::abstract_uds:
+    case ChannelKind::rdma_tcp_setup:
+    case ChannelKind::rdma_native_cm:
+      return "IV-D";
+    case ChannelKind::portal_foreign_app:
+      return "IV-E";
+    case ChannelKind::gpu_residue:
+      return "IV-F";
+  }
+  return "?";
+}
+
+bool is_documented_residual(ChannelKind kind) {
+  // §V: "There remain a few paths that still exist, including file names
+  // in world-writable directories (/tmp, /dev/shm), abstract namespace
+  // unix domain sockets, and direct IB verbs network communication."
+  return kind == ChannelKind::fs_tmp_names ||
+         kind == ChannelKind::abstract_uds ||
+         kind == ChannelKind::rdma_native_cm;
+}
+
+}  // namespace heus::obs

@@ -1,0 +1,92 @@
+// Shared separation vocabulary: channels and policy-knob names.
+//
+// Exactly one copy of the channel taxonomy (paper §IV-A–F) and of the
+// policy-knob name strings lives here, so the LeakageAuditor (core), the
+// static analyzer (analyze) and the runtime decision spine (obs) all
+// speak the same language. Before this header existed the channel string
+// tables were duplicated between core/audit.cpp and src/analyze, and the
+// knob names were spelled as ad-hoc literals per subsystem — drift
+// between those copies is exactly the "silent non-enforcement" failure
+// the differential oracle exists to catch.
+#pragma once
+
+#include <array>
+
+namespace heus::obs {
+
+/// A cross-user information channel from the paper's census (§IV-A–F).
+enum class ChannelKind {
+  // §IV-A processes
+  procfs_process_list,     ///< observer sees victim's pids
+  procfs_cmdline,          ///< observer reads victim's command lines
+  // §IV-B scheduler
+  scheduler_queue,         ///< observer sees victim's queued/running jobs
+  scheduler_accounting,    ///< observer reads victim's sacct records
+  scheduler_usage,         ///< observer reads victim's usage report
+  ssh_foreign_node,        ///< observer ssh-es into victim's compute node
+  // §IV-C filesystems
+  fs_home_read,            ///< observer reads a world-chmod'ed home file
+  fs_tmp_content,          ///< observer reads victim's /tmp file content
+  fs_tmp_names,            ///< observer lists victim's /tmp file names
+  fs_devshm_content,       ///< same for /dev/shm
+  fs_acl_user_grant,       ///< victim grants observer access via setfacl
+  // §IV-D network
+  tcp_cross_user,          ///< observer connects to victim's TCP service
+  udp_cross_user,          ///< observer reaches victim's UDP service
+  abstract_uds,            ///< observer connects to victim's abstract socket
+  rdma_tcp_setup,          ///< QP brought up over a TCP control channel
+  rdma_native_cm,          ///< QP brought up via native IB CM
+  // §IV-E portal
+  portal_foreign_app,      ///< observer fetches victim's web app via portal
+  // §IV-F accelerators
+  gpu_residue,             ///< observer reads victim's stale GPU memory
+};
+
+[[nodiscard]] const char* to_string(ChannelKind kind);
+
+/// Every channel, in the order audit_pair probes them (paper-section
+/// order). The canonical iteration order for reports and for the static
+/// analyzer's differential cross-check.
+inline constexpr std::array<ChannelKind, 18> kAllChannels = {
+    ChannelKind::procfs_process_list, ChannelKind::procfs_cmdline,
+    ChannelKind::scheduler_queue,     ChannelKind::scheduler_accounting,
+    ChannelKind::scheduler_usage,     ChannelKind::ssh_foreign_node,
+    ChannelKind::fs_home_read,        ChannelKind::fs_tmp_content,
+    ChannelKind::fs_tmp_names,        ChannelKind::fs_devshm_content,
+    ChannelKind::fs_acl_user_grant,   ChannelKind::tcp_cross_user,
+    ChannelKind::udp_cross_user,      ChannelKind::abstract_uds,
+    ChannelKind::rdma_tcp_setup,      ChannelKind::rdma_native_cm,
+    ChannelKind::portal_foreign_app,  ChannelKind::gpu_residue,
+};
+
+/// Paper section that discusses a channel ("IV-A" … "IV-F").
+[[nodiscard]] const char* channel_section(ChannelKind kind);
+
+/// Channels the paper itself lists as remaining open even under the full
+/// configuration (§V, first paragraph).
+[[nodiscard]] bool is_documented_residual(ChannelKind kind);
+
+/// Canonical knob names of SeparationPolicy, as the static analyzer's
+/// policy space spells them. A runtime Decision that attributes a deny
+/// to a knob uses these exact pointers, so attribution agreement with
+/// `heus::analyze` is a string comparison with no translation table.
+namespace knob {
+inline constexpr const char* hidepid = "hidepid";
+inline constexpr const char* hidepid_gid_exemption = "hidepid_gid_exemption";
+inline constexpr const char* private_data_jobs = "private_data.jobs";
+inline constexpr const char* private_data_accounting =
+    "private_data.accounting";
+inline constexpr const char* private_data_usage = "private_data.usage";
+inline constexpr const char* sharing = "sharing";
+inline constexpr const char* pam_slurm = "pam_slurm";
+inline constexpr const char* fs_enforce_smask = "fs.enforce_smask";
+inline constexpr const char* fs_honor_smask = "fs.honor_smask";
+inline constexpr const char* fs_restrict_acl = "fs.restrict_acl";
+inline constexpr const char* root_owned_homes = "root_owned_homes";
+inline constexpr const char* ubf = "ubf";
+inline constexpr const char* ubf_group_peers = "ubf_group_peers";
+inline constexpr const char* gpu_dev_binding = "gpu_dev_binding";
+inline constexpr const char* gpu_epilog_scrub = "gpu_epilog_scrub";
+}  // namespace knob
+
+}  // namespace heus::obs

@@ -93,6 +93,21 @@ Result<std::string> Gateway::request(SessionId token, AppId app_id,
   }
   if (!flow) {
     ++stats_.denied_network;
+    // The fabric refused the forwarded hop. With the UBF inspecting the
+    // app port that refusal is the portal-foreign-app closure; without it
+    // the error is a plain fault, not enforcement.
+    if (trace_ != nullptr &&
+        network_->inspects(app.port) &&
+        flow.error() == Errno::econnrefused) {
+      trace_->record(obs::DecisionPoint::portal_forward, obs::Outcome::deny,
+                     user_cred.uid, user_cred.egid, app.owner,
+                     obs::ChannelKind::portal_foreign_app, obs::knob::ubf,
+                     [&] {
+                       return app.name + " host " +
+                              std::to_string(app.host.value()) + " port " +
+                              std::to_string(app.port);
+                     });
+    }
     return flow.error();
   }
   auto sent = network_->send(*flow, net::FlowEnd::client, http_request);
@@ -106,6 +121,16 @@ Result<std::string> Gateway::request(SessionId token, AppId app_id,
   (void)network_->close(*flow);
   if (!back) return back.error();
   ++stats_.forwarded;
+  if (trace_ != nullptr && !user_cred.is_root() &&
+      user_cred.uid != app.owner) {
+    trace_->record(obs::DecisionPoint::portal_forward, obs::Outcome::allow,
+                   user_cred.uid, user_cred.egid, app.owner,
+                   obs::ChannelKind::portal_foreign_app, nullptr, [&] {
+                     return app.name + " host " +
+                            std::to_string(app.host.value()) + " port " +
+                            std::to_string(app.port);
+                   });
+  }
   return *back;
 }
 

@@ -22,6 +22,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "net/network.h"
+#include "obs/decision.h"
 #include "simos/user_db.h"
 
 namespace heus::portal {
@@ -67,6 +68,10 @@ class Gateway {
         has_job_on_host_(std::move(has_job_on_host)) {}
 
   // ---- browser-side ------------------------------------------------------
+
+  /// Route forwarding verdicts through the cluster decision trace.
+  /// Null (the default) disables recording.
+  void set_trace(obs::DecisionTrace* trace) { trace_ = trace; }
 
   /// Authenticate; returns the session token for subsequent requests.
   Result<SessionId> login(const simos::Credentials& cred);
@@ -123,6 +128,7 @@ class Gateway {
   [[nodiscard]] std::optional<Uid> session_user(SessionId token) const;
 
   net::Network* network_;
+  obs::DecisionTrace* trace_ = nullptr;
   HostId portal_host_;
   const simos::UserDb* users_;
   JobCheck has_job_on_host_;

@@ -261,6 +261,21 @@ bool Scheduler::try_start(Job& job) {
   }
   if (remaining > 0) {
     ++sched_stats_.placement_failures;
+    if (trace_ != nullptr) {
+      // No taxonomy channel: a placement refusal is containment, not a
+      // leak. Attribute the sharing knob when user-whole-node scheduling
+      // is what kept foreign-owned nodes out of the candidate set.
+      trace_->record(obs::DecisionPoint::sched_placement,
+                     obs::Outcome::deny, job.user, Gid{}, kRootUid,
+                     std::nullopt,
+                     policy == SharingPolicy::user_whole_node
+                         ? obs::knob::sharing
+                         : nullptr,
+                     [&] {
+                       return "job " + std::to_string(job.id.value()) +
+                              " partition " + job.spec.partition;
+                     });
+    }
     return false;
   }
 
@@ -833,9 +848,17 @@ std::vector<JobView> Scheduler::list_jobs(
     if (job.state != JobState::pending && job.state != JobState::running) {
       continue;
     }
-    if (config_.private_data.jobs && !privileged && job.user != cred.uid) {
-      continue;
+    const bool hidden =
+        config_.private_data.jobs && !privileged && job.user != cred.uid;
+    if (trace_ != nullptr && !cred.is_root() && job.user != cred.uid) {
+      trace_->record(obs::DecisionPoint::sched_query,
+                     hidden ? obs::Outcome::deny : obs::Outcome::allow,
+                     cred.uid, cred.egid, job.user,
+                     obs::ChannelKind::scheduler_queue,
+                     hidden ? obs::knob::private_data_jobs : nullptr,
+                     [&] { return "squeue job " + std::to_string(id.value()); });
     }
+    if (hidden) continue;
     out.push_back(make_view(job));
   }
   std::sort(out.begin(), out.end(),
@@ -849,8 +872,18 @@ Result<JobView> Scheduler::job_info(const simos::Credentials& cred,
   if (it == jobs_.end()) return Errno::esrch;
   const bool privileged =
       cred.is_root() || operators_.contains(cred.uid);
-  if (config_.private_data.jobs && !privileged &&
+  const bool hidden = config_.private_data.jobs && !privileged &&
+                      it->second.user != cred.uid;
+  if (trace_ != nullptr && !cred.is_root() &&
       it->second.user != cred.uid) {
+    trace_->record(obs::DecisionPoint::sched_query,
+                   hidden ? obs::Outcome::deny : obs::Outcome::allow,
+                   cred.uid, cred.egid, it->second.user,
+                   obs::ChannelKind::scheduler_queue,
+                   hidden ? obs::knob::private_data_jobs : nullptr,
+                   [&] { return "scontrol job " + std::to_string(id.value()); });
+  }
+  if (hidden) {
     // Indistinguishable from "no such job", as with Slurm PrivateData.
     return Errno::esrch;
   }
@@ -868,10 +901,19 @@ std::vector<AccountingRecord> Scheduler::accounting(
       cred.is_root() || operators_.contains(cred.uid);
   std::vector<AccountingRecord> out;
   for (const auto& rec : accounting_) {
-    if (config_.private_data.accounting && !privileged &&
-        rec.user != cred.uid) {
-      continue;
+    const bool hidden = config_.private_data.accounting && !privileged &&
+                        rec.user != cred.uid;
+    if (trace_ != nullptr && !cred.is_root() && rec.user != cred.uid) {
+      trace_->record(obs::DecisionPoint::sched_query,
+                     hidden ? obs::Outcome::deny : obs::Outcome::allow,
+                     cred.uid, cred.egid, rec.user,
+                     obs::ChannelKind::scheduler_accounting,
+                     hidden ? obs::knob::private_data_accounting : nullptr,
+                     [&] {
+                       return "sacct job " + std::to_string(rec.id.value());
+                     });
     }
+    if (hidden) continue;
     out.push_back(rec);
   }
   return out;
@@ -883,10 +925,19 @@ std::map<Uid, std::uint64_t> Scheduler::usage_by_user(
       cred.is_root() || operators_.contains(cred.uid);
   std::map<Uid, std::uint64_t> out;
   for (const auto& rec : accounting_) {
-    if (config_.private_data.usage && !privileged &&
-        rec.user != cred.uid) {
-      continue;
+    const bool hidden = config_.private_data.usage && !privileged &&
+                        rec.user != cred.uid;
+    if (trace_ != nullptr && !cred.is_root() && rec.user != cred.uid) {
+      trace_->record(obs::DecisionPoint::sched_query,
+                     hidden ? obs::Outcome::deny : obs::Outcome::allow,
+                     cred.uid, cred.egid, rec.user,
+                     obs::ChannelKind::scheduler_usage,
+                     hidden ? obs::knob::private_data_usage : nullptr,
+                     [&] {
+                       return "sreport job " + std::to_string(rec.id.value());
+                     });
     }
+    if (hidden) continue;
     out[rec.user] += rec.cpu_ns;
   }
   return out;

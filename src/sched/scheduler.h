@@ -29,6 +29,7 @@
 #include "common/clock.h"
 #include "common/ids.h"
 #include "common/result.h"
+#include "obs/decision.h"
 #include "sched/types.h"
 #include "simos/credentials.h"
 
@@ -161,6 +162,10 @@ class Scheduler {
                                                 : it->second;
   }
   void set_private_data(PrivateData pd) { config_.private_data = pd; }
+
+  /// Route PrivateData query filtering and whole-node placement refusals
+  /// through the cluster decision trace. Null (the default) disables it.
+  void set_trace(obs::DecisionTrace* trace) { trace_ = trace; }
 
   /// Operators (Slurm `Operator` privilege): exempt from PrivateData.
   void add_operator(Uid uid) { operators_.insert(uid); }
@@ -408,6 +413,7 @@ class Scheduler {
   std::vector<JobId> running_;
   std::vector<AccountingRecord> accounting_;
   std::set<Uid> operators_;
+  obs::DecisionTrace* trace_ = nullptr;
   NodeHook prolog_;
   NodeHook epilog_;
   NodeCrashHook node_crash_hook_;

@@ -27,10 +27,22 @@ Result<Credentials> SmaskRelaxService::request(const Credentials& cred) {
 Result<void> PamSlurm::authorize_ssh(const Credentials& cred,
                                      NodeId node) const {
   if (cred.is_root()) return ok_result();
-  if (!enabled_) return ok_result();
   if (login_nodes_.contains(node)) return ok_result();
-  if (has_job_ && has_job_(cred.uid, node)) return ok_result();
-  return Errno::eperm;
+  // From here on: a user asking for a compute node. Admission without a
+  // job there is the §IV-B ssh-foreign-node channel, so the verdict is a
+  // separation decision either way.
+  const bool own_job = has_job_ && has_job_(cred.uid, node);
+  const bool allowed = !enabled_ || own_job;
+  if (trace_ != nullptr && !own_job) {
+    trace_->record(obs::DecisionPoint::pam_ssh,
+                   allowed ? obs::Outcome::allow : obs::Outcome::deny,
+                   cred.uid, cred.egid, kRootUid,
+                   obs::ChannelKind::ssh_foreign_node,
+                   allowed ? nullptr : obs::knob::pam_slurm, [&] {
+                     return "node " + std::to_string(node.value());
+                   });
+  }
+  return allowed ? ok_result() : Result<void>(Errno::eperm);
 }
 
 }  // namespace heus::simos

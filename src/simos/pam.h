@@ -20,6 +20,7 @@
 
 #include "common/ids.h"
 #include "common/result.h"
+#include "obs/decision.h"
 #include "simos/credentials.h"
 
 namespace heus::simos {
@@ -99,6 +100,10 @@ class PamSlurm {
   /// Mark a node as login-class (not job-gated).
   void add_login_node(NodeId node) { login_nodes_.insert(node); }
 
+  /// Route compute-node admission verdicts through the cluster decision
+  /// trace. Null (the default) disables recording.
+  void set_trace(obs::DecisionTrace* trace) { trace_ = trace; }
+
   /// EPERM unless root, a login node, pam disabled, or a running job.
   Result<void> authorize_ssh(const Credentials& cred, NodeId node) const;
 
@@ -106,6 +111,7 @@ class PamSlurm {
   HasJobOnNode has_job_;
   bool enabled_ = true;
   std::set<NodeId> login_nodes_;
+  obs::DecisionTrace* trace_ = nullptr;
 };
 
 }  // namespace heus::simos

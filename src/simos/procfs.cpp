@@ -23,11 +23,28 @@ bool ProcFs::may_read_contents(const Credentials& reader,
   return is_exempt(reader);
 }
 
+void ProcFs::record(const Credentials& reader, const Process& p,
+                    obs::ChannelKind channel, bool allowed) const {
+  // Only cross-user visibility verdicts are separation decisions; a user
+  // looking at their own processes (or root) is not.
+  if (trace_ == nullptr || reader.is_root() || reader.uid == p.cred.uid) {
+    return;
+  }
+  trace_->record(
+      obs::DecisionPoint::procfs_visibility,
+      allowed ? obs::Outcome::allow : obs::Outcome::deny, reader.uid,
+      reader.egid, p.cred.uid, channel, allowed ? nullptr : obs::knob::hidepid,
+      [&] { return "/proc/" + std::to_string(p.pid.value()); });
+}
+
 std::vector<Pid> ProcFs::list(const Credentials& reader) const {
   std::vector<Pid> out;
   for (Pid pid : table_->all_pids()) {
     const Process* p = table_->find(pid);
-    if (p != nullptr && may_see_entry(reader, *p)) out.push_back(pid);
+    if (p == nullptr) continue;
+    const bool visible = may_see_entry(reader, *p);
+    record(reader, *p, obs::ChannelKind::procfs_process_list, visible);
+    if (visible) out.push_back(pid);
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -36,7 +53,9 @@ std::vector<Pid> ProcFs::list(const Credentials& reader) const {
 Result<ProcStat> ProcFs::stat(const Credentials& reader, Pid pid) const {
   const Process* p = table_->find(pid);
   if (p == nullptr) return Errno::enoent;
-  if (!may_see_entry(reader, *p)) return Errno::enoent;  // dirent hidden
+  const bool visible = may_see_entry(reader, *p);
+  record(reader, *p, obs::ChannelKind::procfs_process_list, visible);
+  if (!visible) return Errno::enoent;  // dirent hidden
   return ProcStat{p->pid, p->cred.uid, p->state, p->start_time};
 }
 
@@ -44,8 +63,13 @@ Result<ProcDetails> ProcFs::read_details(const Credentials& reader,
                                          Pid pid) const {
   const Process* p = table_->find(pid);
   if (p == nullptr) return Errno::enoent;
-  if (!may_see_entry(reader, *p)) return Errno::enoent;
-  if (!may_read_contents(reader, *p)) return Errno::eacces;
+  if (!may_see_entry(reader, *p)) {
+    record(reader, *p, obs::ChannelKind::procfs_cmdline, false);
+    return Errno::enoent;
+  }
+  const bool readable = may_read_contents(reader, *p);
+  record(reader, *p, obs::ChannelKind::procfs_cmdline, readable);
+  if (!readable) return Errno::eacces;
   return ProcDetails{p->pid,     p->cred.uid, p->cred.egid,
                      p->cmdline, p->cwd,      p->job};
 }

@@ -18,6 +18,7 @@
 
 #include "common/ids.h"
 #include "common/result.h"
+#include "obs/decision.h"
 #include "simos/process.h"
 
 namespace heus::simos {
@@ -57,6 +58,10 @@ class ProcFs {
   [[nodiscard]] const ProcMountOptions& options() const { return opts_; }
   void remount(ProcMountOptions opts) { opts_ = opts; }
 
+  /// Route visibility verdicts on foreign processes through the cluster
+  /// decision trace. Null (the default) disables recording.
+  void set_trace(obs::DecisionTrace* trace) { trace_ = trace; }
+
   /// Directory listing of /proc — the pids visible to `reader`.
   [[nodiscard]] std::vector<Pid> list(const Credentials& reader) const;
 
@@ -81,9 +86,12 @@ class ProcFs {
                                    const Process& p) const;
   [[nodiscard]] bool may_read_contents(const Credentials& reader,
                                        const Process& p) const;
+  void record(const Credentials& reader, const Process& p,
+              obs::ChannelKind channel, bool allowed) const;
 
   const ProcessTable* table_;
   ProcMountOptions opts_;
+  obs::DecisionTrace* trace_ = nullptr;
 };
 
 }  // namespace heus::simos

@@ -19,6 +19,9 @@
 #include "analyze/ingest/site_report.h"
 #include "analyze/policy_space.h"
 #include "analyze/report.h"
+#include "core/audit.h"
+#include "core/cluster.h"
+#include "obs/decision.h"
 
 namespace {
 
@@ -42,6 +45,13 @@ void usage(std::FILE* to) {
       "ident/network\n"
       "                              faults (availability casualties, "
       "never leaks)\n"
+      "  --trace                     build a demo cluster under the "
+      "policy,\n"
+      "                              run one leakage audit with the "
+      "decision\n"
+      "                              trace enabled, and print the "
+      "incident\n"
+      "                              timeline (honors --format)\n"
       "  --staff                     observer is seepid staff (gid= "
       "exempt)\n"
       "  --operator                  observer holds Slurm Operator\n"
@@ -52,6 +62,110 @@ void usage(std::FILE* to) {
       "  --list-knobs                print the knob registry and exit\n"
       "  --help\n",
       to);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+/// --trace: one leakage audit over a live demo cluster with the decision
+/// spine enabled; every enforcement verdict becomes a timeline row.
+std::string trace_row_markdown(const heus::obs::Decision& d) {
+  using heus::obs::to_string;
+  std::string row = "| " + std::to_string(d.seq);
+  row += " | " + std::to_string(d.time.ns);
+  row += std::string(" | ") + to_string(d.point);
+  row += std::string(" | ") + to_string(d.outcome);
+  row += " | " + std::to_string(d.subject.value());
+  row += " | " + std::to_string(d.object_owner.value());
+  row += std::string(" | ") + (d.channel ? to_string(*d.channel) : "-");
+  row += std::string(" | ") + (d.knob != nullptr ? d.knob : "-");
+  row += std::string(" | ") + (d.from_cache ? "hit" : "-");
+  row += " | " + d.object + " |";
+  return row;
+}
+
+std::string trace_row_json(const heus::obs::Decision& d) {
+  using heus::obs::to_string;
+  std::string row = "    {\"seq\": " + std::to_string(d.seq);
+  row += ", \"t_ns\": " + std::to_string(d.time.ns);
+  row += std::string(", \"point\": \"") + to_string(d.point) + "\"";
+  row += std::string(", \"outcome\": \"") + to_string(d.outcome) + "\"";
+  row += ", \"subject\": " + std::to_string(d.subject.value());
+  row += ", \"owner\": " + std::to_string(d.object_owner.value());
+  if (d.channel) {
+    row += std::string(", \"channel\": \"") + to_string(*d.channel) + "\"";
+  } else {
+    row += ", \"channel\": null";
+  }
+  if (d.knob != nullptr) {
+    row += std::string(", \"knob\": \"") + d.knob + "\"";
+  } else {
+    row += ", \"knob\": null";
+  }
+  row += ", \"from_cache\": ";
+  row += d.from_cache ? "true" : "false";
+  row += ", \"object\": \"" + json_escape(d.object) + "\"}";
+  return row;
+}
+
+int run_trace(const heus::core::SeparationPolicy& policy,
+              const std::string& format) {
+  using namespace heus;
+  core::ClusterConfig cfg;
+  cfg.compute_nodes = 2;
+  cfg.login_nodes = 1;
+  cfg.cpus_per_node = 8;
+  cfg.gpus_per_node = 1;
+  cfg.gpu_mem_bytes = 1024;
+  cfg.policy = policy;
+  core::Cluster cluster(cfg);
+  cluster.trace().set_capacity(65536);
+  cluster.trace().set_enabled(true);
+  const Uid victim = *cluster.add_user("victim");
+  const Uid observer = *cluster.add_user("observer");
+  core::LeakageAuditor auditor(&cluster);
+  const auto reports = auditor.audit_pair(victim, observer);
+  const auto decisions = cluster.trace().snapshot();
+  const std::size_t open = core::LeakageAuditor::open_count(reports);
+
+  if (format == "markdown" || format == "both") {
+    std::printf("# heus decision trace\n\n");
+    std::printf("policy: %s\n\n", analyze::describe_policy(policy).c_str());
+    std::printf("%zu decision(s) recorded over one leakage audit "
+                "(victim=%u, observer=%u); %zu channels probed, %zu "
+                "open.\n\n",
+                decisions.size(), victim.value(), observer.value(),
+                reports.size(), open);
+    std::printf("| seq | t(ns) | point | outcome | subject | owner | "
+                "channel | knob | cache | object |\n");
+    std::printf("|----:|------:|-------|---------|--------:|------:|"
+                "---------|------|-------|--------|\n");
+    for (const obs::Decision& d : decisions) {
+      std::printf("%s\n", trace_row_markdown(d).c_str());
+    }
+  }
+  if (format == "json" || format == "both") {
+    std::printf("{\n  \"policy\": \"%s\",\n",
+                json_escape(analyze::describe_policy(policy)).c_str());
+    std::printf("  \"decisions\": [\n");
+    for (std::size_t i = 0; i < decisions.size(); ++i) {
+      std::string row = trace_row_json(decisions[i]);
+      if (i + 1 < decisions.size()) {
+        row += ",";
+      }
+      std::printf("%s\n", row.c_str());
+    }
+    std::printf("  ]\n}\n");
+  }
+  return 0;
 }
 
 }  // namespace
@@ -65,6 +179,7 @@ int main(int argc, char** argv) {
   std::string site_dir;
   bool gate = false;
   bool degraded = false;
+  bool trace = false;
 
   auto value_of = [](const char* arg, const char* flag) -> const char* {
     const std::size_t n = std::strlen(flag);
@@ -90,6 +205,8 @@ int main(int argc, char** argv) {
       gate = true;
     } else if (std::strcmp(arg, "--degraded") == 0) {
       degraded = true;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      trace = true;
     } else if (std::strcmp(arg, "--staff") == 0) {
       facts.observer_support_staff = true;
     } else if (std::strcmp(arg, "--operator") == 0) {
@@ -144,6 +261,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (trace) {
+    if (!site_dir.empty()) {
+      std::fprintf(stderr,
+                   "heus-lint: --trace reviews one policy, not --site\n");
+      return 2;
+    }
+    return run_trace(policy, format);
+  }
   if (!site_dir.empty()) {
     std::string error;
     auto site = analyze::ingest::load_site(site_dir, &error);

@@ -3,9 +3,52 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/strings.h"
+
 namespace heus::vfs {
 
 using simos::Credentials;
+
+namespace {
+
+/// Map a path to the taxonomy channel its content protection belongs to.
+/// Only the canonical cross-user surfaces (§IV-C) have a channel; other
+/// paths still get decisions, just unchannelled.
+std::optional<obs::ChannelKind> channel_for_path(const std::string& path) {
+  if (path == "/home" || common::starts_with(path, "/home/")) {
+    return obs::ChannelKind::fs_home_read;
+  }
+  if (path == "/dev/shm" || common::starts_with(path, "/dev/shm/")) {
+    return obs::ChannelKind::fs_devshm_content;
+  }
+  if (path == "/tmp" || common::starts_with(path, "/tmp/")) {
+    return obs::ChannelKind::fs_tmp_content;
+  }
+  return std::nullopt;
+}
+
+bool is_world_writable_dir(const std::string& path) {
+  return path == "/tmp" || path == "/dev/shm";
+}
+
+}  // namespace
+
+void FileSystem::record_read(const Credentials& cred,
+                             const std::string& path,
+                             obs::DecisionPoint point, Uid object_owner,
+                             bool allowed) const {
+  if (trace_ == nullptr || cred.is_root()) return;
+  // Denials are always worth a record; allows only when they cross users
+  // (someone reading another user's data is the separation event).
+  if (allowed &&
+      (object_owner == cred.uid || object_owner == kRootUid)) {
+    return;
+  }
+  trace_->record(point,
+                 allowed ? obs::Outcome::allow : obs::Outcome::deny,
+                 cred.uid, cred.egid, object_owner, channel_for_path(path),
+                 nullptr, [&] { return path; });
+}
 
 FileSystem::FileSystem(std::string name, const simos::UserDb* users,
                        const common::SimClock* clock, FsPolicy policy)
@@ -477,20 +520,48 @@ Result<void> FileSystem::append_file(const Credentials& cred,
 Result<std::string> FileSystem::read_file(const Credentials& cred,
                                           const std::string& path) {
   auto r = resolve(cred, path, /*follow=*/true);
-  if (!r) return r.error();
+  if (!r) {
+    if (r.error() == Errno::eacces) {
+      record_read(cred, path, obs::DecisionPoint::fs_access, kRootUid,
+                  /*allowed=*/false);
+    }
+    return r.error();
+  }
   const Inode& node = get(r->node);
   if (node.is_dir()) return Errno::eisdir;
-  if (!permits(cred, node, Access::read)) return Errno::eacces;
+  const bool allowed = permits(cred, node, Access::read);
+  record_read(cred, path, obs::DecisionPoint::fs_access, node.uid, allowed);
+  if (!allowed) return Errno::eacces;
   return node.data;
 }
 
 Result<std::vector<DirEntry>> FileSystem::readdir(const Credentials& cred,
                                                   const std::string& path) {
   auto r = resolve(cred, path, /*follow=*/true);
-  if (!r) return r.error();
+  if (!r) {
+    if (r.error() == Errno::eacces) {
+      record_read(cred, path, obs::DecisionPoint::fs_access, kRootUid,
+                  /*allowed=*/false);
+    }
+    return r.error();
+  }
   const Inode& dir = get(r->node);
   if (!dir.is_dir()) return Errno::enotdir;
-  if (!permits(cred, dir, Access::read)) return Errno::eacces;
+  const bool allowed = permits(cred, dir, Access::read);
+  if (!allowed) {
+    record_read(cred, path, obs::DecisionPoint::fs_access, dir.uid,
+                /*allowed=*/false);
+    return Errno::eacces;
+  }
+  if (trace_ != nullptr && !cred.is_root() &&
+      is_world_writable_dir(path)) {
+    // Listing a world-writable directory exposes every user's file
+    // *names* — the paper's documented fs-tmp-names residual.
+    trace_->record(obs::DecisionPoint::fs_access, obs::Outcome::allow,
+                   cred.uid, cred.egid, dir.uid,
+                   obs::ChannelKind::fs_tmp_names, nullptr,
+                   [&] { return path; });
+  }
   std::vector<DirEntry> out;
   out.reserve(dir.entries.size());
   for (const auto& [name, id] : dir.entries) {
@@ -522,8 +593,17 @@ Result<std::string> FileSystem::readlink(const Credentials& cred,
 Result<void> FileSystem::access(const Credentials& cred,
                                 const std::string& path, Access want) {
   auto r = resolve(cred, path, /*follow=*/true);
-  if (!r) return r.error();
-  if (!permits(cred, get(r->node), want)) return Errno::eacces;
+  if (!r) {
+    if (r.error() == Errno::eacces) {
+      record_read(cred, path, obs::DecisionPoint::fs_access, kRootUid,
+                  /*allowed=*/false);
+    }
+    return r.error();
+  }
+  const Inode& node = get(r->node);
+  const bool allowed = permits(cred, node, want);
+  record_read(cred, path, obs::DecisionPoint::fs_access, node.uid, allowed);
+  if (!allowed) return Errno::eacces;
   return ok_result();
 }
 
@@ -532,8 +612,32 @@ Result<void> FileSystem::chmod(const Credentials& cred,
   auto r = resolve(cred, path, /*follow=*/true);
   if (!r) return r.error();
   Inode& node = get(r->node);
-  if (!cred.is_root() && cred.uid != node.uid) return Errno::eperm;
+  if (!cred.is_root() && cred.uid != node.uid) {
+    if (trace_ != nullptr && !cred.is_root()) {
+      // Chmod-ing a root-owned home is exactly what the root-owned-homes
+      // hardening forbids; any other foreign chmod is plain DAC.
+      const bool root_home_block =
+          node.uid == kRootUid &&
+          channel_for_path(path) == obs::ChannelKind::fs_home_read;
+      trace_->record(obs::DecisionPoint::fs_chmod, obs::Outcome::deny,
+                     cred.uid, cred.egid, node.uid, channel_for_path(path),
+                     root_home_block ? obs::knob::root_owned_homes : nullptr,
+                     [&] { return path; });
+    }
+    return Errno::eperm;
+  }
   unsigned effective = chmod_mode(cred, mode);
+  if (trace_ != nullptr && !cred.is_root()) {
+    const unsigned requested = mode & kModePermMask;
+    if (effective != requested &&
+        policy_.enforce_smask && policy_.honor_smask) {
+      // The smask clamp silently stripped permission bits the caller
+      // asked for — a deny of the world-visibility the chmod intended.
+      trace_->record(obs::DecisionPoint::fs_chmod, obs::Outcome::deny,
+                     cred.uid, cred.egid, node.uid, channel_for_path(path),
+                     obs::knob::fs_enforce_smask, [&] { return path; });
+    }
+  }
   // Linux: a non-root chmod by someone outside the file's group clears
   // setgid (anti-privilege-smuggling rule).
   if (!cred.is_root() && !cred.in_group(node.gid)) {
@@ -616,14 +720,55 @@ Result<void> FileSystem::check_acl_entry(const Credentials& cred,
   return ok_result();
 }
 
+void FileSystem::record_acl_verdict(const Credentials& cred,
+                                    const std::string& path,
+                                    Uid object_owner, const AclEntry& entry,
+                                    const char* deny_knob) const {
+  if (trace_ == nullptr || cred.is_root()) return;
+  // The §IV-C channel is specifically a named-user grant to *another*
+  // user (sharing outside any approved group). Self-grants, group and
+  // mask entries are not separation events.
+  if (entry.tag != AclTag::named_user || entry.uid == cred.uid) return;
+  const bool allowed = deny_knob == nullptr;
+  // Keep the attribution honest: the restrict-patch knob only applies
+  // when the patch is actually on (the same refusal shape can be EINVAL),
+  // and the root-owned-homes knob only when the object is a root-owned
+  // home (any other non-owner setfacl is plain DAC).
+  if (deny_knob == obs::knob::fs_restrict_acl && !policy_.restrict_acl) {
+    deny_knob = nullptr;
+  }
+  if (deny_knob == obs::knob::root_owned_homes &&
+      (object_owner != kRootUid ||
+       channel_for_path(path) != obs::ChannelKind::fs_home_read)) {
+    deny_knob = nullptr;
+  }
+  trace_->record(obs::DecisionPoint::fs_acl,
+                 allowed ? obs::Outcome::allow : obs::Outcome::deny,
+                 cred.uid, cred.egid, object_owner,
+                 obs::ChannelKind::fs_acl_user_grant,
+                 allowed ? nullptr : deny_knob, [&] {
+                   return path + " +user:" +
+                          std::to_string(entry.uid.value());
+                 });
+}
+
 Result<void> FileSystem::acl_set(const Credentials& cred,
                                  const std::string& path,
                                  const AclEntry& entry) {
   auto r = resolve(cred, path, /*follow=*/true);
   if (!r) return r.error();
   Inode& node = get(r->node);
-  if (!cred.is_root() && cred.uid != node.uid) return Errno::eperm;
-  if (auto check = check_acl_entry(cred, entry); !check) return check;
+  if (!cred.is_root() && cred.uid != node.uid) {
+    record_acl_verdict(cred, path, node.uid, entry,
+                       obs::knob::root_owned_homes);
+    return Errno::eperm;
+  }
+  if (auto check = check_acl_entry(cred, entry); !check) {
+    record_acl_verdict(cred, path, node.uid, entry,
+                       obs::knob::fs_restrict_acl);
+    return check;
+  }
+  record_acl_verdict(cred, path, node.uid, entry, nullptr);
 
   if (!node.acl) node.acl.emplace();
   node.acl->upsert(entry);
@@ -638,8 +783,17 @@ Result<void> FileSystem::acl_set_default(const Credentials& cred,
   if (!r) return r.error();
   Inode& node = get(r->node);
   if (!node.is_dir()) return Errno::enotdir;
-  if (!cred.is_root() && cred.uid != node.uid) return Errno::eperm;
-  if (auto check = check_acl_entry(cred, entry); !check) return check;
+  if (!cred.is_root() && cred.uid != node.uid) {
+    record_acl_verdict(cred, dir, node.uid, entry,
+                       obs::knob::root_owned_homes);
+    return Errno::eperm;
+  }
+  if (auto check = check_acl_entry(cred, entry); !check) {
+    record_acl_verdict(cred, dir, node.uid, entry,
+                       obs::knob::fs_restrict_acl);
+    return check;
+  }
+  record_acl_verdict(cred, dir, node.uid, entry, nullptr);
 
   if (!node.default_acl) node.default_acl.emplace();
   node.default_acl->upsert(entry);
@@ -698,7 +852,18 @@ Result<DeviceRef> FileSystem::open_device(const Credentials& cred,
   if (!r) return r.error();
   const Inode& node = get(r->node);
   if (node.kind != FileKind::chardev) return Errno::enodev;
-  if (!permits(cred, node, want)) return Errno::eacces;
+  const bool allowed = permits(cred, node, want);
+  if (trace_ != nullptr && !cred.is_root() &&
+      common::starts_with(path, "/dev/nvidia")) {
+    // GPU device files are mode/group-gated per allocation (§IV-F): a
+    // refusal is the dev-binding knob doing its job.
+    trace_->record(obs::DecisionPoint::gpu_dev_access,
+                   allowed ? obs::Outcome::allow : obs::Outcome::deny,
+                   cred.uid, cred.egid, node.uid, std::nullopt,
+                   allowed ? nullptr : obs::knob::gpu_dev_binding,
+                   [&] { return path; });
+  }
+  if (!allowed) return Errno::eacces;
   return *node.device;
 }
 

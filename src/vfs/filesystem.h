@@ -27,6 +27,7 @@
 #include "common/clock.h"
 #include "common/ids.h"
 #include "common/result.h"
+#include "obs/decision.h"
 #include "simos/credentials.h"
 #include "simos/user_db.h"
 #include "vfs/inode.h"
@@ -76,6 +77,10 @@ class FileSystem {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const FsPolicy& policy() const { return policy_; }
   void set_policy(FsPolicy p) { policy_ = p; }
+
+  /// Route smask/ACL/home-ownership verdicts and cross-user reads through
+  /// the cluster decision trace. Null (the default) disables recording.
+  void set_trace(obs::DecisionTrace* trace) { trace_ = trace; }
 
   /// Fault injection: while `probe` returns true the mount is unavailable
   /// and every path operation fails with EIO (a hung-Lustre-mount model —
@@ -247,6 +252,19 @@ class FileSystem {
   [[nodiscard]] unsigned chmod_mode(const simos::Credentials& cred,
                                     unsigned requested) const;
 
+  /// Decision-trace helper for read-side verdicts (read/readdir/access/
+  /// open_device): denials always, allows only when they cross users.
+  void record_read(const simos::Credentials& cred, const std::string& path,
+                   obs::DecisionPoint point, Uid object_owner,
+                   bool allowed) const;
+
+  /// Decision-trace helper for setfacl verdicts. `deny_knob` is nullptr
+  /// on success, else the candidate attribution of the refusal.
+  void record_acl_verdict(const simos::Credentials& cred,
+                          const std::string& path, Uid object_owner,
+                          const AclEntry& entry,
+                          const char* deny_knob) const;
+
   /// Sticky-bit deletion rule shared by unlink/rmdir/rename.
   [[nodiscard]] Result<void> may_remove_entry(const simos::Credentials& cred,
                                               const Inode& dir,
@@ -260,6 +278,7 @@ class FileSystem {
   InodeId root_;
   std::uint64_t next_inode_ = 1;
   std::function<bool()> outage_probe_;
+  obs::DecisionTrace* trace_ = nullptr;
   std::optional<std::uint64_t> capacity_;
   std::unordered_map<Uid, std::uint64_t> quota_limits_;
   std::unordered_map<Uid, std::uint64_t> quota_used_;

@@ -5,8 +5,7 @@
 // just a brace count.
 //
 // To regenerate after an intentional report change:
-//   HEUS_UPDATE_GOLDEN=1 ./build/tests/analyze_test \
-//       --gtest_filter='Golden*'
+//   HEUS_UPDATE_GOLDEN=1 ./build/tests/analyze_test --gtest_filter='Golden*'
 // and review the diff like any other code change.
 #include <gtest/gtest.h>
 

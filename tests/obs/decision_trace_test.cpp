@@ -1,0 +1,132 @@
+// Unit tests for the heus::obs decision spine: ring-buffer wraparound,
+// the disabled-mode cost contract (exact counters, zero materialised
+// records, deferred object construction), and UBF cache-hit decisions
+// replaying the original attribution.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/clock.h"
+#include "net/network.h"
+#include "net/ubf.h"
+#include "obs/decision.h"
+#include "simos/user_db.h"
+
+namespace heus::obs {
+namespace {
+
+TEST(DecisionTraceTest, RingOverwritesOldestAtCapacity) {
+  DecisionTrace trace;
+  trace.set_capacity(4);
+  trace.set_enabled(true);
+  for (unsigned i = 0; i < 10; ++i) {
+    trace.record(DecisionPoint::ubf_admission,
+                 i % 2 == 0 ? Outcome::allow : Outcome::deny, Uid{1000},
+                 Gid{1000}, Uid{1001}, ChannelKind::tcp_cross_user, nullptr,
+                 [&] { return "decision " + std::to_string(i); });
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.capacity(), 4u);
+  EXPECT_EQ(trace.total(), 10u);
+  EXPECT_EQ(trace.overwritten(), 6u);
+
+  // Oldest-first snapshot: only the last four survive, in order.
+  const auto snap = trace.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].seq, 6 + i);
+    EXPECT_EQ(snap[i].object, "decision " + std::to_string(6 + i));
+  }
+
+  const PointCounters& c = trace.counters(DecisionPoint::ubf_admission);
+  EXPECT_EQ(c.allowed, 5u);
+  EXPECT_EQ(c.denied, 5u);
+}
+
+TEST(DecisionTraceTest, DisabledModeCountsExactlyButMaterialisesNothing) {
+  DecisionTrace trace;  // disabled by default
+  unsigned object_builds = 0;
+  for (unsigned i = 0; i < 100; ++i) {
+    trace.record(DecisionPoint::fs_access,
+                 i % 4 == 0 ? Outcome::deny : Outcome::allow, Uid{1000},
+                 Gid{1000}, Uid{1001}, ChannelKind::fs_home_read, nullptr,
+                 [&] {
+                   ++object_builds;
+                   return std::string{"/home/victim/file"};
+                 });
+  }
+  // Zero records, zero object-string constructions...
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_TRUE(trace.snapshot().empty());
+  EXPECT_EQ(object_builds, 0u);
+  // ...while the counters stay exact.
+  EXPECT_EQ(trace.total(), 100u);
+  const PointCounters& c = trace.counters(DecisionPoint::fs_access);
+  EXPECT_EQ(c.allowed, 75u);
+  EXPECT_EQ(c.denied, 25u);
+  const PointCounters& other = trace.counters(DecisionPoint::pam_ssh);
+  EXPECT_EQ(other.allowed, 0u);
+  EXPECT_EQ(other.denied, 0u);
+}
+
+TEST(DecisionTraceTest, ClearResetsRecordsAndCounters) {
+  DecisionTrace trace;
+  trace.set_enabled(true);
+  trace.record(DecisionPoint::pam_ssh, Outcome::deny, Uid{1000}, Gid{1000},
+               kRootUid, ChannelKind::ssh_foreign_node, knob::pam_slurm,
+               [] { return std::string{"node 1"}; });
+  ASSERT_EQ(trace.size(), 1u);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.total(), 0u);
+  EXPECT_EQ(trace.overwritten(), 0u);
+  EXPECT_EQ(trace.counters(DecisionPoint::pam_ssh).denied, 0u);
+}
+
+TEST(DecisionTraceTest, UbfCacheHitReplaysOriginalAttribution) {
+  common::SimClock clock;
+  simos::UserDb db;
+  net::Network nw(&clock);
+  const HostId ha = nw.add_host("node-a");
+  const HostId hb = nw.add_host("node-b");
+  const Uid alice = *db.create_user("alice");
+  const Uid bob = *db.create_user("bob");
+  auto alice_cred = *simos::login(db, alice);
+  auto bob_cred = *simos::login(db, bob);
+  ASSERT_TRUE(
+      nw.listen(ha, alice_cred, Pid{1}, net::Proto::tcp, 20000).ok());
+  auto f = nw.connect(hb, bob_cred, Pid{2}, ha, net::Proto::tcp, 20000);
+  ASSERT_TRUE(f.ok());
+  const std::uint16_t src = nw.find_flow(*f)->client_port;
+
+  net::Ubf ubf(&db, &nw);
+  ASSERT_TRUE(ubf.cache_enabled());
+  DecisionTrace trace;
+  trace.set_enabled(true);
+  ubf.set_trace(&trace);
+
+  const net::ConnRequest req{hb, src, ha, 20000, net::Proto::tcp};
+  EXPECT_EQ(ubf.decide(req), net::UbfDecision::deny);
+  EXPECT_EQ(ubf.decide(req), net::UbfDecision::deny);
+  EXPECT_EQ(ubf.stats().cache_hits, 1u);
+
+  const auto snap = trace.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_FALSE(snap[0].from_cache);
+  EXPECT_TRUE(snap[1].from_cache);
+  // The cached replay carries the original attribution verbatim: same
+  // subject, same object owner, same responsible knob, same channel.
+  EXPECT_EQ(snap[1].subject, snap[0].subject);
+  EXPECT_EQ(snap[1].object_owner, snap[0].object_owner);
+  EXPECT_EQ(snap[0].subject, bob);
+  EXPECT_EQ(snap[0].object_owner, alice);
+  ASSERT_NE(snap[0].knob, nullptr);
+  ASSERT_NE(snap[1].knob, nullptr);
+  EXPECT_STREQ(snap[1].knob, knob::ubf);
+  EXPECT_EQ(snap[1].channel, snap[0].channel);
+  EXPECT_EQ(snap[0].outcome, Outcome::deny);
+  EXPECT_EQ(snap[1].outcome, Outcome::deny);
+}
+
+}  // namespace
+}  // namespace heus::obs
