@@ -1,0 +1,134 @@
+// E22 (ISSUE 6): lifecycle reachability model-checking cost.
+//
+// The reach gate (`heus-lint --reach`) sweeps all five lifecycle tables
+// over the full 73,728-point policy lattice on every run — no sampling,
+// no caching between runs. For the gate to sit in CI next to the config
+// lint, the exhaustive sweep has to stay cheap. This experiment measures
+// it: per-machine and combined sweep wall time, the size of the explored
+// space (states x events x policies, fired triples), and the
+// signature-class quotient that explains WHY exhaustiveness is cheap —
+// the lattice collapses to a handful of behaviour classes per machine.
+//
+// Always writes BENCH_E22.json (override with --json=PATH); --smoke runs
+// fewer repetitions for CI.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "analyze/policy_space.h"
+#include "analyze/reachability.h"
+#include "bench/common/json.h"
+#include "bench/common/table.h"
+#include "common/strings.h"
+
+namespace heus::bench {
+namespace {
+
+using analyze::MachineStats;
+using analyze::ReachabilityChecker;
+using analyze::ReachReport;
+
+double elapsed_ms(std::chrono::steady_clock::time_point t0,
+                  std::chrono::steady_clock::time_point t1) {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                 .count()) /
+         1000.0;
+}
+
+void run(bool smoke) {
+  print_banner(
+      "E22: lifecycle reachability model-checking cost",
+      "Exhaustive (state, event, guard-outcome) sweep of the five "
+      "lifecycle tables over the full policy lattice, cross-examined "
+      "against the per-channel static analyzer. The gate must stay cheap "
+      "enough to run on every push.");
+
+  const ReachabilityChecker checker;
+  const int reps = smoke ? 1 : 5;
+  const std::size_t policies = analyze::policy_space_size();
+
+  // Per-machine sweeps: each table checked alone over the whole lattice.
+  Table per_machine({"machine", "states", "events", "transitions",
+                     "state-event-policy space", "fired triples",
+                     "signature classes", "sweep"});
+  JsonValue machine_series = JsonValue::array();
+  for (const lifecycle::MachineDef* def : analyze::lifecycle_machines()) {
+    double best_ms = 0;
+    ReachReport report;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      report = checker.check(*def);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double ms = elapsed_ms(t0, t1);
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+    }
+    const MachineStats& m = report.machines.front();
+    const std::uint64_t space = static_cast<std::uint64_t>(m.states) *
+                                def->events.size() * policies;
+    per_machine.add_row(
+        {m.machine, common::strformat("%zu", m.states),
+         common::strformat("%zu", def->events.size()),
+         common::strformat("%zu", m.transitions),
+         common::strformat("%llu", static_cast<unsigned long long>(space)),
+         common::strformat("%llu",
+                           static_cast<unsigned long long>(m.triples)),
+         common::strformat("%zu", m.signature_classes),
+         common::strformat("%.2f ms", best_ms)});
+    JsonValue row = JsonValue::object();
+    row.set("machine", JsonValue::str(m.machine));
+    row.set("states", JsonValue::integer(m.states));
+    row.set("events", JsonValue::integer(def->events.size()));
+    row.set("transitions", JsonValue::integer(m.transitions));
+    row.set("state_event_policy_space", JsonValue::integer(space));
+    row.set("fired_triples", JsonValue::integer(m.triples));
+    row.set("signature_classes", JsonValue::integer(m.signature_classes));
+    row.set("sweep_ms", JsonValue::number(best_ms));
+    row.set("findings", JsonValue::integer(report.findings.size()));
+    machine_series.push(std::move(row));
+  }
+  per_machine.print();
+  JsonReport::instance().set("machines", std::move(machine_series));
+
+  // The gate itself: all five tables in one lattice pass, as heus-lint
+  // --reach runs it.
+  double gate_ms = 0;
+  ReachReport shipped;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    shipped = checker.check_shipped();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms = elapsed_ms(t0, t1);
+    if (rep == 0 || ms < gate_ms) gate_ms = ms;
+  }
+  std::printf("\ncombined gate sweep: %zu machines x %zu policies in "
+              "%.2f ms — %llu fired triples, %zu finding(s)\n",
+              shipped.machines.size(), policies, gate_ms,
+              static_cast<unsigned long long>(shipped.triples_total()),
+              shipped.findings.size());
+
+  JsonReport::instance().set("policies", JsonValue::integer(policies));
+  JsonReport::instance().set("gate_sweep_ms", JsonValue::number(gate_ms));
+  JsonReport::instance().set("triples_total",
+                             JsonValue::integer(shipped.triples_total()));
+  JsonReport::instance().set("violations",
+                             JsonValue::integer(shipped.findings.size()));
+  JsonReport::instance().set("clean", JsonValue::boolean(shipped.clean()));
+}
+
+}  // namespace
+}  // namespace heus::bench
+
+int main(int argc, char** argv) {
+  using heus::bench::JsonReport;
+  using heus::bench::JsonValue;
+  const bool smoke = heus::bench::has_flag(argc, argv, "--smoke");
+  const std::string json_path =
+      heus::bench::json_output_path(argc, argv, "BENCH_E22.json")
+          .value_or("BENCH_E22.json");
+
+  heus::bench::run(smoke);
+
+  JsonReport::instance().set("smoke", JsonValue::boolean(smoke));
+  return JsonReport::instance().write("E22", json_path) ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+#include "container/entry_lifecycle.h"
+
+namespace heus::container {
+namespace {
+
+using lifecycle::Guard;
+using lifecycle::GuardKind;
+using lifecycle::kNoGuard;
+using lifecycle::MachineDef;
+using lifecycle::Transition;
+
+constexpr const char* kStates[] = {
+    "requested", "running", "denied", "stopped",
+};
+constexpr const char* kEvents[] = {"exec", "stop"};
+constexpr const char* kActions[] = {
+    "spawn-passthrough", "record-denial", "reap",
+};
+
+constexpr Guard kGuards[] = {
+    {"entry-authorized", GuardKind::env, nullptr, nullptr},
+};
+
+constexpr auto S = [](EntryState s) {
+  return static_cast<lifecycle::StateId>(s);
+};
+constexpr auto E = [](EntryEvent e) {
+  return static_cast<lifecycle::EventId>(e);
+};
+constexpr auto G = [](EntryGuard g) {
+  return static_cast<lifecycle::GuardId>(g);
+};
+constexpr auto A = [](EntryAction a) {
+  return static_cast<lifecycle::ActionId>(a);
+};
+
+const Transition kTransitions[] = {
+    {S(EntryState::requested), E(EntryEvent::exec),
+     G(EntryGuard::entry_authorized), true, S(EntryState::running),
+     A(EntryAction::spawn_passthrough)},
+    {S(EntryState::requested), E(EntryEvent::exec),
+     G(EntryGuard::entry_authorized), false, S(EntryState::denied),
+     A(EntryAction::record_denial)},
+    {S(EntryState::running), E(EntryEvent::stop), kNoGuard, true,
+     S(EntryState::stopped), A(EntryAction::reap)},
+};
+
+}  // namespace
+
+const lifecycle::MachineDef& entry_machine() {
+  static const MachineDef def{
+      "container-entry",
+      kStates,
+      S(EntryState::requested),
+      (1u << S(EntryState::denied)) | (1u << S(EntryState::stopped)),
+      kEvents,
+      kGuards,
+      kActions,
+      kTransitions,
+  };
+  return def;
+}
+
+}  // namespace heus::container

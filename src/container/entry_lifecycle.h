@@ -1,0 +1,49 @@
+// Declarative lifecycle table for container entries.
+//
+// An "apptainer exec" request is *requested* until the runtime's entry
+// gate decides: authorized (runtime enabled, and the user is root or
+// explicitly granted) spawns the passthrough process, otherwise the
+// request terminates denied. A running instance ends stopped when its
+// process is reaped.
+//
+// Both guards here are environment guards: whether containers are
+// enabled and who is granted are deployment facts, not
+// SeparationPolicy knobs — the paper's §IV-G point is precisely that
+// HPC containers add no policy surface, because credentials and every
+// host separation mechanism pass through unchanged. Accordingly no
+// transition in this table opens a channel: entry grants nothing the
+// user did not already have, and the reachability checker verifies
+// that claim stays true as the table evolves.
+#pragma once
+
+#include "lifecycle/machine.h"
+
+namespace heus::container {
+
+enum class EntryState : lifecycle::StateId {
+  requested,  ///< exec() called, gate verdict pending
+  running,    ///< passthrough process spawned
+  denied,     ///< entry gate refused (terminal)
+  stopped,    ///< process reaped (terminal)
+};
+
+enum class EntryEvent : lifecycle::EventId {
+  exec,  ///< the entry gate renders its verdict
+  stop,  ///< stop() reaps the instance
+};
+
+enum class EntryGuard : lifecycle::GuardId {
+  entry_authorized,  ///< env: enabled && (root || granted)
+};
+
+enum class EntryAction : lifecycle::ActionId {
+  spawn_passthrough,  ///< spawn with the caller's unmodified credentials
+  record_denial,      ///< typed EPERM + container_entry deny decision
+  reap,               ///< exit the pid, drop the instance
+};
+
+/// The shared container-entry table. One static instance; Runtime
+/// drives it.
+[[nodiscard]] const lifecycle::MachineDef& entry_machine();
+
+}  // namespace heus::container

@@ -96,6 +96,15 @@ Result<ContainerId> Runtime::exec(const simos::Credentials& cred,
                                   vfs::MountTable* host_mounts) {
   const bool allowed =
       opts_.enabled && (cred.is_root() || granted_.contains(cred.uid));
+  // The entry gate's verdict through the table: requested -> running on
+  // an authorized exec, requested -> denied otherwise (terminal; denied
+  // requests never materialise an Instance).
+  lifecycle::StateId entry_state =
+      static_cast<lifecycle::StateId>(EntryState::requested);
+  entry_lc_.fire(entry_state,
+                 static_cast<lifecycle::EventId>(EntryEvent::exec),
+                 [allowed](const lifecycle::Guard&) { return allowed; },
+                 cred.uid, cred.egid, kRootUid);
   if (trace_ != nullptr && !cred.is_root()) {
     trace_->record(obs::DecisionPoint::container_entry,
                    allowed ? obs::Outcome::allow : obs::Outcome::deny,
@@ -119,15 +128,21 @@ Result<ContainerId> Runtime::exec(const simos::Credentials& cred,
 
   const ContainerId id{next_id_++};
   instances_.emplace(
-      id, Instance{id, image, pid, cred,
-                   ContainerFsView{image, host_mounts}});
+      id, Instance{id, image, pid, cred, ContainerFsView{image, host_mounts},
+                   static_cast<EntryState>(entry_state)});
   return id;
 }
 
 Result<void> Runtime::stop(ContainerId id, simos::ProcessTable* procs) {
   auto it = instances_.find(id);
   if (it == instances_.end()) return Errno::enoent;
-  (void)procs->exit(it->second.pid);
+  Instance& instance = it->second;
+  lifecycle::StateId s = static_cast<lifecycle::StateId>(instance.state);
+  entry_lc_.fire(s, static_cast<lifecycle::EventId>(EntryEvent::stop),
+                 [](const lifecycle::Guard&) { return false; },
+                 instance.cred.uid, instance.cred.egid, instance.cred.uid);
+  instance.state = static_cast<EntryState>(s);
+  (void)procs->exit(instance.pid);
   instances_.erase(it);
   return ok_result();
 }

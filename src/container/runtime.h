@@ -25,6 +25,7 @@
 
 #include "common/ids.h"
 #include "common/result.h"
+#include "container/entry_lifecycle.h"
 #include "obs/decision.h"
 #include "simos/process.h"
 #include "vfs/filesystem.h"
@@ -85,6 +86,9 @@ struct Instance {
   Pid pid{};
   simos::Credentials cred;  ///< identical to the invoking user's
   ContainerFsView fs;
+  /// Driven through the entry lifecycle table; tracked instances are
+  /// always `running` (denied requests never materialise an Instance).
+  EntryState state = EntryState::running;
 };
 
 struct RuntimeOptions {
@@ -163,9 +167,16 @@ class Runtime {
     return instances_.size();
   }
 
+  /// The table driver behind every entry state change: per-transition
+  /// fire counts and illegal-event tally, for tests and diagnostics.
+  [[nodiscard]] const lifecycle::Driver& entry_lifecycle() const {
+    return entry_lc_;
+  }
+
  private:
   RuntimeOptions opts_;
   obs::DecisionTrace* trace_ = nullptr;
+  lifecycle::Driver entry_lc_{&entry_machine()};
   std::set<Uid> granted_;
   std::map<ContainerId, Instance> instances_;
   std::uint64_t next_id_ = 1;

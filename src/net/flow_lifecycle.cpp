@@ -1,0 +1,97 @@
+#include "net/flow_lifecycle.h"
+
+namespace heus::net {
+namespace {
+
+using lifecycle::Guard;
+using lifecycle::GuardKind;
+using lifecycle::kNoAction;
+using lifecycle::kNoGuard;
+using lifecycle::MachineDef;
+using lifecycle::opens;
+using lifecycle::Transition;
+
+constexpr const char* kStates[] = {
+    "nascent", "established", "denied", "closed", "reset", "expired",
+};
+constexpr const char* kEvents[] = {
+    "hook-accept",  "hook-drop", "admit-uninspected", "activity",
+    "teardown",     "identity-reset", "gc-due",
+};
+constexpr const char* kActions[] = {
+    "establish", "refuse", "refresh-ttl", "reschedule-expiry", "destroy",
+};
+
+bool ubf_on(const lifecycle::PolicyView& p) { return p.ubf; }
+
+constexpr Guard kGuards[] = {
+    {"ubf-inspects", GuardKind::policy, obs::knob::ubf, ubf_on},
+    {"flow-revived", GuardKind::env, nullptr, nullptr},
+};
+
+constexpr auto S = [](FlowState s) { return id(s); };
+constexpr auto E = [](FlowEvent e) { return id(e); };
+constexpr auto G = [](FlowGuard g) {
+  return static_cast<lifecycle::GuardId>(g);
+};
+constexpr auto A = [](FlowAction a) {
+  return static_cast<lifecycle::ActionId>(a);
+};
+
+const Transition kTransitions[] = {
+    // Admission: the hook renders a verdict iff the UBF inspects the
+    // port; otherwise the flow establishes with no enforcement at all —
+    // the transition that opens the cross-user TCP/UDP channels.
+    {S(FlowState::nascent), E(FlowEvent::hook_accept),
+     G(FlowGuard::ubf_inspects), true, S(FlowState::established),
+     A(FlowAction::establish)},
+    {S(FlowState::nascent), E(FlowEvent::hook_drop),
+     G(FlowGuard::ubf_inspects), true, S(FlowState::denied),
+     A(FlowAction::refuse)},
+    {S(FlowState::nascent), E(FlowEvent::admit_uninspected),
+     G(FlowGuard::ubf_inspects), false, S(FlowState::established),
+     A(FlowAction::establish),
+     opens(obs::ChannelKind::tcp_cross_user,
+           obs::ChannelKind::udp_cross_user)},
+    // A teardown sweep (e.g. the hook itself calling close_sockets_of)
+    // may reap a flow that never got its verdict.
+    {S(FlowState::nascent), E(FlowEvent::teardown), kNoGuard, true,
+     S(FlowState::closed), A(FlowAction::destroy)},
+    // Fast path.
+    {S(FlowState::established), E(FlowEvent::activity), kNoGuard, true,
+     S(FlowState::established), A(FlowAction::refresh_ttl)},
+    {S(FlowState::established), E(FlowEvent::teardown), kNoGuard, true,
+     S(FlowState::closed), A(FlowAction::destroy)},
+    {S(FlowState::established), E(FlowEvent::identity_reset), kNoGuard,
+     true, S(FlowState::reset), A(FlowAction::destroy)},
+    // GC: a revived flow (deadline refreshed since the heap entry was
+    // pushed) is rescheduled, never torn down; only a genuinely idle
+    // one expires. This pair is the single source of truth for
+    // teardown eligibility the old code re-derived from timestamps.
+    {S(FlowState::established), E(FlowEvent::gc_due),
+     G(FlowGuard::flow_revived), true, S(FlowState::established),
+     A(FlowAction::reschedule_expiry)},
+    {S(FlowState::established), E(FlowEvent::gc_due),
+     G(FlowGuard::flow_revived), false, S(FlowState::expired),
+     A(FlowAction::destroy)},
+};
+
+}  // namespace
+
+const lifecycle::MachineDef& flow_machine() {
+  static const MachineDef def{
+      "flow",
+      kStates,
+      id(FlowState::nascent),
+      // denied | closed | reset | expired
+      (1u << id(FlowState::denied)) | (1u << id(FlowState::closed)) |
+          (1u << id(FlowState::reset)) | (1u << id(FlowState::expired)),
+      kEvents,
+      kGuards,
+      kActions,
+      kTransitions,
+  };
+  return def;
+}
+
+}  // namespace heus::net

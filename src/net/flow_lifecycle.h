@@ -1,0 +1,73 @@
+// Declarative lifecycle table for network flows (conntrack entries).
+//
+// Expands the old two-state FlowState (established/closed) into the
+// real admission/teardown/GC phases the conntrack code was already
+// implementing implicitly: a flow is *nascent* between SYN and the
+// firewall verdict (the window where the UBF's ident exchange runs
+// against it), *established* on the conntrack fast path, and ends in
+// exactly one of four terminal ways — denied by the hook, closed by an
+// application or teardown sweep, reset because the listener identity
+// changed, or expired by idle GC. The table, not timestamps scattered
+// through Network, is the source of truth for which teardown is legal
+// when (tests/net/flow_gc_revival_test.cpp pins the GC corner).
+//
+// Policy guard: `ubf-inspects` (knob `ubf`). The admit-uninspected
+// transition — a flow establishing *without* a firewall verdict — is
+// only legal when that guard is false, and is annotated as opening the
+// tcp/udp cross-user channels; the reachability checker proves it is
+// unreachable under every policy where the analyzer holds those
+// channels closed. At runtime the guard's ground truth is
+// Network::inspects(port): hook installed and port at or above the
+// inspection floor (the checker's default TopologyFacts models the
+// inspected victim service; below-floor ports are the analyzer's
+// service_port/ubf_inspect_from dimension, not a lifecycle one).
+#pragma once
+
+#include "lifecycle/machine.h"
+
+namespace heus::net {
+
+/// Flow lifecycle states. Packed ids double as lifecycle::StateId.
+enum class FlowState : lifecycle::StateId {
+  nascent,      ///< SYN seen, firewall verdict pending
+  established,  ///< on the conntrack fast path
+  denied,       ///< hook verdict drop (terminal)
+  closed,       ///< closed by app or teardown sweep (terminal)
+  reset,        ///< listener identity changed under the entry (terminal)
+  expired,      ///< idle-GC collected (terminal)
+};
+
+enum class FlowEvent : lifecycle::EventId {
+  hook_accept,        ///< inspected admission, verdict accept
+  hook_drop,          ///< inspected admission, verdict drop
+  admit_uninspected,  ///< established with no firewall verdict
+  activity,           ///< traffic on the fast path
+  teardown,           ///< close()/close_sockets_of/reset_host
+  identity_reset,     ///< stale conntrack entry detected on send
+  gc_due,             ///< expiry deadline surfaced in the GC heap
+};
+
+enum class FlowGuard : lifecycle::GuardId {
+  ubf_inspects,  ///< policy: the UBF renders a verdict for this flow
+  flow_revived,  ///< env: activity refreshed the deadline since push
+};
+
+enum class FlowAction : lifecycle::ActionId {
+  establish,         ///< insert conntrack entry, start TTL
+  refuse,            ///< surface ECONNREFUSED to the client
+  refresh_ttl,       ///< push the idle-expiry deadline out
+  reschedule_expiry, ///< re-queue the heap entry at the real deadline
+  destroy,           ///< erase conntrack entry + indices + port refs
+};
+
+/// The shared flow table. One static instance; Network drives it.
+[[nodiscard]] const lifecycle::MachineDef& flow_machine();
+
+[[nodiscard]] constexpr lifecycle::StateId id(FlowState s) {
+  return static_cast<lifecycle::StateId>(s);
+}
+[[nodiscard]] constexpr lifecycle::EventId id(FlowEvent e) {
+  return static_cast<lifecycle::EventId>(e);
+}
+
+}  // namespace heus::net

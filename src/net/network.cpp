@@ -155,6 +155,16 @@ void Network::destroy_flow(Flow& f) {
   flows_.erase(f.id);  // invalidates f
 }
 
+const lifecycle::Transition* Network::fire_flow(Flow& f, FlowEvent event,
+                                                bool outcome) {
+  lifecycle::StateId s = id(f.state);
+  const lifecycle::Transition* t = flow_lc_.fire(
+      s, id(event), [outcome](const lifecycle::Guard&) { return outcome; },
+      f.client_uid, Gid{}, f.server_uid);
+  f.state = static_cast<FlowState>(s);
+  return t;
+}
+
 void Network::touch_flow(Flow& f) {
   if (flow_ttl_ns_ <= 0) return;
   const std::int64_t deadline = clock_->now().ns + flow_ttl_ns_;
@@ -235,6 +245,7 @@ Result<FlowId> Network::connect(HostId src_host,
       // the iterator.
       auto fit = flows_.find(id);
       if (fit != flows_.end()) {
+        fire_flow(fit->second, FlowEvent::hook_drop, /*outcome=*/true);
         unindex_flow(fit->second);
         flows_.erase(fit);
       }
@@ -264,6 +275,13 @@ Result<FlowId> Network::connect(HostId src_host,
       id);
   auto fit = flows_.find(id);
   assert(fit != flows_.end());
+  // Admission through the table: an inspected flow establishes on the
+  // hook's accept verdict (guard `ubf-inspects` true); an uninspected
+  // one takes the annotated admit-uninspected row (guard false).
+  const bool inspected = hook_ && dst_port >= inspect_from_port_;
+  fire_flow(fit->second,
+            inspected ? FlowEvent::hook_accept : FlowEvent::admit_uninspected,
+            inspected);
   touch_flow(fit->second);
   ++stats_.connections_established;
   last_connect_cost_ns_ = cost;
@@ -299,7 +317,8 @@ Result<void> Network::send(FlowId id, FlowEnd from, std::string payload) {
     const std::int64_t reset_cost = latency_.conntrack_lookup_ns;
     last_send_cost_ns_ = reset_cost;
     charge(reset_cost);
-    (void)close(id);
+    fire_flow(f, FlowEvent::identity_reset, /*outcome=*/false);
+    destroy_flow(f);
     return Errno::econnreset;
   }
 
@@ -327,6 +346,7 @@ Result<void> Network::send(FlowId id, FlowEnd from, std::string payload) {
   last_send_cost_ns_ = latency_.conntrack_lookup_ns +
                        latency_.per_packet_ns + serialization_ns;
   charge(last_send_cost_ns_);
+  fire_flow(f, FlowEvent::activity, /*outcome=*/false);
   touch_flow(f);  // activity refreshes the idle-expiry deadline
   return ok_result();
 }
@@ -345,6 +365,7 @@ Result<std::string> Network::recv(FlowId id, FlowEnd at) {
 Result<void> Network::close(FlowId id) {
   auto it = flows_.find(id);
   if (it == flows_.end()) return Errno::ebadf;
+  fire_flow(it->second, FlowEvent::teardown, /*outcome=*/false);
   destroy_flow(it->second);
   return ok_result();
 }
@@ -367,7 +388,14 @@ std::size_t Network::gc() {
     auto it = flows_.find(e.flow);
     if (it == flows_.end()) continue;  // already closed; stale entry
     Flow& f = it->second;
-    if (f.expires_at_ns > e.deadline_ns) {
+    // The table decides teardown eligibility: gc-due on a revived flow
+    // resolves to the reschedule self-loop, otherwise to expiry. A flow
+    // closed earlier never reaches this point (erased above), so no
+    // entry is ever torn down twice.
+    const bool revived = f.expires_at_ns > e.deadline_ns;
+    const lifecycle::Transition* t = fire_flow(f, FlowEvent::gc_due, revived);
+    if (t != nullptr &&
+        static_cast<FlowState>(t->to) == FlowState::established) {
       // Activity refreshed the deadline since this entry was pushed:
       // reschedule at the real expiry (one live entry per flow).
       expiry_heap_.push(ExpiryEntry{f.expires_at_ns, f.id});
@@ -434,6 +462,7 @@ std::size_t Network::close_sockets_of(HostId h, Uid uid) {
       ++stats_.gc_entries_touched;
       auto it = flows_.find(id);
       if (it == flows_.end()) continue;
+      fire_flow(it->second, FlowEvent::teardown, /*outcome=*/false);
       destroy_flow(it->second);
       ++closed;
     }
@@ -455,6 +484,7 @@ std::size_t Network::reset_host(HostId h) {
     ++stats_.gc_entries_touched;
     auto it = flows_.find(id);
     if (it == flows_.end()) continue;
+    fire_flow(it->second, FlowEvent::teardown, /*outcome=*/false);
     destroy_flow(it->second);
     ++closed;
   }

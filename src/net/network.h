@@ -28,6 +28,7 @@
 #include "common/clock.h"
 #include "common/ids.h"
 #include "common/result.h"
+#include "net/flow_lifecycle.h"
 #include "obs/decision.h"
 #include "simos/credentials.h"
 
@@ -63,8 +64,6 @@ struct Listener {
   Proto proto = Proto::tcp;
 };
 
-enum class FlowState { established, closed };
-
 /// Fault-injection surface for the fabric. Implemented by
 /// fault::FaultInjector; declared here (abstract, no fault dependency) so
 /// the network can consult it without a layering inversion. All
@@ -93,7 +92,9 @@ struct Flow {
   std::uint16_t server_port = 0;
   Uid client_uid{};
   Uid server_uid{};
-  FlowState state = FlowState::established;
+  /// Driven exclusively through the flow lifecycle table
+  /// (net/flow_lifecycle.h); nascent until the admission verdict.
+  FlowState state = FlowState::nascent;
   std::deque<std::string> to_server;  ///< in-flight client->server messages
   std::deque<std::string> to_client;
   std::uint64_t bytes = 0;
@@ -267,6 +268,12 @@ class Network {
   /// auditor's definition of a cross-user network channel.
   [[nodiscard]] std::vector<FlowId> cross_user_flows() const;
 
+  /// The table driver behind every Flow::state change: per-transition
+  /// fire counts and illegal-event tally, for tests and diagnostics.
+  [[nodiscard]] const lifecycle::Driver& flow_lifecycle() const {
+    return flow_lc_;
+  }
+
  private:
   /// Linux's default ip_local_port_range.
   static constexpr std::uint32_t kEphemeralLo = 32768;
@@ -348,9 +355,16 @@ class Network {
   void destroy_flow(Flow& f);
   void touch_flow(Flow& f);
   void charge(std::int64_t ns);
+  /// Route one lifecycle event through the flow table. `outcome` answers
+  /// whichever guard the resolved row consults (at most one per row).
+  /// Returns the fired transition; nullptr means the event is illegal in
+  /// the flow's current state (counted, state untouched).
+  const lifecycle::Transition* fire_flow(Flow& f, FlowEvent event,
+                                         bool outcome);
 
   const common::SimClock* clock_;
   common::SimClock* mutable_clock_;
+  lifecycle::Driver flow_lc_{&flow_machine()};
   std::vector<HostState> hosts_;
   std::unordered_map<FlowId, Flow> flows_;
   std::map<ConntrackKey, FlowId> conntrack_;

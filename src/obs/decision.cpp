@@ -18,6 +18,7 @@ const char* to_string(DecisionPoint point) {
     case DecisionPoint::gpu_dev_access: return "gpu-dev-access";
     case DecisionPoint::gpu_scrub: return "gpu-scrub";
     case DecisionPoint::container_entry: return "container-entry";
+    case DecisionPoint::lifecycle_transition: return "lifecycle-transition";
   }
   return "?";
 }

@@ -53,9 +53,10 @@ enum class DecisionPoint {
   gpu_dev_access,     ///< /dev/nvidiaN open under cgroup dev binding
   gpu_scrub,          ///< epilog residue scrub verification
   container_entry,    ///< container runtime exec gate
+  lifecycle_transition,  ///< table-driven lifecycle state change (src/lifecycle)
 };
 
-inline constexpr std::array<DecisionPoint, 14> kAllDecisionPoints = {
+inline constexpr std::array<DecisionPoint, 15> kAllDecisionPoints = {
     DecisionPoint::procfs_visibility, DecisionPoint::pam_ssh,
     DecisionPoint::sched_query,       DecisionPoint::sched_placement,
     DecisionPoint::fs_access,         DecisionPoint::fs_chmod,
@@ -63,6 +64,7 @@ inline constexpr std::array<DecisionPoint, 14> kAllDecisionPoints = {
     DecisionPoint::net_uninspected,   DecisionPoint::rdma_setup,
     DecisionPoint::portal_forward,    DecisionPoint::gpu_dev_access,
     DecisionPoint::gpu_scrub,         DecisionPoint::container_entry,
+    DecisionPoint::lifecycle_transition,
 };
 
 [[nodiscard]] const char* to_string(DecisionPoint point);

@@ -2,23 +2,52 @@
 
 namespace heus::portal {
 
+const lifecycle::Transition* Gateway::fire_session(Session& session,
+                                                   SessionEvent event,
+                                                   bool inspected,
+                                                   Uid app_owner) {
+  lifecycle::StateId s = static_cast<lifecycle::StateId>(session.state);
+  const lifecycle::Transition* t = session_lc_.fire(
+      s, static_cast<lifecycle::EventId>(event),
+      [inspected](const lifecycle::Guard&) { return inspected; },
+      session.cred.uid, session.cred.egid, app_owner);
+  session.state = static_cast<SessionState>(s);
+  return t;
+}
+
 Result<SessionId> Gateway::login(const simos::Credentials& cred) {
   if (!users_->user_exists(cred.uid)) return Errno::eperm;
   const SessionId token{next_session_++};
-  sessions_.emplace(token, cred);
+  Session session;
+  session.cred = cred;
+  if (session_ttl_ns_ > 0 && clock_ != nullptr) {
+    session.expires_at_ns = clock_->now().ns + session_ttl_ns_;
+  }
+  sessions_.emplace(token, std::move(session));
   ++stats_.logins;
   return token;
 }
 
 Result<void> Gateway::logout(SessionId token) {
-  if (sessions_.erase(token) == 0) return Errno::enoent;
+  auto it = sessions_.find(token);
+  if (it == sessions_.end()) return Errno::enoent;
+  // Lazy expiry first, so the close takes the expired->closed row when
+  // the TTL already lapsed.
+  if (it->second.state == SessionState::active && lapsed(it->second)) {
+    fire_session(it->second, SessionEvent::ttl_expire, false, Uid{});
+  }
+  fire_session(it->second, SessionEvent::logout, false, Uid{});
+  sessions_.erase(it);
   return ok_result();
 }
 
 std::optional<Uid> Gateway::session_user(SessionId token) const {
   auto it = sessions_.find(token);
   if (it == sessions_.end()) return std::nullopt;
-  return it->second.uid;
+  if (it->second.state != SessionState::active || lapsed(it->second)) {
+    return std::nullopt;
+  }
+  return it->second.cred.uid;
 }
 
 Result<AppId> Gateway::register_app(
@@ -70,7 +99,15 @@ Result<std::string> Gateway::request(SessionId token, AppId app_id,
     ++stats_.denied_auth;
     return Errno::eperm;
   }
-  const simos::Credentials& user_cred = it->second;
+  Session& session = it->second;
+  if (session.state == SessionState::active && lapsed(session)) {
+    fire_session(session, SessionEvent::ttl_expire, false, Uid{});
+  }
+  if (session.state != SessionState::active) {
+    ++stats_.denied_session_expired;
+    return Errno::eperm;
+  }
+  const simos::Credentials& user_cred = session.cred;
 
   auto app_it = apps_.find(app_id);
   if (app_it == apps_.end()) return Errno::enoent;
@@ -79,7 +116,11 @@ Result<std::string> Gateway::request(SessionId token, AppId app_id,
   // Forwarded hop, attributed to the authenticated user. The UBF (if
   // attached to the fabric) makes the allow/deny decision here. Transient
   // fabric faults are retried with backoff; a UBF denial (econnrefused)
-  // is deterministic policy and is surfaced immediately.
+  // is deterministic policy and is surfaced immediately. The forward is
+  // a self-loop on the session table: inspected when the UBF governs the
+  // app port, otherwise the annotated uninspected row.
+  fire_session(session, SessionEvent::forward, network_->inspects(app.port),
+               app.owner);
   auto flow = network_->connect(portal_host_, user_cred, Pid{}, app.host,
                                 net::Proto::tcp, app.port);
   for (unsigned attempt = 0;

@@ -23,6 +23,7 @@
 #include "common/result.h"
 #include "net/network.h"
 #include "obs/decision.h"
+#include "portal/session_lifecycle.h"
 #include "simos/user_db.h"
 
 namespace heus::portal {
@@ -46,7 +47,8 @@ struct GatewayStats {
   std::uint64_t logins = 0;
   std::uint64_t requests = 0;
   std::uint64_t forwarded = 0;
-  std::uint64_t denied_auth = 0;     ///< bad/expired session token
+  std::uint64_t denied_auth = 0;     ///< unknown session token
+  std::uint64_t denied_session_expired = 0;  ///< session TTL lapsed
   std::uint64_t denied_network = 0;  ///< UBF dropped the forwarded hop
   std::uint64_t denied_backend_down = 0;  ///< portal backend outage (fault)
   std::uint64_t retries = 0;          ///< forwarded-hop retries attempted
@@ -120,24 +122,61 @@ class Gateway {
     clock_ = clock;
   }
 
+  /// Idle sessions expire `ttl_ns` after login (checked lazily on the
+  /// next request/logout against the simulated clock). 0 — the default —
+  /// disables expiry. `clock`, when given, replaces the session clock;
+  /// otherwise the one from set_retry is used.
+  void set_session_ttl(std::int64_t ttl_ns,
+                       common::SimClock* clock = nullptr) {
+    session_ttl_ns_ = ttl_ns;
+    if (clock != nullptr) clock_ = clock;
+  }
+
+  /// The table driver behind every session state change: per-transition
+  /// fire counts and illegal-event tally, for tests and diagnostics.
+  [[nodiscard]] const lifecycle::Driver& session_lifecycle() const {
+    return session_lc_;
+  }
+
  private:
+  /// One authenticated browser session, driven through the
+  /// portal-session lifecycle table.
+  struct Session {
+    simos::Credentials cred;
+    SessionState state = SessionState::active;
+    std::int64_t expires_at_ns = 0;  ///< 0 = never expires
+  };
+
   [[nodiscard]] static bool transient(Errno e) {
     return e == Errno::etimedout || e == Errno::enetunreach ||
            e == Errno::ehostunreach;
   }
   [[nodiscard]] std::optional<Uid> session_user(SessionId token) const;
+  /// TTL configured, clock available, and the deadline has passed.
+  [[nodiscard]] bool lapsed(const Session& session) const {
+    return session.expires_at_ns > 0 && clock_ != nullptr &&
+           clock_->now().ns >= session.expires_at_ns;
+  }
+  /// Route one lifecycle event through the session table. `inspected`
+  /// answers the ubf-governs guard (consulted on forward only). Returns
+  /// the fired transition (nullptr = illegal event; state untouched).
+  const lifecycle::Transition* fire_session(Session& session,
+                                            SessionEvent event,
+                                            bool inspected, Uid app_owner);
 
   net::Network* network_;
   obs::DecisionTrace* trace_ = nullptr;
   HostId portal_host_;
   const simos::UserDb* users_;
   JobCheck has_job_on_host_;
-  std::map<SessionId, simos::Credentials> sessions_;
+  lifecycle::Driver session_lc_{&session_machine()};
+  std::map<SessionId, Session> sessions_;
   std::map<AppId, WebApp> apps_;
   GatewayStats stats_;
   std::function<bool()> outage_probe_;
   common::BackoffPolicy retry_ = common::BackoffPolicy::none();
   common::SimClock* clock_ = nullptr;
+  std::int64_t session_ttl_ns_ = 0;
   std::uint64_t next_session_ = 1;
   std::uint64_t next_app_ = 1;
 };

@@ -1,0 +1,74 @@
+#include "portal/session_lifecycle.h"
+
+namespace heus::portal {
+namespace {
+
+using lifecycle::Guard;
+using lifecycle::GuardKind;
+using lifecycle::kNoGuard;
+using lifecycle::MachineDef;
+using lifecycle::opens;
+using lifecycle::Transition;
+
+constexpr const char* kStates[] = {"active", "expired", "closed"};
+constexpr const char* kEvents[] = {"forward", "logout", "ttl-expire"};
+constexpr const char* kActions[] = {
+    "forward-inspected", "forward-uninspected", "expire-session",
+    "end-session",
+};
+
+bool ubf_on(const lifecycle::PolicyView& p) { return p.ubf; }
+
+constexpr Guard kGuards[] = {
+    {"ubf-governs", GuardKind::policy, obs::knob::ubf, ubf_on},
+};
+
+constexpr auto S = [](SessionState s) {
+  return static_cast<lifecycle::StateId>(s);
+};
+constexpr auto E = [](SessionEvent e) {
+  return static_cast<lifecycle::EventId>(e);
+};
+constexpr auto G = [](SessionGuard g) {
+  return static_cast<lifecycle::GuardId>(g);
+};
+constexpr auto A = [](SessionAction a) {
+  return static_cast<lifecycle::ActionId>(a);
+};
+
+const Transition kTransitions[] = {
+    // A forwarded request is a self-loop on active: with the UBF
+    // governing the app port the hop traverses a firewall verdict;
+    // without it the portal relays a fetch no enforcement point sees.
+    {S(SessionState::active), E(SessionEvent::forward),
+     G(SessionGuard::ubf_governs), true, S(SessionState::active),
+     A(SessionAction::forward_inspected)},
+    {S(SessionState::active), E(SessionEvent::forward),
+     G(SessionGuard::ubf_governs), false, S(SessionState::active),
+     A(SessionAction::forward_uninspected),
+     opens(obs::ChannelKind::portal_foreign_app)},
+    {S(SessionState::active), E(SessionEvent::ttl_expire), kNoGuard, true,
+     S(SessionState::expired), A(SessionAction::expire_session)},
+    {S(SessionState::active), E(SessionEvent::logout), kNoGuard, true,
+     S(SessionState::closed), A(SessionAction::end_session)},
+    {S(SessionState::expired), E(SessionEvent::logout), kNoGuard, true,
+     S(SessionState::closed), A(SessionAction::end_session)},
+};
+
+}  // namespace
+
+const lifecycle::MachineDef& session_machine() {
+  static const MachineDef def{
+      "portal-session",
+      kStates,
+      S(SessionState::active),
+      1u << S(SessionState::closed),
+      kEvents,
+      kGuards,
+      kActions,
+      kTransitions,
+  };
+  return def;
+}
+
+}  // namespace heus::portal

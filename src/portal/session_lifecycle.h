@@ -1,0 +1,48 @@
+// Declarative lifecycle table for portal sessions.
+//
+// A browser session is *active* from login until it is logged out or
+// its (optional) TTL lapses. Every forwarded request is a transition:
+// with the UBF governing the app port the forward traverses an
+// enforcement verdict (the firewall decides on the forwarded hop,
+// attributed to the authenticated user); without it the portal relays
+// a cross-user fetch that no enforcement point ever saw — the
+// transition annotated as opening portal_foreign_app. The reachability
+// checker proves that transition unreachable under every policy where
+// the analyzer holds the portal channel closed (knob `ubf`).
+//
+// Session expiry (Gateway::set_session_ttl) is new with the table but
+// off by default (ttl 0 = sessions never expire), so existing portal
+// behaviour is unchanged unless a deployment opts in.
+#pragma once
+
+#include "lifecycle/machine.h"
+
+namespace heus::portal {
+
+enum class SessionState : lifecycle::StateId {
+  active,   ///< authenticated, token honoured
+  expired,  ///< TTL lapsed; token refused until logged out
+  closed,   ///< logged out (terminal)
+};
+
+enum class SessionEvent : lifecycle::EventId {
+  forward,     ///< one forwarded request through the fabric
+  logout,      ///< explicit logout
+  ttl_expire,  ///< session TTL lapsed at first use past the deadline
+};
+
+enum class SessionGuard : lifecycle::GuardId {
+  ubf_governs,  ///< policy: the UBF inspects the app port
+};
+
+enum class SessionAction : lifecycle::ActionId {
+  forward_inspected,    ///< hop traverses the firewall verdict
+  forward_uninspected,  ///< hop relayed with no enforcement decision
+  expire_session,       ///< mark expired, refuse the request
+  end_session,          ///< drop the token
+};
+
+/// The shared session table. One static instance; Gateway drives it.
+[[nodiscard]] const lifecycle::MachineDef& session_machine();
+
+}  // namespace heus::portal

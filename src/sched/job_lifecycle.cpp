@@ -1,0 +1,95 @@
+#include "sched/job_lifecycle.h"
+
+namespace heus::sched {
+namespace {
+
+using lifecycle::Guard;
+using lifecycle::GuardKind;
+using lifecycle::kNoGuard;
+using lifecycle::MachineDef;
+using lifecycle::opens;
+using lifecycle::Transition;
+
+constexpr const char* kStates[] = {
+    "pending", "running", "completed", "failed", "cancelled", "timeout",
+};
+constexpr const char* kEvents[] = {
+    "start", "complete", "time-limit", "cancel", "node-fail", "dep-never",
+};
+constexpr const char* kActions[] = {
+    "dispatch", "epilog-scrub", "epilog", "requeue", "record-failure",
+};
+
+bool scrub_on(const lifecycle::PolicyView& p) { return p.gpu_epilog_scrub; }
+
+constexpr Guard kGuards[] = {
+    {"gpu-scrub", GuardKind::policy, obs::knob::gpu_epilog_scrub, scrub_on},
+    {"requeue-allowed", GuardKind::env, nullptr, nullptr},
+};
+
+constexpr auto S = [](JobState s) {
+  return static_cast<lifecycle::StateId>(s);
+};
+constexpr auto E = [](JobEvent e) {
+  return static_cast<lifecycle::EventId>(e);
+};
+constexpr auto G = [](JobGuard g) {
+  return static_cast<lifecycle::GuardId>(g);
+};
+constexpr auto A = [](JobAction a) {
+  return static_cast<lifecycle::ActionId>(a);
+};
+
+const Transition kTransitions[] = {
+    {S(JobState::pending), E(JobEvent::start), kNoGuard, true,
+     S(JobState::running), A(JobAction::dispatch)},
+    {S(JobState::pending), E(JobEvent::cancel), kNoGuard, true,
+     S(JobState::cancelled)},
+    {S(JobState::pending), E(JobEvent::dep_never), kNoGuard, true,
+     S(JobState::cancelled)},
+    // Orderly exits run the epilog; without the scrub knob the epilog
+    // leaves accelerator memory as the job left it — the residue the
+    // next tenant of the node can read.
+    {S(JobState::running), E(JobEvent::complete), G(JobGuard::gpu_scrub),
+     true, S(JobState::completed), A(JobAction::epilog_scrub)},
+    {S(JobState::running), E(JobEvent::complete), G(JobGuard::gpu_scrub),
+     false, S(JobState::completed), A(JobAction::epilog),
+     opens(obs::ChannelKind::gpu_residue)},
+    {S(JobState::running), E(JobEvent::time_limit), G(JobGuard::gpu_scrub),
+     true, S(JobState::timeout), A(JobAction::epilog_scrub)},
+    {S(JobState::running), E(JobEvent::time_limit), G(JobGuard::gpu_scrub),
+     false, S(JobState::timeout), A(JobAction::epilog),
+     opens(obs::ChannelKind::gpu_residue)},
+    {S(JobState::running), E(JobEvent::cancel), G(JobGuard::gpu_scrub),
+     true, S(JobState::cancelled), A(JobAction::epilog_scrub)},
+    {S(JobState::running), E(JobEvent::cancel), G(JobGuard::gpu_scrub),
+     false, S(JobState::cancelled), A(JobAction::epilog),
+     opens(obs::ChannelKind::gpu_residue)},
+    // Node failure: no epilog runs (the node is dead); the reboot wipes
+    // device memory, so neither branch opens gpu_residue.
+    {S(JobState::running), E(JobEvent::node_fail),
+     G(JobGuard::requeue_allowed), true, S(JobState::pending),
+     A(JobAction::requeue)},
+    {S(JobState::running), E(JobEvent::node_fail),
+     G(JobGuard::requeue_allowed), false, S(JobState::failed),
+     A(JobAction::record_failure)},
+};
+
+}  // namespace
+
+const lifecycle::MachineDef& job_machine() {
+  static const MachineDef def{
+      "job",
+      kStates,
+      S(JobState::pending),
+      (1u << S(JobState::completed)) | (1u << S(JobState::failed)) |
+          (1u << S(JobState::cancelled)) | (1u << S(JobState::timeout)),
+      kEvents,
+      kGuards,
+      kActions,
+      kTransitions,
+  };
+  return def;
+}
+
+}  // namespace heus::sched

@@ -1,0 +1,55 @@
+// Declarative lifecycle table for scheduler jobs.
+//
+// The six JobState values keep their original encoding (the schedule
+// digest folds them; tests/sched/sched_digest_test.cpp); what the
+// table adds is the explicit event/guard structure that used to live
+// in scattered conditionals across try_start, cancel, dispatch's
+// dependency pass, completion processing and crash handling.
+//
+// Policy guard: `gpu-scrub` (knob `gpu_epilog_scrub`). Every orderly
+// exit from `running` (complete / time-limit / cancel) runs the node
+// epilog; with the scrub knob off, the epilog leaves accelerator
+// memory as the job left it — those transitions are annotated as
+// opening gpu_residue, and the reachability checker proves them
+// unreachable under every policy where the analyzer holds that
+// channel closed. A node-failure exit carries no annotation: the node
+// reboots (power-loss semantics), which clears residue without an
+// epilog. At runtime the guard's ground truth is "an epilog hook will
+// run for this finish" — Cluster wires the hook's scrub behaviour
+// from the same policy knob.
+//
+// Environment guard: `requeue-allowed` — the job asked for requeue and
+// has budget left; chooses between pending (requeue) and failed.
+#pragma once
+
+#include "lifecycle/machine.h"
+#include "sched/types.h"
+
+namespace heus::sched {
+
+enum class JobEvent : lifecycle::EventId {
+  start,       ///< allocation placed, prolog passed
+  complete,    ///< ran to its natural end within the limit
+  time_limit,  ///< wall-clock limit struck first
+  cancel,      ///< user/admin scancel
+  node_fail,   ///< a node under the job crashed
+  dep_never,   ///< afterok dependency can never be satisfied
+};
+
+enum class JobGuard : lifecycle::GuardId {
+  gpu_scrub,       ///< policy: epilog scrubs accelerator residue
+  requeue_allowed, ///< env: requeue_on_failure with budget left
+};
+
+enum class JobAction : lifecycle::ActionId {
+  dispatch,      ///< start accounting, arm the completion heap
+  epilog_scrub,  ///< epilog incl. accelerator scrub
+  epilog,        ///< epilog without scrub
+  requeue,       ///< release allocation, back to the queue
+  record_failure,///< terminal failure accounting
+};
+
+/// The shared job table. One static instance; Scheduler drives it.
+[[nodiscard]] const lifecycle::MachineDef& job_machine();
+
+}  // namespace heus::sched

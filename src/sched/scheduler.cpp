@@ -351,7 +351,7 @@ bool Scheduler::try_start(Job& job) {
   }
   cross_user_coresidency_ += coresidency_delta;
 
-  job.state = JobState::running;
+  fire_job(job, JobEvent::start, /*outcome=*/false);
   job.start_time = clock_->now();
   const std::int64_t run_ns =
       std::min(job.spec.duration_ns, job.spec.time_limit_ns);
@@ -428,8 +428,19 @@ void Scheduler::retry_pending_epilogs() {
   }
 }
 
+const lifecycle::Transition* Scheduler::fire_job(Job& job, JobEvent event,
+                                                 bool outcome) {
+  lifecycle::StateId s = static_cast<lifecycle::StateId>(job.state);
+  const lifecycle::Transition* t = job_lc_.fire(
+      s, static_cast<lifecycle::EventId>(event),
+      [outcome](const lifecycle::Guard&) { return outcome; }, job.user,
+      job.group, job.user);
+  job.state = static_cast<JobState>(s);
+  return t;
+}
+
 void Scheduler::finish_job(Job& job, JobState final_state,
-                           bool run_epilog) {
+                           bool run_epilog, bool dependency_never) {
   const bool was_running = (job.state == JobState::running);
   if (was_running && run_epilog) {
     for (const auto& alloc : job.allocations) {
@@ -438,7 +449,29 @@ void Scheduler::finish_job(Job& job, JobState final_state,
   }
   if (was_running) release_allocations(job);
 
-  job.state = final_state;
+  // Route the exit through the job table. From pending only cancel (or
+  // its dependency-never flavour) arrives here; from running the final
+  // state picks the event, and the gpu-scrub guard's runtime ground
+  // truth is "an epilog hook runs for this finish" (Cluster wires that
+  // hook's scrub behaviour from the same policy knob the table names).
+  JobEvent event;
+  if (!was_running) {
+    event = dependency_never ? JobEvent::dep_never : JobEvent::cancel;
+  } else if (final_state == JobState::completed) {
+    event = JobEvent::complete;
+  } else if (final_state == JobState::timeout) {
+    event = JobEvent::time_limit;
+  } else if (final_state == JobState::cancelled) {
+    event = JobEvent::cancel;
+  } else {
+    event = JobEvent::node_fail;
+  }
+  const bool scrubbed = was_running && run_epilog &&
+                        event != JobEvent::node_fail &&
+                        static_cast<bool>(epilog_);
+  const lifecycle::Transition* t = fire_job(job, event, scrubbed);
+  assert(t != nullptr && static_cast<JobState>(t->to) == final_state);
+  (void)t;
   job.end_time = clock_->now();
   if (was_running) last_completion_ = std::max(last_completion_,
                                                job.end_time);
@@ -592,7 +625,7 @@ void Scheduler::crash_node_internal(NodeId node,
       // Tear down the allocation but return the job to the queue.
       release_allocations(job);
       job.allocations.clear();
-      job.state = JobState::pending;
+      fire_job(job, JobEvent::node_fail, /*outcome=*/true);
       job.pending_reason = "NodeFail(requeued)";
       ++job.requeues;
       queue_.push_back(id);
@@ -684,7 +717,8 @@ void Scheduler::dispatch() {
     const DependencyState dep = dependency_state(job);
     if (dep == DependencyState::never) {
       // Slurm: DependencyNeverSatisfied — the job is cancelled.
-      finish_job(job, JobState::cancelled);
+      finish_job(job, JobState::cancelled, /*run_epilog=*/true,
+                 /*dependency_never=*/true);
       queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
       continue;
     }

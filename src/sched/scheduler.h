@@ -30,6 +30,7 @@
 #include "common/ids.h"
 #include "common/result.h"
 #include "obs/decision.h"
+#include "sched/job_lifecycle.h"
 #include "sched/types.h"
 #include "simos/credentials.h"
 
@@ -148,6 +149,12 @@ class Scheduler {
 
   void set_prolog(NodeHook hook) { prolog_ = std::move(hook); }
   void set_epilog(NodeHook hook) { epilog_ = std::move(hook); }
+
+  /// The table driver behind every Job::state change: per-transition
+  /// fire counts and illegal-event tally, for tests and diagnostics.
+  [[nodiscard]] const lifecycle::Driver& job_lifecycle() const {
+    return job_lc_;
+  }
 
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }
   void set_policy(SharingPolicy p) { config_.policy = p; }
@@ -381,7 +388,15 @@ class Scheduler {
   }
   /// `run_epilog` is false on the crash path: a dead node cannot run its
   /// epilog; the node-crash hook does the (power-loss) cleanup instead.
-  void finish_job(Job& job, JobState final_state, bool run_epilog = true);
+  /// `dependency_never` marks a pending-state cancellation that came from
+  /// an unsatisfiable dependency, which is a distinct lifecycle event.
+  void finish_job(Job& job, JobState final_state, bool run_epilog = true,
+                  bool dependency_never = false);
+  /// Route one lifecycle event through the job table. `outcome` answers
+  /// whichever guard the resolved row consults. Returns the fired
+  /// transition (nullptr = illegal event; state untouched).
+  const lifecycle::Transition* fire_job(Job& job, JobEvent event,
+                                        bool outcome);
   void release_allocations(Job& job);
   /// Run the epilog for one allocation; on failure, park the context on
   /// the node's maintenance queue.
@@ -416,6 +431,7 @@ class Scheduler {
   obs::DecisionTrace* trace_ = nullptr;
   NodeHook prolog_;
   NodeHook epilog_;
+  lifecycle::Driver job_lc_{&job_machine()};
   NodeCrashHook node_crash_hook_;
   FailureStats failures_;
   std::map<Uid, std::uint64_t> consumed_cpu_ns_;  ///< fairshare input

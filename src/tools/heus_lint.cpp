@@ -18,6 +18,7 @@
 #include "analyze/ingest/site.h"
 #include "analyze/ingest/site_report.h"
 #include "analyze/policy_space.h"
+#include "analyze/reachability.h"
 #include "analyze/report.h"
 #include "core/audit.h"
 #include "core/cluster.h"
@@ -40,6 +41,19 @@ void usage(std::FILE* to) {
       "channel\n"
       "                              (with --site: also on drift or parse "
       "errors)\n"
+      "  --reach                     model-check the five lifecycle "
+      "tables\n"
+      "                              (flow, job, transfer, portal "
+      "session,\n"
+      "                              container entry) over the full "
+      "policy\n"
+      "                              lattice: reachability, dead rows, "
+      "guard/\n"
+      "                              knob agreement, and zero "
+      "separation-\n"
+      "                              opening transitions (honors "
+      "--format;\n"
+      "                              --gate exits 1 on any finding)\n"
       "  --degraded                  report which closed channels rely on\n"
       "                              fail-closed behavior under "
       "ident/network\n"
@@ -180,6 +194,7 @@ int main(int argc, char** argv) {
   bool gate = false;
   bool degraded = false;
   bool trace = false;
+  bool reach = false;
 
   auto value_of = [](const char* arg, const char* flag) -> const char* {
     const std::size_t n = std::strlen(flag);
@@ -207,6 +222,8 @@ int main(int argc, char** argv) {
       degraded = true;
     } else if (std::strcmp(arg, "--trace") == 0) {
       trace = true;
+    } else if (std::strcmp(arg, "--reach") == 0) {
+      reach = true;
     } else if (std::strcmp(arg, "--staff") == 0) {
       facts.observer_support_staff = true;
     } else if (std::strcmp(arg, "--operator") == 0) {
@@ -261,6 +278,30 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (reach) {
+    if (trace || !site_dir.empty()) {
+      std::fprintf(stderr,
+                   "heus-lint: --reach checks the shipped lifecycle "
+                   "tables; it does not combine with --trace or --site\n");
+      return 2;
+    }
+    const analyze::ReachabilityChecker checker(facts);
+    const analyze::ReachReport report = checker.check_shipped();
+    if (format == "markdown" || format == "both") {
+      std::fputs(analyze::reach_to_markdown(report).c_str(), stdout);
+    }
+    if (format == "json" || format == "both") {
+      std::fputs(analyze::reach_to_json(report).c_str(), stdout);
+    }
+    if (gate && !report.clean()) {
+      std::fprintf(stderr,
+                   "heus-lint: REACH GATE FAILED — %zu lifecycle-table "
+                   "finding(s)\n",
+                   report.findings.size());
+      return 1;
+    }
+    return 0;
+  }
   if (trace) {
     if (!site_dir.empty()) {
       std::fprintf(stderr,

@@ -24,26 +24,50 @@ Result<TransferId> StagingService::submit(const simos::Credentials& cred,
   return id;
 }
 
+const lifecycle::Transition* StagingService::fire(Transfer& transfer,
+                                                  TransferEvent event,
+                                                  bool retries_left) {
+  lifecycle::StateId s = static_cast<lifecycle::StateId>(transfer.state);
+  const lifecycle::Transition* t = xfer_lc_.fire(
+      s, static_cast<lifecycle::EventId>(event),
+      [retries_left](const lifecycle::Guard&) { return retries_left; },
+      transfer.user, Gid{}, transfer.user);
+  transfer.state = static_cast<TransferState>(s);
+  return t;
+}
+
 void StagingService::execute(Transfer& transfer) {
   const simos::Credentials& cred = creds_.at(transfer.id);
+  fire(transfer, TransferEvent::dequeue, /*retries_left=*/false);
   auto fail = [&](Errno e) {
-    transfer.state = TransferState::failed;
+    // The table picks failed via the exhausted-transient or the
+    // permanent-error row; both carry the surface-error action.
+    fire(transfer,
+         transient(e) ? TransferEvent::fs_error_transient
+                      : TransferEvent::fs_error_permanent,
+         /*retries_left=*/false);
     transfer.error = e;
     ++stats_.transfers_failed;
   };
 
   // Retry only transient FS faults (flapping mount), with backoff charged
   // to simulated time. EACCES/ENOENT and friends are deterministic — the
-  // transfer surfaces them immediately as a typed error.
+  // transfer surfaces them immediately as a typed error. Each transient
+  // fault with retry budget left parks the transfer in retry-wait until
+  // the backoff delay has been charged to the clock.
   auto with_retry = [&](auto op) {
     auto r = op();
     ++transfer.attempts;
     for (unsigned attempt = 0;
          !r && transient(r.error()) && attempt < retry_.max_retries;
          ++attempt) {
+      fire(transfer, TransferEvent::fs_error_transient,
+           /*retries_left=*/true);
       clock_->advance(retry_.delay_ns(attempt));
       ++stats_.retries;
       ++transfer.attempts;
+      fire(transfer, TransferEvent::backoff_elapsed,
+           /*retries_left=*/false);
       r = op();
       if (r) ++stats_.retry_successes;
     }
@@ -77,9 +101,9 @@ void StagingService::execute(Transfer& transfer) {
     transfer.bytes = content->size();
   }
 
+  fire(transfer, TransferEvent::fs_ok, /*retries_left=*/false);
   clock_->advance(static_cast<std::int64_t>(
       static_cast<double>(transfer.bytes) / wan_bytes_per_ns_));
-  transfer.state = TransferState::done;
   transfer.finished = clock_->now();
   ++stats_.transfers_done;
   stats_.bytes_moved += transfer.bytes;

@@ -23,6 +23,7 @@
 #include "common/result.h"
 #include "simos/credentials.h"
 #include "vfs/filesystem.h"
+#include "xfer/transfer_lifecycle.h"
 
 namespace heus::xfer {
 
@@ -30,7 +31,6 @@ struct TransferIdTag {};
 using TransferId = StrongId<TransferIdTag, std::uint64_t>;
 
 enum class Direction { stage_in, stage_out };
-enum class TransferState { queued, done, failed };
 
 struct Transfer {
   TransferId id{};
@@ -105,8 +105,19 @@ class StagingService {
   /// and never retried. Backoff is charged to the simulated clock.
   void set_retry(common::BackoffPolicy policy) { retry_ = policy; }
 
+  /// The table driver behind every Transfer::state change: per-transition
+  /// fire counts and illegal-event tally, for tests and diagnostics.
+  [[nodiscard]] const lifecycle::Driver& transfer_lifecycle() const {
+    return xfer_lc_;
+  }
+
  private:
   void execute(Transfer& transfer);
+  /// Route one lifecycle event through the transfer table. `retries_left`
+  /// answers the only guard (consulted on transient faults). Returns the
+  /// fired transition (nullptr = illegal event; state untouched).
+  const lifecycle::Transition* fire(Transfer& transfer, TransferEvent event,
+                                    bool retries_left);
 
   [[nodiscard]] static bool transient(Errno e) {
     return e == Errno::eio || e == Errno::eagain || e == Errno::etimedout;
@@ -117,6 +128,7 @@ class StagingService {
   common::SimClock* clock_;
   double wan_bytes_per_ns_;
   common::BackoffPolicy retry_ = common::BackoffPolicy::none();
+  lifecycle::Driver xfer_lc_{&transfer_machine()};
   std::deque<TransferId> queue_;
   std::map<TransferId, Transfer> transfers_;
   std::map<TransferId, simos::Credentials> creds_;

@@ -1,0 +1,75 @@
+#include "xfer/transfer_lifecycle.h"
+
+namespace heus::xfer {
+namespace {
+
+using lifecycle::Guard;
+using lifecycle::GuardKind;
+using lifecycle::kNoGuard;
+using lifecycle::MachineDef;
+using lifecycle::Transition;
+
+constexpr const char* kStates[] = {
+    "queued", "done", "failed", "executing", "retry-wait",
+};
+constexpr const char* kEvents[] = {
+    "dequeue", "fs-ok", "fs-error-transient", "fs-error-permanent",
+    "backoff-elapsed",
+};
+constexpr const char* kActions[] = {
+    "run-as-user", "charge-wan", "backoff", "surface-error",
+};
+
+constexpr Guard kGuards[] = {
+    {"retries-left", GuardKind::env, nullptr, nullptr},
+};
+
+constexpr auto S = [](TransferState s) {
+  return static_cast<lifecycle::StateId>(s);
+};
+constexpr auto E = [](TransferEvent e) {
+  return static_cast<lifecycle::EventId>(e);
+};
+constexpr auto G = [](TransferGuard g) {
+  return static_cast<lifecycle::GuardId>(g);
+};
+constexpr auto A = [](TransferAction a) {
+  return static_cast<lifecycle::ActionId>(a);
+};
+
+const Transition kTransitions[] = {
+    {S(TransferState::queued), E(TransferEvent::dequeue), kNoGuard, true,
+     S(TransferState::executing), A(TransferAction::run_as_user)},
+    {S(TransferState::executing), E(TransferEvent::fs_ok), kNoGuard, true,
+     S(TransferState::done), A(TransferAction::charge_wan)},
+    {S(TransferState::executing), E(TransferEvent::fs_error_permanent),
+     kNoGuard, true, S(TransferState::failed),
+     A(TransferAction::surface_error)},
+    {S(TransferState::executing), E(TransferEvent::fs_error_transient),
+     G(TransferGuard::retries_left), true, S(TransferState::retry_wait),
+     A(TransferAction::backoff)},
+    {S(TransferState::executing), E(TransferEvent::fs_error_transient),
+     G(TransferGuard::retries_left), false, S(TransferState::failed),
+     A(TransferAction::surface_error)},
+    {S(TransferState::retry_wait), E(TransferEvent::backoff_elapsed),
+     kNoGuard, true, S(TransferState::executing),
+     A(TransferAction::run_as_user)},
+};
+
+}  // namespace
+
+const lifecycle::MachineDef& transfer_machine() {
+  static const MachineDef def{
+      "transfer",
+      kStates,
+      S(TransferState::queued),
+      (1u << S(TransferState::done)) | (1u << S(TransferState::failed)),
+      kEvents,
+      kGuards,
+      kActions,
+      kTransitions,
+  };
+  return def;
+}
+
+}  // namespace heus::xfer

@@ -1,0 +1,58 @@
+// Declarative lifecycle table for DTN transfers.
+//
+// Makes the staging retry loop explicit: a transfer is *executing*
+// while its filesystem half runs, parks in *retry-wait* while backoff
+// for a transient fault (flapping mount) is charged to the simulated
+// clock, and ends done or failed. Permission/namespace errors are
+// deterministic and go straight to failed — retrying them would just
+// re-ask DAC. The state ids extend the original TransferState enum
+// in place (queued/done/failed keep their values; the digest test
+// tests/xfer/xfer_digest_test.cpp pins that encoding), so the two new
+// states are appended after the terminals.
+//
+// No policy guard: separation for staged data is enforced by the VFS
+// at execution time (the transfer runs with the submitting user's own
+// credentials), not by a transfer-level knob. Both guards here are
+// environment guards and the reachability checker explores both
+// outcomes of each.
+#pragma once
+
+#include "lifecycle/machine.h"
+
+namespace heus::xfer {
+
+/// Transfer lifecycle states. `executing` and `retry_wait` are appended
+/// after the original trio so the raw values folded by the transfer
+/// digest (queued=0, done=1, failed=2) stay stable.
+enum class TransferState : lifecycle::StateId {
+  queued = 0,
+  done = 1,
+  failed = 2,
+  executing = 3,
+  retry_wait = 4,
+};
+
+enum class TransferEvent : lifecycle::EventId {
+  dequeue,             ///< FIFO head reached the DTN daemon
+  fs_ok,               ///< filesystem half succeeded
+  fs_error_transient,  ///< EIO/EAGAIN/ETIMEDOUT (flapping mount)
+  fs_error_permanent,  ///< deterministic error (EACCES, ENOENT, quota)
+  backoff_elapsed,     ///< retry delay fully charged to the clock
+};
+
+enum class TransferGuard : lifecycle::GuardId {
+  retries_left,  ///< env: attempts below the BackoffPolicy bound
+};
+
+enum class TransferAction : lifecycle::ActionId {
+  run_as_user,    ///< execute the FS half with the submitter's creds
+  charge_wan,     ///< bill WAN seconds per byte, stamp finished
+  backoff,        ///< charge the exponential delay to the clock
+  surface_error,  ///< record the typed errno, stamp failed
+};
+
+/// The shared transfer table. One static instance; StagingService
+/// drives it. State ids are TransferState values.
+[[nodiscard]] const lifecycle::MachineDef& transfer_machine();
+
+}  // namespace heus::xfer

@@ -1,0 +1,97 @@
+// Regression: a flow revived (refreshed) while its stale expiry entry is
+// still in the GC heap must never be torn down at the stale deadline,
+// and no teardown path may run twice for the same flow (ISSUE 6
+// satellite — the expanded flow table is the single source of truth for
+// teardown eligibility).
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "net/network.h"
+#include "simos/credentials.h"
+#include "simos/user_db.h"
+
+namespace heus::net {
+namespace {
+
+struct RevivalFixture {
+  common::SimClock clock;
+  simos::UserDb db;
+  simos::Credentials alice;
+  simos::Credentials bob;
+  Network nw{&clock};
+  HostId login;
+  HostId c0;
+
+  RevivalFixture()
+      : alice(*simos::login(db, *db.create_user("alice"))),
+        bob(*simos::login(db, *db.create_user("bob"))) {
+    login = nw.add_host("login");
+    c0 = nw.add_host("c0");
+    EXPECT_TRUE(nw.listen(c0, alice, Pid{10}, Proto::tcp, 5000).ok());
+    nw.set_flow_ttl(100 * common::kMillisecond);
+  }
+};
+
+TEST(FlowGcRevival, RefreshedFlowSurvivesStaleDeadline) {
+  RevivalFixture fx;
+  const auto id = fx.nw.connect(fx.login, fx.bob, Pid{1}, fx.c0,
+                                Proto::tcp, 5000);
+  ASSERT_TRUE(id.ok());
+
+  // Let the original deadline pass, but refresh just before the sweep:
+  // the heap still holds the stale entry, the flow table says alive.
+  fx.clock.advance(90 * common::kMillisecond);
+  ASSERT_TRUE(fx.nw.send(*id, FlowEnd::client, "keepalive").ok());
+  fx.clock.advance(20 * common::kMillisecond);  // past deadline #1 only
+  EXPECT_EQ(fx.nw.gc(), 0u);
+  EXPECT_NE(fx.nw.find_flow(*id), nullptr);
+  EXPECT_EQ(fx.nw.stats().flows_expired, 0u);
+
+  // The real (refreshed) deadline fires exactly once.
+  fx.clock.advance(200 * common::kMillisecond);
+  EXPECT_EQ(fx.nw.gc(), 1u);
+  EXPECT_EQ(fx.nw.find_flow(*id), nullptr);
+  EXPECT_EQ(fx.nw.stats().flows_expired, 1u);
+
+  // Any further sweep finds nothing to tear down a second time.
+  fx.clock.advance(common::kSecond);
+  EXPECT_EQ(fx.nw.gc(), 0u);
+  EXPECT_EQ(fx.nw.stats().flows_expired, 1u);
+}
+
+TEST(FlowGcRevival, ClosedFlowIsNotTornDownAgainByGc) {
+  RevivalFixture fx;
+  const auto id = fx.nw.connect(fx.login, fx.bob, Pid{1}, fx.c0,
+                                Proto::tcp, 5000);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(fx.nw.close(*id).ok());
+
+  // The heap entry is stale (flow already destroyed by close); the sweep
+  // must discard it, not double-count an expiry.
+  fx.clock.advance(common::kSecond);
+  EXPECT_EQ(fx.nw.gc(), 0u);
+  EXPECT_EQ(fx.nw.stats().flows_expired, 0u);
+  EXPECT_EQ(fx.nw.flow_count(), 0u);
+}
+
+TEST(FlowGcRevival, RepeatedRefreshKeepsOneLiveDeadline) {
+  RevivalFixture fx;
+  const auto id = fx.nw.connect(fx.login, fx.bob, Pid{1}, fx.c0,
+                                Proto::tcp, 5000);
+  ASSERT_TRUE(id.ok());
+
+  // Refresh many times across many stale deadlines; the flow must
+  // survive every sweep while active and expire exactly once after.
+  for (int i = 0; i < 10; ++i) {
+    fx.clock.advance(60 * common::kMillisecond);
+    ASSERT_TRUE(fx.nw.send(*id, FlowEnd::client, "tick").ok());
+    EXPECT_EQ(fx.nw.gc(), 0u) << "sweep " << i;
+    ASSERT_NE(fx.nw.find_flow(*id), nullptr) << "sweep " << i;
+  }
+  fx.clock.advance(common::kSecond);
+  EXPECT_EQ(fx.nw.gc(), 1u);
+  EXPECT_EQ(fx.nw.stats().flows_expired, 1u);
+}
+
+}  // namespace
+}  // namespace heus::net

@@ -44,6 +44,8 @@ check 2 "unknown option" --frobnicate
 check 2 "usage:" --frobnicate            # unknown flag prints usage
 check 2 "--site needs a directory" --site=
 check 2 "not a readable directory" --site=/nonexistent/site/dir
+check 2 "does not combine" --reach --site="$site"
+check 2 "does not combine" --reach --trace
 
 # Sanity: the good paths still work and obey exit-code conventions.
 "$lint" --policy=hardened --gate >/dev/null 2>&1 || {
@@ -51,6 +53,10 @@ check 2 "not a readable directory" --site=/nonexistent/site/dir
 }
 "$lint" --site="$site" --gate >/dev/null 2>&1 || {
   echo "FAIL: example site must pass the gate"; failures=$((failures + 1));
+}
+"$lint" --reach --gate >/dev/null 2>&1 || {
+  echo "FAIL: shipped lifecycle tables must pass the reach gate"
+  failures=$((failures + 1))
 }
 "$lint" --policy=baseline --gate >/dev/null 2>&1
 code=$?
