@@ -1,0 +1,288 @@
+// E23: federated separation under WAN faults — the price of failing
+// closed.
+//
+// Three questions decide whether fail-closed federation is operable:
+// (1) what a denial *costs* — an open breaker must answer in zero link
+// time, while a closed breaker burning its retry budget pays the full
+// timeout-and-backoff bill; (2) how much a lossy link *amplifies*
+// traffic — every logical operation spends extra exchanges on retries;
+// (3) how fast the federation *recovers* after a partition heals — the
+// breaker's cooldown probe bounds time-to-first-success.
+//
+// Always prints tables; --json / --json=PATH writes BENCH_E23.json;
+// --smoke runs a reduced matrix for CI.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common/json.h"
+#include "bench/common/table.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/cluster.h"
+#include "fed/federation.h"
+
+namespace heus::bench {
+namespace {
+
+using core::Cluster;
+using core::ClusterConfig;
+using core::SeparationPolicy;
+
+/// Deterministic WAN model for the bench: a partition switch plus an
+/// independent per-message loss probability.
+struct BenchLink final : fed::LinkFaultModel {
+  bool down = false;
+  double loss = 0.0;
+  common::Rng rng{0x5eedf00d};
+
+  [[nodiscard]] bool partitioned(fed::ClusterIdx,
+                                 fed::ClusterIdx) const override {
+    return down;
+  }
+  [[nodiscard]] std::int64_t extra_ns(fed::ClusterIdx,
+                                      fed::ClusterIdx) const override {
+    return 0;
+  }
+  bool drop_message(fed::ClusterIdx, fed::ClusterIdx) override {
+    return loss > 0.0 && rng.chance(loss);
+  }
+};
+
+ClusterConfig member_config() {
+  ClusterConfig cfg;
+  cfg.compute_nodes = 2;
+  cfg.login_nodes = 1;
+  cfg.cpus_per_node = 8;
+  cfg.policy = SeparationPolicy::hardened();
+  return cfg;
+}
+
+/// A two-member federation plus the uid the workload queries.
+struct Rig {
+  std::unique_ptr<Cluster> a, b;
+  fed::Federation fed;
+  fed::ClusterIdx A = 0, B = 0;
+  Uid alice_b{};
+
+  explicit Rig(const fed::FedOptions* opts = nullptr) {
+    a = std::make_unique<Cluster>(member_config());
+    b = std::make_unique<Cluster>(member_config());
+    (void)*a->add_user("alice");
+    alice_b = *b->add_user("alice");
+    A = fed.add_cluster("alpha", a.get());
+    B = fed.add_cluster("beta", b.get());
+    if (opts != nullptr) fed.set_options(*opts);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Denial latency: retry-exhausted (closed breaker) vs fail-fast (open).
+// ---------------------------------------------------------------------------
+
+void denial_latency_section(int ops) {
+  print_banner(
+      "E23a: denial latency under a WAN partition",
+      "Sim-time cost of one denied remote operation. A closed breaker "
+      "pays the full timeout x retries bill on every operation; once "
+      "the breaker trips, denials are answered locally in zero link "
+      "time — that gap is the reason the breaker exists.");
+
+  Table table({"phase", "ops", "mean-denial-ms", "denied-link",
+               "denied-breaker"});
+  JsonValue series = JsonValue::array();
+
+  // Phase 1: breaker disabled (huge threshold) — every op exhausts its
+  // retry budget against the dead link.
+  {
+    fed::FedOptions opts;
+    opts.trip_threshold = 1u << 30;
+    Rig rig(&opts);
+    BenchLink link;
+    link.down = true;
+    rig.fed.set_link_faults(&link);
+    const std::int64_t t0 = rig.a->clock().now().ns;
+    for (int i = 0; i < ops; ++i) {
+      (void)rig.fed.remote_ident(rig.A, rig.B, rig.alice_b);
+    }
+    const double mean_ms =
+        static_cast<double>(rig.a->clock().now().ns - t0) / ops / 1e6;
+    table.add_row({"retry-exhausted", std::to_string(ops),
+                   common::strformat("%.3f", mean_ms),
+                   std::to_string(rig.fed.stats().denied_link),
+                   std::to_string(rig.fed.stats().denied_breaker)});
+    JsonValue row = JsonValue::object();
+    row.set("phase", JsonValue::str("retry_exhausted"));
+    row.set("ops", JsonValue::integer(ops));
+    row.set("mean_denial_ms", JsonValue::number(mean_ms));
+    series.push(std::move(row));
+  }
+
+  // Phase 2: default breaker — trips after the threshold, then every
+  // further denial is a local fast-fail.
+  {
+    Rig rig;
+    BenchLink link;
+    link.down = true;
+    rig.fed.set_link_faults(&link);
+    // Trip it.
+    for (unsigned i = 0; i < rig.fed.options().trip_threshold; ++i) {
+      (void)rig.fed.remote_ident(rig.A, rig.B, rig.alice_b);
+    }
+    const std::int64_t t0 = rig.a->clock().now().ns;
+    for (int i = 0; i < ops; ++i) {
+      (void)rig.fed.remote_ident(rig.A, rig.B, rig.alice_b);
+    }
+    const double mean_ms =
+        static_cast<double>(rig.a->clock().now().ns - t0) / ops / 1e6;
+    table.add_row({"breaker-open", std::to_string(ops),
+                   common::strformat("%.3f", mean_ms),
+                   std::to_string(rig.fed.stats().denied_link),
+                   std::to_string(rig.fed.stats().denied_breaker)});
+    JsonValue row = JsonValue::object();
+    row.set("phase", JsonValue::str("breaker_open"));
+    row.set("ops", JsonValue::integer(ops));
+    row.set("mean_denial_ms", JsonValue::number(mean_ms));
+    series.push(std::move(row));
+  }
+  table.print();
+  JsonReport::instance().set("denial_latency", std::move(series));
+}
+
+// ---------------------------------------------------------------------------
+// Retry amplification under loss.
+// ---------------------------------------------------------------------------
+
+void retry_amplification_section(int ops) {
+  print_banner(
+      "E23b: retry amplification vs link loss",
+      "Exchanges actually sent per logical remote operation. Retries "
+      "buy availability on a lossy link at the price of extra WAN "
+      "round trips; amplification = 1 + retries/ops.");
+
+  Table table({"loss", "ops", "ok", "denied", "retries", "amplification"});
+  JsonValue series = JsonValue::array();
+  for (const double loss : {0.0, 0.05, 0.2, 0.4}) {
+    Rig rig;
+    BenchLink link;
+    link.loss = loss;
+    rig.fed.set_link_faults(&link);
+    std::uint64_t ok = 0;
+    for (int i = 0; i < ops; ++i) {
+      if (rig.fed.remote_ident(rig.A, rig.B, rig.alice_b).ok()) ++ok;
+    }
+    const fed::FedStats& st = rig.fed.stats();
+    const double amp =
+        1.0 + static_cast<double>(st.retries) / static_cast<double>(ops);
+    table.add_row({common::strformat("%.2f", loss), std::to_string(ops),
+                   std::to_string(ok), std::to_string(st.denied_link),
+                   std::to_string(st.retries),
+                   common::strformat("%.3f", amp)});
+    JsonValue row = JsonValue::object();
+    row.set("loss", JsonValue::number(loss));
+    row.set("ops", JsonValue::integer(ops));
+    row.set("ok", JsonValue::integer(static_cast<std::int64_t>(ok)));
+    row.set("retries", JsonValue::integer(
+                           static_cast<std::int64_t>(st.retries)));
+    row.set("amplification", JsonValue::number(amp));
+    series.push(std::move(row));
+  }
+  table.print();
+  JsonReport::instance().set("retry_amplification", std::move(series));
+}
+
+// ---------------------------------------------------------------------------
+// Recovery time after a partition heals.
+// ---------------------------------------------------------------------------
+
+void recovery_section(int trials) {
+  print_banner(
+      "E23c: recovery after partition heal",
+      "Sim time from link heal to first verified remote operation, per "
+      "breaker cooldown setting. The probe cadence bounds recovery: "
+      "shorter cooldowns rediscover the healed link sooner but probe a "
+      "dead one more often.");
+
+  Table table({"cooldown-s", "trials", "mean-recovery-s", "max-recovery-s"});
+  JsonValue series = JsonValue::array();
+  for (const std::int64_t cooldown :
+       {common::kSecond, 5 * common::kSecond, 30 * common::kSecond}) {
+    double sum_s = 0.0, max_s = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      fed::FedOptions opts;
+      opts.cooldown_ns = cooldown;
+      Rig rig(&opts);
+      BenchLink link;
+      link.down = true;
+      rig.fed.set_link_faults(&link);
+      // Trip the breaker, then let the outage linger a trial-dependent
+      // extra while (probes keep failing), then heal.
+      for (unsigned i = 0; i < opts.trip_threshold; ++i) {
+        (void)rig.fed.remote_ident(rig.A, rig.B, rig.alice_b);
+      }
+      for (int extra = 0; extra < t % 3; ++extra) {
+        rig.fed.advance_all(cooldown + 1);
+        (void)rig.fed.remote_ident(rig.A, rig.B, rig.alice_b);
+      }
+      link.down = false;
+      const std::int64_t heal = rig.a->clock().now().ns;
+      // Client retries on a fixed 500ms cadence until admitted.
+      std::int64_t recovered = -1;
+      for (int step = 0; step < 1000; ++step) {
+        if (rig.fed.remote_ident(rig.A, rig.B, rig.alice_b).ok()) {
+          recovered = rig.a->clock().now().ns;
+          break;
+        }
+        rig.fed.advance_all(500 * common::kMillisecond);
+      }
+      const double secs =
+          recovered < 0 ? -1.0
+                        : static_cast<double>(recovered - heal) / 1e9;
+      sum_s += secs;
+      if (secs > max_s) max_s = secs;
+    }
+    const double mean_s = sum_s / trials;
+    table.add_row({common::strformat("%.0f", cooldown / 1e9),
+                   std::to_string(trials),
+                   common::strformat("%.2f", mean_s),
+                   common::strformat("%.2f", max_s)});
+    JsonValue row = JsonValue::object();
+    row.set("cooldown_s", JsonValue::number(cooldown / 1e9));
+    row.set("trials", JsonValue::integer(trials));
+    row.set("mean_recovery_s", JsonValue::number(mean_s));
+    row.set("max_recovery_s", JsonValue::number(max_s));
+    series.push(std::move(row));
+  }
+  table.print();
+  JsonReport::instance().set("recovery", std::move(series));
+  std::printf(
+      "\nDenials cost milliseconds while the breaker is closed and "
+      "nothing once it opens; loss is paid for in retry amplification, "
+      "not admitted strangers; recovery is bounded by the cooldown "
+      "probe cadence. Separation is never traded: every denial above "
+      "is typed and attributed, and no operation was admitted without "
+      "a verified identity.\n");
+}
+
+}  // namespace
+}  // namespace heus::bench
+
+int main(int argc, char** argv) {
+  using heus::bench::JsonReport;
+  using heus::bench::JsonValue;
+  const bool smoke = heus::bench::has_flag(argc, argv, "--smoke");
+  const int ops = smoke ? 50 : 2000;
+  const int trials = smoke ? 3 : 20;
+
+  heus::bench::denial_latency_section(ops);
+  heus::bench::retry_amplification_section(ops);
+  heus::bench::recovery_section(trials);
+
+  JsonReport::instance().set("smoke", JsonValue::boolean(smoke));
+  if (auto path = heus::bench::json_output_path(argc, argv,
+                                                "BENCH_E23.json")) {
+    return JsonReport::instance().write("E23", *path) ? 0 : 1;
+  }
+  return 0;
+}

@@ -1,6 +1,6 @@
 // E22 (ISSUE 6): lifecycle reachability model-checking cost.
 //
-// The reach gate (`heus-lint --reach`) sweeps all five lifecycle tables
+// The reach gate (`heus-lint --reach`) sweeps all six lifecycle tables
 // over the full 73,728-point policy lattice on every run — no sampling,
 // no caching between runs. For the gate to sit in CI next to the config
 // lint, the exhaustive sweep has to stay cheap. This experiment measures
@@ -39,7 +39,7 @@ double elapsed_ms(std::chrono::steady_clock::time_point t0,
 void run(bool smoke) {
   print_banner(
       "E22: lifecycle reachability model-checking cost",
-      "Exhaustive (state, event, guard-outcome) sweep of the five "
+      "Exhaustive (state, event, guard-outcome) sweep of the six "
       "lifecycle tables over the full policy lattice, cross-examined "
       "against the per-channel static analyzer. The gate must stay cheap "
       "enough to run on every push.");
@@ -90,7 +90,7 @@ void run(bool smoke) {
   per_machine.print();
   JsonReport::instance().set("machines", std::move(machine_series));
 
-  // The gate itself: all five tables in one lattice pass, as heus-lint
+  // The gate itself: all six tables in one lattice pass, as heus-lint
   // --reach runs it.
   double gate_ms = 0;
   ReachReport shipped;

@@ -58,6 +58,45 @@ DegradedReport degraded_census(const StaticAnalyzer& analyzer,
     }
     report.findings.push_back(std::move(f));
   }
+
+  // Federation remote operations (src/fed): each one crosses the WAN
+  // link, so link faults suspend it like ident outages suspend the UBF.
+  // Whether a denial there still buys separation depends on the same
+  // knob: with ubf off, the enforcing cluster admits cross-user flows
+  // even when healthy, and the link's fail-closed funnel only costs
+  // availability.
+  const bool ubf_on = ubf == nullptr || ubf->is_hardened(policy);
+  auto fed_row = [&report](const char* op, bool separating,
+                           const char* closed_note, const char* open_note) {
+    FedDegradedFinding f;
+    f.operation = op;
+    f.behavior = separating ? DegradedBehavior::fail_closed_dependent
+                            : DegradedBehavior::already_crossable;
+    f.note = separating ? closed_note : open_note;
+    report.federation.push_back(std::move(f));
+  };
+  fed_row("remote-ident", true,
+          "identity verified with the home cluster per operation; on "
+          "partition the retry budget then the breaker deny (knobs "
+          "fed.fail_closed / fed.breaker), never a relayed claim",
+          "");
+  fed_row("federated-connect", ubf_on,
+          "verification plus the peer's own UBF, both remote-query "
+          "paths; an open breaker fast-fails before any link traffic",
+          "peer's ubf is off: cross-user flows are admitted even when "
+          "the link is healthy; fix the policy before the WAN posture "
+          "matters");
+  fed_row("portal-forward", ubf_on,
+          "forwarded hop re-checks app ownership on the serving "
+          "cluster; link faults deny the forward, they cannot skip the "
+          "ownership check",
+          "peer's ubf is off: the forwarded hop's cross-user deny "
+          "evaporates with it");
+  fed_row("dtn-transfer", true,
+          "each filesystem half runs under its own cluster's DAC "
+          "(locally enforced); only the link move fails closed, and "
+          "the staging buffer drains on every exit path",
+          "");
   return report;
 }
 
@@ -84,6 +123,19 @@ std::string to_markdown(const DegradedReport& report) {
       "drops what it cannot attribute — but every drop is a legitimate-"
       "traffic casualty; they are where fault rate buys availability "
       "loss (bench E18).\n";
+
+  out += "\n## Federation remote operations (WAN link faults)\n\n";
+  out += "| operation | behavior under link faults | note |\n";
+  out += "|---|---|---|\n";
+  for (const FedDegradedFinding& f : report.federation) {
+    out += common::strformat("| %s | %s | %s |\n", f.operation.c_str(),
+                             to_string(f.behavior), f.note.c_str());
+  }
+  out +=
+      "\nEvery federated operation crosses the link behind bounded "
+      "retries and a per-peer circuit breaker; partitions convert into "
+      "typed denials with fed_admission Decisions, never into relayed "
+      "unverified identities (bench E23).\n";
   return out;
 }
 

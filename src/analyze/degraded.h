@@ -43,9 +43,25 @@ struct DegradedFinding {
   std::string note;
 };
 
+/// One federated remote operation's posture when the WAN link degrades
+/// (src/fed). Cross-cluster admission consults the peer over the link
+/// the way the UBF consults the ident responder, so link faults suspend
+/// it the same way: the fail-closed funnel — bounded retries, then the
+/// per-peer circuit breaker — stands in for the verification it can no
+/// longer perform, denying with a typed errno and a fed_admission
+/// Decision instead of admitting an unverified claim.
+struct FedDegradedFinding {
+  std::string operation;
+  DegradedBehavior behavior = DegradedBehavior::fail_closed_dependent;
+  std::string note;
+};
+
 struct DegradedReport {
   core::SeparationPolicy policy;
   std::vector<DegradedFinding> findings;  ///< kAllChannels order
+  /// Federation remote-operation census (empty only if federation rows
+  /// are ever made conditional; today always populated).
+  std::vector<FedDegradedFinding> federation;
 
   [[nodiscard]] std::size_t count(DegradedBehavior b) const;
 };

@@ -8,6 +8,7 @@
 #include "analyze/policy_space.h"
 #include "common/strings.h"
 #include "container/entry_lifecycle.h"
+#include "fed/breaker_lifecycle.h"
 #include "net/flow_lifecycle.h"
 #include "portal/session_lifecycle.h"
 #include "sched/job_lifecycle.h"
@@ -46,7 +47,7 @@ std::span<const MachineDef* const> lifecycle_machines() {
   static const MachineDef* const kMachines[] = {
       &net::flow_machine(),        &sched::job_machine(),
       &xfer::transfer_machine(),   &portal::session_machine(),
-      &container::entry_machine(),
+      &container::entry_machine(), &fed::breaker_machine(),
   };
   return kMachines;
 }

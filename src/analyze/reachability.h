@@ -40,8 +40,8 @@ namespace heus::analyze {
 /// consume. Field encodings match knob_value() token-for-token.
 [[nodiscard]] lifecycle::PolicyView view_of(const core::SeparationPolicy& p);
 
-/// The five shipped lifecycle tables, stable order: flow, job,
-/// transfer, portal-session, container-entry.
+/// The six shipped lifecycle tables, stable order: flow, job,
+/// transfer, portal-session, container-entry, fed-breaker.
 [[nodiscard]] std::span<const lifecycle::MachineDef* const>
 lifecycle_machines();
 
@@ -105,7 +105,7 @@ class ReachabilityChecker {
   [[nodiscard]] ReachReport check_all(
       std::span<const lifecycle::MachineDef* const> machines) const;
 
-  /// The five shipped tables.
+  /// The six shipped tables.
   [[nodiscard]] ReachReport check_shipped() const {
     return check_all(lifecycle_machines());
   }

@@ -8,6 +8,7 @@
 // and the experiment sweeps (E18) can vary them uniformly.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 #include "common/clock.h"
@@ -23,11 +24,33 @@ struct BackoffPolicy {
   double factor = 2.0;
   std::int64_t max_ns = 100 * kMillisecond;
 
+  /// Saturating: once base_ns * factor^attempt would pass max_ns the
+  /// result is exactly max_ns, for every larger attempt — no double→int64
+  /// overflow, no O(attempt) multiply loop. The exponent at which the
+  /// delay saturates is computed in closed form and attempts past it
+  /// never touch pow() at all, so attempt counts in the millions cost
+  /// the same as attempt 0.
   [[nodiscard]] std::int64_t delay_ns(unsigned attempt) const {
-    double d = static_cast<double>(base_ns);
-    for (unsigned i = 0; i < attempt; ++i) d *= factor;
-    const auto capped = static_cast<std::int64_t>(d);
-    return capped > max_ns ? max_ns : capped;
+    if (base_ns <= 0) return max_ns < 0 ? max_ns : 0;
+    if (base_ns >= max_ns) return max_ns;
+    if (factor <= 1.0) {
+      if (factor == 1.0 || attempt == 0) return base_ns;
+      // Shrinking schedule: pow underflows toward zero, never overflows.
+      return static_cast<std::int64_t>(static_cast<double>(base_ns) *
+                                       std::pow(factor, attempt));
+    }
+    // Saturation exponent: the smallest k with base * factor^k >= max.
+    // Attempts at or past it answer max_ns without exponentiating, so
+    // the double→int64 cast below is only reached for values provably
+    // inside [base_ns, max_ns) — no overflow for any attempt count.
+    const double saturation = std::log(static_cast<double>(max_ns) /
+                                       static_cast<double>(base_ns)) /
+                              std::log(factor);
+    if (static_cast<double>(attempt) >= saturation) return max_ns;
+    const double d =
+        static_cast<double>(base_ns) * std::pow(factor, attempt);
+    if (d >= static_cast<double>(max_ns)) return max_ns;
+    return static_cast<std::int64_t>(d);
   }
 
   /// No retries at all (the strict fail-closed-immediately policy).

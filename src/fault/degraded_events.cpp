@@ -1,0 +1,119 @@
+#include "fault/degraded_events.h"
+
+#include <cstring>
+
+#include "net/flow_lifecycle.h"
+#include "sched/job_lifecycle.h"
+#include "xfer/transfer_lifecycle.h"
+
+namespace heus::fault {
+namespace {
+
+[[nodiscard]] DegradedEvent flow_ev(net::FlowEvent e) {
+  return {"flow", static_cast<lifecycle::EventId>(e)};
+}
+[[nodiscard]] DegradedEvent job_ev(sched::JobEvent e) {
+  return {"job", static_cast<lifecycle::EventId>(e)};
+}
+[[nodiscard]] DegradedEvent xfer_ev(xfer::TransferEvent e) {
+  return {"transfer", static_cast<lifecycle::EventId>(e)};
+}
+// The breaker enum lives in fed (above this library); the numeric
+// values are pinned here and cross-checked against fed::BreakerEvent by
+// tests/fault/degraded_events_test.cpp.
+[[nodiscard]] DegradedEvent breaker_ev(lifecycle::EventId e) {
+  return {kFedBreakerMachine, e};
+}
+constexpr lifecycle::EventId kBreakerFailure = 2;   // BreakerEvent::failure
+constexpr lifecycle::EventId kBreakerCooldown = 3;  // BreakerEvent::cooldown
+
+}  // namespace
+
+std::vector<DegradedEvent> degraded_events_for(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::ident_outage:
+    case FaultKind::ident_latency:
+      // The UBF cannot attribute either endpoint: fail closed, the
+      // flow takes the hook-drop row.
+      return {flow_ev(net::FlowEvent::hook_drop)};
+    case FaultKind::packet_loss:
+      // Senders on a lossy path eventually give up and close; idle
+      // entries surface in the conntrack GC.
+      return {flow_ev(net::FlowEvent::teardown),
+              flow_ev(net::FlowEvent::gc_due)};
+    case FaultKind::network_partition:
+      // Established flows across the cut stall and close; across the
+      // heal a stale conntrack entry may face a changed listener.
+      return {flow_ev(net::FlowEvent::teardown),
+              flow_ev(net::FlowEvent::gc_due),
+              flow_ev(net::FlowEvent::identity_reset)};
+    case FaultKind::prolog_failure:
+    case FaultKind::epilog_failure:
+      // Availability only: the job stays pending / the node holds in
+      // maintenance. No lifecycle table is pushed anywhere new.
+      return {};
+    case FaultKind::gpu_scrub_failure:
+      // Flips the gpu-scrub guard branch of the finish events; those
+      // events fire in healthy runs too, so nothing extra derives.
+      return {};
+    case FaultKind::fs_outage:
+      // The DTN retry loop: transient error, backoff, and — with the
+      // budget exhausted — the failed exit of the same event.
+      return {xfer_ev(xfer::TransferEvent::fs_error_transient),
+              xfer_ev(xfer::TransferEvent::backoff_elapsed)};
+    case FaultKind::portal_outage:
+      // Denied before the session table is consulted.
+      return {};
+    case FaultKind::node_crash_storm:
+      return {job_ev(sched::JobEvent::node_fail),
+              flow_ev(net::FlowEvent::teardown),
+              flow_ev(net::FlowEvent::identity_reset)};
+    case FaultKind::link_partition:
+    case FaultKind::link_latency:
+    case FaultKind::link_loss:
+      // The federation breaker's degraded edges: exchange failures and
+      // the cooldown that arms the recovery probe.
+      return {breaker_ev(kBreakerFailure), breaker_ev(kBreakerCooldown)};
+  }
+  return {};
+}
+
+std::vector<DegradedEvent> degraded_events(const FaultPlan& plan) {
+  std::vector<DegradedEvent> out;
+  for (const FaultEvent& e : plan.events()) {
+    for (const DegradedEvent& d : degraded_events_for(e.kind)) {
+      bool seen = false;
+      for (const DegradedEvent& x : out) {
+        if (std::strcmp(x.machine, d.machine) == 0 && x.event == d.event) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) out.push_back(d);
+    }
+  }
+  return out;
+}
+
+bool is_degraded_event(const FaultPlan& plan, const char* machine,
+                       lifecycle::EventId event) {
+  for (const DegradedEvent& d : degraded_events(plan)) {
+    if (std::strcmp(d.machine, machine) == 0 && d.event == event) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string degraded_events_to_string(const FaultPlan& plan) {
+  std::string out;
+  for (const DegradedEvent& d : degraded_events(plan)) {
+    if (!out.empty()) out += ", ";
+    out += d.machine;
+    out += ':';
+    out += std::to_string(d.event);
+  }
+  return out;
+}
+
+}  // namespace heus::fault

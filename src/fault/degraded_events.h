@@ -1,0 +1,66 @@
+// Degraded-mode event sets, derived from a FaultPlan (ISSUE 7, S1).
+//
+// The 64-seed fault sweeps prove the separation invariant empirically;
+// this module states the *mechanism* behind that result as a table-level
+// property. Each FaultKind can push the lifecycle tables through a
+// known, small set of extra events — an ident outage makes flows take
+// the hook-drop row, a crash storm injects node-fail into jobs and
+// teardown/identity-reset into flows, a shared-FS outage drives the
+// transfer retry loop, a WAN link fault drives the federation breaker's
+// failure/cooldown edges. Everything else a fault can do is flip a
+// guard branch of an event that occurs in healthy runs anyway.
+//
+// The derived set makes that claim checkable per plan instead of per
+// seed: for any workload, every transition fired under an injected plan
+// but never in the healthy run must carry an event that is either (a)
+// in degraded_events(plan) or (b) fired by the healthy run on the same
+// machine (a guard-branch flip). tests/fault/degraded_events_test.cpp
+// asserts exactly this; the federation fault sweep reuses the predicate
+// for the breaker table.
+//
+// Machines are identified by MachineDef::name, not by pointer: the
+// fed-breaker table lives above this library (fed depends on fault),
+// so the mapping names it without linking it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/fault.h"
+#include "lifecycle/machine.h"
+
+namespace heus::fault {
+
+/// One lifecycle event a fault class can induce beyond healthy runs.
+struct DegradedEvent {
+  const char* machine = "";        ///< MachineDef::name
+  lifecycle::EventId event = 0;
+
+  friend bool operator==(const DegradedEvent&,
+                         const DegradedEvent&) = default;
+};
+
+/// Machine name of the federation breaker table (fed/breaker_lifecycle.h
+/// — referenced by name to keep fault below fed in the layering).
+inline constexpr const char* kFedBreakerMachine = "fed-breaker";
+
+/// The lifecycle events `kind` can induce. Kinds that only cost
+/// availability before any table is consulted (prolog/epilog failures,
+/// portal outages) or only flip guard branches of healthy events
+/// (gpu_scrub_failure) derive an empty or guard-flip-only set.
+[[nodiscard]] std::vector<DegradedEvent> degraded_events_for(FaultKind kind);
+
+/// Union over every event kind present in `plan`, deduplicated, stable
+/// order (first appearance).
+[[nodiscard]] std::vector<DegradedEvent> degraded_events(
+    const FaultPlan& plan);
+
+/// Is (machine, event) within the degraded-mode envelope of `plan`?
+[[nodiscard]] bool is_degraded_event(const FaultPlan& plan,
+                                     const char* machine,
+                                     lifecycle::EventId event);
+
+/// "machine:event-id" lines for sweep failure messages and the census.
+[[nodiscard]] std::string degraded_events_to_string(const FaultPlan& plan);
+
+}  // namespace heus::fault

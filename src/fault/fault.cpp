@@ -18,6 +18,9 @@ const char* to_string(FaultKind kind) {
     case FaultKind::fs_outage: return "fs-outage";
     case FaultKind::portal_outage: return "portal-outage";
     case FaultKind::node_crash_storm: return "node-crash-storm";
+    case FaultKind::link_partition: return "link-partition";
+    case FaultKind::link_latency: return "link-latency";
+    case FaultKind::link_loss: return "link-loss";
   }
   return "?";
 }
@@ -28,6 +31,11 @@ bool FaultEvent::targets_host(HostId h) const {
 
 bool FaultEvent::targets_node(NodeId n) const {
   return std::find(nodes.begin(), nodes.end(), n) != nodes.end();
+}
+
+bool FaultEvent::targets_cluster(std::uint32_t cluster) const {
+  return std::find(clusters.begin(), clusters.end(), cluster) !=
+         clusters.end();
 }
 
 namespace {
@@ -62,6 +70,22 @@ std::vector<NodeId> draw_nodes(common::Rng& rng, std::size_t node_count,
   return out;
 }
 
+/// A random non-empty cluster subset for link-scoped faults.
+std::vector<std::uint32_t> draw_clusters(common::Rng& rng,
+                                         std::size_t cluster_count,
+                                         std::size_t max_size) {
+  std::vector<std::uint32_t> out;
+  if (cluster_count == 0) return out;
+  const std::size_t want =
+      1 + static_cast<std::size_t>(rng.bounded(std::max<std::size_t>(
+              1, std::min(max_size, cluster_count))));
+  for (std::size_t i = 0; i < want; ++i) {
+    const auto c = static_cast<std::uint32_t>(rng.bounded(cluster_count));
+    if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+  }
+  return out;
+}
+
 }  // namespace
 
 FaultPlan FaultPlan::random(std::uint64_t seed,
@@ -86,6 +110,11 @@ FaultPlan FaultPlan::random(std::uint64_t seed,
   if (opts.include_fs) kinds.push_back(FaultKind::fs_outage);
   if (opts.include_portal) kinds.push_back(FaultKind::portal_outage);
   if (opts.include_crashes) kinds.push_back(FaultKind::node_crash_storm);
+  if (opts.include_links && opts.cluster_count >= 2) {
+    kinds.push_back(FaultKind::link_partition);
+    kinds.push_back(FaultKind::link_latency);
+    kinds.push_back(FaultKind::link_loss);
+  }
 
   FaultPlan plan;
   if (kinds.empty()) return plan;
@@ -126,6 +155,25 @@ FaultPlan FaultPlan::random(std::uint64_t seed,
         e.nodes = draw_nodes(rng, node_count,
                              std::max<std::size_t>(1, node_count / 2));
         break;
+      case FaultKind::link_partition:
+        e.clusters = draw_clusters(rng, opts.cluster_count,
+                                   std::max<std::size_t>(
+                                       1, opts.cluster_count / 2));
+        e.clusters_b = draw_clusters(rng, opts.cluster_count,
+                                     std::max<std::size_t>(
+                                         1, opts.cluster_count / 2));
+        break;
+      case FaultKind::link_latency:
+        e.clusters = draw_clusters(rng, opts.cluster_count,
+                                   opts.cluster_count);
+        e.extra_ns = rng.uniform_int(common::kMillisecond,
+                                     opts.link_latency_max_ns);
+        break;
+      case FaultKind::link_loss:
+        e.clusters = draw_clusters(rng, opts.cluster_count,
+                                   opts.cluster_count);
+        e.probability = rng.uniform01() * opts.link_loss_max;
+        break;
     }
     plan.add(std::move(e));
   }
@@ -136,10 +184,12 @@ std::string FaultPlan::to_string() const {
   std::string out;
   for (const FaultEvent& e : events_) {
     out += common::strformat(
-        "%-18s start=%.3fs dur=%.3fs hosts=%zu/%zu nodes=%zu p=%.2f\n",
+        "%-18s start=%.3fs dur=%.3fs hosts=%zu/%zu nodes=%zu "
+        "clusters=%zu/%zu p=%.2f\n",
         fault::to_string(e.kind), e.start.seconds(),
         static_cast<double>(e.duration_ns) * 1e-9, e.hosts.size(),
-        e.hosts_b.size(), e.nodes.size(), e.probability);
+        e.hosts_b.size(), e.nodes.size(), e.clusters.size(),
+        e.clusters_b.size(), e.probability);
   }
   return out;
 }

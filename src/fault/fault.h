@@ -37,6 +37,12 @@ enum class FaultKind {
   fs_outage,          ///< shared-FS mount unavailable (EIO)
   portal_outage,      ///< portal daemon down (EHOSTUNREACH)
   node_crash_storm,   ///< listed nodes crash at window start
+  // Inter-cluster link faults (ISSUE 7): scoped by *cluster* index via
+  // `clusters`/`clusters_b`, consumed by fed::FedFaultInjector on the
+  // federation's simulated WAN link rather than the intra-cluster fabric.
+  link_partition,     ///< two cluster sets mutually unreachable
+  link_latency,       ///< cross-cluster messages delayed by extra_ns
+  link_loss,          ///< probabilistic drop of cross-cluster messages
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
@@ -52,9 +58,13 @@ struct FaultEvent {
   std::vector<HostId> hosts;    ///< primary host set (partition side A)
   std::vector<HostId> hosts_b;  ///< partition side B
   std::vector<NodeId> nodes;    ///< node-scoped fault targets
-  /// Per-attempt failure probability (packet_loss, hook failures).
+  /// Cluster-scoped link faults (link_*): federation member indices.
+  std::vector<std::uint32_t> clusters;    ///< link side A
+  std::vector<std::uint32_t> clusters_b;  ///< link side B (partition only)
+  /// Per-attempt failure probability (packet_loss, link_loss, hook
+  /// failures).
   double probability = 1.0;
-  /// Added responder delay for ident_latency, ns.
+  /// Added responder delay for ident_latency / link_latency, ns.
   std::int64_t extra_ns = 0;
 
   [[nodiscard]] bool active_at(common::SimTime t) const {
@@ -62,6 +72,7 @@ struct FaultEvent {
   }
   [[nodiscard]] bool targets_host(HostId h) const;
   [[nodiscard]] bool targets_node(NodeId n) const;
+  [[nodiscard]] bool targets_cluster(std::uint32_t cluster) const;
 };
 
 /// Shape parameters for randomly drawn plans.
@@ -79,6 +90,13 @@ struct FaultPlanOptions {
   bool include_fs = true;
   bool include_portal = true;
   bool include_crashes = true;
+  /// Inter-cluster link faults are drawn only when a federation shape is
+  /// declared (cluster_count >= 2); with the default 0 the Rng stream is
+  /// bit-identical to pre-federation plans.
+  bool include_links = true;
+  std::size_t cluster_count = 0;
+  std::int64_t link_latency_max_ns = 200 * common::kMillisecond;
+  double link_loss_max = 0.5;
 };
 
 /// An immutable fault schedule.

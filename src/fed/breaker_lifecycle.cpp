@@ -1,0 +1,103 @@
+#include "fed/breaker_lifecycle.h"
+
+namespace heus::fed {
+namespace {
+
+using lifecycle::Guard;
+using lifecycle::GuardKind;
+using lifecycle::kNoGuard;
+using lifecycle::MachineDef;
+using lifecycle::opens;
+using lifecycle::Transition;
+
+constexpr const char* kStates[] = {"closed", "open", "half-open"};
+constexpr const char* kEvents[] = {"remote-op", "success", "failure",
+                                   "cooldown"};
+constexpr const char* kActions[] = {
+    "verify-remote-ident", "relay-unverified", "reset-failures",
+    "count-failure",       "trip-breaker",     "fail-closed-fast",
+    "arm-probe",           "close-breaker",    "reopen-breaker",
+};
+
+bool ubf_on(const lifecycle::PolicyView& p) { return p.ubf; }
+
+constexpr Guard kGuards[] = {
+    {"ubf-governs", GuardKind::policy, obs::knob::ubf, ubf_on},
+    {"trip-threshold", GuardKind::env, nullptr, nullptr},
+};
+
+constexpr auto S = [](BreakerState s) {
+  return static_cast<lifecycle::StateId>(s);
+};
+constexpr auto E = [](BreakerEvent e) {
+  return static_cast<lifecycle::EventId>(e);
+};
+constexpr auto G = [](BreakerGuard g) {
+  return static_cast<lifecycle::GuardId>(g);
+};
+constexpr auto A = [](BreakerAction a) {
+  return static_cast<lifecycle::ActionId>(a);
+};
+
+const Transition kTransitions[] = {
+    // Closed: an operation verifies through the peer when the UBF
+    // governs cross-cluster admission; with the UBF off the federation
+    // relays a hop no enforcement point ever sees — annotated as
+    // opening the same channels the analyzer already holds open under
+    // those policies.
+    {S(BreakerState::closed), E(BreakerEvent::remote_op),
+     G(BreakerGuard::ubf_governs), true, S(BreakerState::closed),
+     A(BreakerAction::verify_remote_ident)},
+    {S(BreakerState::closed), E(BreakerEvent::remote_op),
+     G(BreakerGuard::ubf_governs), false, S(BreakerState::closed),
+     A(BreakerAction::relay_unverified),
+     opens(obs::ChannelKind::tcp_cross_user,
+           obs::ChannelKind::portal_foreign_app)},
+    {S(BreakerState::closed), E(BreakerEvent::success), kNoGuard, true,
+     S(BreakerState::closed), A(BreakerAction::reset_failures)},
+    {S(BreakerState::closed), E(BreakerEvent::failure),
+     G(BreakerGuard::trip_threshold), false, S(BreakerState::closed),
+     A(BreakerAction::count_failure)},
+    {S(BreakerState::closed), E(BreakerEvent::failure),
+     G(BreakerGuard::trip_threshold), true, S(BreakerState::open),
+     A(BreakerAction::trip_breaker)},
+    // Open: fail closed, fast, unconditionally — the row the seeded
+    // mutation tests replace with an admitting one to prove the checker
+    // catches a breaker that leaks.
+    {S(BreakerState::open), E(BreakerEvent::remote_op), kNoGuard, true,
+     S(BreakerState::open), A(BreakerAction::fail_closed_fast)},
+    {S(BreakerState::open), E(BreakerEvent::cooldown), kNoGuard, true,
+     S(BreakerState::half_open), A(BreakerAction::arm_probe)},
+    // Half-open probation: one probe traverses the same verification
+    // rows as closed; its outcome decides recovery or re-trip.
+    {S(BreakerState::half_open), E(BreakerEvent::remote_op),
+     G(BreakerGuard::ubf_governs), true, S(BreakerState::half_open),
+     A(BreakerAction::verify_remote_ident)},
+    {S(BreakerState::half_open), E(BreakerEvent::remote_op),
+     G(BreakerGuard::ubf_governs), false, S(BreakerState::half_open),
+     A(BreakerAction::relay_unverified),
+     opens(obs::ChannelKind::tcp_cross_user,
+           obs::ChannelKind::portal_foreign_app)},
+    {S(BreakerState::half_open), E(BreakerEvent::success), kNoGuard, true,
+     S(BreakerState::closed), A(BreakerAction::close_breaker)},
+    {S(BreakerState::half_open), E(BreakerEvent::failure), kNoGuard, true,
+     S(BreakerState::open), A(BreakerAction::reopen_breaker)},
+};
+
+}  // namespace
+
+const lifecycle::MachineDef& breaker_machine() {
+  static const MachineDef def{
+      "fed-breaker",
+      kStates,
+      S(BreakerState::closed),
+      0u,  // no terminal state: a peer link lives as long as the federation
+      kEvents,
+      kGuards,
+      kActions,
+      kTransitions,
+  };
+  return def;
+}
+
+}  // namespace heus::fed

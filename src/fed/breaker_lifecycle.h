@@ -1,0 +1,64 @@
+// Declarative lifecycle table for the per-peer federation circuit
+// breaker (ISSUE 7 tentpole).
+//
+// Every cross-cluster operation — remote ident query, federated portal
+// forward, inter-cluster DTN transfer — flows through a breaker scoped
+// to the (local cluster, remote peer) directed pair. The breaker is the
+// fail-closed spine of the federation: while it is *open* (the peer has
+// exceeded its consecutive-failure budget) every remote operation fails
+// fast with a typed denial and an `obs::Decision` naming the
+// `fed.breaker` knob — no retry amplification against a peer that is
+// known dead, and structurally no way to admit an identity the peer
+// never verified.
+//
+// That last property is exactly what the reachability checker proves:
+// the only rows that relay a remote operation without a verification
+// verdict are the `relay-unverified` rows, reachable solely under
+// policies where the UBF knob is off — the same policies under which
+// the static analyzer already holds the cross-user TCP and portal
+// channels open. Under every UBF-enabled policy point, all reachable
+// breaker transitions either verify remotely or fail closed; a seeded
+// mutation that admits through an open breaker is flagged as a
+// separation-opening with the responsible knob named
+// (tests/analyze/reachability_test.cpp).
+#pragma once
+
+#include "lifecycle/machine.h"
+
+namespace heus::fed {
+
+enum class BreakerState : lifecycle::StateId {
+  closed,     ///< healthy: remote operations verify against the peer
+  open,       ///< tripped: every remote operation fails closed, fast
+  half_open,  ///< probation after cooldown: one probe allowed through
+};
+
+enum class BreakerEvent : lifecycle::EventId {
+  remote_op,  ///< a cross-cluster operation attempt against this peer
+  success,    ///< the operation completed and the peer verified it
+  failure,    ///< timeout/partition after exhausted retries
+  cooldown,   ///< the open-state cooldown window elapsed
+};
+
+enum class BreakerGuard : lifecycle::GuardId {
+  ubf_governs,     ///< policy: the UBF governs cross-cluster admission
+  trip_threshold,  ///< env: consecutive failures reached the trip budget
+};
+
+enum class BreakerAction : lifecycle::ActionId {
+  verify_remote_ident,  ///< op proceeds through the peer's ident verdict
+  relay_unverified,     ///< no UBF: op relayed with no enforcement verdict
+  reset_failures,       ///< success clears the consecutive-failure count
+  count_failure,        ///< below threshold: count and stay closed
+  trip_breaker,         ///< threshold reached: go open
+  fail_closed_fast,     ///< open: deny immediately, no remote traffic
+  arm_probe,            ///< cooldown elapsed: allow a single probe
+  close_breaker,        ///< probe verified: peer is healthy again
+  reopen_breaker,       ///< probe failed: back to open, cooldown restarts
+};
+
+/// The shared breaker table. One static instance; fed::Federation drives
+/// one state variable per directed (local, peer) pair through it.
+[[nodiscard]] const lifecycle::MachineDef& breaker_machine();
+
+}  // namespace heus::fed

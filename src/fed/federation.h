@@ -1,0 +1,328 @@
+// Federated multi-cluster separation (ISSUE 7 tentpole; ROADMAP item 2).
+//
+// The paper's user-based firewall asks an ident responder on the *other
+// host* before admitting a connection. This module generalises that move
+// across *clusters*: N independent `core::Cluster` instances — each with
+// its own UserDb, its own SimClock, its own SeparationPolicy — exchange
+// ident queries, portal forwards and DTN transfers over a simulated
+// inter-cluster WAN link. Accounts are federated by *name*: a principal
+// is admitted on a remote cluster only if (a) their home cluster verifies
+// the claimed identity over the link and (b) the name maps to a local
+// account on the enforcing cluster. The mapped local credentials then go
+// through the enforcing cluster's own stack — its UBF hook, its portal,
+// its VFS — so federation never introduces a second enforcement engine
+// that could drift from the local one.
+//
+// Partition tolerance is where the separation claim gets sharp. The link
+// fails in all the ways WANs fail (fault::FaultKind::link_partition /
+// link_latency / link_loss, drawn into the same seeded FaultPlans the
+// intra-cluster sweeps replay), and every remote operation is wrapped in
+// typed timeout/retry (common::BackoffPolicy) plus a per-directed-peer
+// circuit breaker driven through the `fed-breaker` lifecycle table
+// (breaker_lifecycle.h — the sixth table the reachability checker
+// proves over the policy lattice). When retries exhaust or the breaker
+// is open the operation FAILS CLOSED: a typed errno plus an
+// `obs::Decision` at DecisionPoint::fed_admission naming the federation
+// knob responsible (`fed.fail_closed` for link failures, `fed.breaker`
+// for fast-fails), so an availability casualty is attributable and never
+// silently admits an unverified identity. The `fail_open` strawman
+// exists to let experiments measure what that rule buys.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/clock.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/cluster.h"
+#include "fault/fault.h"
+#include "fed/breaker_lifecycle.h"
+#include "lifecycle/machine.h"
+#include "obs/decision.h"
+#include "portal/gateway.h"
+#include "xfer/staging.h"
+
+namespace heus::fed {
+
+/// Federation member index (position in Federation::add_cluster order).
+using ClusterIdx = std::uint32_t;
+
+/// Fault surface of the inter-cluster link. Implemented by
+/// FedFaultInjector; declared separately so tests can hand-roll models.
+/// All predicates are evaluated against the *originating* cluster's
+/// clock by the implementation; the federation just asks.
+class LinkFaultModel {
+ public:
+  virtual ~LinkFaultModel() = default;
+  /// Clusters `a` and `b` cannot currently exchange messages.
+  [[nodiscard]] virtual bool partitioned(ClusterIdx a, ClusterIdx b) const = 0;
+  /// Extra one-way latency (ns) a message from `a` to `b` incurs now.
+  [[nodiscard]] virtual std::int64_t extra_ns(ClusterIdx a,
+                                              ClusterIdx b) const = 0;
+  /// Should this message from `a` to `b` be dropped? Non-const: the
+  /// implementation may consume seeded randomness.
+  virtual bool drop_message(ClusterIdx a, ClusterIdx b) = 0;
+};
+
+/// Tunables of the federation daemon pair on each member.
+struct FedOptions {
+  /// Retry schedule for transient link failures. Policy denials are
+  /// deterministic and never retried; a half-open breaker allows exactly
+  /// one probe regardless of this budget.
+  common::BackoffPolicy retry{};
+  /// Consecutive exchange failures before the per-peer breaker trips.
+  unsigned trip_threshold = 3;
+  /// Open-state dwell before a probe is allowed (originating clock).
+  std::int64_t cooldown_ns = 5 * common::kSecond;
+  /// Healthy request/reply round trip over the WAN link.
+  std::int64_t link_rtt_ns = 10 * common::kMillisecond;
+  /// Per-attempt budget before an exchange is declared dead.
+  std::int64_t link_timeout_ns = 50 * common::kMillisecond;
+  /// DTN uplink bandwidth for cross-cluster staging (~10 Gb/s).
+  double link_bytes_per_ns = 1.25;
+  /// Strawman: when identity verification fails from link trouble, relay
+  /// the *unverified* claim instead of failing closed. Exists so
+  /// experiments can price the fail-closed rule; never the default.
+  bool fail_open = false;
+};
+
+/// What a home cluster answers about one of its accounts.
+struct RemoteIdentity {
+  std::string name;   ///< account name (the federated principal)
+  Uid home_uid{};     ///< uid on the answering cluster
+  Gid home_gid{};     ///< user-private group on the answering cluster
+};
+
+struct FedStats {
+  std::uint64_t remote_ops = 0;        ///< guarded link exchanges attempted
+  std::uint64_t exchanges_ok = 0;      ///< exchanges that round-tripped
+  std::uint64_t retries = 0;           ///< backoff retries attempted
+  std::uint64_t retry_successes = 0;   ///< retries that went through
+  std::uint64_t verified = 0;          ///< remote identities verified
+  std::uint64_t denied_link = 0;       ///< fail closed: retries exhausted
+  std::uint64_t denied_breaker = 0;    ///< fail closed: breaker open
+  std::uint64_t denied_no_account = 0; ///< verified name has no local account
+  std::uint64_t denied_spoofed = 0;    ///< claimed uid unknown to home cluster
+  std::uint64_t fail_open_admits = 0;  ///< strawman relays w/o verification
+  std::uint64_t breaker_trips = 0;     ///< closed -> open
+  std::uint64_t breaker_reopens = 0;   ///< half-open probe failed
+  std::uint64_t breaker_recoveries = 0;///< half-open probe verified
+  std::uint64_t connects = 0;          ///< federated flows established
+  std::uint64_t portal_forwards = 0;   ///< federated portal requests served
+  std::uint64_t transfers_done = 0;    ///< cross-cluster stagings landed
+  std::uint64_t transfers_failed = 0;
+  std::uint64_t bytes_moved = 0;
+};
+
+/// The federation: membership, per-peer breakers, and the three remote
+/// operation types. Owns no cluster; members outlive it.
+class Federation {
+ public:
+  explicit Federation(FedOptions opts = {});
+
+  Federation(const Federation&) = delete;
+  Federation& operator=(const Federation&) = delete;
+
+  // ---- membership -----------------------------------------------------
+
+  /// Register a member. Creates the cluster's federation gateway host on
+  /// its fabric (remote principals enter through it, so the member's own
+  /// UBF inspects every federated flow) and a DTN endpoint on the shared
+  /// link buffer.
+  ClusterIdx add_cluster(std::string name, core::Cluster* cluster);
+
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] core::Cluster& cluster(ClusterIdx idx) {
+    return *members_.at(idx).cluster;
+  }
+  [[nodiscard]] const std::string& cluster_name(ClusterIdx idx) const {
+    return members_.at(idx).name;
+  }
+  /// The member's ingress host for federated flows.
+  [[nodiscard]] HostId gateway_host(ClusterIdx idx) const {
+    return members_.at(idx).gateway;
+  }
+
+  /// Install/remove the link fault model (nullptr = healthy WAN).
+  void set_link_faults(LinkFaultModel* faults) { faults_ = faults; }
+
+  [[nodiscard]] const FedOptions& options() const { return opts_; }
+  void set_options(const FedOptions& opts);
+
+  // ---- remote operations ----------------------------------------------
+
+  /// Cross-cluster ident query: `local` asks `peer` which account owns
+  /// `peer_uid` there. The UBF remote path, one link up: same question,
+  /// cluster-scoped responder, breaker-guarded. ESRCH: no such account.
+  Result<RemoteIdentity> remote_ident(ClusterIdx local, ClusterIdx peer,
+                                      Uid peer_uid);
+
+  /// Federated connect: a user of `src` (their home cluster) connects to
+  /// `dst_port` on `dst_host` of cluster `dst`. The enforcing side
+  /// verifies the identity with `src` over the link, maps the name to a
+  /// dst-local account, and admits through its own fabric + UBF from the
+  /// federation gateway host — so the final verdict is rendered by the
+  /// same hook that governs local flows.
+  Result<FlowId> connect(ClusterIdx src, const simos::Credentials& cred,
+                         ClusterIdx dst, HostId dst_host, net::Proto proto,
+                         std::uint16_t dst_port);
+
+  /// Federated portal forward: a user of `src` fetches app `app` on
+  /// cluster `dst` through dst's own portal, as their mapped account.
+  Result<std::string> portal_request(ClusterIdx src,
+                                     const simos::Credentials& cred,
+                                     ClusterIdx dst, portal::AppId app,
+                                     const std::string& http_request);
+
+  /// Cross-cluster DTN transfer: stage `src_path` out of src's shared FS
+  /// as the requesting user, move it over the link, land it at
+  /// `dst_path` on dst's shared FS as the *mapped* account — both
+  /// filesystem halves run under their cluster's own DAC/smask. Returns
+  /// bytes moved.
+  Result<std::uint64_t> transfer(ClusterIdx src,
+                                 const simos::Credentials& cred,
+                                 const std::string& src_path, ClusterIdx dst,
+                                 const std::string& dst_path);
+
+  // ---- time -----------------------------------------------------------
+
+  /// Advance every member clock by `delta_ns` (fault windows and breaker
+  /// cooldowns are per-member-clock; sweeps keep them loosely in step).
+  void advance_all(std::int64_t delta_ns);
+  /// Jump every member clock forward to `t` (never backwards).
+  void advance_all_to(common::SimTime t);
+
+  // ---- observation ----------------------------------------------------
+
+  [[nodiscard]] BreakerState breaker_state(ClusterIdx local,
+                                           ClusterIdx peer) const;
+  /// The table driver behind every breaker state change (per-transition
+  /// fire counts, illegal-event tally), shared by all directed pairs.
+  [[nodiscard]] const lifecycle::Driver& breaker_lifecycle() const {
+    return breaker_lc_;
+  }
+  [[nodiscard]] const FedStats& stats() const { return stats_; }
+  [[nodiscard]] const xfer::ExternalStore& link_buffer() const {
+    return link_store_;
+  }
+
+ private:
+  struct Member {
+    std::string name;
+    core::Cluster* cluster = nullptr;
+    HostId gateway{};
+    std::unique_ptr<xfer::StagingService> dtn;
+  };
+
+  /// Breaker + failure accounting for one directed (local, peer) pair.
+  struct PeerLink {
+    BreakerState state = BreakerState::closed;
+    unsigned consecutive_failures = 0;
+    std::int64_t cooldown_until_ns = -1;  ///< on local clock; <0 = none
+  };
+
+  /// Who/what a guarded exchange is about, for decision attribution.
+  struct OpContext {
+    Uid subject{};
+    Gid subject_gid{};
+    Uid object_owner{};
+    std::optional<obs::ChannelKind> channel;
+    std::string object;
+  };
+
+  [[nodiscard]] static constexpr std::uint64_t pair_key(ClusterIdx local,
+                                                        ClusterIdx peer) {
+    return (static_cast<std::uint64_t>(local) << 32) | peer;
+  }
+  [[nodiscard]] PeerLink& link_between(ClusterIdx local, ClusterIdx peer) {
+    return links_[pair_key(local, peer)];
+  }
+
+  /// remote_ident with caller-supplied attribution context.
+  Result<RemoteIdentity> remote_ident_ctx(ClusterIdx local, ClusterIdx peer,
+                                          Uid peer_uid, const OpContext& ctx);
+
+  /// One request/reply over the WAN, charged to `from`'s clock. Errors:
+  /// EHOSTUNREACH (partition), ETIMEDOUT (drop or latency past budget).
+  Result<void> exchange_once(ClusterIdx from, ClusterIdx to);
+
+  /// The fail-closed funnel every remote operation passes through:
+  /// breaker gate (open → fast deny; cooldown elapsed → probe), one
+  /// exchange, backoff retries while closed, breaker bookkeeping, and a
+  /// deny Decision on `local`'s trace naming fed.breaker/fed.fail_closed
+  /// when the operation fails closed.
+  Result<void> guarded_exchange(ClusterIdx local, ClusterIdx peer,
+                                const OpContext& ctx);
+
+  /// Route one breaker event for (local, peer) through the shared table.
+  /// `env_outcome` answers the trip-threshold guard; the ubf-governs
+  /// policy guard reads `local`'s live policy.
+  const lifecycle::Transition* fire_breaker(ClusterIdx local, PeerLink& link,
+                                            BreakerEvent event,
+                                            bool env_outcome,
+                                            const OpContext& ctx);
+
+  /// Verify `cred`'s claimed identity with its home cluster and map the
+  /// name to an account on `enforcing`. Fail-closed on link trouble
+  /// (unless the fail_open strawman is on); EPERM when unmapped.
+  Result<simos::Credentials> map_identity(ClusterIdx enforcing,
+                                          ClusterIdx home,
+                                          const simos::Credentials& cred,
+                                          const OpContext& ctx);
+
+  void record_deny(ClusterIdx at, const OpContext& ctx, const char* knob);
+
+  FedOptions opts_;
+  std::vector<Member> members_;
+  /// Directed-pair breaker state, keyed pair_key(local, peer); created
+  /// lazily on first exchange.
+  std::map<std::uint64_t, PeerLink> links_;
+  lifecycle::Driver breaker_lc_{&breaker_machine()};
+  LinkFaultModel* faults_ = nullptr;
+  xfer::ExternalStore link_store_;
+  FedStats stats_;
+};
+
+/// Applies the link_* events of a FaultPlan to a federation's WAN link.
+/// Windows are evaluated against the *originating* cluster's clock, and
+/// one seeded Rng drives the loss draws, so a (plan, seed) pair replays
+/// identically. Non-link events in the plan are ignored here (arm a
+/// fault::FaultInjector per member cluster for those).
+class FedFaultInjector final : public LinkFaultModel {
+ public:
+  FedFaultInjector(Federation* fed, fault::FaultPlan plan,
+                   std::uint64_t seed);
+  ~FedFaultInjector() override;
+
+  FedFaultInjector(const FedFaultInjector&) = delete;
+  FedFaultInjector& operator=(const FedFaultInjector&) = delete;
+
+  /// Install on the federation. Idempotent.
+  void arm();
+  void disarm();
+  [[nodiscard]] bool armed() const { return armed_; }
+
+  [[nodiscard]] bool partitioned(ClusterIdx a, ClusterIdx b) const override;
+  [[nodiscard]] std::int64_t extra_ns(ClusterIdx a,
+                                      ClusterIdx b) const override;
+  bool drop_message(ClusterIdx a, ClusterIdx b) override;
+
+  [[nodiscard]] const fault::FaultPlan& plan() const { return plan_; }
+
+ private:
+  [[nodiscard]] common::SimTime now_at(ClusterIdx origin) const;
+
+  Federation* fed_;
+  fault::FaultPlan plan_;
+  common::Rng rng_;
+  bool armed_ = false;
+};
+
+}  // namespace heus::fed

@@ -19,6 +19,7 @@ const char* to_string(DecisionPoint point) {
     case DecisionPoint::gpu_scrub: return "gpu-scrub";
     case DecisionPoint::container_entry: return "container-entry";
     case DecisionPoint::lifecycle_transition: return "lifecycle-transition";
+    case DecisionPoint::fed_admission: return "fed-admission";
   }
   return "?";
 }

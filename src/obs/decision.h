@@ -54,9 +54,10 @@ enum class DecisionPoint {
   gpu_scrub,          ///< epilog residue scrub verification
   container_entry,    ///< container runtime exec gate
   lifecycle_transition,  ///< table-driven lifecycle state change (src/lifecycle)
+  fed_admission,      ///< federated cross-cluster operation gate (src/fed)
 };
 
-inline constexpr std::array<DecisionPoint, 15> kAllDecisionPoints = {
+inline constexpr std::array<DecisionPoint, 16> kAllDecisionPoints = {
     DecisionPoint::procfs_visibility, DecisionPoint::pam_ssh,
     DecisionPoint::sched_query,       DecisionPoint::sched_placement,
     DecisionPoint::fs_access,         DecisionPoint::fs_chmod,
@@ -64,7 +65,7 @@ inline constexpr std::array<DecisionPoint, 15> kAllDecisionPoints = {
     DecisionPoint::net_uninspected,   DecisionPoint::rdma_setup,
     DecisionPoint::portal_forward,    DecisionPoint::gpu_dev_access,
     DecisionPoint::gpu_scrub,         DecisionPoint::container_entry,
-    DecisionPoint::lifecycle_transition,
+    DecisionPoint::lifecycle_transition, DecisionPoint::fed_admission,
 };
 
 [[nodiscard]] const char* to_string(DecisionPoint point);

@@ -87,6 +87,15 @@ inline constexpr const char* ubf = "ubf";
 inline constexpr const char* ubf_group_peers = "ubf_group_peers";
 inline constexpr const char* gpu_dev_binding = "gpu_dev_binding";
 inline constexpr const char* gpu_epilog_scrub = "gpu_epilog_scrub";
+// Federation knobs (src/fed). These are *deployment* knobs of the
+// federation layer, not SeparationPolicy lattice knobs: they attribute
+// partition-induced fail-closed denials (fed.fail_closed) and
+// circuit-breaker fast-fail denials (fed.breaker) in the decision
+// trace, so an availability casualty is never mistaken for a policy
+// verdict. Lifecycle policy guards keep naming registry knobs (`ubf`):
+// the federated path is the UBF's cross-cluster generalization.
+inline constexpr const char* fed_fail_closed = "fed.fail_closed";
+inline constexpr const char* fed_breaker = "fed.breaker";
 }  // namespace knob
 
 }  // namespace heus::obs

@@ -113,14 +113,38 @@ Result<std::string> Gateway::request(SessionId token, AppId app_id,
   if (app_it == apps_.end()) return Errno::enoent;
   const WebApp& app = app_it->second;
 
+  // The forward is a self-loop on the session table: inspected when the
+  // UBF governs the app port, otherwise the annotated uninspected row.
+  fire_session(session, SessionEvent::forward, network_->inspects(app.port),
+               app.owner);
+  return forward_hop(user_cred, app, http_request);
+}
+
+Result<std::string> Gateway::federated_request(
+    const simos::Credentials& cred, AppId app_id,
+    const std::string& http_request) {
+  ++stats_.requests;
+  if (outage_probe_ && outage_probe_()) {
+    ++stats_.denied_backend_down;
+    return Errno::ehostunreach;
+  }
+  // The mapped account must exist here; federation maps, it never mints.
+  if (!users_->user_exists(cred.uid)) {
+    ++stats_.denied_auth;
+    return Errno::eperm;
+  }
+  auto app_it = apps_.find(app_id);
+  if (app_it == apps_.end()) return Errno::enoent;
+  return forward_hop(cred, app_it->second, http_request);
+}
+
+Result<std::string> Gateway::forward_hop(const simos::Credentials& user_cred,
+                                         const WebApp& app,
+                                         const std::string& http_request) {
   // Forwarded hop, attributed to the authenticated user. The UBF (if
   // attached to the fabric) makes the allow/deny decision here. Transient
   // fabric faults are retried with backoff; a UBF denial (econnrefused)
-  // is deterministic policy and is surfaced immediately. The forward is
-  // a self-loop on the session table: inspected when the UBF governs the
-  // app port, otherwise the annotated uninspected row.
-  fire_session(session, SessionEvent::forward, network_->inspects(app.port),
-               app.owner);
+  // is deterministic policy and is surfaced immediately.
   auto flow = network_->connect(portal_host_, user_cred, Pid{}, app.host,
                                 net::Proto::tcp, app.port);
   for (unsigned attempt = 0;

@@ -85,6 +85,15 @@ class Gateway {
   Result<std::string> request(SessionId token, AppId app,
                               const std::string& http_request);
 
+  /// Federated entry point (src/fed): no browser session — the caller is
+  /// a federation daemon that already verified the principal with their
+  /// home cluster and mapped them to the local account `cred`. The
+  /// forwarded hop runs as that account, so the UBF governs it exactly
+  /// as a local request; the portal adds nothing a session would.
+  Result<std::string> federated_request(const simos::Credentials& cred,
+                                        AppId app,
+                                        const std::string& http_request);
+
   /// Apps the session's user is allowed to know about (their own).
   [[nodiscard]] std::vector<AppId> list_apps(SessionId token) const;
 
@@ -146,6 +155,13 @@ class Gateway {
     SessionState state = SessionState::active;
     std::int64_t expires_at_ns = 0;  ///< 0 = never expires
   };
+
+  /// The forwarded hop shared by request() and federated_request():
+  /// connect-as-the-user with bounded retry, the HTTP round trip, and
+  /// the portal-forward decision rows.
+  Result<std::string> forward_hop(const simos::Credentials& user_cred,
+                                  const WebApp& app,
+                                  const std::string& http_request);
 
   [[nodiscard]] static bool transient(Errno e) {
     return e == Errno::etimedout || e == Errno::enetunreach ||

@@ -41,12 +41,13 @@ void usage(std::FILE* to) {
       "channel\n"
       "                              (with --site: also on drift or parse "
       "errors)\n"
-      "  --reach                     model-check the five lifecycle "
+      "  --reach                     model-check the six lifecycle "
       "tables\n"
       "                              (flow, job, transfer, portal "
       "session,\n"
-      "                              container entry) over the full "
-      "policy\n"
+      "                              container entry, federation "
+      "breaker)\n"
+      "                              over the full policy\n"
       "                              lattice: reachability, dead rows, "
       "guard/\n"
       "                              knob agreement, and zero "
@@ -58,7 +59,10 @@ void usage(std::FILE* to) {
       "                              fail-closed behavior under "
       "ident/network\n"
       "                              faults (availability casualties, "
-      "never leaks)\n"
+      "never leaks),\n"
+      "                              plus the federation's remote-op "
+      "census\n"
+      "                              under WAN link faults\n"
       "  --trace                     build a demo cluster under the "
       "policy,\n"
       "                              run one leakage audit with the "

@@ -58,6 +58,10 @@ class ExternalStore {
     auto it = objects_.find(path);
     return it == objects_.end() ? nullptr : &it->second;
   }
+  /// Remove an object. Staging buffers (the federation's WAN link uses
+  /// one) must drain after a completed transfer, so a later transfer
+  /// with a guessable key can never read another tenant's bytes.
+  bool erase(const std::string& path) { return objects_.erase(path) > 0; }
   [[nodiscard]] std::size_t size() const { return objects_.size(); }
 
  private:

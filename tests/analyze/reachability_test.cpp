@@ -11,6 +11,7 @@
 
 #include "analyze/policy_space.h"
 #include "analyze/reachability.h"
+#include "fed/breaker_lifecycle.h"
 #include "net/flow_lifecycle.h"
 #include "obs/taxonomy.h"
 #include "portal/session_lifecycle.h"
@@ -78,12 +79,13 @@ TEST(Reachability, ShippedTablesCleanOverFullLattice) {
   // Exact sweep: every lattice point, no sampling.
   EXPECT_EQ(report.policies, policy_space_size());
 
-  ASSERT_EQ(report.machines.size(), 5u);
+  ASSERT_EQ(report.machines.size(), 6u);
   EXPECT_EQ(report.machines[0].machine, "flow");
   EXPECT_EQ(report.machines[1].machine, "job");
   EXPECT_EQ(report.machines[2].machine, "transfer");
   EXPECT_EQ(report.machines[3].machine, "portal-session");
   EXPECT_EQ(report.machines[4].machine, "container-entry");
+  EXPECT_EQ(report.machines[5].machine, "fed-breaker");
   for (const MachineStats& m : report.machines) {
     EXPECT_GT(m.states, 0u) << m.machine;
     EXPECT_GT(m.transitions, 0u) << m.machine;
@@ -94,6 +96,7 @@ TEST(Reachability, ShippedTablesCleanOverFullLattice) {
   EXPECT_GE(report.machines[0].signature_classes, 2u);  // flow: ubf
   EXPECT_GE(report.machines[1].signature_classes, 2u);  // job: scrub
   EXPECT_GE(report.machines[3].signature_classes, 2u);  // portal: ubf
+  EXPECT_GE(report.machines[5].signature_classes, 2u);  // breaker: ubf
   EXPECT_GT(report.triples_total(), 0u);
 }
 
@@ -223,6 +226,57 @@ TEST(Reachability, SeededMutationShadowedRow) {
   ASSERT_FALSE(shadowed.empty());
   EXPECT_EQ(shadowed.front()->transition_index,
             static_cast<int>(m.transitions.size() - 1));
+}
+
+// Mutation 7 (ISSUE 7 acceptance): make the federation breaker's
+// open-state row ADMIT instead of failing closed — the exact bug the
+// fail-closed rule exists to prevent: an operation relayed while the
+// peer that would verify the identity is unreachable. The open state is
+// reachable under every policy (the trip-threshold guard is
+// environmental), so the opening fires under UBF-enabled policies where
+// the analyzer holds cross-user TCP closed; the checker must flag it
+// and attribute the ubf knob.
+TEST(Reachability, SeededMutationBreakerAdmitsThroughOpen) {
+  MutableMachine m(fed::breaker_machine());
+  const auto open_state =
+      static_cast<lifecycle::StateId>(fed::BreakerState::open);
+  const auto remote_op =
+      static_cast<lifecycle::EventId>(fed::BreakerEvent::remote_op);
+  auto row = std::find_if(
+      m.transitions.begin(), m.transitions.end(),
+      [&](const lifecycle::Transition& t) {
+        return t.from == open_state && t.event == remote_op;
+      });
+  ASSERT_NE(row, m.transitions.end());
+  ASSERT_EQ(row->opens_channels.count, 0);  // shipped row opens nothing
+  row->opens_channels = lifecycle::opens(obs::ChannelKind::tcp_cross_user);
+  m.rebind();
+
+  const ReachabilityChecker checker;
+  const ReachReport report = checker.check(m.def);
+  const auto openings = of_kind(report, ReachFindingKind::separation_opening);
+  ASSERT_FALSE(openings.empty());
+  EXPECT_TRUE(any_with_knob(openings, obs::knob::ubf));
+  EXPECT_FALSE(openings.front()->example_policy.empty());
+}
+
+// Mutation 8: delete the breaker's verify branch and make the
+// relay-unverified row unconditional — "someone removed the remote
+// ident query from the federation daemon". Flagged with the ubf knob.
+TEST(Reachability, SeededMutationBreakerVerifyBranchDeleted) {
+  MutableMachine m(fed::breaker_machine());
+  ASSERT_EQ(m.transitions[0].event,
+            static_cast<lifecycle::EventId>(fed::BreakerEvent::remote_op));
+  ASSERT_GT(m.transitions[1].opens_channels.count, 0);
+  m.transitions.erase(m.transitions.begin());  // closed verify branch
+  m.transitions[0].guard = lifecycle::kNoGuard;  // relay row, now for all
+  m.rebind();
+
+  const ReachabilityChecker checker;
+  const ReachReport report = checker.check(m.def);
+  const auto openings = of_kind(report, ReachFindingKind::separation_opening);
+  ASSERT_FALSE(openings.empty());
+  EXPECT_TRUE(any_with_knob(openings, obs::knob::ubf));
 }
 
 }  // namespace

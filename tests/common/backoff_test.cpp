@@ -1,0 +1,96 @@
+// BackoffPolicy edge cases (ISSUE 7 satellite): the delay schedule must
+// saturate at max_ns for arbitrarily large attempt counts — no
+// double→int64 overflow — and stay O(1) regardless of the attempt
+// number, while reproducing the historical multiply-loop values exactly
+// for the schedules the subsystems actually run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/backoff.h"
+#include "common/clock.h"
+
+namespace heus::common {
+namespace {
+
+/// The pre-hardening reference: the literal multiply loop, safe only for
+/// small attempt counts. New-code values must match it wherever it was
+/// well-defined.
+std::int64_t reference_delay(const BackoffPolicy& p, unsigned attempt) {
+  double d = static_cast<double>(p.base_ns);
+  for (unsigned i = 0; i < attempt; ++i) d *= p.factor;
+  const auto capped = static_cast<std::int64_t>(d);
+  return capped > p.max_ns ? p.max_ns : capped;
+}
+
+TEST(BackoffPolicy, MatchesReferenceLoopBeforeSaturation) {
+  const BackoffPolicy p{3, 1 * kMillisecond, 2.0, 100 * kMillisecond};
+  for (unsigned attempt = 0; attempt <= 20; ++attempt) {
+    EXPECT_EQ(p.delay_ns(attempt), reference_delay(p, attempt))
+        << "attempt " << attempt;
+  }
+  // The first seven doublings are under the cap, the rest clamp.
+  EXPECT_EQ(p.delay_ns(0), 1 * kMillisecond);
+  EXPECT_EQ(p.delay_ns(6), 64 * kMillisecond);
+  EXPECT_EQ(p.delay_ns(7), 100 * kMillisecond);
+}
+
+TEST(BackoffPolicy, SaturatesForHugeAttemptCounts) {
+  const BackoffPolicy p{3, 1 * kMillisecond, 2.0, 100 * kMillisecond};
+  // The old loop at these attempt counts produced doubles far past
+  // int64's range; the cast was UB. The hardened version answers max_ns
+  // in constant time.
+  for (const unsigned attempt :
+       {63u, 64u, 100u, 1000u, 1u << 20, 0xffffffffu}) {
+    EXPECT_EQ(p.delay_ns(attempt), p.max_ns) << "attempt " << attempt;
+  }
+}
+
+TEST(BackoffPolicy, MaxRetriesZeroIsFailClosedImmediately) {
+  const BackoffPolicy none = BackoffPolicy::none();
+  EXPECT_EQ(none.max_retries, 0u);
+  // An operation under none() never sleeps; delay_ns is still total.
+  EXPECT_EQ(none.delay_ns(0), 0);
+  EXPECT_EQ(none.delay_ns(5), 0);
+  EXPECT_EQ(none.delay_ns(1u << 30), 0);
+}
+
+TEST(BackoffPolicy, FactorOneIsConstantDelay) {
+  const BackoffPolicy p{5, 3 * kMillisecond, 1.0, 100 * kMillisecond};
+  for (const unsigned attempt : {0u, 1u, 7u, 1000u, 0xffffffffu}) {
+    EXPECT_EQ(p.delay_ns(attempt), 3 * kMillisecond);
+  }
+}
+
+TEST(BackoffPolicy, BaseAboveMaxClampsFromTheFirstAttempt) {
+  const BackoffPolicy p{3, 200 * kMillisecond, 2.0, 100 * kMillisecond};
+  for (const unsigned attempt : {0u, 1u, 50u, 0xffffffffu}) {
+    EXPECT_EQ(p.delay_ns(attempt), 100 * kMillisecond);
+  }
+}
+
+TEST(BackoffPolicy, ShrinkingFactorNeverOverflowsOrGoesNegative) {
+  const BackoffPolicy p{3, 10 * kMillisecond, 0.5, 100 * kMillisecond};
+  EXPECT_EQ(p.delay_ns(0), 10 * kMillisecond);
+  EXPECT_EQ(p.delay_ns(1), 5 * kMillisecond);
+  for (const unsigned attempt : {100u, 10000u, 0xffffffffu}) {
+    const std::int64_t d = p.delay_ns(attempt);
+    EXPECT_GE(d, 0) << "attempt " << attempt;
+    EXPECT_LE(d, 10 * kMillisecond) << "attempt " << attempt;
+  }
+}
+
+TEST(BackoffPolicy, MonotoneNondecreasingForGrowingFactor) {
+  const BackoffPolicy p{3, 1 * kMillisecond, 1.7, 250 * kMillisecond};
+  std::int64_t prev = -1;
+  for (unsigned attempt = 0; attempt < 64; ++attempt) {
+    const std::int64_t d = p.delay_ns(attempt);
+    EXPECT_GE(d, prev) << "attempt " << attempt;
+    EXPECT_LE(d, p.max_ns);
+    prev = d;
+  }
+  EXPECT_EQ(prev, p.max_ns);
+}
+
+}  // namespace
+}  // namespace heus::common

@@ -1,0 +1,286 @@
+// Federation fault sweep (ISSUE 7 acceptance): across seeded random
+// WAN fault schedules — partitions, latency spikes, loss — and both
+// policy postures, the federation must fail *closed*:
+//
+//   1. Zero cross-cluster separation violations: a cross-user federated
+//      connect or a transfer into a foreign home never succeeds under
+//      the hardened policy, no matter what the link does.
+//   2. Every link-induced denial is attributable: each one records a
+//      fed_admission deny Decision naming a federation knob, and no
+//      fed_admission deny ever lacks a knob.
+//   3. The breaker table only moves along edges the fault plan derives
+//      (fault::degraded_events): transitions fired under faults but not
+//      in the healthy reference run carry failure/cooldown events.
+//   4. Intra-cluster separation is untouched: the LeakageAuditor subset
+//      invariant holds on every member cluster while the WAN misbehaves.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/audit.h"
+#include "core/cluster.h"
+#include "fault/degraded_events.h"
+#include "fault/fault.h"
+#include "fed/breaker_lifecycle.h"
+#include "fed/federation.h"
+#include "net/network.h"
+#include "obs/decision.h"
+#include "obs/taxonomy.h"
+#include "simos/credentials.h"
+
+namespace heus::fed {
+namespace {
+
+using core::ChannelKind;
+using core::ChannelReport;
+using core::Cluster;
+using core::ClusterConfig;
+using core::LeakageAuditor;
+using core::SeparationPolicy;
+using fault::FaultPlan;
+using fault::FaultPlanOptions;
+
+ClusterConfig member_config(SeparationPolicy policy) {
+  ClusterConfig cfg;
+  cfg.compute_nodes = 2;
+  cfg.login_nodes = 1;
+  cfg.cpus_per_node = 8;
+  cfg.policy = policy;
+  return cfg;
+}
+
+std::set<ChannelKind> open_set(const std::vector<ChannelReport>& reports) {
+  std::set<ChannelKind> open;
+  for (const ChannelReport& r : reports) {
+    if (r.open) open.insert(r.kind);
+  }
+  return open;
+}
+
+/// A two-member federation with alice on both clusters, mallory on both,
+/// a listener owned by alice@beta, and a staged file owned by
+/// alice@alpha — the standing workload every sweep probes against.
+struct Fixture {
+  std::unique_ptr<Cluster> a, b;
+  Uid alice_a{}, mallory_a{}, alice_b{}, mallory_b{};
+  Federation fed;
+  ClusterIdx A = 0, B = 0;
+  HostId b_host{};
+
+  explicit Fixture(SeparationPolicy policy) {
+    a = std::make_unique<Cluster>(member_config(policy));
+    b = std::make_unique<Cluster>(member_config(policy));
+    alice_a = *a->add_user("alice");
+    mallory_a = *a->add_user("mallory");
+    alice_b = *b->add_user("alice");
+    mallory_b = *b->add_user("mallory");
+    a->trace().set_enabled(true);
+    b->trace().set_enabled(true);
+    A = fed.add_cluster("alpha", a.get());
+    B = fed.add_cluster("beta", b.get());
+    b_host = b->node(b->compute_nodes()[0]).host();
+
+    auto alice_b_cred = *simos::login(b->users(), alice_b);
+    EXPECT_TRUE(b->network()
+                    .listen(b_host, alice_b_cred, Pid{10}, net::Proto::tcp,
+                            5000)
+                    .ok());
+    auto alice_a_cred = *simos::login(a->users(), alice_a);
+    EXPECT_TRUE(a->shared_fs()
+                    .write_file(alice_a_cred, "/home/alice/data.bin",
+                                std::string(512, 'd'))
+                    .ok());
+  }
+
+  /// The op mix fired at each probe point. Returns the number of
+  /// cross-cluster separation violations observed (must stay 0).
+  unsigned pump_ops(int round) {
+    unsigned violations = 0;
+    auto alice = *simos::login(a->users(), alice_a);
+    auto mallory = *simos::login(a->users(), mallory_a);
+
+    (void)fed.remote_ident(A, B, alice_b);
+    (void)fed.connect(A, alice, B, b_host, net::Proto::tcp, 5000);
+    // Cross-user: mallory@alpha at alice@beta's listener. The link may
+    // deny it sooner; beta's UBF must deny it always.
+    if (fed.connect(A, mallory, B, b_host, net::Proto::tcp, 5000).ok()) {
+      ++violations;
+    }
+    const std::string dst =
+        "/home/alice/in-" + std::to_string(round) + ".bin";
+    (void)fed.transfer(A, alice, "/home/alice/data.bin", B, dst);
+    // Into a foreign home on the peer: dst-side DAC must deny.
+    if (fed.transfer(A, alice, "/home/alice/data.bin", B,
+                     "/home/mallory/ex-" + std::to_string(round) + ".bin")
+            .ok()) {
+      ++violations;
+    }
+    return violations;
+  }
+};
+
+/// Healthy breaker reference: which transition indices fire when the
+/// same workload runs with no faults armed.
+std::vector<std::uint64_t> healthy_breaker_fired(SeparationPolicy policy,
+                                                 int rounds) {
+  Fixture f(policy);
+  for (int r = 0; r < rounds; ++r) (void)f.pump_ops(r);
+  const lifecycle::MachineDef& def = breaker_machine();
+  std::vector<std::uint64_t> fired(def.transitions.size(), 0);
+  for (std::size_t i = 0; i < def.transitions.size(); ++i) {
+    fired[i] = f.fed.breaker_lifecycle().fired(i);
+  }
+  EXPECT_EQ(f.fed.breaker_lifecycle().illegal_events(), 0u);
+  return fired;
+}
+
+/// One seeded schedule, one policy: probe the standing workload at
+/// several points inside the fault horizon and audit all four claims.
+void sweep_one(SeparationPolicy policy, const char* policy_name,
+               const std::set<ChannelKind>& healthy_channels,
+               const std::vector<std::uint64_t>& healthy_fired,
+               std::uint64_t seed) {
+  Fixture f(policy);
+
+  FaultPlanOptions opts;
+  opts.events = 8;
+  opts.cluster_count = 2;
+  const FaultPlan plan = FaultPlan::random(seed, opts, 8, 4);
+  FedFaultInjector inj(&f.fed, plan, seed ^ 0x9e3779b97f4a7c15ull);
+  inj.arm();
+
+  unsigned violations = 0;
+  int round = 0;
+  for (const double frac : {0.2, 0.5, 0.8}) {
+    const auto target = common::SimTime{
+        static_cast<std::int64_t>(frac * opts.horizon_ns)};
+    f.fed.advance_all_to(target);
+    violations += f.pump_ops(round++);
+  }
+  const std::string label =
+      std::string(policy_name) + " seed " + std::to_string(seed);
+
+  // (1) Zero cross-cluster separation violations (hardened closes the
+  // cross-user channels; baseline's UBF-off posture is audited below
+  // through the subset invariant instead).
+  if (policy.ubf) {
+    EXPECT_EQ(violations, 0u)
+        << label << ": a link fault opened a cross-cluster channel";
+  }
+
+  // (2) Attribution: every link-induced denial recorded exactly one
+  // fed_admission deny, and none of them lacks a knob.
+  const FedStats& st = f.fed.stats();
+  const std::uint64_t trace_denied =
+      f.a->trace().counters(obs::DecisionPoint::fed_admission).denied +
+      f.b->trace().counters(obs::DecisionPoint::fed_admission).denied;
+  EXPECT_EQ(trace_denied, st.denied_link + st.denied_breaker +
+                              st.denied_no_account + st.denied_spoofed)
+      << label << ": a federation denial escaped the decision trace";
+  for (const Cluster* c : {f.a.get(), f.b.get()}) {
+    for (const obs::Decision& d : c->trace().snapshot()) {
+      if (d.point == obs::DecisionPoint::fed_admission &&
+          d.outcome == obs::Outcome::deny) {
+        ASSERT_NE(d.knob, nullptr)
+            << label << ": fed_admission deny without a knob";
+      }
+    }
+  }
+
+  // (3) Breaker stays inside the derived degraded envelope: an edge
+  // fired under faults but never in the healthy run must carry an
+  // event the plan derives (or one the healthy run fired — guard flip).
+  const lifecycle::MachineDef& def = breaker_machine();
+  std::set<lifecycle::EventId> healthy_events;
+  for (std::size_t i = 0; i < def.transitions.size(); ++i) {
+    if (healthy_fired[i] > 0) healthy_events.insert(def.transitions[i].event);
+  }
+  EXPECT_EQ(f.fed.breaker_lifecycle().illegal_events(), 0u) << label;
+  for (std::size_t i = 0; i < def.transitions.size(); ++i) {
+    if (f.fed.breaker_lifecycle().fired(i) == 0 || healthy_fired[i] > 0) {
+      continue;
+    }
+    const lifecycle::EventId ev = def.transitions[i].event;
+    EXPECT_TRUE(
+        fault::is_degraded_event(plan, fault::kFedBreakerMachine, ev) ||
+        healthy_events.contains(ev))
+        << label << ": breaker fired transition " << i << " (event "
+        << static_cast<int>(ev)
+        << ") outside the degraded envelope: "
+        << fault::degraded_events_to_string(plan);
+  }
+
+  // (4) Intra-cluster subset invariant on both members.
+  for (Cluster* c : {f.a.get(), f.b.get()}) {
+    LeakageAuditor auditor(c);
+    const Uid victim = c == f.a.get() ? f.alice_a : f.alice_b;
+    const Uid observer = c == f.a.get() ? f.mallory_a : f.mallory_b;
+    for (const ChannelKind kind :
+         open_set(auditor.audit_pair(victim, observer))) {
+      EXPECT_TRUE(healthy_channels.contains(kind))
+          << label << ": link faults opened intra-cluster channel "
+          << core::to_string(kind);
+    }
+  }
+}
+
+class FedFaultSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// 16 seeds per instance x 2 policies x 2 instances = 64 schedules.
+TEST_P(FedFaultSweepTest, LinkFaultsNeverOpenCrossClusterChannels) {
+  const std::uint64_t base = GetParam();
+  const struct {
+    SeparationPolicy policy;
+    const char* name;
+  } policies[] = {{SeparationPolicy::baseline(), "baseline"},
+                  {SeparationPolicy::hardened(), "hardened"}};
+
+  for (const auto& [policy, name] : policies) {
+    Cluster healthy_cluster(member_config(policy));
+    const Uid v = *healthy_cluster.add_user("victim");
+    const Uid o = *healthy_cluster.add_user("observer");
+    LeakageAuditor healthy_auditor(&healthy_cluster);
+    const std::set<ChannelKind> healthy_channels =
+        open_set(healthy_auditor.audit_pair(v, o));
+    const std::vector<std::uint64_t> healthy_fired =
+        healthy_breaker_fired(policy, 3);
+
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      sweep_one(policy, name, healthy_channels, healthy_fired, base + i);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FedFaultSweepTest,
+                         ::testing::Values(5000u, 6000u));
+
+// Determinism: the same (plan, seed) pair replays to identical stats —
+// the sweep's failures are reproducible from its log line.
+TEST(FedFaultSweepDeterminism, SameSeedSameOutcome) {
+  FaultPlanOptions opts;
+  opts.events = 8;
+  opts.cluster_count = 2;
+  const FaultPlan plan = FaultPlan::random(42, opts, 8, 4);
+
+  auto run = [&plan, &opts]() {
+    Fixture f(SeparationPolicy::hardened());
+    FedFaultInjector inj(&f.fed, plan, 7);
+    inj.arm();
+    for (int r = 0; r < 3; ++r) {
+      f.fed.advance_all(opts.horizon_ns / 4);
+      (void)f.pump_ops(r);
+    }
+    const FedStats& s = f.fed.stats();
+    return std::vector<std::uint64_t>{s.remote_ops, s.exchanges_ok,
+                                      s.retries, s.denied_link,
+                                      s.denied_breaker, s.breaker_trips,
+                                      s.connects, s.transfers_done};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace heus::fed

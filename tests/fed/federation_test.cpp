@@ -1,0 +1,383 @@
+// Federation unit tests (ISSUE 7 tentpole): identity mapping by name
+// across independent UserDbs, cross-cluster admission through the
+// enforcing cluster's own UBF, federated portal forwards and DTN
+// transfers under both clusters' DAC, and the per-peer circuit breaker:
+// trip, fast fail-closed, cooldown probe, recovery — each denial typed
+// and attributed to a federation knob in the decision trace.
+#include "fed/federation.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/errno.h"
+#include "core/cluster.h"
+#include "fed/breaker_lifecycle.h"
+#include "net/network.h"
+#include "obs/decision.h"
+#include "obs/taxonomy.h"
+#include "sched/scheduler.h"
+#include "simos/credentials.h"
+#include "vfs/filesystem.h"
+
+namespace heus::fed {
+namespace {
+
+using common::kSecond;
+using core::Cluster;
+using core::ClusterConfig;
+using core::SeparationPolicy;
+using simos::Credentials;
+
+ClusterConfig small_config() {
+  ClusterConfig cfg;
+  cfg.compute_nodes = 2;
+  cfg.login_nodes = 1;
+  cfg.cpus_per_node = 8;
+  cfg.policy = SeparationPolicy::hardened();
+  return cfg;
+}
+
+/// Scriptable link: partition/loss toggles per test.
+struct ScriptedLink final : LinkFaultModel {
+  bool down = false;
+  unsigned drop_next = 0;  ///< drop this many messages, then deliver
+  std::int64_t extra = 0;
+
+  // Directed partition: only messages originating at down_from toward
+  // down_to are cut (kNoPair disables it). Lets a test cut the
+  // verification back-channel while the forward transport leg stays up.
+  static constexpr ClusterIdx kNoPair = static_cast<ClusterIdx>(-1);
+  ClusterIdx down_from = kNoPair;
+  ClusterIdx down_to = kNoPair;
+
+  [[nodiscard]] bool partitioned(ClusterIdx from,
+                                 ClusterIdx to) const override {
+    if (down) return true;
+    return from == down_from && to == down_to;
+  }
+  [[nodiscard]] std::int64_t extra_ns(ClusterIdx,
+                                      ClusterIdx) const override {
+    return extra;
+  }
+  bool drop_message(ClusterIdx, ClusterIdx) override {
+    if (drop_next == 0) return false;
+    --drop_next;
+    return true;
+  }
+};
+
+class FederationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_cluster = std::make_unique<Cluster>(small_config());
+    b_cluster = std::make_unique<Cluster>(small_config());
+    // alice and mallory exist on both clusters (different uids — the
+    // DBs are independent); bob exists only on A.
+    alice_a = *a_cluster->add_user("alice");
+    mallory_a = *a_cluster->add_user("mallory");
+    bob_a = *a_cluster->add_user("bob");
+    alice_b = *b_cluster->add_user("alice");
+    mallory_b = *b_cluster->add_user("mallory");
+    a_cluster->trace().set_enabled(true);
+    b_cluster->trace().set_enabled(true);
+
+    A = fed.add_cluster("alpha", a_cluster.get());
+    B = fed.add_cluster("beta", b_cluster.get());
+
+    b_host = b_cluster->node(b_cluster->compute_nodes()[0]).host();
+  }
+
+  [[nodiscard]] Credentials cred_a(Uid uid) {
+    return *simos::login(a_cluster->users(), uid);
+  }
+  [[nodiscard]] Credentials cred_b(Uid uid) {
+    return *simos::login(b_cluster->users(), uid);
+  }
+
+  /// fed_admission deny records on `c`'s trace carrying `knob`.
+  static std::size_t denials_with_knob(Cluster& c, const char* knob) {
+    std::size_t n = 0;
+    for (const obs::Decision& d : c.trace().snapshot()) {
+      if (d.point == obs::DecisionPoint::fed_admission &&
+          d.outcome == obs::Outcome::deny && d.knob != nullptr &&
+          std::string(d.knob) == knob) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  std::unique_ptr<Cluster> a_cluster, b_cluster;
+  Uid alice_a, mallory_a, bob_a, alice_b, mallory_b;
+  Federation fed;
+  ClusterIdx A = 0, B = 0;
+  HostId b_host{};
+};
+
+TEST_F(FederationTest, RemoteIdentMapsAccountsByName) {
+  auto id = fed.remote_ident(B, A, alice_a);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id->name, "alice");
+  EXPECT_EQ(id->home_uid, alice_a);
+  EXPECT_EQ(fed.stats().exchanges_ok, 1u);
+  // Unknown uid on the home cluster: ESRCH, not a silent admit.
+  EXPECT_EQ(fed.remote_ident(B, A, Uid{9999}).error(), Errno::esrch);
+}
+
+TEST_F(FederationTest, FederatedConnectAdmitsSameUserAcrossClusters) {
+  // alice@beta runs a listener; alice@alpha reaches it — same federated
+  // principal, different uids in the two DBs.
+  ASSERT_TRUE(b_cluster->network()
+                  .listen(b_host, cred_b(alice_b), Pid{10}, net::Proto::tcp,
+                          5000)
+                  .ok());
+  auto flow = fed.connect(A, cred_a(alice_a), B, b_host, net::Proto::tcp,
+                          5000);
+  ASSERT_TRUE(flow.ok());
+  EXPECT_EQ(fed.stats().connects, 1u);
+  EXPECT_EQ(fed.stats().verified, 1u);
+  // The verdict was rendered by beta's own UBF, as the mapped account.
+  EXPECT_GE(b_cluster->ubf().stats().allowed_same_user, 1u);
+}
+
+TEST_F(FederationTest, FederatedConnectCrossUserDeniedByPeerUbf) {
+  ASSERT_TRUE(b_cluster->network()
+                  .listen(b_host, cred_b(alice_b), Pid{10}, net::Proto::tcp,
+                          5000)
+                  .ok());
+  auto flow = fed.connect(A, cred_a(mallory_a), B, b_host, net::Proto::tcp,
+                          5000);
+  EXPECT_EQ(flow.error(), Errno::econnrefused);
+  EXPECT_GE(b_cluster->ubf().stats().denied, 1u);
+  EXPECT_EQ(fed.stats().connects, 0u);
+}
+
+TEST_F(FederationTest, FederatedConnectGroupPeersAdmitted) {
+  // widgets on beta: alice steward, mallory member. alice serves under
+  // the project group; mallory@alpha is admitted by beta's rule (b).
+  const Gid widgets = *b_cluster->create_project("widgets", alice_b);
+  ASSERT_TRUE(b_cluster->add_to_project(alice_b, widgets, mallory_b).ok());
+  Credentials server = *simos::newgrp(b_cluster->users(), cred_b(alice_b),
+                                      widgets);
+  ASSERT_TRUE(b_cluster->network()
+                  .listen(b_host, server, Pid{10}, net::Proto::tcp, 5000)
+                  .ok());
+  auto flow = fed.connect(A, cred_a(mallory_a), B, b_host, net::Proto::tcp,
+                          5000);
+  ASSERT_TRUE(flow.ok());
+  EXPECT_GE(b_cluster->ubf().stats().allowed_group, 1u);
+}
+
+TEST_F(FederationTest, UnmappedPrincipalFailsClosedWithUbfAttribution) {
+  // bob has no account on beta: the federation maps names, it never
+  // mints accounts. EPERM plus a fed-admission deny naming ubf.
+  auto flow = fed.connect(A, cred_a(bob_a), B, b_host, net::Proto::tcp,
+                          5000);
+  EXPECT_EQ(flow.error(), Errno::eperm);
+  EXPECT_EQ(fed.stats().denied_no_account, 1u);
+  EXPECT_EQ(denials_with_knob(*b_cluster, obs::knob::ubf), 1u);
+}
+
+TEST_F(FederationTest, SpoofedUidDeniedDeterministically) {
+  Credentials forged;
+  forged.uid = Uid{9999};
+  forged.egid = Gid{9999};
+  auto flow = fed.connect(A, forged, B, b_host, net::Proto::tcp, 5000);
+  EXPECT_EQ(flow.error(), Errno::eperm);
+  EXPECT_EQ(fed.stats().denied_spoofed, 1u);
+}
+
+TEST_F(FederationTest, FederatedPortalForwardServesOwnerAndDeniesForeign) {
+  // alice@beta runs a real interactive job and registers a notebook
+  // behind beta's portal.
+  auto as = *b_cluster->login(alice_b);
+  sched::JobSpec spec;
+  spec.interactive = true;
+  spec.duration_ns = 100 * kSecond;
+  auto job = b_cluster->submit(as, spec);
+  ASSERT_TRUE(job.ok());
+  b_cluster->scheduler().step();
+  const NodeId jn =
+      b_cluster->scheduler().find_job(*job)->allocations[0].node;
+  auto app = b_cluster->portal().register_app(
+      as.cred, as.shell, *job, b_cluster->node(jn).host(), 8888, "jupyter",
+      [](const std::string& req) { return "nb:" + req; });
+  ASSERT_TRUE(app.ok()) << errno_name(app.error());
+
+  auto resp = fed.portal_request(A, cred_a(alice_a), B, *app, "GET /lab");
+  ASSERT_TRUE(resp.ok()) << errno_name(resp.error());
+  EXPECT_EQ(*resp, "nb:GET /lab");
+  EXPECT_EQ(fed.stats().portal_forwards, 1u);
+
+  // mallory@alpha maps to mallory@beta, who is not alice: beta's UBF
+  // drops the forwarded hop.
+  EXPECT_FALSE(fed.portal_request(A, cred_a(mallory_a), B, *app, "GET /")
+                   .ok());
+  EXPECT_EQ(fed.stats().portal_forwards, 1u);
+}
+
+TEST_F(FederationTest, TransferLandsUnderMappedOwnership) {
+  Credentials src_user = cred_a(alice_a);
+  ASSERT_TRUE(a_cluster->shared_fs()
+                  .write_file(src_user, "/home/alice/data.bin",
+                              std::string(4096, 'x'))
+                  .ok());
+  auto moved = fed.transfer(A, src_user, "/home/alice/data.bin", B,
+                            "/home/alice/from-alpha.bin");
+  ASSERT_TRUE(moved.ok()) << errno_name(moved.error());
+  EXPECT_EQ(*moved, 4096u);
+  EXPECT_EQ(fed.stats().transfers_done, 1u);
+  EXPECT_EQ(fed.stats().bytes_moved, 4096u);
+  // Landed file is owned by beta's alice and readable only through
+  // beta's own DAC.
+  auto st = b_cluster->shared_fs().stat(cred_b(alice_b),
+                                        "/home/alice/from-alpha.bin");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->uid, alice_b);
+  EXPECT_FALSE(b_cluster->shared_fs()
+                   .read_file(cred_b(mallory_b), "/home/alice/from-alpha.bin")
+                   .ok());
+  // The WAN staging buffer drained after landing.
+  EXPECT_EQ(fed.link_buffer().size(), 0u);
+}
+
+TEST_F(FederationTest, TransferIntoForeignHomeDeniedByDestinationDac) {
+  Credentials src_user = cred_a(alice_a);
+  ASSERT_TRUE(a_cluster->shared_fs()
+                  .write_file(src_user, "/home/alice/data.bin", "payload")
+                  .ok());
+  auto moved = fed.transfer(A, src_user, "/home/alice/data.bin", B,
+                            "/home/mallory/stolen.bin");
+  EXPECT_FALSE(moved.ok());
+  EXPECT_EQ(fed.stats().transfers_failed, 1u);
+  EXPECT_EQ(fed.link_buffer().size(), 0u);
+}
+
+TEST_F(FederationTest, RetriesRecoverFromTransientLoss) {
+  ScriptedLink link;
+  fed.set_link_faults(&link);
+  ASSERT_TRUE(b_cluster->network()
+                  .listen(b_host, cred_b(alice_b), Pid{10}, net::Proto::tcp,
+                          5000)
+                  .ok());
+  link.drop_next = 2;  // first exchange times out twice, then delivers
+  auto flow = fed.connect(A, cred_a(alice_a), B, b_host, net::Proto::tcp,
+                          5000);
+  ASSERT_TRUE(flow.ok());
+  EXPECT_GE(fed.stats().retries, 1u);
+  EXPECT_GE(fed.stats().retry_successes, 1u);
+  EXPECT_EQ(fed.breaker_state(A, B), BreakerState::closed);
+}
+
+TEST_F(FederationTest, BreakerTripsFailsFastAndRecovers) {
+  ScriptedLink link;
+  fed.set_link_faults(&link);
+  link.down = true;
+
+  // Each failed operation (retries exhausted) counts one consecutive
+  // failure; the default threshold is 3.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(fed.remote_ident(A, B, Uid{1}).error(), Errno::ehostunreach);
+  }
+  EXPECT_EQ(fed.breaker_state(A, B), BreakerState::open);
+  EXPECT_EQ(fed.stats().breaker_trips, 1u);
+  EXPECT_EQ(denials_with_knob(*a_cluster, obs::knob::fed_fail_closed), 3u);
+
+  // Open: fail closed, fast — no link traffic, no retries.
+  const std::uint64_t retries_before = fed.stats().retries;
+  const auto t0 = a_cluster->clock().now();
+  EXPECT_EQ(fed.remote_ident(A, B, Uid{1}).error(), Errno::ehostunreach);
+  EXPECT_EQ(fed.stats().denied_breaker, 1u);
+  EXPECT_EQ(fed.stats().retries, retries_before);
+  EXPECT_EQ(a_cluster->clock().now().ns, t0.ns);  // zero wait
+  EXPECT_EQ(denials_with_knob(*a_cluster, obs::knob::fed_breaker), 1u);
+
+  // Cooldown elapses but the link is still down: the half-open probe
+  // fails (single attempt, no retry burst) and the breaker reopens.
+  fed.advance_all(fed.options().cooldown_ns + 1);
+  EXPECT_FALSE(fed.remote_ident(A, B, Uid{1}).ok());
+  EXPECT_EQ(fed.stats().breaker_reopens, 1u);
+  EXPECT_EQ(fed.breaker_state(A, B), BreakerState::open);
+
+  // Link heals; after another cooldown the probe verifies and the
+  // breaker closes.
+  link.down = false;
+  fed.advance_all(fed.options().cooldown_ns + 1);
+  EXPECT_TRUE(fed.remote_ident(A, B, alice_b).ok());
+  EXPECT_EQ(fed.stats().breaker_recoveries, 1u);
+  EXPECT_EQ(fed.breaker_state(A, B), BreakerState::closed);
+
+  // The breaker table never saw an illegal event.
+  EXPECT_EQ(fed.breaker_lifecycle().illegal_events(), 0u);
+}
+
+TEST_F(FederationTest, BreakersAreScopedPerDirectedPeer) {
+  ScriptedLink link;
+  fed.set_link_faults(&link);
+  link.down = true;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(fed.remote_ident(A, B, Uid{1}).ok());
+  }
+  EXPECT_EQ(fed.breaker_state(A, B), BreakerState::open);
+  // The reverse direction has its own breaker, still closed.
+  EXPECT_EQ(fed.breaker_state(B, A), BreakerState::closed);
+}
+
+TEST_F(FederationTest, PartitionDenialsAllCarryFederationKnob) {
+  ScriptedLink link;
+  fed.set_link_faults(&link);
+  link.down = true;
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_FALSE(fed.connect(A, cred_a(alice_a), B, b_host, net::Proto::tcp,
+                             5000)
+                     .ok());
+  }
+  // Every partition-induced denial is attributable: each one recorded a
+  // fed-admission deny naming a federation knob on alpha's trace.
+  const std::size_t attributed =
+      denials_with_knob(*a_cluster, obs::knob::fed_fail_closed) +
+      denials_with_knob(*a_cluster, obs::knob::fed_breaker);
+  EXPECT_EQ(attributed, 6u);
+  EXPECT_EQ(a_cluster->trace()
+                .counters(obs::DecisionPoint::fed_admission)
+                .denied,
+            6u);
+}
+
+TEST_F(FederationTest, FailOpenStrawmanAdmitsUnverifiedClaims) {
+  ScriptedLink link;
+  fed.set_link_faults(&link);
+  ASSERT_TRUE(b_cluster->network()
+                  .listen(b_host, cred_b(alice_b), Pid{10}, net::Proto::tcp,
+                          5000)
+                  .ok());
+  // Cut only beta's verification back-channel toward alpha; the
+  // forward transport leg stays up.
+  link.down_from = B;
+  link.down_to = A;
+
+  // Default (fail closed): the unverifiable request is denied even
+  // though the transport leg is healthy.
+  EXPECT_EQ(fed.connect(A, cred_a(alice_a), B, b_host, net::Proto::tcp,
+                        5000)
+                .error(),
+            Errno::ehostunreach);
+  EXPECT_EQ(fed.stats().fail_open_admits, 0u);
+
+  // Strawman (fail open): the same request is admitted on the strength
+  // of the unverified claim — counted so experiments can price the
+  // separation loss.
+  FedOptions opts;
+  opts.fail_open = true;
+  fed.set_options(opts);
+  auto gate = fed.connect(A, cred_a(alice_a), B, b_host, net::Proto::tcp,
+                          5000);
+  ASSERT_TRUE(gate.ok()) << errno_name(gate.error());
+  EXPECT_GE(fed.stats().fail_open_admits, 1u);
+}
+
+}  // namespace
+}  // namespace heus::fed
