@@ -1,5 +1,8 @@
 #include "analyze/json_util.h"
 
+#include <cstdio>
+#include <fstream>
+
 #include "common/strings.h"
 
 namespace heus::analyze {
@@ -31,6 +34,34 @@ std::string json_string_array(const std::vector<std::string>& items) {
     out += "\"" + json_escape(items[i]) + "\"";
   }
   return out + "]";
+}
+
+bool JsonSink::parse(const std::string& arg) {
+  if (arg == "--json") {
+    enabled_ = true;
+    path_.clear();
+    return true;
+  }
+  if (arg.rfind("--json=", 0) == 0) {
+    enabled_ = true;
+    path_ = arg.substr(7);
+    return true;
+  }
+  return false;
+}
+
+bool JsonSink::write(const std::string& json) const {
+  if (!enabled_) return true;
+  if (path_.empty()) {
+    std::fputs(json.c_str(), stdout);
+    if (!json.empty() && json.back() != '\n') std::fputc('\n', stdout);
+    return true;
+  }
+  std::ofstream out(path_);
+  if (!out) return false;
+  out << json;
+  if (!json.empty() && json.back() != '\n') out << '\n';
+  return out.good();
 }
 
 }  // namespace heus::analyze

@@ -17,4 +17,30 @@ namespace heus::analyze {
 [[nodiscard]] std::string json_string_array(
     const std::vector<std::string>& items);
 
+/// Shared `--json[=PATH]` flag handling for every heus-lint subcommand:
+/// bare `--json` sends the JSON document to stdout, `--json=PATH`
+/// writes it to PATH (in addition to whatever --format prints). One
+/// parser so the subcommands cannot drift on flag spelling.
+class JsonSink {
+ public:
+  /// Consume `arg` if it is `--json` or `--json=PATH`; returns whether
+  /// it was consumed.
+  bool parse(const std::string& arg);
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  /// Destination path; empty means stdout.
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] bool to_stdout() const {
+    return enabled_ && path_.empty();
+  }
+
+  /// Emit `json` to the configured destination. No-op (true) when the
+  /// sink is not enabled; false on I/O failure.
+  bool write(const std::string& json) const;
+
+ private:
+  bool enabled_ = false;
+  std::string path_;
+};
+
 }  // namespace heus::analyze

@@ -65,4 +65,19 @@ bool is_documented_residual(ChannelKind kind) {
          kind == ChannelKind::rdma_native_cm;
 }
 
+std::span<const char* const> all_knob_names() {
+  static constexpr const char* kNames[] = {
+      knob::hidepid,          knob::hidepid_gid_exemption,
+      knob::private_data_jobs, knob::private_data_accounting,
+      knob::private_data_usage, knob::sharing,
+      knob::pam_slurm,        knob::fs_enforce_smask,
+      knob::fs_honor_smask,   knob::fs_restrict_acl,
+      knob::root_owned_homes, knob::ubf,
+      knob::ubf_group_peers,  knob::gpu_dev_binding,
+      knob::gpu_epilog_scrub, knob::fed_fail_closed,
+      knob::fed_breaker,
+  };
+  return kNames;
+}
+
 }  // namespace heus::obs

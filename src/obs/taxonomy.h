@@ -11,6 +11,7 @@
 #pragma once
 
 #include <array>
+#include <span>
 
 namespace heus::obs {
 
@@ -97,5 +98,12 @@ inline constexpr const char* gpu_epilog_scrub = "gpu_epilog_scrub";
 inline constexpr const char* fed_fail_closed = "fed.fail_closed";
 inline constexpr const char* fed_breaker = "fed.breaker";
 }  // namespace knob
+
+/// Every knob name declared above, declaration order (registry knobs
+/// first, then the federation deployment knobs). The dead-knob lint
+/// iterates this span to prove each name is still wired to both the
+/// static analyzer and at least one Decision-recording enforcement
+/// site — a knob string that exists only here is drift.
+[[nodiscard]] std::span<const char* const> all_knob_names();
 
 }  // namespace heus::obs

@@ -17,6 +17,9 @@
 #include "analyze/degraded.h"
 #include "analyze/ingest/site.h"
 #include "analyze/ingest/site_report.h"
+#include "analyze/json_util.h"
+#include "analyze/knob_lint.h"
+#include "analyze/path_analyzer.h"
 #include "analyze/policy_space.h"
 #include "analyze/reachability.h"
 #include "analyze/report.h"
@@ -55,6 +58,29 @@ void usage(std::FILE* to) {
       "                              opening transitions (honors "
       "--format;\n"
       "                              --gate exits 1 on any finding)\n"
+      "  --paths                     compose the per-channel verdicts "
+      "into a\n"
+      "                              2-cluster capability graph, "
+      "enumerate\n"
+      "                              every multi-hop escalation path "
+      "with the\n"
+      "                              responsible knob per hop, propose "
+      "a\n"
+      "                              minimal hardening cut, sweep the "
+      "full\n"
+      "                              policy lattice, flag every "
+      "single-knob\n"
+      "                              ablation of hardened, and run the\n"
+      "                              dead-knob lint (honors --format;\n"
+      "                              --gate exits 1 on any escalation "
+      "path\n"
+      "                              or lint finding)\n"
+      "  --json[=PATH]               emit the subcommand's JSON "
+      "document to\n"
+      "                              stdout (bare) or to PATH, "
+      "independent\n"
+      "                              of --format; shared across all\n"
+      "                              subcommands\n"
       "  --degraded                  report which closed channels rely on\n"
       "                              fail-closed behavior under "
       "ident/network\n"
@@ -82,15 +108,25 @@ void usage(std::FILE* to) {
       to);
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-    }
-    out += c;
+using heus::analyze::json_escape;
+
+/// Route one subcommand's rendered documents: markdown/JSON to stdout
+/// per --format, plus the shared --json[=PATH] sink (which never prints
+/// the same document to stdout twice). Returns false on sink I/O error.
+bool emit(const std::string& format, const heus::analyze::JsonSink& sink,
+          const std::string& markdown, const std::string& json) {
+  if (format == "markdown" || format == "both") {
+    std::fputs(markdown.c_str(), stdout);
   }
-  return out;
+  if ((format == "json" || format == "both") && !sink.to_stdout()) {
+    std::fputs(json.c_str(), stdout);
+  }
+  if (!sink.write(json)) {
+    std::fprintf(stderr, "heus-lint: cannot write --json=%s\n",
+                 sink.path().c_str());
+    return false;
+  }
+  return true;
 }
 
 /// --trace: one leakage audit over a live demo cluster with the decision
@@ -135,7 +171,8 @@ std::string trace_row_json(const heus::obs::Decision& d) {
 }
 
 int run_trace(const heus::core::SeparationPolicy& policy,
-              const std::string& format) {
+              const std::string& format,
+              const heus::analyze::JsonSink& sink) {
   using namespace heus;
   core::ClusterConfig cfg;
   cfg.compute_nodes = 2;
@@ -154,36 +191,59 @@ int run_trace(const heus::core::SeparationPolicy& policy,
   const auto decisions = cluster.trace().snapshot();
   const std::size_t open = core::LeakageAuditor::open_count(reports);
 
-  if (format == "markdown" || format == "both") {
-    std::printf("# heus decision trace\n\n");
-    std::printf("policy: %s\n\n", analyze::describe_policy(policy).c_str());
-    std::printf("%zu decision(s) recorded over one leakage audit "
-                "(victim=%u, observer=%u); %zu channels probed, %zu "
-                "open.\n\n",
-                decisions.size(), victim.value(), observer.value(),
-                reports.size(), open);
-    std::printf("| seq | t(ns) | point | outcome | subject | owner | "
-                "channel | knob | cache | object |\n");
-    std::printf("|----:|------:|-------|---------|--------:|------:|"
-                "---------|------|-------|--------|\n");
-    for (const obs::Decision& d : decisions) {
-      std::printf("%s\n", trace_row_markdown(d).c_str());
-    }
+  std::string md = "# heus decision trace\n\n";
+  md += "policy: " + analyze::describe_policy(policy) + "\n\n";
+  md += std::to_string(decisions.size()) +
+        " decision(s) recorded over one leakage audit (victim=" +
+        std::to_string(victim.value()) +
+        ", observer=" + std::to_string(observer.value()) + "); " +
+        std::to_string(reports.size()) + " channels probed, " +
+        std::to_string(open) + " open.\n\n";
+  md += "| seq | t(ns) | point | outcome | subject | owner | "
+        "channel | knob | cache | object |\n";
+  md += "|----:|------:|-------|---------|--------:|------:|"
+        "---------|------|-------|--------|\n";
+  for (const obs::Decision& d : decisions) {
+    md += trace_row_markdown(d) + "\n";
   }
-  if (format == "json" || format == "both") {
-    std::printf("{\n  \"policy\": \"%s\",\n",
-                json_escape(analyze::describe_policy(policy)).c_str());
-    std::printf("  \"decisions\": [\n");
-    for (std::size_t i = 0; i < decisions.size(); ++i) {
-      std::string row = trace_row_json(decisions[i]);
-      if (i + 1 < decisions.size()) {
-        row += ",";
-      }
-      std::printf("%s\n", row.c_str());
-    }
-    std::printf("  ]\n}\n");
+
+  std::string json = "{\n  \"policy\": \"" +
+                     json_escape(analyze::describe_policy(policy)) +
+                     "\",\n  \"decisions\": [\n";
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    json += trace_row_json(decisions[i]);
+    if (i + 1 < decisions.size()) json += ",";
+    json += "\n";
   }
-  return 0;
+  json += "  ]\n}\n";
+  return emit(format, sink, md, json) ? 0 : 2;
+}
+
+/// Minimal JSON rendering of the degraded census (the markdown emitter
+/// lives in analyze/degraded.cpp; this stays here until a second
+/// consumer wants it).
+std::string degraded_to_json(const heus::analyze::DegradedReport& report) {
+  using heus::analyze::describe_policy;
+  std::string out = "{\n  \"policy\": \"" +
+                    json_escape(describe_policy(report.policy)) +
+                    "\",\n  \"channels\": [\n";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const auto& f = report.findings[i];
+    out += std::string("    {\"channel\": \"") + to_string(f.kind) +
+           "\", \"behavior\": \"" + to_string(f.behavior) +
+           "\", \"note\": \"" + json_escape(f.note) + "\"}";
+    out += i + 1 < report.findings.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n  \"federation\": [\n";
+  for (std::size_t i = 0; i < report.federation.size(); ++i) {
+    const auto& f = report.federation[i];
+    out += "    {\"operation\": \"" + json_escape(f.operation) +
+           "\", \"behavior\": \"" + std::string(to_string(f.behavior)) +
+           "\", \"note\": \"" + json_escape(f.note) + "\"}";
+    out += i + 1 < report.federation.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
 }
 
 }  // namespace
@@ -195,10 +255,12 @@ int main(int argc, char** argv) {
   analyze::TopologyFacts facts;
   std::string format = "markdown";
   std::string site_dir;
+  analyze::JsonSink sink;
   bool gate = false;
   bool degraded = false;
   bool trace = false;
   bool reach = false;
+  bool paths = false;
 
   auto value_of = [](const char* arg, const char* flag) -> const char* {
     const std::size_t n = std::strlen(flag);
@@ -228,6 +290,10 @@ int main(int argc, char** argv) {
       trace = true;
     } else if (std::strcmp(arg, "--reach") == 0) {
       reach = true;
+    } else if (std::strcmp(arg, "--paths") == 0) {
+      paths = true;
+    } else if (sink.parse(arg)) {
+      // consumed --json[=PATH]
     } else if (std::strcmp(arg, "--staff") == 0) {
       facts.observer_support_staff = true;
     } else if (std::strcmp(arg, "--operator") == 0) {
@@ -291,11 +357,9 @@ int main(int argc, char** argv) {
     }
     const analyze::ReachabilityChecker checker(facts);
     const analyze::ReachReport report = checker.check_shipped();
-    if (format == "markdown" || format == "both") {
-      std::fputs(analyze::reach_to_markdown(report).c_str(), stdout);
-    }
-    if (format == "json" || format == "both") {
-      std::fputs(analyze::reach_to_json(report).c_str(), stdout);
+    if (!emit(format, sink, analyze::reach_to_markdown(report),
+              analyze::reach_to_json(report))) {
+      return 2;
     }
     if (gate && !report.clean()) {
       std::fprintf(stderr,
@@ -306,13 +370,39 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
+  if (paths) {
+    if (trace || !site_dir.empty()) {
+      std::fprintf(stderr,
+                   "heus-lint: --paths reviews one policy; it does not "
+                   "combine with --trace or --site\n");
+      return 2;
+    }
+    const analyze::PathAnalyzer analyzer(facts);
+    const analyze::PathReport report = analyzer.full_report(policy);
+    const analyze::KnobLintReport lint = analyze::knob_lint();
+    if (!emit(format, sink, analyze::paths_to_markdown(report, &lint),
+              analyze::paths_to_json(report, &lint))) {
+      return 2;
+    }
+    if (gate && !(report.gate_ok() && lint.clean())) {
+      std::fprintf(stderr,
+                   "heus-lint: PATHS GATE FAILED — %zu escalation "
+                   "path(s), %zu hardened lattice path(s), %zu "
+                   "dead-knob finding(s)\n",
+                   report.escalation.size(),
+                   report.sweep.hardened_escalation_paths,
+                   lint.findings.size());
+      return 1;
+    }
+    return 0;
+  }
   if (trace) {
     if (!site_dir.empty()) {
       std::fprintf(stderr,
                    "heus-lint: --trace reviews one policy, not --site\n");
       return 2;
     }
-    return run_trace(policy, format);
+    return run_trace(policy, format, sink);
   }
   if (!site_dir.empty()) {
     std::string error;
@@ -323,11 +413,9 @@ int main(int argc, char** argv) {
     }
     const analyze::ingest::SiteReview review =
         analyze::ingest::review_site(std::move(*site), facts);
-    if (format == "markdown" || format == "both") {
-      std::fputs(analyze::ingest::to_markdown(review).c_str(), stdout);
-    }
-    if (format == "json" || format == "both") {
-      std::fputs(analyze::ingest::to_json(review).c_str(), stdout);
+    if (!emit(format, sink, analyze::ingest::to_markdown(review),
+              analyze::ingest::to_json(review))) {
+      return 2;
     }
     if (gate && !review.gate_ok()) {
       std::fprintf(stderr,
@@ -344,15 +432,16 @@ int main(int argc, char** argv) {
   if (degraded) {
     const analyze::DegradedReport census =
         analyze::degraded_census(analyzer, policy);
-    std::fputs(analyze::to_markdown(census).c_str(), stdout);
+    if (!emit(format, sink, analyze::to_markdown(census),
+              degraded_to_json(census))) {
+      return 2;
+    }
     return 0;
   }
   const analyze::AnalysisReport report = analyzer.analyze(policy);
-  if (format == "markdown" || format == "both") {
-    std::fputs(analyze::to_markdown(report).c_str(), stdout);
-  }
-  if (format == "json" || format == "both") {
-    std::fputs(analyze::to_json(report).c_str(), stdout);
+  if (!emit(format, sink, analyze::to_markdown(report),
+            analyze::to_json(report))) {
+    return 2;
   }
   if (gate && report.unexpected_open_count() > 0) {
     std::fprintf(stderr,

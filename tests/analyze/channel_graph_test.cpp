@@ -1,0 +1,276 @@
+// ChannelGraph tests (ISSUE 8): the mechanism catalogue is well-formed,
+// principal classes project onto the right topology facts, the hardened
+// pair admits only documented residuals, knob attribution names the
+// load-bearing knobs per edge, and — the property the catalogue is held
+// to — the lifecycle tables' opens() annotations agree with graph-edge
+// presence over the full policy lattice.
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analyze/channel_graph.h"
+#include "analyze/policy_space.h"
+#include "analyze/reachability.h"
+#include "fed/breaker_lifecycle.h"
+#include "net/flow_lifecycle.h"
+#include "obs/taxonomy.h"
+#include "portal/session_lifecycle.h"
+#include "sched/job_lifecycle.h"
+
+namespace heus::analyze {
+namespace {
+
+using core::SeparationPolicy;
+using obs::ChannelKind;
+
+std::vector<ClusterSpec> pair_of(const SeparationPolicy& p) {
+  return {{"a", p}, {"b", p}};
+}
+
+const GraphEdge* edge_by_id(const ChannelGraph& g, EdgeId id,
+                            std::uint32_t enforcing = 0) {
+  for (const GraphEdge& e : g.edges()) {
+    if (e.spec->id == id && e.enforcing_cluster == enforcing) return &e;
+  }
+  return nullptr;
+}
+
+TEST(ChannelGraphCatalog, ShapeAndLookup) {
+  const std::span<const EdgeSpec> catalog = edge_catalog();
+  EXPECT_EQ(catalog.size(), 28u);
+
+  std::set<EdgeId> ids;
+  for (const EdgeSpec& e : catalog) {
+    EXPECT_TRUE(ids.insert(e.id).second)
+        << "duplicate catalogue id for " << e.mechanism;
+    // Presence comes from exactly one source of truth: a channel
+    // verdict, a structural predicate, or unconditional (predicate-free
+    // structural entries: portal login, the WAN hop itself).
+    EXPECT_FALSE(e.channel && e.structurally_present != nullptr)
+        << e.mechanism;
+    EXPECT_NE(std::string(e.mechanism), "");
+    EXPECT_NE(std::string(e.layer), "");
+    EXPECT_EQ(find_edge_spec(e.id), &e);
+  }
+
+  // Cross-cluster entries are exactly the federation triple.
+  for (const EdgeSpec& e : catalog) {
+    const bool is_fed = std::string(e.layer) == "fed";
+    EXPECT_EQ(e.cross_cluster, is_fed) << e.mechanism;
+  }
+
+  // Lifecycle tags tie each table to the edges its opens() rows admit.
+  EXPECT_EQ(find_edge_spec(EdgeId::tcp_direct)->lifecycle,
+            &net::flow_machine());
+  EXPECT_EQ(find_edge_spec(EdgeId::udp_direct)->lifecycle,
+            &net::flow_machine());
+  EXPECT_EQ(find_edge_spec(EdgeId::portal_forward)->lifecycle,
+            &portal::session_machine());
+  EXPECT_EQ(find_edge_spec(EdgeId::gpu_residue)->lifecycle,
+            &sched::job_machine());
+  EXPECT_EQ(find_edge_spec(EdgeId::fed_connect)->lifecycle,
+            &fed::breaker_machine());
+  EXPECT_EQ(find_edge_spec(EdgeId::fed_portal)->lifecycle,
+            &fed::breaker_machine());
+
+  // Every edge terminates at an asset or a foothold the paths walk
+  // through; only the WAN hop carries a wan_knob.
+  for (const EdgeSpec& e : catalog) {
+    if (e.id == EdgeId::fed_gateway) {
+      EXPECT_STREQ(e.wan_knob, obs::knob::fed_fail_closed);
+    } else {
+      EXPECT_EQ(e.wan_knob, nullptr) << e.mechanism;
+    }
+  }
+}
+
+TEST(ChannelGraphCatalog, FactsForProjectsOnlyTheClassSwitch) {
+  const TopologyFacts base;
+  const TopologyFacts staff =
+      facts_for(PrincipalClass::support_staff, base);
+  EXPECT_TRUE(staff.observer_support_staff);
+  EXPECT_FALSE(staff.observer_operator);
+  EXPECT_FALSE(staff.shared_service_group);
+
+  const TopologyFacts oper =
+      facts_for(PrincipalClass::operator_role, base);
+  EXPECT_TRUE(oper.observer_operator);
+  EXPECT_FALSE(oper.observer_support_staff);
+
+  const TopologyFacts peer = facts_for(PrincipalClass::project_peer, base);
+  EXPECT_TRUE(peer.shared_service_group);
+  EXPECT_FALSE(peer.observer_operator);
+
+  const TopologyFacts none = facts_for(PrincipalClass::unprivileged, base);
+  EXPECT_FALSE(none.observer_support_staff);
+  EXPECT_FALSE(none.observer_operator);
+  EXPECT_FALSE(none.shared_service_group);
+}
+
+TEST(ChannelGraph, HardenedPairAdmitsOnlyDocumentedResiduals) {
+  const ChannelGraph g =
+      ChannelGraph::build(pair_of(SeparationPolicy::hardened()));
+  EXPECT_EQ(g.nodes().size(), 2 * kVantageCount);
+  EXPECT_EQ(g.principal(), PrincipalClass::unprivileged);
+
+  std::set<ChannelKind> residual_channels;
+  for (const GraphEdge& e : g.edges()) {
+    if (!e.present) continue;
+    EXPECT_NE(e.cls, EdgeClass::open)
+        << e.spec->mechanism << " open under hardened";
+    if (e.cls == EdgeClass::residual) {
+      ASSERT_TRUE(e.spec->channel.has_value());
+      residual_channels.insert(*e.spec->channel);
+    }
+  }
+  // Exactly the paper's documented structural residuals (§V).
+  EXPECT_EQ(residual_channels,
+            (std::set<ChannelKind>{ChannelKind::fs_tmp_names,
+                                   ChannelKind::abstract_uds,
+                                   ChannelKind::rdma_native_cm}));
+
+  // The adversary can stand on their own login shell, a portal session
+  // and the peer's gateway, and see the residual assets — but never the
+  // victim's node, process info, sched rows or GPU residue.
+  const std::vector<std::uint32_t> reach = g.reachable();
+  auto reaches = [&](std::uint32_t c, Vantage v) {
+    return std::find(reach.begin(), reach.end(), g.node_index(c, v)) !=
+           reach.end();
+  };
+  EXPECT_TRUE(reaches(0, Vantage::login_shell));
+  EXPECT_TRUE(reaches(0, Vantage::portal_session));
+  EXPECT_TRUE(reaches(1, Vantage::fed_gateway));
+  EXPECT_TRUE(reaches(0, Vantage::victim_files));    // fs_tmp_names
+  EXPECT_TRUE(reaches(0, Vantage::victim_service));  // uds / rdma_cm
+  EXPECT_FALSE(reaches(0, Vantage::victim_node));
+  EXPECT_FALSE(reaches(0, Vantage::victim_process_info));
+  EXPECT_FALSE(reaches(0, Vantage::victim_sched_info));
+  EXPECT_FALSE(reaches(0, Vantage::victim_gpu_residue));
+  EXPECT_FALSE(reaches(1, Vantage::victim_service));
+  EXPECT_FALSE(reaches(1, Vantage::victim_files));
+
+  EXPECT_EQ(g.node_label(g.start_node()), "a/login-shell");
+}
+
+TEST(ChannelGraph, BaselinePairIsWideOpen) {
+  const ChannelGraph g =
+      ChannelGraph::build(pair_of(SeparationPolicy::baseline()));
+  std::size_t open_edges = 0;
+  for (const GraphEdge& e : g.edges()) {
+    if (e.present && e.cls == EdgeClass::open) ++open_edges;
+  }
+  EXPECT_GT(open_edges, 10u);
+
+  // Every vantage of the adversary's home cluster is reachable except
+  // its own fed-gateway (only *inbound* relays land there), plus the
+  // two WAN footholds on the peer: its gateway and the victim service
+  // the relayed flows terminate on.
+  EXPECT_EQ(g.reachable().size(), 10u);
+  const auto reaches = [&](std::uint32_t cluster, Vantage v) {
+    const auto r = g.reachable();
+    return std::find(r.begin(), r.end(), g.node_index(cluster, v)) !=
+           r.end();
+  };
+  for (const Vantage v :
+       {Vantage::login_shell, Vantage::victim_node, Vantage::portal_session,
+        Vantage::victim_service, Vantage::victim_files,
+        Vantage::victim_process_info, Vantage::victim_sched_info,
+        Vantage::victim_gpu_residue}) {
+    EXPECT_TRUE(reaches(0, v)) << g.node_label(g.node_index(0, v));
+  }
+  EXPECT_FALSE(reaches(0, Vantage::fed_gateway));
+  EXPECT_TRUE(reaches(1, Vantage::fed_gateway));
+  EXPECT_TRUE(reaches(1, Vantage::victim_service));
+  EXPECT_FALSE(reaches(1, Vantage::victim_files));
+
+  const GraphEdge* ssh = edge_by_id(g, EdgeId::ssh_gate);
+  ASSERT_NE(ssh, nullptr);
+  EXPECT_TRUE(ssh->present);
+  const GraphEdge* coloc = edge_by_id(g, EdgeId::colocation);
+  ASSERT_NE(coloc, nullptr);
+  EXPECT_TRUE(coloc->present);
+  EXPECT_EQ(coloc->cls, EdgeClass::structural);
+}
+
+TEST(ChannelGraph, AttributionNamesTheLoadBearingKnobs) {
+  const ChannelGraph base =
+      ChannelGraph::build(pair_of(SeparationPolicy::baseline()));
+
+  auto knobs_of = [&](const ChannelGraph& g, EdgeId id) {
+    const GraphEdge* e = edge_by_id(g, id);
+    EXPECT_NE(e, nullptr);
+    return e != nullptr ? e->responsible_knobs
+                        : std::vector<std::string>{};
+  };
+
+  // Single-knob channels: exactly the governing knob.
+  EXPECT_EQ(knobs_of(base, EdgeId::ssh_gate),
+            std::vector<std::string>{obs::knob::pam_slurm});
+  EXPECT_EQ(knobs_of(base, EdgeId::tcp_direct),
+            std::vector<std::string>{obs::knob::ubf});
+  EXPECT_EQ(knobs_of(base, EdgeId::sched_queue),
+            std::vector<std::string>{obs::knob::private_data_jobs});
+  EXPECT_EQ(knobs_of(base, EdgeId::gpu_residue),
+            std::vector<std::string>{obs::knob::gpu_epilog_scrub});
+
+  // home_read under baseline: root_owned_homes alone severs it (the
+  // smask pair only matters once homes stay user-owned); under
+  // hardened no single flip re-opens it — defense in depth.
+  EXPECT_EQ(knobs_of(base, EdgeId::home_read),
+            std::vector<std::string>{obs::knob::root_owned_homes});
+  const ChannelGraph hard =
+      ChannelGraph::build(pair_of(SeparationPolicy::hardened()));
+  EXPECT_TRUE(knobs_of(hard, EdgeId::home_read).empty());
+
+  // Pure residuals have no responsible knob at all.
+  EXPECT_TRUE(knobs_of(base, EdgeId::tmp_names).empty());
+  EXPECT_TRUE(knobs_of(hard, EdgeId::tmp_names).empty());
+
+  // attribute=false skips the search entirely.
+  const ChannelGraph bare = ChannelGraph::build(
+      pair_of(SeparationPolicy::baseline()), PrincipalClass::unprivileged,
+      TopologyFacts{}, /*attribute=*/false);
+  for (const GraphEdge& e : bare.edges()) {
+    EXPECT_TRUE(e.responsible_knobs.empty()) << e.spec->mechanism;
+  }
+}
+
+// The opens() <-> graph agreement property (ISSUE 8 satellite): for
+// every lifecycle table and EVERY point of the policy lattice, the
+// channels some reachable transition opens are exactly the channels of
+// the present graph edges tagged with that table. Two catalogues, one
+// truth.
+TEST(ChannelGraph, OpensAgreesWithEdgePresenceOverFullLattice) {
+  const std::size_t total = policy_space_size();
+  ASSERT_EQ(total, 73728u);
+
+  for (std::size_t i = 0; i < total; ++i) {
+    const SeparationPolicy p = policy_at(i);
+    const ChannelGraph g = ChannelGraph::build(
+        pair_of(p), PrincipalClass::unprivileged, TopologyFacts{},
+        /*attribute=*/false);
+
+    for (const lifecycle::MachineDef* def : lifecycle_machines()) {
+      std::vector<ChannelKind> expected;
+      for (const GraphEdge& e : g.edges()) {
+        if (e.spec->lifecycle != def || !e.present) continue;
+        ASSERT_TRUE(e.spec->channel.has_value());
+        expected.push_back(*e.spec->channel);
+      }
+      std::sort(expected.begin(), expected.end());
+      expected.erase(std::unique(expected.begin(), expected.end()),
+                     expected.end());
+
+      const std::vector<ChannelKind> opened = reachable_openings(*def, p);
+      ASSERT_EQ(opened, expected)
+          << def->name << " disagrees with the graph at lattice point "
+          << i << " (" << describe_policy(p) << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace heus::analyze

@@ -1,0 +1,142 @@
+// Dead-knob lint tests (ISSUE 8 satellite): the shipped knob name list
+// is clean — every taxonomy knob is wired to the static analyzer AND
+// to at least one Decision-recording enforcement site (or carries a
+// documented exemption) — and seeded drift (a misspelled name, a name
+// dropped from the list) is flagged.
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analyze/knob_lint.h"
+#include "obs/taxonomy.h"
+
+namespace heus::analyze {
+namespace {
+
+const KnobEvidence* evidence_for(const KnobLintReport& report,
+                                 const char* knob) {
+  for (const KnobEvidence& ev : report.knobs) {
+    if (ev.knob == knob) return &ev;
+  }
+  return nullptr;
+}
+
+bool has_site(const KnobEvidence& ev, const char* point) {
+  return std::find(ev.decision_points.begin(), ev.decision_points.end(),
+                   point) != ev.decision_points.end();
+}
+
+TEST(KnobLint, ShippedNameListIsClean) {
+  const KnobLintReport report = knob_lint();
+  for (const std::string& f : report.findings) {
+    ADD_FAILURE() << f;
+  }
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.knobs.size(), obs::all_knob_names().size());
+  EXPECT_EQ(report.knobs.size(), 17u);
+
+  for (const KnobEvidence& ev : report.knobs) {
+    EXPECT_TRUE(ev.in_registry || ev.fed_knob) << ev.knob;
+    EXPECT_TRUE(ev.analyzer_referenced || ev.analyzer_exempt) << ev.knob;
+    EXPECT_TRUE(!ev.decision_points.empty() || ev.enforcement_exempt)
+        << ev.knob;
+  }
+}
+
+TEST(KnobLint, ExemptionSetsAreExactlyTheDocumentedOnes) {
+  const KnobLintReport report = knob_lint();
+  std::set<std::string> enforcement_exempt;
+  std::set<std::string> analyzer_exempt;
+  for (const KnobEvidence& ev : report.knobs) {
+    if (ev.enforcement_exempt) {
+      enforcement_exempt.insert(ev.knob);
+      EXPECT_FALSE(ev.exemption_reason.empty()) << ev.knob;
+    }
+    if (ev.analyzer_exempt) {
+      analyzer_exempt.insert(ev.knob);
+      EXPECT_FALSE(ev.analyzer_exemption_reason.empty()) << ev.knob;
+    }
+  }
+  EXPECT_EQ(enforcement_exempt,
+            (std::set<std::string>{obs::knob::hidepid_gid_exemption,
+                                   obs::knob::fs_honor_smask}));
+  EXPECT_EQ(analyzer_exempt,
+            (std::set<std::string>{obs::knob::gpu_dev_binding}));
+}
+
+TEST(KnobLint, CensusReachesTheSitesTheAuditAloneDoesNot) {
+  const KnobLintReport report = knob_lint();
+
+  // The scripted scenarios beyond audit_pair: foreign /dev opens,
+  // whole-node placement refusals, group-peer admits, partitioned
+  // federation operations.
+  const KnobEvidence* gpu_dev =
+      evidence_for(report, obs::knob::gpu_dev_binding);
+  ASSERT_NE(gpu_dev, nullptr);
+  EXPECT_TRUE(has_site(*gpu_dev, "gpu-dev-access"));
+
+  const KnobEvidence* sharing = evidence_for(report, obs::knob::sharing);
+  ASSERT_NE(sharing, nullptr);
+  EXPECT_TRUE(has_site(*sharing, "sched-placement"));
+
+  const KnobEvidence* peers =
+      evidence_for(report, obs::knob::ubf_group_peers);
+  ASSERT_NE(peers, nullptr);
+  EXPECT_TRUE(has_site(*peers, "ubf-admission"));
+
+  const KnobEvidence* fail_closed =
+      evidence_for(report, obs::knob::fed_fail_closed);
+  ASSERT_NE(fail_closed, nullptr);
+  EXPECT_TRUE(fail_closed->fed_knob);
+  EXPECT_TRUE(has_site(*fail_closed, "fed-admission"));
+
+  const KnobEvidence* breaker =
+      evidence_for(report, obs::knob::fed_breaker);
+  ASSERT_NE(breaker, nullptr);
+  EXPECT_TRUE(has_site(*breaker, "fed-admission"));
+
+  // The UBF attributes at every layer it fronts.
+  const KnobEvidence* ubf = evidence_for(report, obs::knob::ubf);
+  ASSERT_NE(ubf, nullptr);
+  EXPECT_TRUE(has_site(*ubf, "ubf-admission"));
+  EXPECT_TRUE(has_site(*ubf, "portal-forward"));
+  EXPECT_TRUE(has_site(*ubf, "rdma-setup"));
+}
+
+TEST(KnobLint, MisspelledKnobIsFlagged) {
+  const std::vector<const char*> names = {obs::knob::hidepid,
+                                          "hidepid_gid_exmeption"};
+  const KnobLintReport report = knob_lint(names);
+  EXPECT_FALSE(report.clean());
+  const bool flagged = std::any_of(
+      report.findings.begin(), report.findings.end(),
+      [](const std::string& f) {
+        return f.find("hidepid_gid_exmeption") != std::string::npos &&
+               f.find("registry") != std::string::npos;
+      });
+  EXPECT_TRUE(flagged);
+}
+
+TEST(KnobLint, NameDroppedFromTheListIsFlagged) {
+  // Every shipped name except ubf: the runtime census still attributes
+  // ubf denials, so the reverse check fires.
+  std::vector<const char*> names;
+  for (const char* name : obs::all_knob_names()) {
+    if (std::string(name) != obs::knob::ubf) names.push_back(name);
+  }
+  const KnobLintReport report = knob_lint(names);
+  EXPECT_FALSE(report.clean());
+  const bool flagged = std::any_of(
+      report.findings.begin(), report.findings.end(),
+      [](const std::string& f) {
+        return f.find("'ubf'") != std::string::npos &&
+               f.find("missing") != std::string::npos;
+      });
+  EXPECT_TRUE(flagged);
+}
+
+}  // namespace
+}  // namespace heus::analyze

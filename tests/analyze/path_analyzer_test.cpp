@@ -1,0 +1,235 @@
+// PathAnalyzer tests (ISSUE 8 tentpole): the hardened deployment admits
+// zero multi-hop escalation paths across the full 73,728-point lattice;
+// the baseline admits the expected witness set; the minimal cut is
+// sound (severs everything) and irredundant (no member is spare); every
+// hardened single-knob mutation is classified exactly — flagged with
+// the re-opened hop and responsible knob, or proven defense-in-depth;
+// and asymmetric federation pairs escalate only into the lax side.
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analyze/channel_graph.h"
+#include "analyze/path_analyzer.h"
+#include "analyze/policy_space.h"
+#include "obs/taxonomy.h"
+
+namespace heus::analyze {
+namespace {
+
+using core::SeparationPolicy;
+
+std::vector<ClusterSpec> pair_of(const SeparationPolicy& a,
+                                 const SeparationPolicy& b) {
+  return {{"a", a}, {"b", b}};
+}
+
+TEST(PathAnalyzer, HardenedFullReportPassesTheGate) {
+  const PathAnalyzer analyzer;
+  const PathReport report =
+      analyzer.full_report(SeparationPolicy::hardened());
+
+  for (const AttackPath& p : report.escalation) {
+    ADD_FAILURE() << "hardened escalation path: "
+                  << path_label(report.graph, p);
+  }
+  EXPECT_TRUE(report.escalation.empty());
+  EXPECT_TRUE(report.minimal_cut.empty());
+  EXPECT_TRUE(report.gate_ok());
+
+  // The documented residuals remain visible as residual-class paths.
+  EXPECT_EQ(report.residual.size(), 3u);
+
+  // Exact sweep: every lattice point, no sampling; hardened is the
+  // proof obligation, almost everything else escalates somewhere.
+  EXPECT_TRUE(report.swept);
+  EXPECT_EQ(report.sweep.policies, policy_space_size());
+  EXPECT_EQ(report.sweep.policies, 73728u);
+  EXPECT_EQ(report.sweep.hardened_escalation_paths, 0u);
+  EXPECT_GT(report.sweep.policies_with_escalation, 70000u);
+  EXPECT_GT(report.sweep.behaviour_classes, 1u);
+  EXPECT_GT(report.sweep.max_escalation_paths, 0u);
+  EXPECT_FALSE(report.sweep.worst_policy.empty());
+}
+
+TEST(PathAnalyzer, MutationSweepClassifiesEveryKnobExactly) {
+  const PathAnalyzer analyzer;
+  const std::vector<MutationFinding> mutations = analyzer.mutation_sweep();
+  EXPECT_EQ(mutations.size(), knobs().size());
+
+  std::set<std::string> flagged;
+  std::set<std::string> depth;
+  for (const MutationFinding& m : mutations) {
+    if (m.escalation_paths > 0) {
+      flagged.insert(m.knob);
+      // Every flagged ablation names its exact re-opened path and hop.
+      EXPECT_FALSE(m.witness.empty()) << m.knob;
+      EXPECT_GE(m.reopened_hop, 0) << m.knob;
+      EXPECT_FALSE(m.reopened_mechanism.empty()) << m.knob;
+      EXPECT_FALSE(m.hop_knobs.empty()) << m.knob;
+    } else {
+      depth.insert(m.knob);
+      EXPECT_TRUE(m.witness.empty()) << m.knob;
+      EXPECT_EQ(m.reopened_hop, -1) << m.knob;
+    }
+  }
+
+  // Re-opening any one of these nine knobs is flagged (>= the 4 the
+  // acceptance floor requires); the other six are defense in depth —
+  // another hardened knob still covers every path they guard.
+  EXPECT_EQ(flagged,
+            (std::set<std::string>{
+                obs::knob::hidepid, obs::knob::private_data_jobs,
+                obs::knob::private_data_accounting,
+                obs::knob::private_data_usage, obs::knob::pam_slurm,
+                obs::knob::fs_enforce_smask, obs::knob::fs_honor_smask,
+                obs::knob::ubf, obs::knob::gpu_epilog_scrub}));
+  EXPECT_EQ(depth, (std::set<std::string>{
+                       obs::knob::hidepid_gid_exemption,
+                       obs::knob::sharing, obs::knob::fs_restrict_acl,
+                       obs::knob::root_owned_homes,
+                       obs::knob::ubf_group_peers,
+                       obs::knob::gpu_dev_binding}));
+
+  // Spot-check the attributions the report renders.
+  for (const MutationFinding& m : mutations) {
+    if (m.knob == obs::knob::pam_slurm) {
+      // The ssh foothold re-opens a genuinely multi-hop chain.
+      EXPECT_EQ(m.reopened_hop, 0);
+      EXPECT_EQ(m.reopened_mechanism, "ssh to victim's node");
+      EXPECT_NE(m.witness.find("victim-node"), std::string::npos);
+      EXPECT_GE(m.hop_knobs.size(), 2u);
+      EXPECT_NE(m.hop_knobs[0].find(obs::knob::pam_slurm),
+                std::string::npos);
+    }
+    if (m.knob == obs::knob::ubf) {
+      // tcp, udp, rdma-over-tcp, portal forward, and both federated
+      // relays re-open at once.
+      EXPECT_EQ(m.escalation_paths, 6u);
+    }
+    if (m.knob == obs::knob::gpu_epilog_scrub) {
+      EXPECT_EQ(m.reopened_mechanism, "stale gpu memory");
+    }
+  }
+}
+
+TEST(PathAnalyzer, BaselineWitnessSetAndPotentialUniverse) {
+  const PathAnalyzer analyzer;
+  const PathReport report = analyzer.analyze(pair_of(
+      SeparationPolicy::baseline(), SeparationPolicy::baseline()));
+
+  // 25 escalation paths, of which some are multi-hop and none cross
+  // the WAN into an asset without the gateway hop.
+  EXPECT_EQ(report.escalation.size(), 25u);
+  const auto multi_hop = std::count_if(
+      report.escalation.begin(), report.escalation.end(),
+      [](const AttackPath& p) { return p.edges.size() >= 2; });
+  EXPECT_GE(multi_hop, 10);
+  const auto cross = std::count_if(
+      report.escalation.begin(), report.escalation.end(),
+      [](const AttackPath& p) { return p.cross_cluster; });
+  EXPECT_EQ(cross, 2);
+
+  // The potential-path universe (the oracle's trial list) is the same
+  // shape regardless of policy: 29 paths, 13 multi-hop, 2 WAN.
+  const std::vector<AttackPath> universe =
+      PathAnalyzer::enumerate(report.graph, /*include_absent=*/true);
+  EXPECT_EQ(universe.size(), 29u);
+  EXPECT_EQ(std::count_if(
+                universe.begin(), universe.end(),
+                [](const AttackPath& p) { return p.edges.size() >= 2; }),
+            13);
+  EXPECT_EQ(std::count_if(
+                universe.begin(), universe.end(),
+                [](const AttackPath& p) { return p.cross_cluster; }),
+            2);
+
+  // path_label renders the hop chain in report form.
+  ASSERT_FALSE(report.escalation.empty());
+  const std::string label =
+      path_label(report.graph, report.escalation.front());
+  EXPECT_NE(label.find("a/login-shell --["), std::string::npos);
+}
+
+TEST(PathAnalyzer, MinimalCutIsSoundAndIrredundant) {
+  const PathAnalyzer analyzer;
+  const std::vector<ClusterSpec> base = pair_of(
+      SeparationPolicy::baseline(), SeparationPolicy::baseline());
+  const PathReport report = analyzer.analyze(base);
+  ASSERT_FALSE(report.minimal_cut.empty());
+
+  auto escalation_after = [&](const std::vector<std::string>& cut) {
+    std::vector<ClusterSpec> members = base;
+    for (ClusterSpec& c : members) {
+      for (const std::string& name : cut) {
+        const KnobSpec* k = find_knob(name);
+        EXPECT_NE(k, nullptr) << name;
+        if (k != nullptr) k->set(c.policy, /*hardened=*/true);
+      }
+    }
+    std::size_t n = 0;
+    for (const AttackPath& p : PathAnalyzer::enumerate(
+             ChannelGraph::build(members, analyzer.principal(),
+                                 analyzer.facts(), /*attribute=*/false))) {
+      if (p.has_open_hop) ++n;
+    }
+    return n;
+  };
+
+  // Sound: hardening the cut severs every escalation path.
+  EXPECT_EQ(escalation_after(report.minimal_cut), 0u);
+
+  // Irredundant: dropping any one member leaves a live path.
+  for (const std::string& victim : report.minimal_cut) {
+    std::vector<std::string> without = report.minimal_cut;
+    without.erase(
+        std::find(without.begin(), without.end(), victim));
+    EXPECT_GT(escalation_after(without), 0u)
+        << victim << " is redundant in the cut";
+  }
+
+  // The AND-gated smask pair enters the cut together: neither knob
+  // alone flips the /tmp surface, both are needed to sever it.
+  EXPECT_NE(std::find(report.minimal_cut.begin(),
+                      report.minimal_cut.end(),
+                      obs::knob::fs_enforce_smask),
+            report.minimal_cut.end());
+  EXPECT_NE(std::find(report.minimal_cut.begin(),
+                      report.minimal_cut.end(),
+                      obs::knob::fs_honor_smask),
+            report.minimal_cut.end());
+}
+
+TEST(PathAnalyzer, AsymmetricPairsEscalateOnlyIntoTheLaxSide) {
+  const PathAnalyzer analyzer;
+
+  // Hardened home, baseline peer: the WAN relay lands in the peer
+  // because the PEER's UBF is what admits the relayed flow.
+  const PathReport lax_peer = analyzer.analyze(pair_of(
+      SeparationPolicy::hardened(), SeparationPolicy::baseline()));
+  const auto cross_escalation = [](const PathReport& r) {
+    return std::count_if(
+        r.escalation.begin(), r.escalation.end(),
+        [](const AttackPath& p) { return p.cross_cluster; });
+  };
+  EXPECT_EQ(cross_escalation(lax_peer), 2);
+  for (const AttackPath& p : lax_peer.escalation) {
+    // Every escalation path of this pair crosses into cluster 1 — the
+    // hardened home cluster itself admits nothing.
+    EXPECT_TRUE(p.cross_cluster)
+        << path_label(lax_peer.graph, p);
+  }
+
+  // Baseline home, hardened peer: plenty of local escalation, but the
+  // hardened peer's enforcement wins on the relayed direction.
+  const PathReport lax_home = analyzer.analyze(pair_of(
+      SeparationPolicy::baseline(), SeparationPolicy::hardened()));
+  EXPECT_GT(lax_home.escalation.size(), 0u);
+  EXPECT_EQ(cross_escalation(lax_home), 0);
+}
+
+}  // namespace
+}  // namespace heus::analyze

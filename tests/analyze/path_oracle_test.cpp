@@ -1,0 +1,125 @@
+// Differential path-oracle tests (ISSUE 8 tentpole, acceptance): the
+// static path claims and the live 2-cluster federation agree step by
+// step on every executed hop — 64+ multi-hop trials across the standard
+// run matrix, including the cross-cluster paths through src/fed both
+// healthy and partitioned, with the partition's denials attributed to
+// fed.fail_closed and, once tripped, fed.breaker.
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "analyze/path_oracle.h"
+#include "core/policy.h"
+#include "obs/taxonomy.h"
+
+namespace heus::analyze {
+namespace {
+
+using core::SeparationPolicy;
+
+TEST(PathOracle, HealthyHardenedRunExecutesTheFullUniverse) {
+  OracleOptions opts;
+  opts.policy_a = SeparationPolicy::hardened();
+  opts.policy_b = SeparationPolicy::hardened();
+  opts.label = "hardened/hardened";
+  const OracleRun run = run_path_oracle(opts);
+
+  // Every potential path of the 2-cluster catalogue is tried once.
+  EXPECT_EQ(run.trials.size(), 29u);
+  EXPECT_EQ(run.multi_hop_count, 13u);
+  EXPECT_EQ(run.cross_cluster_count, 2u);
+  for (const PathTrial& t : run.trials) {
+    EXPECT_TRUE(t.agree) << t.label;
+    for (const HopTrial& h : t.hops) {
+      EXPECT_TRUE(h.agree) << t.label << " hop " << h.mechanism << ": "
+                           << h.detail;
+    }
+  }
+  EXPECT_EQ(run.agree_count, run.trials.size());
+}
+
+TEST(PathOracle, StandardMatrixAgreesEverywhere) {
+  const OracleReport report = run_standard_oracle();
+  for (const std::string& d : report.disagreements) {
+    ADD_FAILURE() << d;
+  }
+  EXPECT_TRUE(report.all_agree);
+  EXPECT_EQ(report.runs.size(), 6u);
+  EXPECT_EQ(report.agreed, report.trials);
+
+  // Acceptance floor: >= 64 multi-hop trials and >= 1 cross-cluster
+  // trial through src/fed.
+  EXPECT_GE(report.multi_hop, 64u);
+  EXPECT_GE(report.cross_cluster, 1u);
+
+  // The matrix includes both asymmetric pairs and a partitioned WAN.
+  const auto has_run = [&](const std::string& needle, bool partitioned) {
+    return std::any_of(report.runs.begin(), report.runs.end(),
+                       [&](const OracleRun& r) {
+                         return r.label.find(needle) !=
+                                    std::string::npos &&
+                                r.partitioned == partitioned;
+                       });
+  };
+  EXPECT_TRUE(has_run("hardened/baseline", false));
+  EXPECT_TRUE(has_run("baseline/hardened", false));
+  EXPECT_TRUE(has_run("partitioned", true));
+}
+
+TEST(PathOracle, PartitionAttributesFailClosedThenBreaker) {
+  const OracleReport report = run_standard_oracle();
+  const OracleRun* partitioned = nullptr;
+  for (const OracleRun& r : report.runs) {
+    if (r.partitioned) partitioned = &r;
+  }
+  ASSERT_NE(partitioned, nullptr);
+
+  // Under partition only the cross-cluster paths run, repeated until
+  // the breaker trips: early denials attribute the fail-closed
+  // verification, later ones the open breaker.
+  EXPECT_GT(partitioned->trials.size(), 2u);
+  bool saw_fail_closed = false;
+  bool saw_breaker = false;
+  for (const PathTrial& t : partitioned->trials) {
+    EXPECT_TRUE(t.cross_cluster) << t.label;
+    for (const HopTrial& h : t.hops) {
+      EXPECT_FALSE(h.crossed) << t.label << " hop " << h.mechanism;
+      if (h.predicted_knob == obs::knob::fed_fail_closed &&
+          h.knob_observed) {
+        saw_fail_closed = true;
+      }
+      if (h.predicted_knob == obs::knob::fed_breaker && h.knob_observed) {
+        saw_breaker = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_fail_closed);
+  EXPECT_TRUE(saw_breaker);
+}
+
+TEST(PathOracle, SingleAblationRunReopensOnlyItsPaths) {
+  SeparationPolicy no_pam = SeparationPolicy::hardened();
+  no_pam.pam_slurm = false;
+  OracleOptions opts;
+  opts.policy_a = no_pam;
+  opts.policy_b = no_pam;
+  opts.label = "hardened minus pam_slurm";
+  const OracleRun run = run_path_oracle(opts);
+
+  std::size_t crossed_open = 0;
+  for (const PathTrial& t : run.trials) {
+    EXPECT_TRUE(t.agree) << t.label;
+    // The re-opened foothold: ssh now lands on the victim's node, and
+    // the chain continues exactly as far as the graph says.
+    if (!t.hops.empty() &&
+        t.hops.front().mechanism == "ssh to victim's node") {
+      EXPECT_TRUE(t.hops.front().crossed) << t.label;
+      ++crossed_open;
+    }
+  }
+  EXPECT_GT(crossed_open, 0u);
+}
+
+}  // namespace
+}  // namespace heus::analyze

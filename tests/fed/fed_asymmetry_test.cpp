@@ -1,0 +1,184 @@
+// Per-peer policy asymmetry tests (ISSUE 8 satellite): a federation of
+// one hardened and one baseline cluster. Because federated operations
+// are admitted by the *destination* cluster's own stack, the enforcing
+// side's verdict wins in both directions: relays into the lax peer land
+// (its UBF is off), relays into the hardened home are denied by its own
+// UBF with the `ubf` knob attributed on the enforcing cluster's trace.
+// This is the dynamic twin of the static
+// PathAnalyzer.AsymmetricPairsEscalateOnlyIntoTheLaxSide property.
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/errno.h"
+#include "core/cluster.h"
+#include "fed/federation.h"
+#include "net/network.h"
+#include "obs/decision.h"
+#include "obs/taxonomy.h"
+#include "sched/scheduler.h"
+#include "simos/credentials.h"
+
+namespace heus::fed {
+namespace {
+
+using common::kSecond;
+using core::Cluster;
+using core::ClusterConfig;
+using core::SeparationPolicy;
+using simos::Credentials;
+
+ClusterConfig config_with(const SeparationPolicy& policy) {
+  ClusterConfig cfg;
+  cfg.compute_nodes = 2;
+  cfg.login_nodes = 1;
+  cfg.cpus_per_node = 8;
+  cfg.policy = policy;
+  return cfg;
+}
+
+/// Hardened `alpha` federated with baseline `beta`; alice and mallory
+/// exist on both sides (independent uids, mapped by name).
+class FedAsymmetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    hard_cluster =
+        std::make_unique<Cluster>(config_with(SeparationPolicy::hardened()));
+    lax_cluster =
+        std::make_unique<Cluster>(config_with(SeparationPolicy::baseline()));
+    alice_h = *hard_cluster->add_user("alice");
+    mallory_h = *hard_cluster->add_user("mallory");
+    alice_l = *lax_cluster->add_user("alice");
+    mallory_l = *lax_cluster->add_user("mallory");
+    hard_cluster->trace().set_enabled(true);
+    lax_cluster->trace().set_enabled(true);
+
+    H = fed.add_cluster("alpha", hard_cluster.get());
+    L = fed.add_cluster("beta", lax_cluster.get());
+
+    hard_host = hard_cluster->node(hard_cluster->compute_nodes()[0]).host();
+    lax_host = lax_cluster->node(lax_cluster->compute_nodes()[0]).host();
+  }
+
+  [[nodiscard]] Credentials cred_h(Uid uid) {
+    return *simos::login(hard_cluster->users(), uid);
+  }
+  [[nodiscard]] Credentials cred_l(Uid uid) {
+    return *simos::login(lax_cluster->users(), uid);
+  }
+
+  /// Deny records at `point` on `c`'s trace carrying `knob`.
+  static std::size_t denials_at(Cluster& c, obs::DecisionPoint point,
+                                const char* knob) {
+    std::size_t n = 0;
+    for (const obs::Decision& d : c.trace().snapshot()) {
+      if (d.point == point && d.outcome == obs::Outcome::deny &&
+          d.knob != nullptr && std::string(d.knob) == knob) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  /// A foreign-owned app behind `c`'s portal: alice runs an interactive
+  /// job and registers a notebook on her allocation.
+  [[nodiscard]] portal::AppId victim_app(Cluster& c, Uid alice) {
+    auto as = *c.login(alice);
+    sched::JobSpec spec;
+    spec.interactive = true;
+    spec.duration_ns = 100 * kSecond;
+    auto job = c.submit(as, spec);
+    EXPECT_TRUE(job.ok());
+    c.scheduler().step();
+    const NodeId jn = c.scheduler().find_job(*job)->allocations[0].node;
+    auto app = c.portal().register_app(
+        as.cred, as.shell, *job, c.node(jn).host(), 8888, "jupyter",
+        [](const std::string& req) { return "nb:" + req; });
+    EXPECT_TRUE(app.ok()) << errno_name(app.error());
+    return *app;
+  }
+
+  std::unique_ptr<Cluster> hard_cluster, lax_cluster;
+  Uid alice_h, mallory_h, alice_l, mallory_l;
+  Federation fed;
+  ClusterIdx H = 0, L = 0;
+  HostId hard_host{}, lax_host{};
+};
+
+TEST_F(FedAsymmetryTest, ConnectIntoTheLaxPeerIsAdmitted) {
+  // alice@beta serves; mallory@alpha relays in. The enforcing side is
+  // baseline beta, whose fabric carries no UBF: the cross-user flow
+  // lands even though mallory's home cluster is hardened.
+  ASSERT_TRUE(lax_cluster->network()
+                  .listen(lax_host, cred_l(alice_l), Pid{10},
+                          net::Proto::tcp, 5000)
+                  .ok());
+  auto flow = fed.connect(H, cred_h(mallory_h), L, lax_host,
+                          net::Proto::tcp, 5000);
+  ASSERT_TRUE(flow.ok()) << errno_name(flow.error());
+  EXPECT_EQ(fed.stats().connects, 1u);
+  // No enforcement fired anywhere: beta has nothing to enforce with,
+  // and alpha's hardened UBF never saw the flow (it terminates on beta).
+  EXPECT_EQ(denials_at(*lax_cluster, obs::DecisionPoint::ubf_admission,
+                       obs::knob::ubf),
+            0u);
+  EXPECT_EQ(denials_at(*hard_cluster, obs::DecisionPoint::ubf_admission,
+                       obs::knob::ubf),
+            0u);
+}
+
+TEST_F(FedAsymmetryTest, ConnectIntoTheHardenedHomeIsDeniedWithUbfKnob) {
+  // Mirror image: alice@alpha serves; mallory@beta relays in. Identity
+  // verification succeeds (mallory maps by name), but alpha's own UBF
+  // renders the verdict on the mapped local account and denies the
+  // cross-user flow, attributing the `ubf` knob on alpha's trace.
+  ASSERT_TRUE(hard_cluster->network()
+                  .listen(hard_host, cred_h(alice_h), Pid{10},
+                          net::Proto::tcp, 5000)
+                  .ok());
+  auto flow = fed.connect(L, cred_l(mallory_l), H, hard_host,
+                          net::Proto::tcp, 5000);
+  EXPECT_EQ(flow.error(), Errno::econnrefused);
+  EXPECT_EQ(fed.stats().connects, 0u);
+  EXPECT_GE(hard_cluster->ubf().stats().denied, 1u);
+  EXPECT_GE(denials_at(*hard_cluster, obs::DecisionPoint::ubf_admission,
+                       obs::knob::ubf),
+            1u);
+  // The lax side recorded no deny: it was never the enforcing cluster.
+  EXPECT_EQ(denials_at(*lax_cluster, obs::DecisionPoint::ubf_admission,
+                       obs::knob::ubf),
+            0u);
+}
+
+TEST_F(FedAsymmetryTest, PortalForwardIntoTheLaxPeerIsServed) {
+  // alice@beta's notebook answers mallory@alpha: baseline beta's portal
+  // forwards without a UBF on the app port.
+  const portal::AppId app = victim_app(*lax_cluster, alice_l);
+  auto resp = fed.portal_request(H, cred_h(mallory_h), L, app, "GET /");
+  ASSERT_TRUE(resp.ok()) << errno_name(resp.error());
+  EXPECT_EQ(*resp, "nb:GET /");
+  EXPECT_EQ(fed.stats().portal_forwards, 1u);
+}
+
+TEST_F(FedAsymmetryTest, PortalForwardIntoTheHardenedHomeIsDenied) {
+  // alice@alpha's notebook refuses mallory@beta: alpha's UBF inspects
+  // the forwarded hop and denies it, attributed at portal-forward.
+  const portal::AppId app = victim_app(*hard_cluster, alice_h);
+  auto resp = fed.portal_request(L, cred_l(mallory_l), H, app, "GET /");
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(fed.stats().portal_forwards, 0u);
+  EXPECT_GE(denials_at(*hard_cluster, obs::DecisionPoint::portal_forward,
+                       obs::knob::ubf),
+            1u);
+
+  // The owner herself still gets through from the lax side: asymmetry
+  // denies the adversary, not the federation.
+  auto owner = fed.portal_request(L, cred_l(alice_l), H, app, "GET /lab");
+  ASSERT_TRUE(owner.ok()) << errno_name(owner.error());
+  EXPECT_EQ(*owner, "nb:GET /lab");
+  EXPECT_EQ(fed.stats().portal_forwards, 1u);
+}
+
+}  // namespace
+}  // namespace heus::fed
