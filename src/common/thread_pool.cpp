@@ -1,0 +1,64 @@
+#include "common/thread_pool.h"
+
+namespace heus::common {
+
+WorkerPool::WorkerPool(unsigned workers) {
+  const unsigned n = workers == 0 ? 1 : workers;
+  threads_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  queue_.shutdown();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void WorkerPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++in_flight_;
+  }
+  if (!queue_.push(std::move(task))) {
+    // Shut down: the task will never run; undo the in-flight claim so
+    // wait_idle() cannot deadlock.
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+    ++failed_;
+  }
+}
+
+void WorkerPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+std::uint64_t WorkerPool::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return executed_;
+}
+
+std::uint64_t WorkerPool::failed_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_;
+}
+
+void WorkerPool::worker_loop() {
+  while (auto task = queue_.pop_blocking()) {
+    bool ok = true;
+    try {
+      (*task)();
+    } catch (...) {
+      ok = false;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++executed_;
+    if (!ok) ++failed_;
+    if (--in_flight_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace heus::common

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -173,7 +174,7 @@ template <typename GuardFn>
 class Driver {
  public:
   explicit Driver(const MachineDef* def)
-      : def_(def), fired_(def->transitions.size(), 0) {}
+      : def_(def), fired_(def->transitions.size()) {}
 
   [[nodiscard]] const MachineDef& def() const { return *def_; }
 
@@ -193,11 +194,12 @@ class Driver {
                          Uid object_owner = Uid{}) {
     const Transition* t = resolve(*def_, state, event, guard_true);
     if (t == nullptr) {
-      ++illegal_;
+      illegal_.fetch_add(1, std::memory_order_relaxed);
       return nullptr;
     }
     state = t->to;
-    ++fired_[static_cast<std::size_t>(t - def_->transitions.data())];
+    fired_[static_cast<std::size_t>(t - def_->transitions.data())]
+        .fetch_add(1, std::memory_order_relaxed);
     if (trace_ != nullptr) {
       trace_->record(obs::DecisionPoint::lifecycle_transition,
                      obs::Outcome::allow, subject, subject_gid, object_owner,
@@ -219,20 +221,25 @@ class Driver {
   }
 
   [[nodiscard]] std::uint64_t fired(std::size_t transition_index) const {
-    return fired_.at(transition_index);
+    return fired_.at(transition_index).load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t fired_total() const {
     std::uint64_t n = 0;
-    for (const std::uint64_t f : fired_) n += f;
+    for (const auto& f : fired_) n += f.load(std::memory_order_relaxed);
     return n;
   }
-  [[nodiscard]] std::uint64_t illegal_events() const { return illegal_; }
+  [[nodiscard]] std::uint64_t illegal_events() const {
+    return illegal_.load(std::memory_order_relaxed);
+  }
 
  private:
   const MachineDef* def_;
   obs::DecisionTrace* trace_ = nullptr;
-  std::vector<std::uint64_t> fired_;
-  std::uint64_t illegal_ = 0;
+  /// Atomic (relaxed): the sharded engine fires disjoint subsystem state
+  /// from worker threads; the *totals* are deterministic (the multiset of
+  /// fired transitions is), only the interleaving of increments is not.
+  std::vector<std::atomic<std::uint64_t>> fired_;
+  std::atomic<std::uint64_t> illegal_{0};
 };
 
 }  // namespace heus::lifecycle

@@ -5,6 +5,26 @@
 
 namespace heus::net {
 
+namespace {
+/// Active ShardScope bucket on this thread; -1 = unscoped (serial phase).
+thread_local int tl_shard_scope = -1;
+}  // namespace
+
+ShardScope::ShardScope(std::uint32_t bucket) : prev_(tl_shard_scope) {
+  tl_shard_scope = static_cast<int>(bucket);
+}
+
+ShardScope::~ShardScope() { tl_shard_scope = prev_; }
+
+int ShardScope::current() { return tl_shard_scope; }
+
+void Network::assert_scope(std::uint32_t b) {
+  assert(tl_shard_scope < 0 || tl_shard_scope == static_cast<int>(b));
+  (void)b;
+}
+
+void Network::assert_serial_phase() { assert(tl_shard_scope < 0); }
+
 HostId Network::add_host(const std::string& name) {
   const HostId id{static_cast<std::uint32_t>(hosts_.size())};
   HostState hs;
@@ -33,8 +53,76 @@ void Network::set_hook(FirewallHook hook, std::uint16_t inspect_from_port) {
 
 void Network::clear_hook() { hook_ = nullptr; }
 
-void Network::charge(std::int64_t ns) {
+void Network::enable_sharding(std::uint32_t groups,
+                              std::vector<std::uint32_t> host_group) {
+  // Resharding a live flow table would have to re-tag every id; requiring
+  // an empty table keeps every id a pure function of the post-shard
+  // workload.
+  assert(flow_count() == 0 && "enable_sharding requires an empty flow table");
+  assert(groups >= 1);
+  for ([[maybe_unused]] const std::uint32_t g : host_group) {
+    assert(g < groups);
+  }
+  groups_ = groups;
+  host_group_ = std::move(host_group);
+  buckets_.clear();
+  buckets_.resize(static_cast<std::size_t>(groups_) + 1);
+}
+
+std::int64_t Network::drain_charges() {
+  assert_serial_phase();
+  std::int64_t total = 0;
+  for (Bucket& b : buckets_) {
+    total += b.charged_ns;
+    b.charged_ns = 0;
+  }
+  return total;
+}
+
+NetworkStats Network::stats() const {
+  NetworkStats s;
+  for (const Bucket& b : buckets_) {
+    const NetworkStats& x = b.stats;
+    s.connections_attempted += x.connections_attempted;
+    s.connections_established += x.connections_established;
+    s.connections_refused += x.connections_refused;
+    s.connections_dropped += x.connections_dropped;
+    s.hook_invocations += x.hook_invocations;
+    s.conntrack_hits += x.conntrack_hits;
+    s.packets_delivered += x.packets_delivered;
+    s.ident_queries += x.ident_queries;
+    s.ident_timeouts += x.ident_timeouts;
+    s.partition_refusals += x.partition_refusals;
+    s.packets_dropped += x.packets_dropped;
+    s.flows_reset_identity_changed += x.flows_reset_identity_changed;
+    s.flows_expired += x.flows_expired;
+    s.gc_runs += x.gc_runs;
+    s.gc_entries_touched += x.gc_entries_touched;
+    s.ephemeral_exhausted += x.ephemeral_exhausted;
+  }
+  return s;
+}
+
+void Network::charge(Bucket& b, std::int64_t ns) {
+  if (defer_charges_) {
+    b.charged_ns += ns;
+    return;
+  }
   if (mutable_clock_ != nullptr) mutable_clock_->advance(ns);
+}
+
+Flow* Network::lookup_flow(FlowId id) {
+  const std::uint32_t b = flow_bucket(id);
+  if (b >= buckets_.size()) return nullptr;
+  auto it = buckets_[b].flows.find(id);
+  return it == buckets_[b].flows.end() ? nullptr : &it->second;
+}
+
+const Flow* Network::lookup_flow(FlowId id) const {
+  const std::uint32_t b = flow_bucket(id);
+  if (b >= buckets_.size()) return nullptr;
+  auto it = buckets_[b].flows.find(id);
+  return it == buckets_[b].flows.end() ? nullptr : &it->second;
 }
 
 void Network::ref_port(HostState& h, std::uint16_t port) {
@@ -60,6 +148,7 @@ Result<void> Network::listen(HostId h, const simos::Credentials& cred,
                              Pid pid, Proto proto, std::uint16_t port) {
   if (h.value() >= hosts_.size()) return Errno::einval;
   if (port == 0) return Errno::einval;
+  assert_scope(group_of(h));
   // Privileged ports require root, as on Linux.
   if (port < 1024 && !cred.is_root()) return Errno::eacces;
   HostState& hs = host(h);
@@ -73,6 +162,7 @@ Result<void> Network::listen(HostId h, const simos::Credentials& cred,
 Result<void> Network::close_listener(HostId h, Proto proto,
                                      std::uint16_t port) {
   if (h.value() >= hosts_.size()) return Errno::einval;
+  assert_scope(group_of(h));
   HostState& hs = host(h);
   if (hs.listeners.erase(pkey(proto, port)) == 0) {
     return Errno::enoent;
@@ -149,10 +239,12 @@ void Network::unindex_flow(const Flow& f) {
 }
 
 void Network::destroy_flow(Flow& f) {
-  conntrack_.erase(ConntrackKey{f.client_host, f.client_port, f.server_host,
-                                f.server_port, static_cast<int>(f.proto)});
+  Bucket& b = bucket_of(f.id);
+  b.conntrack.erase(ConntrackKey{f.client_host, f.client_port,
+                                 f.server_host, f.server_port,
+                                 static_cast<int>(f.proto)});
   unindex_flow(f);
-  flows_.erase(f.id);  // invalidates f
+  b.flows.erase(f.id);  // invalidates f
 }
 
 const lifecycle::Transition* Network::fire_flow(Flow& f, FlowEvent event,
@@ -170,7 +262,7 @@ void Network::touch_flow(Flow& f) {
   const std::int64_t deadline = clock_->now().ns + flow_ttl_ns_;
   if (f.expires_at_ns == 0) {
     // First time under a TTL: this flow has no heap entry yet.
-    expiry_heap_.push(ExpiryEntry{deadline, f.id});
+    bucket_of(f.id).expiry_heap.push(ExpiryEntry{deadline, f.id});
   }
   // Otherwise the existing entry is refreshed lazily: gc() re-pushes it
   // at the new deadline when the stale one surfaces.
@@ -186,37 +278,43 @@ Result<FlowId> Network::connect(HostId src_host,
       dst_host.value() >= hosts_.size()) {
     return Errno::enetunreach;
   }
-  ++stats_.connections_attempted;
+  // Intra-group connects belong to the shared group's bucket; cross-group
+  // connects land in the cross bucket, which no ShardScope may touch.
+  const std::uint32_t bi = op_bucket(src_host, dst_host);
+  assert_scope(bi);
+  Bucket& B = bucket(bi);
+  ++B.stats.connections_attempted;
   std::int64_t cost = latency_.base_syn_ns;
 
   // A partitioned fabric never completes the handshake: the SYN (or the
   // SYN-ACK) is lost and the client sees the route as unreachable.
   if (faults_ != nullptr && faults_->partitioned(src_host, dst_host)) {
-    ++stats_.partition_refusals;
-    last_connect_cost_ns_ = cost;
-    charge(cost);
+    ++B.stats.partition_refusals;
+    B.last_connect_cost_ns = cost;
+    charge(B, cost);
     return Errno::enetunreach;
   }
 
   const Listener* listener = find_listener(dst_host, proto, dst_port);
   if (listener == nullptr) {
-    ++stats_.connections_refused;
-    last_connect_cost_ns_ = cost;
-    charge(cost);
+    ++B.stats.connections_refused;
+    B.last_connect_cost_ns = cost;
+    charge(B, cost);
     return Errno::econnrefused;
   }
 
   HostState& src = host(src_host);
   const std::uint16_t src_port = alloc_ephemeral_port(src);
   if (src_port == 0) {
-    ++stats_.ephemeral_exhausted;
+    ++B.stats.ephemeral_exhausted;
     return Errno::eaddrnotavail;
   }
 
   // Register the nascent flow *before* the hook runs so the UBF's ident
   // query against the initiating host can see who owns the source port —
   // this mirrors the real daemon's ident exchange.
-  const FlowId id{next_flow_++};
+  const FlowId id{(static_cast<std::uint64_t>(bi) << kBucketShift) |
+                  B.next_local++};
   Flow flow;
   flow.id = id;
   flow.proto = proto;
@@ -226,12 +324,12 @@ Result<FlowId> Network::connect(HostId src_host,
   flow.server_port = dst_port;
   flow.client_uid = cred.uid;
   flow.server_uid = listener->cred.uid;
-  auto [it, inserted] = flows_.emplace(id, std::move(flow));
+  auto [it, inserted] = B.flows.emplace(id, std::move(flow));
   assert(inserted);
   index_flow(it->second);
 
   if (hook_ && dst_port >= inspect_from_port_) {
-    ++stats_.hook_invocations;
+    ++B.stats.hook_invocations;
     cost += latency_.hook_dispatch_ns;
     ConnRequest req{src_host, src_port, dst_host, dst_port, proto};
     const Verdict v = hook_(req);
@@ -243,15 +341,15 @@ Result<FlowId> Network::connect(HostId src_host,
     if (v == Verdict::drop) {
       // The hook may itself have closed flows; re-find rather than trust
       // the iterator.
-      auto fit = flows_.find(id);
-      if (fit != flows_.end()) {
+      auto fit = B.flows.find(id);
+      if (fit != B.flows.end()) {
         fire_flow(fit->second, FlowEvent::hook_drop, /*outcome=*/true);
         unindex_flow(fit->second);
-        flows_.erase(fit);
+        B.flows.erase(fit);
       }
-      ++stats_.connections_dropped;
-      last_connect_cost_ns_ = cost;
-      charge(cost);
+      ++B.stats.connections_dropped;
+      B.last_connect_cost_ns = cost;
+      charge(B, cost);
       return Errno::econnrefused;  // client observes refusal/timeout
     }
   } else if (trace_ != nullptr && cred.uid != listener->cred.uid) {
@@ -269,12 +367,12 @@ Result<FlowId> Network::connect(HostId src_host,
                    });
   }
 
-  conntrack_.emplace(
+  B.conntrack.emplace(
       ConntrackKey{src_host, src_port, dst_host, dst_port,
                    static_cast<int>(proto)},
       id);
-  auto fit = flows_.find(id);
-  assert(fit != flows_.end());
+  auto fit = B.flows.find(id);
+  assert(fit != B.flows.end());
   // Admission through the table: an inspected flow establishes on the
   // hook's accept verdict (guard `ubf-inspects` true); an uninspected
   // one takes the annotated admit-uninspected row (guard false).
@@ -283,26 +381,29 @@ Result<FlowId> Network::connect(HostId src_host,
             inspected ? FlowEvent::hook_accept : FlowEvent::admit_uninspected,
             inspected);
   touch_flow(fit->second);
-  ++stats_.connections_established;
-  last_connect_cost_ns_ = cost;
-  charge(cost);
+  ++B.stats.connections_established;
+  B.last_connect_cost_ns = cost;
+  charge(B, cost);
   return id;
 }
 
 Result<void> Network::send(FlowId id, FlowEnd from, std::string payload) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return Errno::ebadf;
-  Flow& f = it->second;
+  Flow* fp = lookup_flow(id);
+  if (fp == nullptr) return Errno::ebadf;
+  Flow& f = *fp;
+  const std::uint32_t bi = flow_bucket(id);
+  assert_scope(bi);
+  Bucket& B = bucket(bi);
   if (f.state != FlowState::established) return Errno::enotconn;
 
   // Established path: a conntrack lookup and delivery; the firewall hook
   // is *not* consulted (the zero-overhead property the paper relies on).
-  auto ct = conntrack_.find(ConntrackKey{f.client_host, f.client_port,
-                                         f.server_host, f.server_port,
-                                         static_cast<int>(f.proto)});
-  assert(ct != conntrack_.end());
+  auto ct = B.conntrack.find(ConntrackKey{f.client_host, f.client_port,
+                                          f.server_host, f.server_port,
+                                          static_cast<int>(f.proto)});
+  assert(ct != B.conntrack.end());
   (void)ct;
-  ++stats_.conntrack_hits;
+  ++B.stats.conntrack_hits;
 
   // Fail-safe on the fast path: the conntrack entry was admitted against
   // the listener identity at connect() time. If the server port is now
@@ -313,10 +414,10 @@ Result<void> Network::send(FlowId id, FlowEnd from, std::string payload) {
   if (const Listener* l =
           find_listener(f.server_host, f.proto, f.server_port);
       l != nullptr && l->cred.uid != f.server_uid) {
-    ++stats_.flows_reset_identity_changed;
+    ++B.stats.flows_reset_identity_changed;
     const std::int64_t reset_cost = latency_.conntrack_lookup_ns;
-    last_send_cost_ns_ = reset_cost;
-    charge(reset_cost);
+    B.last_send_cost_ns = reset_cost;
+    charge(B, reset_cost);
     fire_flow(f, FlowEvent::identity_reset, /*outcome=*/false);
     destroy_flow(f);
     return Errno::econnreset;
@@ -327,14 +428,14 @@ Result<void> Network::send(FlowId id, FlowEnd from, std::string payload) {
   if (faults_ != nullptr &&
       (faults_->partitioned(f.client_host, f.server_host) ||
        faults_->drop_packet(f.client_host, f.server_host))) {
-    ++stats_.packets_dropped;
+    ++B.stats.packets_dropped;
     const std::int64_t drop_cost =
         latency_.conntrack_lookup_ns + latency_.per_packet_ns;
-    last_send_cost_ns_ = drop_cost;
-    charge(drop_cost);
+    B.last_send_cost_ns = drop_cost;
+    charge(B, drop_cost);
     return Errno::etimedout;
   }
-  ++stats_.packets_delivered;
+  ++B.stats.packets_delivered;
   f.bytes += payload.size();
   const auto serialization_ns = static_cast<std::int64_t>(
       static_cast<double>(payload.size()) / latency_.fabric_bytes_per_ns);
@@ -343,19 +444,19 @@ Result<void> Network::send(FlowId id, FlowEnd from, std::string payload) {
   } else {
     f.to_client.push_back(std::move(payload));
   }
-  last_send_cost_ns_ = latency_.conntrack_lookup_ns +
-                       latency_.per_packet_ns + serialization_ns;
-  charge(last_send_cost_ns_);
+  B.last_send_cost_ns = latency_.conntrack_lookup_ns +
+                        latency_.per_packet_ns + serialization_ns;
+  charge(B, B.last_send_cost_ns);
   fire_flow(f, FlowEvent::activity, /*outcome=*/false);
   touch_flow(f);  // activity refreshes the idle-expiry deadline
   return ok_result();
 }
 
 Result<std::string> Network::recv(FlowId id, FlowEnd at) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return Errno::ebadf;
-  Flow& f = it->second;
-  auto& queue = (at == FlowEnd::server) ? f.to_server : f.to_client;
+  Flow* fp = lookup_flow(id);
+  if (fp == nullptr) return Errno::ebadf;
+  assert_scope(flow_bucket(id));
+  auto& queue = (at == FlowEnd::server) ? fp->to_server : fp->to_client;
   if (queue.empty()) return Errno::eagain;
   std::string out = std::move(queue.front());
   queue.pop_front();
@@ -363,30 +464,39 @@ Result<std::string> Network::recv(FlowId id, FlowEnd at) {
 }
 
 Result<void> Network::close(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return Errno::ebadf;
-  fire_flow(it->second, FlowEvent::teardown, /*outcome=*/false);
-  destroy_flow(it->second);
+  Flow* fp = lookup_flow(id);
+  if (fp == nullptr) return Errno::ebadf;
+  assert_scope(flow_bucket(id));
+  fire_flow(*fp, FlowEvent::teardown, /*outcome=*/false);
+  destroy_flow(*fp);
   return ok_result();
 }
 
-const Flow* Network::find_flow(FlowId id) const {
-  auto it = flows_.find(id);
-  return it == flows_.end() ? nullptr : &it->second;
-}
+const Flow* Network::find_flow(FlowId id) const { return lookup_flow(id); }
 
 std::size_t Network::gc() {
   if (flow_ttl_ns_ <= 0) return 0;
-  ++stats_.gc_runs;
+  std::size_t expired = 0;
+  for (std::uint32_t b = 0; b < bucket_count(); ++b) {
+    expired += gc_bucket(b);
+  }
+  return expired;
+}
+
+std::size_t Network::gc_bucket(std::uint32_t bi) {
+  if (flow_ttl_ns_ <= 0) return 0;
+  assert_scope(bi);
+  Bucket& B = bucket(bi);
+  ++B.stats.gc_runs;
   const std::int64_t now = clock_->now().ns;
   std::size_t expired = 0;
-  while (!expiry_heap_.empty() &&
-         expiry_heap_.top().deadline_ns <= now) {
-    const ExpiryEntry e = expiry_heap_.top();
-    expiry_heap_.pop();
-    ++stats_.gc_entries_touched;
-    auto it = flows_.find(e.flow);
-    if (it == flows_.end()) continue;  // already closed; stale entry
+  while (!B.expiry_heap.empty() &&
+         B.expiry_heap.top().deadline_ns <= now) {
+    const ExpiryEntry e = B.expiry_heap.top();
+    B.expiry_heap.pop();
+    ++B.stats.gc_entries_touched;
+    auto it = B.flows.find(e.flow);
+    if (it == B.flows.end()) continue;  // already closed; stale entry
     Flow& f = it->second;
     // The table decides teardown eligibility: gc-due on a revived flow
     // resolves to the reschedule self-loop, otherwise to expiry. A flow
@@ -398,40 +508,47 @@ std::size_t Network::gc() {
         static_cast<FlowState>(t->to) == FlowState::established) {
       // Activity refreshed the deadline since this entry was pushed:
       // reschedule at the real expiry (one live entry per flow).
-      expiry_heap_.push(ExpiryEntry{f.expires_at_ns, f.id});
+      B.expiry_heap.push(ExpiryEntry{f.expires_at_ns, f.id});
       continue;
     }
     destroy_flow(f);
-    ++stats_.flows_expired;
+    ++B.stats.flows_expired;
     ++expired;
   }
   return expired;
 }
 
 std::optional<std::int64_t> Network::next_expiry_ns() const {
-  while (!expiry_heap_.empty()) {
-    const ExpiryEntry e = expiry_heap_.top();
-    auto it = flows_.find(e.flow);
-    if (it == flows_.end()) {
-      expiry_heap_.pop();
-      continue;
+  std::optional<std::int64_t> earliest;
+  for (const Bucket& B : buckets_) {
+    while (!B.expiry_heap.empty()) {
+      const ExpiryEntry e = B.expiry_heap.top();
+      auto it = B.flows.find(e.flow);
+      if (it == B.flows.end()) {
+        B.expiry_heap.pop();
+        continue;
+      }
+      if (it->second.expires_at_ns > e.deadline_ns) {
+        B.expiry_heap.pop();
+        B.expiry_heap.push(ExpiryEntry{it->second.expires_at_ns, e.flow});
+        continue;
+      }
+      if (!earliest || e.deadline_ns < *earliest) earliest = e.deadline_ns;
+      break;
     }
-    if (it->second.expires_at_ns > e.deadline_ns) {
-      expiry_heap_.pop();
-      expiry_heap_.push(ExpiryEntry{it->second.expires_at_ns, e.flow});
-      continue;
-    }
-    return e.deadline_ns;
   }
-  return std::nullopt;
+  return earliest;
 }
 
 std::size_t Network::close_sockets_of(HostId h, Uid uid) {
   if (h.value() >= hosts_.size()) return 0;
+  // May tear down this user's cross-group flows too: serial-phase only.
+  assert_serial_phase();
   std::size_t closed = 0;
   HostState& hs = host(h);
+  NetworkStats& st = bucket(group_of(h)).stats;
   for (auto it = hs.listeners.begin(); it != hs.listeners.end();) {
-    ++stats_.gc_entries_touched;
+    ++st.gc_entries_touched;
     if (it->second.cred.uid == uid) {
       const std::uint16_t port = it->second.port;
       it = hs.listeners.erase(it);
@@ -443,7 +560,7 @@ std::size_t Network::close_sockets_of(HostId h, Uid uid) {
   }
   for (auto it = hs.abstract_sockets.begin();
        it != hs.abstract_sockets.end();) {
-    ++stats_.gc_entries_touched;
+    ++st.gc_entries_touched;
     if (it->second.uid == uid) {
       it = hs.abstract_sockets.erase(it);
       ++closed;
@@ -459,11 +576,11 @@ std::size_t Network::close_sockets_of(HostId h, Uid uid) {
     const std::vector<FlowId> dead(by_uid->second.begin(),
                                    by_uid->second.end());
     for (FlowId id : dead) {
-      ++stats_.gc_entries_touched;
-      auto it = flows_.find(id);
-      if (it == flows_.end()) continue;
-      fire_flow(it->second, FlowEvent::teardown, /*outcome=*/false);
-      destroy_flow(it->second);
+      ++st.gc_entries_touched;
+      Flow* fp = lookup_flow(id);
+      if (fp == nullptr) continue;
+      fire_flow(*fp, FlowEvent::teardown, /*outcome=*/false);
+      destroy_flow(*fp);
       ++closed;
     }
   }
@@ -472,20 +589,22 @@ std::size_t Network::close_sockets_of(HostId h, Uid uid) {
 
 std::size_t Network::reset_host(HostId h) {
   if (h.value() >= hosts_.size()) return 0;
+  assert_serial_phase();
   HostState& hs = host(h);
+  NetworkStats& st = bucket(group_of(h)).stats;
   std::size_t closed = hs.listeners.size() + hs.abstract_sockets.size();
-  stats_.gc_entries_touched += closed;
+  st.gc_entries_touched += closed;
   for (const auto& [key, l] : hs.listeners) unref_port(hs, l.port);
   hs.listeners.clear();
   hs.abstract_sockets.clear();
   // Per-host flow index: touch only flows with an endpoint here.
   const std::vector<FlowId> dead(hs.flows.begin(), hs.flows.end());
   for (FlowId id : dead) {
-    ++stats_.gc_entries_touched;
-    auto it = flows_.find(id);
-    if (it == flows_.end()) continue;
-    fire_flow(it->second, FlowEvent::teardown, /*outcome=*/false);
-    destroy_flow(it->second);
+    ++st.gc_entries_touched;
+    Flow* fp = lookup_flow(id);
+    if (fp == nullptr) continue;
+    fire_flow(*fp, FlowEvent::teardown, /*outcome=*/false);
+    destroy_flow(*fp);
     ++closed;
   }
   return closed;
@@ -494,14 +613,19 @@ std::size_t Network::reset_host(HostId h) {
 Result<IdentInfo> Network::ident_lookup(HostId h, Proto proto,
                                         std::uint16_t port) {
   if (h.value() >= hosts_.size()) return Errno::enetunreach;
-  ++stats_.ident_queries;
+  // Ident work is accounted to the queried host's group bucket. A worker
+  // may ident its own group's hosts; cross-group ident happens inside
+  // serial-phase connects.
+  assert_scope(group_of(h));
+  Bucket& B = bucket(group_of(h));
+  ++B.stats.ident_queries;
   if (faults_ != nullptr) {
     // A degraded responder answers late; a dead one eats the caller's
     // whole timeout budget before the query fails.
-    charge(faults_->ident_extra_ns(h));
+    charge(B, faults_->ident_extra_ns(h));
     if (faults_->ident_down(h)) {
-      ++stats_.ident_timeouts;
-      charge(latency_.ident_timeout_ns);
+      ++B.stats.ident_timeouts;
+      charge(B, latency_.ident_timeout_ns);
       return Errno::etimedout;
     }
   }
@@ -515,13 +639,14 @@ Result<IdentInfo> Network::ident_lookup(HostId h, Proto proto,
   if (auto it = hs.flow_ports.find(pkey(proto, port));
       it != hs.flow_ports.end() && !it->second.empty()) {
     const PortEndpoint& ep = it->second.front();
-    const Flow& f = flows_.at(ep.flow);
+    const Flow* f = lookup_flow(ep.flow);
+    assert(f != nullptr);
     if (ep.end == FlowEnd::client) {
       // The client side has no captured egid snapshot distinct from uid's
       // session; the UBF only needs the uid on the initiating side.
-      return IdentInfo{f.client_uid, Gid{}, Pid{}};
+      return IdentInfo{f->client_uid, Gid{}, Pid{}};
     }
-    return IdentInfo{f.server_uid, Gid{}, Pid{}};
+    return IdentInfo{f->server_uid, Gid{}, Pid{}};
   }
   return Errno::enoent;
 }
@@ -530,6 +655,7 @@ Result<void> Network::unix_listen_abstract(HostId h,
                                            const simos::Credentials& cred,
                                            const std::string& name) {
   if (h.value() >= hosts_.size()) return Errno::einval;
+  assert_scope(group_of(h));
   HostState& hs = host(h);
   if (hs.abstract_sockets.contains(name)) return Errno::eaddrinuse;
   hs.abstract_sockets.emplace(name, cred);
@@ -542,6 +668,7 @@ Result<Uid> Network::unix_connect_abstract(HostId h,
   // Deliberately unchecked: this is the residual channel. The trace still
   // sees every cross-user connect so the exposure is measurable.
   if (h.value() >= hosts_.size()) return Errno::einval;
+  assert_scope(group_of(h));
   HostState& hs = host(h);
   auto it = hs.abstract_sockets.find(name);
   if (it == hs.abstract_sockets.end()) return Errno::econnrefused;
@@ -557,18 +684,23 @@ Result<Uid> Network::unix_connect_abstract(HostId h,
 Result<void> Network::unix_close_abstract(HostId h,
                                           const std::string& name) {
   if (h.value() >= hosts_.size()) return Errno::einval;
+  assert_scope(group_of(h));
   if (host(h).abstract_sockets.erase(name) == 0) return Errno::enoent;
   return ok_result();
 }
 
 std::vector<FlowId> Network::cross_user_flows() const {
+  assert_serial_phase();
   std::vector<FlowId> out;
-  for (const auto& [id, f] : flows_) {
-    if (f.state == FlowState::established && f.client_uid != f.server_uid) {
-      out.push_back(id);
+  for (const Bucket& B : buckets_) {
+    for (const auto& [id, f] : B.flows) {
+      if (f.state == FlowState::established &&
+          f.client_uid != f.server_uid) {
+        out.push_back(id);
+      }
     }
   }
-  // flows_ is hash-ordered; report in id order so audits are stable.
+  // Flow maps are hash-ordered; report in id order so audits are stable.
   std::sort(out.begin(), out.end());
   return out;
 }

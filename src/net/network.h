@@ -147,7 +147,42 @@ struct NetworkStats {
   std::uint64_t ephemeral_exhausted = 0;  ///< connect() hit an empty pool
 };
 
+/// RAII guard a sharded-engine worker installs while running one node
+/// group's intra-shard phase. While a scope is active on a thread, every
+/// Network operation on that thread asserts that it touches only the
+/// scoped bucket — catching cross-shard state access at the exact call
+/// site instead of as a data race. Serial (barrier-phase) code runs with
+/// no scope installed and may touch anything.
+class ShardScope {
+ public:
+  explicit ShardScope(std::uint32_t bucket);
+  ~ShardScope();
+  ShardScope(const ShardScope&) = delete;
+  ShardScope& operator=(const ShardScope&) = delete;
+  /// The active bucket on this thread, or -1 when unscoped.
+  [[nodiscard]] static int current();
+
+ private:
+  int prev_;
+};
+
 /// The cluster fabric. Single instance shared by all nodes.
+///
+/// Sharding model (ISSUE 9): flow-table state is internally partitioned
+/// into G per-group buckets plus one cross-group bucket. A host belongs
+/// to exactly one node group; an operation whose endpoints share a group
+/// is *intra-group* and touches only that group's bucket (plus the
+/// per-host state of that group's hosts), so the sharded engine can run
+/// different groups' operation streams on different worker threads with
+/// no shared mutable state. Operations spanning two groups are
+/// *cross-group*: they live in the cross bucket and are only legal in
+/// the serial barrier phase. Flow ids carry their bucket in the top 16
+/// bits, which makes id->bucket routing O(1) and — because bucket-local
+/// counters, not a global one, allocate the low bits — keeps every id a
+/// pure function of the per-group operation stream, independent of
+/// thread interleaving and worker count. The default (one group) is
+/// bit-identical to the pre-sharding network: every id is (0 << 48) | n
+/// with n counting from 1.
 class Network {
  public:
   Network(const common::SimClock* clock, common::SimClock* mutable_clock)
@@ -179,6 +214,49 @@ class Network {
   /// network). Not owned; the injector outlives its armed window.
   void set_fault_model(FaultModel* model) { faults_ = model; }
   [[nodiscard]] FaultModel* fault_model() const { return faults_; }
+
+  // ---- node-group sharding ---------------------------------------------
+
+  /// Partition the fabric into `groups` node groups; `host_group[h]` is
+  /// the group of host h (every value < groups; hosts added later join
+  /// group 0). Must be called while no flows exist — typically right
+  /// after cluster assembly. Allocates groups+1 buckets (the last is the
+  /// cross-group bucket) and restarts every bucket-local flow counter.
+  void enable_sharding(std::uint32_t groups,
+                       std::vector<std::uint32_t> host_group);
+  [[nodiscard]] std::uint32_t group_count() const { return groups_; }
+  [[nodiscard]] std::uint32_t bucket_count() const {
+    return static_cast<std::uint32_t>(buckets_.size());
+  }
+  /// The bucket cross-group operations land in (== group_count()).
+  [[nodiscard]] std::uint32_t cross_bucket() const { return groups_; }
+  [[nodiscard]] std::uint32_t group_of(HostId h) const {
+    return h.value() < host_group_.size() ? host_group_[h.value()] : 0;
+  }
+  /// Which bucket an operation between these hosts belongs to: the shared
+  /// group's bucket, or the cross bucket when the groups differ.
+  [[nodiscard]] std::uint32_t op_bucket(HostId a, HostId b) const {
+    const std::uint32_t ga = group_of(a);
+    return ga == group_of(b) ? ga : cross_bucket();
+  }
+  /// Bucket that allocated flow `id` (top 16 bits of the id).
+  [[nodiscard]] static std::uint32_t flow_bucket(FlowId id) {
+    return static_cast<std::uint32_t>(id.value() >> kBucketShift);
+  }
+
+  /// Deferred-charge mode for the engine's parallel phase: charge() adds
+  /// to a per-bucket accumulator instead of advancing the clock (which
+  /// is not thread-safe and would make time depend on interleaving). The
+  /// engine drains the accumulators deterministically at the barrier.
+  void set_defer_charges(bool on) { defer_charges_ = on; }
+  [[nodiscard]] bool defer_charges() const { return defer_charges_; }
+  /// Simulated ns accumulated against one bucket since the last drain.
+  [[nodiscard]] std::int64_t charged_ns(std::uint32_t bucket) const {
+    return buckets_.at(bucket).charged_ns;
+  }
+  /// Sum and clear all per-bucket accumulators (bucket order). The caller
+  /// (the engine, at its barrier) advances the clock by the result.
+  std::int64_t drain_charges();
 
   // ---- socket API -------------------------------------------------------
 
@@ -221,13 +299,22 @@ class Network {
   /// Collect idle flows due at the current simulated time. Expiry-ordered:
   /// the sweep pops a min-heap of deadlines and touches only due entries
   /// (plus refreshed entries it reschedules), never the whole table.
-  /// Returns the number of flows expired.
+  /// Returns the number of flows expired. Sweeps every bucket in order.
   std::size_t gc();
+
+  /// GC one bucket only — the engine's parallel phase calls this per
+  /// group (a group's worker may only sweep its own bucket; the cross
+  /// bucket is swept in the serial phase).
+  std::size_t gc_bucket(std::uint32_t bucket);
 
   /// Earliest pending expiry deadline, if any (for event-driven callers).
   [[nodiscard]] std::optional<std::int64_t> next_expiry_ns() const;
 
-  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+  [[nodiscard]] std::size_t flow_count() const {
+    std::size_t n = 0;
+    for (const Bucket& b : buckets_) n += b.flows.size();
+    return n;
+  }
 
   // ---- ident service ----------------------------------------------------
 
@@ -250,18 +337,29 @@ class Network {
 
   // ---- diagnostics ------------------------------------------------------
 
-  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = {}; }
+  /// Aggregated over all buckets. Deterministic: each field is a sum of
+  /// per-bucket values that are themselves functions of per-group
+  /// operation streams, not of thread interleaving.
+  [[nodiscard]] NetworkStats stats() const;
+  /// One bucket's share (engine work accounting / sharding tests).
+  [[nodiscard]] const NetworkStats& bucket_stats(std::uint32_t bucket) const {
+    return buckets_.at(bucket).stats;
+  }
+  void reset_stats() {
+    for (Bucket& b : buckets_) b.stats = {};
+  }
   [[nodiscard]] const LatencyModel& latency() const { return latency_; }
   void set_latency(const LatencyModel& m) { latency_ = m; }
 
   /// Simulated nanoseconds consumed by the most recent connect() call
-  /// (includes hook + ident costs). For experiment measurement.
+  /// (includes hook + ident costs). For experiment measurement; reported
+  /// per bucket, so only meaningful under single-bucket (unsharded)
+  /// operation or from serial phases that know the op's bucket.
   [[nodiscard]] std::int64_t last_connect_cost_ns() const {
-    return last_connect_cost_ns_;
+    return buckets_.front().last_connect_cost_ns;
   }
   [[nodiscard]] std::int64_t last_send_cost_ns() const {
-    return last_send_cost_ns_;
+    return buckets_.front().last_send_cost_ns;
   }
 
   /// Flows currently established between two *different* users — the
@@ -278,6 +376,9 @@ class Network {
   /// Linux's default ip_local_port_range.
   static constexpr std::uint32_t kEphemeralLo = 32768;
   static constexpr std::uint32_t kEphemeralHi = 60999;  // inclusive
+
+  /// Flow ids are (bucket << 48) | bucket-local counter.
+  static constexpr unsigned kBucketShift = 48;
 
   /// (proto, port) packed for O(1) unordered lookups.
   [[nodiscard]] static constexpr std::uint32_t pkey(Proto proto,
@@ -338,10 +439,42 @@ class Network {
     }
   };
 
+  /// All flow-table state one bucket owns. Intra-group operations touch
+  /// exactly one bucket; no two engine workers ever share one.
+  struct Bucket {
+    std::unordered_map<FlowId, Flow> flows;
+    std::map<ConntrackKey, FlowId> conntrack;
+    /// Mutable: next_expiry_ns() lazily discards stale tops while peeking.
+    mutable std::priority_queue<ExpiryEntry, std::vector<ExpiryEntry>,
+                                std::greater<>>
+        expiry_heap;
+    std::uint64_t next_local = 1;  ///< low 48 bits of the next flow id
+    NetworkStats stats;
+    std::int64_t charged_ns = 0;  ///< deferred-charge accumulator
+    std::int64_t last_connect_cost_ns = 0;
+    std::int64_t last_send_cost_ns = 0;
+  };
+
   HostState& host(HostId id) { return hosts_.at(id.value()); }
   [[nodiscard]] const HostState& host(HostId id) const {
     return hosts_.at(id.value());
   }
+  Bucket& bucket(std::uint32_t b) { return buckets_.at(b); }
+  [[nodiscard]] const Bucket& bucket(std::uint32_t b) const {
+    return buckets_.at(b);
+  }
+  Bucket& bucket_of(FlowId id) { return buckets_.at(flow_bucket(id)); }
+  [[nodiscard]] const Bucket& bucket_of(FlowId id) const {
+    return buckets_.at(flow_bucket(id));
+  }
+  /// Debug-build check that `b` is legal under the thread's ShardScope.
+  static void assert_scope(std::uint32_t b);
+  /// As above, but for operations that may touch several buckets (host
+  /// teardown, stats merges): legal only with no scope installed.
+  static void assert_serial_phase();
+  /// Find a flow by id across its owning bucket. Null if gone.
+  Flow* lookup_flow(FlowId id);
+  [[nodiscard]] const Flow* lookup_flow(FlowId id) const;
 
   /// 0 on exhaustion (caller reports EADDRNOTAVAIL).
   std::uint16_t alloc_ephemeral_port(HostState& h);
@@ -354,7 +487,9 @@ class Network {
   /// erase pass all teardown sweeps (close/GC/reset) funnel through.
   void destroy_flow(Flow& f);
   void touch_flow(Flow& f);
-  void charge(std::int64_t ns);
+  /// Charge simulated latency against `b`: advances the clock directly,
+  /// or accumulates into the bucket under deferred-charge mode.
+  void charge(Bucket& b, std::int64_t ns);
   /// Route one lifecycle event through the flow table. `outcome` answers
   /// whichever guard the resolved row consults (at most one per row).
   /// Returns the fired transition; nullptr means the event is illegal in
@@ -366,22 +501,18 @@ class Network {
   common::SimClock* mutable_clock_;
   lifecycle::Driver flow_lc_{&flow_machine()};
   std::vector<HostState> hosts_;
-  std::unordered_map<FlowId, Flow> flows_;
-  std::map<ConntrackKey, FlowId> conntrack_;
-  /// Mutable: next_expiry_ns() lazily discards stale tops while peeking.
-  mutable std::priority_queue<ExpiryEntry, std::vector<ExpiryEntry>,
-                              std::greater<>>
-      expiry_heap_;
+  /// groups_ per-group buckets plus the cross bucket; exactly one bucket
+  /// total while unsharded (the bit-identical legacy layout).
+  std::vector<Bucket> buckets_{Bucket{}};
+  std::uint32_t groups_ = 1;
+  std::vector<std::uint32_t> host_group_;  ///< empty: everyone group 0
+  bool defer_charges_ = false;
   std::int64_t flow_ttl_ns_ = 0;
   FirewallHook hook_;
   obs::DecisionTrace* trace_ = nullptr;
   FaultModel* faults_ = nullptr;
   std::uint16_t inspect_from_port_ = 1024;
   LatencyModel latency_;
-  NetworkStats stats_;
-  std::uint64_t next_flow_ = 1;
-  std::int64_t last_connect_cost_ns_ = 0;
-  std::int64_t last_send_cost_ns_ = 0;
 };
 
 }  // namespace heus::net

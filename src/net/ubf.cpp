@@ -3,6 +3,13 @@
 namespace heus::net {
 
 void Ubf::attach() {
+  // Mirror the network's bucket layout (1 while unsharded; G+1 once the
+  // engine has partitioned the fabric). Serial-phase only: attach happens
+  // at cluster assembly / policy application, never inside a tick.
+  if (shards_.size() != network_->bucket_count()) {
+    shards_.clear();
+    shards_.resize(network_->bucket_count());
+  }
   network_->set_hook(
       [this](const ConnRequest& req) {
         return decide(req) == UbfDecision::deny ? Verdict::drop
@@ -13,7 +20,7 @@ void Ubf::attach() {
 
 void Ubf::detach() { network_->clear_hook(); }
 
-Result<IdentInfo> Ubf::ident_with_retry(HostId host, Proto proto,
+Result<IdentInfo> Ubf::ident_with_retry(Shard& sh, HostId host, Proto proto,
                                         std::uint16_t port) {
   auto r = network_->ident_lookup(host, proto, port);
   if (degraded_ != UbfDegradedMode::retry_then_fail_closed) return r;
@@ -23,30 +30,31 @@ Result<IdentInfo> Ubf::ident_with_retry(HostId host, Proto proto,
        !r && r.error() == Errno::etimedout && attempt < backoff_.max_retries;
        ++attempt) {
     if (clock_ != nullptr) clock_->advance(backoff_.delay_ns(attempt));
-    ++stats_.ident_retries;
+    ++sh.stats.ident_retries;
     r = network_->ident_lookup(host, proto, port);
-    if (r) ++stats_.ident_retry_successes;
+    if (r) ++sh.stats.ident_retry_successes;
   }
   return r;
 }
 
 UbfDecision Ubf::decide(const ConnRequest& req) {
-  ++stats_.decisions;
+  Shard& sh = shard_for(req);
+  ++sh.stats.decisions;
 
-  // Epoch check first: any UserDb mutation since the cache was filled
-  // discards all of it. Over-invalidation by design — the clear is cheap
-  // and a stale allow after a revoke is impossible by construction.
-  if (cache_enabled_ && cache_epoch_ != users_->generation()) {
-    ++stats_.cache_invalidations;
-    cache_.clear();
-    cache_epoch_ = users_->generation();
+  // Epoch check first: any UserDb mutation since this shard's cache was
+  // filled discards all of it. Over-invalidation by design — the clear is
+  // cheap and a stale allow after a revoke is impossible by construction.
+  if (cache_enabled_ && sh.cache_epoch != users_->generation()) {
+    ++sh.stats.cache_invalidations;
+    sh.cache.clear();
+    sh.cache_epoch = users_->generation();
   }
 
   // Ident exchange: who is listening locally, who is connecting remotely.
   auto listener =
-      ident_with_retry(req.dst_host, req.proto, req.dst_port);
+      ident_with_retry(sh, req.dst_host, req.proto, req.dst_port);
   auto initiator =
-      ident_with_retry(req.src_host, req.proto, req.src_port);
+      ident_with_retry(sh, req.src_host, req.proto, req.src_port);
 
   UbfLogEntry entry;
   entry.request = req;
@@ -60,14 +68,14 @@ UbfDecision Ubf::decide(const ConnRequest& req) {
     const Errno cause = !listener ? listener.error() : initiator.error();
     if (degraded_ == UbfDegradedMode::fail_open) {
       decision = UbfDecision::allow_fail_open;
-      ++stats_.fail_open_allows;
+      ++sh.stats.fail_open_allows;
     } else {
       if (cause == Errno::etimedout) {
-        ++stats_.ident_timeout_drops;
+        ++sh.stats.ident_timeout_drops;
       } else {
-        ++stats_.ident_unattributed_drops;
+        ++sh.stats.ident_unattributed_drops;
       }
-      ++stats_.ident_failures;
+      ++sh.stats.ident_failures;
     }
   } else {
     entry.client_uid = initiator->uid;
@@ -75,17 +83,17 @@ UbfDecision Ubf::decide(const ConnRequest& req) {
     entry.server_egid = listener->egid;
     const CacheKey key{initiator->uid, listener->uid, listener->egid,
                        degraded_};
-    if (auto hit = cache_enabled_ ? cache_.find(key) : cache_.end();
-        cache_enabled_ && hit != cache_.end()) {
+    if (auto hit = cache_enabled_ ? sh.cache.find(key) : sh.cache.end();
+        cache_enabled_ && hit != sh.cache.end()) {
       // Memoized attributed decision: the directory-service membership
       // evaluation is skipped entirely. Valid because the epoch check
       // above proved the account database is unchanged since this entry
       // was computed.
-      ++stats_.cache_hits;
+      ++sh.stats.cache_hits;
       from_cache = true;
       decision = hit->second;
     } else {
-      if (cache_enabled_) ++stats_.cache_misses;
+      if (cache_enabled_) ++sh.stats.cache_misses;
       if (initiator->uid == listener->uid) {
         decision = UbfDecision::allow_same_user;
       } else if (opts_.allow_group_peers &&
@@ -101,15 +109,15 @@ UbfDecision Ubf::decide(const ConnRequest& req) {
         (void)g;
         decision = UbfDecision::allow_group_member;
       }
-      if (cache_enabled_) cache_.emplace(key, decision);
+      if (cache_enabled_) sh.cache.emplace(key, decision);
     }
   }
 
   switch (decision) {
-    case UbfDecision::allow_same_user: ++stats_.allowed_same_user; break;
-    case UbfDecision::allow_group_member: ++stats_.allowed_group; break;
+    case UbfDecision::allow_same_user: ++sh.stats.allowed_same_user; break;
+    case UbfDecision::allow_group_member: ++sh.stats.allowed_group; break;
     case UbfDecision::allow_fail_open: break;  // counted above
-    case UbfDecision::deny: ++stats_.denied; break;
+    case UbfDecision::deny: ++sh.stats.denied; break;
   }
 
   if (trace_ != nullptr) {
@@ -147,7 +155,7 @@ UbfDecision Ubf::decide(const ConnRequest& req) {
   }
 
   entry.decision = decision;
-  if (log_.size() < log_limit_) log_.push_back(entry);
+  if (sh.log.size() < log_limit_) sh.log.push_back(entry);
   return decision;
 }
 

@@ -14,6 +14,7 @@
 // data path is unchanged — the zero-overhead property the paper leans on.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -124,8 +125,32 @@ class Ubf {
   /// included) through the cluster decision trace. Null disables it.
   void set_trace(obs::DecisionTrace* trace) { trace_ = trace; }
 
-  [[nodiscard]] const UbfStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = {}; }
+  /// Aggregated over all shards (see the sharding note below). Each field
+  /// is a sum of per-shard counters that depend only on that shard's
+  /// serial decision stream, so the totals are interleaving-independent.
+  [[nodiscard]] UbfStats stats() const {
+    UbfStats s;
+    for (const Shard& sh : shards_) {
+      const UbfStats& x = sh.stats;
+      s.decisions += x.decisions;
+      s.allowed_same_user += x.allowed_same_user;
+      s.allowed_group += x.allowed_group;
+      s.denied += x.denied;
+      s.ident_failures += x.ident_failures;
+      s.ident_retries += x.ident_retries;
+      s.ident_retry_successes += x.ident_retry_successes;
+      s.ident_timeout_drops += x.ident_timeout_drops;
+      s.ident_unattributed_drops += x.ident_unattributed_drops;
+      s.fail_open_allows += x.fail_open_allows;
+      s.cache_hits += x.cache_hits;
+      s.cache_misses += x.cache_misses;
+      s.cache_invalidations += x.cache_invalidations;
+    }
+    return s;
+  }
+  void reset_stats() {
+    for (Shard& sh : shards_) sh.stats = {};
+  }
 
   // ---- decision cache ---------------------------------------------------
   //
@@ -142,22 +167,33 @@ class Ubf {
 
   void set_cache_enabled(bool on) {
     cache_enabled_ = on;
-    if (!on) cache_.clear();
+    if (!on) {
+      for (Shard& sh : shards_) sh.cache.clear();
+    }
   }
   [[nodiscard]] bool cache_enabled() const { return cache_enabled_; }
-  /// UserDb generation the current cache contents were computed against.
-  [[nodiscard]] std::uint64_t cache_epoch() const { return cache_epoch_; }
-  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  /// UserDb generation the current cache contents were computed against
+  /// (shard 0's epoch; all shards converge on the same generation).
+  [[nodiscard]] std::uint64_t cache_epoch() const {
+    return shards_.front().cache_epoch;
+  }
+  [[nodiscard]] std::size_t cache_size() const {
+    std::size_t n = 0;
+    for (const Shard& sh : shards_) n += sh.cache.size();
+    return n;
+  }
 
-  /// Ring buffer of recent decisions (bounded).
-  [[nodiscard]] const std::vector<UbfLogEntry>& log() const { return log_; }
+  /// Recent decisions (bounded per shard), concatenated in shard order.
+  [[nodiscard]] std::vector<UbfLogEntry> log() const {
+    std::vector<UbfLogEntry> out;
+    for (const Shard& sh : shards_) {
+      out.insert(out.end(), sh.log.begin(), sh.log.end());
+    }
+    return out;
+  }
   void set_log_limit(std::size_t n) { log_limit_ = n; }
 
  private:
-  /// One ident query under the active degraded-mode policy.
-  [[nodiscard]] Result<IdentInfo> ident_with_retry(HostId host, Proto proto,
-                                                   std::uint16_t port);
-
   struct CacheKey {
     Uid initiator{};
     Uid listener{};
@@ -180,6 +216,39 @@ class Ubf {
     }
   };
 
+  // ---- sharding (ISSUE 9) -----------------------------------------------
+  //
+  // The daemon's mutable state — stats, decision log, decision cache —
+  // is partitioned exactly like the network's flow table: one Shard per
+  // network bucket (G group shards + the cross-group shard). decide()
+  // touches only the shard of the operation's bucket, so intra-group
+  // admission verdicts can run on the engine's worker threads with no
+  // shared mutable state, and the per-shard cache hit/miss streams are
+  // serial (hence deterministic) regardless of worker count. attach()
+  // sizes the shard vector from the network; call enable_sharding()
+  // before attaching (Cluster::apply_policy rebuilds + reattaches).
+  struct Shard {
+    UbfStats stats;
+    std::vector<UbfLogEntry> log;
+    std::uint64_t cache_epoch = 0;
+    std::unordered_map<CacheKey, UbfDecision, CacheKeyHash> cache;
+  };
+
+  /// The shard owning this request: the network bucket of its endpoints.
+  /// Out-of-range means the network was sharded after attach() — the
+  /// daemon must be re-attached (Cluster::apply_policy) first.
+  [[nodiscard]] Shard& shard_for(const ConnRequest& req) {
+    const std::uint32_t b = network_->op_bucket(req.src_host, req.dst_host);
+    assert(b < shards_.size() && "re-attach the UBF after enable_sharding");
+    return shards_[b];
+  }
+
+  /// One ident query under the active degraded-mode policy; retry
+  /// accounting lands in the caller's shard.
+  [[nodiscard]] Result<IdentInfo> ident_with_retry(Shard& sh, HostId host,
+                                                   Proto proto,
+                                                   std::uint16_t port);
+
   const simos::UserDb* users_;
   Network* network_;
   UbfOptions opts_;
@@ -187,12 +256,9 @@ class Ubf {
   common::BackoffPolicy backoff_;
   common::SimClock* clock_ = nullptr;
   obs::DecisionTrace* trace_ = nullptr;
-  UbfStats stats_;
-  std::vector<UbfLogEntry> log_;
   std::size_t log_limit_ = 256;
   bool cache_enabled_ = true;
-  std::uint64_t cache_epoch_ = 0;
-  std::unordered_map<CacheKey, UbfDecision, CacheKeyHash> cache_;
+  std::vector<Shard> shards_{Shard{}};
 };
 
 }  // namespace heus::net

@@ -29,6 +29,7 @@ const char* to_string(Outcome outcome) {
 }
 
 void DecisionTrace::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
   capacity_ = capacity == 0 ? 1 : capacity;
   ring_.clear();
   ring_.shrink_to_fit();
@@ -37,6 +38,7 @@ void DecisionTrace::set_capacity(std::size_t capacity) {
 }
 
 void DecisionTrace::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
   ring_.shrink_to_fit();
   head_ = 0;
@@ -58,6 +60,7 @@ void DecisionTrace::push(Decision&& d) {
 }
 
 std::vector<Decision> DecisionTrace::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<Decision> out;
   out.reserve(size_);
   for (std::size_t i = 0; i < size_; ++i) {

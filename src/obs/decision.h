@@ -24,6 +24,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -129,6 +130,10 @@ class DecisionTrace {
               Gid subject_gid, Uid object_owner,
               std::optional<ChannelKind> channel, const char* knob,
               MakeObject&& make_object, bool from_cache = false) {
+    // Thread-safe: the sharded engine records from worker threads. The
+    // lock_guard itself never allocates, so the disabled-mode cost stays
+    // two counter increments and zero allocations (E21's pinned gate).
+    std::lock_guard<std::mutex> lock(mu_);
     PointCounters& c = counters_[point_index(point)];
     if (outcome == Outcome::allow) {
       ++c.allowed;
@@ -170,8 +175,14 @@ class DecisionTrace {
   [[nodiscard]] std::uint64_t overwritten() const { return overwritten_; }
 
  private:
+  /// Caller holds mu_.
   void push(Decision&& d);
 
+  /// Guards the ring, counters and sequence number. Accessors that return
+  /// references (counters()) are safe to use once worker threads have been
+  /// joined or a barrier has been crossed — the engine only reads between
+  /// ticks.
+  mutable std::mutex mu_;
   const common::SimClock* clock_ = nullptr;
   bool enabled_ = false;
   std::size_t capacity_ = kDefaultCapacity;

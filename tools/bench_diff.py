@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Perf-ratchet gate: diff a fresh BENCH_E*.json against its committed
+baseline and fail on >10% regression of any tracked metric.
+
+The E-series benchmarks are deterministic simulations: their tracked
+metrics are simulated-work counters (entries touched, allocations, cache
+hits, simulated nanoseconds), not wall-clock measurements, so they are
+machine-independent and a regression is a real behaviour change, not
+noise. Wall-clock keys (``*_ms``, ``*_wall*``) are reported for human
+curiosity and explicitly ignored here.
+
+Direction is inferred from the key name:
+
+- higher-is-better: speedups (``*_x``, ``*speedup*``), rates
+  (``*hit_rate*``, ``*throughput*``), reductions (``*reduction*``);
+- lower-is-better: work/cost counters (``*allocs*``, ``*touched*``,
+  ``*examined*``, ``*_cost*``, ``*misses*``, ``*_bytes*``);
+- anything else is pinned: it must stay within the threshold in *both*
+  directions, because deterministic counters that drift silently are how
+  perf regressions hide.
+
+Usage: bench_diff.py BASELINE.json FRESH.json [--threshold 0.10]
+Exit 1 when any metric regresses.
+"""
+
+import argparse
+import json
+import sys
+
+IGNORED_SUBSTRINGS = ("_ms", "wall", "smoke")
+HIGHER_BETTER = ("_x", "speedup", "hit_rate", "throughput", "reduction")
+LOWER_BETTER = ("allocs", "touched", "examined", "_cost", "misses", "_bytes")
+
+# Keys used to label entries when flattening a list of result objects.
+LABEL_KEYS = ("policy", "label", "name", "mode", "workload", "case")
+
+
+def flatten(value, prefix, out):
+    if isinstance(value, dict):
+        for key, child in value.items():
+            flatten(child, f"{prefix}.{key}" if prefix else key, out)
+    elif isinstance(value, list):
+        for index, child in enumerate(value):
+            tag = str(index)
+            if isinstance(child, dict):
+                for label_key in LABEL_KEYS:
+                    if isinstance(child.get(label_key), str):
+                        tag = child[label_key]
+                        break
+            flatten(child, f"{prefix}[{tag}]", out)
+    elif isinstance(value, bool) or value is None or isinstance(value, str):
+        pass  # only numeric leaves are tracked metrics
+    else:
+        out[prefix] = float(value)
+
+
+def direction(key):
+    leaf = key.rsplit(".", 1)[-1].lower()
+    if any(s in leaf for s in IGNORED_SUBSTRINGS):
+        return "ignored"
+    if any(leaf.endswith(s) or s in leaf for s in HIGHER_BETTER):
+        return "higher"
+    if any(leaf.endswith(s) or s in leaf for s in LOWER_BETTER):
+        return "lower"
+    return "pinned"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative regression tolerance (default 0.10)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        base_doc = json.load(f)
+    with open(args.fresh) as f:
+        fresh_doc = json.load(f)
+
+    base, fresh = {}, {}
+    flatten(base_doc, "", base)
+    flatten(fresh_doc, "", fresh)
+
+    failures = []
+    compared = 0
+    for key, base_value in sorted(base.items()):
+        kind = direction(key)
+        if kind == "ignored":
+            continue
+        if key not in fresh:
+            failures.append(f"{key}: missing from fresh run "
+                            f"(baseline {base_value:g})")
+            continue
+        fresh_value = fresh[key]
+        compared += 1
+        # Counters near zero get an absolute floor of 1.0 so 0 -> 1 style
+        # jitter in tiny metrics does not read as an infinite regression.
+        denom = max(abs(base_value), 1.0)
+        change = (fresh_value - base_value) / denom
+        regressed = (
+            (kind == "higher" and change < -args.threshold)
+            or (kind == "lower" and change > args.threshold)
+            or (kind == "pinned" and abs(change) > args.threshold)
+        )
+        if regressed:
+            failures.append(
+                f"{key} [{kind}]: baseline {base_value:g} -> "
+                f"fresh {fresh_value:g} ({change:+.1%})")
+
+    for key in sorted(set(fresh) - set(base)):
+        if direction(key) != "ignored":
+            print(f"note: new metric not in baseline: {key} = "
+                  f"{fresh[key]:g} (update the baseline to ratchet it)")
+
+    if failures:
+        print(f"PERF RATCHET FAILED ({args.baseline}): "
+              f"{len(failures)} regressed metric(s)")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"perf ratchet OK ({args.baseline}): {compared} metrics within "
+          f"{args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,6 +53,23 @@ check 'std::(isspace|isalpha|isdigit|tolower|toupper)\(' \
 check '(^|[^_[:alnum:]])getenv\(' \
   'environment lookup (config must come from artifacts or flags)'
 
+# Threading constructs (ISSUE 9): real parallelism lives exclusively in
+# the sanctioned src/common primitives (task_queue.h, thread_pool.{h,cpp});
+# everything else expresses parallel work as WorkerPool tasks so the
+# sharded engine's barrier discipline is the only interleaving that
+# exists. Raw threads, detach, ad-hoc futures and real-time sleeps outside
+# src/common would reintroduce schedule-dependent behaviour.
+check 'std::(jthread|thread)([^_[:alnum:]]|$)' \
+  'raw std::thread construction (use common::WorkerPool)'
+check '\.detach\(' \
+  'detached threads (nothing may outlive the pool barrier)'
+check 'std::async|std::promise|std::packaged_task' \
+  'ad-hoc std::async/promise futures (submit WorkerPool tasks instead)'
+check 'sleep_for|sleep_until' \
+  'real sleeping (std::this_thread::sleep_*; advance SimClock instead)'
+check 'std::this_thread' \
+  'thread-identity/timing queries (results must not depend on workers)'
+
 if [ "$status" -eq 0 ]; then
   echo "determinism lint: OK (src/ outside src/common/ is clean)"
 fi
