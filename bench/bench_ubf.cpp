@@ -51,7 +51,7 @@ void BM_UbfDecision(benchmark::State& state) {
                         5000);
   auto flow = world.nw.connect(world.h2, world.users[0], Pid{2}, world.h1,
                                net::Proto::tcp, 5000);
-  const net::Flow* f = world.nw.find_flow(*flow);
+  const std::optional<net::Flow> f = world.nw.find_flow(*flow);
   net::ConnRequest req{world.h2, f->client_port, world.h1, 5000,
                        net::Proto::tcp};
   ubf.set_log_limit(0);

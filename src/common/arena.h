@@ -1,0 +1,286 @@
+// Bump-pointer arena with power-of-two size-class recycling, plus a
+// growable ring buffer that parks its storage inside an arena.
+//
+// Ownership rule (DESIGN.md §8): every Arena belongs to exactly one shard
+// (a network bucket, a per-trace ring, a per-worker scratch).  All
+// allocation and recycling must happen on the thread that owns the shard;
+// the arena itself performs no synchronisation.  Chunks are stable in
+// memory for the lifetime of the arena (moving an Arena moves ownership of
+// the chunks, not the chunks themselves), so pointers handed out stay
+// valid until reset() or destruction.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace heus::common {
+
+class Arena {
+ public:
+  static constexpr std::size_t kMinBlockBytes = 64;   // smallest size class
+  static constexpr std::size_t kAlignment = 16;
+
+  explicit Arena(std::size_t first_chunk_bytes = 4096)
+      : first_chunk_bytes_(round_up_pow2(
+            first_chunk_bytes < kMinBlockBytes ? kMinBlockBytes
+                                               : first_chunk_bytes)) {}
+
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Raw bump allocation (never recycled individually; freed by reset()).
+  void* allocate(std::size_t bytes) {
+    bytes = align_up(bytes == 0 ? 1 : bytes);
+    if (chunks_.empty() || used_ + bytes > chunks_.back().size) {
+      grow(bytes);
+    }
+    Chunk& c = chunks_.back();
+    void* p = c.data.get() + used_;
+    used_ += bytes;
+    bytes_used_ += bytes;
+    return p;
+  }
+
+  // A recyclable block: capacity is always a power of two >= kMinBlockBytes.
+  struct Block {
+    void* data = nullptr;
+    std::size_t capacity = 0;  // bytes, power of two
+  };
+
+  // Allocate a block whose capacity is the smallest size class holding
+  // `min_bytes`.  Prefers a previously recycled block of that class, so
+  // steady-state churn (ring grow/shrink, flow teardown) stops hitting the
+  // bump pointer entirely.
+  Block allocate_block(std::size_t min_bytes) {
+    const std::size_t cap = round_up_pow2(
+        min_bytes < kMinBlockBytes ? kMinBlockBytes : min_bytes);
+    const unsigned cls = size_class(cap);
+    if (cls < kClasses && free_lists_[cls] != nullptr) {
+      FreeNode* node = free_lists_[cls];
+      free_lists_[cls] = node->next;
+      ++recycle_hits_;
+      return Block{node, cap};
+    }
+    return Block{allocate(cap), cap};
+  }
+
+  // Return a block obtained from allocate_block().  The capacity must be
+  // the one reported in the Block.  The memory stays owned by the arena;
+  // recycling just makes it available to the next allocate_block() of the
+  // same class.
+  void recycle(Block b) {
+    if (b.data == nullptr) return;
+    assert(b.capacity >= kMinBlockBytes &&
+           (b.capacity & (b.capacity - 1)) == 0);
+    const unsigned cls = size_class(b.capacity);
+    if (cls >= kClasses) return;  // oversized: let reset() reclaim it
+    auto* node = static_cast<FreeNode*>(b.data);
+    node->next = free_lists_[cls];
+    free_lists_[cls] = node;
+  }
+
+  // Drop every allocation at once: keep the first chunk, release the rest,
+  // clear the size-class freelists.  O(chunks), no per-object work, so
+  // callers are responsible for having destroyed any non-trivial objects.
+  void reset() {
+    if (chunks_.size() > 1) chunks_.resize(1);
+    used_ = 0;
+    bytes_used_ = 0;
+    free_lists_.fill(nullptr);
+  }
+
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+  std::size_t bytes_used() const { return bytes_used_; }
+  std::size_t chunk_count() const { return chunks_.size(); }
+  std::uint64_t recycle_hits() const { return recycle_hits_; }
+
+  static constexpr std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+  static constexpr unsigned kClasses = 32;  // 64B .. 2^37B, plenty
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  static constexpr std::size_t align_up(std::size_t n) {
+    return (n + (kAlignment - 1)) & ~(kAlignment - 1);
+  }
+
+  static unsigned size_class(std::size_t pow2_cap) {
+    unsigned cls = 0;
+    std::size_t c = kMinBlockBytes;
+    while (c < pow2_cap && cls < kClasses) {
+      c <<= 1;
+      ++cls;
+    }
+    return cls;
+  }
+
+  void grow(std::size_t need) {
+    std::size_t size = chunks_.empty() ? first_chunk_bytes_
+                                       : chunks_.back().size * 2;
+    if (size < need) size = round_up_pow2(need);
+    Chunk c;
+    // operator new[] guarantees __STDCPP_DEFAULT_NEW_ALIGNMENT__ (>= 16 on
+    // every platform we target), which satisfies kAlignment.
+    c.data = std::make_unique<std::byte[]>(size);
+    c.size = size;
+    chunks_.push_back(std::move(c));
+    used_ = 0;
+  }
+
+  std::size_t first_chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t used_ = 0;        // offset into the last chunk
+  std::size_t bytes_used_ = 0;  // total live bump bytes (approx, aligned)
+  std::uint64_t recycle_hits_ = 0;
+  std::array<FreeNode*, kClasses> free_lists_{};
+};
+
+// Growable power-of-two FIFO ring whose element storage lives in an
+// Arena.  Replaces std::deque for small hot queues (flow message queues,
+// freed ephemeral ports): pushing never allocates from the global heap,
+// and growing recycles the old storage back into the arena's size-class
+// freelist, so steady-state churn is allocation-free.
+//
+// The ring does not store the arena pointer; the owning shard passes its
+// arena to the mutating calls.  The destructor destroys elements but
+// leaves the storage to the arena (which owns the memory anyway).
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+  RingBuffer(RingBuffer&& other) noexcept { steal(other); }
+  RingBuffer& operator=(RingBuffer&& other) noexcept {
+    if (this != &other) {
+      destroy_elements();
+      steal(other);
+    }
+    return *this;
+  }
+  RingBuffer(const RingBuffer&) = delete;
+  RingBuffer& operator=(const RingBuffer&) = delete;
+  ~RingBuffer() { destroy_elements(); }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return cap_; }
+
+  T& front() {
+    assert(size_ > 0);
+    return data_[head_];
+  }
+  const T& front() const {
+    assert(size_ > 0);
+    return data_[head_];
+  }
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data_[(head_ + i) & (cap_ - 1)];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[(head_ + i) & (cap_ - 1)];
+  }
+
+  void push_back(Arena& arena, T value) {
+    if (size_ == cap_) grow(arena);
+    const std::size_t tail = (head_ + size_) & (cap_ - 1);
+    new (data_ + tail) T(std::move(value));
+    ++size_;
+  }
+
+  T pop_front() {
+    assert(size_ > 0);
+    T out = std::move(data_[head_]);
+    data_[head_].~T();
+    head_ = (head_ + 1) & (cap_ - 1);
+    --size_;
+    return out;
+  }
+
+  // Destroy all elements and hand the storage back to the arena.
+  void clear(Arena& arena) {
+    destroy_elements();
+    if (data_ != nullptr) {
+      arena.recycle(Arena::Block{data_, cap_bytes_});
+      data_ = nullptr;
+      cap_ = 0;
+      cap_bytes_ = 0;
+    }
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  void grow(Arena& arena) {
+    const std::size_t want = cap_ == 0 ? 4 : cap_ * 2;
+    Arena::Block b = arena.allocate_block(want * sizeof(T));
+    T* fresh = static_cast<T*>(b.data);
+    // The element capacity must stay a power of two for the index mask;
+    // the block's byte capacity may round up past want*sizeof(T) when
+    // sizeof(T) is not itself a power of two, so keep the requested count.
+    std::size_t new_cap = want;
+    while (new_cap * 2 * sizeof(T) <= b.capacity) new_cap *= 2;
+    for (std::size_t i = 0; i < size_; ++i) {
+      new (fresh + i) T(std::move((*this)[i]));
+      (*this)[i].~T();
+    }
+    if (data_ != nullptr) {
+      arena.recycle(Arena::Block{data_, cap_bytes_});
+    }
+    data_ = fresh;
+    cap_ = new_cap;
+    cap_bytes_ = b.capacity;
+    head_ = 0;
+  }
+
+  void destroy_elements() {
+    for (std::size_t i = 0; i < size_; ++i) (*this)[i].~T();
+    size_ = 0;
+    head_ = 0;
+  }
+
+  void steal(RingBuffer& other) {
+    data_ = other.data_;
+    cap_ = other.cap_;
+    cap_bytes_ = other.cap_bytes_;
+    head_ = other.head_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.cap_ = 0;
+    other.cap_bytes_ = 0;
+    other.head_ = 0;
+    other.size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t cap_ = 0;        // element capacity, power of two (or 0)
+  std::size_t cap_bytes_ = 0;  // byte capacity of the arena block
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace heus::common

@@ -1,0 +1,418 @@
+// Cache-friendly replacements for the node-based standard containers on
+// the per-decision hot path (DESIGN.md §8):
+//
+//  - FlatMap / FlatSet: open-addressing hash index over a dense entry
+//    vector.  Deletion is tombstone-free (Knuth 6.4R backward shift in the
+//    index, swap-with-last in the dense array), so lookup cost never
+//    degrades with churn and iteration touches one contiguous array.
+//    Iteration order is a pure deterministic function of the operation
+//    sequence (insertions and erasures), never of hash-table internals —
+//    the property any container feeding a digest must have.
+//  - OrderedSet / OrderedMap: sorted dense vectors for small keyed sets
+//    that must iterate in key order (scheduler candidate sets, per-node
+//    task tables).  A placement scan becomes a linear sweep instead of
+//    red-black-tree pointer hops.
+//
+// None of these synchronise; each instance belongs to one shard.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace heus::common {
+
+// Deterministic 64-bit mixer (splitmix64 finalizer).  Used instead of
+// std::hash for integer keys so sequential ids spread over the table and
+// behaviour is identical across standard libraries.
+constexpr std::uint64_t hash_mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+constexpr std::uint64_t fnv1a_bytes(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Transparent default hasher: integers, strong ids (anything exposing
+// .value()), and string-ish keys, all without materialising temporaries.
+struct FlatHash {
+  using is_transparent = void;
+
+  template <std::integral T>
+  std::uint64_t operator()(T v) const {
+    return hash_mix(static_cast<std::uint64_t>(v));
+  }
+  template <typename T>
+    requires requires(const T& t) {
+      { t.value() } -> std::integral;
+    }
+  std::uint64_t operator()(const T& t) const {
+    return hash_mix(static_cast<std::uint64_t>(t.value()));
+  }
+  std::uint64_t operator()(std::string_view s) const { return fnv1a_bytes(s); }
+};
+
+template <typename K, typename V, typename Hash = FlatHash,
+          typename Eq = std::equal_to<>>
+class FlatMap {
+ public:
+  struct Entry {
+    K key;
+    V value;
+  };
+  using iterator = typename std::vector<Entry>::iterator;
+  using const_iterator = typename std::vector<Entry>::const_iterator;
+
+  FlatMap() = default;
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  iterator begin() { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+  void clear() {
+    entries_.clear();
+    slots_.clear();
+    mask_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    entries_.reserve(n);
+    if (slot_count_for(n) > mask_ + 1) rehash(slot_count_for(n));
+  }
+
+  template <typename Q>
+  V* find(const Q& key) {
+    const std::size_t i = find_slot(key);
+    return i == kNoSlot ? nullptr : &entries_[slots_[i].pos()].value;
+  }
+  template <typename Q>
+  const V* find(const Q& key) const {
+    const std::size_t i = find_slot(key);
+    return i == kNoSlot ? nullptr : &entries_[slots_[i].pos()].value;
+  }
+  template <typename Q>
+  bool contains(const Q& key) const {
+    return find_slot(key) != kNoSlot;
+  }
+  template <typename Q>
+  std::size_t count(const Q& key) const {
+    return contains(key) ? 1 : 0;
+  }
+
+  V& operator[](const K& key) {
+    if (V* v = find(key)) return *v;
+    return emplace_new(key, V{});
+  }
+
+  // Returns {pointer to value, inserted?}.
+  template <typename VV>
+  std::pair<V*, bool> insert_or_assign(const K& key, VV&& value) {
+    if (V* v = find(key)) {
+      *v = std::forward<VV>(value);
+      return {v, false};
+    }
+    return {&emplace_new(key, V(std::forward<VV>(value))), true};
+  }
+
+  template <typename VV>
+  std::pair<V*, bool> emplace(const K& key, VV&& value) {
+    if (V* v = find(key)) return {v, false};
+    return {&emplace_new(key, V(std::forward<VV>(value))), true};
+  }
+
+  template <typename Q>
+  std::size_t erase(const Q& key) {
+    const std::size_t i = find_slot(key);
+    if (i == kNoSlot) return 0;
+    erase_at_slot(i);
+    return 1;
+  }
+
+ private:
+  // Index slot: dense position + 1 (0 = empty) and a 32-bit hash cache
+  // used both to skip key comparisons and to recover the home slot during
+  // backward-shift deletion.
+  struct Slot {
+    std::uint32_t pos_plus_one = 0;
+    std::uint32_t hash32 = 0;
+    bool occupied() const { return pos_plus_one != 0; }
+    std::size_t pos() const { return pos_plus_one - 1; }
+  };
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  static std::size_t slot_count_for(std::size_t n) {
+    std::size_t slots = 8;
+    while (slots * 3 < n * 4 + 4) slots <<= 1;  // load factor <= 0.75
+    return slots;
+  }
+
+  template <typename Q>
+  std::size_t find_slot(const Q& key) const {
+    if (slots_.empty()) return kNoSlot;
+    const std::uint64_t h = Hash{}(key);
+    const auto h32 = static_cast<std::uint32_t>(h);
+    std::size_t i = static_cast<std::size_t>(h) & mask_;
+    while (true) {
+      const Slot& s = slots_[i];
+      if (!s.occupied()) return kNoSlot;
+      if (s.hash32 == h32 && Eq{}(entries_[s.pos()].key, key)) return i;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  V& emplace_new(const K& key, V value) {
+    if (slots_.empty() || slot_count_for(entries_.size() + 1) > mask_ + 1) {
+      rehash(slot_count_for(entries_.size() + 1));
+    }
+    entries_.push_back(Entry{key, std::move(value)});
+    place(Hash{}(key), static_cast<std::uint32_t>(entries_.size() - 1));
+    return entries_.back().value;
+  }
+
+  void place(std::uint64_t h, std::uint32_t pos) {
+    std::size_t i = static_cast<std::size_t>(h) & mask_;
+    while (slots_[i].occupied()) i = (i + 1) & mask_;
+    slots_[i].pos_plus_one = pos + 1;
+    slots_[i].hash32 = static_cast<std::uint32_t>(h);
+  }
+
+  void erase_at_slot(std::size_t slot) {
+    const std::size_t dead_pos = slots_[slot].pos();
+    backward_shift(slot);
+    const std::size_t last = entries_.size() - 1;
+    if (dead_pos != last) {
+      entries_[dead_pos] = std::move(entries_[last]);
+      // Repoint the moved entry's index slot at its new dense position.
+      const std::uint64_t h = Hash{}(entries_[dead_pos].key);
+      std::size_t i = static_cast<std::size_t>(h) & mask_;
+      while (slots_[i].pos_plus_one != last + 1 ||
+             slots_[i].hash32 != static_cast<std::uint32_t>(h)) {
+        assert(slots_[i].occupied());
+        i = (i + 1) & mask_;
+      }
+      slots_[i].pos_plus_one = static_cast<std::uint32_t>(dead_pos) + 1;
+    }
+    entries_.pop_back();
+  }
+
+  // Knuth 6.4 Algorithm R: close the hole without tombstones by walking
+  // the cluster and pulling back any entry whose home slot lies at or
+  // before the hole.
+  void backward_shift(std::size_t hole) {
+    std::size_t j = hole;
+    while (true) {
+      j = (j + 1) & mask_;
+      if (!slots_[j].occupied()) break;
+      const std::size_t home = slots_[j].hash32 & mask_;
+      if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+    }
+    slots_[hole] = Slot{};
+  }
+
+  void rehash(std::size_t slot_count) {
+    slots_.assign(slot_count, Slot{});
+    mask_ = slot_count - 1;
+    for (std::size_t pos = 0; pos < entries_.size(); ++pos) {
+      place(Hash{}(entries_[pos].key), static_cast<std::uint32_t>(pos));
+    }
+  }
+
+  std::vector<Entry> entries_;  // dense, deterministic order
+  std::vector<Slot> slots_;     // open-addressing index, size = mask_+1
+  std::size_t mask_ = 0;
+};
+
+template <typename K, typename Hash = FlatHash, typename Eq = std::equal_to<>>
+class FlatSet {
+ public:
+  using const_iterator = typename std::vector<K>::const_iterator;
+
+  bool empty() const { return keys_.empty(); }
+  std::size_t size() const { return keys_.size(); }
+  const_iterator begin() const { return keys_.begin(); }
+  const_iterator end() const { return keys_.end(); }
+  void clear() { index_.clear(); keys_.clear(); }
+  void reserve(std::size_t n) { index_.reserve(n); keys_.reserve(n); }
+
+  template <typename Q>
+  bool contains(const Q& key) const {
+    return index_.contains(key);
+  }
+  template <typename Q>
+  std::size_t count(const Q& key) const {
+    return index_.count(key);
+  }
+
+  bool insert(const K& key) {
+    auto [pos, inserted] =
+        index_.emplace(key, static_cast<std::uint32_t>(keys_.size()));
+    if (inserted) keys_.push_back(key);
+    return inserted;
+  }
+
+  template <typename Q>
+  std::size_t erase(const Q& key) {
+    const std::uint32_t* pos = index_.find(key);
+    if (pos == nullptr) return 0;
+    const std::uint32_t dead = *pos;
+    const std::uint32_t last = static_cast<std::uint32_t>(keys_.size()) - 1;
+    index_.erase(key);
+    if (dead != last) {
+      keys_[dead] = std::move(keys_[last]);
+      *index_.find(keys_[dead]) = dead;
+    }
+    keys_.pop_back();
+    return 1;
+  }
+
+ private:
+  FlatMap<K, std::uint32_t, Hash, Eq> index_;
+  std::vector<K> keys_;  // dense, deterministic order
+};
+
+// Sorted dense vector behaving like std::set for small hot sets that are
+// iterated in key order (candidate-node scans).  Insert/erase are O(n)
+// memmove over contiguous memory — far cheaper than a node allocation at
+// the sizes involved — and iteration is a linear sweep.
+template <typename T, typename Compare = std::less<>>
+class OrderedSet {
+ public:
+  using const_iterator = typename std::vector<T>::const_iterator;
+
+  bool empty() const { return v_.empty(); }
+  std::size_t size() const { return v_.size(); }
+  const_iterator begin() const { return v_.begin(); }
+  const_iterator end() const { return v_.end(); }
+  void clear() { v_.clear(); }
+  void reserve(std::size_t n) { v_.reserve(n); }
+
+  template <typename Q>
+  const_iterator lower_bound(const Q& key) const {
+    return std::lower_bound(v_.begin(), v_.end(), key, Compare{});
+  }
+  template <typename Q>
+  const_iterator find(const Q& key) const {
+    auto it = lower_bound(key);
+    if (it != v_.end() && !Compare{}(key, *it)) return it;
+    return v_.end();
+  }
+  template <typename Q>
+  bool contains(const Q& key) const {
+    return find(key) != v_.end();
+  }
+  template <typename Q>
+  std::size_t count(const Q& key) const {
+    return contains(key) ? 1 : 0;
+  }
+
+  bool insert(const T& value) {
+    auto it = std::lower_bound(v_.begin(), v_.end(), value, Compare{});
+    if (it != v_.end() && !Compare{}(value, *it)) return false;
+    v_.insert(it, value);
+    return true;
+  }
+
+  template <typename Q>
+  std::size_t erase(const Q& key) {
+    auto it = find(key);
+    if (it == v_.end()) return 0;
+    v_.erase(it);
+    return 1;
+  }
+
+ private:
+  std::vector<T> v_;
+};
+
+// Sorted dense vector of (key, value) pairs; iterates in key order.
+template <typename K, typename V, typename Compare = std::less<>>
+class OrderedMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+  using iterator = typename std::vector<value_type>::iterator;
+
+  bool empty() const { return v_.empty(); }
+  std::size_t size() const { return v_.size(); }
+  iterator begin() { return v_.begin(); }
+  iterator end() { return v_.end(); }
+  const_iterator begin() const { return v_.begin(); }
+  const_iterator end() const { return v_.end(); }
+  void clear() { v_.clear(); }
+
+  template <typename Q>
+  iterator find(const Q& key) {
+    auto it = lower_bound(key);
+    if (it != v_.end() && !Compare{}(key, it->first)) return it;
+    return v_.end();
+  }
+  template <typename Q>
+  const_iterator find(const Q& key) const {
+    auto it = lower_bound(key);
+    if (it != v_.end() && !Compare{}(key, it->first)) return it;
+    return v_.end();
+  }
+  template <typename Q>
+  bool contains(const Q& key) const {
+    return find(key) != v_.end();
+  }
+  template <typename Q>
+  std::size_t count(const Q& key) const {
+    return contains(key) ? 1 : 0;
+  }
+
+  V& operator[](const K& key) {
+    auto it = lower_bound(key);
+    if (it != v_.end() && !Compare{}(key, it->first)) return it->second;
+    return v_.insert(it, value_type{key, V{}})->second;
+  }
+
+  template <typename Q>
+  std::size_t erase(const Q& key) {
+    auto it = find(key);
+    if (it == v_.end()) return 0;
+    v_.erase(it);
+    return 1;
+  }
+
+ private:
+  template <typename Q>
+  iterator lower_bound(const Q& key) {
+    return std::lower_bound(
+        v_.begin(), v_.end(), key,
+        [](const value_type& e, const Q& k) { return Compare{}(e.first, k); });
+  }
+  template <typename Q>
+  const_iterator lower_bound(const Q& key) const {
+    return std::lower_bound(
+        v_.begin(), v_.end(), key,
+        [](const value_type& e, const Q& k) { return Compare{}(e.first, k); });
+  }
+
+  std::vector<value_type> v_;
+};
+
+}  // namespace heus::common

@@ -1,0 +1,117 @@
+// Generation-checked dense slot map (DESIGN.md §8).  Values live in one
+// contiguous dense array (ideal for SoA sweeps: GC scans, cross-user flow
+// scans); handles are {slot, generation} pairs that survive swap-remove
+// compaction and detect stale reuse.  erase() reports the swap it performs
+// so parallel arrays (the cold half of a hot/cold split) can mirror it.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace heus::common {
+
+struct SlotHandle {
+  std::uint32_t slot = 0;
+  std::uint32_t generation = 0;
+  friend bool operator==(const SlotHandle&, const SlotHandle&) = default;
+};
+
+template <typename T>
+class SlotMap {
+ public:
+  bool empty() const { return dense_.empty(); }
+  std::size_t size() const { return dense_.size(); }
+
+  // Dense access for linear sweeps.
+  T& dense(std::size_t i) { return dense_[i]; }
+  const T& dense(std::size_t i) const { return dense_[i]; }
+  SlotHandle handle_at(std::size_t i) const {
+    const std::uint32_t slot = dense_to_slot_[i];
+    return SlotHandle{slot, slots_[slot].generation};
+  }
+  /// Dense index behind a handle, or npos for a stale/invalid handle.
+  /// Lets parallel arrays (the cold half of a hot/cold split) be addressed
+  /// by the same handle that addresses the hot half.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t dense_index(SlotHandle h) const {
+    return valid(h) ? slots_[h.slot].index : npos;
+  }
+
+  SlotHandle insert(T value) {
+    std::uint32_t slot;
+    if (free_head_ != kNoSlot) {
+      slot = free_head_;
+      free_head_ = slots_[slot].index;
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.push_back(SlotEntry{});
+    }
+    slots_[slot].index = static_cast<std::uint32_t>(dense_.size());
+    dense_.push_back(std::move(value));
+    dense_to_slot_.push_back(slot);
+    return SlotHandle{slot, slots_[slot].generation};
+  }
+
+  T* get(SlotHandle h) {
+    return valid(h) ? &dense_[slots_[h.slot].index] : nullptr;
+  }
+  const T* get(SlotHandle h) const {
+    return valid(h) ? &dense_[slots_[h.slot].index] : nullptr;
+  }
+  bool valid(SlotHandle h) const {
+    return h.slot < slots_.size() && slots_[h.slot].generation == h.generation &&
+           slots_[h.slot].index != kNoSlot;
+  }
+
+  // Erase via swap-with-last.  on_move(from, to) fires when the dense
+  // element at index `from` moves to index `to`, so parallel arrays can
+  // mirror the compaction; it does not fire when erasing the last element.
+  template <typename OnMove>
+  bool erase(SlotHandle h, OnMove&& on_move) {
+    if (!valid(h)) return false;
+    const std::uint32_t dead = slots_[h.slot].index;
+    const auto last = static_cast<std::uint32_t>(dense_.size()) - 1;
+    if (dead != last) {
+      dense_[dead] = std::move(dense_[last]);
+      dense_to_slot_[dead] = dense_to_slot_[last];
+      slots_[dense_to_slot_[dead]].index = dead;
+      on_move(last, dead);
+    }
+    dense_.pop_back();
+    dense_to_slot_.pop_back();
+    // Retire the slot: bump the generation so stale handles miss, and
+    // thread it onto the free list through the index field.
+    ++slots_[h.slot].generation;
+    slots_[h.slot].index = free_head_;
+    free_head_ = h.slot;
+    return true;
+  }
+  bool erase(SlotHandle h) {
+    return erase(h, [](std::uint32_t, std::uint32_t) {});
+  }
+
+  void clear() {
+    dense_.clear();
+    dense_to_slot_.clear();
+    slots_.clear();
+    free_head_ = kNoSlot;
+  }
+
+ private:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  struct SlotEntry {
+    std::uint32_t index = kNoSlot;  // dense index, or next free slot
+    std::uint32_t generation = 0;
+  };
+
+  std::vector<T> dense_;
+  std::vector<std::uint32_t> dense_to_slot_;  // dense index -> slot
+  std::vector<SlotEntry> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+};
+
+}  // namespace heus::common

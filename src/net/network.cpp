@@ -65,6 +65,13 @@ void Network::enable_sharding(std::uint32_t groups,
   }
   groups_ = groups;
   host_group_ = std::move(host_group);
+  // The freed-port rings park their storage in the old buckets' arenas;
+  // they are empty here (no flow has ever closed), so just drop the
+  // storage before the arenas go away.
+  for (HostState& hs : hosts_) {
+    assert(hs.freed_ports.empty());
+    hs.freed_ports = {};
+  }
   buckets_.clear();
   buckets_.resize(static_cast<std::size_t>(groups_) + 1);
 }
@@ -111,35 +118,36 @@ void Network::charge(Bucket& b, std::int64_t ns) {
   if (mutable_clock_ != nullptr) mutable_clock_->advance(ns);
 }
 
-Flow* Network::lookup_flow(FlowId id) {
+Network::FlowHot* Network::lookup_hot(FlowId id) {
   const std::uint32_t b = flow_bucket(id);
   if (b >= buckets_.size()) return nullptr;
-  auto it = buckets_[b].flows.find(id);
-  return it == buckets_[b].flows.end() ? nullptr : &it->second;
+  const std::size_t i = buckets_[b].table.find(id);
+  return i == FlowTable::npos ? nullptr : &buckets_[b].table.hot(i);
 }
 
-const Flow* Network::lookup_flow(FlowId id) const {
+const Network::FlowHot* Network::lookup_hot(FlowId id) const {
   const std::uint32_t b = flow_bucket(id);
   if (b >= buckets_.size()) return nullptr;
-  auto it = buckets_[b].flows.find(id);
-  return it == buckets_[b].flows.end() ? nullptr : &it->second;
+  const std::size_t i = buckets_[b].table.find(id);
+  return i == FlowTable::npos ? nullptr : &buckets_[b].table.hot(i);
 }
 
-void Network::ref_port(HostState& h, std::uint16_t port) {
-  ++h.port_refs[port];
+void Network::ref_port(HostId h, std::uint16_t port) {
+  ++host(h).port_refs[port];
 }
 
-void Network::unref_port(HostState& h, std::uint16_t port) {
-  auto it = h.port_refs.find(port);
-  assert(it != h.port_refs.end() && it->second > 0);
-  if (--it->second == 0) {
-    h.port_refs.erase(it);
+void Network::unref_port(HostId h, std::uint16_t port) {
+  HostState& hs = host(h);
+  std::uint32_t* refs = hs.port_refs.find(port);
+  assert(refs != nullptr && *refs > 0);
+  if (--*refs == 0) {
+    hs.port_refs.erase(port);
     // Return to the free pool only once the cursor has passed it; ports
     // still ahead of the cursor are found by the cursor itself (a second
     // pool entry would double-allocate).
     if (port >= kEphemeralLo && port <= kEphemeralHi &&
-        port < h.ephemeral_cursor) {
-      h.freed_ports.push_back(port);
+        port < hs.ephemeral_cursor) {
+      hs.freed_ports.push_back(bucket(group_of(h)).arena, port);
     }
   }
 }
@@ -155,7 +163,7 @@ Result<void> Network::listen(HostId h, const simos::Credentials& cred,
   const auto key = pkey(proto, port);
   if (hs.listeners.contains(key)) return Errno::eaddrinuse;
   hs.listeners.emplace(key, Listener{cred, pid, port, proto});
-  ref_port(hs, port);
+  ref_port(h, port);
   return ok_result();
 }
 
@@ -167,16 +175,14 @@ Result<void> Network::close_listener(HostId h, Proto proto,
   if (hs.listeners.erase(pkey(proto, port)) == 0) {
     return Errno::enoent;
   }
-  unref_port(hs, port);
+  unref_port(h, port);
   return ok_result();
 }
 
 const Listener* Network::find_listener(HostId h, Proto proto,
                                        std::uint16_t port) const {
   if (h.value() >= hosts_.size()) return nullptr;
-  const HostState& hs = host(h);
-  auto it = hs.listeners.find(pkey(proto, port));
-  return it == hs.listeners.end() ? nullptr : &it->second;
+  return host(h).listeners.find(pkey(proto, port));
 }
 
 std::uint16_t Network::alloc_ephemeral_port(HostState& h) {
@@ -184,8 +190,7 @@ std::uint16_t Network::alloc_ephemeral_port(HostState& h) {
   // cursor), with lazy validation against the refcounts: a pooled port a
   // listener has since bound is discarded, not handed out.
   while (!h.freed_ports.empty()) {
-    const std::uint16_t p = h.freed_ports.front();
-    h.freed_ports.pop_front();
+    const std::uint16_t p = h.freed_ports.pop_front();
     if (!h.port_refs.contains(p)) return p;
   }
   // Then the never-allocated remainder of the range.
@@ -196,58 +201,57 @@ std::uint16_t Network::alloc_ephemeral_port(HostState& h) {
   return 0;  // pool exhausted — caller reports EADDRNOTAVAIL
 }
 
-void Network::index_flow(const Flow& f) {
+void Network::index_flow(const FlowHot& f) {
   HostState& ch = host(f.client_host);
   ch.flow_ports[pkey(f.proto, f.client_port)].push_back(
       PortEndpoint{f.id, FlowEnd::client});
   ch.flows_by_uid[f.client_uid].insert(f.id);
   ch.flows.insert(f.id);
-  ref_port(ch, f.client_port);
+  ref_port(f.client_host, f.client_port);
 
   HostState& sh = host(f.server_host);
   sh.flow_ports[pkey(f.proto, f.server_port)].push_back(
       PortEndpoint{f.id, FlowEnd::server});
   sh.flows_by_uid[f.server_uid].insert(f.id);
   sh.flows.insert(f.id);
-  ref_port(sh, f.server_port);
+  ref_port(f.server_host, f.server_port);
 }
 
-void Network::unindex_flow(const Flow& f) {
-  auto drop_endpoint = [this](HostState& hs, Proto proto,
-                              std::uint16_t port, FlowId id, FlowEnd end,
-                              Uid uid) {
+void Network::unindex_flow(const FlowHot& f) {
+  auto drop_endpoint = [this](HostId hid, Proto proto, std::uint16_t port,
+                              FlowId id, FlowEnd end, Uid uid) {
+    HostState& hs = host(hid);
     const auto key = pkey(proto, port);
-    auto it = hs.flow_ports.find(key);
-    assert(it != hs.flow_ports.end());
-    auto& eps = it->second;
-    std::erase_if(eps, [&](const PortEndpoint& ep) {
+    std::vector<PortEndpoint>* eps = hs.flow_ports.find(key);
+    assert(eps != nullptr);
+    std::erase_if(*eps, [&](const PortEndpoint& ep) {
       return ep.flow == id && ep.end == end;
     });
-    if (eps.empty()) hs.flow_ports.erase(it);
-    auto by_uid = hs.flows_by_uid.find(uid);
-    if (by_uid != hs.flows_by_uid.end()) {
-      by_uid->second.erase(id);
-      if (by_uid->second.empty()) hs.flows_by_uid.erase(by_uid);
+    if (eps->empty()) hs.flow_ports.erase(key);
+    if (common::FlatSet<FlowId>* by_uid = hs.flows_by_uid.find(uid)) {
+      by_uid->erase(id);
+      if (by_uid->empty()) hs.flows_by_uid.erase(uid);
     }
     hs.flows.erase(id);
-    unref_port(hs, port);
+    unref_port(hid, port);
   };
-  drop_endpoint(host(f.client_host), f.proto, f.client_port, f.id,
+  drop_endpoint(f.client_host, f.proto, f.client_port, f.id,
                 FlowEnd::client, f.client_uid);
-  drop_endpoint(host(f.server_host), f.proto, f.server_port, f.id,
+  drop_endpoint(f.server_host, f.proto, f.server_port, f.id,
                 FlowEnd::server, f.server_uid);
 }
 
-void Network::destroy_flow(Flow& f) {
+void Network::destroy_flow(FlowHot& f) {
   Bucket& b = bucket_of(f.id);
+  const FlowId id = f.id;
   b.conntrack.erase(ConntrackKey{f.client_host, f.client_port,
                                  f.server_host, f.server_port,
                                  static_cast<int>(f.proto)});
   unindex_flow(f);
-  b.flows.erase(f.id);  // invalidates f
+  b.table.erase(id, b.arena);  // invalidates f
 }
 
-const lifecycle::Transition* Network::fire_flow(Flow& f, FlowEvent event,
+const lifecycle::Transition* Network::fire_flow(FlowHot& f, FlowEvent event,
                                                 bool outcome) {
   lifecycle::StateId s = id(f.state);
   const lifecycle::Transition* t = flow_lc_.fire(
@@ -257,7 +261,7 @@ const lifecycle::Transition* Network::fire_flow(Flow& f, FlowEvent event,
   return t;
 }
 
-void Network::touch_flow(Flow& f) {
+void Network::touch_flow(FlowHot& f) {
   if (flow_ttl_ns_ <= 0) return;
   const std::int64_t deadline = clock_->now().ns + flow_ttl_ns_;
   if (f.expires_at_ns == 0) {
@@ -315,7 +319,7 @@ Result<FlowId> Network::connect(HostId src_host,
   // this mirrors the real daemon's ident exchange.
   const FlowId id{(static_cast<std::uint64_t>(bi) << kBucketShift) |
                   B.next_local++};
-  Flow flow;
+  FlowHot flow;
   flow.id = id;
   flow.proto = proto;
   flow.client_host = src_host;
@@ -324,9 +328,8 @@ Result<FlowId> Network::connect(HostId src_host,
   flow.server_port = dst_port;
   flow.client_uid = cred.uid;
   flow.server_uid = listener->cred.uid;
-  auto [it, inserted] = B.flows.emplace(id, std::move(flow));
-  assert(inserted);
-  index_flow(it->second);
+  const std::size_t row = B.table.insert(flow);
+  index_flow(B.table.hot(row));
 
   if (hook_ && dst_port >= inspect_from_port_) {
     ++B.stats.hook_invocations;
@@ -340,12 +343,13 @@ Result<FlowId> Network::connect(HostId src_host,
                                    : latency_.ident_remote_ns;
     if (v == Verdict::drop) {
       // The hook may itself have closed flows; re-find rather than trust
-      // the iterator.
-      auto fit = B.flows.find(id);
-      if (fit != B.flows.end()) {
-        fire_flow(fit->second, FlowEvent::hook_drop, /*outcome=*/true);
-        unindex_flow(fit->second);
-        B.flows.erase(fit);
+      // the row index.
+      const std::size_t fi = B.table.find(id);
+      if (fi != FlowTable::npos) {
+        FlowHot& f = B.table.hot(fi);
+        fire_flow(f, FlowEvent::hook_drop, /*outcome=*/true);
+        unindex_flow(f);
+        B.table.erase(id, B.arena);
       }
       ++B.stats.connections_dropped;
       B.last_connect_cost_ns = cost;
@@ -360,10 +364,12 @@ Result<FlowId> Network::connect(HostId src_host,
                    cred.uid, cred.egid, listener->cred.uid,
                    proto == Proto::udp ? obs::ChannelKind::udp_cross_user
                                        : obs::ChannelKind::tcp_cross_user,
-                   nullptr, [&] {
-                     return "host " + std::to_string(dst_host.value()) +
-                            " port " + std::to_string(dst_port) +
-                            (proto == Proto::udp ? " udp" : " tcp");
+                   nullptr, [&](std::string& out) {
+                     out += "host ";
+                     obs::append_uint(out, dst_host.value());
+                     out += " port ";
+                     obs::append_uint(out, dst_port);
+                     out += proto == Proto::udp ? " udp" : " tcp";
                    });
   }
 
@@ -371,16 +377,16 @@ Result<FlowId> Network::connect(HostId src_host,
       ConntrackKey{src_host, src_port, dst_host, dst_port,
                    static_cast<int>(proto)},
       id);
-  auto fit = B.flows.find(id);
-  assert(fit != B.flows.end());
+  const std::size_t fi = B.table.find(id);
+  assert(fi != FlowTable::npos);
   // Admission through the table: an inspected flow establishes on the
   // hook's accept verdict (guard `ubf-inspects` true); an uninspected
   // one takes the annotated admit-uninspected row (guard false).
   const bool inspected = hook_ && dst_port >= inspect_from_port_;
-  fire_flow(fit->second,
+  fire_flow(B.table.hot(fi),
             inspected ? FlowEvent::hook_accept : FlowEvent::admit_uninspected,
             inspected);
-  touch_flow(fit->second);
+  touch_flow(B.table.hot(fi));
   ++B.stats.connections_established;
   B.last_connect_cost_ns = cost;
   charge(B, cost);
@@ -388,21 +394,22 @@ Result<FlowId> Network::connect(HostId src_host,
 }
 
 Result<void> Network::send(FlowId id, FlowEnd from, std::string payload) {
-  Flow* fp = lookup_flow(id);
-  if (fp == nullptr) return Errno::ebadf;
-  Flow& f = *fp;
   const std::uint32_t bi = flow_bucket(id);
+  if (bi >= buckets_.size()) return Errno::ebadf;
   assert_scope(bi);
   Bucket& B = bucket(bi);
+  const std::size_t fi = B.table.find(id);
+  if (fi == FlowTable::npos) return Errno::ebadf;
+  FlowHot& f = B.table.hot(fi);
   if (f.state != FlowState::established) return Errno::enotconn;
 
   // Established path: a conntrack lookup and delivery; the firewall hook
   // is *not* consulted (the zero-overhead property the paper relies on).
-  auto ct = B.conntrack.find(ConntrackKey{f.client_host, f.client_port,
-                                          f.server_host, f.server_port,
-                                          static_cast<int>(f.proto)});
-  assert(ct != B.conntrack.end());
-  (void)ct;
+  [[maybe_unused]] const FlowId* ct =
+      B.conntrack.find(ConntrackKey{f.client_host, f.client_port,
+                                    f.server_host, f.server_port,
+                                    static_cast<int>(f.proto)});
+  assert(ct != nullptr);
   ++B.stats.conntrack_hits;
 
   // Fail-safe on the fast path: the conntrack entry was admitted against
@@ -436,13 +443,14 @@ Result<void> Network::send(FlowId id, FlowEnd from, std::string payload) {
     return Errno::etimedout;
   }
   ++B.stats.packets_delivered;
-  f.bytes += payload.size();
+  FlowCold& c = B.table.cold(fi);
+  c.bytes += payload.size();
   const auto serialization_ns = static_cast<std::int64_t>(
       static_cast<double>(payload.size()) / latency_.fabric_bytes_per_ns);
   if (from == FlowEnd::client) {
-    f.to_server.push_back(std::move(payload));
+    c.to_server.push_back(B.arena, std::move(payload));
   } else {
-    f.to_client.push_back(std::move(payload));
+    c.to_client.push_back(B.arena, std::move(payload));
   }
   B.last_send_cost_ns = latency_.conntrack_lookup_ns +
                         latency_.per_packet_ns + serialization_ns;
@@ -453,18 +461,20 @@ Result<void> Network::send(FlowId id, FlowEnd from, std::string payload) {
 }
 
 Result<std::string> Network::recv(FlowId id, FlowEnd at) {
-  Flow* fp = lookup_flow(id);
-  if (fp == nullptr) return Errno::ebadf;
-  assert_scope(flow_bucket(id));
-  auto& queue = (at == FlowEnd::server) ? fp->to_server : fp->to_client;
+  const std::uint32_t bi = flow_bucket(id);
+  if (bi >= buckets_.size()) return Errno::ebadf;
+  assert_scope(bi);
+  Bucket& B = bucket(bi);
+  const std::size_t fi = B.table.find(id);
+  if (fi == FlowTable::npos) return Errno::ebadf;
+  FlowCold& c = B.table.cold(fi);
+  auto& queue = (at == FlowEnd::server) ? c.to_server : c.to_client;
   if (queue.empty()) return Errno::eagain;
-  std::string out = std::move(queue.front());
-  queue.pop_front();
-  return out;
+  return queue.pop_front();
 }
 
 Result<void> Network::close(FlowId id) {
-  Flow* fp = lookup_flow(id);
+  FlowHot* fp = lookup_hot(id);
   if (fp == nullptr) return Errno::ebadf;
   assert_scope(flow_bucket(id));
   fire_flow(*fp, FlowEvent::teardown, /*outcome=*/false);
@@ -472,7 +482,30 @@ Result<void> Network::close(FlowId id) {
   return ok_result();
 }
 
-const Flow* Network::find_flow(FlowId id) const { return lookup_flow(id); }
+std::optional<Flow> Network::find_flow(FlowId id) const {
+  const std::uint32_t bi = flow_bucket(id);
+  if (bi >= buckets_.size()) return std::nullopt;
+  const Bucket& B = bucket(bi);
+  const std::size_t fi = B.table.find(id);
+  if (fi == FlowTable::npos) return std::nullopt;
+  const FlowHot& h = B.table.hot(fi);
+  const FlowCold& c = B.table.cold(fi);
+  Flow f;
+  f.id = h.id;
+  f.proto = h.proto;
+  f.client_host = h.client_host;
+  f.client_port = h.client_port;
+  f.server_host = h.server_host;
+  f.server_port = h.server_port;
+  f.client_uid = h.client_uid;
+  f.server_uid = h.server_uid;
+  f.state = h.state;
+  f.to_server_len = c.to_server.size();
+  f.to_client_len = c.to_client.size();
+  f.bytes = c.bytes;
+  f.expires_at_ns = h.expires_at_ns;
+  return f;
+}
 
 std::size_t Network::gc() {
   if (flow_ttl_ns_ <= 0) return 0;
@@ -495,9 +528,9 @@ std::size_t Network::gc_bucket(std::uint32_t bi) {
     const ExpiryEntry e = B.expiry_heap.top();
     B.expiry_heap.pop();
     ++B.stats.gc_entries_touched;
-    auto it = B.flows.find(e.flow);
-    if (it == B.flows.end()) continue;  // already closed; stale entry
-    Flow& f = it->second;
+    const std::size_t fi = B.table.find(e.flow);
+    if (fi == FlowTable::npos) continue;  // already closed; stale entry
+    FlowHot& f = B.table.hot(fi);
     // The table decides teardown eligibility: gc-due on a revived flow
     // resolves to the reschedule self-loop, otherwise to expiry. A flow
     // closed earlier never reaches this point (erased above), so no
@@ -523,14 +556,15 @@ std::optional<std::int64_t> Network::next_expiry_ns() const {
   for (const Bucket& B : buckets_) {
     while (!B.expiry_heap.empty()) {
       const ExpiryEntry e = B.expiry_heap.top();
-      auto it = B.flows.find(e.flow);
-      if (it == B.flows.end()) {
+      const std::size_t fi = B.table.find(e.flow);
+      if (fi == FlowTable::npos) {
         B.expiry_heap.pop();
         continue;
       }
-      if (it->second.expires_at_ns > e.deadline_ns) {
+      const std::int64_t real = B.table.hot(fi).expires_at_ns;
+      if (real > e.deadline_ns) {
         B.expiry_heap.pop();
-        B.expiry_heap.push(ExpiryEntry{it->second.expires_at_ns, e.flow});
+        B.expiry_heap.push(ExpiryEntry{real, e.flow});
         continue;
       }
       if (!earliest || e.deadline_ns < *earliest) earliest = e.deadline_ns;
@@ -547,15 +581,19 @@ std::size_t Network::close_sockets_of(HostId h, Uid uid) {
   std::size_t closed = 0;
   HostState& hs = host(h);
   NetworkStats& st = bucket(group_of(h)).stats;
-  for (auto it = hs.listeners.begin(); it != hs.listeners.end();) {
+  // Index loop over the dense entries; erase swap-removes, so stay put
+  // after an erase and advance otherwise.
+  for (std::size_t i = 0; i < hs.listeners.size();) {
     ++st.gc_entries_touched;
-    if (it->second.cred.uid == uid) {
-      const std::uint16_t port = it->second.port;
-      it = hs.listeners.erase(it);
-      unref_port(hs, port);
+    const auto& entry = *(hs.listeners.begin() + static_cast<std::ptrdiff_t>(i));
+    if (entry.value.cred.uid == uid) {
+      const std::uint32_t key = entry.key;
+      const std::uint16_t port = entry.value.port;
+      hs.listeners.erase(key);
+      unref_port(h, port);
       ++closed;
     } else {
-      ++it;
+      ++i;
     }
   }
   for (auto it = hs.abstract_sockets.begin();
@@ -570,14 +608,14 @@ std::size_t Network::close_sockets_of(HostId h, Uid uid) {
   }
   // Indexed teardown: exactly this user's flows on this host, one erase
   // pass each — never a scan of the global flow table. Snapshot the id
-  // set first (destroy_flow edits it underneath us).
-  if (auto by_uid = hs.flows_by_uid.find(uid);
-      by_uid != hs.flows_by_uid.end()) {
-    const std::vector<FlowId> dead(by_uid->second.begin(),
-                                   by_uid->second.end());
+  // set first (destroy_flow edits it underneath us) and sort it: the
+  // erase order feeds the freed-port FIFO the pinned digests observe.
+  if (const common::FlatSet<FlowId>* by_uid = hs.flows_by_uid.find(uid)) {
+    std::vector<FlowId> dead(by_uid->begin(), by_uid->end());
+    std::sort(dead.begin(), dead.end());
     for (FlowId id : dead) {
       ++st.gc_entries_touched;
-      Flow* fp = lookup_flow(id);
+      FlowHot* fp = lookup_hot(id);
       if (fp == nullptr) continue;
       fire_flow(*fp, FlowEvent::teardown, /*outcome=*/false);
       destroy_flow(*fp);
@@ -594,14 +632,17 @@ std::size_t Network::reset_host(HostId h) {
   NetworkStats& st = bucket(group_of(h)).stats;
   std::size_t closed = hs.listeners.size() + hs.abstract_sockets.size();
   st.gc_entries_touched += closed;
-  for (const auto& [key, l] : hs.listeners) unref_port(hs, l.port);
+  for (const auto& [key, l] : hs.listeners) unref_port(h, l.port);
   hs.listeners.clear();
   hs.abstract_sockets.clear();
-  // Per-host flow index: touch only flows with an endpoint here.
-  const std::vector<FlowId> dead(hs.flows.begin(), hs.flows.end());
+  // Per-host flow index: touch only flows with an endpoint here. Sorted
+  // so the teardown order (and the freed-port FIFO it feeds) matches the
+  // id order the digests were pinned against.
+  std::vector<FlowId> dead(hs.flows.begin(), hs.flows.end());
+  std::sort(dead.begin(), dead.end());
   for (FlowId id : dead) {
     ++st.gc_entries_touched;
-    Flow* fp = lookup_flow(id);
+    FlowHot* fp = lookup_hot(id);
     if (fp == nullptr) continue;
     fire_flow(*fp, FlowEvent::teardown, /*outcome=*/false);
     destroy_flow(*fp);
@@ -636,10 +677,11 @@ Result<IdentInfo> Network::ident_lookup(HostId h, Proto proto,
   }
   // ...or a flow endpoint does (client ephemeral ports live here) — O(1)
   // via the per-host port index, not a scan of the flow table.
-  if (auto it = hs.flow_ports.find(pkey(proto, port));
-      it != hs.flow_ports.end() && !it->second.empty()) {
-    const PortEndpoint& ep = it->second.front();
-    const Flow* f = lookup_flow(ep.flow);
+  if (const std::vector<PortEndpoint>* eps =
+          hs.flow_ports.find(pkey(proto, port));
+      eps != nullptr && !eps->empty()) {
+    const PortEndpoint& ep = eps->front();
+    const FlowHot* f = lookup_hot(ep.flow);
     assert(f != nullptr);
     if (ep.end == FlowEnd::client) {
       // The client side has no captured egid snapshot distinct from uid's
@@ -653,18 +695,18 @@ Result<IdentInfo> Network::ident_lookup(HostId h, Proto proto,
 
 Result<void> Network::unix_listen_abstract(HostId h,
                                            const simos::Credentials& cred,
-                                           const std::string& name) {
+                                           std::string_view name) {
   if (h.value() >= hosts_.size()) return Errno::einval;
   assert_scope(group_of(h));
   HostState& hs = host(h);
   if (hs.abstract_sockets.contains(name)) return Errno::eaddrinuse;
-  hs.abstract_sockets.emplace(name, cred);
+  hs.abstract_sockets.emplace(std::string(name), cred);
   return ok_result();
 }
 
 Result<Uid> Network::unix_connect_abstract(HostId h,
                                            const simos::Credentials& cred,
-                                           const std::string& name) {
+                                           std::string_view name) {
   // Deliberately unchecked: this is the residual channel. The trace still
   // sees every cross-user connect so the exposure is measurable.
   if (h.value() >= hosts_.size()) return Errno::einval;
@@ -676,16 +718,21 @@ Result<Uid> Network::unix_connect_abstract(HostId h,
     trace_->record(obs::DecisionPoint::net_uninspected, obs::Outcome::allow,
                    cred.uid, cred.egid, it->second.uid,
                    obs::ChannelKind::abstract_uds, nullptr,
-                   [&] { return "@" + name; });
+                   [&](std::string& out) {
+                     out += '@';
+                     out += name;
+                   });
   }
   return it->second.uid;
 }
 
-Result<void> Network::unix_close_abstract(HostId h,
-                                          const std::string& name) {
+Result<void> Network::unix_close_abstract(HostId h, std::string_view name) {
   if (h.value() >= hosts_.size()) return Errno::einval;
   assert_scope(group_of(h));
-  if (host(h).abstract_sockets.erase(name) == 0) return Errno::enoent;
+  HostState& hs = host(h);
+  auto it = hs.abstract_sockets.find(name);
+  if (it == hs.abstract_sockets.end()) return Errno::enoent;
+  hs.abstract_sockets.erase(it);
   return ok_result();
 }
 
@@ -693,14 +740,16 @@ std::vector<FlowId> Network::cross_user_flows() const {
   assert_serial_phase();
   std::vector<FlowId> out;
   for (const Bucket& B : buckets_) {
-    for (const auto& [id, f] : B.flows) {
+    for (std::size_t i = 0; i < B.table.size(); ++i) {
+      const FlowHot& f = B.table.hot(i);
       if (f.state == FlowState::established &&
           f.client_uid != f.server_uid) {
-        out.push_back(id);
+        out.push_back(f.id);
       }
     }
   }
-  // Flow maps are hash-ordered; report in id order so audits are stable.
+  // Dense order is churn-dependent; report in id order so audits are
+  // stable.
   std::sort(out.begin(), out.end());
   return out;
 }

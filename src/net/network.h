@@ -12,22 +12,33 @@
 //  - Abstract-namespace unix domain sockets are modelled with *no*
 //    permission checks, because the paper's Results section lists them as
 //    a residual cross-user channel; the leakage auditor probes them.
+//
+// Memory layout (DESIGN.md §8): flow state is stored struct-of-arrays —
+// a dense hot array (FlowHot: ids, endpoints, state, deadline) that GC
+// and audit sweeps touch, and a parallel cold array (FlowCold: message
+// rings, byte counters) that only send/recv touch. Message queues and the
+// freed-ephemeral-port pool are arena-backed rings owned by the flow's
+// bucket, so steady-state connection churn performs no global-heap
+// allocation. Every index is a FlatMap/FlatSet whose iteration order is a
+// pure function of the operation sequence (never of hash internals), the
+// property the pinned golden digests rely on.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
 #include <queue>
-#include <set>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/clock.h"
+#include "common/flat_map.h"
 #include "common/ids.h"
 #include "common/result.h"
+#include "common/slot_map.h"
 #include "net/flow_lifecycle.h"
 #include "obs/decision.h"
 #include "simos/credentials.h"
@@ -83,6 +94,10 @@ class FaultModel {
   virtual bool drop_packet(HostId a, HostId b) = 0;
 };
 
+/// A by-value snapshot of one flow, as returned by find_flow(). The
+/// network stores flows struct-of-arrays internally (hot fields dense,
+/// message queues in arena rings), so there is no stable Flow object to
+/// point at; callers get a copy of the fields that outlive the call.
 struct Flow {
   FlowId id{};
   Proto proto = Proto::tcp;
@@ -95,8 +110,8 @@ struct Flow {
   /// Driven exclusively through the flow lifecycle table
   /// (net/flow_lifecycle.h); nascent until the admission verdict.
   FlowState state = FlowState::nascent;
-  std::deque<std::string> to_server;  ///< in-flight client->server messages
-  std::deque<std::string> to_client;
+  std::size_t to_server_len = 0;  ///< in-flight client->server messages
+  std::size_t to_client_len = 0;
   std::uint64_t bytes = 0;
   /// Conntrack idle-expiry deadline (ns); refreshed on activity when a
   /// flow TTL is configured. 0 = never expires.
@@ -186,7 +201,9 @@ class ShardScope {
 class Network {
  public:
   Network(const common::SimClock* clock, common::SimClock* mutable_clock)
-      : clock_(clock), mutable_clock_(mutable_clock) {}
+      : clock_(clock), mutable_clock_(mutable_clock) {
+    buckets_.resize(1);  // Bucket owns an Arena: not copy-initialisable
+  }
   explicit Network(common::SimClock* clock) : Network(clock, clock) {}
 
   HostId add_host(const std::string& name);
@@ -277,7 +294,9 @@ class Network {
   /// Pop the oldest undelivered message at `at` end.
   Result<std::string> recv(FlowId flow, FlowEnd at);
   Result<void> close(FlowId flow);
-  [[nodiscard]] const Flow* find_flow(FlowId id) const;
+  /// Snapshot of one flow's state, or nullopt if it is gone. By value:
+  /// the SoA storage has no stable per-flow object to point at.
+  [[nodiscard]] std::optional<Flow> find_flow(FlowId id) const;
 
   /// Kernel-side teardown when a user's processes on `host` are reaped
   /// (job epilog): their listeners close and their flows reset. Returns
@@ -312,7 +331,7 @@ class Network {
 
   [[nodiscard]] std::size_t flow_count() const {
     std::size_t n = 0;
-    for (const Bucket& b : buckets_) n += b.flows.size();
+    for (const Bucket& b : buckets_) n += b.table.size();
     return n;
   }
 
@@ -326,14 +345,14 @@ class Network {
 
   Result<void> unix_listen_abstract(HostId host,
                                     const simos::Credentials& cred,
-                                    const std::string& name);
+                                    std::string_view name);
   /// No permission check, by (in)design of the kernel facility: any local
   /// user can connect to any abstract socket. Returns the listener's uid so
   /// audits can demonstrate the cross-user rendezvous.
   Result<Uid> unix_connect_abstract(HostId host,
                                     const simos::Credentials& cred,
-                                    const std::string& name);
-  Result<void> unix_close_abstract(HostId host, const std::string& name);
+                                    std::string_view name);
+  Result<void> unix_close_abstract(HostId host, std::string_view name);
 
   // ---- diagnostics ------------------------------------------------------
 
@@ -372,6 +391,16 @@ class Network {
     return flow_lc_;
   }
 
+  /// Per-entry footprint of the SoA flow storage (E26d): the bytes a GC
+  /// deadline scan or cross-user sweep drags through cache per flow is
+  /// the hot row alone, not the full snapshot record.
+  [[nodiscard]] static std::size_t flow_hot_bytes() {
+    return sizeof(FlowHot);
+  }
+  [[nodiscard]] static std::size_t flow_cold_bytes() {
+    return sizeof(FlowCold);
+  }
+
  private:
   /// Linux's default ip_local_port_range.
   static constexpr std::uint32_t kEphemeralLo = 32768;
@@ -392,11 +421,89 @@ class Network {
     FlowEnd end = FlowEnd::client;
   };
 
+  /// The per-flow fields every sweep touches (GC deadline scans, audit
+  /// scans, ident): 48 bytes, dense, SoA-split from the message queues.
+  struct FlowHot {
+    FlowId id{};
+    Proto proto = Proto::tcp;
+    HostId client_host{};
+    std::uint16_t client_port = 0;
+    HostId server_host{};
+    std::uint16_t server_port = 0;
+    Uid client_uid{};
+    Uid server_uid{};
+    FlowState state = FlowState::nascent;
+    std::int64_t expires_at_ns = 0;
+  };
+
+  /// The per-flow fields only send/recv touch: in-flight message rings
+  /// (storage in the owning bucket's arena) and the byte counter.
+  struct FlowCold {
+    common::RingBuffer<std::string> to_server;
+    common::RingBuffer<std::string> to_client;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Hot/cold SoA flow storage for one bucket: a slot-map keeps the hot
+  /// rows dense under erase (swap-with-last), the cold array mirrors
+  /// every swap, and a flat map routes FlowId -> dense row.
+  class FlowTable {
+   public:
+    static constexpr std::size_t npos = common::SlotMap<FlowHot>::npos;
+
+    [[nodiscard]] std::size_t size() const { return hot_.size(); }
+    [[nodiscard]] std::size_t find(FlowId id) const {
+      const common::SlotHandle* h = index_.find(id);
+      return h == nullptr ? npos : hot_.dense_index(*h);
+    }
+    FlowHot& hot(std::size_t i) { return hot_.dense(i); }
+    [[nodiscard]] const FlowHot& hot(std::size_t i) const {
+      return hot_.dense(i);
+    }
+    FlowCold& cold(std::size_t i) { return cold_[i]; }
+    [[nodiscard]] const FlowCold& cold(std::size_t i) const {
+      return cold_[i];
+    }
+
+    /// Returns the dense row of the inserted flow.
+    std::size_t insert(FlowHot f) {
+      const FlowId id = f.id;
+      const common::SlotHandle h = hot_.insert(std::move(f));
+      cold_.emplace_back();
+      index_.emplace(id, h);
+      return hot_.size() - 1;
+    }
+
+    /// Drains the cold rings back into `arena`, then erases the row,
+    /// mirroring the hot array's swap-with-last in the cold array.
+    bool erase(FlowId id, common::Arena& arena) {
+      const common::SlotHandle* hp = index_.find(id);
+      if (hp == nullptr) return false;
+      const common::SlotHandle h = *hp;
+      const std::size_t dead = hot_.dense_index(h);
+      cold_[dead].to_server.clear(arena);
+      cold_[dead].to_client.clear(arena);
+      hot_.erase(h, [&](std::uint32_t from, std::uint32_t to) {
+        cold_[to] = std::move(cold_[from]);
+      });
+      cold_.pop_back();
+      index_.erase(id);
+      return true;
+    }
+
+   private:
+    common::FlatMap<FlowId, common::SlotHandle> index_;
+    common::SlotMap<FlowHot> hot_;
+    std::vector<FlowCold> cold_;  // parallel to the hot dense array
+  };
+
   struct HostState {
     std::string name;
     /// O(1) listener index keyed by pkey(proto, port).
-    std::unordered_map<std::uint32_t, Listener> listeners;
-    std::map<std::string, simos::Credentials> abstract_sockets;
+    common::FlatMap<std::uint32_t, Listener> listeners;
+    /// Sorted (teardown sweeps iterate it) with transparent comparison so
+    /// string_view lookups never materialise a temporary std::string.
+    std::map<std::string, simos::Credentials, std::less<>> abstract_sockets;
 
     // Ephemeral-port allocator: a lazy cursor over [kEphemeralLo,
     // kEphemeralHi] plus a FIFO of freed ports, guarded by per-port
@@ -404,16 +511,20 @@ class Network {
     // amortized; an empty pool is a typed EADDRNOTAVAIL, never a
     // 65536-attempt spin.
     std::uint32_t ephemeral_cursor = kEphemeralLo;
-    std::deque<std::uint16_t> freed_ports;
-    std::unordered_map<std::uint16_t, std::uint32_t> port_refs;
+    /// Storage lives in the host's group bucket arena (a worker only
+    /// touches its own group's hosts, so that arena is thread-confined).
+    common::RingBuffer<std::uint16_t> freed_ports;
+    common::FlatMap<std::uint16_t, std::uint32_t> port_refs;
 
     /// (proto, port) -> flow endpoints on this host, insertion-ordered;
     /// backs O(1) ident_lookup for ephemeral and orphaned server ports.
-    std::unordered_map<std::uint32_t, std::vector<PortEndpoint>> flow_ports;
+    common::FlatMap<std::uint32_t, std::vector<PortEndpoint>> flow_ports;
     /// Flows touching this host, per owning uid and in total: teardown
-    /// sweeps visit exactly these, never the global flow table.
-    std::unordered_map<Uid, std::set<FlowId>> flows_by_uid;
-    std::set<FlowId> flows;
+    /// sweeps visit exactly these, never the global flow table. Unordered;
+    /// teardown snapshots and sorts before erasing (the erase order feeds
+    /// the freed-port FIFO, which the pinned digests observe).
+    common::FlatMap<Uid, common::FlatSet<FlowId>> flows_by_uid;
+    common::FlatSet<FlowId> flows;
   };
 
   struct ConntrackKey {
@@ -422,8 +533,17 @@ class Network {
     HostId b;
     std::uint16_t bp;
     int proto;
-    friend auto operator<=>(const ConntrackKey&,
-                            const ConntrackKey&) = default;
+    friend bool operator==(const ConntrackKey&,
+                           const ConntrackKey&) = default;
+  };
+  struct ConntrackKeyHash {
+    std::uint64_t operator()(const ConntrackKey& k) const {
+      std::uint64_t h = common::hash_mix(
+          (static_cast<std::uint64_t>(k.a.value()) << 16) | k.ap);
+      h = common::hash_mix(
+          h ^ ((static_cast<std::uint64_t>(k.b.value()) << 16) | k.bp));
+      return common::hash_mix(h ^ static_cast<std::uint64_t>(k.proto));
+    }
   };
 
   /// Lazy min-heap entry for flow expiry; stale entries (flow gone or
@@ -440,10 +560,16 @@ class Network {
   };
 
   /// All flow-table state one bucket owns. Intra-group operations touch
-  /// exactly one bucket; no two engine workers ever share one.
+  /// exactly one bucket; no two engine workers ever share one. The arena
+  /// feeds every ring the bucket's flows (and its hosts' freed-port
+  /// pools) use, so it is touched only by the bucket's owner.
   struct Bucket {
-    std::unordered_map<FlowId, Flow> flows;
-    std::map<ConntrackKey, FlowId> conntrack;
+    /// Declared first so it is destroyed last: the flow table's message
+    /// rings (and the hosts' freed-port rings) run their element
+    /// destructors over storage this arena owns.
+    common::Arena arena;  ///< shard-confined ring/scratch storage
+    FlowTable table;
+    common::FlatMap<ConntrackKey, FlowId, ConntrackKeyHash> conntrack;
     /// Mutable: next_expiry_ns() lazily discards stale tops while peeking.
     mutable std::priority_queue<ExpiryEntry, std::vector<ExpiryEntry>,
                                 std::greater<>>
@@ -472,21 +598,22 @@ class Network {
   /// As above, but for operations that may touch several buckets (host
   /// teardown, stats merges): legal only with no scope installed.
   static void assert_serial_phase();
-  /// Find a flow by id across its owning bucket. Null if gone.
-  Flow* lookup_flow(FlowId id);
-  [[nodiscard]] const Flow* lookup_flow(FlowId id) const;
+  /// Find a flow's hot row by id across its owning bucket. Null if gone.
+  FlowHot* lookup_hot(FlowId id);
+  [[nodiscard]] const FlowHot* lookup_hot(FlowId id) const;
 
   /// 0 on exhaustion (caller reports EADDRNOTAVAIL).
   std::uint16_t alloc_ephemeral_port(HostState& h);
-  void ref_port(HostState& h, std::uint16_t port);
-  void unref_port(HostState& h, std::uint16_t port);
+  void ref_port(HostId h, std::uint16_t port);
+  void unref_port(HostId h, std::uint16_t port);
   /// Register/unregister a flow in every per-host index.
-  void index_flow(const Flow& f);
-  void unindex_flow(const Flow& f);
-  /// Tear one flow down: conntrack entry, indices, port refs. The single
-  /// erase pass all teardown sweeps (close/GC/reset) funnel through.
-  void destroy_flow(Flow& f);
-  void touch_flow(Flow& f);
+  void index_flow(const FlowHot& f);
+  void unindex_flow(const FlowHot& f);
+  /// Tear one flow down: conntrack entry, indices, port refs, SoA row.
+  /// The single erase pass all teardown sweeps (close/GC/reset) funnel
+  /// through. Invalidates `f`.
+  void destroy_flow(FlowHot& f);
+  void touch_flow(FlowHot& f);
   /// Charge simulated latency against `b`: advances the clock directly,
   /// or accumulates into the bucket under deferred-charge mode.
   void charge(Bucket& b, std::int64_t ns);
@@ -494,7 +621,7 @@ class Network {
   /// whichever guard the resolved row consults (at most one per row).
   /// Returns the fired transition; nullptr means the event is illegal in
   /// the flow's current state (counted, state untouched).
-  const lifecycle::Transition* fire_flow(Flow& f, FlowEvent event,
+  const lifecycle::Transition* fire_flow(FlowHot& f, FlowEvent event,
                                          bool outcome);
 
   const common::SimClock* clock_;
@@ -503,7 +630,7 @@ class Network {
   std::vector<HostState> hosts_;
   /// groups_ per-group buckets plus the cross bucket; exactly one bucket
   /// total while unsharded (the bit-identical legacy layout).
-  std::vector<Bucket> buckets_{Bucket{}};
+  std::vector<Bucket> buckets_;
   std::uint32_t groups_ = 1;
   std::vector<std::uint32_t> host_group_;  ///< empty: everyone group 0
   bool defer_charges_ = false;

@@ -24,8 +24,8 @@ Result<QpId> RdmaManager::setup_via_tcp(HostId local,
     }
     return flow.error();
   }
-  const Flow* f = network_->find_flow(*flow);
-  if (trace_ != nullptr && f != nullptr && f->server_uid != cred.uid) {
+  const std::optional<Flow> f = network_->find_flow(*flow);
+  if (trace_ != nullptr && f.has_value() && f->server_uid != cred.uid) {
     trace_->record(obs::DecisionPoint::rdma_setup, obs::Outcome::allow,
                    cred.uid, cred.egid, f->server_uid,
                    obs::ChannelKind::rdma_tcp_setup, nullptr, [&] {

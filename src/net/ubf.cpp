@@ -83,15 +83,16 @@ UbfDecision Ubf::decide(const ConnRequest& req) {
     entry.server_egid = listener->egid;
     const CacheKey key{initiator->uid, listener->uid, listener->egid,
                        degraded_};
-    if (auto hit = cache_enabled_ ? sh.cache.find(key) : sh.cache.end();
-        cache_enabled_ && hit != sh.cache.end()) {
+    if (const UbfDecision* hit =
+            cache_enabled_ ? sh.cache.find(key) : nullptr;
+        hit != nullptr) {
       // Memoized attributed decision: the directory-service membership
       // evaluation is skipped entirely. Valid because the epoch check
       // above proved the account database is unchanged since this entry
       // was computed.
       ++sh.stats.cache_hits;
       from_cache = true;
-      decision = hit->second;
+      decision = *hit;
     } else {
       if (cache_enabled_) ++sh.stats.cache_misses;
       if (initiator->uid == listener->uid) {
@@ -145,10 +146,12 @@ UbfDecision Ubf::decide(const ConnRequest& req) {
                          ? obs::ChannelKind::udp_cross_user
                          : obs::ChannelKind::tcp_cross_user,
                      knob,
-                     [&] {
-                       return "host " + std::to_string(req.dst_host.value()) +
-                              " port " + std::to_string(req.dst_port) +
-                              (req.proto == Proto::udp ? " udp" : " tcp");
+                     [&](std::string& out) {
+                       out += "host ";
+                       obs::append_uint(out, req.dst_host.value());
+                       out += " port ";
+                       obs::append_uint(out, req.dst_port);
+                       out += req.proto == Proto::udp ? " udp" : " tcp";
                      },
                      from_cache);
     }

@@ -17,10 +17,10 @@
 #include <cassert>
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/backoff.h"
+#include "common/flat_map.h"
 #include "common/clock.h"
 #include "common/ids.h"
 #include "net/network.h"
@@ -231,7 +231,11 @@ class Ubf {
     UbfStats stats;
     std::vector<UbfLogEntry> log;
     std::uint64_t cache_epoch = 0;
-    std::unordered_map<CacheKey, UbfDecision, CacheKeyHash> cache;
+    /// Open-addressing over a dense entry array (common::FlatMap): the
+    /// admission fast path probes one contiguous index instead of
+    /// chasing unordered_map node pointers, and the epoch clear() is a
+    /// pair of vector clears rather than a bucket-by-bucket teardown.
+    common::FlatMap<CacheKey, UbfDecision, CacheKeyHash> cache;
   };
 
   /// The shard owning this request: the network bucket of its endpoints.

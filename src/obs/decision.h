@@ -16,9 +16,12 @@
 // Cost model: the trace is owned by Cluster and is DISABLED by default.
 // Disabled, record() bumps two integers and returns — the object-label
 // callback is never invoked, so no allocation happens per decision
-// (bench_decision_trace, E21, pins this at exactly zero). Enabled, it
-// materialises a Decision into a fixed-capacity ring buffer; old records
-// are overwritten, never reallocated past the configured capacity.
+// (bench_decision_trace, E21, pins this at exactly zero). Enabled, the
+// ring is stored struct-of-arrays (one dense array per field) with the
+// object labels interned into an arena-backed FIFO byte ring, so a
+// steady-state record() through the append-form callback allocates
+// nothing either (bench_layout, E26); old records are overwritten, never
+// reallocated past the configured capacity.
 #pragma once
 
 #include <array>
@@ -27,9 +30,12 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/clock.h"
 #include "common/ids.h"
 #include "obs/taxonomy.h"
@@ -74,6 +80,20 @@ inline constexpr std::array<DecisionPoint, 16> kAllDecisionPoints = {
 enum class Outcome { allow, deny };
 
 [[nodiscard]] const char* to_string(Outcome outcome);
+
+/// Append the decimal digits of `v` to `out` without materialising a
+/// temporary std::string (std::to_string allocates). For append-form
+/// record() callbacks: the scratch buffer reaches steady-state capacity
+/// and label building stops allocating entirely.
+inline void append_uint(std::string& out, std::uint64_t v) {
+  char buf[20];
+  std::size_t n = 0;
+  do {
+    buf[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0) out.push_back(buf[--n]);
+}
 
 /// Dense index of a point into kAllDecisionPoints-sized arrays.
 [[nodiscard]] inline constexpr std::size_t point_index(DecisionPoint point) {
@@ -122,9 +142,20 @@ class DecisionTrace {
   /// Drop buffered records and reset counters and sequence numbers.
   void clear();
 
-  /// Record one verdict. `make_object` is only invoked (and the Decision
+  /// Record one verdict. `make_object` is only invoked (and the record
   /// only materialised) when the trace is enabled; disabled-mode cost is
   /// two counter increments.
+  ///
+  /// Two callback forms are accepted:
+  ///  - value form: `[&] { return std::string{...}; }` — one temporary
+  ///    string per enabled record (the pre-SoA cost, kept for
+  ///    compatibility and cold call sites);
+  ///  - append form: `[&](std::string& out) { out += ...; }` — writes
+  ///    into the trace's reusable scratch buffer, so the enabled
+  ///    steady-state path performs zero heap allocations. Hot call sites
+  ///    (UBF admission, placement, query filtering) use this form.
+  /// Either way the label bytes are interned into the trace's arena-backed
+  /// byte ring, never stored as a per-record std::string.
   template <typename MakeObject>
   void record(DecisionPoint point, Outcome outcome, Uid subject,
               Gid subject_gid, Uid object_owner,
@@ -144,19 +175,14 @@ class DecisionTrace {
       ++seq_;
       return;
     }
-    Decision d;
-    d.seq = seq_++;
-    d.time = clock_ ? clock_->now() : common::SimTime{};
-    d.point = point;
-    d.outcome = outcome;
-    d.subject = subject;
-    d.subject_gid = subject_gid;
-    d.object_owner = object_owner;
-    d.channel = channel;
-    d.knob = knob;
-    d.from_cache = from_cache;
-    d.object = std::forward<MakeObject>(make_object)();
-    push(std::move(d));
+    if constexpr (std::is_invocable_v<MakeObject&, std::string&>) {
+      scratch_.clear();
+      std::forward<MakeObject>(make_object)(scratch_);
+    } else {
+      scratch_ = std::forward<MakeObject>(make_object)();
+    }
+    append_record(point, outcome, subject, subject_gid, object_owner,
+                  channel, knob, from_cache, scratch_);
   }
 
   /// Buffered records, oldest first (seq order).
@@ -175,8 +201,37 @@ class DecisionTrace {
   [[nodiscard]] std::uint64_t overwritten() const { return overwritten_; }
 
  private:
+  /// FIFO byte ring for the interned object labels, storage owned by the
+  /// trace's arena. Ring slots are overwritten oldest-first, and labels
+  /// are appended in record order, so a slot's bytes are always the
+  /// oldest live bytes when the slot is reclaimed — freeing is a tail
+  /// advance, appending a head advance, and steady state allocates
+  /// nothing. Labels may wrap; read() reassembles the two segments.
+  class LabelRing {
+   public:
+    std::uint32_t append(common::Arena& arena, std::string_view s);
+    void release_oldest(std::uint32_t len) { used_ -= len; }
+    void read(std::uint32_t offset, std::uint32_t len,
+              std::string& out) const;
+    void clear(common::Arena& arena);
+
+   private:
+    char* buf_ = nullptr;
+    std::size_t cap_ = 0;       // power of two (or 0)
+    std::size_t cap_bytes_ = 0; // arena block byte capacity
+    std::size_t head_ = 0;      // next write offset
+    std::size_t used_ = 0;      // live bytes
+  };
+
+  /// Caller holds mu_. Interns `label` and writes one SoA row.
+  void append_record(DecisionPoint point, Outcome outcome, Uid subject,
+                     Gid subject_gid, Uid object_owner,
+                     std::optional<ChannelKind> channel, const char* knob,
+                     bool from_cache, std::string_view label);
   /// Caller holds mu_.
-  void push(Decision&& d);
+  void drop_rows();
+  /// Caller holds mu_. Materialises the row at ring position `pos`.
+  [[nodiscard]] Decision materialise(std::size_t pos) const;
 
   /// Guards the ring, counters and sequence number. Accessors that return
   /// references (counters()) are safe to use once worker threads have been
@@ -186,7 +241,29 @@ class DecisionTrace {
   const common::SimClock* clock_ = nullptr;
   bool enabled_ = false;
   std::size_t capacity_ = kDefaultCapacity;
-  std::vector<Decision> ring_;
+
+  /// SoA ring storage: one dense array per Decision field (plus the
+  /// interned label's offset/length), each at most capacity_ long. A
+  /// sweep that inspects one field (the digest fold, the census) touches
+  /// only that field's array instead of 96-byte Decision records.
+  struct Rows {
+    std::vector<std::uint64_t> seq;
+    std::vector<common::SimTime> time;
+    std::vector<DecisionPoint> point;
+    std::vector<Outcome> outcome;
+    std::vector<Uid> subject;
+    std::vector<Gid> subject_gid;
+    std::vector<Uid> object_owner;
+    std::vector<std::int16_t> channel;  ///< -1 = none, else ChannelKind
+    std::vector<const char*> knob;
+    std::vector<std::uint8_t> from_cache;
+    std::vector<std::uint32_t> label_off;
+    std::vector<std::uint32_t> label_len;
+  };
+  Rows rows_;
+  common::Arena arena_;    ///< owns the label ring's storage
+  LabelRing labels_;
+  std::string scratch_;    ///< reusable label build buffer
   std::size_t head_ = 0;  ///< next slot to write once the ring is full
   std::size_t size_ = 0;
   std::uint64_t seq_ = 0;

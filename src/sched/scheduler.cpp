@@ -36,10 +36,10 @@ void Scheduler::reindex_node(std::size_t idx) {
   pi.unowned_avail.erase(i);
   pi.shared_avail.erase(i);
   if (n.indexed_user) {
-    auto it = pi.user_avail.find(*n.indexed_user);
-    if (it != pi.user_avail.end()) {
-      it->second.erase(i);
-      if (it->second.empty()) pi.user_avail.erase(it);
+    if (common::OrderedSet<std::uint32_t>* mine =
+            pi.user_avail.find(*n.indexed_user)) {
+      mine->erase(i);
+      if (mine->empty()) pi.user_avail.erase(*n.indexed_user);
     }
     n.indexed_user.reset();
   }
@@ -104,7 +104,7 @@ Result<JobId> Scheduler::submit(const simos::Credentials& cred,
     return Errno::einval;
   }
   for (JobId dep : spec.depends_on) {
-    if (!jobs_.contains(dep)) return Errno::esrch;
+    if (job_ptr(dep) == nullptr) return Errno::esrch;
   }
   Job job;
   job.id = JobId{next_job_++};
@@ -117,7 +117,8 @@ Result<JobId> Scheduler::submit(const simos::Credentials& cred,
     return Errno::einval;  // can never run in this partition
   }
   const JobId id = job.id;
-  jobs_.emplace(id, std::move(job));
+  assert(id.value() == jobs_.size() + 1);  // ids stay dense, never reused
+  jobs_.push_back(std::move(job));
   queue_.push_back(id);
   return id;
 }
@@ -143,9 +144,9 @@ Result<std::vector<JobId>> Scheduler::submit_array(
 }
 
 Result<void> Scheduler::cancel(const simos::Credentials& cred, JobId id) {
-  auto it = jobs_.find(id);
-  if (it == jobs_.end()) return Errno::esrch;
-  Job& job = it->second;
+  Job* jp = job_ptr(id);
+  if (jp == nullptr) return Errno::esrch;
+  Job& job = *jp;
   if (!cred.is_root() && cred.uid != job.user) return Errno::eperm;
   switch (job.state) {
     case JobState::pending: {
@@ -237,10 +238,11 @@ bool Scheduler::try_start(Job& job) {
     } else if (policy == SharingPolicy::user_whole_node) {
       // Merge the unowned and owned-by-this-user sets in ascending node
       // order (they are disjoint by construction).
-      static const std::set<std::uint32_t> kNone;
-      const auto uit = pi.user_avail.find(job.user);
-      const std::set<std::uint32_t>& mine =
-          uit == pi.user_avail.end() ? kNone : uit->second;
+      static const common::OrderedSet<std::uint32_t> kNone;
+      const common::OrderedSet<std::uint32_t>* uit =
+          pi.user_avail.find(job.user);
+      const common::OrderedSet<std::uint32_t>& mine =
+          uit == nullptr ? kNone : *uit;
       auto a = pi.unowned_avail.begin();
       auto b = mine.begin();
       while (remaining > 0 &&
@@ -271,9 +273,11 @@ bool Scheduler::try_start(Job& job) {
                      policy == SharingPolicy::user_whole_node
                          ? obs::knob::sharing
                          : nullptr,
-                     [&] {
-                       return "job " + std::to_string(job.id.value()) +
-                              " partition " + job.spec.partition;
+                     [&](std::string& out) {
+                       out += "job ";
+                       obs::append_uint(out, job.id.value());
+                       out += " partition ";
+                       out += job.spec.partition;
                      });
     }
     return false;
@@ -290,7 +294,7 @@ bool Scheduler::try_start(Job& job) {
     // rolled-back start does not count as co-residency.
     for (const auto& [other_id, other_tasks] : node.tasks) {
       (void)other_tasks;
-      if (jobs_.at(other_id).user != job.user) ++coresidency_delta;
+      if (job_at(other_id).user != job.user) ++coresidency_delta;
     }
 
     node.cpus_used += tasks * job.spec.cpus_per_task;
@@ -393,21 +397,21 @@ void Scheduler::run_epilog_on(const Job& job, const Allocation& alloc) {
 }
 
 void Scheduler::retry_pending_epilogs() {
+  if (maintenance_nodes_.empty()) return;
   const common::SimTime now = clock_->now();
-  // Only nodes actually holding failed epilogs are visited — the set is
-  // ordered by index, matching the old full scan's visit order.
-  for (auto it = maintenance_nodes_.begin();
-       it != maintenance_nodes_.end();) {
-    NodeState& node = nodes_[*it];
+  // Only nodes actually holding failed epilogs are visited — the set
+  // iterates in index order, matching the old full scan's visit order.
+  // Snapshot first: recovery erases members as we go.
+  const std::vector<std::uint32_t> held(maintenance_nodes_.begin(),
+                                        maintenance_nodes_.end());
+  for (const std::uint32_t idx : held) {
+    NodeState& node = nodes_[idx];
     if (node.pending_epilogs.empty()) {
       // Shouldn't happen (recovery erases eagerly), but self-heal.
-      it = maintenance_nodes_.erase(it);
+      maintenance_nodes_.erase(idx);
       continue;
     }
-    if (!node.epilog_retry_at || *node.epilog_retry_at > now) {
-      ++it;
-      continue;
-    }
+    if (!node.epilog_retry_at || *node.epilog_retry_at > now) continue;
     std::vector<JobNodeContext> still_failing;
     for (const JobNodeContext& ctx : node.pending_epilogs) {
       ++failures_.epilog_retries;
@@ -417,13 +421,12 @@ void Scheduler::retry_pending_epilogs() {
     if (node.pending_epilogs.empty()) {
       node.epilog_retry_at.reset();
       ++failures_.maintenance_recovered;
-      reindex_node(*it);
-      it = maintenance_nodes_.erase(it);
+      reindex_node(idx);
+      maintenance_nodes_.erase(idx);
     } else {
       node.epilog_retry_at =
           common::SimTime{now.ns + config_.epilog_retry_ns};
-      push_node_event(*it, *node.epilog_retry_at);
-      ++it;
+      push_node_event(idx, *node.epilog_retry_at);
     }
   }
 }
@@ -520,7 +523,7 @@ common::SimTime Scheduler::head_reservation(const Job& head) const {
   std::vector<NodeState> scratch = nodes_;
   std::vector<const Job*> by_limit;
   by_limit.reserve(running_.size());
-  for (JobId id : running_) by_limit.push_back(&jobs_.at(id));
+  for (JobId id : running_) by_limit.push_back(&job_at(id));
   std::sort(by_limit.begin(), by_limit.end(),
             [](const Job* a, const Job* b) {
               return a->start_time.ns + a->spec.time_limit_ns <
@@ -575,16 +578,12 @@ void Scheduler::order_queue() {
   // dispatch rounds.
   std::stable_sort(queue_.begin(), queue_.end(),
                    [this](JobId a, JobId b) {
-                     const Job& ja = jobs_.at(a);
-                     const Job& jb = jobs_.at(b);
-                     const std::uint64_t ua =
-                         consumed_cpu_ns_.contains(ja.user)
-                             ? consumed_cpu_ns_.at(ja.user)
-                             : 0;
-                     const std::uint64_t ub =
-                         consumed_cpu_ns_.contains(jb.user)
-                             ? consumed_cpu_ns_.at(jb.user)
-                             : 0;
+                     const Job& ja = job_at(a);
+                     const Job& jb = job_at(b);
+                     const std::uint64_t* pa = consumed_cpu_ns_.find(ja.user);
+                     const std::uint64_t* pb = consumed_cpu_ns_.find(jb.user);
+                     const std::uint64_t ua = pa != nullptr ? *pa : 0;
+                     const std::uint64_t ub = pb != nullptr ? *pb : 0;
                      if (ua != ub) return ua < ub;
                      return a < b;
                    });
@@ -597,7 +596,7 @@ void Scheduler::crash_node_internal(NodeId node,
   ++failures_.node_crashes;
 
   std::optional<Uid> culprit_user;
-  if (culprit) culprit_user = jobs_.at(*culprit).user;
+  if (culprit) culprit_user = job_at(*culprit).user;
 
   // Snapshot: finish_job/requeue mutates st.tasks as it releases.
   std::vector<JobId> affected;
@@ -606,7 +605,7 @@ void Scheduler::crash_node_internal(NodeId node,
     affected.push_back(job_id);
   }
   for (JobId id : affected) {
-    Job& job = jobs_.at(id);
+    Job& job = job_at(id);
     const bool is_culprit = culprit && id == *culprit;
     if (!is_culprit) {
       ++failures_.victim_jobs_failed;
@@ -649,9 +648,9 @@ void Scheduler::crash_node_internal(NodeId node,
 }
 
 Result<void> Scheduler::inject_oom(JobId id) {
-  auto it = jobs_.find(id);
-  if (it == jobs_.end()) return Errno::esrch;
-  Job& job = it->second;
+  Job* jp = job_ptr(id);
+  if (jp == nullptr) return Errno::esrch;
+  Job& job = *jp;
   if (job.state != JobState::running || job.allocations.empty()) {
     return Errno::einval;
   }
@@ -687,9 +686,9 @@ bool Scheduler::node_in_maintenance(NodeId node) const {
 Scheduler::DependencyState Scheduler::dependency_state(
     const Job& job) const {
   for (JobId dep : job.spec.depends_on) {
-    const auto it = jobs_.find(dep);
-    if (it == jobs_.end()) continue;  // validated at submit; be lenient
-    switch (it->second.state) {
+    const Job* dp = job_ptr(dep);
+    if (dp == nullptr) continue;  // validated at submit; be lenient
+    switch (dp->state) {
       case JobState::pending:
       case JobState::running:
         return DependencyState::waiting;
@@ -713,7 +712,7 @@ void Scheduler::dispatch() {
   // Dependency pass: drop jobs whose afterok dependency failed, and skip
   // (but keep queued) jobs whose dependencies are still in flight.
   for (std::size_t i = 0; i < queue_.size();) {
-    Job& job = jobs_.at(queue_[i]);
+    Job& job = job_at(queue_[i]);
     const DependencyState dep = dependency_state(job);
     if (dep == DependencyState::never) {
       // Slurm: DependencyNeverSatisfied — the job is cancelled.
@@ -729,7 +728,7 @@ void Scheduler::dispatch() {
   bool head_blocked = false;
   common::SimTime reservation{};
   while (i < queue_.size()) {
-    Job& job = jobs_.at(queue_[i]);
+    Job& job = job_at(queue_[i]);
     if (dependency_state(job) == DependencyState::waiting) {
       job.pending_reason = "Dependency";
       ++i;
@@ -797,15 +796,15 @@ void Scheduler::step() {
     const CompletionEntry e = completion_heap_.top();
     completion_heap_.pop();
     ++sched_stats_.completion_heap_pops;
-    const auto it = jobs_.find(e.job);
-    if (it == jobs_.end() || it->second.state != JobState::running ||
-        it->second.end_time.ns != e.end_ns) {
+    const Job* jp = job_ptr(e.job);
+    if (jp == nullptr || jp->state != JobState::running ||
+        jp->end_time.ns != e.end_ns) {
       continue;
     }
     due.push_back(e.job);
   }
   for (JobId id : due) {
-    Job& job = jobs_.at(id);
+    Job& job = job_at(id);
     const bool timed_out = job.spec.duration_ns > job.spec.time_limit_ns;
     finish_job(job, timed_out ? JobState::timeout : JobState::completed);
     std::erase(running_, id);
@@ -820,9 +819,9 @@ std::optional<common::SimTime> Scheduler::next_event_time() const {
   // at that end time) so callers can never loop on a dead event.
   while (!completion_heap_.empty()) {
     const CompletionEntry e = completion_heap_.top();
-    const auto it = jobs_.find(e.job);
-    if (it == jobs_.end() || it->second.state != JobState::running ||
-        it->second.end_time.ns != e.end_ns) {
+    const Job* jp = job_ptr(e.job);
+    if (jp == nullptr || jp->state != JobState::running ||
+        jp->end_time.ns != e.end_ns) {
       completion_heap_.pop();
       continue;
     }
@@ -878,7 +877,10 @@ std::vector<JobView> Scheduler::list_jobs(
   const bool privileged =
       cred.is_root() || operators_.contains(cred.uid);
   std::vector<JobView> out;
-  for (const auto& [id, job] : jobs_) {
+  // Dense sweep in id order: the output needs no sort, and the visit
+  // order (hence the trace-record order) is deterministic by
+  // construction instead of by hash-table accident.
+  for (const Job& job : jobs_) {
     if (job.state != JobState::pending && job.state != JobState::running) {
       continue;
     }
@@ -890,44 +892,44 @@ std::vector<JobView> Scheduler::list_jobs(
                      cred.uid, cred.egid, job.user,
                      obs::ChannelKind::scheduler_queue,
                      hidden ? obs::knob::private_data_jobs : nullptr,
-                     [&] { return "squeue job " + std::to_string(id.value()); });
+                     [&](std::string& out_label) {
+                       out_label += "squeue job ";
+                       obs::append_uint(out_label, job.id.value());
+                     });
     }
     if (hidden) continue;
     out.push_back(make_view(job));
   }
-  std::sort(out.begin(), out.end(),
-            [](const JobView& a, const JobView& b) { return a.id < b.id; });
   return out;
 }
 
 Result<JobView> Scheduler::job_info(const simos::Credentials& cred,
                                     JobId id) const {
-  auto it = jobs_.find(id);
-  if (it == jobs_.end()) return Errno::esrch;
+  const Job* jp = job_ptr(id);
+  if (jp == nullptr) return Errno::esrch;
   const bool privileged =
       cred.is_root() || operators_.contains(cred.uid);
   const bool hidden = config_.private_data.jobs && !privileged &&
-                      it->second.user != cred.uid;
-  if (trace_ != nullptr && !cred.is_root() &&
-      it->second.user != cred.uid) {
+                      jp->user != cred.uid;
+  if (trace_ != nullptr && !cred.is_root() && jp->user != cred.uid) {
     trace_->record(obs::DecisionPoint::sched_query,
                    hidden ? obs::Outcome::deny : obs::Outcome::allow,
-                   cred.uid, cred.egid, it->second.user,
+                   cred.uid, cred.egid, jp->user,
                    obs::ChannelKind::scheduler_queue,
                    hidden ? obs::knob::private_data_jobs : nullptr,
-                   [&] { return "scontrol job " + std::to_string(id.value()); });
+                   [&](std::string& out) {
+                     out += "scontrol job ";
+                     obs::append_uint(out, id.value());
+                   });
   }
   if (hidden) {
     // Indistinguishable from "no such job", as with Slurm PrivateData.
     return Errno::esrch;
   }
-  return make_view(it->second);
+  return make_view(*jp);
 }
 
-const Job* Scheduler::find_job(JobId id) const {
-  auto it = jobs_.find(id);
-  return it == jobs_.end() ? nullptr : &it->second;
-}
+const Job* Scheduler::find_job(JobId id) const { return job_ptr(id); }
 
 std::vector<AccountingRecord> Scheduler::accounting(
     const simos::Credentials& cred) const {
@@ -943,8 +945,9 @@ std::vector<AccountingRecord> Scheduler::accounting(
                      cred.uid, cred.egid, rec.user,
                      obs::ChannelKind::scheduler_accounting,
                      hidden ? obs::knob::private_data_accounting : nullptr,
-                     [&] {
-                       return "sacct job " + std::to_string(rec.id.value());
+                     [&](std::string& out_label) {
+                       out_label += "sacct job ";
+                       obs::append_uint(out_label, rec.id.value());
                      });
     }
     if (hidden) continue;
@@ -967,8 +970,9 @@ std::map<Uid, std::uint64_t> Scheduler::usage_by_user(
                      cred.uid, cred.egid, rec.user,
                      obs::ChannelKind::scheduler_usage,
                      hidden ? obs::knob::private_data_usage : nullptr,
-                     [&] {
-                       return "sreport job " + std::to_string(rec.id.value());
+                     [&](std::string& out_label) {
+                       out_label += "sreport job ";
+                       obs::append_uint(out_label, rec.id.value());
                      });
     }
     if (hidden) continue;
@@ -981,7 +985,7 @@ bool Scheduler::user_has_job_on(Uid uid, NodeId node) const {
   if (node.value() >= nodes_.size()) return false;
   for (const auto& [job_id, tasks] : nodes_[node.value()].tasks) {
     (void)tasks;
-    if (jobs_.at(job_id).user == uid) return true;
+    if (job_at(job_id).user == uid) return true;
   }
   return false;
 }
@@ -1003,7 +1007,7 @@ std::optional<Uid> Scheduler::node_user(NodeId node) const {
   std::optional<Uid> user;
   for (const auto& [job_id, tasks] : st.tasks) {
     (void)tasks;
-    const Uid u = jobs_.at(job_id).user;
+    const Uid u = job_at(job_id).user;
     if (user && *user != u) return std::nullopt;  // mixed node
     user = u;
   }

@@ -15,18 +15,19 @@
 // run and what the utilization experiment (E3) sweeps.
 #pragma once
 
+#include <cassert>
 #include <functional>
 #include <limits>
 #include <map>
 #include <optional>
 #include <queue>
-#include <set>
 #include <string>
+#include <string_view>
 #include <tuple>
-#include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/flat_map.h"
 #include "common/ids.h"
 #include "common/result.h"
 #include "obs/decision.h"
@@ -71,8 +72,10 @@ struct SchedulerConfig {
   /// Per-partition overrides of the sharing policy. The paper keeps
   /// interactive-debug (and login/DTN) nodes multi-user even when the
   /// cluster runs user-whole-node scheduling (§IV-B) — which is exactly
-  /// why hidepid stays necessary there.
-  std::map<std::string, SharingPolicy> partition_policy;
+  /// why hidepid stays necessary there. Transparent comparator: policy
+  /// lookups on the placement path take string_views without
+  /// materialising a temporary key.
+  std::map<std::string, SharingPolicy, std::less<>> partition_policy;
 };
 
 /// Failure-injection accounting (paper §IV-B motivation: "if a node fails
@@ -158,12 +161,15 @@ class Scheduler {
 
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }
   void set_policy(SharingPolicy p) { config_.policy = p; }
-  void set_partition_policy(const std::string& partition,
-                            SharingPolicy p) {
-    config_.partition_policy[partition] = p;
+  void set_partition_policy(std::string_view partition, SharingPolicy p) {
+    auto it = config_.partition_policy.find(partition);
+    if (it == config_.partition_policy.end()) {
+      config_.partition_policy.emplace(std::string(partition), p);
+    } else {
+      it->second = p;
+    }
   }
-  [[nodiscard]] SharingPolicy policy_for(
-      const std::string& partition) const {
+  [[nodiscard]] SharingPolicy policy_for(std::string_view partition) const {
     auto it = config_.partition_policy.find(partition);
     return it == config_.partition_policy.end() ? config_.policy
                                                 : it->second;
@@ -293,7 +299,10 @@ class Scheduler {
     unsigned cpus_used = 0;
     std::uint64_t mem_used = 0;
     std::vector<bool> gpu_used;  ///< per-index occupancy
-    std::map<JobId, unsigned> tasks;  ///< running tasks per job
+    /// Running tasks per job, iterated in job-id order (crash requeue and
+    /// coresidency sweeps depend on that order). Sorted dense vector: the
+    /// handful of co-resident jobs per node never justified a tree.
+    common::OrderedMap<JobId, unsigned> tasks;
     std::optional<Uid> bound_user;    ///< user_whole_node binding
     std::optional<JobId> bound_job;   ///< exclusive binding
     std::optional<common::SimTime> down_until;  ///< rebooting when set
@@ -317,19 +326,24 @@ class Scheduler {
   /// re-validated); ordered by node index so the indexed scan visits
   /// nodes in exactly the order the full scan did, which is what keeps
   /// the produced schedules bit-for-bit identical.
+  /// Candidate sets are sorted dense vectors (common::OrderedSet): a
+  /// placement scan is a linear sweep over contiguous node indices
+  /// instead of red-black-tree pointer hops, and the ascending order the
+  /// bit-for-bit schedules depend on is the storage order itself.
   struct PartitionIndex {
     /// Available, no tasks, unbound: candidates for exclusive placement.
-    std::set<std::uint32_t> empty_avail;
+    common::OrderedSet<std::uint32_t> empty_avail;
     /// Available, unbound, free cpus: user_whole_node candidates for any
     /// user not yet owning the node.
-    std::set<std::uint32_t> unowned_avail;
+    common::OrderedSet<std::uint32_t> unowned_avail;
     /// Available, not job-bound, free cpus: shared-policy candidates.
-    std::set<std::uint32_t> shared_avail;
+    common::OrderedSet<std::uint32_t> shared_avail;
     /// Available, owned by this user, free cpus (user_whole_node).
-    std::map<Uid, std::set<std::uint32_t>> user_avail;
+    common::FlatMap<Uid, common::OrderedSet<std::uint32_t>> user_avail;
     /// Static node-shape census (cpus, mem_mb, gpus) -> count, for O(#
     /// shapes) submit-time satisfiability instead of an O(nodes) scan.
-    std::map<std::tuple<unsigned, std::uint64_t, unsigned>, unsigned>
+    common::OrderedMap<std::tuple<unsigned, std::uint64_t, unsigned>,
+                       unsigned>
         shape_census;
   };
 
@@ -405,12 +419,35 @@ class Scheduler {
   void retry_pending_epilogs();
   void dispatch();
 
+  /// Job ids are dense and never recycled: jobs_[id-1] is job `id`, for
+  /// every id in [1, jobs_.size()]. Finished jobs stay in place (they are
+  /// the dependency / accounting ground truth), so lookup is an index
+  /// computation, not a hash probe.
+  [[nodiscard]] Job* job_ptr(JobId id) {
+    return id.value() >= 1 && id.value() <= jobs_.size()
+               ? &jobs_[id.value() - 1]
+               : nullptr;
+  }
+  [[nodiscard]] const Job* job_ptr(JobId id) const {
+    return id.value() >= 1 && id.value() <= jobs_.size()
+               ? &jobs_[id.value() - 1]
+               : nullptr;
+  }
+  [[nodiscard]] Job& job_at(JobId id) {
+    assert(id.value() >= 1 && id.value() <= jobs_.size());
+    return jobs_[id.value() - 1];
+  }
+  [[nodiscard]] const Job& job_at(JobId id) const {
+    assert(id.value() >= 1 && id.value() <= jobs_.size());
+    return jobs_[id.value() - 1];
+  }
+
   common::SimClock* clock_;
   SchedulerConfig config_;
   std::vector<NodeState> nodes_;
-  std::map<std::string, PartitionIndex> partitions_;
+  std::map<std::string, PartitionIndex, std::less<>> partitions_;
   /// Nodes currently holding failed epilogs (maintenance), by index.
-  std::set<std::uint32_t> maintenance_nodes_;
+  common::OrderedSet<std::uint32_t> maintenance_nodes_;
   /// Mutable: next_event_time() lazily discards stale tops while peeking.
   mutable std::priority_queue<CompletionEntry, std::vector<CompletionEntry>,
                               std::greater<>>
@@ -424,17 +461,17 @@ class Scheduler {
   std::uint64_t busy_cpus_ = 0;
   std::uint64_t blocked_cpus_ = 0;
   std::vector<JobId> queue_;  ///< FCFS order, pending only
-  std::unordered_map<JobId, Job> jobs_;
+  std::vector<Job> jobs_;  ///< dense by id: see job_ptr()
   std::vector<JobId> running_;
   std::vector<AccountingRecord> accounting_;
-  std::set<Uid> operators_;
+  common::FlatSet<Uid> operators_;
   obs::DecisionTrace* trace_ = nullptr;
   NodeHook prolog_;
   NodeHook epilog_;
   lifecycle::Driver job_lc_{&job_machine()};
   NodeCrashHook node_crash_hook_;
   FailureStats failures_;
-  std::map<Uid, std::uint64_t> consumed_cpu_ns_;  ///< fairshare input
+  common::FlatMap<Uid, std::uint64_t> consumed_cpu_ns_;  ///< fairshare input
   UtilizationStats util_;
   common::SimTime last_integration_{};
   common::SimTime last_completion_{};

@@ -1,0 +1,147 @@
+// SlotMap (ISSUE 10 satellite): generation-checked handles must detect
+// every stale reuse, swap-remove compaction must report the move so
+// parallel (cold-half) arrays can mirror it, and the dense array must
+// stay a permutation of the live values under arbitrary churn.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/slot_map.h"
+
+namespace heus::common {
+namespace {
+
+TEST(SlotMapTest, InsertGetErase) {
+  SlotMap<std::string> m;
+  EXPECT_TRUE(m.empty());
+  const SlotHandle a = m.insert("alpha");
+  const SlotHandle b = m.insert("beta");
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.get(a), nullptr);
+  EXPECT_EQ(*m.get(a), "alpha");
+  EXPECT_EQ(*m.get(b), "beta");
+
+  EXPECT_TRUE(m.erase(a));
+  EXPECT_FALSE(m.erase(a));  // double-erase misses on generation
+  EXPECT_EQ(m.get(a), nullptr);
+  EXPECT_EQ(*m.get(b), "beta");
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(SlotMapTest, StaleHandleNeverResolvesAfterSlotReuse) {
+  SlotMap<int> m;
+  const SlotHandle old = m.insert(1);
+  ASSERT_TRUE(m.erase(old));
+  // The freed slot is reused by the next insert — with a new generation.
+  const SlotHandle fresh = m.insert(2);
+  EXPECT_EQ(fresh.slot, old.slot);
+  EXPECT_NE(fresh.generation, old.generation);
+  EXPECT_FALSE(m.valid(old));
+  EXPECT_EQ(m.get(old), nullptr);
+  EXPECT_EQ(m.dense_index(old), SlotMap<int>::npos);
+  EXPECT_EQ(*m.get(fresh), 2);
+}
+
+TEST(SlotMapTest, GenerationSurvivesManyReuseCycles) {
+  SlotMap<int> m;
+  std::vector<SlotHandle> dead;
+  SlotHandle live = m.insert(0);
+  for (int cycle = 1; cycle <= 100; ++cycle) {
+    dead.push_back(live);
+    ASSERT_TRUE(m.erase(live));
+    live = m.insert(cycle);
+  }
+  for (const SlotHandle& h : dead) {
+    EXPECT_FALSE(m.valid(h));
+    EXPECT_EQ(m.get(h), nullptr);
+  }
+  EXPECT_EQ(*m.get(live), 100);
+}
+
+TEST(SlotMapTest, OnMoveMirrorsCompactionIntoAParallelArray) {
+  // The hot/cold split pattern: the SlotMap holds the hot half, a plain
+  // vector indexed by dense position holds the cold half, and every
+  // swap-remove is mirrored through on_move.
+  SlotMap<int> hot;
+  std::vector<std::string> cold;
+  auto insert = [&](int h, std::string c) {
+    SlotHandle handle = hot.insert(h);
+    cold.push_back(std::move(c));
+    return handle;
+  };
+  auto erase = [&](SlotHandle h) {
+    ASSERT_TRUE(hot.erase(h, [&](std::uint32_t from, std::uint32_t to) {
+      cold[to] = std::move(cold[from]);
+    }));
+    cold.pop_back();
+  };
+
+  const SlotHandle a = insert(1, "one");
+  const SlotHandle b = insert(2, "two");
+  const SlotHandle c = insert(3, "three");
+  erase(a);  // "three" swaps into index 0
+  ASSERT_EQ(hot.size(), 2u);
+  ASSERT_EQ(cold.size(), 2u);
+  EXPECT_EQ(cold[hot.dense_index(c)], "three");
+  EXPECT_EQ(cold[hot.dense_index(b)], "two");
+  erase(c);  // erasing the last element fires no on_move
+  EXPECT_EQ(cold[hot.dense_index(b)], "two");
+}
+
+TEST(SlotMapTest, HandleAtRoundTripsTheDenseArray) {
+  SlotMap<int> m;
+  for (int i = 0; i < 16; ++i) m.insert(i * 7);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const SlotHandle h = m.handle_at(i);
+    EXPECT_EQ(m.dense_index(h), i);
+    EXPECT_EQ(*m.get(h), m.dense(i));
+  }
+}
+
+TEST(SlotMapTest, RandomChurnStaysConsistentWithReferenceMap) {
+  SlotMap<std::uint64_t> m;
+  std::unordered_map<std::uint64_t, SlotHandle> live;  // value -> handle
+  Rng rng(0x510734Au);
+  std::uint64_t next_value = 0;
+
+  for (int op = 0; op < 20000; ++op) {
+    if (live.empty() || rng.bounded(3) != 0) {
+      const std::uint64_t v = next_value++;
+      live.emplace(v, m.insert(v));
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.bounded(live.size())));
+      ASSERT_TRUE(m.erase(it->second));
+      EXPECT_FALSE(m.valid(it->second));
+      live.erase(it);
+    }
+    ASSERT_EQ(m.size(), live.size());
+  }
+  // Every live handle resolves to its value; the dense array is exactly
+  // the live set.
+  std::uint64_t sum_dense = 0;
+  for (std::size_t i = 0; i < m.size(); ++i) sum_dense += m.dense(i);
+  std::uint64_t sum_live = 0;
+  for (const auto& [v, h] : live) {
+    ASSERT_NE(m.get(h), nullptr);
+    EXPECT_EQ(*m.get(h), v);
+    sum_live += v;
+  }
+  EXPECT_EQ(sum_dense, sum_live);
+}
+
+TEST(SlotMapTest, ClearInvalidatesEverything) {
+  SlotMap<int> m;
+  const SlotHandle h = m.insert(5);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_FALSE(m.valid(h));
+  EXPECT_EQ(m.get(h), nullptr);
+}
+
+}  // namespace
+}  // namespace heus::common

@@ -70,7 +70,7 @@ TEST_F(ConntrackHealTest, IdentityChangeAcrossHealResetsTheFlow) {
   fabric.active = true;
   EXPECT_EQ(nw.send(id, FlowEnd::client, "lost").error(), Errno::etimedout);
   EXPECT_EQ(nw.stats().packets_dropped, 1u);
-  ASSERT_NE(nw.find_flow(id), nullptr);
+  ASSERT_TRUE(nw.find_flow(id).has_value());
 
   // While partitioned, alice's server dies and bob grabs the port.
   ASSERT_TRUE(nw.close_listener(h1, Proto::tcp, 5000).ok());
@@ -83,7 +83,7 @@ TEST_F(ConntrackHealTest, IdentityChangeAcrossHealResetsTheFlow) {
   EXPECT_EQ(nw.send(id, FlowEnd::client, "post-heal").error(),
             Errno::econnreset);
   EXPECT_EQ(nw.stats().flows_reset_identity_changed, 1u);
-  EXPECT_EQ(nw.find_flow(id), nullptr);  // conntrack entry is gone
+  EXPECT_FALSE(nw.find_flow(id).has_value());  // conntrack entry is gone
 
   // A reconnect traverses the hook afresh — and the UBF denies alice
   // access to bob's listener, so the stale admission cannot be re-won.

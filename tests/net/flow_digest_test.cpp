@@ -77,9 +77,9 @@ void fold_flows(Digest& d, const Network& nw,
                 const std::vector<FlowId>& ids) {
   std::size_t live = 0;
   for (const FlowId id : ids) {
-    const Flow* f = nw.find_flow(id);
-    d.fold(f != nullptr ? 1 : 0);
-    if (f == nullptr) continue;
+    const std::optional<Flow> f = nw.find_flow(id);
+    d.fold(f.has_value() ? 1 : 0);
+    if (!f.has_value()) continue;
     ++live;
     d.fold(f->id.value());
     d.fold(static_cast<std::uint64_t>(f->proto));
@@ -90,8 +90,8 @@ void fold_flows(Digest& d, const Network& nw,
     d.fold(f->client_uid.value());
     d.fold(f->server_uid.value());
     d.fold(f->state == FlowState::established ? 1 : 0);
-    d.fold(f->to_server.size());
-    d.fold(f->to_client.size());
+    d.fold(f->to_server_len);
+    d.fold(f->to_client_len);
     d.fold(f->bytes);
     d.fold(static_cast<std::uint64_t>(f->expires_at_ns));
   }
@@ -170,8 +170,8 @@ std::uint64_t run_digest() {
   d.fold_errno(nw.send(*f6, FlowEnd::client, "keepalive"));  // refresh f6
   clock.advance(60 * common::kMillisecond);
   d.fold(nw.gc());  // f7 idle-expires; f6 was refreshed (revived) mid-GC
-  d.fold(nw.find_flow(*f6) != nullptr ? 1 : 0);
-  d.fold(nw.find_flow(*f7) != nullptr ? 1 : 0);
+  d.fold(nw.find_flow(*f6).has_value() ? 1 : 0);
+  d.fold(nw.find_flow(*f7).has_value() ? 1 : 0);
   d.fold_errno(nw.send(*f6, FlowEnd::client, "still here"));
   clock.advance(200 * common::kMillisecond);
   d.fold(nw.gc());  // now f6 is idle past its refreshed deadline
@@ -185,7 +185,7 @@ std::uint64_t run_digest() {
   require(nw.close_listener(c1, Proto::tcp, 7000).ok());
   require(nw.listen(c1, alice, Pid{15}, Proto::tcp, 7000).ok());
   d.fold_errno(nw.send(*f8, FlowEnd::client, "stale conntrack"));
-  d.fold(nw.find_flow(*f8) != nullptr ? 1 : 0);
+  d.fold(nw.find_flow(*f8).has_value() ? 1 : 0);
 
   // -- Phase 5: send/close error paths. ---------------------------------
   d.fold_errno(nw.send(*f8, FlowEnd::client, "after reset"));  // ebadf

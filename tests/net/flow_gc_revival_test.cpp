@@ -44,13 +44,13 @@ TEST(FlowGcRevival, RefreshedFlowSurvivesStaleDeadline) {
   ASSERT_TRUE(fx.nw.send(*id, FlowEnd::client, "keepalive").ok());
   fx.clock.advance(20 * common::kMillisecond);  // past deadline #1 only
   EXPECT_EQ(fx.nw.gc(), 0u);
-  EXPECT_NE(fx.nw.find_flow(*id), nullptr);
+  EXPECT_TRUE(fx.nw.find_flow(*id).has_value());
   EXPECT_EQ(fx.nw.stats().flows_expired, 0u);
 
   // The real (refreshed) deadline fires exactly once.
   fx.clock.advance(200 * common::kMillisecond);
   EXPECT_EQ(fx.nw.gc(), 1u);
-  EXPECT_EQ(fx.nw.find_flow(*id), nullptr);
+  EXPECT_FALSE(fx.nw.find_flow(*id).has_value());
   EXPECT_EQ(fx.nw.stats().flows_expired, 1u);
 
   // Any further sweep finds nothing to tear down a second time.
@@ -86,7 +86,7 @@ TEST(FlowGcRevival, RepeatedRefreshKeepsOneLiveDeadline) {
     fx.clock.advance(60 * common::kMillisecond);
     ASSERT_TRUE(fx.nw.send(*id, FlowEnd::client, "tick").ok());
     EXPECT_EQ(fx.nw.gc(), 0u) << "sweep " << i;
-    ASSERT_NE(fx.nw.find_flow(*id), nullptr) << "sweep " << i;
+    ASSERT_TRUE(fx.nw.find_flow(*id).has_value()) << "sweep " << i;
   }
   fx.clock.advance(common::kSecond);
   EXPECT_EQ(fx.nw.gc(), 1u);

@@ -60,8 +60,8 @@ TEST_F(NetworkScaleTest, EphemeralAllocatorCoversFullRangeThenExhausts) {
   for (unsigned i = 0; i < kEphemeralRange; ++i) {
     auto f = nw.connect(client, alice, Pid{2}, server, Proto::tcp, 7000);
     ASSERT_TRUE(f.ok()) << "connect " << i;
-    const Flow* flow = nw.find_flow(*f);
-    ASSERT_NE(flow, nullptr);
+    const std::optional<Flow> flow = nw.find_flow(*f);
+    ASSERT_TRUE(flow.has_value());
     EXPECT_TRUE(seen.insert(flow->client_port).second)
         << "port " << flow->client_port << " allocated twice";
     flows.push_back(*f);
@@ -76,8 +76,8 @@ TEST_F(NetworkScaleTest, EphemeralAllocatorCoversFullRangeThenExhausts) {
   EXPECT_EQ(nw.stats().ephemeral_exhausted, 1u);
 
   // Closing one flow returns exactly its port to the free list.
-  const Flow* victim = nw.find_flow(flows.front());
-  ASSERT_NE(victim, nullptr);
+  const std::optional<Flow> victim = nw.find_flow(flows.front());
+  ASSERT_TRUE(victim.has_value());
   const std::uint16_t freed = victim->client_port;
   ASSERT_TRUE(nw.close(flows.front()).ok());
   auto reuse = nw.connect(client, alice, Pid{2}, server, Proto::tcp, 7000);
@@ -149,12 +149,12 @@ TEST_F(NetworkScaleTest, ActivityRefreshesExpiryWithoutDuplicateWork) {
   // flow survives.
   clock.advance_to(common::SimTime{101 * common::kMillisecond});
   EXPECT_EQ(nw.gc(), 0u);
-  EXPECT_NE(nw.find_flow(*f), nullptr);
+  EXPECT_TRUE(nw.find_flow(*f).has_value());
 
   // Past the refreshed deadline: now it expires.
   clock.advance(100 * common::kMillisecond);
   EXPECT_EQ(nw.gc(), 1u);
-  EXPECT_EQ(nw.find_flow(*f), nullptr);
+  EXPECT_FALSE(nw.find_flow(*f).has_value());
 }
 
 TEST_F(NetworkScaleTest, MassTeardownIsLinearInVictimEndpoints) {

@@ -37,8 +37,8 @@ TEST_F(NetworkTest, ListenThenConnectEstablishesFlow) {
   ASSERT_TRUE(nw.listen(h1, a, Pid{10}, Proto::tcp, 5000).ok());
   auto flow = nw.connect(h2, b, Pid{20}, h1, Proto::tcp, 5000);
   ASSERT_TRUE(flow.ok());
-  const Flow* f = nw.find_flow(*flow);
-  ASSERT_NE(f, nullptr);
+  const std::optional<Flow> f = nw.find_flow(*flow);
+  ASSERT_TRUE(f.has_value());
   EXPECT_EQ(f->client_uid, bob);
   EXPECT_EQ(f->server_uid, alice);
   EXPECT_EQ(f->server_port, 5000);
@@ -134,7 +134,7 @@ TEST_F(NetworkTest, IdentIdentifiesListenerAndClient) {
 
   auto flow = nw.connect(h2, b, Pid{20}, h1, Proto::tcp, 5000);
   ASSERT_TRUE(flow.ok());
-  const Flow* f = nw.find_flow(*flow);
+  const std::optional<Flow> f = nw.find_flow(*flow);
   auto client_ident = nw.ident_lookup(h2, Proto::tcp, f->client_port);
   ASSERT_TRUE(client_ident.ok());
   EXPECT_EQ(client_ident->uid, bob);
@@ -150,7 +150,7 @@ TEST_F(NetworkTest, CloseRemovesConntrackEntry) {
   ASSERT_TRUE(flow.ok());
   ASSERT_TRUE(nw.close(*flow).ok());
   EXPECT_EQ(nw.send(*flow, FlowEnd::client, "x").error(), Errno::ebadf);
-  EXPECT_EQ(nw.find_flow(*flow), nullptr);
+  EXPECT_FALSE(nw.find_flow(*flow).has_value());
 }
 
 TEST_F(NetworkTest, UdpFlowsSupported) {
@@ -203,7 +203,7 @@ TEST_F(NetworkTest, CloseSocketsOfReapsUsersEndpoints) {
   EXPECT_EQ(nw.close_sockets_of(h1, alice), 3u);
   EXPECT_EQ(nw.find_listener(h1, Proto::tcp, 5000), nullptr);
   EXPECT_NE(nw.find_listener(h1, Proto::tcp, 5001), nullptr);
-  EXPECT_EQ(nw.find_flow(*flow), nullptr);
+  EXPECT_FALSE(nw.find_flow(*flow).has_value());
   EXPECT_EQ(nw.unix_connect_abstract(h1, b, "@asock").error(),
             Errno::econnrefused);
 }
@@ -216,8 +216,8 @@ TEST_F(NetworkTest, ResetHostDropsEverythingTouchingIt) {
   ASSERT_TRUE(inbound.ok());
   ASSERT_TRUE(outbound.ok());
   EXPECT_EQ(nw.reset_host(h1), 3u);  // 1 listener + 2 flows
-  EXPECT_EQ(nw.find_flow(*inbound), nullptr);
-  EXPECT_EQ(nw.find_flow(*outbound), nullptr);
+  EXPECT_FALSE(nw.find_flow(*inbound).has_value());
+  EXPECT_FALSE(nw.find_flow(*outbound).has_value());
   // h2's listener is unaffected.
   EXPECT_NE(nw.find_listener(h2, Proto::tcp, 5001), nullptr);
 }

@@ -107,7 +107,7 @@ TEST_F(RdmaTest, DestroyClosesControlFlow) {
   ASSERT_TRUE(qp.ok());
   const FlowId control = *rdma.find(*qp)->control_flow;
   ASSERT_TRUE(rdma.destroy(*qp).ok());
-  EXPECT_EQ(nw.find_flow(control), nullptr);
+  EXPECT_FALSE(nw.find_flow(control).has_value());
   EXPECT_EQ(rdma.find(*qp), nullptr);
   EXPECT_EQ(rdma.write(*qp, "x").error(), Errno::ebadf);
 }

@@ -70,6 +70,33 @@ check 'sleep_for|sleep_until' \
 check 'std::this_thread' \
   'thread-identity/timing queries (results must not depend on workers)'
 
+# Memory-layout discipline (ISSUE 10): the per-decision hot-path headers
+# were migrated off the node-based standard containers (DESIGN.md §8 —
+# common::FlatMap/FlatSet/OrderedSet/OrderedMap/SlotMap over dense
+# storage). New direct std::unordered_map / std::map members would quietly
+# reintroduce pointer-chasing and allocation churn on the decision path,
+# so any mention outside the reviewed allowlist fails the lint:
+#   - abstract_sockets / partition_policy / partitions_: cold, name-keyed
+#     tables kept as std::map with transparent comparators for
+#     string_view lookup;
+#   - usage_by_user: a public accessor's return type (API stability).
+hotpath_headers="src/net/network.h src/sched/scheduler.h src/obs/decision.h"
+hotpath_allow='abstract_sockets|partition_policy|partitions_|usage_by_user'
+for header in $hotpath_headers; do
+  [ -f "$root/$header" ] || continue
+  hits=$(grep -nE 'std::(unordered_map|unordered_set|map|set)<' \
+           "$root/$header" \
+           | grep -vE "$hotpath_allow" \
+           | grep -vE '^[0-9]+:[[:space:]]*(//|\*)' || true)
+  if [ -n "$hits" ]; then
+    echo "determinism lint: node-based container on the hot path in" \
+         "$header (use common/flat_map.h or extend the allowlist" \
+         "after review):"
+    echo "$hits" | sed 's/^/  /'
+    status=1
+  fi
+done
+
 if [ "$status" -eq 0 ]; then
   echo "determinism lint: OK (src/ outside src/common/ is clean)"
 fi
